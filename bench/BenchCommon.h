@@ -1,0 +1,77 @@
+//===- bench/BenchCommon.h - Shared harness helpers -------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment harnesses (X1-X9): the standard
+/// corpus, pipeline dispatch by name, and small statistics. Every
+/// harness prints through support/Table so EXPERIMENTS.md rows match
+/// program output verbatim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_BENCH_BENCHCOMMON_H
+#define URSA_BENCH_BENCHCOMMON_H
+
+#include "sched/Pipelines.h"
+#include "support/Table.h"
+#include "ursa/Compiler.h"
+#include "workload/Generators.h"
+#include "workload/Kernels.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace ursa {
+namespace bench {
+
+/// The X-series corpus: the kernel suite plus reproducible random layered
+/// traces spanning widths.
+inline std::vector<std::pair<std::string, Trace>> corpus(unsigned RandomSeeds = 4) {
+  std::vector<std::pair<std::string, Trace>> C = kernelSuite();
+  for (uint64_t Seed = 1; Seed <= RandomSeeds; ++Seed) {
+    GenOptions Opts;
+    Opts.NumInstrs = 40;
+    Opts.Window = 4 + unsigned(Seed) * 4;
+    Opts.MemOpProb = 0.05;
+    Opts.Seed = Seed * 7919;
+    C.emplace_back("rand" + std::to_string(Seed), generateTrace(Opts));
+  }
+  return C;
+}
+
+/// Pipeline dispatch by display name.
+inline CompileResult compileBy(const std::string &Name, const Trace &T,
+                               const MachineModel &M) {
+  if (Name == "prepass")
+    return compilePrepass(T, M);
+  if (Name == "postpass")
+    return compilePostpass(T, M);
+  if (Name == "integrated")
+    return compileIntegrated(T, M);
+  return compileURSA(T, M).Compile;
+}
+
+inline const std::vector<std::string> &pipelineNames() {
+  static const std::vector<std::string> Names = {"prepass", "postpass",
+                                                 "integrated", "ursa"};
+  return Names;
+}
+
+/// Geometric mean of positive samples.
+inline double geomean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double S = 0;
+  for (double X : Xs)
+    S += std::log(X);
+  return std::exp(S / double(Xs.size()));
+}
+
+} // namespace bench
+} // namespace ursa
+
+#endif // URSA_BENCH_BENCHCOMMON_H

@@ -1,0 +1,68 @@
+//===- bench/bench_crossover.cpp - X2: scarcity regimes ---------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// X2 (paper claim C6, refined): which phase ordering hurts where? Sweep
+// the register/FU balance at roughly constant machine "area" and watch
+// the crossover: postpass collapses when registers are scarce (its reuse
+// edges serialize), prepass collapses when registers are scarce too but
+// in spills, and both are harmless when the machine is generous.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+using namespace ursa;
+using namespace ursa::bench;
+
+int main() {
+  std::printf("X2: scarcity crossover — geomean cycles relative to URSA | "
+              "total spill ops\n\n");
+  auto Corpus = corpus();
+  Table Tbl({"machine", "regime", "prepass", "postpass", "integrated"});
+  struct Cfg {
+    unsigned Fus, Regs;
+    const char *Regime;
+  };
+  for (Cfg C : {Cfg{1, 24, "FU-starved"}, Cfg{2, 12, "balanced-"},
+                Cfg{4, 8, "balanced"}, Cfg{6, 6, "reg-lean"},
+                Cfg{8, 4, "reg-starved"}}) {
+    MachineModel M = MachineModel::homogeneous(C.Fus, C.Regs);
+    std::map<std::string, std::vector<double>> Rel;
+    std::map<std::string, unsigned> Spills;
+    for (auto &[Name, T] : Corpus) {
+      (void)Name;
+      CompileResult U = compileBy("ursa", T, M);
+      if (!U.Ok)
+        continue;
+      for (const std::string &P : {std::string("prepass"),
+                                   std::string("postpass"),
+                                   std::string("integrated")}) {
+        CompileResult R = compileBy(P, T, M);
+        if (!R.Ok)
+          continue;
+        Rel[P].push_back(double(R.Cycles) / double(U.Cycles));
+        Spills[P] += R.SpillOps;
+      }
+    }
+    Tbl.addRow({M.describe(), C.Regime,
+                Table::fmt(geomean(Rel["prepass"]), 2) + " | " +
+                    Table::fmt(uint64_t(Spills["prepass"])),
+                Table::fmt(geomean(Rel["postpass"]), 2) + " | " +
+                    Table::fmt(uint64_t(Spills["postpass"])),
+                Table::fmt(geomean(Rel["integrated"]), 2) + " | " +
+                    Table::fmt(uint64_t(Spills["integrated"]))});
+  }
+  Tbl.print(std::cout);
+  std::printf("\nExpected shape: baseline penalties grow toward the "
+              "reg-starved end (registers\nare the contended resource whose "
+              "early or late handling the paper targets);\nwith ample "
+              "registers the orderings converge.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- bench/bench_end_to_end.cpp - X9: differential correctness -----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// X9: the safety net behind every other number — all pipelines, over a
+// random corpus and machine sweep, must produce VLIW code whose simulated
+// observable behaviour matches the reference interpreter exactly. Also
+// summarizes utilization and cycles per pipeline. The correctness column
+// must read 100%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "ir/Interpreter.h"
+#include "vliw/Simulator.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace ursa;
+using namespace ursa::bench;
+
+int main() {
+  std::printf("X9: end-to-end differential correctness and utilization\n\n");
+  Table Tbl({"pipeline", "compiles", "correct", "geomean cycles",
+             "mean utilization", "total spills"});
+  struct Agg {
+    unsigned Total = 0, Ok = 0, Correct = 0, Spills = 0;
+    std::vector<double> Cycles;
+    double Util = 0;
+  };
+  std::map<std::string, Agg> Sum;
+
+  std::vector<std::pair<std::string, Trace>> Work;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    GenOptions Opts;
+    Opts.NumInstrs = 30 + unsigned(Seed % 4) * 10;
+    Opts.Window = 4 + unsigned(Seed % 5) * 3;
+    Opts.MemOpProb = 0.1;
+    Opts.BranchProb = Seed % 3 == 0 ? 0.1 : 0.0;
+    Opts.Seed = Seed * 6151;
+    Work.emplace_back("r" + std::to_string(Seed), generateTrace(Opts));
+  }
+  for (auto &[Name, T] : kernelSuite())
+    Work.emplace_back(Name, T);
+
+  std::vector<MachineModel> Machines = {MachineModel::homogeneous(2, 6),
+                                        MachineModel::homogeneous(4, 8),
+                                        MachineModel::homogeneous(8, 16)};
+  for (const MachineModel &M : Machines) {
+    for (auto &[Name, T] : Work) {
+      (void)Name;
+      RNG Rng(0x5EED ^ (T.size() * 2654435761u));
+      MemoryState In = randomInputs(T, Rng);
+      ExecResult Want = interpret(T, In);
+      for (const std::string &P : pipelineNames()) {
+        Agg &A = Sum[P];
+        ++A.Total;
+        CompileResult R = compileBy(P, T, M);
+        if (!R.Ok)
+          continue;
+        ++A.Ok;
+        A.Cycles.push_back(double(R.Cycles));
+        A.Util += R.Utilization;
+        A.Spills += R.SpillOps;
+        SimResult Got = simulate(*R.Prog, In);
+        if (Got.Ok && Got.Exec == Want)
+          ++A.Correct;
+      }
+    }
+  }
+
+  bool AllCorrect = true;
+  for (const std::string &P : pipelineNames()) {
+    Agg &A = Sum[P];
+    AllCorrect &= A.Correct == A.Ok && A.Ok == A.Total;
+    Tbl.addRow({P,
+                Table::fmt(uint64_t(A.Ok)) + "/" + Table::fmt(uint64_t(A.Total)),
+                Table::fmt(100.0 * A.Correct / std::max(1u, A.Ok), 1) + "%",
+                Table::fmt(geomean(A.Cycles), 1),
+                Table::fmt(A.Util / std::max(1u, A.Ok), 2),
+                Table::fmt(uint64_t(A.Spills))});
+  }
+  Tbl.print(std::cout);
+  std::printf("\n%s\n", AllCorrect
+                            ? "all pipelines compiled and matched the "
+                              "reference interpreter on every input"
+                            : "SOME RUNS FAILED OR DIVERGED");
+  return AllCorrect ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+//===- bench/bench_kill_cover.cpp - X6: Kill() selection quality -----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// X6 (paper claim C10 / Theorem 2): defining Kill() is NP-complete, so
+// URSA uses a greedy minimum-cover heuristic. On small random DAGs,
+// compare the register requirement measured with (a) greedy cover,
+// (b) exact minimum cover, and (c) exhaustive worst-case kill search,
+// against the brute-force maximum liveness over all schedules (the
+// ground truth).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+#include "order/Chains.h"
+#include "support/Table.h"
+#include "ursa/KillSelection.h"
+#include "ursa/ReuseDAG.h"
+#include "workload/Generators.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace ursa;
+
+int main() {
+  std::printf("X6: Kill() selection — measured register requirement vs "
+              "ground truth\n\n");
+  Table Tbl({"instrs", "samples", "greedy=truth", "exact-cover=truth",
+             "exhaustive=truth", "greedy mean gap"});
+
+  for (unsigned Size : {8u, 10u, 12u, 14u}) {
+    GenOptions Opts;
+    Opts.NumInstrs = Size;
+    Opts.NumInputs = 3;
+    Opts.NumOutputs = 1;
+    unsigned Samples = 0, GreedyHit = 0, ExactHit = 0, ExhHit = 0;
+    double GapSum = 0;
+    for (uint64_t Seed = 1; Samples < 40 && Seed < 400; ++Seed) {
+      Opts.Seed = Seed * 131 + Size;
+      Trace T = generateTrace(Opts);
+      if (T.size() > 20)
+        continue;
+      DependenceDAG D = buildDAG(T);
+      DAGAnalysis A(D);
+      unsigned Truth = bruteForceMaxLive(D, A);
+      auto WidthWith = [&](const KillMap &K) {
+        ReuseRelation R = buildRegReuse(D, A, K);
+        return decomposeChains(R.Rel, R.Active).width();
+      };
+      unsigned G = WidthWith(selectKillsGreedy(D, A));
+      unsigned E = WidthWith(selectKillsMinCoverExact(D, A));
+      unsigned X = WidthWith(selectKillsExhaustiveWorstCase(D, A));
+      GreedyHit += G == Truth;
+      ExactHit += E == Truth;
+      ExhHit += X == Truth;
+      GapSum += double(Truth) - double(G);
+      ++Samples;
+    }
+    Tbl.addRow({Table::fmt(uint64_t(Size)), Table::fmt(uint64_t(Samples)),
+                Table::fmt(100.0 * GreedyHit / Samples, 0) + "%",
+                Table::fmt(100.0 * ExactHit / Samples, 0) + "%",
+                Table::fmt(100.0 * ExhHit / Samples, 0) + "%",
+                Table::fmt(GapSum / Samples, 3)});
+  }
+  Tbl.print(std::cout);
+  std::printf("\nExpected shape: the exhaustive search always matches the "
+              "ground truth\n(DESIGN.md Section 5 equivalence); greedy and "
+              "exact minimum cover track it\nclosely and never exceed it — "
+              "both are safe under-approximations whose gap is\nthe price "
+              "of Theorem 2's NP-completeness.\n");
+  return 0;
+}

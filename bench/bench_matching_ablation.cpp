@@ -1,0 +1,120 @@
+//===- bench/bench_matching_ablation.cpp - X5b: matching variants ----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// X5b (paper Section 3.1): the modified matching adds bipartite edges in
+// hammock-priority batches so the decomposition projects minimally onto
+// every nested hammock. Compare against plain one-shot matching: both
+// give the global minimum (Theorem 1), but only the prioritized variant
+// keeps the hammock projections minimal — quantified here as the number
+// of hammocks whose projected chain count exceeds the hammock's own
+// width. Also times Kuhn vs Hopcroft-Karp on the same relations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+#include "order/Chains.h"
+#include "order/Matching.h"
+#include "support/Table.h"
+#include "ursa/ReuseDAG.h"
+#include "workload/Generators.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+using namespace ursa;
+
+namespace {
+
+/// Hammocks (with >= 2 active members) whose projection of \p CD is not
+/// minimal.
+unsigned nonMinimalProjections(const ReuseRelation &R,
+                               const ChainDecomposition &CD,
+                               const HammockForest &HF) {
+  unsigned Bad = 0;
+  for (unsigned HI = 0; HI != HF.size(); ++HI) {
+    const Hammock &H = HF.hammock(HI);
+    std::vector<unsigned> Inside;
+    for (unsigned N : R.Active)
+      if (H.Members.test(N))
+        Inside.push_back(N);
+    if (Inside.size() < 2)
+      continue;
+    std::vector<int> Seen(CD.Chains.size(), 0);
+    unsigned Projected = 0;
+    for (unsigned N : Inside)
+      if (!Seen[CD.ChainOf[N]]) {
+        Seen[CD.ChainOf[N]] = 1;
+        ++Projected;
+      }
+    Bad += Projected > decomposeChains(R.Rel, Inside).width();
+  }
+  return Bad;
+}
+
+} // namespace
+
+int main() {
+  std::printf("X5b: hammock-priority matching vs plain matching\n\n");
+  Table Tbl({"instrs", "width(plain)", "width(prio)", "bad hammocks (plain)",
+             "bad hammocks (prio)", "kuhn us", "hopcroft-karp us"});
+
+  for (unsigned Size : {20u, 40u, 80u, 160u}) {
+    unsigned BadPlain = 0, BadPrio = 0;
+    unsigned WPlain = 0, WPrio = 0;
+    double KuhnUs = 0, HkUs = 0;
+    for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+      GenOptions Opts;
+      Opts.NumInstrs = Size;
+      Opts.Window = 10;
+      Opts.Seed = Seed * 37 + Size;
+      DependenceDAG D = buildDAG(generateTrace(Opts));
+      DAGAnalysis A(D);
+      HammockForest HF(D, A);
+      ReuseRelation R = buildFUReuse(D, A);
+
+      auto T0 = std::chrono::steady_clock::now();
+      ChainDecomposition Plain = decomposeChains(R.Rel, R.Active);
+      auto T1 = std::chrono::steady_clock::now();
+      ChainDecomposition Prio = decomposeChainsPrioritized(R.Rel, R.Active, HF);
+      WPlain += Plain.width();
+      WPrio += Prio.width();
+      BadPlain += nonMinimalProjections(R, Plain, HF);
+      BadPrio += nonMinimalProjections(R, Prio, HF);
+
+      // Timing: Kuhn (one-shot) vs Hopcroft-Karp on the same edges.
+      std::vector<std::vector<unsigned>> Adj(R.Rel.size());
+      std::vector<std::pair<unsigned, unsigned>> Edges;
+      for (unsigned X : R.Active)
+        R.Rel.row(X).forEach([&](unsigned Y) {
+          Adj[X].push_back(Y);
+          Edges.emplace_back(X, Y);
+        });
+      auto T2 = std::chrono::steady_clock::now();
+      IncrementalMatcher IM(R.Rel.size());
+      IM.addBatchAndAugment(Edges);
+      auto T3 = std::chrono::steady_clock::now();
+      MatchingResult HK = hopcroftKarp(R.Rel.size(), Adj);
+      auto T4 = std::chrono::steady_clock::now();
+      if (IM.result().Size != HK.Size)
+        std::printf("!! matcher disagreement\n");
+      (void)T0;
+      (void)T1;
+      KuhnUs += std::chrono::duration<double, std::micro>(T3 - T2).count();
+      HkUs += std::chrono::duration<double, std::micro>(T4 - T3).count();
+    }
+    Tbl.addRow({Table::fmt(uint64_t(Size)), Table::fmt(uint64_t(WPlain)),
+                Table::fmt(uint64_t(WPrio)), Table::fmt(uint64_t(BadPlain)),
+                Table::fmt(uint64_t(BadPrio)), Table::fmt(KuhnUs / 6, 1),
+                Table::fmt(HkUs / 6, 1)});
+  }
+  Tbl.print(std::cout);
+  std::printf("\nExpected shape: identical global widths (both matchings are "
+              "maximum);\nzero non-minimal hammock projections for the "
+              "prioritized variant; plain\nmatching may leave some. "
+              "Hopcroft-Karp outruns Kuhn as N grows.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- bench/bench_matching_driver.cpp - X12: matching inside URSA ---------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// X12 (paper Section 3.1, driver-level): the hammock-priority matching
+// exists so excessive chain sets localize to small regions. Ablate it
+// inside the full driver — same workloads, same machine, prioritized vs
+// plain matching — and compare the transformation effort and outcome.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "graph/DAGBuilder.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace ursa;
+using namespace ursa::bench;
+
+int main() {
+  std::printf("X12: hammock-priority matching ablation inside the driver "
+              "(machine 3fu/5r)\n\n");
+  MachineModel M = MachineModel::homogeneous(3, 5);
+  Table Tbl({"workload", "prioritized (cyc|spill|rounds)",
+             "plain (cyc|spill|rounds)"});
+  struct Agg {
+    std::vector<double> Cycles;
+    unsigned Spills = 0, Rounds = 0;
+  } P, Q;
+  for (auto &[Name, T] : corpus()) {
+    std::vector<std::string> Row{Name};
+    for (bool Prioritized : {true, false}) {
+      URSAOptions UO;
+      UO.Measure.PrioritizedMatching = Prioritized;
+      URSACompileResult R = compileURSA(T, M, UO);
+      if (!R.Compile.Ok) {
+        Row.push_back("fail");
+        continue;
+      }
+      Agg &A = Prioritized ? P : Q;
+      A.Cycles.push_back(double(R.Compile.Cycles));
+      A.Spills += R.Compile.SpillOps;
+      A.Rounds += R.AllocRounds;
+      Row.push_back(Table::fmt(uint64_t(R.Compile.Cycles)) + " | " +
+                    Table::fmt(uint64_t(R.Compile.SpillOps)) + " | " +
+                    Table::fmt(uint64_t(R.AllocRounds)));
+    }
+    Tbl.addRow(Row);
+  }
+  Tbl.addRow({"geomean / totals",
+              Table::fmt(geomean(P.Cycles), 1) + " | " +
+                  Table::fmt(uint64_t(P.Spills)) + " | " +
+                  Table::fmt(uint64_t(P.Rounds)),
+              Table::fmt(geomean(Q.Cycles), 1) + " | " +
+                  Table::fmt(uint64_t(Q.Spills)) + " | " +
+                  Table::fmt(uint64_t(Q.Rounds))});
+  Tbl.print(std::cout);
+  std::printf("\nExpected shape: both reach the same requirements (Theorem 1 "
+              "holds either\nway); the prioritized variant should need no "
+              "more driver rounds because its\nchains project minimally onto "
+              "the hammocks the transforms operate in.\n");
+  return 0;
+}

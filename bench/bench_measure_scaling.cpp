@@ -1,0 +1,89 @@
+//===- bench/bench_measure_scaling.cpp - X5a: measurement cost -------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// X5a (paper claim C9): the hammock-priority measurement is O(N^3) worst
+// case; the reduction heuristics are O(N^2 m). Google-benchmark over DAG
+// size for the measurement building blocks and one full URSA run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+#include "ursa/Driver.h"
+#include "ursa/Measure.h"
+#include "workload/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ursa;
+
+namespace {
+
+Trace traceOf(unsigned N) {
+  GenOptions Opts;
+  Opts.NumInstrs = N;
+  Opts.Window = 12;
+  Opts.Seed = 42 + N;
+  return generateTrace(Opts);
+}
+
+void BM_Analysis(benchmark::State &State) {
+  DependenceDAG D = buildDAG(traceOf(unsigned(State.range(0))));
+  for (auto _ : State) {
+    DAGAnalysis A(D);
+    benchmark::DoNotOptimize(A.criticalPathLength());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_Hammocks(benchmark::State &State) {
+  DependenceDAG D = buildDAG(traceOf(unsigned(State.range(0))));
+  DAGAnalysis A(D);
+  for (auto _ : State) {
+    HammockForest HF(D, A);
+    benchmark::DoNotOptimize(HF.size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_MeasureFU(benchmark::State &State) {
+  DependenceDAG D = buildDAG(traceOf(unsigned(State.range(0))));
+  DAGAnalysis A(D);
+  HammockForest HF(D, A);
+  ResourceId Res{ResourceId::FU, FUKind::Universal, RegClassKind::GPR, true};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(measureResource(D, A, HF, Res).MaxRequired);
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_MeasureReg(benchmark::State &State) {
+  DependenceDAG D = buildDAG(traceOf(unsigned(State.range(0))));
+  DAGAnalysis A(D);
+  HammockForest HF(D, A);
+  ResourceId Res{ResourceId::Reg, FUKind::Universal, RegClassKind::GPR, true};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(measureResource(D, A, HF, Res).MaxRequired);
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_FullURSA(benchmark::State &State) {
+  Trace T = traceOf(unsigned(State.range(0)));
+  MachineModel M = MachineModel::homogeneous(4, 8);
+  for (auto _ : State) {
+    URSAResult R = runURSA(buildDAG(T), M);
+    benchmark::DoNotOptimize(R.Rounds);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_Analysis)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+BENCHMARK(BM_Hammocks)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+BENCHMARK(BM_MeasureFU)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+BENCHMARK(BM_MeasureReg)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+BENCHMARK(BM_FullURSA)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+BENCHMARK_MAIN();

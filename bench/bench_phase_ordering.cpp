@@ -1,0 +1,66 @@
+//===- bench/bench_phase_ordering.cpp - X1: phase orderings compared -------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// X1 (paper claim C6): compare the three classic phase orderings against
+// URSA over the corpus and a machine sweep. Per machine we report, for
+// each pipeline, the geometric-mean schedule length relative to URSA
+// (>1 means slower than URSA) and the total spill operations emitted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+using namespace ursa;
+using namespace ursa::bench;
+
+int main() {
+  std::printf("X1: schedule length (geomean, relative to URSA = 1.00) and "
+              "total spill ops\n\n");
+  auto Corpus = corpus();
+  Table Tbl({"machine", "prepass", "postpass", "integrated", "ursa"});
+  for (auto [Fus, Regs] : {std::pair<unsigned, unsigned>{2, 4},
+                           {2, 8},
+                           {4, 4},
+                           {4, 8},
+                           {4, 16},
+                           {8, 16}}) {
+    MachineModel M = MachineModel::homogeneous(Fus, Regs);
+    std::map<std::string, std::vector<double>> RelCycles;
+    std::map<std::string, unsigned> Spills;
+    for (auto &[Name, T] : Corpus) {
+      (void)Name;
+      std::map<std::string, CompileResult> Rs;
+      for (const std::string &P : pipelineNames())
+        Rs.emplace(P, compileBy(P, T, M));
+      const CompileResult &U = Rs.at("ursa");
+      if (!U.Ok)
+        continue;
+      for (const std::string &P : pipelineNames()) {
+        const CompileResult &R = Rs.at(P);
+        if (!R.Ok)
+          continue;
+        RelCycles[P].push_back(double(R.Cycles) / double(U.Cycles));
+        Spills[P] += R.SpillOps;
+      }
+    }
+    std::vector<std::string> Row{M.describe()};
+    for (const std::string &P : pipelineNames())
+      Row.push_back(Table::fmt(geomean(RelCycles[P]), 2) + " | " +
+                    Table::fmt(uint64_t(Spills[P])));
+    Tbl.addRow(Row);
+  }
+  Tbl.print(std::cout);
+  std::printf("\nExpected shape (paper Section 1): prepass and postpass both "
+              "degrade relative to\nURSA — prepass through spill traffic "
+              "inherited from a register-oblivious\nschedule, postpass "
+              "through reuse-edge serialization; the pressure-aware\n"
+              "integrated scheduler trades spills for cycles.\n");
+  return 0;
+}

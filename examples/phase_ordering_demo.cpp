@@ -1,0 +1,53 @@
+//===- examples/phase_ordering_demo.cpp - The paper's motivation ----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 1 of the paper in one table: compile the same unrolled kernels
+// with the three classic phase orderings and with URSA, on a machine
+// where registers and functional units are both scarce, and compare
+// schedule length and spill traffic.
+//
+//   $ ./phase_ordering_demo [fus] [regs]
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Pipelines.h"
+#include "support/Table.h"
+#include "ursa/Compiler.h"
+#include "workload/Kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+using namespace ursa;
+
+int main(int argc, char **argv) {
+  unsigned Fus = argc > 1 ? unsigned(std::atoi(argv[1])) : 4;
+  unsigned Regs = argc > 2 ? unsigned(std::atoi(argv[2])) : 6;
+  MachineModel M = MachineModel::homogeneous(Fus, Regs);
+  std::printf("machine: %s  (cycles | spill ops)\n\n", M.describe().c_str());
+
+  Table Tbl({"kernel", "prepass", "postpass", "integrated", "ursa"});
+  for (auto &[Name, T] : kernelSuite()) {
+    auto Cell = [](const CompileResult &R) {
+      if (!R.Ok)
+        return std::string("fail");
+      return Table::fmt(uint64_t(R.Cycles)) + " | " +
+             Table::fmt(uint64_t(R.SpillOps));
+    };
+    CompileResult Pre = compilePrepass(T, M);
+    CompileResult Post = compilePostpass(T, M);
+    CompileResult Int = compileIntegrated(T, M);
+    URSACompileResult U = compileURSA(T, M);
+    Tbl.addRow({Name, Cell(Pre), Cell(Post), Cell(Int), Cell(U.Compile)});
+  }
+  Tbl.print(std::cout);
+  std::printf("\nLower is better. Postpass pays in cycles (register reuse "
+              "edges shackle the\nscheduler); prepass pays in spills "
+              "(allocation inherits a register-oblivious\nschedule); URSA "
+              "allocates both resources before assigning either.\n");
+  return 0;
+}

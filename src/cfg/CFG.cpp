@@ -1,0 +1,182 @@
+//===- cfg/CFG.cpp - Control-flow functions of basic blocks ---------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFG.h"
+
+#include "ir/Interpreter.h"
+#include "ir/Verifier.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace ursa;
+
+int CFGFunction::blockByName(const std::string &BlockName) const {
+  for (unsigned I = 0; I != Blocks.size(); ++I)
+    if (Blocks[I].Name == BlockName)
+      return int(I);
+  return -1;
+}
+
+std::vector<unsigned> CFGFunction::successors(unsigned B) const {
+  const Terminator &T = Blocks[B].Term;
+  switch (T.Kind) {
+  case Terminator::Ret:
+    return {};
+  case Terminator::Jump:
+    return {unsigned(T.FallBlock)};
+  case Terminator::CondBr:
+    if (T.TakenBlock == T.FallBlock)
+      return {unsigned(T.TakenBlock)};
+    return {unsigned(T.TakenBlock), unsigned(T.FallBlock)};
+  }
+  return {};
+}
+
+std::vector<unsigned> CFGFunction::predecessors(unsigned B) const {
+  std::vector<unsigned> Preds;
+  for (unsigned P = 0; P != Blocks.size(); ++P)
+    for (unsigned S : successors(P))
+      if (S == B)
+        Preds.push_back(P);
+  return Preds;
+}
+
+std::vector<std::string> CFGFunction::verify() const {
+  std::vector<std::string> Problems;
+  auto Note = [&](unsigned B, const std::string &Msg) {
+    Problems.push_back("block '" + Blocks[B].Name + "': " + Msg);
+  };
+  for (unsigned B = 0; B != Blocks.size(); ++B) {
+    const BasicBlock &BB = Blocks[B];
+    for (const std::string &P : verifyTrace(BB.Body))
+      Note(B, P);
+    const Terminator &T = BB.Term;
+    auto CheckTarget = [&](int Tgt) {
+      if (Tgt < 0 || unsigned(Tgt) >= Blocks.size())
+        Note(B, "terminator target out of range");
+    };
+    switch (T.Kind) {
+    case Terminator::Ret:
+      break;
+    case Terminator::Jump:
+      CheckTarget(T.FallBlock);
+      break;
+    case Terminator::CondBr:
+      CheckTarget(T.TakenBlock);
+      CheckTarget(T.FallBlock);
+      if (T.CondVReg < 0 || unsigned(T.CondVReg) >= BB.Body.numVRegs())
+        Note(B, "branch condition register out of range");
+      else if (BB.Body.vregDomain(T.CondVReg) != Domain::Int)
+        Note(B, "branch condition must be an integer value");
+      if (!(T.TakenProb >= 0.0 && T.TakenProb <= 1.0))
+        Note(B, "branch probability outside [0,1]");
+      break;
+    }
+  }
+  return Problems;
+}
+
+std::string CFGFunction::str() const {
+  std::string S = "func " + FuncName + " {\n";
+  char Buf[96];
+  for (unsigned B = 0; B != Blocks.size(); ++B) {
+    const BasicBlock &BB = Blocks[B];
+    S += "block " + BB.Name + ":\n";
+    std::string Body = BB.Body.str();
+    // Indent the body.
+    size_t Pos = 0;
+    while (Pos < Body.size()) {
+      size_t Nl = Body.find('\n', Pos);
+      S += "  " + Body.substr(Pos, Nl - Pos) + "\n";
+      Pos = Nl == std::string::npos ? Body.size() : Nl + 1;
+    }
+    switch (BB.Term.Kind) {
+    case Terminator::Ret:
+      S += "  ret\n";
+      break;
+    case Terminator::Jump:
+      S += "  jmp " + Blocks[BB.Term.FallBlock].Name + "\n";
+      break;
+    case Terminator::CondBr:
+      std::snprintf(Buf, sizeof(Buf), "  br v%d ? %s:%.2f : %s\n",
+                    BB.Term.CondVReg,
+                    Blocks[BB.Term.TakenBlock].Name.c_str(), BB.Term.TakenProb,
+                    Blocks[BB.Term.FallBlock].Name.c_str());
+      S += Buf;
+      break;
+    }
+  }
+  S += "}\n";
+  return S;
+}
+
+std::vector<double> ursa::estimateBlockFrequencies(const CFGFunction &F,
+                                                   unsigned MaxIters) {
+  unsigned N = F.numBlocks();
+  std::vector<double> Freq(N, 0.0);
+  if (N == 0)
+    return Freq;
+
+  // Gauss-Seidel style propagation: freq(entry) = 1 + incoming back
+  // edges; every other block sums weighted predecessor frequencies.
+  // Converges geometrically when every cycle leaks probability.
+  for (unsigned Iter = 0; Iter != MaxIters; ++Iter) {
+    double MaxDelta = 0.0;
+    for (unsigned B = 0; B != N; ++B) {
+      double In = B == 0 ? 1.0 : 0.0;
+      for (unsigned P : F.predecessors(B)) {
+        const Terminator &T = F.block(P).Term;
+        double W = 1.0;
+        if (T.Kind == Terminator::CondBr && T.TakenBlock != T.FallBlock)
+          W = unsigned(T.TakenBlock) == B ? T.TakenProb : 1.0 - T.TakenProb;
+        In += Freq[P] * W;
+      }
+      MaxDelta = std::max(MaxDelta, std::fabs(In - Freq[B]));
+      Freq[B] = In;
+    }
+    if (MaxDelta < 1e-9)
+      break;
+  }
+  return Freq;
+}
+
+CFGExecResult ursa::interpretCFG(const CFGFunction &F,
+                                 const MemoryState &Initial, unsigned Fuel) {
+  CFGExecResult R;
+  R.Memory = Initial;
+  if (F.numBlocks() == 0) {
+    R.Ok = true;
+    return R;
+  }
+  int Cur = 0;
+  while (Fuel-- > 0) {
+    const BasicBlock &BB = F.block(unsigned(Cur));
+    R.Path.push_back(unsigned(Cur));
+
+    // Execute the body plus (for conditional exits) a recording branch,
+    // whose log entry decides the direction.
+    Trace Step = BB.Body;
+    if (BB.Term.Kind == Terminator::CondBr)
+      Step.emitBranch(BB.Term.CondVReg);
+    ExecResult Out = interpret(Step, R.Memory);
+    R.Memory = std::move(Out.Memory);
+
+    switch (BB.Term.Kind) {
+    case Terminator::Ret:
+      R.Ok = true;
+      return R;
+    case Terminator::Jump:
+      Cur = BB.Term.FallBlock;
+      break;
+    case Terminator::CondBr:
+      Cur = Out.BranchLog.back() ? BB.Term.TakenBlock : BB.Term.FallBlock;
+      break;
+    }
+  }
+  R.Error = "out of fuel (non-terminating control flow?)";
+  return R;
+}

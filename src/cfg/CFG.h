@@ -1,0 +1,116 @@
+//===- cfg/CFG.h - Control-flow functions of basic blocks -------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front-end substrate above straight-line traces: a function is a
+/// control-flow graph of basic blocks (the paper's prototype sat on "an
+/// existing C compiler front end" producing per-trace dependence DAGs;
+/// this module supplies the part of that front end URSA consumes).
+///
+/// Model: each block's body is a mini-trace (block-local virtual
+/// registers; named variables carry state across blocks — the load/store
+/// discipline of the paper's architecture class), ended by a terminator:
+/// an unconditional jump, a conditional branch with an edge probability
+/// annotation, or a return. Trace formation (cfg/TraceFormation.h) turns
+/// hot paths through this graph into the straight-line traces URSA
+/// schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_CFG_CFG_H
+#define URSA_CFG_CFG_H
+
+#include "ir/Interpreter.h"
+#include "ir/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// How a basic block ends.
+struct Terminator {
+  enum KindT { Jump, CondBr, Ret } Kind = Ret;
+  int CondVReg = -1;     ///< CondBr: block-local vreg tested against 0
+  int TakenBlock = -1;   ///< CondBr: target when the condition is true
+  int FallBlock = -1;    ///< CondBr: target when false; Jump: the target
+  double TakenProb = 0.5; ///< CondBr: annotated probability of taken
+};
+
+/// One basic block: a body trace plus its terminator.
+struct BasicBlock {
+  std::string Name;
+  Trace Body;
+  Terminator Term;
+
+  explicit BasicBlock(std::string Name = "bb")
+      : Name(Name), Body(std::move(Name)) {}
+};
+
+/// A function: blocks with block 0 as the entry.
+class CFGFunction {
+public:
+  explicit CFGFunction(std::string Name = "func")
+      : FuncName(std::move(Name)) {}
+
+  const std::string &name() const { return FuncName; }
+
+  unsigned numBlocks() const { return Blocks.size(); }
+  BasicBlock &block(unsigned I) { return Blocks[I]; }
+  const BasicBlock &block(unsigned I) const { return Blocks[I]; }
+
+  /// Appends a block and returns its index.
+  unsigned addBlock(std::string BlockName) {
+    Blocks.emplace_back(std::move(BlockName));
+    return Blocks.size() - 1;
+  }
+
+  /// Block index by name, -1 if absent.
+  int blockByName(const std::string &BlockName) const;
+
+  /// Successor block indices of \p B (0, 1 or 2 entries).
+  std::vector<unsigned> successors(unsigned B) const;
+
+  /// Predecessor block indices of \p B.
+  std::vector<unsigned> predecessors(unsigned B) const;
+
+  /// Structural checks: targets in range, CondBr conditions defined in
+  /// the block, bodies verify. Empty result means well-formed.
+  std::vector<std::string> verify() const;
+
+  /// Renders the function in its textual syntax.
+  std::string str() const;
+
+private:
+  std::string FuncName;
+  std::vector<BasicBlock> Blocks;
+};
+
+/// Estimated execution frequency per block, entry = 1.0, propagated
+/// through edge probabilities to a fixpoint (geometric convergence as
+/// long as every cycle has an exit probability).
+std::vector<double> estimateBlockFrequencies(const CFGFunction &F,
+                                             unsigned MaxIters = 200);
+
+/// Reference semantics: executes \p F block by block from the entry,
+/// threading memory through; \p Fuel bounds the number of block
+/// executions (loops!). Appends each executed block index to
+/// \p PathOut when given.
+struct CFGExecResult {
+  MemoryState Memory;
+  bool Ok = false;
+  std::string Error;
+  std::vector<unsigned> Path;
+  /// Compiled execution only: total machine cycles actually spent
+  /// (squashed trace suffixes are not charged).
+  unsigned Cycles = 0;
+};
+CFGExecResult interpretCFG(const CFGFunction &F, const MemoryState &Initial,
+                           unsigned Fuel = 10000);
+
+} // namespace ursa
+
+#endif // URSA_CFG_CFG_H

@@ -1,0 +1,92 @@
+//===- cfg/CFGCompiler.cpp - Whole-function trace compilation -------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFGCompiler.h"
+
+#include "ursa/Compiler.h"
+#include "vliw/Simulator.h"
+
+using namespace ursa;
+
+CompiledCFG ursa::compileCFG(
+    const CFGFunction &F, const MachineModel &M,
+    const std::function<CompileResult(const Trace &, const MachineModel &)>
+        &Compile) {
+  CompiledCFG C;
+  C.Traces = formTraces(F);
+  for (const FormedTrace &FT : C.Traces.Traces) {
+    CompileResult R = Compile(FT.Code, M);
+    if (!R.Ok) {
+      C.Error = "trace '" + FT.Code.name() + "': " + R.Error;
+      return C;
+    }
+    C.TotalWords += R.Cycles;
+    C.TotalSpills += R.SpillOps;
+    C.Programs.push_back(std::move(*R.Prog));
+  }
+  C.Ok = true;
+  return C;
+}
+
+CompiledCFG ursa::compileCFGWithURSA(const CFGFunction &F,
+                                     const MachineModel &M) {
+  return compileCFG(F, M, [](const Trace &T, const MachineModel &Mm) {
+    return compileURSA(T, Mm).Compile;
+  });
+}
+
+CFGExecResult ursa::runCompiledCFG(const CFGFunction &F, const CompiledCFG &C,
+                                   const MemoryState &Initial,
+                                   unsigned Fuel) {
+  CFGExecResult R;
+  R.Memory = Initial;
+  if (!C.Ok) {
+    R.Error = "function was not compiled: " + C.Error;
+    return R;
+  }
+  if (F.numBlocks() == 0) {
+    R.Ok = true;
+    return R;
+  }
+
+  int Block = 0;
+  while (Fuel-- > 0) {
+    int TI = C.Traces.HeadTraceOf[unsigned(Block)];
+    if (TI < 0) {
+      R.Error = "control transfer into the middle of a trace (block '" +
+                F.block(unsigned(Block)).Name + "')";
+      return R;
+    }
+    const FormedTrace &FT = C.Traces.Traces[unsigned(TI)];
+    SimResult Sim = simulate(C.Programs[unsigned(TI)], R.Memory,
+                             /*StopAtTakenBranch=*/true);
+    if (!Sim.Ok) {
+      R.Error = "trace '" + FT.Code.name() + "': " + Sim.Error;
+      return R;
+    }
+    R.Memory = std::move(Sim.Exec.Memory);
+    R.Cycles += Sim.Cycles;
+
+    int Next;
+    if (Sim.TakenBranch >= 0) {
+      const TraceExit &E = FT.SideExits[unsigned(Sim.TakenBranch)];
+      for (unsigned I = 0; I != E.BlocksExecuted; ++I)
+        R.Path.push_back(FT.Blocks[I]);
+      Next = int(E.TargetBlock);
+    } else {
+      for (unsigned B : FT.Blocks)
+        R.Path.push_back(B);
+      Next = FT.FallthroughBlock;
+    }
+    if (Next < 0) {
+      R.Ok = true;
+      return R;
+    }
+    Block = Next;
+  }
+  R.Error = "out of fuel (non-terminating control flow?)";
+  return R;
+}

@@ -1,0 +1,60 @@
+//===- cfg/CFGCompiler.h - Whole-function trace compilation -----*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties the stack together at function granularity: form traces over a
+/// CFG, compile every trace with a chosen pipeline (URSA or a baseline),
+/// and execute the result under trace-scheduling semantics — each VLIW
+/// trace runs until its first taken side-exit branch, which squashes the
+/// rest of the trace and transfers to the target block's trace. State
+/// crosses traces through memory only, so side exits are safe by
+/// construction (stores never move across recording branches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_CFG_CFGCOMPILER_H
+#define URSA_CFG_CFGCOMPILER_H
+
+#include "cfg/TraceFormation.h"
+#include "sched/Pipelines.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// A function compiled trace-by-trace.
+struct CompiledCFG {
+  bool Ok = false;
+  std::string Error;
+  TraceSet Traces;
+  /// Per formed trace, the compiled program (index-aligned).
+  std::vector<VLIWProgram> Programs;
+  /// Aggregates over all traces.
+  unsigned TotalWords = 0;
+  unsigned TotalSpills = 0;
+};
+
+/// Compiles each formed trace of \p F with \p Compile (signature of the
+/// sched/Pipelines entry points, e.g. compilePrepass) on machine \p M.
+CompiledCFG compileCFG(
+    const CFGFunction &F, const MachineModel &M,
+    const std::function<CompileResult(const Trace &, const MachineModel &)>
+        &Compile);
+
+/// Convenience: compile with URSA.
+CompiledCFG compileCFGWithURSA(const CFGFunction &F, const MachineModel &M);
+
+/// Executes \p C from \p Initial memory; the observable outcome (final
+/// memory + executed block path) must match interpretCFG on \p F.
+CFGExecResult runCompiledCFG(const CFGFunction &F, const CompiledCFG &C,
+                             const MemoryState &Initial,
+                             unsigned Fuel = 10000);
+
+} // namespace ursa
+
+#endif // URSA_CFG_CFGCOMPILER_H

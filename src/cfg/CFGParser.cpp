@@ -1,0 +1,221 @@
+//===- cfg/CFGParser.cpp - Text format for CFG functions ------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFGParser.h"
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace ursa;
+
+namespace {
+
+/// Raw per-block source gathered in a first pass; bodies are handed to
+/// the trace parser, terminators resolved once all block names are known.
+struct RawBlock {
+  std::string Name;
+  std::string BodySource;
+  std::string TermLine;
+  unsigned TermLineNo = 0;
+};
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return S.substr(B, E - B + 1);
+}
+
+std::string stripComment(const std::string &S) {
+  size_t H = S.find('#');
+  return H == std::string::npos ? S : S.substr(0, H);
+}
+
+bool startsWith(const std::string &S, const char *Prefix) {
+  return S.rfind(Prefix, 0) == 0;
+}
+
+} // namespace
+
+bool ursa::parseCFG(const std::string &Source, CFGFunction &Out,
+                    std::string &Err) {
+  std::istringstream In(Source);
+  std::string Line;
+  unsigned LineNo = 0;
+  auto Fail = [&](const std::string &Msg) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "line %u: ", LineNo);
+    Err = Buf + Msg;
+    return false;
+  };
+
+  // Pass 1: function header, block boundaries, body text, terminators.
+  std::string FuncName;
+  std::vector<RawBlock> Raw;
+  bool InFunc = false, Closed = false;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string S = trim(stripComment(Line));
+    if (S.empty())
+      continue;
+    if (!InFunc) {
+      if (!startsWith(S, "func "))
+        return Fail("expected 'func <name> {'");
+      size_t Brace = S.find('{');
+      if (Brace == std::string::npos)
+        return Fail("expected '{' on the func line");
+      FuncName = trim(S.substr(5, Brace - 5));
+      if (FuncName.empty())
+        return Fail("missing function name");
+      InFunc = true;
+      continue;
+    }
+    if (S == "}") {
+      Closed = true;
+      break;
+    }
+    if (startsWith(S, "block ")) {
+      std::string Name = trim(S.substr(6));
+      if (Name.empty() || Name.back() != ':')
+        return Fail("expected 'block <name>:'");
+      Name.pop_back();
+      Name = trim(Name);
+      for (const RawBlock &B : Raw)
+        if (B.Name == Name)
+          return Fail("duplicate block '" + Name + "'");
+      Raw.push_back({Name, "", "", 0});
+      continue;
+    }
+    if (Raw.empty())
+      return Fail("instruction before the first block");
+    if (S == "ret" || startsWith(S, "jmp ") || startsWith(S, "br ")) {
+      if (!Raw.back().TermLine.empty())
+        return Fail("block '" + Raw.back().Name + "' has two terminators");
+      Raw.back().TermLine = S;
+      Raw.back().TermLineNo = LineNo;
+      continue;
+    }
+    if (!Raw.back().TermLine.empty())
+      return Fail("instruction after the terminator of block '" +
+                  Raw.back().Name + "'");
+    Raw.back().BodySource += S + "\n";
+  }
+  if (!InFunc)
+    return Fail("empty input");
+  if (!Closed)
+    return Fail("missing closing '}'");
+  if (Raw.empty())
+    return Fail("function has no blocks");
+
+  // Pass 2: build blocks; bodies through the trace parser.
+  CFGFunction F(FuncName);
+  std::vector<std::map<std::string, int>> Names(Raw.size());
+  for (unsigned B = 0; B != Raw.size(); ++B) {
+    unsigned Idx = F.addBlock(Raw[B].Name);
+    std::string BodyErr;
+    if (!parseTrace(Raw[B].BodySource, F.block(Idx).Body, BodyErr,
+                    &Names[B])) {
+      Err = "block '" + Raw[B].Name + "': " + BodyErr;
+      return false;
+    }
+  }
+
+  // Pass 3: terminators (all names known now).
+  for (unsigned B = 0; B != Raw.size(); ++B) {
+    LineNo = Raw[B].TermLineNo;
+    const std::string &S = Raw[B].TermLine;
+    Terminator &T = F.block(B).Term;
+    if (S.empty())
+      return Fail("block '" + Raw[B].Name + "' has no terminator");
+    if (S == "ret") {
+      T.Kind = Terminator::Ret;
+      continue;
+    }
+    if (startsWith(S, "jmp ")) {
+      std::string Target = trim(S.substr(4));
+      int Idx = F.blockByName(Target);
+      if (Idx < 0)
+        return Fail("unknown jump target '" + Target + "'");
+      T.Kind = Terminator::Jump;
+      T.FallBlock = Idx;
+      continue;
+    }
+    // br <reg> ? <taken>[:prob] : <fall>
+    std::string Rest = trim(S.substr(3));
+    size_t Q = Rest.find('?');
+    if (Q == std::string::npos)
+      return Fail("expected '?' in conditional branch");
+    std::string CondName = trim(Rest.substr(0, Q));
+    std::string Arms = trim(Rest.substr(Q + 1));
+    size_t Colon = std::string::npos;
+    // The separating ':' is the one not inside a probability annotation:
+    // scan for " : " or the last ':' whose suffix is an identifier.
+    int DepthColons = 0;
+    (void)DepthColons;
+    // Split on the ':' that separates the two arms: find the first ':'
+    // that is followed (after optional probability digits) by whitespace
+    // before another identifier — simplest robust rule: the arms are
+    // separated by the last ':' preceded by whitespace or the first ':'
+    // surrounded by spaces.
+    size_t SpaceColon = Arms.find(" : ");
+    if (SpaceColon != std::string::npos) {
+      Colon = SpaceColon + 1;
+    } else {
+      Colon = Arms.rfind(':');
+    }
+    if (Colon == std::string::npos)
+      return Fail("expected ':' between branch targets");
+    std::string TakenPart = trim(Arms.substr(0, Colon));
+    std::string FallPart = trim(Arms.substr(Colon + 1));
+
+    double Prob = 0.5;
+    size_t ProbColon = TakenPart.find(':');
+    if (ProbColon != std::string::npos) {
+      Prob = std::strtod(TakenPart.c_str() + ProbColon + 1, nullptr);
+      TakenPart = trim(TakenPart.substr(0, ProbColon));
+    }
+    auto CondIt = Names[B].find(CondName);
+    if (CondIt == Names[B].end())
+      return Fail("branch condition '" + CondName +
+                  "' is not defined in block '" + Raw[B].Name + "'");
+    int TakenIdx = F.blockByName(TakenPart);
+    int FallIdx = F.blockByName(FallPart);
+    if (TakenIdx < 0)
+      return Fail("unknown branch target '" + TakenPart + "'");
+    if (FallIdx < 0)
+      return Fail("unknown branch target '" + FallPart + "'");
+    T.Kind = Terminator::CondBr;
+    T.CondVReg = CondIt->second;
+    T.TakenBlock = TakenIdx;
+    T.FallBlock = FallIdx;
+    T.TakenProb = Prob;
+  }
+
+  std::vector<std::string> Problems = F.verify();
+  if (!Problems.empty()) {
+    Err = Problems.front();
+    return false;
+  }
+  Out = std::move(F);
+  return true;
+}
+
+CFGFunction ursa::parseCFGOrDie(const std::string &Source) {
+  CFGFunction F;
+  std::string Err;
+  if (!parseCFG(Source, F, Err)) {
+    std::fprintf(stderr, "parseCFGOrDie: %s\n", Err.c_str());
+    std::abort();
+  }
+  return F;
+}

@@ -1,0 +1,55 @@
+//===- cfg/CFGParser.h - Text format for CFG functions ----------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the CFG-level language, the substrate above traces:
+///
+/// \code
+///   func sum {
+///   block entry:
+///     z = ldi 0
+///     store acc, z
+///     jmp loop
+///   block loop:
+///     a  = load acc
+///     i  = load i
+///     a2 = add a, i
+///     k  = ldi 1
+///     i2 = sub i, k
+///     store acc, a2
+///     store i, i2
+///     c  = cmplt k, i2        # 1 < i2, keep looping
+///     br c ? loop:0.9 : exit
+///   block exit:
+///     ret
+///   }
+/// \endcode
+///
+/// Block bodies use the trace IR syntax (registers are block-local; named
+/// variables carry state between blocks). Terminators: `ret`,
+/// `jmp <block>`, `br <reg> ? <block>[:prob] : <block>`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_CFG_CFGPARSER_H
+#define URSA_CFG_CFGPARSER_H
+
+#include "cfg/CFG.h"
+
+#include <string>
+
+namespace ursa {
+
+/// Parses \p Source into \p Out. Returns true on success; on failure
+/// returns false and sets \p Err.
+bool parseCFG(const std::string &Source, CFGFunction &Out, std::string &Err);
+
+/// Asserting wrapper for known-good embedded sources.
+CFGFunction parseCFGOrDie(const std::string &Source);
+
+} // namespace ursa
+
+#endif // URSA_CFG_CFGPARSER_H

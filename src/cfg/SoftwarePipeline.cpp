@@ -1,0 +1,48 @@
+//===- cfg/SoftwarePipeline.cpp - Unroll-factor search ---------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/SoftwarePipeline.h"
+
+#include "cfg/Unroll.h"
+
+using namespace ursa;
+
+PipelineSearchResult
+ursa::searchUnrollFactor(const CFGFunction &F, const MachineModel &M,
+                         const MemoryState &CalibrationInput,
+                         unsigned MaxFactor) {
+  PipelineSearchResult R;
+  CFGExecResult Want = interpretCFG(F, CalibrationInput);
+  if (!Want.Ok) {
+    R.Error = "calibration input does not terminate: " + Want.Error;
+    return R;
+  }
+
+  unsigned BestCycles = ~0u;
+  for (unsigned Factor = 1; Factor <= MaxFactor; Factor *= 2) {
+    CFGFunction U = unrollLoops(F, Factor);
+    CompiledCFG C = compileCFGWithURSA(U, M);
+    if (!C.Ok)
+      continue;
+    CFGExecResult Got = runCompiledCFG(U, C, CalibrationInput);
+    if (!Got.Ok || !(Got.Memory == Want.Memory))
+      continue; // a miscompiled candidate is never selected
+    R.Tried.emplace_back(Factor, Got.Cycles);
+    if (Got.Cycles < BestCycles) {
+      BestCycles = Got.Cycles;
+      R.BestFactor = Factor;
+      R.BestCycles = Got.Cycles;
+      R.Unrolled = std::move(U);
+      R.Compiled = std::move(C);
+    }
+  }
+  if (BestCycles == ~0u) {
+    R.Error = "no unroll factor compiled and validated";
+    return R;
+  }
+  R.Ok = true;
+  return R;
+}

@@ -1,0 +1,49 @@
+//===- cfg/SoftwarePipeline.h - Unroll-factor search -------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 6 extension as an API: "combined with loop unrolling to
+/// create a new resource constrained software pipelining technique".
+/// Candidate unroll factors are compiled through trace formation and
+/// URSA, calibrated on a short profiling run, and the factor with the
+/// lowest dynamic cycle count wins — the resource constraints do the
+/// rest (URSA stops the overlap where the machine runs out).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_CFG_SOFTWAREPIPELINE_H
+#define URSA_CFG_SOFTWAREPIPELINE_H
+
+#include "cfg/CFGCompiler.h"
+
+namespace ursa {
+
+/// Outcome of the unroll search.
+struct PipelineSearchResult {
+  bool Ok = false;
+  std::string Error;
+  unsigned BestFactor = 1;
+  unsigned BestCycles = 0; ///< dynamic cycles of the calibration run
+  CFGFunction Unrolled;    ///< the winning function
+  CompiledCFG Compiled;    ///< its compiled form
+  /// (factor, dynamic cycles) for every candidate tried; factors whose
+  /// compilation failed are absent.
+  std::vector<std::pair<unsigned, unsigned>> Tried;
+
+  PipelineSearchResult() : Unrolled("none") {}
+};
+
+/// Searches unroll factors 1, 2, 4, ..., \p MaxFactor (powers of two) for
+/// the lowest dynamic cycle count of \p F on \p M, calibrating each
+/// candidate by executing it from \p CalibrationInput.
+PipelineSearchResult searchUnrollFactor(const CFGFunction &F,
+                                        const MachineModel &M,
+                                        const MemoryState &CalibrationInput,
+                                        unsigned MaxFactor = 8);
+
+} // namespace ursa
+
+#endif // URSA_CFG_SOFTWAREPIPELINE_H

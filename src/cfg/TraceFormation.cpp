@@ -1,0 +1,174 @@
+//===- cfg/TraceFormation.cpp - Fisher-style trace selection --------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/TraceFormation.h"
+
+#include "cfg/TraceOpt.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ursa;
+
+namespace {
+
+/// Appends \p Body's instructions to \p Out with registers and symbols
+/// renumbered into Out's namespaces; returns the vreg offset mapping
+/// start (old vreg v of the block maps to Offset + v).
+unsigned appendBlockBody(Trace &Out, const Trace &Body) {
+  unsigned VRegOffset = Out.numVRegs();
+  for (unsigned V = 0; V != Body.numVRegs(); ++V)
+    Out.newVReg(Body.vregDomain(int(V)));
+
+  for (const Instruction &I : Body.instructions()) {
+    assert(!isSpillOp(I.opcode()) && "front-end blocks never hold spills");
+    Instruction Copy = I;
+    if (Copy.dest() >= 0)
+      Copy.setDest(Copy.dest() + int(VRegOffset));
+    for (unsigned S = 0; S != Copy.numOperands(); ++S)
+      Copy.setOperand(S, Copy.operand(S) + int(VRegOffset));
+    if (Copy.symbol() >= 0)
+      Copy.setSymbol(Out.internSymbol(Body.symbolName(Copy.symbol())));
+    Out.append(Copy);
+  }
+  return VRegOffset;
+}
+
+/// Emits `exitCond = (Cond == 0)` — the negation used when the on-trace
+/// arm of a conditional was its *taken* side.
+int emitNegation(Trace &Out, int Cond) {
+  int Zero = Out.emitLoadImm(0);
+  return Out.emitOp(Opcode::CmpEq, Cond, Zero);
+}
+
+} // namespace
+
+TraceSet ursa::formTraces(const CFGFunction &F) {
+  unsigned N = F.numBlocks();
+  TraceSet TS;
+  TS.TraceOf.assign(N, -1);
+  TS.HeadTraceOf.assign(N, -1);
+  if (N == 0)
+    return TS;
+
+  std::vector<double> Freq = estimateBlockFrequencies(F);
+  std::vector<unsigned> Seeds(N);
+  for (unsigned I = 0; I != N; ++I)
+    Seeds[I] = I;
+  std::sort(Seeds.begin(), Seeds.end(), [&](unsigned A, unsigned B) {
+    if (Freq[A] != Freq[B])
+      return Freq[A] > Freq[B];
+    return A < B;
+  });
+  // The entry must head a trace (execution starts there), so it seeds
+  // first regardless of frequency.
+  std::stable_partition(Seeds.begin(), Seeds.end(),
+                        [](unsigned B) { return B == 0; });
+
+  // Select block sequences.
+  std::vector<std::vector<unsigned>> Sequences;
+  for (unsigned Seed : Seeds) {
+    if (TS.TraceOf[Seed] >= 0)
+      continue;
+    std::vector<unsigned> Seq{Seed};
+    TS.TraceOf[Seed] = int(Sequences.size());
+    for (;;) {
+      unsigned Last = Seq.back();
+      const Terminator &T = F.block(Last).Term;
+      int Next = -1;
+      if (T.Kind == Terminator::Jump) {
+        Next = T.FallBlock;
+      } else if (T.Kind == Terminator::CondBr) {
+        Next = T.TakenProb >= 0.5 ? T.TakenBlock : T.FallBlock;
+        // If the likelier arm cannot be absorbed, try the other one.
+        auto Absorbable = [&](int C) {
+          return C >= 0 && C != 0 && TS.TraceOf[C] < 0 &&
+                 F.predecessors(unsigned(C)).size() == 1;
+        };
+        if (!Absorbable(Next))
+          Next = Next == T.TakenBlock ? T.FallBlock : T.TakenBlock;
+      }
+      if (Next < 0 || Next == 0 || TS.TraceOf[Next] >= 0 ||
+          F.predecessors(unsigned(Next)).size() != 1)
+        break;
+      TS.TraceOf[Next] = int(Sequences.size());
+      Seq.push_back(unsigned(Next));
+    }
+    Sequences.push_back(std::move(Seq));
+  }
+
+  // Flatten each sequence into a straight-line trace.
+  for (unsigned TI = 0; TI != Sequences.size(); ++TI) {
+    FormedTrace FT;
+    FT.Blocks = Sequences[TI];
+    FT.Code = Trace(F.name() + ".trace" + std::to_string(TI));
+    unsigned BranchOrdinal = 0;
+
+    for (unsigned Pos = 0; Pos != FT.Blocks.size(); ++Pos) {
+      unsigned B = FT.Blocks[Pos];
+      const BasicBlock &BB = F.block(B);
+      unsigned VRegOffset = appendBlockBody(FT.Code, BB.Body);
+      bool IsLast = Pos + 1 == FT.Blocks.size();
+      const Terminator &T = BB.Term;
+
+      if (T.Kind == Terminator::Ret) {
+        assert(IsLast && "a return has no successor to absorb");
+        FT.FallthroughBlock = -1;
+        continue;
+      }
+      if (T.Kind == Terminator::Jump) {
+        if (IsLast)
+          FT.FallthroughBlock = T.FallBlock;
+        else
+          assert(FT.Blocks[Pos + 1] == unsigned(T.FallBlock) &&
+                 "absorbed a block that is not the jump target");
+        continue;
+      }
+
+      // Conditional branch.
+      int Cond = T.CondVReg + int(VRegOffset);
+      if (T.TakenBlock == T.FallBlock) {
+        // Degenerate two-arm branch to one target; no decision needed.
+        if (IsLast)
+          FT.FallthroughBlock = T.FallBlock;
+        continue;
+      }
+      if (IsLast) {
+        // Exit when taken; fall through to the other arm.
+        FT.Code.emitBranch(Cond);
+        FT.SideExits.push_back(
+            {BranchOrdinal++, unsigned(T.TakenBlock), Pos + 1});
+        FT.FallthroughBlock = T.FallBlock;
+        continue;
+      }
+      unsigned OnTrace = FT.Blocks[Pos + 1];
+      if (OnTrace == unsigned(T.TakenBlock)) {
+        // Staying on the trace is the *taken* direction: negate so the
+        // recorded branch fires exactly when execution leaves the trace.
+        int Exit = emitNegation(FT.Code, Cond);
+        FT.Code.emitBranch(Exit);
+        FT.SideExits.push_back(
+            {BranchOrdinal++, unsigned(T.FallBlock), Pos + 1});
+      } else {
+        assert(OnTrace == unsigned(T.FallBlock) &&
+               "absorbed a block that is not a branch arm");
+        FT.Code.emitBranch(Cond);
+        FT.SideExits.push_back(
+            {BranchOrdinal++, unsigned(T.TakenBlock), Pos + 1});
+      }
+    }
+
+    // Promote memory carried between absorbed blocks into registers —
+    // without this, unrolled iterations chain through store->load
+    // dependences and the trace has no parallelism to allocate.
+    forwardAndEliminate(FT.Code);
+    valueNumberTrace(FT.Code);
+
+    TS.HeadTraceOf[FT.Blocks.front()] = int(TI);
+    TS.Traces.push_back(std::move(FT));
+  }
+  return TS;
+}

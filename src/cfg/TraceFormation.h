@@ -1,0 +1,65 @@
+//===- cfg/TraceFormation.h - Fisher-style trace selection ------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace formation in the style of Fisher's trace scheduling [Fis81],
+/// which the paper names as the source of its DAGs: "By constructing
+/// DAGs of traces, which are basic block sequences, trace scheduling
+/// allows code motion across basic blocks."
+///
+/// Blocks are grouped into mutually exclusive traces by expected
+/// frequency: the hottest unassigned block seeds a trace, which grows
+/// forward along the likeliest successor edge while the successor is
+/// unassigned and has no other predecessors (so traces are entered only
+/// at their heads — the classic simplification that avoids side-entry
+/// bookkeeping). Each trace is then flattened into one straight-line
+/// Trace: block-local registers are renumbered, conditional terminators
+/// become recording `br` instructions whose *taken* direction means
+/// "leave the trace" (conditions are negated when the on-trace arm was
+/// the taken one), and the mapping from branch ordinals to off-trace
+/// target blocks is kept for execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_CFG_TRACEFORMATION_H
+#define URSA_CFG_TRACEFORMATION_H
+
+#include "cfg/CFG.h"
+
+#include <vector>
+
+namespace ursa {
+
+/// One side exit of a formed trace.
+struct TraceExit {
+  unsigned BranchOrdinal;  ///< index among the trace's br instructions
+  unsigned TargetBlock;    ///< block executed next when the branch fires
+  unsigned BlocksExecuted; ///< leading member blocks that ran if it fires
+};
+
+/// A straight-line trace formed from a block sequence.
+struct FormedTrace {
+  Trace Code;
+  std::vector<unsigned> Blocks; ///< member blocks, head first
+  std::vector<TraceExit> SideExits;
+  /// Block executed after the trace runs to completion; -1 = return.
+  int FallthroughBlock = -1;
+};
+
+/// All traces of a function; every block belongs to exactly one trace and
+/// every control transfer lands on a trace head.
+struct TraceSet {
+  std::vector<FormedTrace> Traces;
+  std::vector<int> TraceOf;     ///< block -> owning trace
+  std::vector<int> HeadTraceOf; ///< block -> trace it heads, or -1
+};
+
+/// Forms traces over \p F using its edge-probability annotations.
+TraceSet formTraces(const CFGFunction &F);
+
+} // namespace ursa
+
+#endif // URSA_CFG_TRACEFORMATION_H

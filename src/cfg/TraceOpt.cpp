@@ -1,0 +1,133 @@
+//===- cfg/TraceOpt.cpp - Intra-trace memory promotion --------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/TraceOpt.h"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+using namespace ursa;
+
+unsigned ursa::valueNumberTrace(Trace &T) {
+  // Key: opcode, canonical operands, immediate payload bits.
+  using Key = std::tuple<uint8_t, int, int, int, int64_t, uint64_t>;
+  std::map<Key, int> Known; // key -> defining vreg
+  std::vector<int> Replace(T.numVRegs(), -1);
+  std::vector<uint8_t> Dead(T.size(), 0);
+  unsigned Removed = 0;
+
+  for (unsigned Idx = 0, E = T.size(); Idx != E; ++Idx) {
+    Instruction &I = T.instr(Idx);
+    for (unsigned S = 0; S != I.numOperands(); ++S) {
+      int V = I.operand(S);
+      while (V >= 0 && Replace[V] >= 0)
+        V = Replace[V];
+      I.setOperand(S, V);
+    }
+    if (effect(I.opcode()) != OpEffect::None)
+      continue;
+    uint64_t FltBits;
+    double F = I.fltImm();
+    static_assert(sizeof(FltBits) == sizeof(F), "payload size");
+    __builtin_memcpy(&FltBits, &F, sizeof(F));
+    Key K{uint8_t(I.opcode()),
+          I.numOperands() > 0 ? I.operand(0) : -1,
+          I.numOperands() > 1 ? I.operand(1) : -1,
+          I.numOperands() > 2 ? I.operand(2) : -1,
+          I.intImm(),
+          FltBits};
+    auto [It, Inserted] = Known.emplace(K, I.dest());
+    if (!Inserted) {
+      Replace[I.dest()] = It->second;
+      Dead[Idx] = 1;
+      ++Removed;
+    }
+  }
+  if (Removed == 0)
+    return 0;
+  std::vector<Instruction> Kept;
+  Kept.reserve(T.size() - Removed);
+  for (unsigned Idx = 0, E = T.size(); Idx != E; ++Idx)
+    if (!Dead[Idx])
+      Kept.push_back(T.instr(Idx));
+  T.replaceInstructions(std::move(Kept));
+  return Removed;
+}
+
+TraceOptStats ursa::forwardAndEliminate(Trace &T) {
+  TraceOptStats Stats;
+
+  struct PendingStore {
+    int VReg;             ///< value last stored to the symbol
+    int InstrIdx;         ///< index of that store
+    bool BranchSince;     ///< a side exit may observe it
+  };
+  std::map<int, PendingStore> Last; // symbol -> last store facts
+
+  std::vector<uint8_t> Dead(T.size(), 0);
+  std::vector<int> ReplaceVReg(T.numVRegs(), -1); // load dest -> forwarded
+
+  for (unsigned Idx = 0, E = T.size(); Idx != E; ++Idx) {
+    Instruction &I = T.instr(Idx);
+
+    // Uses first: apply pending replacements transitively.
+    for (unsigned S = 0; S != I.numOperands(); ++S) {
+      int V = I.operand(S);
+      while (V >= 0 && ReplaceVReg[V] >= 0)
+        V = ReplaceVReg[V];
+      I.setOperand(S, V);
+    }
+
+    switch (effect(I.opcode())) {
+    case OpEffect::MemLoad: {
+      auto It = Last.find(I.symbol());
+      if (It == Last.end())
+        break;
+      // Forward only within one domain; a float load of an int store
+      // (or vice versa) keeps the IR's memory-reinterpretation
+      // semantics, stays, and pins the store (it is now observed).
+      if (T.vregDomain(It->second.VReg) != I.domain()) {
+        It->second.BranchSince = true;
+        break;
+      }
+      ReplaceVReg.resize(T.numVRegs(), -1);
+      ReplaceVReg[I.dest()] = It->second.VReg;
+      Dead[Idx] = 1;
+      ++Stats.LoadsForwarded;
+      break;
+    }
+    case OpEffect::MemStore: {
+      auto It = Last.find(I.symbol());
+      if (It != Last.end() && !It->second.BranchSince) {
+        Dead[It->second.InstrIdx] = 1;
+        ++Stats.StoresEliminated;
+      }
+      Last[I.symbol()] = {I.operand(0), int(Idx), false};
+      break;
+    }
+    case OpEffect::Branch:
+      for (auto &[Sym, P] : Last) {
+        (void)Sym;
+        P.BranchSince = true;
+      }
+      break;
+    default:
+      break;
+    }
+  }
+
+  if (Stats.LoadsForwarded == 0 && Stats.StoresEliminated == 0)
+    return Stats;
+
+  std::vector<Instruction> Kept;
+  Kept.reserve(T.size());
+  for (unsigned Idx = 0, E = T.size(); Idx != E; ++Idx)
+    if (!Dead[Idx])
+      Kept.push_back(T.instr(Idx));
+  T.replaceInstructions(std::move(Kept));
+  return Stats;
+}

@@ -1,0 +1,50 @@
+//===- cfg/TraceOpt.h - Intra-trace memory promotion ------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-promotion half of a trace-scheduling front end: inside one
+/// trace, a load that follows a store to the same variable reads a value
+/// the compiler already has in a register, and a store overwritten by a
+/// later store (with no side exit between them) can never be observed.
+/// Without this, unrolled loop iterations chain through store->load
+/// dependences and URSA has no parallelism to allocate.
+///
+/// Safety under trace semantics:
+///  * forwarding survives side exits — the forwarded store still commits,
+///    so the off-trace path reads the same memory;
+///  * dead-store elimination must NOT cross a recording branch — a side
+///    exit between the two stores observes the first one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_CFG_TRACEOPT_H
+#define URSA_CFG_TRACEOPT_H
+
+#include "ir/Trace.h"
+
+namespace ursa {
+
+/// Statistics of one optimization run.
+struct TraceOptStats {
+  unsigned LoadsForwarded = 0;
+  unsigned StoresEliminated = 0;
+};
+
+/// Applies store-to-load forwarding and branch-safe dead-store
+/// elimination to \p T in place.
+TraceOptStats forwardAndEliminate(Trace &T);
+
+/// Local value numbering over pure operations (no memory effect): a
+/// recomputation with identical opcode, operands and immediates reuses
+/// the first result. Unrolled iterations rematerialize the same
+/// constants and address arithmetic; de-duplicating them shrinks both
+/// the op count and the measured register width. Returns the number of
+/// instructions removed.
+unsigned valueNumberTrace(Trace &T);
+
+} // namespace ursa
+
+#endif // URSA_CFG_TRACEOPT_H

@@ -1,0 +1,52 @@
+//===- cfg/Unroll.cpp - Loop unrolling over the CFG -----------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Unroll.h"
+
+#include <string>
+
+using namespace ursa;
+
+std::vector<unsigned> ursa::findSelfLoops(const CFGFunction &F) {
+  std::vector<unsigned> Loops;
+  for (unsigned B = 0; B != F.numBlocks(); ++B) {
+    const Terminator &T = F.block(B).Term;
+    if (T.Kind == Terminator::CondBr &&
+        (unsigned(T.TakenBlock) == B) != (unsigned(T.FallBlock) == B))
+      Loops.push_back(B);
+  }
+  return Loops;
+}
+
+CFGFunction ursa::unrollLoops(const CFGFunction &F, unsigned Factor) {
+  if (Factor <= 1)
+    return F;
+  CFGFunction Out = F;
+  for (unsigned B : findSelfLoops(F)) {
+    // Clone the body Factor-1 times: B -> c2 -> ... -> ck -> B.
+    unsigned Prev = B;
+    for (unsigned Copy = 2; Copy <= Factor; ++Copy) {
+      unsigned Idx = Out.addBlock(F.block(B).Name + ".u" +
+                                  std::to_string(Copy));
+      BasicBlock &NB = Out.block(Idx);
+      NB.Body = F.block(B).Body;
+      NB.Term = F.block(B).Term;
+      // The previous copy's loop arm continues into this one.
+      Terminator &PT = Out.block(Prev).Term;
+      if (unsigned(PT.TakenBlock) == B)
+        PT.TakenBlock = int(Idx);
+      else
+        PT.FallBlock = int(Idx);
+      Prev = Idx;
+    }
+    // The last copy's loop arm returns to the original header. (It
+    // already targets B because the clone copied B's terminator.)
+    assert((unsigned(Out.block(Prev).Term.TakenBlock) == B ||
+            unsigned(Out.block(Prev).Term.FallBlock) == B) &&
+           "unroll chain must close back to the header");
+  }
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- cfg/Unroll.h - Loop unrolling over the CFG ---------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 6 future work — "combined with loop unrolling to
+/// create a new resource constrained software pipelining technique" —
+/// needs loops unrolled *before* trace formation so one trace spans
+/// several iterations and URSA can overlap them up to the machine's
+/// resources.
+///
+/// Self-looping blocks (a conditional whose taken or fall arm is the
+/// block itself) are peeled into a chain of Factor copies: copy i
+/// continues to copy i+1, the last copy loops back to the first, and
+/// every copy keeps its original exit arm. Exact semantics for every
+/// trip count; trace formation then absorbs the chain into a single
+/// multi-iteration trace (copies 2..k have exactly one predecessor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_CFG_UNROLL_H
+#define URSA_CFG_UNROLL_H
+
+#include "cfg/CFG.h"
+
+namespace ursa {
+
+/// Returns \p F with every self-looping block unrolled \p Factor times.
+/// Factor <= 1 returns the function unchanged.
+CFGFunction unrollLoops(const CFGFunction &F, unsigned Factor);
+
+/// Blocks of \p F that self-loop through a conditional branch.
+std::vector<unsigned> findSelfLoops(const CFGFunction &F);
+
+} // namespace ursa
+
+#endif // URSA_CFG_UNROLL_H

@@ -1,0 +1,106 @@
+//===- graph/Analysis.cpp - Core DAG analyses -----------------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Analysis.h"
+
+#include <algorithm>
+
+using namespace ursa;
+
+DAGAnalysis::DAGAnalysis(const DependenceDAG &D)
+    : TopoPos(D.size(), 0), Desc(D.size()), Anc(D.size()),
+      Depth(D.size(), 0), Height(D.size(), 0) {
+  unsigned N = D.size();
+
+  // Kahn's algorithm, visiting ready nodes in ascending id for
+  // determinism.
+  std::vector<unsigned> InDeg(N, 0);
+  for (unsigned U = 0; U != N; ++U)
+    InDeg[U] = D.preds(U).size();
+  std::vector<unsigned> Ready;
+  for (unsigned U = 0; U != N; ++U)
+    if (InDeg[U] == 0)
+      Ready.push_back(U);
+  Topo.reserve(N);
+  while (!Ready.empty()) {
+    // Smallest id first; Ready stays small, linear scan is fine.
+    unsigned Best = 0;
+    for (unsigned I = 1; I != Ready.size(); ++I)
+      if (Ready[I] < Ready[Best])
+        Best = I;
+    unsigned U = Ready[Best];
+    Ready[Best] = Ready.back();
+    Ready.pop_back();
+    TopoPos[U] = Topo.size();
+    Topo.push_back(U);
+    for (const auto &[V, Kind] : D.succs(U)) {
+      (void)Kind;
+      if (--InDeg[V] == 0)
+        Ready.push_back(V);
+    }
+  }
+  assert(Topo.size() == N && "dependence graph has a cycle");
+
+  // Descendant closure and depths in reverse topological order;
+  // ancestors and heights forward.
+  for (unsigned I = N; I-- > 0;) {
+    unsigned U = Topo[I];
+    for (const auto &[V, Kind] : D.succs(U)) {
+      (void)Kind;
+      Desc.set(U, V);
+      Desc.unionRows(U, V);
+      if (Height[V] + 1 > Height[U])
+        Height[U] = Height[V] + 1;
+    }
+  }
+  for (unsigned I = 0; I != N; ++I) {
+    unsigned U = Topo[I];
+    for (const auto &[V, Kind] : D.preds(U)) {
+      (void)Kind;
+      Anc.set(U, V);
+      Anc.unionRows(U, V);
+      if (Depth[V] + 1 > Depth[U])
+        Depth[U] = Depth[V] + 1;
+    }
+  }
+}
+
+std::vector<std::vector<unsigned>> ursa::computeUses(const DependenceDAG &D) {
+  const Trace &T = D.trace();
+  std::vector<int> DefNodeOfVReg(T.numVRegs(), -1);
+  for (unsigned Idx = 0, E = T.size(); Idx != E; ++Idx)
+    if (T.instr(Idx).dest() >= 0)
+      DefNodeOfVReg[T.instr(Idx).dest()] = int(DependenceDAG::nodeOf(Idx));
+
+  std::vector<std::vector<unsigned>> Uses(D.size());
+  for (unsigned Idx = 0, E = T.size(); Idx != E; ++Idx) {
+    const Instruction &I = T.instr(Idx);
+    unsigned N = DependenceDAG::nodeOf(Idx);
+    for (unsigned S = 0; S != I.numOperands(); ++S) {
+      int Def = DefNodeOfVReg[I.operand(S)];
+      assert(Def >= 0 && "operand without a definition");
+      std::vector<unsigned> &U = Uses[Def];
+      if (std::find(U.begin(), U.end(), N) == U.end())
+        U.push_back(N);
+    }
+  }
+  return Uses;
+}
+
+BitMatrix ursa::transitiveReduction(const BitMatrix &Closure) {
+  unsigned N = Closure.size();
+  BitMatrix Out(N);
+  // (u,v) is reduced away iff some w with (u,w) also has (w,v). Compute
+  // Redundant[u] = union over w in Closure[u] of Closure[w].
+  for (unsigned U = 0; U != N; ++U) {
+    Bitset Redundant(N);
+    Closure.row(U).forEach([&](unsigned W) { Redundant |= Closure.row(W); });
+    Bitset Keep = Closure.row(U);
+    Keep.subtract(Redundant);
+    Out.row(U) = Keep;
+  }
+  return Out;
+}

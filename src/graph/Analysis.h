@@ -1,0 +1,91 @@
+//===- graph/Analysis.h - Core DAG analyses ---------------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Topological order, reachability closure, and longest-path metrics for a
+/// dependence DAG. URSA's chain machinery is defined over the *partial
+/// order* (reachability), not raw edges, so the closure is the central
+/// artifact; it also powers O(1) independence tests and cycle checks when
+/// transformations propose new sequence edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_GRAPH_ANALYSIS_H
+#define URSA_GRAPH_ANALYSIS_H
+
+#include "graph/DAG.h"
+#include "support/Bitset.h"
+
+#include <vector>
+
+namespace ursa {
+
+/// Immutable snapshot of the derived structure of one DAG state. Any DAG
+/// mutation invalidates it; URSA recomputes per transformation round.
+class DAGAnalysis {
+public:
+  explicit DAGAnalysis(const DependenceDAG &D);
+
+  /// Nodes in a deterministic topological order (entry first, exit last).
+  const std::vector<unsigned> &topoOrder() const { return Topo; }
+
+  /// Position of \p N in topoOrder().
+  unsigned topoPos(unsigned N) const { return TopoPos[N]; }
+
+  /// True if \p From strictly reaches \p To (From != To on some path).
+  bool reaches(unsigned From, unsigned To) const {
+    return Desc.test(From, To);
+  }
+
+  /// True if neither node reaches the other — the pair can execute in
+  /// parallel (paper Definition 1 neighborhood).
+  bool independent(unsigned A, unsigned B) const {
+    return A != B && !reaches(A, B) && !reaches(B, A);
+  }
+
+  /// Strict descendants of \p N as a bitset over node ids.
+  const Bitset &descendants(unsigned N) const { return Desc.row(N); }
+  /// Strict ancestors of \p N as a bitset over node ids.
+  const Bitset &ancestors(unsigned N) const { return Anc.row(N); }
+
+  /// Longest path (edge count) from entry to \p N.
+  unsigned depth(unsigned N) const { return Depth[N]; }
+  /// Longest path (edge count) from \p N to exit.
+  unsigned height(unsigned N) const { return Height[N]; }
+
+  /// Unit-latency critical path length through the whole DAG, in edges.
+  unsigned criticalPathLength() const {
+    return Depth[DependenceDAG::ExitNode];
+  }
+
+  /// True if adding edge \p From -> \p To keeps the graph acyclic.
+  bool edgeKeepsAcyclic(unsigned From, unsigned To) const {
+    return From != To && !reaches(To, From);
+  }
+
+private:
+  std::vector<unsigned> Topo;
+  std::vector<unsigned> TopoPos;
+  BitMatrix Desc;
+  BitMatrix Anc;
+  std::vector<unsigned> Depth;
+  std::vector<unsigned> Height;
+};
+
+/// Use sites of every defining node: result[n] lists the nodes reading
+/// n's destination register (each use node once). Derived from operands,
+/// not edges, so it stays correct across spill rewiring.
+std::vector<std::vector<unsigned>> computeUses(const DependenceDAG &D);
+
+/// Computes the transitive reduction of the relation encoded in \p Closure
+/// (Desc-style strict reachability): Out[u][v] = 1 iff (u,v) is in the
+/// relation and no w has (u,w) and (w,v). Used to build Reuse DAG edges
+/// (paper Definition 4, condition 2).
+BitMatrix transitiveReduction(const BitMatrix &Closure);
+
+} // namespace ursa
+
+#endif // URSA_GRAPH_ANALYSIS_H

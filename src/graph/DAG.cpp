@@ -1,0 +1,113 @@
+//===- graph/DAG.cpp - Dependence DAG over a trace ------------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAG.h"
+
+#include "support/Dot.h"
+
+#include <algorithm>
+
+using namespace ursa;
+
+bool DependenceDAG::addEdge(unsigned From, unsigned To, EdgeKind K) {
+  assert(From < size() && To < size() && "edge endpoint out of range");
+  assert(From != To && "self edge");
+  if (hasEdge(From, To))
+    return false;
+  Succs[From].emplace_back(To, K);
+  Preds[To].emplace_back(From, K);
+  return true;
+}
+
+bool DependenceDAG::hasEdge(unsigned From, unsigned To) const {
+  const auto &S = Succs[From];
+  const auto &P = Preds[To];
+  // Scan the shorter side.
+  if (S.size() <= P.size())
+    return std::any_of(S.begin(), S.end(),
+                       [To](const auto &E) { return E.first == To; });
+  return std::any_of(P.begin(), P.end(),
+                     [From](const auto &E) { return E.first == From; });
+}
+
+bool DependenceDAG::removeEdge(unsigned From, unsigned To) {
+  if (!hasEdge(From, To))
+    return false;
+  auto &S = Succs[From];
+  S.erase(std::remove_if(S.begin(), S.end(),
+                         [To](const auto &E) { return E.first == To; }),
+          S.end());
+  auto &P = Preds[To];
+  P.erase(std::remove_if(P.begin(), P.end(),
+                         [From](const auto &E) { return E.first == From; }),
+          P.end());
+  return true;
+}
+
+unsigned DependenceDAG::numEdges() const {
+  unsigned N = 0;
+  for (const auto &S : Succs)
+    N += S.size();
+  return N;
+}
+
+void DependenceDAG::normalizeVirtualEdges() {
+  auto HasRealPred = [&](unsigned N) {
+    return std::any_of(Preds[N].begin(), Preds[N].end(), [](const auto &E) {
+      return E.first != EntryNode;
+    });
+  };
+  auto HasRealSucc = [&](unsigned N) {
+    return std::any_of(Succs[N].begin(), Succs[N].end(), [](const auto &E) {
+      return E.first != ExitNode;
+    });
+  };
+  auto EraseEdge = [&](unsigned From, unsigned To) {
+    auto &S = Succs[From];
+    S.erase(std::remove_if(S.begin(), S.end(),
+                           [To](const auto &E) { return E.first == To; }),
+            S.end());
+    auto &P = Preds[To];
+    P.erase(std::remove_if(P.begin(), P.end(),
+                           [From](const auto &E) { return E.first == From; }),
+            P.end());
+  };
+
+  for (unsigned N = 2, E = size(); N != E; ++N) {
+    bool FromEntry = hasEdge(EntryNode, N);
+    if (HasRealPred(N)) {
+      if (FromEntry)
+        EraseEdge(EntryNode, N);
+    } else if (!FromEntry) {
+      addEdge(EntryNode, N, EdgeKind::Sequence);
+    }
+    bool ToExit = hasEdge(N, ExitNode);
+    if (HasRealSucc(N)) {
+      if (ToExit)
+        EraseEdge(N, ExitNode);
+    } else if (!ToExit) {
+      addEdge(N, ExitNode, EdgeKind::Sequence);
+    }
+  }
+  if (size() == 2 && !hasEdge(EntryNode, ExitNode))
+    addEdge(EntryNode, ExitNode, EdgeKind::Sequence);
+}
+
+std::string DependenceDAG::label(unsigned N) const {
+  if (N == EntryNode)
+    return "ENTRY";
+  if (N == ExitNode)
+    return "EXIT";
+  return instrAt(N).str(&T.symbolNames());
+}
+
+void DependenceDAG::toDot(DotWriter &W) const {
+  for (unsigned N = 0, E = size(); N != E; ++N)
+    W.addNode(N, label(N), isVirtual(N) ? "shape=diamond" : "shape=box");
+  for (unsigned N = 0, E = size(); N != E; ++N)
+    for (const auto &[To, Kind] : Succs[N])
+      W.addEdge(N, To, Kind == EdgeKind::Sequence ? "style=dashed" : "");
+}

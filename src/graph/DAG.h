@@ -1,0 +1,124 @@
+//===- graph/DAG.h - Dependence DAG over a trace ----------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependence DAG URSA operates on (paper Section 2). Nodes are the
+/// trace's instructions plus a single virtual entry (root) and exit
+/// (leaf), which make the whole DAG a hammock as the paper requires.
+/// Edges are either data dependences (register flow and memory ordering,
+/// fixed by semantics) or sequence edges (added by the trace scheduler
+/// around branches, or by URSA's transformations to remove parallelism).
+///
+/// The DAG owns its trace: URSA's spill transformation appends store/load
+/// instructions, so trace and graph must evolve together, and tentative
+/// transformation trials copy the pair as one value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_GRAPH_DAG_H
+#define URSA_GRAPH_DAG_H
+
+#include "ir/Trace.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ursa {
+
+class DotWriter;
+
+/// Dependence-DAG edge kinds.
+enum class EdgeKind : uint8_t {
+  Data,    ///< register flow or memory ordering; semantic, never removable
+  Sequence ///< ordering only: branch fences and URSA-added sequencing
+};
+
+/// The dependence DAG. Node ids: 0 = virtual entry, 1 = virtual exit,
+/// and instruction `i` of the trace is node `i + 2` forever (appends never
+/// renumber).
+class DependenceDAG {
+public:
+  static constexpr unsigned EntryNode = 0;
+  static constexpr unsigned ExitNode = 1;
+
+  explicit DependenceDAG(Trace T) : T(std::move(T)) {
+    Succs.resize(this->T.size() + 2);
+    Preds.resize(this->T.size() + 2);
+  }
+
+  /// Total node count including the two virtual nodes.
+  unsigned size() const { return Succs.size(); }
+
+  static bool isVirtual(unsigned Node) { return Node < 2; }
+  static unsigned nodeOf(unsigned InstrIdx) { return InstrIdx + 2; }
+  static unsigned instrOf(unsigned Node) {
+    assert(!isVirtual(Node) && "virtual nodes have no instruction");
+    return Node - 2;
+  }
+
+  Trace &trace() { return T; }
+  const Trace &trace() const { return T; }
+
+  /// Instruction behind node \p N (must not be virtual).
+  const Instruction &instrAt(unsigned N) const { return T.instr(instrOf(N)); }
+  Instruction &instrAt(unsigned N) { return T.instr(instrOf(N)); }
+
+  /// Appends \p I to the trace and creates its node; the caller wires
+  /// edges. Returns the new node id.
+  unsigned addInstrNode(const Instruction &I) {
+    unsigned Idx = T.append(I);
+    Succs.emplace_back();
+    Preds.emplace_back();
+    unsigned Node = nodeOf(Idx);
+    assert(Node + 1 == size() && "node numbering out of sync");
+    return Node;
+  }
+
+  /// Adds \p From -> \p To of kind \p K unless an edge already exists
+  /// between the pair (any kind). Returns true if added. Virtual-edge
+  /// hygiene (entry/exit attachment) is restored lazily by
+  /// normalizeVirtualEdges().
+  bool addEdge(unsigned From, unsigned To, EdgeKind K);
+
+  /// True if an edge From -> To of any kind exists.
+  bool hasEdge(unsigned From, unsigned To) const;
+
+  /// Removes the edge From -> To if present (used when spilling rewires a
+  /// use from the original value to its reload). Returns true if removed.
+  bool removeEdge(unsigned From, unsigned To);
+
+  /// Successor / predecessor edge lists: (neighbor, kind) pairs.
+  const std::vector<std::pair<unsigned, EdgeKind>> &succs(unsigned N) const {
+    return Succs[N];
+  }
+  const std::vector<std::pair<unsigned, EdgeKind>> &preds(unsigned N) const {
+    return Preds[N];
+  }
+
+  unsigned numEdges() const;
+
+  /// Restores the single-root/single-leaf invariant: entry feeds exactly
+  /// the pred-less real nodes and exit drains exactly the succ-less ones;
+  /// redundant virtual edges are removed so dominance sees only real
+  /// structure.
+  void normalizeVirtualEdges();
+
+  /// Human-readable node label ("ENTRY", "EXIT", or the instruction).
+  std::string label(unsigned N) const;
+
+  /// Emits the DAG as Graphviz (data edges solid, sequence edges dashed).
+  void toDot(DotWriter &W) const;
+
+private:
+  Trace T;
+  std::vector<std::vector<std::pair<unsigned, EdgeKind>>> Succs;
+  std::vector<std::vector<std::pair<unsigned, EdgeKind>>> Preds;
+};
+
+} // namespace ursa
+
+#endif // URSA_GRAPH_DAG_H

@@ -1,0 +1,100 @@
+//===- graph/DAGBuilder.cpp - Build dependence DAGs from traces -----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+
+#include <map>
+#include <vector>
+
+using namespace ursa;
+
+DependenceDAG ursa::buildDAG(Trace T) {
+  DependenceDAG D(std::move(T));
+  const Trace &Tr = D.trace();
+
+  // Definitions first: transformed traces append spill code at the end,
+  // so a use may precede its (reload) definition in trace order.
+  std::vector<int> DefNode(Tr.numVRegs(), -1);
+  for (unsigned Idx = 0, E = Tr.size(); Idx != E; ++Idx)
+    if (Tr.instr(Idx).dest() >= 0)
+      DefNode[Tr.instr(Idx).dest()] = int(DependenceDAG::nodeOf(Idx));
+
+  std::map<int, unsigned> LastStore;              // symbol -> node
+  std::map<int, std::vector<unsigned>> LoadsSince; // symbol -> loads
+
+  // Spill slots are written exactly once, so their store is collected in
+  // a pre-pass too (reloads may precede it in a transformed trace).
+  std::map<int, unsigned> SlotStore; // spill slot -> node
+  for (unsigned Idx = 0, E = Tr.size(); Idx != E; ++Idx) {
+    const Instruction &I = Tr.instr(Idx);
+    if (effect(I.opcode()) == OpEffect::SpillStore) {
+      assert(!SlotStore.count(I.spillSlot()) && "spill slot stored twice");
+      SlotStore[I.spillSlot()] = DependenceDAG::nodeOf(Idx);
+    }
+  }
+
+  int LastBranch = -1;
+  std::vector<unsigned> StoresSinceBranch;
+
+  for (unsigned Idx = 0, E = Tr.size(); Idx != E; ++Idx) {
+    const Instruction &I = Tr.instr(Idx);
+    unsigned N = DependenceDAG::nodeOf(Idx);
+
+    // Register flow dependences.
+    for (unsigned S = 0; S != I.numOperands(); ++S) {
+      int Def = DefNode[I.operand(S)];
+      assert(Def >= 0 && "operand never defined");
+      D.addEdge(unsigned(Def), N, EdgeKind::Data);
+    }
+
+    // Memory ordering.
+    switch (effect(I.opcode())) {
+    case OpEffect::MemLoad: {
+      auto It = LastStore.find(I.symbol());
+      if (It != LastStore.end())
+        D.addEdge(It->second, N, EdgeKind::Data);
+      LoadsSince[I.symbol()].push_back(N);
+      break;
+    }
+    case OpEffect::MemStore: {
+      auto It = LastStore.find(I.symbol());
+      if (It != LastStore.end())
+        D.addEdge(It->second, N, EdgeKind::Data); // output dependence
+      for (unsigned L : LoadsSince[I.symbol()])
+        D.addEdge(L, N, EdgeKind::Data); // anti dependence
+      LoadsSince[I.symbol()].clear();
+      LastStore[I.symbol()] = N;
+      // Stores are fenced by the preceding branch and fence the next one.
+      if (LastBranch >= 0)
+        D.addEdge(unsigned(LastBranch), N, EdgeKind::Sequence);
+      StoresSinceBranch.push_back(N);
+      break;
+    }
+    case OpEffect::SpillStore:
+      break; // collected by the pre-pass
+    case OpEffect::SpillLoad: {
+      auto It = SlotStore.find(I.spillSlot());
+      assert(It != SlotStore.end() && "spill reload without a store");
+      D.addEdge(It->second, N, EdgeKind::Data);
+      break;
+    }
+    case OpEffect::Branch: {
+      if (LastBranch >= 0)
+        D.addEdge(unsigned(LastBranch), N, EdgeKind::Sequence);
+      for (unsigned S : StoresSinceBranch)
+        D.addEdge(S, N, EdgeKind::Sequence);
+      StoresSinceBranch.clear();
+      LastBranch = int(N);
+      break;
+    }
+    case OpEffect::None:
+      break;
+    }
+  }
+
+  D.normalizeVirtualEdges();
+  return D;
+}

@@ -1,0 +1,32 @@
+//===- graph/DAGBuilder.h - Build dependence DAGs from traces ---*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constructs the dependence DAG of a trace (paper Section 2):
+///
+///  * register flow dependences (traces are SSA, so flow deps only),
+///  * memory ordering on each named variable (store->load flow,
+///    load->store anti, store->store output),
+///  * spill-slot ordering (store->load per slot),
+///  * branch fences as sequence edges: stores and branches may not move
+///    across a trace branch in either direction,
+///  * virtual entry/exit attachment (single root, single leaf).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_GRAPH_DAGBUILDER_H
+#define URSA_GRAPH_DAGBUILDER_H
+
+#include "graph/DAG.h"
+
+namespace ursa {
+
+/// Builds the dependence DAG for \p T (consumed by value; the DAG owns it).
+DependenceDAG buildDAG(Trace T);
+
+} // namespace ursa
+
+#endif // URSA_GRAPH_DAGBUILDER_H

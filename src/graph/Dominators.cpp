@@ -1,0 +1,81 @@
+//===- graph/Dominators.cpp - Dominator and postdominator trees -----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Dominators.h"
+
+#include <algorithm>
+
+using namespace ursa;
+
+DominatorTree::DominatorTree(const DependenceDAG &D, const DAGAnalysis &A,
+                             bool PostDom) {
+  unsigned N = D.size();
+  Root = PostDom ? DependenceDAG::ExitNode : DependenceDAG::EntryNode;
+  IDom.assign(N, ~0u);
+  IDom[Root] = Root;
+
+  // Process in topological order from the root; on a DAG one pass
+  // suffices because every predecessor is finalized first.
+  const std::vector<unsigned> &Topo = A.topoOrder();
+  std::vector<unsigned> Order(Topo);
+  if (PostDom)
+    std::reverse(Order.begin(), Order.end());
+
+  // Intersect walking up by order position. Positions from the processing
+  // order: earlier position = closer to root.
+  std::vector<unsigned> Pos(N, 0);
+  for (unsigned I = 0; I != Order.size(); ++I)
+    Pos[Order[I]] = I;
+
+  auto Intersect = [&](unsigned F1, unsigned F2) {
+    while (F1 != F2) {
+      while (Pos[F1] > Pos[F2])
+        F1 = IDom[F1];
+      while (Pos[F2] > Pos[F1])
+        F2 = IDom[F2];
+    }
+    return F1;
+  };
+
+  for (unsigned U : Order) {
+    if (U == Root)
+      continue;
+    unsigned NewIDom = ~0u;
+    const auto &Ins = PostDom ? D.succs(U) : D.preds(U);
+    for (const auto &[P, Kind] : Ins) {
+      (void)Kind;
+      if (IDom[P] == ~0u)
+        continue; // unreachable from root (cannot happen post-normalize)
+      NewIDom = NewIDom == ~0u ? P : Intersect(NewIDom, P);
+    }
+    assert(NewIDom != ~0u && "node unreachable from tree root");
+    IDom[U] = NewIDom;
+  }
+
+  // Euler intervals for O(1) dominance queries: children grouped per
+  // parent, DFS without recursion.
+  std::vector<std::vector<unsigned>> Kids(N);
+  for (unsigned U = 0; U != N; ++U)
+    if (U != Root && IDom[U] != ~0u)
+      Kids[IDom[U]].push_back(U);
+  TIn.assign(N, 0);
+  TOut.assign(N, 0);
+  unsigned Clock = 0;
+  std::vector<std::pair<unsigned, unsigned>> Stack; // (node, child index)
+  Stack.emplace_back(Root, 0);
+  TIn[Root] = Clock++;
+  while (!Stack.empty()) {
+    auto &[U, CI] = Stack.back();
+    if (CI < Kids[U].size()) {
+      unsigned C = Kids[U][CI++];
+      TIn[C] = Clock++;
+      Stack.emplace_back(C, 0);
+    } else {
+      TOut[U] = Clock++;
+      Stack.pop_back();
+    }
+  }
+}

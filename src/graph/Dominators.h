@@ -1,0 +1,50 @@
+//===- graph/Dominators.h - Dominator and postdominator trees ---*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and postdominator trees over the dependence DAG (Cooper,
+/// Harvey & Kennedy's iterative algorithm). URSA needs them only to find
+/// hammocks — the single-entry/single-exit regions its transformations
+/// localize to — and to prioritize matching edges by hammock nesting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_GRAPH_DOMINATORS_H
+#define URSA_GRAPH_DOMINATORS_H
+
+#include "graph/Analysis.h"
+#include "graph/DAG.h"
+
+#include <vector>
+
+namespace ursa {
+
+/// One dominance tree (forward = dominators rooted at entry, reverse =
+/// postdominators rooted at exit).
+class DominatorTree {
+public:
+  /// \p PostDom selects the reverse (postdominator) tree.
+  DominatorTree(const DependenceDAG &D, const DAGAnalysis &A, bool PostDom);
+
+  /// Immediate dominator of \p N; the root's idom is itself.
+  unsigned idom(unsigned N) const { return IDom[N]; }
+
+  unsigned root() const { return Root; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(unsigned A, unsigned B) const {
+    return TIn[A] <= TIn[B] && TOut[B] <= TOut[A];
+  }
+
+private:
+  unsigned Root;
+  std::vector<unsigned> IDom;
+  std::vector<unsigned> TIn, TOut; ///< Euler interval labels on the tree
+};
+
+} // namespace ursa
+
+#endif // URSA_GRAPH_DOMINATORS_H

@@ -1,0 +1,104 @@
+//===- graph/Hammocks.cpp - Hammock (SESE region) forest ------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Hammocks.h"
+
+#include "graph/Dominators.h"
+
+#include <algorithm>
+
+using namespace ursa;
+
+HammockForest::HammockForest(const DependenceDAG &D, const DAGAnalysis &A) {
+  unsigned N = D.size();
+  DominatorTree Dom(D, A, /*PostDom=*/false);
+  DominatorTree PDom(D, A, /*PostDom=*/true);
+
+  auto MembersOf = [&](unsigned U, unsigned V) {
+    Bitset M(N);
+    for (unsigned W = 0; W != N; ++W)
+      if (Dom.dominates(U, W) && PDom.dominates(V, W))
+        M.set(W);
+    return M;
+  };
+
+  // The whole-DAG hammock is index 0 by construction.
+  Hammocks.push_back({DependenceDAG::EntryNode, DependenceDAG::ExitNode,
+                      MembersOf(DependenceDAG::EntryNode,
+                                DependenceDAG::ExitNode),
+                      0, 0});
+
+  // Canonical hammocks: v = ipdom(u) and u = idom(v).
+  for (unsigned U = 0; U != N; ++U) {
+    unsigned V = PDom.idom(U);
+    if (V == U || Dom.idom(V) != U)
+      continue;
+    if (U == DependenceDAG::EntryNode && V == DependenceDAG::ExitNode)
+      continue; // already index 0
+    Bitset M = MembersOf(U, V);
+    // A 2-node region (just the boundary pair) carries no structure.
+    if (M.count() <= 2)
+      continue;
+    Hammocks.push_back({U, V, std::move(M), 0, 0});
+  }
+
+  // Parent = smallest strict superset. Laminarity follows from the
+  // canonical choice; guard with size comparisons only.
+  for (unsigned I = 1; I != Hammocks.size(); ++I) {
+    unsigned Best = 0;
+    unsigned BestSize = Hammocks[0].Members.count();
+    for (unsigned J = 0; J != Hammocks.size(); ++J) {
+      if (J == I)
+        continue;
+      unsigned SJ = Hammocks[J].Members.count();
+      unsigned SI = Hammocks[I].Members.count();
+      if (SJ <= SI || SJ >= BestSize)
+        continue;
+      // Superset test: I \ J empty.
+      Bitset Diff = Hammocks[I].Members;
+      Diff.subtract(Hammocks[J].Members);
+      if (Diff.none()) {
+        Best = J;
+        BestSize = SJ;
+      }
+    }
+    Hammocks[I].Parent = Best;
+  }
+
+  // Levels by walking parents (forest is shallow; iterate to fixpoint in
+  // index-independent fashion).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 1; I != Hammocks.size(); ++I) {
+      unsigned L = Hammocks[Hammocks[I].Parent].Level + 1;
+      if (Hammocks[I].Level != L) {
+        Hammocks[I].Level = L;
+        Changed = true;
+      }
+    }
+  }
+
+  // Innermost hammock per node: deepest-level member set containing it.
+  Innermost.assign(N, 0);
+  for (unsigned W = 0; W != N; ++W) {
+    unsigned Best = 0;
+    for (unsigned I = 1; I != Hammocks.size(); ++I)
+      if (Hammocks[I].Members.test(W) &&
+          Hammocks[I].Level > Hammocks[Best].Level)
+        Best = I;
+    Innermost[W] = Best;
+  }
+
+  ByDepth.resize(Hammocks.size());
+  for (unsigned I = 0; I != ByDepth.size(); ++I)
+    ByDepth[I] = I;
+  std::sort(ByDepth.begin(), ByDepth.end(), [&](unsigned A, unsigned B) {
+    if (Hammocks[A].Level != Hammocks[B].Level)
+      return Hammocks[A].Level > Hammocks[B].Level;
+    return A < B;
+  });
+}

@@ -1,0 +1,80 @@
+//===- graph/Hammocks.h - Hammock (SESE region) forest ----------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hammocks: single-entry/single-exit regions of the dependence DAG. The
+/// paper localizes every transformation to the hammock containing an
+/// excessive chain set, and its modified matching algorithm prioritizes
+/// bipartite edges by the hammock nesting distance of their endpoints so
+/// that the chain decomposition projects minimally onto every nested
+/// hammock (paper Section 3.1).
+///
+/// We enumerate canonical hammocks (u, v) with v = ipdom(u) and
+/// u = idom(v); these form a laminar family, plus the whole-DAG hammock
+/// that the virtual entry/exit guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_GRAPH_HAMMOCKS_H
+#define URSA_GRAPH_HAMMOCKS_H
+
+#include "graph/Analysis.h"
+#include "graph/DAG.h"
+#include "support/Bitset.h"
+
+#include <vector>
+
+namespace ursa {
+
+/// One single-entry/single-exit region.
+struct Hammock {
+  unsigned EntryN;  ///< region entry node (dominates all members)
+  unsigned ExitN;   ///< region exit node (postdominates all members)
+  Bitset Members;   ///< node set, boundary nodes included
+  unsigned Parent;  ///< index of smallest enclosing hammock; 0 is the root
+  unsigned Level;   ///< nesting depth; the whole-DAG hammock is level 0
+};
+
+/// The laminar forest of canonical hammocks of one DAG state.
+class HammockForest {
+public:
+  HammockForest(const DependenceDAG &D, const DAGAnalysis &A);
+
+  unsigned size() const { return Hammocks.size(); }
+  const Hammock &hammock(unsigned I) const { return Hammocks[I]; }
+
+  /// Index of the innermost hammock containing \p Node.
+  unsigned innermost(unsigned Node) const { return Innermost[Node]; }
+
+  /// Nesting level of the innermost hammock of \p Node.
+  unsigned level(unsigned Node) const {
+    return Hammocks[Innermost[Node]].Level;
+  }
+
+  /// Batch priority of a relation pair (a, b) for the modified matching:
+  /// 0 when both endpoints share their innermost hammock, otherwise
+  /// 1 + |level(a) - level(b)| (paper: "difference in nesting level
+  /// between the source and sink nodes of each edge"). Lower runs first.
+  unsigned edgePriority(unsigned A, unsigned B) const {
+    if (Innermost[A] == Innermost[B])
+      return 0;
+    unsigned LA = level(A), LB = level(B);
+    return 1 + (LA > LB ? LA - LB : LB - LA);
+  }
+
+  /// Hammock indices ordered innermost-first (deepest level first); used
+  /// to search for excessive chain sets in the smallest region first.
+  const std::vector<unsigned> &innermostFirst() const { return ByDepth; }
+
+private:
+  std::vector<Hammock> Hammocks;
+  std::vector<unsigned> Innermost;
+  std::vector<unsigned> ByDepth;
+};
+
+} // namespace ursa
+
+#endif // URSA_GRAPH_HAMMOCKS_H

@@ -1,0 +1,96 @@
+//===- ir/Instruction.cpp - Three-address instructions --------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include <cstdio>
+
+using namespace ursa;
+
+static const OpcodeInfo OpcodeTable[] = {
+#define URSA_OPCODE(Name, Mnemonic, NumSrcs, HasDest, FU, Dom, Effect)        \
+  {Mnemonic, NumSrcs, HasDest != 0, FUKind::FU, Domain::Dom, OpEffect::Effect},
+#include "ir/Opcodes.def"
+};
+
+unsigned ursa::numOpcodes() {
+  return sizeof(OpcodeTable) / sizeof(OpcodeTable[0]);
+}
+
+const OpcodeInfo &ursa::opcodeInfo(Opcode Op) {
+  unsigned Idx = unsigned(Op);
+  assert(Idx < numOpcodes() && "bad opcode");
+  return OpcodeTable[Idx];
+}
+
+bool ursa::opcodeByMnemonic(const std::string &Mnemonic, Opcode &Out) {
+  for (unsigned I = 0, E = numOpcodes(); I != E; ++I) {
+    if (Mnemonic == OpcodeTable[I].Mnemonic) {
+      Out = Opcode(I);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string
+Instruction::str(const std::vector<std::string> *SymNames) const {
+  std::string S;
+  char Buf[64];
+  auto VReg = [&](int R) {
+    std::snprintf(Buf, sizeof(Buf), "v%d", R);
+    return std::string(Buf);
+  };
+  auto Symbol = [&](int Sym) {
+    if (SymNames && Sym >= 0 && unsigned(Sym) < SymNames->size())
+      return (*SymNames)[Sym];
+    std::snprintf(Buf, sizeof(Buf), "@%d", Sym);
+    return std::string(Buf);
+  };
+
+  if (Dest >= 0)
+    S += VReg(Dest) + " = ";
+  S += mnemonic(Op);
+
+  bool First = true;
+  auto Sep = [&]() -> std::string {
+    if (First) {
+      First = false;
+      return " ";
+    }
+    return ", ";
+  };
+
+  switch (effect(Op)) {
+  case OpEffect::MemLoad:
+    S += Sep() + Symbol(Sym);
+    break;
+  case OpEffect::MemStore:
+    S += Sep() + Symbol(Sym);
+    break;
+  case OpEffect::SpillLoad:
+  case OpEffect::SpillStore: {
+    std::snprintf(Buf, sizeof(Buf), "slot%d", Slot);
+    S += Sep() + Buf;
+    break;
+  }
+  case OpEffect::None:
+  case OpEffect::Branch:
+    break;
+  }
+
+  if (Op == Opcode::LoadImm) {
+    std::snprintf(Buf, sizeof(Buf), "%lld", (long long)IntImm);
+    S += Sep() + Buf;
+  } else if (Op == Opcode::FLoadImm) {
+    std::snprintf(Buf, sizeof(Buf), "%g", FltImm);
+    S += Sep() + Buf;
+  }
+
+  for (unsigned I = 0, E = numOperands(); I != E; ++I)
+    S += Sep() + VReg(Srcs[I]);
+  return S;
+}

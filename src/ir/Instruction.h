@@ -1,0 +1,149 @@
+//===- ir/Instruction.h - Three-address instructions ------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three-address instruction of the mini IR that stands in for the
+/// paper's "C compiler front end" output. Virtual registers are single
+/// assignment within a trace, so the only register dependences are flow
+/// dependences — exactly the model the paper's dependence DAGs assume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_IR_INSTRUCTION_H
+#define URSA_IR_INSTRUCTION_H
+
+#include "machine/MachineModel.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// Every operation of the mini IR. See ir/Opcodes.def for the table.
+enum class Opcode : uint8_t {
+#define URSA_OPCODE(Name, Mnemonic, NumSrcs, HasDest, FU, Domain, Effect) Name,
+#include "ir/Opcodes.def"
+};
+
+/// Number of opcodes (for dense per-opcode tables).
+unsigned numOpcodes();
+
+/// Side-effect category of an opcode.
+enum class OpEffect : uint8_t {
+  None,
+  MemLoad,    ///< reads a named program variable
+  MemStore,   ///< writes a named program variable
+  SpillLoad,  ///< reads a compiler spill slot
+  SpillStore, ///< writes a compiler spill slot
+  Branch      ///< trace branch; ordered against stores and branches
+};
+
+/// Value domain of an operation / its defined register.
+enum class Domain : uint8_t { Int, Float };
+
+/// Static per-opcode properties.
+struct OpcodeInfo {
+  const char *Mnemonic;
+  uint8_t NumSrcs;
+  bool HasDest;
+  FUKind FU;
+  Domain Dom;
+  OpEffect Effect;
+};
+
+/// Returns the static properties of \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// Convenience accessors.
+inline const char *mnemonic(Opcode Op) { return opcodeInfo(Op).Mnemonic; }
+inline unsigned numSrcs(Opcode Op) { return opcodeInfo(Op).NumSrcs; }
+inline bool definesValue(Opcode Op) { return opcodeInfo(Op).HasDest; }
+inline OpEffect effect(Opcode Op) { return opcodeInfo(Op).Effect; }
+inline bool isMemoryOp(Opcode Op) { return effect(Op) != OpEffect::None; }
+inline bool isBranch(Opcode Op) { return effect(Op) == OpEffect::Branch; }
+inline bool isSpillOp(Opcode Op) {
+  OpEffect E = effect(Op);
+  return E == OpEffect::SpillLoad || E == OpEffect::SpillStore;
+}
+
+/// Looks up an opcode by mnemonic; returns false if unknown.
+bool opcodeByMnemonic(const std::string &Mnemonic, Opcode &Out);
+
+/// One three-address instruction. Operand slots not used by the opcode
+/// hold -1. The instruction does not know its position; traces index them.
+class Instruction {
+public:
+  Instruction() = default;
+  explicit Instruction(Opcode Op) : Op(Op) {}
+
+  Opcode opcode() const { return Op; }
+  const OpcodeInfo &info() const { return opcodeInfo(Op); }
+
+  /// Defined virtual register, or -1 when the op has no destination.
+  int dest() const { return Dest; }
+  void setDest(int VReg) {
+    assert(definesValue(Op) && "opcode defines no value");
+    Dest = VReg;
+  }
+
+  unsigned numOperands() const { return numSrcs(Op); }
+  int operand(unsigned I) const {
+    assert(I < numOperands() && "operand index out of range");
+    return Srcs[I];
+  }
+  void setOperand(unsigned I, int VReg) {
+    assert(I < numOperands() && "operand index out of range");
+    Srcs[I] = VReg;
+  }
+
+  /// Immediate payload (LoadImm / FLoadImm).
+  int64_t intImm() const { return IntImm; }
+  double fltImm() const { return FltImm; }
+  void setIntImm(int64_t V) { IntImm = V; }
+  void setFltImm(double V) { FltImm = V; }
+
+  /// Named-variable symbol (Load/Store family), -1 otherwise.
+  int symbol() const { return Sym; }
+  void setSymbol(int S) { Sym = S; }
+
+  /// Spill slot number (SpillLoad/SpillStore), -1 otherwise.
+  int spillSlot() const { return Slot; }
+  void setSpillSlot(int S) { Slot = S; }
+
+  /// Domain of the defined value. Spill reloads inherit the domain of the
+  /// value they restore, so it is stored per instruction.
+  Domain domain() const { return Dom; }
+  void setDomain(Domain D) { Dom = D; }
+
+  /// Register class of the destination under a split register file.
+  RegClassKind destRegClass() const {
+    return Dom == Domain::Float ? RegClassKind::FPR : RegClassKind::GPR;
+  }
+
+  /// FU class required on a classed machine. Spill traffic always runs on
+  /// the memory unit regardless of value domain.
+  FUKind fuKind() const { return info().FU; }
+
+  /// Renders e.g. "v3 = add v1, v2". Variables are spelled through
+  /// \p SymNames when provided, else as "@<index>".
+  std::string str(const std::vector<std::string> *SymNames = nullptr) const;
+
+private:
+  Opcode Op = Opcode::Add;
+  Domain Dom = Domain::Int;
+  int Dest = -1;
+  int Srcs[3] = {-1, -1, -1};
+  int Sym = -1;
+  int Slot = -1;
+  int64_t IntImm = 0;
+  double FltImm = 0.0;
+};
+
+} // namespace ursa
+
+#endif // URSA_IR_INSTRUCTION_H

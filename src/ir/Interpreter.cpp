@@ -1,0 +1,158 @@
+//===- ir/Interpreter.cpp - Reference executor for traces -----------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace ursa;
+
+bool Value::operator==(const Value &O) const {
+  if (IsFloat != O.IsFloat)
+    return false;
+  if (!IsFloat)
+    return I == O.I;
+  // Bit-exact comparison; NaNs with equal payloads compare equal.
+  uint64_t A, B;
+  std::memcpy(&A, &F, sizeof(A));
+  std::memcpy(&B, &O.F, sizeof(B));
+  return A == B;
+}
+
+/// Total float-to-int conversion (see header).
+static int64_t toIntTotal(double F) {
+  if (!std::isfinite(F) || F >= 9.2233720368547758e18 ||
+      F <= -9.2233720368547758e18)
+    return 0;
+  return int64_t(F);
+}
+
+Value ursa::evalOperation(const Instruction &Ins, const Value *S) {
+  auto I2 = [&](int64_t V) { return Value::ofInt(V); };
+  auto F2 = [&](double V) { return Value::ofFloat(V); };
+  switch (Ins.opcode()) {
+  case Opcode::LoadImm:
+    return I2(Ins.intImm());
+  case Opcode::FLoadImm:
+    return F2(Ins.fltImm());
+  case Opcode::Add:
+    return I2(int64_t(uint64_t(S[0].I) + uint64_t(S[1].I)));
+  case Opcode::Sub:
+    return I2(int64_t(uint64_t(S[0].I) - uint64_t(S[1].I)));
+  case Opcode::Mul:
+    return I2(int64_t(uint64_t(S[0].I) * uint64_t(S[1].I)));
+  case Opcode::Div:
+    if (S[1].I == 0 || (S[0].I == INT64_MIN && S[1].I == -1))
+      return I2(0);
+    return I2(S[0].I / S[1].I);
+  case Opcode::Rem:
+    if (S[1].I == 0 || (S[0].I == INT64_MIN && S[1].I == -1))
+      return I2(0);
+    return I2(S[0].I % S[1].I);
+  case Opcode::And:
+    return I2(S[0].I & S[1].I);
+  case Opcode::Or:
+    return I2(S[0].I | S[1].I);
+  case Opcode::Xor:
+    return I2(S[0].I ^ S[1].I);
+  case Opcode::Shl:
+    return I2(int64_t(uint64_t(S[0].I) << (uint64_t(S[1].I) & 63)));
+  case Opcode::Shr:
+    return I2(S[0].I >> (uint64_t(S[1].I) & 63));
+  case Opcode::Min:
+    return I2(S[0].I < S[1].I ? S[0].I : S[1].I);
+  case Opcode::Max:
+    return I2(S[0].I > S[1].I ? S[0].I : S[1].I);
+  case Opcode::Neg:
+    return I2(int64_t(0 - uint64_t(S[0].I)));
+  case Opcode::Not:
+    return I2(~S[0].I);
+  case Opcode::Mov:
+    return I2(S[0].I);
+  case Opcode::CmpEq:
+    return I2(S[0].I == S[1].I ? 1 : 0);
+  case Opcode::CmpLt:
+    return I2(S[0].I < S[1].I ? 1 : 0);
+  case Opcode::Sel:
+    return I2(S[0].I != 0 ? S[1].I : S[2].I);
+  case Opcode::FAdd:
+    return F2(S[0].F + S[1].F);
+  case Opcode::FSub:
+    return F2(S[0].F - S[1].F);
+  case Opcode::FMul:
+    return F2(S[0].F * S[1].F);
+  case Opcode::FDiv:
+    return F2(S[0].F / S[1].F);
+  case Opcode::FNeg:
+    return F2(-S[0].F);
+  case Opcode::FMov:
+    return F2(S[0].F);
+  case Opcode::CvtIF:
+    return F2(double(S[0].I));
+  case Opcode::CvtFI:
+    return I2(toIntTotal(S[0].F));
+  case Opcode::Load:
+  case Opcode::FLoad:
+  case Opcode::Store:
+  case Opcode::FStore:
+  case Opcode::SpillLoad:
+  case Opcode::SpillStore:
+  case Opcode::Br:
+    assert(false && "memory/branch ops are handled by the executor");
+    return I2(0);
+  }
+  assert(false && "covered switch");
+  return I2(0);
+}
+
+ExecResult ursa::interpret(const Trace &T, const MemoryState &Initial) {
+  ExecResult R;
+  std::vector<Value> Regs(T.numVRegs());
+  std::vector<Value> Slots(T.numSpillSlots());
+  std::map<int, Value> Mem;
+  for (const auto &KV : Initial) {
+    // Only variables the trace mentions are addressable; others are kept
+    // so the final state echoes the full input environment.
+    R.Memory.emplace(KV.first, KV.second);
+  }
+  auto MemBySym = [&](int Sym) -> Value & {
+    return R.Memory[T.symbolName(Sym)];
+  };
+
+  for (unsigned Idx = 0, E = T.size(); Idx != E; ++Idx) {
+    const Instruction &Ins = T.instr(Idx);
+    switch (effect(Ins.opcode())) {
+    case OpEffect::MemLoad: {
+      Value V = MemBySym(Ins.symbol());
+      if (Ins.domain() == Domain::Float && !V.IsFloat)
+        V = Value::ofFloat(V.F); // uninitialized float var reads as 0.0
+      Regs[Ins.dest()] = V;
+      break;
+    }
+    case OpEffect::MemStore:
+      MemBySym(Ins.symbol()) = Regs[Ins.operand(0)];
+      break;
+    case OpEffect::SpillStore:
+      Slots[Ins.spillSlot()] = Regs[Ins.operand(0)];
+      break;
+    case OpEffect::SpillLoad:
+      Regs[Ins.dest()] = Slots[Ins.spillSlot()];
+      break;
+    case OpEffect::Branch:
+      R.BranchLog.push_back(Regs[Ins.operand(0)].I != 0 ? 1 : 0);
+      break;
+    case OpEffect::None: {
+      Value Srcs[3];
+      for (unsigned S = 0; S != Ins.numOperands(); ++S)
+        Srcs[S] = Regs[Ins.operand(S)];
+      Regs[Ins.dest()] = evalOperation(Ins, Srcs);
+      break;
+    }
+    }
+  }
+  return R;
+}

@@ -1,0 +1,69 @@
+//===- ir/Interpreter.h - Reference executor for traces ---------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sequential reference interpreter. It defines the semantics every
+/// compiled VLIW program must preserve: differential tests run a trace
+/// here and in the VLIW simulator and require identical observable state
+/// (final memory plus the branch-direction log).
+///
+/// Deliberately total semantics so random programs always execute:
+/// integer division/remainder by zero yields 0, shifts mask their amount
+/// to [0,63], float-to-int conversion of non-finite/out-of-range values
+/// yields 0, and loads of uninitialized variables yield 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_IR_INTERPRETER_H
+#define URSA_IR_INTERPRETER_H
+
+#include "ir/Trace.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// A runtime value: a tagged int64 / double union.
+struct Value {
+  bool IsFloat = false;
+  int64_t I = 0;
+  double F = 0.0;
+
+  static Value ofInt(int64_t V) { return {false, V, 0.0}; }
+  static Value ofFloat(double V) { return {true, 0, V}; }
+
+  /// Bit-exact equality (schedules must preserve dataflow exactly).
+  bool operator==(const Value &O) const;
+};
+
+/// Initial and final program memory, keyed by variable name.
+using MemoryState = std::map<std::string, Value>;
+
+/// Observable outcome of executing a trace.
+struct ExecResult {
+  MemoryState Memory;
+  std::vector<uint8_t> BranchLog; ///< 1 = branch condition was non-zero
+
+  bool operator==(const ExecResult &O) const {
+    return Memory == O.Memory && BranchLog == O.BranchLog;
+  }
+};
+
+/// Scalar evaluation of a single operation, shared by the interpreter and
+/// the VLIW simulator so both ends of differential tests agree by
+/// construction. \p Srcs holds numOperands() values; \p Imm-style payloads
+/// come from \p I itself.
+Value evalOperation(const Instruction &I, const Value *Srcs);
+
+/// Executes \p T sequentially starting from \p Initial memory.
+ExecResult interpret(const Trace &T, const MemoryState &Initial = {});
+
+} // namespace ursa
+
+#endif // URSA_IR_INTERPRETER_H

@@ -1,0 +1,244 @@
+//===- ir/Parser.cpp - Text format parser for traces ----------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+using namespace ursa;
+
+namespace {
+
+/// Line-oriented parsing state.
+class ParserImpl {
+public:
+  ParserImpl(const std::string &Source, Trace &Out) : Source(Source), T(Out) {}
+
+  bool run(std::string &Err);
+
+  const std::map<std::string, int> &registerNames() const { return VRegs; }
+
+private:
+  bool parseLine(const std::string &Line);
+  bool fail(const std::string &Msg) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "line %u: ", LineNo);
+    Error = Buf + Msg;
+    return false;
+  }
+
+  /// Splits a line into tokens: identifiers/numbers, '=' and ','.
+  static std::vector<std::string> tokenize(const std::string &Line);
+
+  static bool isIdent(const std::string &Tok) {
+    if (Tok.empty() || !(std::isalpha((unsigned char)Tok[0]) || Tok[0] == '_'))
+      return false;
+    for (char C : Tok)
+      if (!(std::isalnum((unsigned char)C) || C == '_'))
+        return false;
+    return true;
+  }
+
+  static bool isNumber(const std::string &Tok) {
+    if (Tok.empty())
+      return false;
+    size_t I = (Tok[0] == '-' || Tok[0] == '+') ? 1 : 0;
+    if (I == Tok.size())
+      return false;
+    for (; I != Tok.size(); ++I)
+      if (!(std::isdigit((unsigned char)Tok[I]) || Tok[I] == '.' ||
+            Tok[I] == 'e' || Tok[I] == 'E' || Tok[I] == '-' || Tok[I] == '+'))
+        return false;
+    return true;
+  }
+
+  bool lookupVReg(const std::string &Tok, int &VReg) {
+    auto It = VRegs.find(Tok);
+    if (It == VRegs.end())
+      return fail("use of undefined register '" + Tok + "'");
+    VReg = It->second;
+    return true;
+  }
+
+  const std::string &Source;
+  Trace &T;
+  std::map<std::string, int> VRegs;
+  std::string Error;
+  unsigned LineNo = 0;
+};
+
+} // namespace
+
+std::vector<std::string> ParserImpl::tokenize(const std::string &Line) {
+  std::vector<std::string> Toks;
+  size_t I = 0, E = Line.size();
+  while (I != E) {
+    char C = Line[I];
+    if (C == '#')
+      break;
+    if (std::isspace((unsigned char)C)) {
+      ++I;
+      continue;
+    }
+    if (C == '=' || C == ',') {
+      Toks.push_back(std::string(1, C));
+      ++I;
+      continue;
+    }
+    size_t J = I;
+    while (J != E && !std::isspace((unsigned char)Line[J]) &&
+           Line[J] != '=' && Line[J] != ',' && Line[J] != '#')
+      ++J;
+    Toks.push_back(Line.substr(I, J - I));
+    I = J;
+  }
+  return Toks;
+}
+
+bool ParserImpl::parseLine(const std::string &Line) {
+  std::vector<std::string> Toks = tokenize(Line);
+  if (Toks.empty())
+    return true;
+
+  // Optional "dest =" prefix.
+  std::string DestName;
+  size_t P = 0;
+  if (Toks.size() >= 2 && Toks[1] == "=") {
+    if (!isIdent(Toks[0]))
+      return fail("bad destination '" + Toks[0] + "'");
+    DestName = Toks[0];
+    P = 2;
+  }
+  if (P >= Toks.size())
+    return fail("missing opcode");
+
+  Opcode Op;
+  if (!opcodeByMnemonic(Toks[P], Op))
+    return fail("unknown opcode '" + Toks[P] + "'");
+  if (isSpillOp(Op))
+    return fail("spill opcodes are compiler-internal");
+  ++P;
+
+  // Collect comma-separated argument tokens.
+  std::vector<std::string> Args;
+  bool ExpectArg = true;
+  for (; P != Toks.size(); ++P) {
+    if (Toks[P] == ",") {
+      if (ExpectArg)
+        return fail("unexpected ','");
+      ExpectArg = true;
+      continue;
+    }
+    if (!ExpectArg)
+      return fail("missing ',' before '" + Toks[P] + "'");
+    Args.push_back(Toks[P]);
+    ExpectArg = false;
+  }
+  if (ExpectArg && !Args.empty())
+    return fail("trailing ','");
+
+  const OpcodeInfo &Info = opcodeInfo(Op);
+  if (Info.HasDest && DestName.empty())
+    return fail(std::string("opcode '") + Info.Mnemonic +
+                "' requires a destination");
+  if (!Info.HasDest && !DestName.empty())
+    return fail(std::string("opcode '") + Info.Mnemonic +
+                "' has no destination");
+
+  Instruction I(Op);
+  I.setDomain(Info.Dom);
+  unsigned ArgIdx = 0;
+
+  // Leading non-register payloads.
+  switch (Info.Effect) {
+  case OpEffect::MemLoad:
+  case OpEffect::MemStore: {
+    if (ArgIdx >= Args.size() || !isIdent(Args[ArgIdx]))
+      return fail("expected variable name");
+    I.setSymbol(T.internSymbol(Args[ArgIdx++]));
+    break;
+  }
+  default:
+    break;
+  }
+  if (Op == Opcode::LoadImm) {
+    if (ArgIdx >= Args.size() || !isNumber(Args[ArgIdx]))
+      return fail("expected integer immediate");
+    I.setIntImm(std::strtoll(Args[ArgIdx++].c_str(), nullptr, 10));
+  } else if (Op == Opcode::FLoadImm) {
+    if (ArgIdx >= Args.size() || !isNumber(Args[ArgIdx]))
+      return fail("expected float immediate");
+    I.setFltImm(std::strtod(Args[ArgIdx++].c_str(), nullptr));
+  }
+
+  // Register sources.
+  for (unsigned S = 0; S != Info.NumSrcs; ++S) {
+    if (ArgIdx >= Args.size())
+      return fail(std::string("opcode '") + Info.Mnemonic +
+                  "' expects more operands");
+    int VReg;
+    if (!lookupVReg(Args[ArgIdx++], VReg))
+      return false;
+    I.setOperand(S, VReg);
+  }
+  if (ArgIdx != Args.size())
+    return fail("too many operands");
+
+  if (Info.HasDest) {
+    if (VRegs.count(DestName))
+      return fail("register '" + DestName + "' redefined (traces are SSA)");
+    int VReg = T.newVReg(Info.Dom);
+    VRegs.emplace(DestName, VReg);
+    I.setDest(VReg);
+  }
+  T.append(I);
+  return true;
+}
+
+bool ParserImpl::run(std::string &Err) {
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t Nl = Source.find('\n', Pos);
+    std::string Line = Source.substr(
+        Pos, Nl == std::string::npos ? std::string::npos : Nl - Pos);
+    ++LineNo;
+    if (!parseLine(Line)) {
+      Err = Error;
+      return false;
+    }
+    if (Nl == std::string::npos)
+      break;
+    Pos = Nl + 1;
+  }
+  return true;
+}
+
+bool ursa::parseTrace(const std::string &Source, Trace &Out,
+                      std::string &Err,
+                      std::map<std::string, int> *NameMap) {
+  ParserImpl P(Source, Out);
+  bool Ok = P.run(Err);
+  if (Ok && NameMap)
+    *NameMap = P.registerNames();
+  return Ok;
+}
+
+Trace ursa::parseTraceOrDie(const std::string &Source,
+                            const std::string &Name) {
+  Trace T(Name);
+  std::string Err;
+  bool Ok = parseTrace(Source, T, Err);
+  if (!Ok) {
+    std::fprintf(stderr, "parseTraceOrDie(%s): %s\n", Name.c_str(),
+                 Err.c_str());
+    std::abort();
+  }
+  return T;
+}

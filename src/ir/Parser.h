@@ -1,0 +1,51 @@
+//===- ir/Parser.h - Text format parser for traces --------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the mini IR's assembly text, one instruction per line:
+///
+/// \code
+///   # dot product step
+///   x  = load a
+///   y  = load b
+///   p  = mul x, y
+///   s0 = load sum
+///   s1 = add s0, p
+///   store sum, s1
+///   br s1
+/// \endcode
+///
+/// Virtual registers are named identifiers defined once; memory variables
+/// live in a separate namespace (first operand of load/store). Spill
+/// opcodes are compiler-internal and rejected by the parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_IR_PARSER_H
+#define URSA_IR_PARSER_H
+
+#include "ir/Trace.h"
+
+#include <map>
+#include <string>
+
+namespace ursa {
+
+/// Parses \p Source into \p Out. Returns true on success; on failure
+/// returns false and sets \p Err to a "line N: ..." diagnostic.
+/// \p NameMap, when given, receives the register-name -> vreg mapping
+/// (the CFG front end uses it to resolve branch condition names).
+bool parseTrace(const std::string &Source, Trace &Out, std::string &Err,
+                std::map<std::string, int> *NameMap = nullptr);
+
+/// Convenience wrapper that asserts on parse failure; for tests and
+/// embedded kernels whose sources are known-good.
+Trace parseTraceOrDie(const std::string &Source,
+                      const std::string &Name = "trace");
+
+} // namespace ursa
+
+#endif // URSA_IR_PARSER_H

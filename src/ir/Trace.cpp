@@ -1,0 +1,103 @@
+//===- ir/Trace.cpp - Straight-line instruction traces --------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Trace.h"
+
+using namespace ursa;
+
+int Trace::internSymbol(const std::string &SymName) {
+  auto It = SymIndex.find(SymName);
+  if (It != SymIndex.end())
+    return It->second;
+  int Idx = int(SymNames.size());
+  SymNames.push_back(SymName);
+  SymIndex.emplace(SymName, Idx);
+  return Idx;
+}
+
+std::string Trace::str() const {
+  std::string S;
+  for (const Instruction &I : Instrs) {
+    S += I.str(&SymNames);
+    S += '\n';
+  }
+  return S;
+}
+
+int Trace::emitLoadImm(int64_t Imm) {
+  Instruction I(Opcode::LoadImm);
+  I.setDomain(Domain::Int);
+  I.setDest(newVReg(Domain::Int));
+  I.setIntImm(Imm);
+  append(I);
+  return I.dest();
+}
+
+int Trace::emitFLoadImm(double Imm) {
+  Instruction I(Opcode::FLoadImm);
+  I.setDomain(Domain::Float);
+  I.setDest(newVReg(Domain::Float));
+  I.setFltImm(Imm);
+  append(I);
+  return I.dest();
+}
+
+int Trace::emitLoad(const std::string &Var, Domain Dom) {
+  Instruction I(Dom == Domain::Float ? Opcode::FLoad : Opcode::Load);
+  I.setDomain(Dom);
+  I.setDest(newVReg(Dom));
+  I.setSymbol(internSymbol(Var));
+  append(I);
+  return I.dest();
+}
+
+unsigned Trace::emitStore(const std::string &Var, int Src) {
+  bool IsFloat = vregDomain(Src) == Domain::Float;
+  Instruction I(IsFloat ? Opcode::FStore : Opcode::Store);
+  I.setDomain(IsFloat ? Domain::Float : Domain::Int);
+  I.setSymbol(internSymbol(Var));
+  I.setOperand(0, Src);
+  return append(I);
+}
+
+int Trace::emitOp(Opcode Op, int A) {
+  assert(numSrcs(Op) == 1 && definesValue(Op) && "wrong emit arity");
+  Instruction I(Op);
+  I.setDomain(opcodeInfo(Op).Dom);
+  I.setDest(newVReg(I.domain()));
+  I.setOperand(0, A);
+  append(I);
+  return I.dest();
+}
+
+int Trace::emitOp(Opcode Op, int A, int B) {
+  assert(numSrcs(Op) == 2 && definesValue(Op) && "wrong emit arity");
+  Instruction I(Op);
+  I.setDomain(opcodeInfo(Op).Dom);
+  I.setDest(newVReg(I.domain()));
+  I.setOperand(0, A);
+  I.setOperand(1, B);
+  append(I);
+  return I.dest();
+}
+
+int Trace::emitOp(Opcode Op, int A, int B, int C) {
+  assert(numSrcs(Op) == 3 && definesValue(Op) && "wrong emit arity");
+  Instruction I(Op);
+  I.setDomain(opcodeInfo(Op).Dom);
+  I.setDest(newVReg(I.domain()));
+  I.setOperand(0, A);
+  I.setOperand(1, B);
+  I.setOperand(2, C);
+  append(I);
+  return I.dest();
+}
+
+unsigned Trace::emitBranch(int Cond) {
+  Instruction I(Opcode::Br);
+  I.setOperand(0, Cond);
+  return append(I);
+}

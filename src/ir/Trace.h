@@ -1,0 +1,126 @@
+//===- ir/Trace.h - Straight-line instruction traces ------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Trace is the unit URSA operates on: a straight-line sequence of
+/// three-address instructions, possibly containing trace branches (the
+/// paper builds DAGs of traces à la trace scheduling, so branches appear
+/// mid-sequence with fall-through semantics). The trace owns its virtual
+/// register and variable-symbol namespaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_IR_TRACE_H
+#define URSA_IR_TRACE_H
+
+#include "ir/Instruction.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// A straight-line trace of instructions with its symbol tables.
+class Trace {
+public:
+  explicit Trace(std::string Name = "trace") : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  unsigned size() const { return Instrs.size(); }
+  bool empty() const { return Instrs.empty(); }
+
+  Instruction &instr(unsigned I) {
+    assert(I < Instrs.size() && "instruction index out of range");
+    return Instrs[I];
+  }
+  const Instruction &instr(unsigned I) const {
+    assert(I < Instrs.size() && "instruction index out of range");
+    return Instrs[I];
+  }
+
+  const std::vector<Instruction> &instructions() const { return Instrs; }
+
+  /// Appends \p I and returns its index.
+  unsigned append(Instruction I) {
+    Instrs.push_back(I);
+    return Instrs.size() - 1;
+  }
+
+  /// Replaces the whole instruction sequence (used by trace-level spill
+  /// rewriting); symbol/vreg tables are untouched.
+  void replaceInstructions(std::vector<Instruction> New) {
+    Instrs = std::move(New);
+  }
+
+  /// Allocates a fresh virtual register of the given \p Dom.
+  int newVReg(Domain Dom) {
+    VRegDomains.push_back(Dom);
+    return int(VRegDomains.size()) - 1;
+  }
+
+  unsigned numVRegs() const { return VRegDomains.size(); }
+
+  Domain vregDomain(int VReg) const {
+    assert(VReg >= 0 && unsigned(VReg) < VRegDomains.size() && "bad vreg");
+    return VRegDomains[VReg];
+  }
+
+  RegClassKind vregClass(int VReg) const {
+    return vregDomain(VReg) == Domain::Float ? RegClassKind::FPR
+                                             : RegClassKind::GPR;
+  }
+
+  /// Interns variable \p Name and returns its symbol index.
+  int internSymbol(const std::string &Name);
+
+  unsigned numSymbols() const { return SymNames.size(); }
+  const std::string &symbolName(int Sym) const {
+    assert(Sym >= 0 && unsigned(Sym) < SymNames.size() && "bad symbol");
+    return SymNames[Sym];
+  }
+  const std::vector<std::string> &symbolNames() const { return SymNames; }
+
+  /// Allocates a fresh compiler spill slot.
+  int newSpillSlot() { return int(NumSpillSlots++); }
+  unsigned numSpillSlots() const { return NumSpillSlots; }
+
+  /// Renders the whole trace, one instruction per line.
+  std::string str() const;
+
+  //===--- Builder helpers -------------------------------------------------===//
+  // These append a fully-formed instruction and return the defined vreg
+  // (or the instruction index for ops without destinations). They keep
+  // tests, examples and generators concise.
+
+  /// v = ldi Imm
+  int emitLoadImm(int64_t Imm);
+  /// v = fldi Imm
+  int emitFLoadImm(double Imm);
+  /// v = load Var / fload Var
+  int emitLoad(const std::string &Var, Domain Dom = Domain::Int);
+  /// store Var, Src; returns instruction index.
+  unsigned emitStore(const std::string &Var, int Src);
+  /// Binary/unary/ternary arithmetic: v = op Srcs...
+  int emitOp(Opcode Op, int A);
+  int emitOp(Opcode Op, int A, int B);
+  int emitOp(Opcode Op, int A, int B, int C);
+  /// br Cond; returns instruction index.
+  unsigned emitBranch(int Cond);
+
+private:
+  std::string Name;
+  std::vector<Instruction> Instrs;
+  std::vector<Domain> VRegDomains;
+  std::vector<std::string> SymNames;
+  std::map<std::string, int> SymIndex;
+  unsigned NumSpillSlots = 0;
+};
+
+} // namespace ursa
+
+#endif // URSA_IR_TRACE_H

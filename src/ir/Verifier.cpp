@@ -1,0 +1,106 @@
+//===- ir/Verifier.cpp - Structural checks on traces ----------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ursa;
+
+/// Expected operand domain for operand \p Idx of \p Op, given the trace.
+static Domain operandDomain(Opcode Op, unsigned Idx) {
+  switch (Op) {
+  case Opcode::FStore:
+  case Opcode::FNeg:
+  case Opcode::FMov:
+  case Opcode::CvtFI:
+    return Domain::Float;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    return Domain::Float;
+  case Opcode::SpillStore:
+    // Spill stores carry the spilled value's domain on the instruction.
+    return Domain::Int; // caller overrides; see below
+  default:
+    (void)Idx;
+    return Domain::Int;
+  }
+}
+
+std::vector<std::string> ursa::verifyTrace(const Trace &T,
+                                           bool RequireDefBeforeUse) {
+  std::vector<std::string> Problems;
+  std::vector<int> DefSite(T.numVRegs(), -1);
+  auto Note = [&](unsigned Idx, const std::string &Msg) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "instr %u: ", Idx);
+    Problems.push_back(Buf + Msg);
+  };
+
+  for (unsigned Idx = 0, E = T.size(); Idx != E; ++Idx) {
+    const Instruction &I = T.instr(Idx);
+    const OpcodeInfo &Info = I.info();
+
+    // Destination checks.
+    if (Info.HasDest) {
+      int D = I.dest();
+      if (D < 0 || unsigned(D) >= T.numVRegs()) {
+        Note(Idx, "destination register out of range");
+        continue;
+      }
+      if (DefSite[D] >= 0)
+        Note(Idx, "register defined twice (traces are SSA)");
+      DefSite[D] = int(Idx);
+      Domain Expect =
+          isSpillOp(I.opcode()) ? I.domain() : Info.Dom;
+      if (T.vregDomain(D) != Expect)
+        Note(Idx, "destination domain disagrees with opcode");
+    } else if (I.dest() >= 0) {
+      Note(Idx, "opcode without destination has one set");
+    }
+
+    // Operand checks.
+    for (unsigned S = 0; S != Info.NumSrcs; ++S) {
+      int V = I.operand(S);
+      if (V < 0 || unsigned(V) >= T.numVRegs()) {
+        Note(Idx, "operand register out of range");
+        continue;
+      }
+      if (RequireDefBeforeUse && DefSite[V] < 0)
+        Note(Idx, "operand used before definition");
+      Domain Expect = I.opcode() == Opcode::SpillStore
+                          ? I.domain()
+                          : operandDomain(I.opcode(), S);
+      if (T.vregDomain(V) != Expect)
+        Note(Idx, "operand domain disagrees with opcode");
+    }
+
+    // Payload checks.
+    OpEffect Eff = Info.Effect;
+    if (Eff == OpEffect::MemLoad || Eff == OpEffect::MemStore) {
+      if (I.symbol() < 0 || unsigned(I.symbol()) >= T.numSymbols())
+        Note(Idx, "memory op with bad symbol");
+    }
+    if (Eff == OpEffect::SpillLoad || Eff == OpEffect::SpillStore) {
+      if (I.spillSlot() < 0 || unsigned(I.spillSlot()) >= T.numSpillSlots())
+        Note(Idx, "spill op with bad slot");
+    }
+  }
+  return Problems;
+}
+
+void ursa::assertValid(const Trace &T, bool RequireDefBeforeUse) {
+  std::vector<std::string> Problems = verifyTrace(T, RequireDefBeforeUse);
+  if (Problems.empty())
+    return;
+  std::fprintf(stderr, "trace '%s' failed verification:\n", T.name().c_str());
+  for (const std::string &P : Problems)
+    std::fprintf(stderr, "  %s\n", P.c_str());
+  std::abort();
+}

@@ -1,0 +1,37 @@
+//===- ir/Verifier.h - Structural checks on traces --------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verifier for traces: single assignment, def-before-use,
+/// domain agreement between operands and opcodes, and well-formed payloads
+/// (symbols, spill slots). Transformations are verified with this after
+/// every DAG mutation in debug builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_IR_VERIFIER_H
+#define URSA_IR_VERIFIER_H
+
+#include "ir/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// Returns all structural problems in \p T; empty means well-formed.
+/// \p RequireDefBeforeUse additionally enforces that every operand's
+/// definition appears earlier in the trace (true for source programs;
+/// transformed traces keep dominance in the DAG instead).
+std::vector<std::string> verifyTrace(const Trace &T,
+                                     bool RequireDefBeforeUse = true);
+
+/// Asserts that \p T verifies; prints problems to stderr otherwise.
+void assertValid(const Trace &T, bool RequireDefBeforeUse = true);
+
+} // namespace ursa
+
+#endif // URSA_IR_VERIFIER_H

@@ -1,0 +1,47 @@
+//===- machine/MachineModel.cpp - Target VLIW machine model ---------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/MachineModel.h"
+
+#include <cstdio>
+
+using namespace ursa;
+
+MachineModel MachineModel::homogeneous(unsigned Fus, unsigned Regs) {
+  assert(Fus > 0 && Regs > 0 && "machine needs at least one FU and register");
+  MachineModel M;
+  M.Homogeneous = true;
+  M.UniversalFUs = Fus;
+  M.Gprs = Regs;
+  M.Fprs = 0;
+  return M;
+}
+
+MachineModel MachineModel::classed(unsigned IntFus, unsigned FloatFus,
+                                   unsigned MemFus, unsigned Gprs,
+                                   unsigned Fprs) {
+  assert(IntFus > 0 && MemFus > 0 && Gprs > 0 &&
+         "classed machine needs int and memory units plus GPRs");
+  MachineModel M;
+  M.Homogeneous = false;
+  M.IntFUs = IntFus;
+  M.FloatFUs = FloatFus;
+  M.MemFUs = MemFus;
+  M.Gprs = Gprs;
+  M.Fprs = Fprs;
+  return M;
+}
+
+std::string MachineModel::describe() const {
+  char Buf[96];
+  if (Homogeneous) {
+    std::snprintf(Buf, sizeof(Buf), "%ufu/%ur", UniversalFUs, Gprs);
+    return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%ui+%uf+%um/%ug+%uf", IntFUs, FloatFUs,
+                MemFUs, Gprs, Fprs);
+  return Buf;
+}

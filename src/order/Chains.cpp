@@ -1,0 +1,160 @@
+//===- order/Chains.cpp - Minimum chain decomposition ---------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "order/Chains.h"
+
+#include "order/Matching.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ursa;
+
+static ChainDecomposition
+chainsFromMatching(const MatchingResult &M, unsigned NumNodes,
+                   const std::vector<unsigned> &Active) {
+  ChainDecomposition D;
+  D.ChainOf.assign(NumNodes, -1);
+
+  std::vector<uint8_t> IsActive(NumNodes, 0);
+  for (unsigned A : Active)
+    IsActive[A] = 1;
+
+  // Heads are active nodes whose right copy is unmatched (nothing
+  // precedes them in a chain).
+  for (unsigned A : Active) {
+    if (M.MatchOfRight[A] >= 0)
+      continue;
+    std::vector<unsigned> Chain;
+    int Cur = int(A);
+    while (Cur >= 0) {
+      assert(IsActive[Cur] && "matched through an inactive node");
+      assert(D.ChainOf[Cur] < 0 && "node in two chains");
+      D.ChainOf[Cur] = int(D.Chains.size());
+      Chain.push_back(unsigned(Cur));
+      Cur = M.MatchOfLeft[Cur];
+    }
+    D.Chains.push_back(std::move(Chain));
+  }
+
+  // Every active node must have been reached from some head.
+  for (unsigned A : Active) {
+    (void)A;
+    assert(D.ChainOf[A] >= 0 && "active node missing from decomposition");
+  }
+  return D;
+}
+
+static std::vector<std::pair<unsigned, unsigned>>
+relationPairs(const BitMatrix &Rel, const std::vector<unsigned> &Active) {
+  std::vector<uint8_t> IsActive(Rel.size(), 0);
+  for (unsigned A : Active)
+    IsActive[A] = 1;
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  for (unsigned A : Active)
+    Rel.row(A).forEach([&](unsigned B) {
+      if (IsActive[B])
+        Pairs.emplace_back(A, B);
+    });
+  return Pairs;
+}
+
+ChainDecomposition
+ursa::decomposeChains(const BitMatrix &Rel,
+                      const std::vector<unsigned> &Active) {
+  IncrementalMatcher M(Rel.size());
+  M.addBatchAndAugment(relationPairs(Rel, Active));
+  return chainsFromMatching(M.result(), Rel.size(), Active);
+}
+
+ChainDecomposition
+ursa::decomposeChainsPrioritized(const BitMatrix &Rel,
+                                 const std::vector<unsigned> &Active,
+                                 const HammockForest &HF) {
+  std::map<unsigned, std::vector<std::pair<unsigned, unsigned>>> Batches;
+  for (auto [A, B] : relationPairs(Rel, Active))
+    Batches[HF.edgePriority(A, B)].emplace_back(A, B);
+
+  IncrementalMatcher M(Rel.size());
+  for (auto &[Priority, Edges] : Batches) {
+    (void)Priority;
+    M.addBatchAndAugment(Edges);
+  }
+  return chainsFromMatching(M.result(), Rel.size(), Active);
+}
+
+std::vector<unsigned> ursa::maxAntichain(const BitMatrix &Rel,
+                                         const std::vector<unsigned> &Active) {
+  unsigned N = Rel.size();
+  std::vector<std::vector<unsigned>> Adj(N);
+  for (auto [A, B] : relationPairs(Rel, Active))
+    Adj[A].push_back(B);
+  MatchingResult M = hopcroftKarp(N, Adj);
+
+  // König: alternating reachability from unmatched left copies.
+  std::vector<uint8_t> VisL(N, 0), VisR(N, 0);
+  std::vector<unsigned> Work;
+  for (unsigned A : Active)
+    if (M.MatchOfLeft[A] < 0 && !Adj[A].empty()) {
+      VisL[A] = 1;
+      Work.push_back(A);
+    }
+  // Left copies with no edges at all are trivially outside the cover too.
+  for (unsigned A : Active)
+    if (Adj[A].empty())
+      VisL[A] = 1;
+  while (!Work.empty()) {
+    unsigned L = Work.back();
+    Work.pop_back();
+    for (unsigned R : Adj[L]) {
+      if (VisR[R])
+        continue;
+      VisR[R] = 1;
+      int L2 = M.MatchOfRight[R];
+      if (L2 >= 0 && !VisL[L2]) {
+        VisL[L2] = 1;
+        Work.push_back(unsigned(L2));
+      }
+    }
+  }
+
+  // Cover = (L not visited) u (R visited); antichain avoids both.
+  std::vector<unsigned> A;
+  for (unsigned X : Active)
+    if (VisL[X] && !VisR[X])
+      A.push_back(X);
+
+  assert(A.size() == Active.size() - M.Size &&
+         "antichain size must equal Dilworth width");
+  return A;
+}
+
+static unsigned bruteRecurse(const BitMatrix &Rel,
+                             const std::vector<unsigned> &Active, unsigned I,
+                             std::vector<unsigned> &Picked) {
+  if (I == Active.size())
+    return Picked.size();
+  // Prune: even taking everything left cannot beat nothing extra here;
+  // plain exhaustive is fine at test sizes.
+  unsigned Best = bruteRecurse(Rel, Active, I + 1, Picked);
+  unsigned Cand = Active[I];
+  bool Ok = std::all_of(Picked.begin(), Picked.end(), [&](unsigned P) {
+    return !Rel.test(P, Cand) && !Rel.test(Cand, P);
+  });
+  if (Ok) {
+    Picked.push_back(Cand);
+    Best = std::max(Best, bruteRecurse(Rel, Active, I + 1, Picked));
+    Picked.pop_back();
+  }
+  return Best;
+}
+
+unsigned ursa::bruteForceWidth(const BitMatrix &Rel,
+                               const std::vector<unsigned> &Active) {
+  assert(Active.size() <= 24 && "brute force is for small inputs only");
+  std::vector<unsigned> Picked;
+  return bruteRecurse(Rel, Active, 0, Picked);
+}

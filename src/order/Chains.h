@@ -1,0 +1,66 @@
+//===- order/Chains.h - Minimum chain decomposition -------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimum chain decomposition of a strict partial order (Dilworth's
+/// theorem via bipartite matching, paper Section 3) and maximum antichain
+/// extraction (König's construction). The relation is given as a strict
+/// reachability-style BitMatrix restricted to an *active* node subset —
+/// all DAG nodes for functional units, value-defining nodes for
+/// registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_ORDER_CHAINS_H
+#define URSA_ORDER_CHAINS_H
+
+#include "graph/Hammocks.h"
+#include "support/Bitset.h"
+
+#include <vector>
+
+namespace ursa {
+
+/// A minimum decomposition of the active nodes into chains of the
+/// relation. By Dilworth's theorem, Chains.size() equals the maximum
+/// number of pairwise-independent active nodes — the paper's worst-case
+/// resource requirement (Theorem 1).
+struct ChainDecomposition {
+  /// Each chain lists node ids in relation order (consecutive members are
+  /// related; paper Definition 5's allocation chains).
+  std::vector<std::vector<unsigned>> Chains;
+  /// Node id -> chain index, or -1 for inactive nodes.
+  std::vector<int> ChainOf;
+
+  unsigned width() const { return Chains.size(); }
+};
+
+/// Minimum chain decomposition using plain (non-prioritized) matching.
+/// \p Rel must be a strict order on node ids; only \p Active nodes
+/// participate.
+ChainDecomposition decomposeChains(const BitMatrix &Rel,
+                                   const std::vector<unsigned> &Active);
+
+/// The paper's hammock-aware variant: bipartite edges are added in
+/// batches of increasing hammock-crossing priority so the decomposition
+/// projects minimally onto every nested hammock.
+ChainDecomposition
+decomposeChainsPrioritized(const BitMatrix &Rel,
+                           const std::vector<unsigned> &Active,
+                           const HammockForest &HF);
+
+/// A maximum antichain of the relation over \p Active (size == width).
+std::vector<unsigned> maxAntichain(const BitMatrix &Rel,
+                                   const std::vector<unsigned> &Active);
+
+/// Brute-force width (maximum antichain size) by exhaustive search; for
+/// property tests on small inputs only.
+unsigned bruteForceWidth(const BitMatrix &Rel,
+                         const std::vector<unsigned> &Active);
+
+} // namespace ursa
+
+#endif // URSA_ORDER_CHAINS_H

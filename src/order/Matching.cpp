@@ -1,0 +1,111 @@
+//===- order/Matching.cpp - Bipartite matching engines --------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "order/Matching.h"
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+
+using namespace ursa;
+
+IncrementalMatcher::IncrementalMatcher(unsigned NumVertices)
+    : N(NumVertices), Adj(NumVertices) {
+  Res.MatchOfLeft.assign(N, -1);
+  Res.MatchOfRight.assign(N, -1);
+}
+
+bool IncrementalMatcher::tryAugment(unsigned Left,
+                                    std::vector<uint8_t> &Visited) {
+  for (unsigned Right : Adj[Left]) {
+    if (Visited[Right])
+      continue;
+    Visited[Right] = 1;
+    int Other = Res.MatchOfRight[Right];
+    if (Other < 0 || tryAugment(unsigned(Other), Visited)) {
+      Res.MatchOfLeft[Left] = int(Right);
+      Res.MatchOfRight[Right] = int(Left);
+      return true;
+    }
+  }
+  return false;
+}
+
+void IncrementalMatcher::addBatchAndAugment(
+    const std::vector<std::pair<unsigned, unsigned>> &Edges) {
+  for (auto [L, R] : Edges) {
+    assert(L < N && R < N && "edge endpoint out of range");
+    Adj[L].push_back(R);
+  }
+  // Re-augment every unmatched left vertex; matched vertices stay matched
+  // (augmenting paths only extend the matching), which is what makes the
+  // batch priorities sticky.
+  std::vector<uint8_t> Visited(N, 0);
+  for (unsigned L = 0; L != N; ++L) {
+    if (Res.MatchOfLeft[L] >= 0 || Adj[L].empty())
+      continue;
+    std::fill(Visited.begin(), Visited.end(), 0);
+    if (tryAugment(L, Visited))
+      ++Res.Size;
+  }
+}
+
+MatchingResult
+ursa::hopcroftKarp(unsigned N, const std::vector<std::vector<unsigned>> &Adj) {
+  MatchingResult Res;
+  Res.MatchOfLeft.assign(N, -1);
+  Res.MatchOfRight.assign(N, -1);
+
+  constexpr unsigned Inf = ~0u;
+  std::vector<unsigned> Dist(N, Inf);
+
+  auto Bfs = [&]() {
+    std::deque<unsigned> Q;
+    for (unsigned L = 0; L != N; ++L) {
+      if (Res.MatchOfLeft[L] < 0) {
+        Dist[L] = 0;
+        Q.push_back(L);
+      } else {
+        Dist[L] = Inf;
+      }
+    }
+    bool FoundFree = false;
+    while (!Q.empty()) {
+      unsigned L = Q.front();
+      Q.pop_front();
+      for (unsigned R : Adj[L]) {
+        int L2 = Res.MatchOfRight[R];
+        if (L2 < 0) {
+          FoundFree = true;
+        } else if (Dist[L2] == Inf) {
+          Dist[L2] = Dist[L] + 1;
+          Q.push_back(unsigned(L2));
+        }
+      }
+    }
+    return FoundFree;
+  };
+
+  // Recursive DFS along layered structure.
+  auto Dfs = [&](auto &&Self, unsigned L) -> bool {
+    for (unsigned R : Adj[L]) {
+      int L2 = Res.MatchOfRight[R];
+      if (L2 < 0 || (Dist[L2] == Dist[L] + 1 && Self(Self, unsigned(L2)))) {
+        Res.MatchOfLeft[L] = int(R);
+        Res.MatchOfRight[R] = int(L);
+        return true;
+      }
+    }
+    Dist[L] = Inf;
+    return false;
+  };
+
+  while (Bfs())
+    for (unsigned L = 0; L != N; ++L)
+      if (Res.MatchOfLeft[L] < 0 && Dfs(Dfs, L))
+        ++Res.Size;
+  return Res;
+}

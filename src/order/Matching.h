@@ -1,0 +1,67 @@
+//===- order/Matching.h - Bipartite matching engines ------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maximum bipartite matching, the engine behind minimum chain
+/// decomposition (Ford & Fulkerson's reduction, paper Section 3.1). Two
+/// engines are provided:
+///
+///  * Kuhn's augmenting-path algorithm with *incremental edge batches* —
+///    the paper's modification: edges are added in priority sets and the
+///    matching is re-augmented after each batch, so low-priority
+///    (hammock-crossing) edges are used only when no higher-priority
+///    matching exists. O(V * E) = O(N^3) overall.
+///
+///  * Hopcroft-Karp, O(E * sqrt(V)), for the non-prioritized case; used
+///    by the matching ablation benchmark.
+///
+/// Left and right vertex sets are both indexed 0..Size-1 (each DAG node
+/// contributes one left and one right copy in the chain reduction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_ORDER_MATCHING_H
+#define URSA_ORDER_MATCHING_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ursa {
+
+/// Matching state shared by both engines.
+struct MatchingResult {
+  std::vector<int> MatchOfLeft;  ///< left -> matched right or -1
+  std::vector<int> MatchOfRight; ///< right -> matched left or -1
+  unsigned Size = 0;             ///< number of matched pairs
+};
+
+/// Kuhn's algorithm with batch-incremental edges.
+class IncrementalMatcher {
+public:
+  explicit IncrementalMatcher(unsigned NumVertices);
+
+  /// Adds one batch of edges (pairs Left -> Right) and restores maximality
+  /// of the matching over all edges added so far.
+  void addBatchAndAugment(const std::vector<std::pair<unsigned, unsigned>> &Edges);
+
+  const MatchingResult &result() const { return Res; }
+
+private:
+  bool tryAugment(unsigned Left, std::vector<uint8_t> &Visited);
+
+  unsigned N;
+  std::vector<std::vector<unsigned>> Adj;
+  MatchingResult Res;
+};
+
+/// One-shot Hopcroft-Karp over a fixed edge set.
+MatchingResult hopcroftKarp(unsigned NumVertices,
+                            const std::vector<std::vector<unsigned>> &Adj);
+
+} // namespace ursa
+
+#endif // URSA_ORDER_MATCHING_H

@@ -1,0 +1,61 @@
+//===- sched/GraphColoring.cpp - Postpass allocation helpers --------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/GraphColoring.h"
+
+#include "graph/Analysis.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ursa;
+
+Schedule ursa::sequentialSchedule(const DependenceDAG &D) {
+  Schedule S;
+  S.CycleOf.assign(D.size(), -1);
+  unsigned NumInstrs = D.trace().size();
+  S.Cycles.resize(NumInstrs);
+  for (unsigned Idx = 0; Idx != NumInstrs; ++Idx) {
+    unsigned N = DependenceDAG::nodeOf(Idx);
+    S.CycleOf[N] = int(Idx);
+    S.Cycles[Idx].push_back(N);
+  }
+  S.Length = NumInstrs;
+  return S;
+}
+
+unsigned ursa::addReuseEdges(DependenceDAG &D, const RegAssignment &RA) {
+  const Trace &T = D.trace();
+  std::vector<std::vector<unsigned>> Uses = computeUses(D);
+
+  // Group vregs per (class, physical register), in trace definition
+  // order — that is the order linear scan assigned them in.
+  std::map<std::pair<int, int>, std::vector<unsigned>> Occupants;
+  for (unsigned Idx = 0, E = T.size(); Idx != E; ++Idx) {
+    int V = T.instr(Idx).dest();
+    if (V < 0 || RA.PhysOf[V] < 0)
+      continue;
+    int Class = int(T.vregClass(V));
+    Occupants[{Class, RA.PhysOf[V]}].push_back(Idx);
+  }
+
+  unsigned Added = 0;
+  for (auto &[Key, DefIdxs] : Occupants) {
+    (void)Key;
+    for (unsigned I = 0; I + 1 < DefIdxs.size(); ++I) {
+      unsigned Prev = DependenceDAG::nodeOf(DefIdxs[I]);
+      unsigned Next = DependenceDAG::nodeOf(DefIdxs[I + 1]);
+      if (D.addEdge(Prev, Next, EdgeKind::Sequence))
+        ++Added;
+      for (unsigned U : Uses[Prev])
+        if (U != Next && D.addEdge(U, Next, EdgeKind::Sequence))
+          ++Added;
+    }
+  }
+  if (Added)
+    D.normalizeVirtualEdges();
+  return Added;
+}

@@ -1,0 +1,40 @@
+//===- sched/GraphColoring.h - Postpass allocation helpers ------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for the *postpass* baseline: register allocation before
+/// scheduling, on the sequential trace order. Live ranges on a line form
+/// an interval graph, for which left-to-right linear scan produces an
+/// optimal coloring, so allocation reuses sched/RegAssign over a
+/// "schedule" that is simply the trace order.
+///
+/// The consequence the paper warns about (Section 1) is materialized by
+/// addReuseEdges(): once two values share a physical register, the second
+/// definition must wait for every access to the first — extra sequence
+/// edges that shackle the scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SCHED_GRAPHCOLORING_H
+#define URSA_SCHED_GRAPHCOLORING_H
+
+#include "graph/DAG.h"
+#include "sched/RegAssign.h"
+
+namespace ursa {
+
+/// A schedule equal to the trace order (instruction i at cycle i).
+Schedule sequentialSchedule(const DependenceDAG &D);
+
+/// Adds the register-reuse sequence edges implied by \p RA to \p D: for
+/// consecutive occupants v1, v2 of one physical register, edges from v1's
+/// definition and every use of v1 to v2's definition. Returns the number
+/// of edges added.
+unsigned addReuseEdges(DependenceDAG &D, const RegAssignment &RA);
+
+} // namespace ursa
+
+#endif // URSA_SCHED_GRAPHCOLORING_H

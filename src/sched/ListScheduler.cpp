@@ -1,0 +1,178 @@
+//===- sched/ListScheduler.cpp - Resource-constrained list scheduling -----===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ListScheduler.h"
+
+#include "graph/Analysis.h"
+
+#include <algorithm>
+
+using namespace ursa;
+
+Schedule ursa::listSchedule(const DependenceDAG &D, const MachineModel &M,
+                            const SchedulerOptions &Opts) {
+  unsigned N = D.size();
+  Schedule S;
+  S.CycleOf.assign(N, -1);
+
+  auto LatencyOf = [&](unsigned Node) {
+    // Latency follows the operation's class even on homogeneous
+    // machines (a universal unit still takes longer on a divide or a
+    // load); the simulator enforces the same rule.
+    return M.latency(D.instrAt(Node).fuKind());
+  };
+
+  // Latency-weighted height priority (critical path first).
+  DAGAnalysis A(D);
+  std::vector<unsigned> Height(N, 0);
+  const std::vector<unsigned> &Topo = A.topoOrder();
+  for (unsigned I = N; I-- > 0;) {
+    unsigned U = Topo[I];
+    unsigned Lat = DependenceDAG::isVirtual(U) ? 0 : LatencyOf(U);
+    unsigned Best = 0;
+    for (const auto &[V, Kind] : D.succs(U)) {
+      (void)Kind;
+      Best = std::max(Best, Height[V]);
+    }
+    Height[U] = Best + Lat;
+  }
+
+  // Pressure tracking (integrated mode only). OperandDefs inverts the
+  // def->uses map: the defining nodes each instruction actually reads
+  // (sequence edges must not perturb pressure accounting).
+  std::vector<std::vector<unsigned>> OperandDefs(N);
+  std::vector<unsigned> UnissuedUses(N, 0);
+  unsigned Pressure = 0;
+  if (Opts.RegPressureLimit > 0) {
+    std::vector<std::vector<unsigned>> Uses = computeUses(D);
+    for (unsigned U = 2; U != N; ++U) {
+      UnissuedUses[U] = Uses[U].size();
+      for (unsigned Use : Uses[U])
+        OperandDefs[Use].push_back(U);
+    }
+  }
+
+  // FU pool: busy-until time per unit, per class (index 0 on homogeneous
+  // machines).
+  std::vector<std::vector<unsigned>> BusyUntil(4);
+  if (M.isHomogeneous()) {
+    BusyUntil[0].assign(M.numFUs(FUKind::Universal), 0);
+  } else {
+    for (FUKind K : {FUKind::IntALU, FUKind::FloatALU, FUKind::Memory})
+      BusyUntil[unsigned(K)].assign(M.numFUs(K), 0);
+  }
+  auto PoolOf = [&](unsigned Node) -> std::vector<unsigned> & {
+    return M.isHomogeneous() ? BusyUntil[0]
+                             : BusyUntil[unsigned(D.instrAt(Node).fuKind())];
+  };
+
+  // Completion time per node; virtual nodes complete immediately.
+  std::vector<unsigned> Done(N, 0);
+  std::vector<unsigned> PredsLeft(N, 0);
+  for (unsigned U = 0; U != N; ++U)
+    PredsLeft[U] = D.preds(U).size();
+
+  std::vector<unsigned> Ready; // nodes whose preds have all been issued
+  std::vector<unsigned> ReadyAt(N, 0);
+  // Issue bias doubles as an earliest-start constraint: an instruction
+  // anchored to a cycle of a previous schedule may slip later under
+  // congestion but never float earlier — otherwise a greedy scheduler
+  // would hoist reloads into idle slots and re-stretch their ranges.
+  if (!Opts.IssueBias.empty()) {
+    assert(Opts.IssueBias.size() == D.trace().size() && "bias mismatch");
+    for (unsigned U = 2; U != N; ++U) {
+      int B = Opts.IssueBias[DependenceDAG::instrOf(U)];
+      ReadyAt[U] = unsigned(std::max(0, B)) / 4;
+    }
+  }
+  for (unsigned U = 0; U != N; ++U)
+    if (PredsLeft[U] == 0 && !DependenceDAG::isVirtual(U))
+      Ready.push_back(U);
+  // Virtual entry "executes" at once.
+  // A data successor needs the predecessor's *result* (full latency); a
+  // sequence successor only needs ordering — the predecessor's FU slot
+  // must be clear (occupancy), which is what lets pipelined units overlap
+  // sequentialized chains.
+  auto Release = [&](unsigned U, unsigned DataDone, unsigned SeqDone) {
+    for (const auto &[V, Kind] : D.succs(U)) {
+      ReadyAt[V] = std::max(ReadyAt[V],
+                            Kind == EdgeKind::Data ? DataDone : SeqDone);
+      if (--PredsLeft[V] == 0 && !DependenceDAG::isVirtual(V))
+        Ready.push_back(V);
+    }
+  };
+  if (PredsLeft[DependenceDAG::EntryNode] == 0)
+    Release(DependenceDAG::EntryNode, 0, 0);
+
+  unsigned Scheduled = 0, Total = N - 2, Cycle = 0;
+  while (Scheduled != Total) {
+    // Candidates issueable this cycle, best priority first.
+    std::vector<unsigned> Cand;
+    for (unsigned U : Ready)
+      if (ReadyAt[U] <= Cycle)
+        Cand.push_back(U);
+    std::sort(Cand.begin(), Cand.end(), [&](unsigned X, unsigned Y) {
+      if (!Opts.IssueBias.empty()) {
+        int BX = Opts.IssueBias[DependenceDAG::instrOf(X)];
+        int BY = Opts.IssueBias[DependenceDAG::instrOf(Y)];
+        if (BX != BY)
+          return BX < BY;
+      }
+      if (Height[X] != Height[Y])
+        return Height[X] > Height[Y];
+      return X < Y;
+    });
+
+    // Integrated mode: when close to the register limit, try
+    // pressure-friendly candidates first.
+    if (Opts.RegPressureLimit > 0 && Pressure + 1 >= Opts.RegPressureLimit) {
+      std::stable_sort(Cand.begin(), Cand.end(), [&](unsigned X, unsigned Y) {
+        auto Delta = [&](unsigned U) {
+          int Def = D.instrAt(U).dest() >= 0 && UnissuedUses[U] > 0 ? 1 : 0;
+          int Kills = 0;
+          for (unsigned P : OperandDefs[U])
+            if (UnissuedUses[P] == 1)
+              ++Kills; // we are its last unissued use
+          return Def - Kills;
+        };
+        return Delta(X) < Delta(Y);
+      });
+    }
+
+    if (S.Cycles.size() <= Cycle)
+      S.Cycles.resize(Cycle + 1);
+    for (unsigned U : Cand) {
+      std::vector<unsigned> &Pool = PoolOf(U);
+      auto Slot = std::find_if(Pool.begin(), Pool.end(),
+                               [&](unsigned B) { return B <= Cycle; });
+      if (Slot == Pool.end())
+        continue; // no unit free this cycle
+      unsigned Lat = LatencyOf(U);
+      unsigned Occ = M.occupancy(D.instrAt(U).fuKind());
+      *Slot = Cycle + Occ;
+      S.CycleOf[U] = int(Cycle);
+      S.Cycles[Cycle].push_back(U);
+      Done[U] = Cycle + Lat;
+      S.Length = std::max(S.Length, Done[U]);
+      ++Scheduled;
+      Ready.erase(std::find(Ready.begin(), Ready.end(), U));
+      Release(U, Done[U], Cycle + Occ);
+      if (Opts.RegPressureLimit > 0) {
+        if (D.instrAt(U).dest() >= 0 && UnissuedUses[U] > 0)
+          ++Pressure;
+        for (unsigned P : OperandDefs[U]) {
+          assert(UnissuedUses[P] > 0 && "use accounting out of sync");
+          if (--UnissuedUses[P] == 0)
+            --Pressure;
+        }
+      }
+    }
+    ++Cycle;
+    assert(Cycle < 64 * N + 64 && "scheduler failed to make progress");
+  }
+  S.Cycles.resize(S.Length);
+  return S;
+}

@@ -1,0 +1,61 @@
+//===- sched/ListScheduler.h - Resource-constrained list scheduling -*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic list scheduler (the "underlying scheduler for all but one"
+/// of the techniques the paper compares against, Section 1). It schedules
+/// a dependence DAG onto the machine's functional units, non-pipelined: a
+/// unit stays busy for an operation's full latency and a dependent starts
+/// only after its predecessors complete.
+///
+/// Used in three roles: the assignment phase of URSA (by then the DAG's
+/// requirements fit the machine), the prepass/postpass baselines, and —
+/// with register-pressure-aware prioritization enabled — the integrated
+/// baseline of the X1 experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SCHED_LISTSCHEDULER_H
+#define URSA_SCHED_LISTSCHEDULER_H
+
+#include "graph/DAG.h"
+#include "machine/MachineModel.h"
+
+#include <vector>
+
+namespace ursa {
+
+/// A cycle assignment for every real node of a DAG.
+struct Schedule {
+  std::vector<int> CycleOf; ///< node -> issue cycle; -1 for virtual nodes
+  unsigned Length = 0;      ///< total cycles (last completion)
+
+  /// Real nodes grouped by issue cycle.
+  std::vector<std::vector<unsigned>> Cycles;
+};
+
+/// Scheduler knobs.
+struct SchedulerOptions {
+  /// Track live-value pressure and prefer non-increasing instructions
+  /// when pressure approaches the register file size (integrated
+  /// baseline). 0 disables tracking.
+  unsigned RegPressureLimit = 0;
+  /// Per-instruction issue bias (lower first), indexed by trace position.
+  /// Used when spill code must be incorporated into an existing schedule
+  /// (paper Section 1): surviving instructions carry their old cycle and
+  /// spill code slots in next to its anchor, so rescheduling cannot
+  /// re-float reloads and recreate the pressure that forced the spill.
+  /// Empty = pure critical-path priority.
+  std::vector<int> IssueBias;
+};
+
+/// List-schedules \p D on machine \p M; critical-path (height) priority.
+Schedule listSchedule(const DependenceDAG &D, const MachineModel &M,
+                      const SchedulerOptions &Opts = {});
+
+} // namespace ursa
+
+#endif // URSA_SCHED_LISTSCHEDULER_H

@@ -1,0 +1,77 @@
+//===- sched/Pipelines.h - Baseline compilation pipelines -------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end compilation pipelines for the phase orderings the paper
+/// argues against (Section 1), all sharing the scheduler, assignment and
+/// emission machinery so comparisons isolate the phase-ordering decision:
+///
+///  * prepass:    schedule first (ignoring registers), then assign
+///                registers on the schedule, spilling on demand;
+///  * postpass:   allocate registers first on the sequential order
+///                (optimal interval coloring), add the implied reuse
+///                edges, then schedule;
+///  * integrated: register-pressure-aware list scheduling in the style of
+///                [GoH88]/[BEH91], then assignment.
+///
+/// URSA's own pipeline lives in ursa/Compiler.h and reuses
+/// finishAndEmit() for its assignment phase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SCHED_PIPELINES_H
+#define URSA_SCHED_PIPELINES_H
+
+#include "graph/DAG.h"
+#include "machine/MachineModel.h"
+#include "sched/ListScheduler.h"
+#include "sched/RegAssign.h"
+#include "vliw/VLIWProgram.h"
+
+#include <optional>
+#include <string>
+
+namespace ursa {
+
+/// Outcome and metrics of one compilation.
+struct CompileResult {
+  bool Ok = false;
+  std::string Error;
+  std::optional<VLIWProgram> Prog;
+
+  unsigned Cycles = 0;      ///< VLIW words emitted
+  unsigned SpillOps = 0;    ///< spill stores + reloads in the final code
+  unsigned SeqEdgesAdded = 0; ///< ordering edges the pipeline introduced
+  unsigned AssignSpillRounds = 0; ///< assignment-phase spill iterations
+  unsigned PeakLive = 0;    ///< peak simultaneously-live values
+  double Utilization = 0.0; ///< FU slot occupancy
+  unsigned CritPath = 0;    ///< unit-latency critical path of the final DAG
+};
+
+/// Emits \p D under schedule \p S and register mapping \p RA; branch
+/// ordinals follow trace order. The caller guarantees the mapping is
+/// valid for the schedule.
+VLIWProgram emitSchedule(const DependenceDAG &D, const Schedule &S,
+                         const RegAssignment &RA, const MachineModel &M);
+
+/// Schedules \p D, assigns registers (spilling and rescheduling until the
+/// machine's files suffice), and emits a VLIW program. The shared tail of
+/// every pipeline. \p Opts configures the scheduler (pressure awareness).
+CompileResult finishAndEmit(DependenceDAG D, const MachineModel &M,
+                            const SchedulerOptions &Opts = {});
+
+/// Prepass baseline: schedule, then allocate.
+CompileResult compilePrepass(const Trace &T, const MachineModel &M);
+
+/// Postpass baseline: allocate on the sequential order, then schedule.
+CompileResult compilePostpass(const Trace &T, const MachineModel &M);
+
+/// Integrated baseline: pressure-aware scheduling, then allocate.
+CompileResult compileIntegrated(const Trace &T, const MachineModel &M);
+
+} // namespace ursa
+
+#endif // URSA_SCHED_PIPELINES_H

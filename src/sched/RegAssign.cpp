@@ -1,0 +1,233 @@
+//===- sched/RegAssign.cpp - Register assignment on a schedule ------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/RegAssign.h"
+
+#include "graph/Analysis.h"
+
+#include <algorithm>
+
+using namespace ursa;
+
+namespace {
+
+/// One value's lifetime on the schedule.
+struct Interval {
+  int VReg = -1;
+  unsigned DefNode = 0;
+  int Start = 0; ///< issue cycle of the definition
+  int End = 0;   ///< issue cycle of the last use (== Start if unused)
+  RegClassKind Class = RegClassKind::GPR;
+};
+
+} // namespace
+
+/// Builds the live intervals of every defined vreg under schedule \p S.
+static std::vector<Interval> buildIntervals(const DependenceDAG &D,
+                                            const Schedule &S,
+                                            const MachineModel &M) {
+  const Trace &T = D.trace();
+  std::vector<std::vector<unsigned>> Uses = computeUses(D);
+  std::vector<Interval> Iv;
+  for (unsigned Idx = 0, E = T.size(); Idx != E; ++Idx) {
+    const Instruction &I = T.instr(Idx);
+    if (I.dest() < 0)
+      continue;
+    unsigned N = DependenceDAG::nodeOf(Idx);
+    Interval V;
+    V.VReg = I.dest();
+    V.DefNode = N;
+    V.Start = S.CycleOf[N];
+    assert(V.Start >= 0 && "unscheduled definition");
+    V.End = V.Start;
+    for (unsigned U : Uses[N]) {
+      assert(S.CycleOf[U] >= 0 && "unscheduled use");
+      V.End = std::max(V.End, S.CycleOf[U]);
+    }
+    V.Class = M.isHomogeneous() ? RegClassKind::GPR : T.vregClass(I.dest());
+    Iv.push_back(V);
+  }
+  std::sort(Iv.begin(), Iv.end(), [](const Interval &A, const Interval &B) {
+    if (A.Start != B.Start)
+      return A.Start < B.Start;
+    return A.VReg < B.VReg;
+  });
+  return Iv;
+}
+
+RegAssignment ursa::assignRegisters(const DependenceDAG &D, const Schedule &S,
+                                    const MachineModel &M) {
+  RegAssignment R;
+  const Trace &T = D.trace();
+  R.PhysOf.assign(T.numVRegs(), -1);
+
+  std::vector<Interval> Iv = buildIntervals(D, S, M);
+
+  // Per class: free physical registers and the active set.
+  auto RunClass = [&](RegClassKind C) -> bool {
+    unsigned K = M.numRegs(C);
+    std::vector<int> Free;
+    for (int P = int(K) - 1; P >= 0; --P)
+      Free.push_back(P); // so the lowest number is handed out first
+    std::vector<Interval> Active;
+
+    for (const Interval &V : Iv) {
+      if (V.Class != C)
+        continue;
+      // Registers whose value died strictly before, or whose last read
+      // happens this very cycle, are reusable (VLIW words read before
+      // they write).
+      for (auto It = Active.begin(); It != Active.end();) {
+        if (It->End <= V.Start && It->VReg != V.VReg) {
+          Free.push_back(R.PhysOf[It->VReg]);
+          It = Active.erase(It);
+        } else {
+          ++It;
+        }
+      }
+      if (Free.empty()) {
+        R.ConflictVReg = V.VReg;
+        return false;
+      }
+      int P = Free.back();
+      Free.pop_back();
+      R.PhysOf[V.VReg] = P;
+      Active.push_back(V);
+      R.PeakLive = std::max<unsigned>(R.PeakLive, Active.size());
+    }
+    return true;
+  };
+
+  if (!RunClass(RegClassKind::GPR))
+    return R;
+  if (!M.isHomogeneous() && !RunClass(RegClassKind::FPR))
+    return R;
+  R.Ok = true;
+  return R;
+}
+
+int ursa::pickSpillVictim(const DependenceDAG &D, const Schedule &S,
+                          int ConflictVReg) {
+  const Trace &T = D.trace();
+  // The class field is irrelevant here; a homogeneous stand-in keeps the
+  // interval builder shared.
+  std::vector<Interval> Iv =
+      buildIntervals(D, S, MachineModel::homogeneous(1, 1));
+
+  // Find the conflicting interval.
+  const Interval *Conflict = nullptr;
+  for (const Interval &V : Iv)
+    if (V.VReg == ConflictVReg)
+      Conflict = &V;
+  assert(Conflict && "conflict vreg has no interval");
+
+  // Victims: values live across the conflict point whose range actually
+  // spans other instructions, the farthest-ending first. Non-reload
+  // values are preferred; when only reloads remain (late assignment
+  // repair), a stretched reload is re-spilled — it re-reads its existing
+  // slot right before each use, which strictly shrinks its range.
+  std::vector<std::vector<unsigned>> Uses = computeUses(D);
+  int Best = -1, BestEnd = -1;
+  int BestReload = -1, BestReloadEnd = -1;
+  for (const Interval &V : Iv) {
+    if (V.Start > Conflict->Start || V.End < Conflict->Start)
+      continue;
+    if (V.End == V.Start)
+      continue; // dies immediately; spilling frees nothing
+    // Same-class values only (homogeneous treats all as one class).
+    if (T.vregClass(V.VReg) != T.vregClass(ConflictVReg))
+      continue;
+    // A value whose remaining uses are all spill stores has already been
+    // spilled; spilling again would only chase its own store.
+    bool OnlySpillStores = !Uses[V.DefNode].empty();
+    for (unsigned U : Uses[V.DefNode])
+      if (D.instrAt(U).opcode() != Opcode::SpillStore)
+        OnlySpillStores = false;
+    if (OnlySpillStores)
+      continue;
+    if (D.instrAt(V.DefNode).opcode() == Opcode::SpillLoad) {
+      // Only worthwhile if the reload is not already glued to its use.
+      if (V.End > V.Start + 1 && V.End > BestReloadEnd) {
+        BestReloadEnd = V.End;
+        BestReload = V.VReg;
+      }
+      continue;
+    }
+    if (V.End > BestEnd) {
+      BestEnd = V.End;
+      Best = V.VReg;
+    }
+  }
+  return Best >= 0 ? Best : BestReload;
+}
+
+unsigned ursa::spillValueInTrace(Trace &T, int VReg,
+                                 const std::vector<int> *OldBias,
+                                 std::vector<int> *NewBias) {
+  // Locate the definition.
+  int DefIdx = -1;
+  for (unsigned Idx = 0, E = T.size(); Idx != E; ++Idx)
+    if (T.instr(Idx).dest() == VReg) {
+      DefIdx = int(Idx);
+      break;
+    }
+  assert(DefIdx >= 0 && "spilling an undefined vreg");
+  assert((!OldBias || OldBias->size() == T.size()) && "bias size mismatch");
+
+  Domain Dom = T.vregDomain(VReg);
+  // Re-spilling a reload re-reads its existing slot: no store is needed
+  // and the now-useless original reload is dropped.
+  bool IsRespill = T.instr(DefIdx).opcode() == Opcode::SpillLoad;
+  int Slot = IsRespill ? T.instr(DefIdx).spillSlot() : T.newSpillSlot();
+  unsigned Added = 0;
+
+  std::vector<Instruction> Old = T.instructions();
+  // Rebuild in place: Trace has no instruction-removal API, so we rewrite
+  // through a scratch trace body.
+  std::vector<Instruction> New;
+  std::vector<int> Bias;
+  New.reserve(Old.size() + 4);
+  auto BiasAt = [&](unsigned Idx) { return OldBias ? (*OldBias)[Idx] : 0; };
+  for (unsigned Idx = 0; Idx != Old.size(); ++Idx) {
+    Instruction I = Old[Idx];
+    bool UsesVReg = false;
+    for (unsigned S = 0; S != I.numOperands(); ++S)
+      if (I.operand(S) == VReg)
+        UsesVReg = true;
+    // Any use gets its own reload, regardless of trace position —
+    // transformed traces append reloads after their (earlier) uses.
+    if (UsesVReg && int(Idx) != DefIdx) {
+      Instruction Ld(Opcode::SpillLoad);
+      Ld.setDomain(Dom);
+      Ld.setSpillSlot(Slot);
+      int Fresh = T.newVReg(Dom);
+      Ld.setDest(Fresh);
+      New.push_back(Ld);
+      Bias.push_back(BiasAt(Idx) - 1); // just before its use
+      ++Added;
+      for (unsigned S = 0; S != I.numOperands(); ++S)
+        if (I.operand(S) == VReg)
+          I.setOperand(S, Fresh);
+    }
+    if (int(Idx) == DefIdx && IsRespill)
+      continue; // every use now has its own reload; drop the original
+    New.push_back(I);
+    Bias.push_back(BiasAt(Idx));
+    if (int(Idx) == DefIdx) {
+      Instruction St(Opcode::SpillStore);
+      St.setDomain(Dom);
+      St.setOperand(0, VReg);
+      St.setSpillSlot(Slot);
+      New.push_back(St);
+      Bias.push_back(BiasAt(Idx) + 1); // just after the definition
+      ++Added;
+    }
+  }
+  T.replaceInstructions(std::move(New));
+  if (NewBias)
+    *NewBias = std::move(Bias);
+  return Added;
+}

@@ -1,0 +1,67 @@
+//===- sched/RegAssign.h - Register assignment on a schedule ----*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *assignment* half of register handling (URSA separates allocation
+/// from assignment; every pipeline, URSA or baseline, shares this code).
+/// Given a fixed schedule, values become intervals [def issue cycle, last
+/// use issue cycle]; a linear scan maps them onto physical registers per
+/// class. When the machine runs out — possible in the baselines and in
+/// the residual cases URSA's paper assigns to this phase — the caller
+/// receives the conflicting value so it can spill and retry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SCHED_REGASSIGN_H
+#define URSA_SCHED_REGASSIGN_H
+
+#include "graph/DAG.h"
+#include "machine/MachineModel.h"
+#include "sched/ListScheduler.h"
+
+#include <vector>
+
+namespace ursa {
+
+/// Outcome of one assignment attempt.
+struct RegAssignment {
+  bool Ok = false;
+  /// vreg -> physical register (within the vreg's class), -1 if unused.
+  std::vector<int> PhysOf;
+  /// Peak simultaneously-live values per class over the schedule.
+  unsigned PeakLive = 0;
+  /// On failure: the virtual register that could not be assigned.
+  int ConflictVReg = -1;
+};
+
+/// Linear-scan assignment of \p D's values on \p S for machine \p M.
+RegAssignment assignRegisters(const DependenceDAG &D, const Schedule &S,
+                              const MachineModel &M);
+
+/// Spills virtual register \p VReg in \p T: a spill store is inserted
+/// right after its definition and every later use reads a fresh reload
+/// inserted right before it (one reload per use, so each new live range
+/// spans a single instruction). Returns the number of instructions added.
+///
+/// When \p OldBias (per old trace index) is given, \p NewBias is filled
+/// for the rewritten trace: surviving instructions keep their bias, the
+/// store anchors just after the definition and each reload just before
+/// its use — the glue that incorporates spill code into an existing
+/// schedule.
+unsigned spillValueInTrace(Trace &T, int VReg,
+                           const std::vector<int> *OldBias = nullptr,
+                           std::vector<int> *NewBias = nullptr);
+
+/// Picks a spill victim among values live at the conflict: the one whose
+/// last use is farthest in the future (classic Belady-style choice).
+/// Returns -1 if nothing is spillable (already-reloaded single-use
+/// values).
+int pickSpillVictim(const DependenceDAG &D, const Schedule &S,
+                    int ConflictVReg);
+
+} // namespace ursa
+
+#endif // URSA_SCHED_REGASSIGN_H

@@ -1,0 +1,157 @@
+//===- support/Bitset.h - Dynamic bitsets and bit matrices ------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dynamic bitset and a dense square bit matrix. The bit matrix is
+/// the workhorse behind reachability closures: URSA's chain machinery asks
+/// "is a an ancestor of b?" constantly, so the answer must be O(1), and set
+/// operations (union of successor rows) must be word-parallel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SUPPORT_BITSET_H
+#define URSA_SUPPORT_BITSET_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ursa {
+
+/// A fixed-capacity dynamic bitset backed by 64-bit words.
+class Bitset {
+public:
+  Bitset() = default;
+  explicit Bitset(unsigned NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  unsigned size() const { return NumBits; }
+
+  bool test(unsigned I) const {
+    assert(I < NumBits && "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  void set(unsigned I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] |= uint64_t(1) << (I % 64);
+  }
+
+  void reset(unsigned I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// Sets every bit in [0, size()).
+  void setAll() {
+    for (uint64_t &W : Words)
+      W = ~uint64_t(0);
+    trimTail();
+  }
+
+  /// In-place union. Both operands must have the same size.
+  Bitset &operator|=(const Bitset &O) {
+    assert(NumBits == O.NumBits && "size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] |= O.Words[I];
+    return *this;
+  }
+
+  /// In-place intersection. Both operands must have the same size.
+  Bitset &operator&=(const Bitset &O) {
+    assert(NumBits == O.NumBits && "size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= O.Words[I];
+    return *this;
+  }
+
+  /// In-place difference (this \ O).
+  Bitset &subtract(const Bitset &O) {
+    assert(NumBits == O.NumBits && "size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= ~O.Words[I];
+    return *this;
+  }
+
+  bool anyCommon(const Bitset &O) const {
+    assert(NumBits == O.NumBits && "size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & O.Words[I])
+        return true;
+    return false;
+  }
+
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += __builtin_popcountll(W);
+    return N;
+  }
+
+  bool none() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  bool operator==(const Bitset &O) const {
+    return NumBits == O.NumBits && Words == O.Words;
+  }
+
+  /// Calls \p F with the index of every set bit, in increasing order.
+  template <typename Fn> void forEach(Fn F) const {
+    for (unsigned WI = 0, WE = Words.size(); WI != WE; ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = __builtin_ctzll(W);
+        F(WI * 64 + Bit);
+        W &= W - 1;
+      }
+    }
+  }
+
+private:
+  void trimTail() {
+    if (NumBits % 64 != 0 && !Words.empty())
+      Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+  }
+
+  unsigned NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+/// A dense N x N bit matrix; row R answers membership queries about R's
+/// relation to every other index (e.g. "which nodes can R reach").
+class BitMatrix {
+public:
+  BitMatrix() = default;
+  explicit BitMatrix(unsigned N) : N(N), Rows(N, Bitset(N)) {}
+
+  unsigned size() const { return N; }
+
+  bool test(unsigned R, unsigned C) const { return Rows[R].test(C); }
+  void set(unsigned R, unsigned C) { Rows[R].set(C); }
+
+  Bitset &row(unsigned R) { return Rows[R]; }
+  const Bitset &row(unsigned R) const { return Rows[R]; }
+
+  /// Unions row \p Src into row \p Dst (used for closure propagation).
+  void unionRows(unsigned Dst, unsigned Src) { Rows[Dst] |= Rows[Src]; }
+
+private:
+  unsigned N = 0;
+  std::vector<Bitset> Rows;
+};
+
+} // namespace ursa
+
+#endif // URSA_SUPPORT_BITSET_H

@@ -1,0 +1,45 @@
+//===- support/Dot.cpp - Graphviz DOT emission ----------------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Dot.h"
+
+using namespace ursa;
+
+void DotWriter::addNode(unsigned Id, const std::string &Label,
+                        const std::string &Attrs) {
+  Nodes.push_back({Id, Label, Attrs});
+}
+
+void DotWriter::addEdge(unsigned From, unsigned To, const std::string &Attrs) {
+  Edges.push_back({From, To, Attrs});
+}
+
+static void escapeInto(std::ostream &OS, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      OS << '\\';
+    OS << C;
+  }
+}
+
+void DotWriter::print(std::ostream &OS) const {
+  OS << "digraph \"" << GraphName << "\" {\n";
+  for (const Node &N : Nodes) {
+    OS << "  n" << N.Id << " [label=\"";
+    escapeInto(OS, N.Label);
+    OS << "\"";
+    if (!N.Attrs.empty())
+      OS << ", " << N.Attrs;
+    OS << "];\n";
+  }
+  for (const Edge &E : Edges) {
+    OS << "  n" << E.From << " -> n" << E.To;
+    if (!E.Attrs.empty())
+      OS << " [" << E.Attrs << "]";
+    OS << ";\n";
+  }
+  OS << "}\n";
+}

@@ -1,0 +1,56 @@
+//===- support/Dot.h - Graphviz DOT emission --------------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal helper for writing Graphviz digraphs; used to dump dependence
+/// DAGs and reuse DAGs for debugging and documentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SUPPORT_DOT_H
+#define URSA_SUPPORT_DOT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// Collects nodes and edges, then renders a `digraph`.
+class DotWriter {
+public:
+  explicit DotWriter(std::string GraphName) : GraphName(std::move(GraphName)) {}
+
+  /// Declares node \p Id with display \p Label; optional DOT \p Attrs like
+  /// "shape=box".
+  void addNode(unsigned Id, const std::string &Label,
+               const std::string &Attrs = "");
+
+  /// Declares edge \p From -> \p To; optional DOT \p Attrs like
+  /// "style=dashed".
+  void addEdge(unsigned From, unsigned To, const std::string &Attrs = "");
+
+  void print(std::ostream &OS) const;
+
+private:
+  struct Node {
+    unsigned Id;
+    std::string Label;
+    std::string Attrs;
+  };
+  struct Edge {
+    unsigned From, To;
+    std::string Attrs;
+  };
+
+  std::string GraphName;
+  std::vector<Node> Nodes;
+  std::vector<Edge> Edges;
+};
+
+} // namespace ursa
+
+#endif // URSA_SUPPORT_DOT_H

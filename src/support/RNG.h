@@ -1,0 +1,89 @@
+//===- support/RNG.h - Deterministic random number generation ---*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, reproducible PRNG (xoshiro256**). Workload generators and
+/// property tests must be bit-for-bit reproducible across platforms, so we
+/// do not use std::mt19937 distributions (their mapping is unspecified).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SUPPORT_RNG_H
+#define URSA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ursa {
+
+/// xoshiro256** seeded via splitmix64.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL) {
+    uint64_t X = Seed;
+    for (uint64_t &W : State) {
+      // splitmix64 step.
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      W = Z ^ (Z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + int64_t(below(uint64_t(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return double(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with probability \p P.
+  bool chance(double P) { return unit() < P; }
+
+  /// Picks a uniformly random element of \p V (must be non-empty).
+  template <typename VecT> auto &pick(VecT &V) {
+    assert(!V.empty() && "pick() from empty vector");
+    return V[below(V.size())];
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace ursa
+
+#endif // URSA_SUPPORT_RNG_H

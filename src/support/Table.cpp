@@ -1,0 +1,69 @@
+//===- support/Table.cpp - ASCII table rendering --------------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace ursa;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::print(std::ostream &OS) const {
+  std::vector<size_t> Width(Header.size(), 0);
+  for (size_t C = 0; C != Header.size(); ++C)
+    Width[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Width[C])
+        Width[C] = Row[C].size();
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    OS << "|";
+    for (size_t C = 0; C != Row.size(); ++C) {
+      OS << ' ' << Row[C];
+      for (size_t P = Row[C].size(); P < Width[C]; ++P)
+        OS << ' ';
+      OS << " |";
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Header);
+  OS << "|";
+  for (size_t C = 0; C != Header.size(); ++C) {
+    for (size_t P = 0; P < Width[C] + 2; ++P)
+      OS << '-';
+    OS << "|";
+  }
+  OS << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string Table::fmt(double V, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, V);
+  return Buf;
+}
+
+std::string Table::fmt(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)V);
+  return Buf;
+}
+
+std::string Table::fmt(int64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", (long long)V);
+  return Buf;
+}

@@ -1,0 +1,47 @@
+//===- support/Table.h - ASCII table rendering for harnesses ----*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned ASCII tables. Every benchmark harness prints its results
+/// through this class so EXPERIMENTS.md rows and program output agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SUPPORT_TABLE_H
+#define URSA_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// Accumulates rows of string cells and renders them with padded columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends one data row; its arity must match the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (header, separator, rows) to \p OS.
+  void print(std::ostream &OS) const;
+
+  /// Formats a double with \p Digits fractional digits.
+  static std::string fmt(double V, int Digits = 2);
+  static std::string fmt(uint64_t V);
+  static std::string fmt(int64_t V);
+  static std::string fmt(int V) { return fmt(int64_t(V)); }
+  static std::string fmt(unsigned V) { return fmt(uint64_t(V)); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace ursa
+
+#endif // URSA_SUPPORT_TABLE_H

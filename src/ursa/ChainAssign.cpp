@@ -1,0 +1,51 @@
+//===- ursa/ChainAssign.cpp - Schedule-independent assignment -------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ursa/ChainAssign.h"
+
+#include "order/Chains.h"
+#include "ursa/ReuseDAG.h"
+
+using namespace ursa;
+
+unsigned ursa::guaranteedRegWidth(const DependenceDAG &D,
+                                  const DAGAnalysis &A) {
+  ReuseRelation R = buildSafeRegReuse(D, A);
+  return decomposeChains(R.Rel, R.Active).width();
+}
+
+RegAssignment ursa::assignRegistersByChains(const DependenceDAG &D,
+                                            const DAGAnalysis &A,
+                                            const MachineModel &M) {
+  RegAssignment RA;
+  RA.PhysOf.assign(D.trace().numVRegs(), -1);
+
+  auto AssignClass = [&](const ReuseRelation &R, unsigned Limit) {
+    ChainDecomposition CD = decomposeChains(R.Rel, R.Active);
+    RA.PeakLive = std::max<unsigned>(RA.PeakLive, CD.width());
+    if (CD.width() > Limit)
+      return false;
+    for (unsigned C = 0; C != CD.Chains.size(); ++C)
+      for (unsigned N : CD.Chains[C])
+        RA.PhysOf[D.instrAt(N).dest()] = int(C);
+    return true;
+  };
+
+  if (M.isHomogeneous()) {
+    if (!AssignClass(buildSafeRegReuse(D, A),
+                     M.numRegs(RegClassKind::GPR)))
+      return RA;
+  } else {
+    if (!AssignClass(buildSafeRegReuseForClass(D, A, RegClassKind::GPR),
+                     M.numRegs(RegClassKind::GPR)))
+      return RA;
+    if (!AssignClass(buildSafeRegReuseForClass(D, A, RegClassKind::FPR),
+                     M.numRegs(RegClassKind::FPR)))
+      return RA;
+  }
+  RA.Ok = true;
+  return RA;
+}

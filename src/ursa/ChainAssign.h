@@ -1,0 +1,42 @@
+//===- ursa/ChainAssign.h - Schedule-independent assignment -----*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's assignment idea in its pure form: "If there are sufficient
+/// resources, each allocation chain can be assigned a different
+/// resource." Chains of the *guaranteed* reuse relation
+/// (buildSafeRegReuse) may share one physical register under every legal
+/// schedule of the DAG, so the mapping needs no schedule at all. The
+/// guaranteed width can exceed the measured worst case (the measurement
+/// fixes one kill per value; a schedule-independent assignment must
+/// outlive all maximal uses), which is why the production pipelines keep
+/// the tighter schedule-aware linear scan and this exists as the
+/// faithful, verifiable alternative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_CHAINASSIGN_H
+#define URSA_URSA_CHAINASSIGN_H
+
+#include "graph/Analysis.h"
+#include "sched/RegAssign.h"
+
+namespace ursa {
+
+/// Assigns registers chain-per-register from the guaranteed reuse
+/// relation. Ok=false (with ConflictVReg unset) when some class's
+/// guaranteed width exceeds the machine's file.
+RegAssignment assignRegistersByChains(const DependenceDAG &D,
+                                      const DAGAnalysis &A,
+                                      const MachineModel &M);
+
+/// The guaranteed (schedule-independent) register width of \p D for the
+/// whole file / per class.
+unsigned guaranteedRegWidth(const DependenceDAG &D, const DAGAnalysis &A);
+
+} // namespace ursa
+
+#endif // URSA_URSA_CHAINASSIGN_H

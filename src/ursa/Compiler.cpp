@@ -1,0 +1,28 @@
+//===- ursa/Compiler.cpp - End-to-end URSA compilation --------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ursa/Compiler.h"
+
+#include "graph/DAGBuilder.h"
+
+using namespace ursa;
+
+URSACompileResult ursa::compileURSA(const Trace &T, const MachineModel &M,
+                                    const URSAOptions &Opts) {
+  URSACompileResult R;
+
+  URSAResult Alloc = runURSA(buildDAG(T), M, Opts);
+  R.AllocRounds = Alloc.Rounds;
+  R.AllocSeqEdges = Alloc.SeqEdgesAdded;
+  R.AllocSpills = Alloc.SpillsInserted;
+  R.AllocWithinLimits = Alloc.WithinLimits;
+  R.FinalRequired = Alloc.FinalRequired;
+  R.AllocLog = Alloc.Log;
+
+  R.Compile = finishAndEmit(std::move(Alloc.DAG), M);
+  R.Compile.SeqEdgesAdded += Alloc.SeqEdgesAdded;
+  return R;
+}

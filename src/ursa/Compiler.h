@@ -1,0 +1,53 @@
+//===- ursa/Compiler.h - End-to-end URSA compilation ------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public one-call entry point: trace in, VLIW program out, through
+/// the full URSA pipeline of the paper —
+///
+///   build dependence DAG
+///   -> measure requirements (Reuse DAGs, chain decomposition)
+///   -> reduce excesses (sequence edges, spills)
+///   -> assign registers and functional units, generate code.
+///
+/// Quickstart:
+/// \code
+///   Trace T = parseTraceOrDie(Source);
+///   MachineModel M = MachineModel::homogeneous(4, 8);
+///   URSACompileResult R = compileURSA(T, M);
+///   SimResult Sim = simulate(*R.Compile.Prog, Inputs);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_COMPILER_H
+#define URSA_URSA_COMPILER_H
+
+#include "sched/Pipelines.h"
+#include "ursa/Driver.h"
+
+namespace ursa {
+
+/// Compile outcome: the shared pipeline metrics plus URSA's allocation
+/// accounting.
+struct URSACompileResult {
+  CompileResult Compile;
+  /// Allocation-phase details (rounds, requirement levels, log).
+  unsigned AllocRounds = 0;
+  unsigned AllocSeqEdges = 0;
+  unsigned AllocSpills = 0;
+  bool AllocWithinLimits = false;
+  std::vector<unsigned> FinalRequired;
+  std::vector<std::string> AllocLog;
+};
+
+/// Runs the full URSA pipeline on \p T for machine \p M.
+URSACompileResult compileURSA(const Trace &T, const MachineModel &M,
+                              const URSAOptions &Opts = {});
+
+} // namespace ursa
+
+#endif // URSA_URSA_COMPILER_H

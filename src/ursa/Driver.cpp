@@ -1,0 +1,214 @@
+//===- ursa/Driver.cpp - The URSA allocation driver -----------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ursa/Driver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+using namespace ursa;
+
+namespace {
+
+/// One measured DAG state: analyses plus per-resource requirements.
+struct State {
+  std::unique_ptr<DAGAnalysis> A;
+  std::unique_ptr<HammockForest> HF;
+  std::vector<Measurement> Meas;
+  std::vector<std::pair<ResourceId, unsigned>> Limits;
+  unsigned TotalExcess = 0;
+  unsigned CritPath = 0;
+
+  State(const DependenceDAG &D, const MachineModel &M,
+        const MeasureOptions &MO) {
+    A = std::make_unique<DAGAnalysis>(D);
+    HF = std::make_unique<HammockForest>(D, *A);
+    Limits = machineResources(M);
+    Meas = measureAll(D, *A, *HF, M, MO);
+    CritPath = A->criticalPathLength();
+    for (unsigned I = 0; I != Meas.size(); ++I)
+      if (Meas[I].MaxRequired > Limits[I].second)
+        TotalExcess += Meas[I].MaxRequired - Limits[I].second;
+  }
+};
+
+/// Score of a tentatively applied proposal. The paper asks for "the
+/// combination of minimizing the critical path and reduction of all
+/// excess requirements": proposals are ranked by excess-reduction per
+/// unit of critical-path growth (spill traffic counts as extra cost),
+/// then by the resulting critical path, preferring sequencing on ties.
+struct Score {
+  unsigned TotalExcess;
+  unsigned Gain;     ///< excess removed by this proposal
+  unsigned Cost;     ///< critical-path growth + spill-traffic penalty
+  unsigned CritPath; ///< absolute critical path after
+  unsigned IsSpill;  ///< paper Section 5: prefer sequencing on a tie
+  unsigned NumEdges;
+
+  bool operator<(const Score &O) const {
+    // Higher Gain/Cost ratio wins (cross-multiplied, +1 to avoid /0).
+    uint64_t L = uint64_t(Gain) * (O.Cost + 1);
+    uint64_t R = uint64_t(O.Gain) * (Cost + 1);
+    if (L != R)
+      return L > R;
+    if (CritPath != O.CritPath)
+      return CritPath < O.CritPath;
+    if (IsSpill != O.IsSpill)
+      return IsSpill < O.IsSpill;
+    return NumEdges < O.NumEdges;
+  }
+};
+
+} // namespace
+
+/// Collects candidate proposals for the current state, restricted to the
+/// resource kinds active in this phase.
+static std::vector<TransformProposal>
+collectProposals(const DependenceDAG &D, const State &S, bool DoRegs,
+                 bool DoFUs, const URSAOptions &Opts) {
+  TransformContext Ctx{D, *S.A, *S.HF};
+  std::vector<TransformProposal> Props;
+  for (unsigned I = 0; I != S.Meas.size(); ++I) {
+    const Measurement &M = S.Meas[I];
+    unsigned Limit = S.Limits[I].second;
+    if (M.MaxRequired <= Limit)
+      continue;
+    bool IsReg = M.Res.Kind == ResourceId::Reg;
+    if ((IsReg && !DoRegs) || (!IsReg && !DoFUs))
+      continue;
+    std::vector<ExcessiveChainSet> Sets =
+        findExcessiveSets(M, *S.A, *S.HF, Limit);
+    // Innermost hammocks first; a couple of sets per resource per round
+    // keeps the tentative-application cost bounded.
+    unsigned Taken = 0;
+    for (const ExcessiveChainSet &E : Sets) {
+      if (Taken++ == 2)
+        break;
+      std::vector<TransformProposal> P;
+      if (IsReg) {
+        if (Opts.EnableRegSeq)
+          P = proposeRegSequencing(Ctx, E);
+        if (Opts.EnableSpills) {
+          std::vector<TransformProposal> Sp = proposeSpills(Ctx, E);
+          P.insert(P.end(), Sp.begin(), Sp.end());
+        }
+      } else {
+        P = proposeFUSequencing(Ctx, E);
+      }
+      Props.insert(Props.end(), P.begin(), P.end());
+    }
+  }
+  return Props;
+}
+
+URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
+                         const URSAOptions &Opts) {
+  URSAResult R(std::move(D));
+  std::vector<std::pair<bool, bool>> Phases; // (regs?, fus?)
+  switch (Opts.Order) {
+  case PhaseOrdering::RegistersFirst:
+    Phases = {{true, false}, {false, true}};
+    break;
+  case PhaseOrdering::FUsFirst:
+    Phases = {{false, true}, {true, false}};
+    break;
+  case PhaseOrdering::Integrated:
+    Phases = {{true, true}};
+    break;
+  }
+  // A final integrated sweep mops up residue a single-resource phase got
+  // stuck on (e.g. register excess only removable after functional-unit
+  // sequencing shortened lifetimes); usually a no-op.
+  Phases.push_back({true, true});
+
+  {
+    State S0(R.DAG, M, Opts.Measure);
+    R.CritPathBefore = S0.CritPath;
+  }
+
+  // Outer fixpoint: a register round can disturb the functional-unit
+  // phase's work and vice versa, so the phase list repeats until a whole
+  // pass applies nothing (or the excess is gone).
+  for (unsigned Sweep = 0; Sweep != 4; ++Sweep) {
+  unsigned RoundsAtSweepStart = R.Rounds;
+  for (auto [DoRegs, DoFUs] : Phases) {
+    // Plateau patience: a round that keeps the excess flat can still set
+    // up the next reduction (wave edges), but only finitely many are
+    // tolerated before the residual is left to the assignment phase.
+    unsigned Patience = 6;
+    for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+      State S(R.DAG, M, Opts.Measure);
+      std::vector<TransformProposal> Props =
+          collectProposals(R.DAG, S, DoRegs, DoFUs, Opts);
+      if (Props.empty())
+        break;
+
+      // Tentatively apply each proposal and keep the best
+      // never-worsening one (paper Section 5).
+      int Best = -1;
+      Score BestScore{~0u, 0, ~0u, ~0u, ~0u, ~0u};
+      for (unsigned I = 0; I != Props.size(); ++I) {
+        DependenceDAG Scratch = R.DAG;
+        applyTransform(Scratch, Props[I]);
+        State SS(Scratch, M, Opts.Measure);
+        bool IsSpill = Props[I].Kind == TransformProposal::Spill;
+        unsigned Cost = (SS.CritPath > S.CritPath ? SS.CritPath - S.CritPath
+                                                  : 0) +
+                        (IsSpill ? 2 : 0); // store+reload occupy FU slots
+        Score Sc{SS.TotalExcess,
+                 S.TotalExcess - std::min(S.TotalExcess, SS.TotalExcess),
+                 Cost,
+                 SS.CritPath,
+                 IsSpill ? 1u : 0u,
+                 unsigned(Props[I].SeqEdges.size())};
+        if (Sc.TotalExcess <= S.TotalExcess && Sc < BestScore) {
+          BestScore = Sc;
+          Best = int(I);
+        }
+      }
+      if (Best < 0)
+        break; // every proposal worsens; leave residual to assignment
+      if (BestScore.TotalExcess == S.TotalExcess) {
+        // FU wave edges make monotonic progress (each round orders at
+        // least one previously parallel pair), so they ride on MaxRounds
+        // alone; other plateaus burn patience.
+        if (Props[Best].Kind != TransformProposal::FUSequence) {
+          if (Patience == 0)
+            break;
+          --Patience;
+        }
+      } else {
+        Patience = 6;
+      }
+
+      ApplyStats St = applyTransform(R.DAG, Props[Best]);
+      R.SeqEdgesAdded += St.EdgesAdded;
+      R.SpillsInserted += St.SpillsInserted;
+      ++R.Rounds;
+      if (Opts.KeepLog) {
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf), " (excess %u->%u, cp %u)",
+                      S.TotalExcess, BestScore.TotalExcess, BestScore.CritPath);
+        R.Log.push_back(Props[Best].describe() + Buf);
+      }
+    }
+  }
+
+  {
+    State Check(R.DAG, M, Opts.Measure);
+    if (Check.TotalExcess == 0 || R.Rounds == RoundsAtSweepStart)
+      break;
+  }
+  }
+
+  State Final(R.DAG, M, Opts.Measure);
+  R.CritPathAfter = Final.CritPath;
+  R.WithinLimits = Final.TotalExcess == 0;
+  for (const Measurement &Ms : Final.Meas)
+    R.FinalRequired.push_back(Ms.MaxRequired);
+  return R;
+}

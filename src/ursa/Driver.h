@@ -1,0 +1,82 @@
+//===- ursa/Driver.h - The URSA allocation driver ---------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level URSA loop (paper Figure 1 and Section 5): measure every
+/// resource, and while any requirement exceeds the machine, tentatively
+/// apply each candidate transformation, remeasure, and keep the one that
+/// best combines excess reduction with critical-path preservation.
+///
+/// Three phase orderings are supported. The paper recommends applying
+/// both register transformations in one phase before the functional-unit
+/// phase (Section 5's interaction analysis); the other orders exist for
+/// the X3 ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_DRIVER_H
+#define URSA_URSA_DRIVER_H
+
+#include "graph/DAG.h"
+#include "machine/MachineModel.h"
+#include "ursa/Measure.h"
+#include "ursa/Transforms.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// Which resource's transformations run first.
+enum class PhaseOrdering {
+  RegistersFirst, ///< the paper's recommendation (Section 5)
+  FUsFirst,
+  Integrated ///< all transformations compete every round
+};
+
+/// Driver knobs.
+struct URSAOptions {
+  PhaseOrdering Order = PhaseOrdering::RegistersFirst;
+  MeasureOptions Measure;
+  /// Safety valve; each round must reduce total excess, so this is
+  /// rarely reached.
+  unsigned MaxRounds = 128;
+  /// Collect a per-round textual log (for tools and debugging).
+  bool KeepLog = false;
+  /// Ablation switches (X4): restrict the register transformations to
+  /// sequencing only or spilling only.
+  bool EnableSpills = true;
+  bool EnableRegSeq = true;
+};
+
+/// Result of the allocation phase: the transformed DAG, ready for
+/// assignment, plus accounting.
+struct URSAResult {
+  DependenceDAG DAG;
+  unsigned Rounds = 0;
+  unsigned SeqEdgesAdded = 0;
+  unsigned SpillsInserted = 0;
+  /// True when every measured requirement fits the machine; otherwise the
+  /// assignment phase must handle the residual (paper Section 2).
+  bool WithinLimits = false;
+  /// Requirement per machine resource after transformation, aligned with
+  /// machineResources().
+  std::vector<unsigned> FinalRequired;
+  /// Unit-latency critical path before/after.
+  unsigned CritPathBefore = 0;
+  unsigned CritPathAfter = 0;
+  std::vector<std::string> Log;
+
+  explicit URSAResult(DependenceDAG D) : DAG(std::move(D)) {}
+};
+
+/// Runs URSA's measurement + reduction phases on \p D for machine \p M.
+URSAResult runURSA(DependenceDAG D, const MachineModel &M,
+                   const URSAOptions &Opts = {});
+
+} // namespace ursa
+
+#endif // URSA_URSA_DRIVER_H

@@ -1,0 +1,227 @@
+//===- ursa/KillSelection.cpp - Worst-case kill-site selection ------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ursa/KillSelection.h"
+
+#include "order/Chains.h"
+#include "ursa/ReuseDAG.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ursa;
+
+/// Uses of \p Def that can execute last under some schedule: no other use
+/// is reachable from them.
+static std::vector<unsigned>
+maximalUses(const std::vector<unsigned> &Uses, const DAGAnalysis &A) {
+  std::vector<unsigned> Max;
+  for (unsigned U : Uses) {
+    bool Dominated = std::any_of(Uses.begin(), Uses.end(), [&](unsigned V) {
+      return V != U && A.reaches(U, V);
+    });
+    if (!Dominated)
+      Max.push_back(U);
+  }
+  return Max;
+}
+
+namespace {
+
+/// Shared setup for the cover solvers.
+struct CoverProblem {
+  std::vector<unsigned> Defs; ///< defs with at least one (maximal) use
+  std::vector<std::vector<unsigned>> Candidates; ///< per def, killer nodes
+  std::map<unsigned, std::vector<unsigned>> KillerToDefs;
+
+  CoverProblem(const DependenceDAG &D, const DAGAnalysis &A,
+               KillMap &Result) {
+    std::vector<std::vector<unsigned>> Uses = computeUses(D);
+    Result.KillNode.assign(D.size(), -1);
+    for (unsigned N = 2, E = D.size(); N != E; ++N) {
+      if (D.instrAt(N).dest() < 0)
+        continue;
+      std::vector<unsigned> Max = maximalUses(Uses[N], A);
+      if (Max.empty()) {
+        Result.KillNode[N] = int(N); // value never read; dies at its def
+        continue;
+      }
+      Defs.push_back(N);
+      for (unsigned K : Max)
+        KillerToDefs[K].push_back(N);
+      Candidates.push_back(std::move(Max));
+    }
+  }
+};
+
+} // namespace
+
+KillMap ursa::selectKillsGreedy(const DependenceDAG &D, const DAGAnalysis &A) {
+  KillMap Result;
+  CoverProblem P(D, A, Result);
+
+  std::vector<uint8_t> Covered(D.size(), 0);
+  unsigned Remaining = P.Defs.size();
+  while (Remaining != 0) {
+    // Pick the killer covering the most still-uncovered defs; smallest
+    // node id breaks ties deterministically.
+    unsigned BestKiller = 0, BestCount = 0;
+    for (const auto &[Killer, Defs] : P.KillerToDefs) {
+      unsigned C = 0;
+      for (unsigned Def : Defs)
+        if (!Covered[Def])
+          ++C;
+      if (C > BestCount) {
+        BestCount = C;
+        BestKiller = Killer;
+      }
+    }
+    assert(BestCount > 0 && "uncovered def with no candidate killer");
+    for (unsigned Def : P.KillerToDefs[BestKiller]) {
+      if (Covered[Def])
+        continue;
+      Covered[Def] = 1;
+      Result.KillNode[Def] = int(BestKiller);
+      --Remaining;
+    }
+  }
+  return Result;
+}
+
+KillMap ursa::selectKillsMinCoverExact(const DependenceDAG &D,
+                                       const DAGAnalysis &A) {
+  KillMap Greedy = selectKillsGreedy(D, A);
+  KillMap Result;
+  CoverProblem P(D, A, Result);
+  if (P.Defs.empty())
+    return Result;
+
+  // Distinct killers used by the greedy solution bound the search.
+  std::vector<unsigned> GreedyKillers;
+  for (unsigned Def : P.Defs)
+    GreedyKillers.push_back(unsigned(Greedy.KillNode[Def]));
+  std::sort(GreedyKillers.begin(), GreedyKillers.end());
+  GreedyKillers.erase(
+      std::unique(GreedyKillers.begin(), GreedyKillers.end()),
+      GreedyKillers.end());
+  unsigned BestSize = GreedyKillers.size();
+  std::vector<unsigned> BestSet = GreedyKillers;
+
+  // Branch and bound on the set of chosen killers.
+  std::vector<unsigned> Chosen;
+  std::vector<uint8_t> InChosen(D.size(), 0);
+  auto Recurse = [&](auto &&Self) -> void {
+    if (Chosen.size() >= BestSize)
+      return;
+    // First uncovered def (fewest candidates would be better; sizes are
+    // tiny so first is fine).
+    int Pick = -1;
+    for (unsigned I = 0; I != P.Defs.size(); ++I) {
+      bool Cov = std::any_of(P.Candidates[I].begin(), P.Candidates[I].end(),
+                             [&](unsigned K) { return InChosen[K]; });
+      if (!Cov) {
+        Pick = int(I);
+        break;
+      }
+    }
+    if (Pick < 0) {
+      BestSize = Chosen.size();
+      BestSet = Chosen;
+      return;
+    }
+    for (unsigned K : P.Candidates[Pick]) {
+      Chosen.push_back(K);
+      InChosen[K] = 1;
+      Self(Self);
+      InChosen[K] = 0;
+      Chosen.pop_back();
+    }
+  };
+  Recurse(Recurse);
+
+  for (auto K : BestSet)
+    InChosen[K] = 1;
+  for (unsigned I = 0; I != P.Defs.size(); ++I) {
+    for (unsigned K : P.Candidates[I])
+      if (InChosen[K]) {
+        Result.KillNode[P.Defs[I]] = int(K);
+        break;
+      }
+  }
+  return Result;
+}
+
+KillMap ursa::selectKillsExhaustiveWorstCase(const DependenceDAG &D,
+                                             const DAGAnalysis &A) {
+  KillMap Result;
+  CoverProblem P(D, A, Result);
+
+  // Enumerate the cartesian product of per-def maximal-use choices.
+  uint64_t Product = 1;
+  for (const auto &C : P.Candidates) {
+    Product *= C.size();
+    assert(Product <= (1u << 20) && "exhaustive kill search too large");
+  }
+
+  KillMap Current = Result;
+  unsigned BestWidth = 0;
+  KillMap Best = Result;
+  std::vector<unsigned> Choice(P.Defs.size(), 0);
+  for (uint64_t It = 0; It != Product; ++It) {
+    uint64_t X = It;
+    for (unsigned I = 0; I != P.Defs.size(); ++I) {
+      Choice[I] = X % P.Candidates[I].size();
+      X /= P.Candidates[I].size();
+      Current.KillNode[P.Defs[I]] = int(P.Candidates[I][Choice[I]]);
+    }
+    ReuseRelation R = buildRegReuse(D, A, Current);
+    unsigned W = decomposeChains(R.Rel, R.Active).width();
+    if (W > BestWidth) {
+      BestWidth = W;
+      Best = Current;
+    }
+  }
+  return Best;
+}
+
+unsigned ursa::bruteForceMaxLive(const DependenceDAG &D,
+                                 const DAGAnalysis &A) {
+  unsigned NumReal = D.size() - 2;
+  assert(NumReal <= 22 && "brute force liveness is for small DAGs only");
+  std::vector<std::vector<unsigned>> Uses = computeUses(D);
+
+  // Per real node: ancestor mask and pending-use mask over real bits.
+  std::vector<uint32_t> AncMask(NumReal, 0), UseMask(NumReal, 0);
+  std::vector<uint8_t> HasDest(NumReal, 0);
+  for (unsigned I = 0; I != NumReal; ++I) {
+    unsigned N = DependenceDAG::nodeOf(I);
+    A.ancestors(N).forEach([&](unsigned M) {
+      if (!DependenceDAG::isVirtual(M))
+        AncMask[I] |= uint32_t(1) << DependenceDAG::instrOf(M);
+    });
+    for (unsigned U : Uses[N])
+      UseMask[I] |= uint32_t(1) << DependenceDAG::instrOf(U);
+    HasDest[I] = D.instrAt(N).dest() >= 0;
+  }
+
+  unsigned Best = 0;
+  for (uint32_t S = 0, E = uint32_t(1) << NumReal; S != E; ++S) {
+    bool Closed = true;
+    unsigned Live = 0;
+    for (uint32_t M = S; M && Closed; M &= M - 1) {
+      unsigned I = __builtin_ctz(M);
+      if (AncMask[I] & ~S) {
+        Closed = false;
+        break;
+      }
+      if (HasDest[I] && (UseMask[I] & ~S))
+        ++Live;
+    }
+    if (Closed && Live > Best)
+      Best = Live;
+  }
+  return Best;
+}

@@ -1,0 +1,65 @@
+//===- ursa/KillSelection.h - Worst-case kill-site selection ----*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selection of the Kill() function of paper Section 3.2. A value's
+/// register is busy from its definition until the *last* use executes;
+/// since URSA assumes no schedule, the measurement needs the kill choice
+/// that maximizes the worst-case register requirement. The paper proves
+/// this is equivalent to a minimum cover problem (Theorem 2,
+/// NP-complete): pick the smallest set of "killer" use nodes covering all
+/// values, so the most dependents stay live alongside their ancestors.
+///
+/// Only *maximal* uses are kill candidates: a use that must execute
+/// before another use of the same value can never be the last one.
+/// Values with no uses are killed by their own definition.
+///
+/// Three solvers are provided: the production greedy max-coverage
+/// heuristic, an exact branch-and-bound minimum cover, and an exhaustive
+/// width-maximizing search (tiny DAGs; the true worst case) used as
+/// ground truth by tests and the X6 experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_KILLSELECTION_H
+#define URSA_URSA_KILLSELECTION_H
+
+#include "graph/Analysis.h"
+#include "graph/DAG.h"
+
+#include <vector>
+
+namespace ursa {
+
+/// Kill choice per node: KillNode[n] is the node whose execution frees
+/// n's register; n itself when the value has no uses; -1 for nodes that
+/// define no value.
+struct KillMap {
+  std::vector<int> KillNode;
+};
+
+/// Greedy minimum-cover kill selection (production path, O(N^2)-ish).
+KillMap selectKillsGreedy(const DependenceDAG &D, const DAGAnalysis &A);
+
+/// Exact minimum cover by branch and bound; exponential, small DAGs only.
+KillMap selectKillsMinCoverExact(const DependenceDAG &D, const DAGAnalysis &A);
+
+/// Exhaustive search over all maximal-use kill assignments for the one
+/// that maximizes the register-chain width; the true worst case. Only
+/// feasible when few values have multiple maximal uses.
+KillMap selectKillsExhaustiveWorstCase(const DependenceDAG &D,
+                                       const DAGAnalysis &A);
+
+/// Ground truth for the register requirement: maximum, over all
+/// ancestor-closed subsets S of real nodes (equivalently, over all
+/// schedule prefixes), of the number of values defined in S with a use
+/// outside S. Exponential; asserts the DAG is small. Exact when every
+/// value has at least one use (see DESIGN.md Section 5).
+unsigned bruteForceMaxLive(const DependenceDAG &D, const DAGAnalysis &A);
+
+} // namespace ursa
+
+#endif // URSA_URSA_KILLSELECTION_H

@@ -1,0 +1,113 @@
+//===- ursa/Measure.h - Resource requirement measurement --------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase 1 of URSA (paper Section 3): measure the worst-case requirement
+/// of every resource as the width of its CanReuse relation (Theorem 1,
+/// Dilworth), and locate the hammock-local excessive chain sets
+/// (Definition 6) that the transformations must shrink.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_MEASURE_H
+#define URSA_URSA_MEASURE_H
+
+#include "graph/Hammocks.h"
+#include "machine/MachineModel.h"
+#include "order/Chains.h"
+#include "ursa/ReuseDAG.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// Identifies one allocatable resource of the target machine.
+struct ResourceId {
+  enum KindT { FU, Reg } Kind;
+  FUKind FUClass = FUKind::Universal;  ///< valid when Kind == FU
+  RegClassKind RC = RegClassKind::GPR; ///< valid when Kind == Reg
+  /// True on homogeneous machines, where the single register file (or
+  /// universal FU pool) serves every value regardless of class.
+  bool AllClasses = true;
+
+  std::string describe() const;
+  bool operator==(const ResourceId &O) const {
+    return Kind == O.Kind && AllClasses == O.AllClasses &&
+           (Kind == FU ? FUClass == O.FUClass : RC == O.RC);
+  }
+};
+
+/// The resources a machine exposes, each with its capacity.
+std::vector<std::pair<ResourceId, unsigned>>
+machineResources(const MachineModel &M);
+
+/// An excessive chain set (paper Definition 6): more mutually-independent
+/// allocation subchains inside one hammock than the machine has copies of
+/// the resource.
+struct ExcessiveChainSet {
+  ResourceId Res;
+  unsigned HammockIdx; ///< index into the HammockForest
+  unsigned Limit;      ///< available copies of the resource
+  /// Trimmed subchains; when Trimmed is true their heads are pairwise
+  /// independent and so are their tails, and Subchains.size() > Limit.
+  /// When trimming degenerated (all heads/tails related), Subchains holds
+  /// the untrimmed hammock projection and only Witness proves the excess.
+  std::vector<std::vector<unsigned>> Subchains;
+  bool Trimmed = true;
+  /// The untrimmed hammock projection of each subchain's chain, aligned
+  /// with Subchains. Sequencing sources come from here: the paper delays
+  /// {G, H} after I, and I lives in the trimmed-away part of its chain.
+  std::vector<std::vector<unsigned>> FullChains;
+  /// A maximum antichain of the relation inside the hammock — a concrete
+  /// witness of the excess, used by the wave-sequencing fallback when the
+  /// chains are too interleaved for tail-to-head edges.
+  std::vector<unsigned> Witness;
+};
+
+/// Measurement of one resource on one DAG state.
+struct Measurement {
+  ResourceId Res;
+  unsigned MaxRequired = 0;   ///< worst case over all schedules (width)
+  ChainDecomposition Chains;  ///< minimum decomposition (hammock-aware)
+  ReuseRelation Reuse;        ///< the relation the chains decompose
+};
+
+/// Options for the measurement pipeline.
+struct MeasureOptions {
+  /// Use the paper's hammock-prioritized matching; plain matching is the
+  /// ablation baseline (X5).
+  bool PrioritizedMatching = true;
+  /// Kill-site selection: 0 greedy (production), 1 exact min cover.
+  int KillSolver = 0;
+};
+
+/// Measures resource \p Res on DAG \p D.
+Measurement measureResource(const DependenceDAG &D, const DAGAnalysis &A,
+                            const HammockForest &HF, ResourceId Res,
+                            const MeasureOptions &Opts = {});
+
+/// Measures every resource of \p M.
+std::vector<Measurement> measureAll(const DependenceDAG &D,
+                                    const DAGAnalysis &A,
+                                    const HammockForest &HF,
+                                    const MachineModel &M,
+                                    const MeasureOptions &Opts = {});
+
+/// Finds the excessive chain sets of \p Meas against capacity \p Limit,
+/// innermost hammocks first (paper Section 3.1's second step).
+std::vector<ExcessiveChainSet>
+findExcessiveSets(const Measurement &Meas, const DAGAnalysis &A,
+                  const HammockForest &HF, unsigned Limit);
+
+/// Number of distinct chains of \p Chains intersecting \p Nodes — the
+/// paper's Chains(Set) of Definition 8.
+unsigned chainsCovering(const ChainDecomposition &Chains,
+                        const Bitset &Nodes);
+
+} // namespace ursa
+
+#endif // URSA_URSA_MEASURE_H

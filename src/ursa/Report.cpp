@@ -1,0 +1,47 @@
+//===- ursa/Report.cpp - Human-readable allocation reports ----------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ursa/Report.h"
+
+#include "support/Table.h"
+
+#include <sstream>
+
+using namespace ursa;
+
+std::string ursa::formatAllocationReport(const DependenceDAG &Original,
+                                         const URSAResult &Result,
+                                         const MachineModel &M) {
+  std::ostringstream OS;
+  DAGAnalysis A(Original);
+  HammockForest HF(Original, A);
+  std::vector<Measurement> Before = measureAll(Original, A, HF, M);
+  auto Limits = machineResources(M);
+
+  OS << "URSA allocation report — machine " << M.describe() << "\n";
+  Table Tbl({"resource", "limit", "worst case before", "after", "fits"});
+  for (unsigned I = 0; I != Limits.size(); ++I)
+    Tbl.addRow({Limits[I].first.describe(),
+                Table::fmt(uint64_t(Limits[I].second)),
+                Table::fmt(uint64_t(Before[I].MaxRequired)),
+                Table::fmt(uint64_t(Result.FinalRequired[I])),
+                Result.FinalRequired[I] <= Limits[I].second ? "yes" : "NO"});
+  Tbl.print(OS);
+
+  OS << "\n" << Result.Rounds << " transformation rounds: "
+     << Result.SeqEdgesAdded << " sequence edges, " << Result.SpillsInserted
+     << " spills; critical path " << Result.CritPathBefore << " -> "
+     << Result.CritPathAfter << "\n";
+  if (!Result.WithinLimits)
+    OS << "residual excess remains; the assignment phase will spill "
+          "on demand\n";
+  if (!Result.Log.empty()) {
+    OS << "rounds:\n";
+    for (const std::string &L : Result.Log)
+      OS << "  " << L << "\n";
+  }
+  return OS.str();
+}

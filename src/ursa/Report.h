@@ -1,0 +1,32 @@
+//===- ursa/Report.h - Human-readable allocation reports --------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders what URSA did to a trace: per-resource worst-case requirements
+/// before and after, the machine's capacities, transformation effort, and
+/// (optionally) the per-round log. Tools print this next to the emitted
+/// code so the allocation phase's decisions are inspectable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_REPORT_H
+#define URSA_URSA_REPORT_H
+
+#include "ursa/Driver.h"
+
+#include <string>
+
+namespace ursa {
+
+/// Formats a report comparing \p Original (the untransformed DAG) with
+/// the outcome \p Result of running URSA for machine \p M.
+std::string formatAllocationReport(const DependenceDAG &Original,
+                                   const URSAResult &Result,
+                                   const MachineModel &M);
+
+} // namespace ursa
+
+#endif // URSA_URSA_REPORT_H

@@ -1,0 +1,148 @@
+//===- ursa/ReuseDAG.cpp - CanReuse relations per resource ----------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ursa/ReuseDAG.h"
+
+#include "graph/Analysis.h"
+
+using namespace ursa;
+
+/// Shared FU construction over a node filter.
+template <typename FilterFn>
+static ReuseRelation buildFUReuseImpl(const DependenceDAG &D,
+                                      const DAGAnalysis &A, FilterFn Filter) {
+  ReuseRelation R;
+  R.Rel = BitMatrix(D.size());
+  Bitset ActiveBits(D.size());
+  for (unsigned N = 2, E = D.size(); N != E; ++N) {
+    if (!Filter(N))
+      continue;
+    R.Active.push_back(N);
+    ActiveBits.set(N);
+  }
+  for (unsigned N : R.Active) {
+    Bitset Row = A.descendants(N);
+    Row &= ActiveBits;
+    R.Rel.row(N) = std::move(Row);
+  }
+  return R;
+}
+
+ReuseRelation ursa::buildFUReuse(const DependenceDAG &D,
+                                 const DAGAnalysis &A) {
+  return buildFUReuseImpl(D, A, [](unsigned) { return true; });
+}
+
+ReuseRelation ursa::buildFUReuseForClass(const DependenceDAG &D,
+                                         const DAGAnalysis &A, FUKind K) {
+  return buildFUReuseImpl(
+      D, A, [&](unsigned N) { return D.instrAt(N).fuKind() == K; });
+}
+
+/// Shared register construction over a def filter.
+template <typename FilterFn>
+static ReuseRelation buildRegReuseImpl(const DependenceDAG &D,
+                                       const DAGAnalysis &A,
+                                       const KillMap &Kills,
+                                       FilterFn Filter) {
+  ReuseRelation R;
+  R.Rel = BitMatrix(D.size());
+  Bitset ActiveBits(D.size());
+  for (unsigned N = 2, E = D.size(); N != E; ++N) {
+    if (D.instrAt(N).dest() < 0 || !Filter(N))
+      continue;
+    R.Active.push_back(N);
+    ActiveBits.set(N);
+  }
+  for (unsigned N : R.Active) {
+    int Kill = Kills.KillNode[N];
+    assert(Kill >= 0 && "defining node without a kill site");
+    Bitset Row = A.descendants(unsigned(Kill));
+    if (unsigned(Kill) != N)
+      Row.set(unsigned(Kill)); // the killer itself may reuse the register
+    Row &= ActiveBits;
+    R.Rel.row(N) = std::move(Row);
+  }
+  return R;
+}
+
+ReuseRelation ursa::buildRegReuse(const DependenceDAG &D, const DAGAnalysis &A,
+                                  const KillMap &Kills) {
+  return buildRegReuseImpl(D, A, Kills, [](unsigned) { return true; });
+}
+
+ReuseRelation ursa::buildRegReuseForClass(const DependenceDAG &D,
+                                          const DAGAnalysis &A,
+                                          const KillMap &Kills,
+                                          RegClassKind C) {
+  return buildRegReuseImpl(D, A, Kills, [&](unsigned N) {
+    return D.instrAt(N).destRegClass() == C;
+  });
+}
+
+/// Shared safe-reuse construction over a def filter.
+template <typename FilterFn>
+static ReuseRelation buildSafeRegReuseImpl(const DependenceDAG &D,
+                                           const DAGAnalysis &A,
+                                           FilterFn Filter) {
+  std::vector<std::vector<unsigned>> Uses = computeUses(D);
+  ReuseRelation R;
+  R.Rel = BitMatrix(D.size());
+  Bitset ActiveBits(D.size());
+  for (unsigned N = 2, E = D.size(); N != E; ++N) {
+    if (D.instrAt(N).dest() < 0 || !Filter(N))
+      continue;
+    R.Active.push_back(N);
+    ActiveBits.set(N);
+  }
+  for (unsigned N : R.Active) {
+    // b may reuse a's register in every schedule iff b strictly follows
+    // each maximal use (non-maximal uses precede a maximal one anyway).
+    std::vector<unsigned> Max;
+    for (unsigned U : Uses[N]) {
+      bool Maximal = true;
+      for (unsigned V : Uses[N])
+        if (V != U && A.reaches(U, V))
+          Maximal = false;
+      if (Maximal)
+        Max.push_back(U);
+    }
+    Bitset Row(D.size());
+    if (Max.empty()) {
+      Row = A.descendants(N); // dead value: reusable by descendants
+    } else if (Max.size() == 1) {
+      Row = A.descendants(Max[0]);
+      Row.set(Max[0]); // the lone last use may itself take the register
+    } else {
+      // Common strict descendants of every maximal use; the uses are
+      // mutually unreachable, so none of them is in the intersection.
+      Row = A.descendants(Max[0]);
+      for (unsigned I = 1; I != Max.size(); ++I)
+        Row &= A.descendants(Max[I]);
+    }
+    Row &= ActiveBits;
+    Row.reset(N);
+    R.Rel.row(N) = std::move(Row);
+  }
+  return R;
+}
+
+ReuseRelation ursa::buildSafeRegReuse(const DependenceDAG &D,
+                                      const DAGAnalysis &A) {
+  return buildSafeRegReuseImpl(D, A, [](unsigned) { return true; });
+}
+
+ReuseRelation ursa::buildSafeRegReuseForClass(const DependenceDAG &D,
+                                              const DAGAnalysis &A,
+                                              RegClassKind C) {
+  return buildSafeRegReuseImpl(D, A, [&](unsigned N) {
+    return D.instrAt(N).destRegClass() == C;
+  });
+}
+
+BitMatrix ursa::reuseDAGEdges(const ReuseRelation &R) {
+  return transitiveReduction(R.Rel);
+}

@@ -1,0 +1,86 @@
+//===- ursa/ReuseDAG.h - CanReuse relations per resource --------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified piece of URSA (paper Section 3): both resources are
+/// measured through the same structure, a CanReuse relation per resource
+/// type, differing only in how the relation is constructed:
+///
+///  * Functional units are free once their instruction completes, so
+///    CanReuse_FU is exactly the dependence partial order (Definition 3's
+///    instantiation for FUs).
+///
+///  * A register stays busy until the value's killing use executes, so
+///    CanReuse_Reg(a, b) holds iff b is Kill(a) or one of its descendants
+///    (Section 3.2), with Kill() chosen by ursa/KillSelection.h.
+///
+/// The relation is stored as its strict-order closure plus the set of
+/// participating ("active") nodes; the Reuse DAG of Definition 4 is its
+/// transitive reduction and is derivable on demand. Multiple resource
+/// classes (Section 6 extension) are handled by filtering the active set
+/// per class — one Reuse relation per class, as the paper prescribes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_REUSEDAG_H
+#define URSA_URSA_REUSEDAG_H
+
+#include "graph/Analysis.h"
+#include "graph/DAG.h"
+#include "machine/MachineModel.h"
+#include "support/Bitset.h"
+#include "ursa/KillSelection.h"
+
+#include <vector>
+
+namespace ursa {
+
+/// A CanReuse relation: strict partial order over node ids, restricted to
+/// the active nodes that consume the resource.
+struct ReuseRelation {
+  BitMatrix Rel;
+  std::vector<unsigned> Active;
+};
+
+/// CanReuse_FU over every real node (homogeneous machine).
+ReuseRelation buildFUReuse(const DependenceDAG &D, const DAGAnalysis &A);
+
+/// CanReuse_FU restricted to instructions needing FU class \p K.
+ReuseRelation buildFUReuseForClass(const DependenceDAG &D,
+                                   const DAGAnalysis &A, FUKind K);
+
+/// CanReuse_Reg over every value-defining node, with kill sites \p Kills.
+ReuseRelation buildRegReuse(const DependenceDAG &D, const DAGAnalysis &A,
+                            const KillMap &Kills);
+
+/// CanReuse_Reg restricted to values of register class \p C.
+ReuseRelation buildRegReuseForClass(const DependenceDAG &D,
+                                    const DAGAnalysis &A,
+                                    const KillMap &Kills, RegClassKind C);
+
+/// The *guaranteed* register-reuse relation: (a, b) holds iff b executes
+/// after every maximal use of a under EVERY schedule — i.e. b is a
+/// common descendant of all of a's maximal uses. Chains of this relation
+/// can share one physical register no matter how the DAG is later
+/// scheduled, which is what makes the paper's "assign each allocation
+/// chain a register" step sound. It is a sub-relation of CanReuse_Reg
+/// (the measurement picks ONE kill to maximize the worst case), so its
+/// width is >= the measured requirement.
+ReuseRelation buildSafeRegReuse(const DependenceDAG &D, const DAGAnalysis &A);
+
+/// buildSafeRegReuse restricted to class \p C.
+ReuseRelation buildSafeRegReuseForClass(const DependenceDAG &D,
+                                        const DAGAnalysis &A,
+                                        RegClassKind C);
+
+/// The Reuse DAG proper (paper Definition 4): transitive reduction of the
+/// relation. Only needed for display/debugging; measurement works on the
+/// closure.
+BitMatrix reuseDAGEdges(const ReuseRelation &R);
+
+} // namespace ursa
+
+#endif // URSA_URSA_REUSEDAG_H

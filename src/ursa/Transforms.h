@@ -1,0 +1,92 @@
+//===- ursa/Transforms.h - Requirement reduction transformations -*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase 2 of URSA (paper Section 4): the three transformations that
+/// shrink excessive resource requirements by removing schedules from
+/// consideration.
+///
+///  * Functional-unit sequentialization (4.1): add sequence edges from
+///    chain tails near the hammock entry to chain heads near the exit —
+///    "ideal sequence matching".
+///
+///  * Register sequentialization (4.2): delay a nonsupportive subset SD2
+///    of the excessive chains until after the remaining chains SD1, by
+///    edges from SD1's tails to SD2's heads.
+///
+///  * Spilling (4.3): store a value right after its definition, reload it
+///    once SD1 has retired, and rewire the delayed uses to the reload.
+///    Unlike register sequentialization this always applies.
+///
+/// Proposal generation is separated from application so the driver can
+/// tentatively apply each candidate to a scratch copy, remeasure, and pick
+/// the best (paper Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_TRANSFORMS_H
+#define URSA_URSA_TRANSFORMS_H
+
+#include "graph/Analysis.h"
+#include "graph/DAG.h"
+#include "graph/Hammocks.h"
+#include "ursa/Measure.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// Everything proposal generators read; one DAG state snapshot.
+struct TransformContext {
+  const DependenceDAG &D;
+  const DAGAnalysis &A;
+  const HammockForest &HF;
+};
+
+/// A candidate transformation, not yet applied.
+struct TransformProposal {
+  enum KindT { FUSequence, RegSequence, Spill } Kind;
+  ResourceId Res;
+
+  /// Sequence edges to add (all kinds use them).
+  std::vector<std::pair<unsigned, unsigned>> SeqEdges;
+
+  /// Spill only: the defining node whose value is stored/reloaded, the
+  /// uses rewired to the reload, the nodes the reload must follow, and
+  /// the nodes the store must precede (paper 4.3: the roots of SD2 "are
+  /// spilled prior to SD1's roots" — without this the store could be
+  /// delayed and the spilled register would stay live in the worst case).
+  unsigned SpillDef = ~0u;
+  std::vector<unsigned> DelayedUses;
+  std::vector<unsigned> ReloadAfter;
+  std::vector<unsigned> StoreBefore;
+
+  std::string describe() const;
+};
+
+/// Outcome counters of applying one proposal.
+struct ApplyStats {
+  unsigned EdgesAdded = 0;
+  unsigned SpillsInserted = 0; ///< store/reload pairs
+};
+
+/// Generators; each returns zero or more candidates for \p E.
+std::vector<TransformProposal>
+proposeFUSequencing(const TransformContext &Ctx, const ExcessiveChainSet &E);
+std::vector<TransformProposal>
+proposeRegSequencing(const TransformContext &Ctx, const ExcessiveChainSet &E);
+std::vector<TransformProposal> proposeSpills(const TransformContext &Ctx,
+                                             const ExcessiveChainSet &E);
+
+/// Applies \p P to \p D (trace mutation included for spills) and restores
+/// the virtual-edge invariant. The proposal must have been generated from
+/// this DAG state.
+ApplyStats applyTransform(DependenceDAG &D, const TransformProposal &P);
+
+} // namespace ursa
+
+#endif // URSA_URSA_TRANSFORMS_H

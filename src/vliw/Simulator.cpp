@@ -1,0 +1,304 @@
+//===- vliw/Simulator.cpp - Cycle-accurate VLIW execution -----------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vliw/Simulator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+using namespace ursa;
+
+namespace {
+
+/// One register file with in-flight write tracking.
+struct RegFile {
+  std::vector<Value> Vals;
+  std::vector<unsigned> ReadyAt;   ///< cycle the last write commits
+  std::vector<unsigned> WrittenAt; ///< issue cycle of the last write
+
+  explicit RegFile(unsigned N)
+      : Vals(N), ReadyAt(N, 0), WrittenAt(N, ~0u) {}
+};
+
+} // namespace
+
+SimResult ursa::simulate(const VLIWProgram &P, const MemoryState &Initial,
+                         bool StopAtTakenBranch) {
+  SimResult R;
+  std::string Invalid = P.validate();
+  if (!Invalid.empty()) {
+    R.Error = "invalid program: " + Invalid;
+    return R;
+  }
+
+  const MachineModel &M = P.machine();
+  RegFile Gpr(std::max(1u, M.numRegs(RegClassKind::GPR)));
+  RegFile Fpr(std::max(1u, M.numRegs(RegClassKind::FPR)));
+  std::vector<Value> Slots(P.numSpillSlots());
+  std::vector<unsigned> SlotReadyAt(P.numSpillSlots(), 0);
+  R.Exec.Memory = Initial;
+
+  // Pending register writes: (commit cycle, class, reg, value).
+  struct Pending {
+    unsigned Due;
+    RegClassKind C;
+    int Reg;
+    Value V;
+  };
+  std::vector<Pending> InFlight;
+
+  std::vector<std::pair<int64_t, uint8_t>> BranchEvents; // (ordinal, taken)
+  char Buf[128];
+
+  auto FileOf = [&](RegClassKind C) -> RegFile & {
+    return C == RegClassKind::FPR ? Fpr : Gpr;
+  };
+
+  // Functional-unit occupancy: non-pipelined units stay busy for their
+  // full latency; the hardware has no queueing, so an over-subscribed
+  // word is a scheduler bug worth failing loudly on.
+  unsigned BusyCap[4] = {0, 0, 0, 0};
+  if (M.isHomogeneous()) {
+    BusyCap[0] = M.numFUs(FUKind::Universal);
+  } else {
+    for (FUKind K : {FUKind::IntALU, FUKind::FloatALU, FUKind::Memory})
+      BusyCap[unsigned(K)] = M.numFUs(K);
+  }
+  std::vector<std::pair<unsigned, unsigned>> BusyUntil; // (class, free at)
+  auto ClassOf = [&](const Instruction &I) {
+    return M.isHomogeneous() ? 0u : unsigned(I.fuKind());
+  };
+
+  unsigned LastActivity = 0;
+  bool Aborted = false;
+  for (unsigned Cycle = 0; Cycle != P.numWords(); ++Cycle) {
+    // Commit writes due at or before this cycle.
+    for (auto It = InFlight.begin(); It != InFlight.end();) {
+      if (It->Due <= Cycle) {
+        FileOf(It->C).Vals[It->Reg] = It->V;
+        It = InFlight.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    BusyUntil.erase(std::remove_if(BusyUntil.begin(), BusyUntil.end(),
+                                   [&](const auto &B) {
+                                     return B.second <= Cycle;
+                                   }),
+                    BusyUntil.end());
+
+    const VLIWWord &W = P.word(Cycle);
+
+    // Units requested this word must fit the units still free.
+    {
+      unsigned Want[4] = {0, 0, 0, 0};
+      for (const VLIWOp &Op : W.Ops)
+        ++Want[ClassOf(Op.I)];
+      unsigned StillBusy[4] = {0, 0, 0, 0};
+      for (const auto &[Class, Until] : BusyUntil) {
+        (void)Until;
+        ++StillBusy[Class];
+      }
+      for (unsigned C = 0; C != 4; ++C) {
+        if (Want[C] + StillBusy[C] > BusyCap[C] && BusyCap[C] > 0) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "cycle %u: functional units of class %u "
+                        "over-subscribed",
+                        Cycle, C);
+          R.Error = Buf;
+          return R;
+        }
+      }
+      for (const VLIWOp &Op : W.Ops) {
+        unsigned Occ = M.occupancy(Op.I.fuKind());
+        if (Occ > 1)
+          BusyUntil.emplace_back(ClassOf(Op.I), Cycle + Occ);
+      }
+    }
+
+    // Phase 1: every op reads its sources (old register values).
+    struct Staged {
+      const VLIWOp *Op;
+      Value Srcs[3];
+    };
+    std::vector<Staged> StagedOps;
+    for (const VLIWOp &Op : W.Ops) {
+      Staged S;
+      S.Op = &Op;
+      for (unsigned I = 0; I != Op.I.numOperands(); ++I) {
+        int Reg = Op.I.operand(I);
+        // Operand register class: all our multi-operand ops read their
+        // own domain, except CvtIF/CvtFI and stores which read the
+        // opposite/explicit class; derive from the opcode table.
+        RegClassKind C = RegClassKind::GPR;
+        switch (Op.I.opcode()) {
+        case Opcode::FStore:
+        case Opcode::FAdd:
+        case Opcode::FSub:
+        case Opcode::FMul:
+        case Opcode::FDiv:
+        case Opcode::FNeg:
+        case Opcode::FMov:
+        case Opcode::CvtFI:
+          C = RegClassKind::FPR;
+          break;
+        case Opcode::SpillStore:
+          C = Op.I.domain() == Domain::Float ? RegClassKind::FPR
+                                             : RegClassKind::GPR;
+          break;
+        default:
+          break;
+        }
+        if (M.isHomogeneous())
+          C = RegClassKind::GPR; // single file on the base machine
+        RegFile &F = FileOf(C);
+        if (Reg < 0 || unsigned(Reg) >= F.Vals.size()) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "cycle %u: source register out of range", Cycle);
+          R.Error = Buf;
+          return R;
+        }
+        if (F.WrittenAt[Reg] != ~0u && F.WrittenAt[Reg] < Cycle &&
+            F.ReadyAt[Reg] > Cycle) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "cycle %u: read of r%d before its write commits",
+                        Cycle, Reg);
+          R.Error = Buf;
+          return R;
+        }
+        if (F.WrittenAt[Reg] == Cycle) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "cycle %u: read of r%d written in the same word",
+                        Cycle, Reg);
+          R.Error = Buf;
+          return R;
+        }
+        S.Srcs[I] = F.Vals[Reg];
+      }
+      StagedOps.push_back(S);
+    }
+
+    // Phase 2: effects. Loads read memory now; stores buffer until the
+    // end of the word; register results enter the in-flight queue.
+    size_t BranchesBeforeWord = BranchEvents.size();
+    std::map<std::string, Value> StoreBuffer;
+    auto Commit = [&](const Instruction &I, Value V) {
+      RegClassKind C = M.isHomogeneous() ? RegClassKind::GPR
+                                         : I.destRegClass();
+      RegFile &F = FileOf(C);
+      unsigned L = M.latency(I.fuKind());
+      if (F.WrittenAt[I.dest()] == Cycle) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "cycle %u: two writes to r%d in one word", Cycle,
+                      I.dest());
+        R.Error = Buf;
+        return false;
+      }
+      F.WrittenAt[I.dest()] = Cycle;
+      F.ReadyAt[I.dest()] = Cycle + L;
+      InFlight.push_back({Cycle + L, C, I.dest(), V});
+      return true;
+    };
+
+    for (const Staged &S : StagedOps) {
+      const Instruction &I = S.Op->I;
+      switch (effect(I.opcode())) {
+      case OpEffect::MemLoad: {
+        Value V = R.Exec.Memory[P.symbolNames()[I.symbol()]];
+        if (I.domain() == Domain::Float && !V.IsFloat)
+          V = Value::ofFloat(V.F);
+        if (!Commit(I, V))
+          return R;
+        break;
+      }
+      case OpEffect::MemStore: {
+        const std::string &Name = P.symbolNames()[I.symbol()];
+        if (StoreBuffer.count(Name)) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "cycle %u: two stores to '%s' in one word", Cycle,
+                        Name.c_str());
+          R.Error = Buf;
+          return R;
+        }
+        StoreBuffer[Name] = S.Srcs[0];
+        break;
+      }
+      case OpEffect::SpillStore: {
+        if (SlotReadyAt[I.spillSlot()] > Cycle) {
+          std::snprintf(Buf, sizeof(Buf), "cycle %u: spill slot conflict",
+                        Cycle);
+          R.Error = Buf;
+          return R;
+        }
+        Slots[I.spillSlot()] = S.Srcs[0];
+        SlotReadyAt[I.spillSlot()] = Cycle + M.latency(FUKind::Memory);
+        break;
+      }
+      case OpEffect::SpillLoad: {
+        if (SlotReadyAt[I.spillSlot()] > Cycle) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "cycle %u: reload before spill store commits",
+                        Cycle);
+          R.Error = Buf;
+          return R;
+        }
+        if (!Commit(I, Slots[I.spillSlot()]))
+          return R;
+        break;
+      }
+      case OpEffect::Branch:
+        BranchEvents.emplace_back(I.intImm(), S.Srcs[0].I != 0 ? 1 : 0);
+        break;
+      case OpEffect::None:
+        if (!Commit(I, evalOperation(I, S.Srcs)))
+          return R;
+        break;
+      }
+    }
+    for (auto &[Name, V] : StoreBuffer)
+      R.Exec.Memory[Name] = V;
+    if (!W.Ops.empty())
+      LastActivity = Cycle + 1;
+
+    // Trace semantics: a taken branch commits its word, then squashes
+    // everything after it. Branches are mutually ordered by sequence
+    // edges, so at most one can fire per word.
+    if (StopAtTakenBranch) {
+      int64_t Taken = -1;
+      for (size_t I = BranchesBeforeWord; I != BranchEvents.size(); ++I)
+        if (BranchEvents[I].second &&
+            (Taken < 0 || BranchEvents[I].first < Taken))
+          Taken = BranchEvents[I].first;
+      if (Taken >= 0) {
+        R.TakenBranch = int(Taken);
+        Aborted = true;
+        LastActivity = Cycle + 1;
+        break;
+      }
+    }
+  }
+
+  // Drain in-flight writes (a trailing op's result must still land).
+  for (const Pending &Pd : InFlight)
+    FileOf(Pd.C).Vals[Pd.Reg] = Pd.V;
+
+  // Branch log in source order.
+  std::sort(BranchEvents.begin(), BranchEvents.end());
+  for (unsigned I = 0; I != BranchEvents.size(); ++I) {
+    if (BranchEvents[I].first != int64_t(I)) {
+      R.Error = "branch ordinals are not a permutation of source order";
+      return R;
+    }
+    R.Exec.BranchLog.push_back(BranchEvents[I].second);
+  }
+
+  // A squashed trace only spends the cycles up to its taken branch.
+  R.Cycles = Aborted ? LastActivity : std::max(LastActivity, P.numWords());
+  R.Ok = true;
+  return R;
+}

@@ -1,0 +1,52 @@
+//===- vliw/Simulator.h - Cycle-accurate VLIW execution ---------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a VLIWProgram with true VLIW semantics: every operation in a
+/// word reads its registers at issue, results commit after the op's
+/// latency (non-pipelined model — a correct schedule never reads a result
+/// early, and the simulator *checks* that by tracking pending writes).
+/// The observable outcome has the same shape as the interpreter's, so
+/// differential tests compare them directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_VLIW_SIMULATOR_H
+#define URSA_VLIW_SIMULATOR_H
+
+#include "ir/Interpreter.h"
+#include "vliw/VLIWProgram.h"
+
+#include <string>
+
+namespace ursa {
+
+/// Outcome of a simulation.
+struct SimResult {
+  ExecResult Exec;   ///< final memory + branch log (source order)
+  unsigned Cycles = 0;
+  bool Ok = false;
+  std::string Error; ///< non-empty on hazard / validation failure
+  /// Trace mode only: source ordinal of the taken branch that ended the
+  /// run, or -1 when the trace ran to completion (fell through).
+  int TakenBranch = -1;
+};
+
+/// Runs \p P from \p Initial memory. Fails (Ok=false) on structural
+/// problems, read-before-ready hazards, same-cycle writes to one
+/// register, or functional-unit over-subscription (non-pipelined units
+/// stay busy for their full latency) — i.e. on any schedule the hardware
+/// would not honor.
+///
+/// With \p StopAtTakenBranch (trace-scheduling semantics), a taken branch
+/// commits its word and squashes all later words: side exits leave the
+/// trace with exactly the stores up to and including the branch's cycle.
+SimResult simulate(const VLIWProgram &P, const MemoryState &Initial = {},
+                   bool StopAtTakenBranch = false);
+
+} // namespace ursa
+
+#endif // URSA_VLIW_SIMULATOR_H

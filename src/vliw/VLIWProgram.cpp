@@ -1,0 +1,94 @@
+//===- vliw/VLIWProgram.cpp - Wide instruction words -----------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vliw/VLIWProgram.h"
+
+#include <cstdio>
+
+using namespace ursa;
+
+unsigned VLIWProgram::numOps() const {
+  unsigned N = 0;
+  for (const VLIWWord &W : Words)
+    N += W.Ops.size();
+  return N;
+}
+
+double VLIWProgram::utilization() const {
+  if (Words.empty())
+    return 0.0;
+  return double(numOps()) / (double(M.totalFUs()) * double(Words.size()));
+}
+
+std::string VLIWProgram::validate() const {
+  char Buf[128];
+  for (unsigned WI = 0; WI != Words.size(); ++WI) {
+    const VLIWWord &W = Words[WI];
+    unsigned PerClass[4] = {0, 0, 0, 0};
+    unsigned Total = 0;
+    for (const VLIWOp &Op : W.Ops) {
+      ++Total;
+      ++PerClass[unsigned(Op.I.fuKind())];
+      // Register ranges (the single file serves all classes on the base
+      // machine).
+      auto CheckReg = [&](int R, RegClassKind C) {
+        if (M.isHomogeneous())
+          C = RegClassKind::GPR;
+        return R >= 0 && unsigned(R) < M.numRegs(C);
+      };
+      if (Op.I.dest() >= 0 && !CheckReg(Op.I.dest(), Op.I.destRegClass())) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "word %u: destination register out of range", WI);
+        return Buf;
+      }
+      if (isSpillOp(Op.I.opcode()) &&
+          (Op.I.spillSlot() < 0 ||
+           unsigned(Op.I.spillSlot()) >= NumSpillSlots)) {
+        std::snprintf(Buf, sizeof(Buf), "word %u: spill slot out of range",
+                      WI);
+        return Buf;
+      }
+    }
+    if (M.isHomogeneous()) {
+      if (Total > M.numFUs(FUKind::Universal)) {
+        std::snprintf(Buf, sizeof(Buf), "word %u: %u ops exceed %u FUs", WI,
+                      Total, M.numFUs(FUKind::Universal));
+        return Buf;
+      }
+    } else {
+      for (FUKind K :
+           {FUKind::IntALU, FUKind::FloatALU, FUKind::Memory}) {
+        if (PerClass[unsigned(K)] > M.numFUs(K)) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "word %u: class %u ops exceed capacity", WI,
+                        unsigned(K));
+          return Buf;
+        }
+      }
+    }
+  }
+  return "";
+}
+
+std::string VLIWProgram::str() const {
+  std::string S;
+  char Buf[32];
+  for (unsigned WI = 0; WI != Words.size(); ++WI) {
+    std::snprintf(Buf, sizeof(Buf), "%4u: ", WI);
+    S += Buf;
+    bool First = true;
+    for (const VLIWOp &Op : Words[WI].Ops) {
+      if (!First)
+        S += "  ||  ";
+      First = false;
+      S += Op.I.str(&SymNames);
+    }
+    if (First)
+      S += "nop";
+    S += '\n';
+  }
+  return S;
+}

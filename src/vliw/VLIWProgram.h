@@ -1,0 +1,84 @@
+//===- vliw/VLIWProgram.h - Wide instruction words ---------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled artifact: a sequence of VLIW instruction words, one per
+/// machine cycle, each holding at most the machine's issue width of
+/// operations. Operations reuse the IR's Instruction but their register
+/// fields hold *physical* register numbers (per register class).
+///
+/// Branch operations carry their original trace ordinal in the integer
+/// immediate field so the simulator can reconstruct the branch log in
+/// source order regardless of how the schedule interleaved them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_VLIW_VLIWPROGRAM_H
+#define URSA_VLIW_VLIWPROGRAM_H
+
+#include "ir/Instruction.h"
+#include "machine/MachineModel.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// One operation in a word; FUSlot is informational (0-based within the
+/// op's FU class).
+struct VLIWOp {
+  Instruction I;
+  unsigned FUSlot = 0;
+};
+
+/// One machine word = the operations issued in one cycle.
+struct VLIWWord {
+  std::vector<VLIWOp> Ops;
+};
+
+/// A compiled straight-line VLIW program.
+class VLIWProgram {
+public:
+  VLIWProgram(MachineModel M, std::vector<std::string> SymNames,
+              unsigned NumSpillSlots)
+      : M(std::move(M)), SymNames(std::move(SymNames)),
+        NumSpillSlots(NumSpillSlots) {}
+
+  const MachineModel &machine() const { return M; }
+  const std::vector<std::string> &symbolNames() const { return SymNames; }
+  unsigned numSpillSlots() const { return NumSpillSlots; }
+
+  unsigned numWords() const { return Words.size(); }
+  const VLIWWord &word(unsigned I) const { return Words[I]; }
+  VLIWWord &newWord() {
+    Words.emplace_back();
+    return Words.back();
+  }
+
+  /// Number of operations across all words.
+  unsigned numOps() const;
+
+  /// Fraction of FU-cycle slots doing work: numOps / (width * words).
+  double utilization() const;
+
+  /// Structural validation: per-class FU capacity per word, register
+  /// numbers within the machine's files, spill slots in range. Returns an
+  /// empty string when valid.
+  std::string validate() const;
+
+  /// Multi-line listing, one word per line.
+  std::string str() const;
+
+private:
+  MachineModel M;
+  std::vector<std::string> SymNames;
+  unsigned NumSpillSlots;
+  std::vector<VLIWWord> Words;
+};
+
+} // namespace ursa
+
+#endif // URSA_VLIW_VLIWPROGRAM_H

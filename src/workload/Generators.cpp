@@ -1,0 +1,231 @@
+//===- workload/Generators.cpp - Random program generation ----------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generators.h"
+
+#include "ir/Verifier.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace ursa;
+
+namespace {
+
+/// Bookkeeping for no-dead-value generation: every produced vreg is
+/// tracked until something consumes it; leftovers fold into the outputs.
+class GenState {
+public:
+  GenState(Trace &T, RNG &Rng, const GenOptions &Opts)
+      : T(T), Rng(Rng), Opts(Opts) {}
+
+  void loadInputs() {
+    for (unsigned I = 0; I != std::max(1u, Opts.NumInputs); ++I) {
+      bool Float = Rng.chance(Opts.FloatFraction);
+      int V = T.emitLoad("in" + std::to_string(I),
+                         Float ? Domain::Float : Domain::Int);
+      live(V).push_back(V);
+    }
+    if (Opts.FloatFraction > 0 && FloatPool.empty()) {
+      int V = T.emitLoad("fin", Domain::Float);
+      FloatPool.push_back(V);
+    }
+  }
+
+  /// One arithmetic step in a random domain.
+  void emitRandomOp() {
+    bool Float = Rng.chance(Opts.FloatFraction) && !FloatPool.empty();
+    if (!Float && IntPool.empty())
+      Float = !FloatPool.empty();
+    if (Float)
+      emitFloatOp();
+    else
+      emitIntOp();
+  }
+
+  void maybeBranch() {
+    if (!Rng.chance(Opts.BranchProb) || IntPool.empty())
+      return;
+    T.emitBranch(pickOperand(IntPool));
+  }
+
+  void maybeMemOp() {
+    if (!Rng.chance(Opts.MemOpProb))
+      return;
+    if (Rng.chance(0.5) || IntPool.size() < 2) {
+      int V = T.emitLoad("m" + std::to_string(Rng.below(4)), Domain::Int);
+      IntPool.push_back(V);
+    } else {
+      T.emitStore("m" + std::to_string(Rng.below(4)),
+                  consumeOperand(IntPool));
+    }
+  }
+
+  /// Folds every still-unconsumed value into NumOutputs stores.
+  void sealOutputs() {
+    if (IntPool.empty() && FloatPool.empty())
+      IntPool.push_back(T.emitLoad("in0"));
+    // Convert leftover floats into the int domain so one reduction
+    // suffices; then store accumulators.
+    while (!FloatPool.empty()) {
+      int F = consumeOperand(FloatPool);
+      IntPool.push_back(T.emitOp(Opcode::CvtFI, F));
+    }
+    unsigned Outs = std::max(1u, Opts.NumOutputs);
+    std::vector<int> Acc;
+    for (unsigned I = 0; I != Outs && !IntPool.empty(); ++I)
+      Acc.push_back(consumeOperand(IntPool));
+    unsigned Turn = 0;
+    while (!IntPool.empty()) {
+      int V = consumeOperand(IntPool);
+      Acc[Turn] = T.emitOp(Opcode::Xor, Acc[Turn], V);
+      Turn = (Turn + 1) % Acc.size();
+    }
+    for (unsigned I = 0; I != Acc.size(); ++I)
+      T.emitStore("out" + std::to_string(I), Acc[I]);
+  }
+
+private:
+  std::vector<int> &live(int VReg) {
+    return T.vregDomain(VReg) == Domain::Float ? FloatPool : IntPool;
+  }
+
+  /// Picks an operand without consuming it (value stays live).
+  int pickOperand(std::vector<int> &Pool) {
+    assert(!Pool.empty() && "picking from an empty pool");
+    unsigned W = std::min<unsigned>(Pool.size(), std::max(1u, Opts.Window));
+    return Pool[Pool.size() - 1 - Rng.below(W)];
+  }
+
+  /// Picks an operand and removes it from the pool (it has been used; it
+  /// may be used again only if re-picked before removal — removal here
+  /// just marks "no longer owed a consumer").
+  int consumeOperand(std::vector<int> &Pool) {
+    unsigned W = std::min<unsigned>(Pool.size(), std::max(1u, Opts.Window));
+    unsigned At = Pool.size() - 1 - Rng.below(W);
+    int V = Pool[At];
+    Pool.erase(Pool.begin() + At);
+    return V;
+  }
+
+  void emitIntOp() {
+    static const Opcode Binary[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                    Opcode::And, Opcode::Xor, Opcode::Min,
+                                    Opcode::Max, Opcode::Or};
+    static const Opcode Unary[] = {Opcode::Neg, Opcode::Not};
+    int A = consumeOperand(IntPool);
+    int V;
+    if (IntPool.empty() || Rng.chance(0.15)) {
+      V = T.emitOp(Unary[Rng.below(2)], A);
+    } else {
+      // Second operand only *picked* half the time so values get fanout.
+      int B = Rng.chance(0.5) ? pickOperand(IntPool)
+                              : consumeOperand(IntPool);
+      V = T.emitOp(Binary[Rng.below(8)], A, B);
+    }
+    IntPool.push_back(V);
+  }
+
+  void emitFloatOp() {
+    static const Opcode Binary[] = {Opcode::FAdd, Opcode::FSub, Opcode::FMul};
+    int A = consumeOperand(FloatPool);
+    int V;
+    if (FloatPool.empty() || Rng.chance(0.2)) {
+      V = T.emitOp(Opcode::FNeg, A);
+    } else {
+      int B = Rng.chance(0.5) ? pickOperand(FloatPool)
+                              : consumeOperand(FloatPool);
+      V = T.emitOp(Binary[Rng.below(3)], A, B);
+    }
+    FloatPool.push_back(V);
+  }
+
+  Trace &T;
+  RNG &Rng;
+  const GenOptions &Opts;
+  std::vector<int> IntPool, FloatPool;
+};
+
+} // namespace
+
+/// Balanced reduction over fresh loads.
+static void buildExpression(Trace &T, RNG &Rng, const GenOptions &Opts) {
+  std::vector<int> Level;
+  unsigned Leaves = std::max(2u, Opts.NumInstrs / 2);
+  for (unsigned I = 0; I != Leaves; ++I)
+    Level.push_back(T.emitLoad("in" + std::to_string(I % 26)));
+  static const Opcode Ops[] = {Opcode::Add, Opcode::Xor, Opcode::Min,
+                               Opcode::Max};
+  while (Level.size() > 1) {
+    std::vector<int> Next;
+    for (unsigned I = 0; I + 1 < Level.size(); I += 2)
+      Next.push_back(T.emitOp(Ops[Rng.below(4)], Level[I], Level[I + 1]));
+    if (Level.size() % 2)
+      Next.push_back(Level.back());
+    Level = std::move(Next);
+  }
+  T.emitStore("out0", Level[0]);
+}
+
+/// Independent chains joined by a final reduction.
+static void buildChains(Trace &T, RNG &Rng, const GenOptions &Opts) {
+  unsigned NumChains = std::max(2u, Opts.NumInputs);
+  unsigned PerChain = std::max(1u, Opts.NumInstrs / NumChains);
+  static const Opcode Ops[] = {Opcode::Add, Opcode::Mul, Opcode::Xor,
+                               Opcode::Sub};
+  std::vector<int> Ends;
+  for (unsigned C = 0; C != NumChains; ++C) {
+    int V = T.emitLoad("in" + std::to_string(C));
+    int Seed = T.emitLoadImm(int64_t(Rng.below(64)) + 1);
+    for (unsigned I = 0; I != PerChain; ++I)
+      V = T.emitOp(Ops[Rng.below(4)], V, Seed);
+    Ends.push_back(V);
+  }
+  int Acc = Ends[0];
+  for (unsigned I = 1; I != Ends.size(); ++I)
+    Acc = T.emitOp(Opcode::Add, Acc, Ends[I]);
+  T.emitStore("out0", Acc);
+}
+
+Trace ursa::generateTrace(const GenOptions &Opts) {
+  Trace T("gen-" + std::to_string(Opts.Seed));
+  RNG Rng(Opts.Seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+
+  switch (Opts.Shape) {
+  case GenOptions::ShapeKind::Expression:
+    buildExpression(T, Rng, Opts);
+    break;
+  case GenOptions::ShapeKind::Chains:
+    buildChains(T, Rng, Opts);
+    break;
+  case GenOptions::ShapeKind::Layered: {
+    GenState G(T, Rng, Opts);
+    G.loadInputs();
+    for (unsigned I = 0; I != Opts.NumInstrs; ++I) {
+      G.emitRandomOp();
+      G.maybeMemOp();
+      G.maybeBranch();
+    }
+    G.sealOutputs();
+    break;
+  }
+  }
+
+  assertValid(T);
+  return T;
+}
+
+MemoryState ursa::randomInputs(const Trace &T, RNG &Rng) {
+  MemoryState M;
+  for (const std::string &Name : T.symbolNames()) {
+    if (Rng.chance(0.25))
+      M[Name] = Value::ofFloat(double(Rng.range(-64, 64)) * 0.5);
+    else
+      M[Name] = Value::ofInt(Rng.range(-1000, 1000));
+  }
+  return M;
+}

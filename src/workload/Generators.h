@@ -1,0 +1,58 @@
+//===- workload/Generators.h - Random program generation --------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproducible random trace generation for experiments and differential
+/// testing. The paper reports no workloads, so the corpus is synthetic:
+/// shapes are chosen to span the regimes where phase ordering matters —
+/// wide layered dataflow (register- and FU-hungry), deep expression trees
+/// (balanced reduction), and narrow chains (nearly sequential).
+///
+/// Invariant: generated traces contain no dead values (every definition
+/// is eventually consumed or folded into a stored output), which keeps
+/// the brute-force liveness ground truth exact (DESIGN.md Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_WORKLOAD_GENERATORS_H
+#define URSA_WORKLOAD_GENERATORS_H
+
+#include "ir/Interpreter.h"
+#include "ir/Trace.h"
+#include "support/RNG.h"
+
+namespace ursa {
+
+/// Knobs for generateTrace().
+struct GenOptions {
+  enum class ShapeKind {
+    Layered,    ///< random dataflow with locality-biased operands
+    Expression, ///< balanced reduction tree over the inputs
+    Chains      ///< several independent chains joined at the end
+  };
+
+  ShapeKind Shape = ShapeKind::Layered;
+  unsigned NumInstrs = 30;  ///< approximate arithmetic op count
+  unsigned NumInputs = 4;   ///< variables loaded up front
+  unsigned NumOutputs = 2;  ///< variables stored at the end
+  double FloatFraction = 0; ///< fraction of float-domain computation
+  double BranchProb = 0;    ///< per-op probability of a trace branch
+  double MemOpProb = 0;     ///< per-op probability of an extra load/store
+  /// Operand locality: how many of the most recent values operands are
+  /// drawn from; larger = wider parallelism (Layered shape only).
+  unsigned Window = 8;
+  uint64_t Seed = 1;
+};
+
+/// Generates a verifier-clean trace; deterministic in \p Opts.
+Trace generateTrace(const GenOptions &Opts);
+
+/// Random initial memory covering every variable \p T mentions.
+MemoryState randomInputs(const Trace &T, RNG &Rng);
+
+} // namespace ursa
+
+#endif // URSA_WORKLOAD_GENERATORS_H

@@ -1,0 +1,305 @@
+//===- workload/Kernels.cpp - Hand-written kernel corpus ------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Kernels.h"
+
+#include "ir/Verifier.h"
+
+#include <string>
+
+using namespace ursa;
+
+Trace ursa::figure2Trace() {
+  Trace T("figure2");
+  // The paper's ops use literal constants; materializing them in our ISA
+  // would add nodes, so shape-equal self-combinations stand in: every
+  // node reads exactly the values the paper's corresponding node does.
+  int V = T.emitLoad("v");                      // A: load v
+  int W = T.emitOp(Opcode::Add, V, V);          // B: w = v * 2
+  int X = T.emitOp(Opcode::Mul, V, V);          // C: x = v * 3 (shape-equal)
+  int Y = T.emitOp(Opcode::Neg, V);             // D: y = v + 5 (shape-equal)
+  int T1 = T.emitOp(Opcode::Add, W, X);         // E: t1 = w + x
+  int T2 = T.emitOp(Opcode::Mul, W, X);         // F: t2 = w * x
+  int T3 = T.emitOp(Opcode::Add, Y, Y);         // G: t3 = y * 2
+  int T4 = T.emitOp(Opcode::Mul, Y, Y);         // H: t4 = y / 3 (shape-equal)
+  int T5 = T.emitOp(Opcode::Div, T1, T2);       // I: t5 = t1 / t2
+  int T6 = T.emitOp(Opcode::Add, T3, T4);       // J: t6 = t3 + t4
+  T.emitOp(Opcode::Add, T5, T6);                // K: z = t5 + t6
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::figure2TraceObservable() {
+  Trace T = figure2Trace();
+  // K is the last value defined.
+  int Z = int(T.numVRegs()) - 1;
+  T.emitStore("z", Z);
+  return T;
+}
+
+Trace ursa::dotProductTrace(unsigned Unroll) {
+  Trace T("dot" + std::to_string(Unroll));
+  std::vector<int> Products;
+  for (unsigned I = 0; I != Unroll; ++I) {
+    int A = T.emitLoad("a" + std::to_string(I));
+    int B = T.emitLoad("b" + std::to_string(I));
+    Products.push_back(T.emitOp(Opcode::Mul, A, B));
+  }
+  // Balanced reduction.
+  while (Products.size() > 1) {
+    std::vector<int> Next;
+    for (unsigned I = 0; I + 1 < Products.size(); I += 2)
+      Next.push_back(T.emitOp(Opcode::Add, Products[I], Products[I + 1]));
+    if (Products.size() % 2)
+      Next.push_back(Products.back());
+    Products = std::move(Next);
+  }
+  int Sum0 = T.emitLoad("sum");
+  int Sum1 = T.emitOp(Opcode::Add, Sum0, Products[0]);
+  T.emitStore("sum", Sum1);
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::hornerTrace(unsigned Degree) {
+  Trace T("horner" + std::to_string(Degree));
+  int X = T.emitLoad("x");
+  int Acc = T.emitLoad("c" + std::to_string(Degree));
+  for (unsigned I = Degree; I-- > 0;) {
+    int C = T.emitLoad("c" + std::to_string(I));
+    int M = T.emitOp(Opcode::Mul, Acc, X);
+    Acc = T.emitOp(Opcode::Add, M, C);
+  }
+  T.emitStore("p", Acc);
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::estrinTrace(unsigned Degree) {
+  Trace T("estrin" + std::to_string(Degree));
+  int X = T.emitLoad("x");
+  std::vector<int> Terms;
+  for (unsigned I = 0; I <= Degree; ++I)
+    Terms.push_back(T.emitLoad("c" + std::to_string(I)));
+  int Pow = X;
+  while (Terms.size() > 1) {
+    std::vector<int> Next;
+    for (unsigned I = 0; I + 1 < Terms.size(); I += 2) {
+      int M = T.emitOp(Opcode::Mul, Terms[I + 1], Pow);
+      Next.push_back(T.emitOp(Opcode::Add, Terms[I], M));
+    }
+    if (Terms.size() % 2)
+      Next.push_back(Terms.back());
+    Terms = std::move(Next);
+    if (Terms.size() > 1)
+      Pow = T.emitOp(Opcode::Mul, Pow, Pow);
+  }
+  T.emitStore("p", Terms[0]);
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::stencilTrace(unsigned Points) {
+  Trace T("stencil" + std::to_string(Points));
+  std::vector<int> X;
+  for (unsigned I = 0; I != Points + 2; ++I)
+    X.push_back(T.emitLoad("x" + std::to_string(I)));
+  for (unsigned I = 0; I != Points; ++I) {
+    int Mid = T.emitOp(Opcode::Add, X[I + 1], X[I + 1]);
+    int S = T.emitOp(Opcode::Add, X[I], Mid);
+    int Y = T.emitOp(Opcode::Add, S, X[I + 2]);
+    T.emitStore("y" + std::to_string(I), Y);
+  }
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::hydroTrace(unsigned Unroll) {
+  Trace T("hydro" + std::to_string(Unroll));
+  int Q = T.emitLoad("q");
+  int R = T.emitLoad("r");
+  int Tt = T.emitLoad("t");
+  for (unsigned K = 0; K != Unroll; ++K) {
+    int Z10 = T.emitLoad("z" + std::to_string(K + 10));
+    int Z11 = T.emitLoad("z" + std::to_string(K + 11));
+    int Y = T.emitLoad("y" + std::to_string(K));
+    int A = T.emitOp(Opcode::Mul, R, Z10);
+    int B = T.emitOp(Opcode::Mul, Tt, Z11);
+    int C = T.emitOp(Opcode::Add, A, B);
+    int D = T.emitOp(Opcode::Mul, Y, C);
+    int E = T.emitOp(Opcode::Add, Q, D);
+    T.emitStore("x" + std::to_string(K), E);
+  }
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::butterflyTrace(unsigned Pairs) {
+  Trace T("butterfly" + std::to_string(Pairs));
+  int Wr = T.emitLoad("wr", Domain::Float);
+  int Wi = T.emitLoad("wi", Domain::Float);
+  for (unsigned I = 0; I != Pairs; ++I) {
+    std::string S = std::to_string(I);
+    int Ar = T.emitLoad("ar" + S, Domain::Float);
+    int Ai = T.emitLoad("ai" + S, Domain::Float);
+    int Br = T.emitLoad("br" + S, Domain::Float);
+    int Bi = T.emitLoad("bi" + S, Domain::Float);
+    // t = w * b (complex)
+    int T1 = T.emitOp(Opcode::FMul, Wr, Br);
+    int T2 = T.emitOp(Opcode::FMul, Wi, Bi);
+    int T3 = T.emitOp(Opcode::FMul, Wr, Bi);
+    int T4 = T.emitOp(Opcode::FMul, Wi, Br);
+    int Tr = T.emitOp(Opcode::FSub, T1, T2);
+    int Ti = T.emitOp(Opcode::FAdd, T3, T4);
+    // out0 = a + t; out1 = a - t
+    T.emitStore("cr" + S, T.emitOp(Opcode::FAdd, Ar, Tr));
+    T.emitStore("ci" + S, T.emitOp(Opcode::FAdd, Ai, Ti));
+    T.emitStore("dr" + S, T.emitOp(Opcode::FSub, Ar, Tr));
+    T.emitStore("di" + S, T.emitOp(Opcode::FSub, Ai, Ti));
+  }
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::matmul2Trace(unsigned Repeat) {
+  Trace T("matmul2x" + std::to_string(Repeat));
+  for (unsigned R = 0; R != Repeat; ++R) {
+    std::string S = std::to_string(R);
+    int A[4], B[4];
+    for (unsigned I = 0; I != 4; ++I) {
+      A[I] = T.emitLoad("a" + S + std::to_string(I));
+      B[I] = T.emitLoad("b" + S + std::to_string(I));
+    }
+    // C = A * B, row-major 2x2.
+    struct {
+      unsigned I, K0, K1, J0, J1;
+    } Elems[4] = {{0, 0, 1, 0, 2}, {1, 0, 1, 1, 3}, {2, 2, 3, 0, 2},
+                  {3, 2, 3, 1, 3}};
+    for (const auto &El : Elems) {
+      int P0 = T.emitOp(Opcode::Mul, A[El.K0], B[El.J0]);
+      int P1 = T.emitOp(Opcode::Mul, A[El.K1], B[El.J1]);
+      int C = T.emitOp(Opcode::Add, P0, P1);
+      T.emitStore("c" + S + std::to_string(El.I), C);
+    }
+  }
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::mixedClassTrace(unsigned Lanes) {
+  Trace T("mixed" + std::to_string(Lanes));
+  for (unsigned L = 0; L != Lanes; ++L) {
+    std::string S = std::to_string(L);
+    // Integer address-style arithmetic.
+    int I0 = T.emitLoad("idx" + S);
+    int I1 = T.emitOp(Opcode::Add, I0, I0);
+    int I2 = T.emitOp(Opcode::Xor, I1, I0);
+    T.emitStore("addr" + S, I2);
+    // Float payload arithmetic.
+    int F0 = T.emitLoad("fa" + S, Domain::Float);
+    int F1 = T.emitLoad("fb" + S, Domain::Float);
+    int F2 = T.emitOp(Opcode::FMul, F0, F1);
+    int F3 = T.emitOp(Opcode::FAdd, F2, F0);
+    int F4 = T.emitOp(Opcode::FSub, F3, F1);
+    T.emitStore("fo" + S, F4);
+  }
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::firTrace(unsigned Taps, unsigned Outputs) {
+  Trace T("fir" + std::to_string(Taps) + "x" + std::to_string(Outputs));
+  std::vector<int> Coef, X;
+  for (unsigned K = 0; K != Taps; ++K)
+    Coef.push_back(T.emitLoad("c" + std::to_string(K)));
+  for (unsigned I = 0; I != Outputs + Taps - 1; ++I)
+    X.push_back(T.emitLoad("x" + std::to_string(I)));
+  for (unsigned I = 0; I != Outputs; ++I) {
+    int Acc = T.emitOp(Opcode::Mul, Coef[0], X[I]);
+    for (unsigned K = 1; K != Taps; ++K) {
+      int P = T.emitOp(Opcode::Mul, Coef[K], X[I + K]);
+      Acc = T.emitOp(Opcode::Add, Acc, P);
+    }
+    T.emitStore("y" + std::to_string(I), Acc);
+  }
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::prefixSumTrace(unsigned Points) {
+  Trace T("scan" + std::to_string(Points));
+  int Acc = T.emitLoad("x0");
+  T.emitStore("s0", Acc);
+  for (unsigned I = 1; I != Points; ++I) {
+    int X = T.emitLoad("x" + std::to_string(I));
+    Acc = T.emitOp(Opcode::Add, Acc, X);
+    T.emitStore("s" + std::to_string(I), Acc);
+  }
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::fftStageTrace(unsigned Size) {
+  assert(Size >= 2 && Size % 2 == 0 && "fft stage needs an even size");
+  Trace T("fft" + std::to_string(Size));
+  for (unsigned P = 0; P != Size / 2; ++P) {
+    std::string S = std::to_string(P);
+    int Wr = T.emitLoad("wr" + S, Domain::Float);
+    int Wi = T.emitLoad("wi" + S, Domain::Float);
+    int Ar = T.emitLoad("ar" + S, Domain::Float);
+    int Ai = T.emitLoad("ai" + S, Domain::Float);
+    int Br = T.emitLoad("br" + S, Domain::Float);
+    int Bi = T.emitLoad("bi" + S, Domain::Float);
+    int T1 = T.emitOp(Opcode::FMul, Wr, Br);
+    int T2 = T.emitOp(Opcode::FMul, Wi, Bi);
+    int T3 = T.emitOp(Opcode::FMul, Wr, Bi);
+    int T4 = T.emitOp(Opcode::FMul, Wi, Br);
+    int Tr = T.emitOp(Opcode::FSub, T1, T2);
+    int Ti = T.emitOp(Opcode::FAdd, T3, T4);
+    T.emitStore("or" + S, T.emitOp(Opcode::FAdd, Ar, Tr));
+    T.emitStore("oi" + S, T.emitOp(Opcode::FAdd, Ai, Ti));
+    T.emitStore("pr" + S, T.emitOp(Opcode::FSub, Ar, Tr));
+    T.emitStore("pi" + S, T.emitOp(Opcode::FSub, Ai, Ti));
+  }
+  assertValid(T);
+  return T;
+}
+
+Trace ursa::matvec4Trace(unsigned Rows) {
+  Trace T("matvec4x" + std::to_string(Rows));
+  int V[4];
+  for (unsigned J = 0; J != 4; ++J)
+    V[J] = T.emitLoad("v" + std::to_string(J));
+  for (unsigned R = 0; R != Rows; ++R) {
+    std::string S = std::to_string(R);
+    int P0 = T.emitOp(Opcode::Mul, T.emitLoad("m" + S + "0"), V[0]);
+    int P1 = T.emitOp(Opcode::Mul, T.emitLoad("m" + S + "1"), V[1]);
+    int P2 = T.emitOp(Opcode::Mul, T.emitLoad("m" + S + "2"), V[2]);
+    int P3 = T.emitOp(Opcode::Mul, T.emitLoad("m" + S + "3"), V[3]);
+    int S01 = T.emitOp(Opcode::Add, P0, P1);
+    int S23 = T.emitOp(Opcode::Add, P2, P3);
+    T.emitStore("r" + S, T.emitOp(Opcode::Add, S01, S23));
+  }
+  assertValid(T);
+  return T;
+}
+
+std::vector<std::pair<std::string, Trace>> ursa::kernelSuite() {
+  std::vector<std::pair<std::string, Trace>> Suite;
+  Suite.emplace_back("figure2", figure2TraceObservable());
+  Suite.emplace_back("dot8", dotProductTrace(8));
+  Suite.emplace_back("dot16", dotProductTrace(16));
+  Suite.emplace_back("horner8", hornerTrace(8));
+  Suite.emplace_back("estrin8", estrinTrace(8));
+  Suite.emplace_back("stencil8", stencilTrace(8));
+  Suite.emplace_back("hydro4", hydroTrace(4));
+  Suite.emplace_back("hydro8", hydroTrace(8));
+  Suite.emplace_back("matmul2x2", matmul2Trace(2));
+  Suite.emplace_back("fir4x6", firTrace(4, 6));
+  Suite.emplace_back("scan12", prefixSumTrace(12));
+  Suite.emplace_back("matvec4x3", matvec4Trace(3));
+  return Suite;
+}

@@ -1,0 +1,82 @@
+//===- workload/Kernels.h - Hand-written kernel corpus ----------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The named workload corpus: the paper's Figure 2 example (the anchor of
+/// every figure reproduction) plus unrolled bodies of the numeric kernels
+/// the paper's VLIW setting targets — dot products, Horner vs Estrin
+/// polynomial evaluation, 1D stencils, a hydro fragment in the style of
+/// Livermore loop 1, complex butterflies, and a small matrix product.
+/// Unrolled loop bodies are exactly what trace scheduling hands URSA.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_WORKLOAD_KERNELS_H
+#define URSA_WORKLOAD_KERNELS_H
+
+#include "ir/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+/// The DAG of paper Figure 2, nodes A..K, verbatim (no final store; the
+/// paper's K is the sink). Requirements: 4 FUs, 5 registers.
+Trace figure2Trace();
+
+/// Figure 2 plus a store of z, for executable end-to-end demos.
+Trace figure2TraceObservable();
+
+/// Unrolled dot-product step: sum += a[i]*b[i], \p Unroll copies with a
+/// balanced reduction tree.
+Trace dotProductTrace(unsigned Unroll);
+
+/// Degree-\p Degree polynomial at x, Horner form (serial chain).
+Trace hornerTrace(unsigned Degree);
+
+/// Degree-\p Degree polynomial at x, Estrin form (parallel).
+Trace estrinTrace(unsigned Degree);
+
+/// 3-point stencil over \p Points elements: y[i] = x[i-1]+2x[i]+x[i+1].
+Trace stencilTrace(unsigned Points);
+
+/// Livermore loop 1 (hydro fragment) body, \p Unroll iterations:
+/// x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+Trace hydroTrace(unsigned Unroll);
+
+/// Radix-2 FFT butterfly on \p Pairs complex pairs (float domain).
+Trace butterflyTrace(unsigned Pairs);
+
+/// 2x2 integer matrix multiply, \p Repeat independent products.
+Trace matmul2Trace(unsigned Repeat);
+
+/// Mixed int/float kernel for the register-class experiments: \p Lanes
+/// independent lanes each doing int addressing plus float arithmetic.
+Trace mixedClassTrace(unsigned Lanes);
+
+/// FIR filter: \p Taps coefficients over \p Outputs output points
+/// (coefficients shared across points — long-lived multi-use values).
+Trace firTrace(unsigned Taps, unsigned Outputs);
+
+/// Inclusive prefix sum of \p Points elements — the serial-to-parallel
+/// spectrum's serial end with fan-out stores.
+Trace prefixSumTrace(unsigned Points);
+
+/// One radix-2 FFT stage over \p Size complex points (Size/2 butterflies
+/// with per-pair twiddles), float domain.
+Trace fftStageTrace(unsigned Size);
+
+/// 4x4 integer matrix-vector product, \p Rows of it (4 dot products of
+/// width 4 per row block).
+Trace matvec4Trace(unsigned Rows);
+
+/// The standard suite used by the benchmark harnesses.
+std::vector<std::pair<std::string, Trace>> kernelSuite();
+
+} // namespace ursa
+
+#endif // URSA_WORKLOAD_KERNELS_H

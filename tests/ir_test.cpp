@@ -1,0 +1,245 @@
+//===- tests/ir_test.cpp - IR parser/verifier/interpreter tests -----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+#include "ir/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Trace.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+
+TEST(Opcode, TableIsConsistent) {
+  for (unsigned I = 0; I != numOpcodes(); ++I) {
+    Opcode Op = Opcode(I);
+    const OpcodeInfo &Info = opcodeInfo(Op);
+    EXPECT_NE(Info.Mnemonic, nullptr);
+    EXPECT_LE(Info.NumSrcs, 3u);
+    Opcode Back;
+    ASSERT_TRUE(opcodeByMnemonic(Info.Mnemonic, Back));
+    EXPECT_EQ(Back, Op);
+  }
+}
+
+TEST(Opcode, UnknownMnemonicRejected) {
+  Opcode Op;
+  EXPECT_FALSE(opcodeByMnemonic("frobnicate", Op));
+}
+
+TEST(Opcode, Categories) {
+  EXPECT_TRUE(isMemoryOp(Opcode::Load));
+  EXPECT_TRUE(isMemoryOp(Opcode::Store));
+  EXPECT_TRUE(isMemoryOp(Opcode::Br));
+  EXPECT_FALSE(isMemoryOp(Opcode::Add));
+  EXPECT_TRUE(isBranch(Opcode::Br));
+  EXPECT_FALSE(isBranch(Opcode::Store));
+  EXPECT_TRUE(isSpillOp(Opcode::SpillLoad));
+  EXPECT_TRUE(isSpillOp(Opcode::SpillStore));
+  EXPECT_FALSE(isSpillOp(Opcode::Load));
+}
+
+TEST(Parser, ParsesStraightLineProgram) {
+  Trace T;
+  std::string Err;
+  ASSERT_TRUE(parseTrace("x = load a\n"
+                         "y = load b\n"
+                         "s = add x, y   # comment\n"
+                         "\n"
+                         "store c, s\n",
+                         T, Err))
+      << Err;
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T.instr(0).opcode(), Opcode::Load);
+  EXPECT_EQ(T.instr(2).opcode(), Opcode::Add);
+  EXPECT_EQ(T.instr(3).opcode(), Opcode::Store);
+  EXPECT_EQ(T.numVRegs(), 3u);
+  EXPECT_EQ(T.numSymbols(), 3u);
+  EXPECT_TRUE(verifyTrace(T).empty());
+}
+
+TEST(Parser, ParsesImmediatesAndBranches) {
+  Trace T;
+  std::string Err;
+  ASSERT_TRUE(parseTrace("k = ldi -42\n"
+                         "f = fldi 2.5\n"
+                         "c = cmplt k, k\n"
+                         "br c\n",
+                         T, Err))
+      << Err;
+  EXPECT_EQ(T.instr(0).intImm(), -42);
+  EXPECT_DOUBLE_EQ(T.instr(1).fltImm(), 2.5);
+  EXPECT_EQ(T.instr(3).opcode(), Opcode::Br);
+}
+
+TEST(Parser, RejectsUndefinedRegister) {
+  Trace T;
+  std::string Err;
+  EXPECT_FALSE(parseTrace("s = add x, y\n", T, Err));
+  EXPECT_NE(Err.find("undefined register"), std::string::npos);
+}
+
+TEST(Parser, RejectsRedefinition) {
+  Trace T;
+  std::string Err;
+  EXPECT_FALSE(parseTrace("x = ldi 1\nx = ldi 2\n", T, Err));
+  EXPECT_NE(Err.find("redefined"), std::string::npos);
+}
+
+TEST(Parser, RejectsSpillOpcodes) {
+  Trace T;
+  std::string Err;
+  EXPECT_FALSE(parseTrace("x = spld slot0\n", T, Err));
+  EXPECT_NE(Err.find("compiler-internal"), std::string::npos);
+}
+
+TEST(Parser, RejectsArityErrors) {
+  Trace T;
+  std::string Err;
+  EXPECT_FALSE(parseTrace("x = ldi 1\ny = add x\n", T, Err));
+  Trace T2;
+  EXPECT_FALSE(parseTrace("x = ldi 1\ny = neg x, x\n", T2, Err));
+  Trace T3;
+  EXPECT_FALSE(parseTrace("ldi 5\n", T3, Err)); // missing destination
+  Trace T4;
+  EXPECT_FALSE(parseTrace("x = ldi 1\ny = br x\n", T4, Err)); // br has no dest
+}
+
+TEST(Parser, RoundTripsThroughPrinter) {
+  std::string Src = "x = load a\n"
+                    "k = ldi 3\n"
+                    "y = mul x, k\n"
+                    "store a, y\n"
+                    "br y\n";
+  Trace T = parseTraceOrDie(Src);
+  Trace T2 = parseTraceOrDie(T.str());
+  EXPECT_EQ(T.str(), T2.str());
+}
+
+TEST(Verifier, CatchesDomainMismatch) {
+  Trace T;
+  int X = T.emitLoad("a");              // int value
+  Instruction I(Opcode::FAdd);          // float op fed an int operand
+  I.setDomain(Domain::Float);
+  I.setDest(T.newVReg(Domain::Float));
+  I.setOperand(0, X);
+  I.setOperand(1, X);
+  T.append(I);
+  std::vector<std::string> Problems = verifyTrace(T);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("domain"), std::string::npos);
+}
+
+TEST(Verifier, CatchesUseBeforeDef) {
+  Trace T;
+  int X = T.newVReg(Domain::Int); // never defined before use
+  Instruction I(Opcode::Neg);
+  I.setDest(T.newVReg(Domain::Int));
+  I.setOperand(0, X);
+  T.append(I);
+  EXPECT_FALSE(verifyTrace(T).empty());
+}
+
+TEST(Interpreter, BasicArithmetic) {
+  Trace T = parseTraceOrDie("a = load in\n"
+                            "b = ldi 10\n"
+                            "s = add a, b\n"
+                            "d = div s, b\n"
+                            "store out, d\n");
+  MemoryState In;
+  In["in"] = Value::ofInt(90);
+  ExecResult R = interpret(T, In);
+  EXPECT_EQ(R.Memory["out"].I, 10);
+}
+
+TEST(Interpreter, DivisionByZeroIsZero) {
+  Trace T = parseTraceOrDie("a = ldi 5\n"
+                            "z = ldi 0\n"
+                            "d = div a, z\n"
+                            "r = rem a, z\n"
+                            "s = add d, r\n"
+                            "store out, s\n");
+  ExecResult R = interpret(T);
+  EXPECT_EQ(R.Memory["out"].I, 0);
+}
+
+TEST(Interpreter, ShiftsMaskAmount) {
+  Trace T = parseTraceOrDie("a = ldi 1\n"
+                            "k = ldi 65\n" // masked to 1
+                            "s = shl a, k\n"
+                            "store out, s\n");
+  EXPECT_EQ(interpret(T).Memory["out"].I, 2);
+}
+
+TEST(Interpreter, BranchLogRecordsDirections) {
+  Trace T = parseTraceOrDie("a = ldi 1\n"
+                            "z = ldi 0\n"
+                            "br a\n"
+                            "br z\n"
+                            "br a\n");
+  ExecResult R = interpret(T);
+  ASSERT_EQ(R.BranchLog.size(), 3u);
+  EXPECT_EQ(R.BranchLog[0], 1);
+  EXPECT_EQ(R.BranchLog[1], 0);
+  EXPECT_EQ(R.BranchLog[2], 1);
+}
+
+TEST(Interpreter, MemoryOrderingWithinTrace) {
+  Trace T = parseTraceOrDie("a = ldi 7\n"
+                            "store x, a\n"
+                            "b = load x\n"
+                            "c = add b, b\n"
+                            "store x, c\n");
+  EXPECT_EQ(interpret(T).Memory["x"].I, 14);
+}
+
+TEST(Interpreter, FloatPath) {
+  Trace T = parseTraceOrDie("a = fload fa\n"
+                            "b = fldi 0.5\n"
+                            "m = fmul a, b\n"
+                            "i = cvtfi m\n"
+                            "store out, i\n");
+  MemoryState In;
+  In["fa"] = Value::ofFloat(9.0);
+  EXPECT_EQ(interpret(T, In).Memory["out"].I, 4); // 4.5 truncated
+}
+
+TEST(Interpreter, SelectAndCompare) {
+  Trace T = parseTraceOrDie("a = ldi 3\n"
+                            "b = ldi 5\n"
+                            "c = cmplt a, b\n"
+                            "s = sel c, a, b\n"
+                            "store out, s\n");
+  EXPECT_EQ(interpret(T).Memory["out"].I, 3);
+}
+
+TEST(Value, BitExactFloatEquality) {
+  EXPECT_TRUE(Value::ofFloat(1.5) == Value::ofFloat(1.5));
+  EXPECT_FALSE(Value::ofFloat(0.0) == Value::ofFloat(-0.0)); // bit-exact
+  EXPECT_FALSE(Value::ofInt(1) == Value::ofFloat(1.0));
+}
+
+TEST(Trace, BuilderEmitsVerifiableCode) {
+  Trace T("builder");
+  int A = T.emitLoad("a");
+  int B = T.emitLoadImm(4);
+  int C = T.emitOp(Opcode::Mul, A, B);
+  int D = T.emitOp(Opcode::Sel, C, A, B);
+  T.emitStore("o", D);
+  T.emitBranch(C);
+  EXPECT_TRUE(verifyTrace(T).empty());
+  EXPECT_EQ(T.size(), 6u);
+}
+
+TEST(Trace, SymbolInterningIsStable) {
+  Trace T;
+  int A = T.internSymbol("x");
+  int B = T.internSymbol("y");
+  EXPECT_EQ(T.internSymbol("x"), A);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.symbolName(A), "x");
+}

@@ -1,0 +1,128 @@
+//===- tests/kernels2_test.cpp - Extended kernel corpus --------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+#include "ir/Interpreter.h"
+#include "ir/Verifier.h"
+#include "ursa/Compiler.h"
+#include "ursa/Measure.h"
+#include "vliw/Simulator.h"
+#include "workload/Generators.h"
+#include "workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+
+TEST(Fir, ComputesConvolution) {
+  Trace T = firTrace(3, 2);
+  MemoryState In;
+  int64_t C[3] = {1, 2, 3}, X[4] = {10, 20, 30, 40};
+  for (unsigned I = 0; I != 3; ++I)
+    In["c" + std::to_string(I)] = Value::ofInt(C[I]);
+  for (unsigned I = 0; I != 4; ++I)
+    In["x" + std::to_string(I)] = Value::ofInt(X[I]);
+  ExecResult R = interpret(T, In);
+  EXPECT_EQ(R.Memory["y0"].I, 1 * 10 + 2 * 20 + 3 * 30);
+  EXPECT_EQ(R.Memory["y1"].I, 1 * 20 + 2 * 30 + 3 * 40);
+}
+
+TEST(Fir, SharedCoefficientsRaiseRegisterDemand) {
+  // Coefficients live across every output point; more points cannot
+  // lower the worst case.
+  auto RegReq = [](const Trace &T) {
+    DependenceDAG D = buildDAG(T);
+    DAGAnalysis A(D);
+    HammockForest HF(D, A);
+    ResourceId Res{ResourceId::Reg, FUKind::Universal, RegClassKind::GPR,
+                   true};
+    return measureResource(D, A, HF, Res).MaxRequired;
+  };
+  EXPECT_GE(RegReq(firTrace(4, 6)), RegReq(firTrace(4, 2)));
+  EXPECT_GE(RegReq(firTrace(4, 2)), 4u) << "all taps coexist";
+}
+
+TEST(PrefixSum, ComputesInclusiveScan) {
+  Trace T = prefixSumTrace(5);
+  MemoryState In;
+  for (unsigned I = 0; I != 5; ++I)
+    In["x" + std::to_string(I)] = Value::ofInt(I + 1);
+  ExecResult R = interpret(T, In);
+  int64_t Acc = 0;
+  for (unsigned I = 0; I != 5; ++I) {
+    Acc += I + 1;
+    EXPECT_EQ(R.Memory["s" + std::to_string(I)].I, Acc);
+  }
+}
+
+TEST(PrefixSum, IsSerialByConstruction) {
+  DependenceDAG D = buildDAG(prefixSumTrace(10));
+  DAGAnalysis A(D);
+  // The accumulation chain dominates: critical path ~ number of adds.
+  EXPECT_GE(A.criticalPathLength(), 10u);
+  HammockForest HF(D, A);
+  ResourceId Res{ResourceId::FU, FUKind::Universal, RegClassKind::GPR, true};
+  Measurement M = measureResource(D, A, HF, Res);
+  // Loads and stores off the spine still give some width, but far less
+  // than the op count.
+  EXPECT_LT(M.MaxRequired, 12u);
+}
+
+TEST(FftStage, MatchesComplexArithmetic) {
+  Trace T = fftStageTrace(4); // 2 butterflies
+  MemoryState In;
+  auto SetC = [&](const std::string &Base, unsigned P, double Re,
+                  double Im) {
+    In[Base + "r" + std::to_string(P)] = Value::ofFloat(Re);
+    In[Base + "i" + std::to_string(P)] = Value::ofFloat(Im);
+  };
+  SetC("w", 0, 1.0, 0.0); // w=1
+  SetC("a", 0, 1.0, 2.0);
+  SetC("b", 0, 3.0, -1.0);
+  SetC("w", 1, 0.0, -1.0); // w=-i
+  SetC("a", 1, 0.5, 0.5);
+  SetC("b", 1, 2.0, 0.0);
+  ExecResult R = interpret(T, In);
+  // Pair 0: t = b -> out = a+b, a-b.
+  EXPECT_DOUBLE_EQ(R.Memory["or0"].F, 4.0);
+  EXPECT_DOUBLE_EQ(R.Memory["oi0"].F, 1.0);
+  EXPECT_DOUBLE_EQ(R.Memory["pr0"].F, -2.0);
+  EXPECT_DOUBLE_EQ(R.Memory["pi0"].F, 3.0);
+  // Pair 1: t = -i * 2 = -2i -> out = (0.5, -1.5), (0.5, 2.5).
+  EXPECT_DOUBLE_EQ(R.Memory["or1"].F, 0.5);
+  EXPECT_DOUBLE_EQ(R.Memory["oi1"].F, -1.5);
+  EXPECT_DOUBLE_EQ(R.Memory["pr1"].F, 0.5);
+  EXPECT_DOUBLE_EQ(R.Memory["pi1"].F, 2.5);
+}
+
+TEST(Matvec4, ComputesRowDotProducts) {
+  Trace T = matvec4Trace(2);
+  MemoryState In;
+  for (unsigned J = 0; J != 4; ++J)
+    In["v" + std::to_string(J)] = Value::ofInt(J + 1);
+  for (unsigned R = 0; R != 2; ++R)
+    for (unsigned J = 0; J != 4; ++J)
+      In["m" + std::to_string(R) + std::to_string(J)] =
+          Value::ofInt((R + 1) * 10 + J);
+  ExecResult R = interpret(T, In);
+  EXPECT_EQ(R.Memory["r0"].I, 10 * 1 + 11 * 2 + 12 * 3 + 13 * 4);
+  EXPECT_EQ(R.Memory["r1"].I, 20 * 1 + 21 * 2 + 22 * 3 + 23 * 4);
+}
+
+TEST(NewKernels, AllVerifyAndCompileDifferentially) {
+  MachineModel M = MachineModel::homogeneous(3, 6);
+  RNG InputRng(77);
+  for (Trace T : {firTrace(4, 4), prefixSumTrace(8), fftStageTrace(4),
+                  matvec4Trace(2)}) {
+    EXPECT_TRUE(verifyTrace(T).empty()) << T.name();
+    URSACompileResult R = compileURSA(T, M);
+    ASSERT_TRUE(R.Compile.Ok) << T.name() << ": " << R.Compile.Error;
+    MemoryState In = randomInputs(T, InputRng);
+    SimResult Got = simulate(*R.Compile.Prog, In);
+    ASSERT_TRUE(Got.Ok) << T.name() << ": " << Got.Error;
+    EXPECT_TRUE(Got.Exec == interpret(T, In)) << T.name();
+  }
+}

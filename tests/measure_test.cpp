@@ -1,0 +1,328 @@
+//===- tests/measure_test.cpp - Reuse DAGs, kills, measurement (E1) -------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's Figure 2 numbers exactly (experiment E1) and
+/// property-tests the measurement machinery: the register requirement
+/// from Dilworth + worst-case kills must equal the brute-force maximum
+/// liveness over all schedules (DESIGN.md Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+#include "ir/Parser.h"
+#include "ursa/KillSelection.h"
+#include "ursa/Measure.h"
+#include "ursa/ReuseDAG.h"
+#include "workload/Generators.h"
+#include "workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace ursa;
+
+namespace {
+
+unsigned node(unsigned InstrIdx) { return DependenceDAG::nodeOf(InstrIdx); }
+
+struct Fig2 {
+  DependenceDAG D;
+  DAGAnalysis A;
+  HammockForest HF;
+
+  Fig2() : D(buildDAG(figure2Trace())), A(D), HF(D, A) {}
+};
+
+} // namespace
+
+TEST(FUReuse, IsTheDependencePartialOrder) {
+  Fig2 F;
+  ReuseRelation R = buildFUReuse(F.D, F.A);
+  EXPECT_EQ(R.Active.size(), 11u);
+  // (a,b) in CanReuse_FU iff b is a's strict descendant.
+  for (unsigned X : R.Active)
+    for (unsigned Y : R.Active)
+      EXPECT_EQ(R.Rel.test(X, Y), F.A.reaches(X, Y));
+}
+
+TEST(FUReuse, Figure2RequiresFourFUs) {
+  Fig2 F;
+  ResourceId Res{ResourceId::FU, FUKind::Universal, RegClassKind::GPR, true};
+  Measurement M = measureResource(F.D, F.A, F.HF, Res);
+  EXPECT_EQ(M.MaxRequired, 4u) << "paper: DAG needs 4 FUs";
+}
+
+TEST(RegReuse, Figure2RequiresFiveRegisters) {
+  Fig2 F;
+  ResourceId Res{ResourceId::Reg, FUKind::Universal, RegClassKind::GPR, true};
+  Measurement M = measureResource(F.D, F.A, F.HF, Res);
+  EXPECT_EQ(M.MaxRequired, 5u)
+      << "paper: B, C, E, G, H can all be alive at once";
+}
+
+TEST(RegReuse, Figure2BruteForceAgrees) {
+  Fig2 F;
+  EXPECT_EQ(bruteForceMaxLive(F.D, F.A), 5u);
+}
+
+TEST(Kills, MaximalUseOnlyAndMinimumCover) {
+  Fig2 F;
+  KillMap K = selectKillsGreedy(F.D, F.A);
+  // v (node A) is used by B, C, D; all are maximal; some one of them
+  // kills it.
+  int KA = K.KillNode[node(0)];
+  EXPECT_TRUE(KA == int(node(1)) || KA == int(node(2)) || KA == int(node(3)));
+  // w and x (B, C) must share their killer (E or F) under minimum cover —
+  // that is what makes three values live in the {B,C,E,F} sub-DAG.
+  EXPECT_EQ(K.KillNode[node(1)], K.KillNode[node(2)]);
+  int Shared = K.KillNode[node(1)];
+  EXPECT_TRUE(Shared == int(node(4)) || Shared == int(node(5)));
+  // K (z) has no uses: killed at its own definition.
+  EXPECT_EQ(K.KillNode[node(10)], int(node(10)));
+}
+
+TEST(Kills, ExactCoverNoLargerThanGreedy) {
+  for (auto &[Name, T] : kernelSuite()) {
+    if (T.size() > 40)
+      continue; // keep the exact solver fast
+    DependenceDAG D = buildDAG(T);
+    DAGAnalysis A(D);
+    KillMap G = selectKillsGreedy(D, A);
+    KillMap E = selectKillsMinCoverExact(D, A);
+    auto CoverSize = [&](const KillMap &K) {
+      std::set<int> S;
+      for (unsigned N = 2; N != D.size(); ++N)
+        if (K.KillNode[N] >= 0 && K.KillNode[N] != int(N))
+          S.insert(K.KillNode[N]);
+      return S.size();
+    };
+    EXPECT_LE(CoverSize(E), CoverSize(G)) << Name;
+  }
+}
+
+TEST(Kills, KillersAreMaximalUses) {
+  GenOptions Opts;
+  Opts.NumInstrs = 40;
+  for (uint64_t Seed = 1; Seed != 20; ++Seed) {
+    Opts.Seed = Seed;
+    DependenceDAG D = buildDAG(generateTrace(Opts));
+    DAGAnalysis A(D);
+    std::vector<std::vector<unsigned>> Uses = computeUses(D);
+    KillMap K = selectKillsGreedy(D, A);
+    for (unsigned N = 2; N != D.size(); ++N) {
+      if (D.instrAt(N).dest() < 0)
+        continue;
+      int Kill = K.KillNode[N];
+      ASSERT_GE(Kill, 0);
+      if (Kill == int(N)) {
+        EXPECT_TRUE(Uses[N].empty());
+        continue;
+      }
+      // The killer is a use, and no other use is reachable from it.
+      EXPECT_TRUE(std::find(Uses[N].begin(), Uses[N].end(), unsigned(Kill)) !=
+                  Uses[N].end());
+      for (unsigned U : Uses[N])
+        EXPECT_FALSE(A.reaches(unsigned(Kill), U));
+    }
+  }
+}
+
+TEST(RegReuse, RelationIsStrictOrder) {
+  GenOptions Opts;
+  Opts.NumInstrs = 30;
+  for (uint64_t Seed = 1; Seed != 15; ++Seed) {
+    Opts.Seed = Seed;
+    DependenceDAG D = buildDAG(generateTrace(Opts));
+    DAGAnalysis A(D);
+    ReuseRelation R = buildRegReuse(D, A, selectKillsGreedy(D, A));
+    for (unsigned X : R.Active) {
+      EXPECT_FALSE(R.Rel.test(X, X));
+      R.Rel.row(X).forEach([&](unsigned Y) {
+        EXPECT_FALSE(R.Rel.test(Y, X)) << "antisymmetry";
+        // Transitivity: Y's row is contained in X's row.
+        Bitset Diff = R.Rel.row(Y);
+        Diff.subtract(R.Rel.row(X));
+        EXPECT_TRUE(Diff.none()) << "transitivity";
+      });
+    }
+  }
+}
+
+TEST(RegReuse, WorstCaseKillsMatchBruteForceLiveness) {
+  // Exhaustive kill choice maximizing width == max schedule liveness
+  // (exact on dead-value-free programs; see DESIGN.md).
+  GenOptions Opts;
+  Opts.NumInstrs = 9;
+  Opts.NumInputs = 3;
+  Opts.NumOutputs = 1;
+  unsigned Checked = 0;
+  for (uint64_t Seed = 1; Checked < 25 && Seed != 120; ++Seed) {
+    Opts.Seed = Seed;
+    Trace T = generateTrace(Opts);
+    if (T.size() > 18)
+      continue;
+    DependenceDAG D = buildDAG(T);
+    DAGAnalysis A(D);
+    KillMap K = selectKillsExhaustiveWorstCase(D, A);
+    ReuseRelation R = buildRegReuse(D, A, K);
+    unsigned Width = decomposeChains(R.Rel, R.Active).width();
+    EXPECT_EQ(Width, bruteForceMaxLive(D, A)) << "seed " << Seed;
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 10u);
+}
+
+TEST(RegReuse, GreedyKillsNeverBelowAnyScheduleDemand) {
+  // The greedy heuristic may under- or over-shoot the exact worst case,
+  // but must stay within it on these sizes; compare against exhaustive.
+  GenOptions Opts;
+  Opts.NumInstrs = 9;
+  Opts.NumInputs = 3;
+  Opts.NumOutputs = 1;
+  unsigned Checked = 0, Matches = 0;
+  for (uint64_t Seed = 200; Checked < 20 && Seed != 320; ++Seed) {
+    Opts.Seed = Seed;
+    Trace T = generateTrace(Opts);
+    if (T.size() > 18)
+      continue;
+    DependenceDAG D = buildDAG(T);
+    DAGAnalysis A(D);
+    ReuseRelation G = buildRegReuse(D, A, selectKillsGreedy(D, A));
+    unsigned GreedyWidth = decomposeChains(G.Rel, G.Active).width();
+    unsigned Exact = bruteForceMaxLive(D, A);
+    EXPECT_LE(GreedyWidth, Exact)
+        << "greedy kill choice cannot exceed the true worst case";
+    Matches += GreedyWidth == Exact;
+    ++Checked;
+  }
+  // Greedy should hit the exact bound most of the time.
+  EXPECT_GE(Matches * 10, Checked * 7);
+}
+
+TEST(Measure, Figure2ExcessiveSetForThreeFUs) {
+  // Paper Section 3.1: with the decomposition projected and trimmed, the
+  // excessive set for FUs is {{B,E},{C,F},{G},{H}}.
+  Fig2 F;
+  ResourceId Res{ResourceId::FU, FUKind::Universal, RegClassKind::GPR, true};
+  Measurement M = measureResource(F.D, F.A, F.HF, Res);
+  std::vector<ExcessiveChainSet> Sets = findExcessiveSets(M, F.A, F.HF, 3);
+  ASSERT_FALSE(Sets.empty());
+  const ExcessiveChainSet &E = Sets.front();
+  EXPECT_EQ(E.Subchains.size(), 4u);
+
+  // The paper lists {{B,E},{C,F},{G},{H}}; {{B,F},{C,E},...} is the
+  // other equally minimal pairing. Check the invariant structure: G and
+  // H stand alone, and B and C each pair with one of E/F.
+  std::set<std::set<unsigned>> Got;
+  for (const auto &C : E.Subchains)
+    Got.insert(std::set<unsigned>(C.begin(), C.end()));
+  EXPECT_TRUE(Got.count({node(6)})); // {G}
+  EXPECT_TRUE(Got.count({node(7)})); // {H}
+  bool PaperPairing = Got.count({node(1), node(4)}) &&
+                      Got.count({node(2), node(5)});
+  bool SwappedPairing = Got.count({node(1), node(5)}) &&
+                        Got.count({node(2), node(4)});
+  EXPECT_TRUE(PaperPairing || SwappedPairing);
+}
+
+TEST(Measure, ExcessiveSetInvariants) {
+  // Heads pairwise independent, tails pairwise independent, size > limit.
+  GenOptions Opts;
+  Opts.NumInstrs = 40;
+  Opts.Window = 12;
+  for (uint64_t Seed = 1; Seed != 12; ++Seed) {
+    Opts.Seed = Seed;
+    DependenceDAG D = buildDAG(generateTrace(Opts));
+    DAGAnalysis A(D);
+    HammockForest HF(D, A);
+    for (ResourceId::KindT Kind : {ResourceId::FU, ResourceId::Reg}) {
+      ResourceId Res{Kind, FUKind::Universal, RegClassKind::GPR, true};
+      Measurement M = measureResource(D, A, HF, Res);
+      if (M.MaxRequired < 3)
+        continue;
+      unsigned Limit = M.MaxRequired - 1;
+      for (const ExcessiveChainSet &E : findExcessiveSets(M, A, HF, Limit)) {
+        auto Indep = [&](unsigned X, unsigned Y) {
+          return !M.Reuse.Rel.test(X, Y) && !M.Reuse.Rel.test(Y, X);
+        };
+        // The witness always proves the excess and is an antichain.
+        EXPECT_GT(E.Witness.size(), E.Limit);
+        for (unsigned I = 0; I != E.Witness.size(); ++I)
+          for (unsigned J = I + 1; J != E.Witness.size(); ++J)
+            EXPECT_TRUE(Indep(E.Witness[I], E.Witness[J]));
+        if (!E.Trimmed)
+          continue; // degenerate fallback set; only the witness holds
+        EXPECT_GT(E.Subchains.size(), E.Limit);
+        for (unsigned I = 0; I != E.Subchains.size(); ++I)
+          for (unsigned J = I + 1; J != E.Subchains.size(); ++J) {
+            EXPECT_TRUE(Indep(E.Subchains[I].front(),
+                              E.Subchains[J].front()));
+            EXPECT_TRUE(Indep(E.Subchains[I].back(),
+                              E.Subchains[J].back()));
+          }
+        // All members inside the hammock.
+        const Hammock &H = HF.hammock(E.HammockIdx);
+        for (const auto &C : E.Subchains)
+          for (unsigned N : C)
+            EXPECT_TRUE(H.Members.test(N));
+      }
+    }
+  }
+}
+
+TEST(Measure, MachineResourcesHomogeneous) {
+  MachineModel M = MachineModel::homogeneous(4, 8);
+  auto Rs = machineResources(M);
+  ASSERT_EQ(Rs.size(), 2u);
+  EXPECT_EQ(Rs[0].first.Kind, ResourceId::FU);
+  EXPECT_EQ(Rs[0].second, 4u);
+  EXPECT_EQ(Rs[1].first.Kind, ResourceId::Reg);
+  EXPECT_EQ(Rs[1].second, 8u);
+}
+
+TEST(Measure, MachineResourcesClassed) {
+  MachineModel M = MachineModel::classed(2, 1, 1, 8, 4);
+  auto Rs = machineResources(M);
+  ASSERT_EQ(Rs.size(), 5u); // 3 FU classes + 2 reg classes
+}
+
+TEST(Measure, PerClassRequirementsPartitionDefs) {
+  Trace T = mixedClassTrace(3);
+  DependenceDAG D = buildDAG(T);
+  DAGAnalysis A(D);
+  KillMap K = selectKillsGreedy(D, A);
+  ReuseRelation All = buildRegReuse(D, A, K);
+  ReuseRelation G = buildRegReuseForClass(D, A, K, RegClassKind::GPR);
+  ReuseRelation F = buildRegReuseForClass(D, A, K, RegClassKind::FPR);
+  EXPECT_EQ(G.Active.size() + F.Active.size(), All.Active.size());
+  EXPECT_FALSE(F.Active.empty());
+}
+
+TEST(Measure, FUClassRequirementsRestrictToClassOps) {
+  Trace T = mixedClassTrace(3);
+  DependenceDAG D = buildDAG(T);
+  DAGAnalysis A(D);
+  ReuseRelation Mem = buildFUReuseForClass(D, A, FUKind::Memory);
+  for (unsigned N : Mem.Active)
+    EXPECT_EQ(D.instrAt(N).fuKind(), FUKind::Memory);
+  ReuseRelation Flt = buildFUReuseForClass(D, A, FUKind::FloatALU);
+  EXPECT_FALSE(Flt.Active.empty());
+}
+
+TEST(Measure, RequirementNeverBelowObservedConcurrency) {
+  // Any antichain of defs is schedulable concurrently, so MaxRequired
+  // upper-bounds... and equals the relation width by construction; check
+  // the cross-measure inequality FU >= widest single-cycle demand.
+  Fig2 F;
+  ResourceId FuRes{ResourceId::FU, FUKind::Universal, RegClassKind::GPR,
+                   true};
+  Measurement FuM = measureResource(F.D, F.A, F.HF, FuRes);
+  std::vector<unsigned> AC = maxAntichain(FuM.Reuse.Rel, FuM.Reuse.Active);
+  EXPECT_EQ(AC.size(), FuM.MaxRequired);
+}

@@ -1,0 +1,191 @@
+//===- tests/misc_test.cpp - Remaining API surface -------------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+#include "ir/Parser.h"
+#include "support/Dot.h"
+#include "ursa/Measure.h"
+#include "ursa/ReuseDAG.h"
+#include "workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace ursa;
+
+TEST(MachineModel, DescribeFormats) {
+  EXPECT_EQ(MachineModel::homogeneous(4, 8).describe(), "4fu/8r");
+  EXPECT_EQ(MachineModel::classed(2, 1, 1, 8, 4).describe(),
+            "2i+1f+1m/8g+4f");
+}
+
+TEST(MachineModel, HomogeneousProperties) {
+  MachineModel M = MachineModel::homogeneous(3, 7);
+  EXPECT_TRUE(M.isHomogeneous());
+  EXPECT_EQ(M.totalFUs(), 3u);
+  EXPECT_EQ(M.numFUs(FUKind::Universal), 3u);
+  EXPECT_EQ(M.numRegs(RegClassKind::GPR), 7u);
+  EXPECT_EQ(M.numRegs(RegClassKind::FPR), 0u);
+  EXPECT_EQ(M.latency(FUKind::Memory), 1u);
+}
+
+TEST(MachineModel, ClassedProperties) {
+  MachineModel M = MachineModel::classed(2, 1, 3, 8, 4);
+  EXPECT_FALSE(M.isHomogeneous());
+  EXPECT_EQ(M.totalFUs(), 6u);
+  EXPECT_EQ(M.numFUs(FUKind::FloatALU), 1u);
+  EXPECT_EQ(M.numFUs(FUKind::Memory), 3u);
+  M.withLatencies(1, 5, 3);
+  EXPECT_EQ(M.latency(FUKind::FloatALU), 5u);
+  EXPECT_EQ(M.latency(FUKind::Memory), 3u);
+  EXPECT_EQ(M.latency(FUKind::IntALU), 1u);
+}
+
+TEST(DotWriter, EscapesAndStructures) {
+  DotWriter W("g");
+  W.addNode(0, "say \"hi\"", "shape=box");
+  W.addNode(1, "b");
+  W.addEdge(0, 1, "style=dashed");
+  std::ostringstream OS;
+  W.print(OS);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("digraph \"g\""), std::string::npos);
+  EXPECT_NE(S.find("say \\\"hi\\\""), std::string::npos);
+  EXPECT_NE(S.find("n0 -> n1 [style=dashed]"), std::string::npos);
+}
+
+TEST(DAG, ToDotListsAllNodesAndEdges) {
+  DependenceDAG D = buildDAG(figure2Trace());
+  DotWriter W("fig2");
+  D.toDot(W);
+  std::ostringstream OS;
+  W.print(OS);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("ENTRY"), std::string::npos);
+  EXPECT_NE(S.find("EXIT"), std::string::npos);
+  EXPECT_NE(S.find("load v"), std::string::npos);
+  // 13 nodes -> 13 "label=" occurrences.
+  size_t Count = 0, Pos = 0;
+  while ((Pos = S.find("label=", Pos)) != std::string::npos) {
+    ++Count;
+    Pos += 6;
+  }
+  EXPECT_EQ(Count, 13u);
+}
+
+TEST(ReuseDAG, ReducedEdgesAreCoverRelations) {
+  // Definition 4: the Reuse DAG is the transitive reduction — an edge
+  // (a,b) has no interior witness, and its closure equals the relation.
+  DependenceDAG D = buildDAG(figure2Trace());
+  DAGAnalysis A(D);
+  ReuseRelation R = buildFUReuse(D, A);
+  BitMatrix Red = reuseDAGEdges(R);
+  for (unsigned X : R.Active) {
+    Red.row(X).forEach([&](unsigned Y) {
+      EXPECT_TRUE(R.Rel.test(X, Y));
+      for (unsigned W : R.Active)
+        EXPECT_FALSE(R.Rel.test(X, W) && R.Rel.test(W, Y))
+            << "edge " << X << "->" << Y << " has witness " << W;
+    });
+  }
+  // Closure of the reduction reproduces the relation.
+  BitMatrix Closure = Red;
+  // Propagate in reverse topological order of node ids (relation edges
+  // always go to strictly later topo positions; iterate to fixpoint).
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (unsigned X : R.Active) {
+      Bitset Before = Closure.row(X);
+      Closure.row(X).forEach(
+          [&](unsigned Y) { Closure.unionRows(X, Y); });
+      Changed |= !(Before == Closure.row(X));
+    }
+  }
+  for (unsigned X : R.Active)
+    EXPECT_TRUE(Closure.row(X) == R.Rel.row(X)) << "node " << X;
+}
+
+TEST(Measure, ChainsCoveringCountsDistinctChains) {
+  DependenceDAG D = buildDAG(figure2Trace());
+  DAGAnalysis A(D);
+  HammockForest HF(D, A);
+  ResourceId Res{ResourceId::FU, FUKind::Universal, RegClassKind::GPR, true};
+  Measurement M = measureResource(D, A, HF, Res);
+  // All active nodes -> all chains.
+  Bitset All(D.size());
+  for (unsigned N : M.Reuse.Active)
+    All.set(N);
+  EXPECT_EQ(chainsCovering(M.Chains, All), M.Chains.width());
+  // A single node -> exactly one chain.
+  Bitset One(D.size());
+  One.set(M.Reuse.Active.front());
+  EXPECT_EQ(chainsCovering(M.Chains, One), 1u);
+  // The empty set covers nothing.
+  Bitset None(D.size());
+  EXPECT_EQ(chainsCovering(M.Chains, None), 0u);
+}
+
+TEST(Instruction, StrCoversPayloadKinds) {
+  Trace T("t");
+  int A = T.emitLoadImm(-3);
+  EXPECT_NE(T.instr(0).str().find("ldi -3"), std::string::npos);
+  int F = T.emitFLoadImm(2.5);
+  EXPECT_NE(T.instr(1).str().find("fldi 2.5"), std::string::npos);
+  T.emitStore("result", A);
+  EXPECT_NE(T.instr(2).str(&T.symbolNames()).find("store result"),
+            std::string::npos);
+  int S = T.emitOp(Opcode::Sel, A, A, A);
+  (void)S;
+  EXPECT_NE(T.instr(3).str().find("sel v0, v0, v0"), std::string::npos);
+  (void)F;
+  Instruction Sp(Opcode::SpillLoad);
+  Sp.setDest(T.newVReg(Domain::Int));
+  Sp.setSpillSlot(T.newSpillSlot());
+  T.append(Sp);
+  EXPECT_NE(T.instr(4).str().find("spld slot0"), std::string::npos);
+}
+
+TEST(Trace, SpillSlotAllocationIsSequential) {
+  Trace T("t");
+  EXPECT_EQ(T.newSpillSlot(), 0);
+  EXPECT_EQ(T.newSpillSlot(), 1);
+  EXPECT_EQ(T.numSpillSlots(), 2u);
+}
+
+TEST(Kernels, SuiteNamesAreUniqueAndNonEmpty) {
+  auto Suite = kernelSuite();
+  EXPECT_GE(Suite.size(), 8u);
+  for (unsigned I = 0; I != Suite.size(); ++I) {
+    EXPECT_FALSE(Suite[I].first.empty());
+    EXPECT_GT(Suite[I].second.size(), 0u);
+    for (unsigned J = I + 1; J != Suite.size(); ++J)
+      EXPECT_NE(Suite[I].first, Suite[J].first);
+  }
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnoredEverywhere) {
+  Trace T;
+  std::string Err;
+  ASSERT_TRUE(parseTrace("# leading comment\n"
+                         "\n"
+                         "a = ldi 1   # trailing\n"
+                         "   \n"
+                         "# done\n",
+                         T, Err))
+      << Err;
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST(Parser, NameMapExposesRegisters) {
+  Trace T;
+  std::string Err;
+  std::map<std::string, int> Names;
+  ASSERT_TRUE(parseTrace("foo = ldi 1\nbar = neg foo\n", T, Err, &Names));
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names.at("foo"), 0);
+  EXPECT_EQ(Names.at("bar"), 1);
+}

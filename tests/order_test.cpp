@@ -1,0 +1,218 @@
+//===- tests/order_test.cpp - Matching and chain decomposition ------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+#include "order/Chains.h"
+#include "order/Matching.h"
+#include "support/RNG.h"
+#include "workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ursa;
+
+namespace {
+
+/// Random strict order on N elements: random DAG + closure.
+BitMatrix randomOrder(unsigned N, RNG &Rng, double EdgeProb) {
+  BitMatrix Rel(N);
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned J = I + 1; J != N; ++J)
+      if (Rng.chance(EdgeProb))
+        Rel.set(I, J);
+  // Transitive closure (indices already topologically ordered).
+  for (unsigned I = N; I-- > 0;)
+    Rel.row(I).forEach([&](unsigned J) { Rel.unionRows(I, J); });
+  return Rel;
+}
+
+std::vector<unsigned> allOf(unsigned N) {
+  std::vector<unsigned> V(N);
+  for (unsigned I = 0; I != N; ++I)
+    V[I] = I;
+  return V;
+}
+
+/// Checks decomposition invariants: partition, chain-wise comparability.
+void checkDecomposition(const ChainDecomposition &D, const BitMatrix &Rel,
+                        const std::vector<unsigned> &Active) {
+  unsigned Covered = 0;
+  for (unsigned C = 0; C != D.Chains.size(); ++C) {
+    const auto &Chain = D.Chains[C];
+    ASSERT_FALSE(Chain.empty());
+    Covered += Chain.size();
+    for (unsigned I = 0; I + 1 < Chain.size(); ++I)
+      EXPECT_TRUE(Rel.test(Chain[I], Chain[I + 1]))
+          << "consecutive chain members must be related";
+    for (unsigned N : Chain)
+      EXPECT_EQ(D.ChainOf[N], int(C));
+  }
+  EXPECT_EQ(Covered, Active.size());
+}
+
+} // namespace
+
+TEST(Matching, SimpleAugmenting) {
+  // Left {0,1} both only like right 5; one matches.
+  IncrementalMatcher M(6);
+  M.addBatchAndAugment({{0, 5}, {1, 5}});
+  EXPECT_EQ(M.result().Size, 1u);
+  // New edge frees the conflict.
+  M.addBatchAndAugment({{1, 4}});
+  EXPECT_EQ(M.result().Size, 2u);
+}
+
+TEST(Matching, AugmentingPathReassignment) {
+  // 0-:-A, 1-:-{A,B}: maximum matching must reroute 0 or 1.
+  IncrementalMatcher M(4);
+  M.addBatchAndAugment({{0, 2}, {1, 2}, {1, 3}});
+  EXPECT_EQ(M.result().Size, 2u);
+}
+
+TEST(Matching, HopcroftKarpAgreesWithKuhn) {
+  RNG Rng(123);
+  for (unsigned Trial = 0; Trial != 40; ++Trial) {
+    unsigned N = 4 + Rng.below(20);
+    std::vector<std::vector<unsigned>> Adj(N);
+    std::vector<std::pair<unsigned, unsigned>> Edges;
+    for (unsigned L = 0; L != N; ++L)
+      for (unsigned R = 0; R != N; ++R)
+        if (Rng.chance(0.15)) {
+          Adj[L].push_back(R);
+          Edges.emplace_back(L, R);
+        }
+    IncrementalMatcher K(N);
+    K.addBatchAndAugment(Edges);
+    MatchingResult H = hopcroftKarp(N, Adj);
+    EXPECT_EQ(K.result().Size, H.Size);
+  }
+}
+
+TEST(Chains, Figure2MinimalDecompositionHasFourChains) {
+  // Paper Section 3: the example DAG decomposes into 4 chains.
+  DependenceDAG D = buildDAG(figure2Trace());
+  DAGAnalysis A(D);
+  BitMatrix Rel(D.size());
+  std::vector<unsigned> Active;
+  for (unsigned N = 2; N != D.size(); ++N) {
+    Active.push_back(N);
+    Rel.row(N) = A.descendants(N);
+    Rel.row(N).reset(DependenceDAG::ExitNode);
+  }
+  ChainDecomposition CD = decomposeChains(Rel, Active);
+  EXPECT_EQ(CD.width(), 4u);
+  checkDecomposition(CD, Rel, Active);
+}
+
+TEST(Chains, WidthMatchesBruteForce) {
+  RNG Rng(77);
+  for (unsigned Trial = 0; Trial != 60; ++Trial) {
+    unsigned N = 3 + Rng.below(12);
+    BitMatrix Rel = randomOrder(N, Rng, 0.25);
+    std::vector<unsigned> Active = allOf(N);
+    ChainDecomposition CD = decomposeChains(Rel, Active);
+    checkDecomposition(CD, Rel, Active);
+    EXPECT_EQ(CD.width(), bruteForceWidth(Rel, Active))
+        << "Dilworth width must equal brute-force max antichain";
+  }
+}
+
+TEST(Chains, RestrictedActiveSubset) {
+  RNG Rng(99);
+  for (unsigned Trial = 0; Trial != 30; ++Trial) {
+    unsigned N = 6 + Rng.below(10);
+    BitMatrix Rel = randomOrder(N, Rng, 0.3);
+    std::vector<unsigned> Active;
+    for (unsigned I = 0; I != N; ++I)
+      if (Rng.chance(0.6))
+        Active.push_back(I);
+    if (Active.empty())
+      continue;
+    ChainDecomposition CD = decomposeChains(Rel, Active);
+    checkDecomposition(CD, Rel, Active);
+    EXPECT_EQ(CD.width(), bruteForceWidth(Rel, Active));
+  }
+}
+
+TEST(Chains, MaxAntichainIsIndependentAndTight) {
+  RNG Rng(31);
+  for (unsigned Trial = 0; Trial != 50; ++Trial) {
+    unsigned N = 3 + Rng.below(14);
+    BitMatrix Rel = randomOrder(N, Rng, 0.2);
+    std::vector<unsigned> Active = allOf(N);
+    std::vector<unsigned> AC = maxAntichain(Rel, Active);
+    for (unsigned I = 0; I != AC.size(); ++I)
+      for (unsigned J = I + 1; J != AC.size(); ++J) {
+        EXPECT_FALSE(Rel.test(AC[I], AC[J]));
+        EXPECT_FALSE(Rel.test(AC[J], AC[I]));
+      }
+    EXPECT_EQ(AC.size(), decomposeChains(Rel, Active).width());
+  }
+}
+
+TEST(Chains, PrioritizedMatchingStaysMinimal) {
+  // Hammock priorities may never cost global minimality (Theorem 1 bound
+  // still achieved).
+  for (auto &[Name, T] : kernelSuite()) {
+    (void)Name;
+    DependenceDAG D = buildDAG(T);
+    DAGAnalysis A(D);
+    HammockForest HF(D, A);
+    BitMatrix Rel(D.size());
+    std::vector<unsigned> Active;
+    for (unsigned N = 2; N != D.size(); ++N) {
+      Active.push_back(N);
+      Rel.row(N) = A.descendants(N);
+      Rel.row(N).reset(DependenceDAG::ExitNode);
+    }
+    ChainDecomposition Plain = decomposeChains(Rel, Active);
+    ChainDecomposition Prio = decomposeChainsPrioritized(Rel, Active, HF);
+    EXPECT_EQ(Plain.width(), Prio.width()) << Name;
+    checkDecomposition(Prio, Rel, Active);
+  }
+}
+
+TEST(Chains, PrioritizedKeepsHammockProjectionsMinimal) {
+  // The point of the paper's modified matching: inside each hammock, the
+  // projected chain count equals the hammock's own width.
+  for (auto &[Name, T] : kernelSuite()) {
+    DependenceDAG D = buildDAG(T);
+    DAGAnalysis A(D);
+    HammockForest HF(D, A);
+    BitMatrix Rel(D.size());
+    std::vector<unsigned> Active;
+    for (unsigned N = 2; N != D.size(); ++N) {
+      Active.push_back(N);
+      Rel.row(N) = A.descendants(N);
+      Rel.row(N).reset(DependenceDAG::ExitNode);
+    }
+    ChainDecomposition Prio = decomposeChainsPrioritized(Rel, Active, HF);
+    for (unsigned HI = 0; HI != HF.size(); ++HI) {
+      const Hammock &H = HF.hammock(HI);
+      std::vector<unsigned> Inside;
+      for (unsigned N : Active)
+        if (H.Members.test(N))
+          Inside.push_back(N);
+      if (Inside.size() < 2)
+        continue;
+      // Chains intersecting the hammock.
+      std::vector<int> Seen(Prio.Chains.size(), 0);
+      unsigned Count = 0;
+      for (unsigned N : Inside)
+        if (!Seen[Prio.ChainOf[N]]) {
+          Seen[Prio.ChainOf[N]] = 1;
+          ++Count;
+        }
+      unsigned Local = Inside.size() <= 24
+                           ? bruteForceWidth(Rel, Inside)
+                           : decomposeChains(Rel, Inside).width();
+      EXPECT_EQ(Count, Local)
+          << Name << ": hammock " << HI << " projection not minimal";
+    }
+  }
+}

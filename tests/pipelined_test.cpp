@@ -1,0 +1,128 @@
+//===- tests/pipelined_test.cpp - Pipelined-FU extension (Section 6) ------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+#include "ir/Interpreter.h"
+#include "ir/Parser.h"
+#include "sched/ListScheduler.h"
+#include "sched/Pipelines.h"
+#include "ursa/Compiler.h"
+#include "vliw/Simulator.h"
+#include "workload/Generators.h"
+#include "workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+
+TEST(MachineModel, OccupancyFollowsPipelining) {
+  MachineModel NonPiped = MachineModel::homogeneous(2, 8).withLatencies(4, 4, 4);
+  EXPECT_EQ(NonPiped.occupancy(FUKind::IntALU), 4u);
+  MachineModel Piped =
+      MachineModel::homogeneous(2, 8).withLatencies(4, 4, 4).withPipelinedFUs();
+  EXPECT_EQ(Piped.occupancy(FUKind::IntALU), 1u);
+  EXPECT_EQ(Piped.latency(FUKind::IntALU), 4u) << "latency is unchanged";
+}
+
+TEST(ListScheduler, PipelinedUnitAcceptsBackToBackIndependentOps) {
+  // One FU, latency 3: two independent ops need 4 cycles non-pipelined
+  // (occupancy) but can issue in consecutive cycles when pipelined.
+  Trace T = parseTraceOrDie("a = load x\nb = load y\n");
+  DependenceDAG D = buildDAG(T);
+
+  MachineModel NonPiped = MachineModel::homogeneous(1, 8).withLatencies(3, 3, 3);
+  Schedule S1 = listSchedule(D, NonPiped);
+  EXPECT_EQ(S1.CycleOf[DependenceDAG::nodeOf(1)], 3);
+
+  MachineModel Piped =
+      MachineModel::homogeneous(1, 8).withLatencies(3, 3, 3).withPipelinedFUs();
+  Schedule S2 = listSchedule(D, Piped);
+  EXPECT_EQ(S2.CycleOf[DependenceDAG::nodeOf(1)], 1)
+      << "pipelined unit accepts a new op every cycle";
+}
+
+TEST(ListScheduler, PipelinedStillWaitsForResults) {
+  Trace T = parseTraceOrDie("a = load x\nb = neg a\n");
+  DependenceDAG D = buildDAG(T);
+  MachineModel Piped =
+      MachineModel::homogeneous(2, 8).withLatencies(3, 3, 3).withPipelinedFUs();
+  Schedule S = listSchedule(D, Piped);
+  EXPECT_EQ(S.CycleOf[DependenceDAG::nodeOf(1)], 3)
+      << "data dependences still wait the full latency";
+}
+
+TEST(Simulator, RejectsNonPipelinedBackToBack) {
+  // Issue two ops on one non-pipelined latency-3 unit a cycle apart: the
+  // hardware check must fire.
+  MachineModel M = MachineModel::homogeneous(1, 8).withLatencies(3, 3, 3);
+  VLIWProgram P(M, {}, 0);
+  auto Ldi = [&](int Dest, int64_t V) {
+    Instruction I(Opcode::LoadImm);
+    I.setDest(Dest);
+    I.setIntImm(V);
+    return VLIWOp{I, 0};
+  };
+  P.newWord().Ops.push_back(Ldi(0, 1));
+  P.newWord().Ops.push_back(Ldi(1, 2));
+  SimResult R = simulate(P);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("over-subscribed"), std::string::npos);
+}
+
+TEST(Simulator, AcceptsPipelinedBackToBack) {
+  MachineModel M =
+      MachineModel::homogeneous(1, 8).withLatencies(3, 3, 3).withPipelinedFUs();
+  VLIWProgram P(M, {"out"}, 0);
+  auto Ldi = [&](int Dest, int64_t V) {
+    Instruction I(Opcode::LoadImm);
+    I.setDest(Dest);
+    I.setIntImm(V);
+    return VLIWOp{I, 0};
+  };
+  P.newWord().Ops.push_back(Ldi(0, 1));
+  P.newWord().Ops.push_back(Ldi(1, 2));
+  for (int I = 0; I != 3; ++I)
+    P.newWord();
+  {
+    Instruction St(Opcode::Store);
+    St.setSymbol(0);
+    St.setOperand(0, 1);
+    P.newWord().Ops.push_back({St, 0});
+  }
+  SimResult R = simulate(P);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Exec.Memory["out"].I, 2);
+}
+
+TEST(EndToEnd, PipelinedDifferential) {
+  // The full URSA pipeline on a pipelined machine stays correct.
+  MachineModel M =
+      MachineModel::homogeneous(2, 8).withLatencies(1, 4, 2).withPipelinedFUs();
+  RNG InputRng(23);
+  for (auto &[Name, T] : kernelSuite()) {
+    URSACompileResult R = compileURSA(T, M);
+    ASSERT_TRUE(R.Compile.Ok) << Name << ": " << R.Compile.Error;
+    MemoryState In = randomInputs(T, InputRng);
+    SimResult Got = simulate(*R.Compile.Prog, In);
+    ASSERT_TRUE(Got.Ok) << Name << ": " << Got.Error;
+    EXPECT_TRUE(Got.Exec == interpret(T, In)) << Name;
+  }
+}
+
+TEST(EndToEnd, PipeliningShortensLatencyBoundSchedules) {
+  // With one float unit, ample registers and latency-4 float ops, the
+  // butterfly is float-occupancy bound; pipelining the unit must help.
+  Trace T = butterflyTrace(3);
+  MachineModel NonPiped =
+      MachineModel::classed(2, 1, 2, 16, 16).withLatencies(1, 4, 2);
+  MachineModel Piped = MachineModel::classed(2, 1, 2, 16, 16)
+                           .withLatencies(1, 4, 2)
+                           .withPipelinedFUs();
+  CompileResult A = compileURSA(T, NonPiped).Compile;
+  CompileResult B = compileURSA(T, Piped).Compile;
+  ASSERT_TRUE(A.Ok && B.Ok);
+  EXPECT_LT(B.Cycles, A.Cycles);
+}

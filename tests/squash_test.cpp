@@ -1,0 +1,116 @@
+//===- tests/squash_test.cpp - Trace side-exit squash semantics -----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vliw/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+
+namespace {
+
+VLIWOp ldi(int Dest, int64_t V) {
+  Instruction I(Opcode::LoadImm);
+  I.setDest(Dest);
+  I.setIntImm(V);
+  return {I, 0};
+}
+
+VLIWOp store(int Sym, int Src) {
+  Instruction I(Opcode::Store);
+  I.setSymbol(Sym);
+  I.setOperand(0, Src);
+  return {I, 0};
+}
+
+VLIWOp branch(int Cond, int64_t Ordinal) {
+  Instruction I(Opcode::Br);
+  I.setOperand(0, Cond);
+  I.setIntImm(Ordinal);
+  return {I, 0};
+}
+
+} // namespace
+
+TEST(Squash, TakenBranchDropsLaterWords) {
+  MachineModel M = MachineModel::homogeneous(2, 4);
+  VLIWProgram P(M, {"before", "after"}, 0);
+  VLIWWord &W0 = P.newWord();
+  W0.Ops.push_back(ldi(0, 1)); // condition: taken
+  W0.Ops.push_back(ldi(1, 7));
+  P.newWord().Ops.push_back(store(0, 1));
+  P.newWord().Ops.push_back(branch(0, 0));
+  P.newWord().Ops.push_back(store(1, 1)); // must be squashed
+
+  SimResult R = simulate(P, {}, /*StopAtTakenBranch=*/true);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.TakenBranch, 0);
+  EXPECT_EQ(R.Exec.Memory["before"].I, 7);
+  EXPECT_EQ(R.Exec.Memory.count("after"), 0u);
+  EXPECT_EQ(R.Cycles, 3u) << "squashed words cost nothing";
+}
+
+TEST(Squash, UntakenBranchRunsToCompletion) {
+  MachineModel M = MachineModel::homogeneous(2, 4);
+  VLIWProgram P(M, {"after"}, 0);
+  VLIWWord &W0 = P.newWord();
+  W0.Ops.push_back(ldi(0, 0)); // condition: not taken
+  W0.Ops.push_back(ldi(1, 9));
+  P.newWord().Ops.push_back(branch(0, 0));
+  P.newWord().Ops.push_back(store(0, 1));
+  SimResult R = simulate(P, {}, true);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.TakenBranch, -1);
+  EXPECT_EQ(R.Exec.Memory["after"].I, 9);
+}
+
+TEST(Squash, StoreInTheBranchWordCommits) {
+  // The branch resolves at the end of its cycle: same-word stores are
+  // on-trace and must land.
+  MachineModel M = MachineModel::homogeneous(3, 4);
+  VLIWProgram P(M, {"v"}, 0);
+  VLIWWord &W0 = P.newWord();
+  W0.Ops.push_back(ldi(0, 1));
+  W0.Ops.push_back(ldi(1, 5));
+  VLIWWord &W1 = P.newWord();
+  W1.Ops.push_back(store(0, 1));
+  W1.Ops.push_back(branch(0, 0));
+  SimResult R = simulate(P, {}, true);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.TakenBranch, 0);
+  EXPECT_EQ(R.Exec.Memory["v"].I, 5);
+}
+
+TEST(Squash, BranchLogIsPrefixUpToExit) {
+  MachineModel M = MachineModel::homogeneous(2, 4);
+  VLIWProgram P(M, {}, 0);
+  VLIWWord &W0 = P.newWord();
+  W0.Ops.push_back(ldi(0, 0));
+  W0.Ops.push_back(ldi(1, 1));
+  P.newWord().Ops.push_back(branch(0, 0)); // not taken
+  P.newWord().Ops.push_back(branch(1, 1)); // taken -> exit
+  P.newWord().Ops.push_back(branch(0, 2)); // squashed
+  SimResult R = simulate(P, {}, true);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.TakenBranch, 1);
+  ASSERT_EQ(R.Exec.BranchLog.size(), 2u);
+  EXPECT_EQ(R.Exec.BranchLog[0], 0);
+  EXPECT_EQ(R.Exec.BranchLog[1], 1);
+}
+
+TEST(Squash, DisabledModeIgnoresTakenBranches) {
+  MachineModel M = MachineModel::homogeneous(2, 4);
+  VLIWProgram P(M, {"after"}, 0);
+  VLIWWord &W0 = P.newWord();
+  W0.Ops.push_back(ldi(0, 1));
+  W0.Ops.push_back(ldi(1, 3));
+  P.newWord().Ops.push_back(branch(0, 0));
+  P.newWord().Ops.push_back(store(0, 1));
+  SimResult R = simulate(P, {}, /*StopAtTakenBranch=*/false);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.TakenBranch, -1) << "straight-line mode never exits early";
+  EXPECT_EQ(R.Exec.Memory["after"].I, 3);
+}

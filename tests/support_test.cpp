@@ -1,0 +1,144 @@
+//===- tests/support_test.cpp - support/ unit tests -----------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bitset.h"
+#include "support/RNG.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace ursa;
+
+TEST(Bitset, SetTestReset) {
+  Bitset B(130);
+  EXPECT_EQ(B.size(), 130u);
+  EXPECT_TRUE(B.none());
+  B.set(0);
+  B.set(64);
+  B.set(129);
+  EXPECT_TRUE(B.test(0));
+  EXPECT_TRUE(B.test(64));
+  EXPECT_TRUE(B.test(129));
+  EXPECT_FALSE(B.test(1));
+  EXPECT_EQ(B.count(), 3u);
+  B.reset(64);
+  EXPECT_FALSE(B.test(64));
+  EXPECT_EQ(B.count(), 2u);
+}
+
+TEST(Bitset, SetAllRespectsSize) {
+  Bitset B(70);
+  B.setAll();
+  EXPECT_EQ(B.count(), 70u);
+}
+
+TEST(Bitset, UnionIntersectDifference) {
+  Bitset A(100), B(100);
+  A.set(3);
+  A.set(50);
+  B.set(50);
+  B.set(99);
+
+  Bitset U = A;
+  U |= B;
+  EXPECT_EQ(U.count(), 3u);
+
+  Bitset I = A;
+  I &= B;
+  EXPECT_EQ(I.count(), 1u);
+  EXPECT_TRUE(I.test(50));
+
+  Bitset D = A;
+  D.subtract(B);
+  EXPECT_EQ(D.count(), 1u);
+  EXPECT_TRUE(D.test(3));
+
+  EXPECT_TRUE(A.anyCommon(B));
+  Bitset C(100);
+  C.set(7);
+  EXPECT_FALSE(A.anyCommon(C));
+}
+
+TEST(Bitset, ForEachVisitsAscending) {
+  Bitset B(200);
+  std::vector<unsigned> Want = {5, 63, 64, 127, 199};
+  for (unsigned I : Want)
+    B.set(I);
+  std::vector<unsigned> Got;
+  B.forEach([&](unsigned I) { Got.push_back(I); });
+  EXPECT_EQ(Got, Want);
+}
+
+TEST(BitMatrix, RowsAndUnion) {
+  BitMatrix M(10);
+  M.set(1, 2);
+  M.set(2, 3);
+  EXPECT_TRUE(M.test(1, 2));
+  EXPECT_FALSE(M.test(1, 3));
+  M.unionRows(1, 2);
+  EXPECT_TRUE(M.test(1, 3));
+}
+
+TEST(RNG, DeterministicAcrossInstances) {
+  RNG A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, BelowStaysInRange) {
+  RNG R(7);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 3000; ++I) {
+    uint64_t V = R.below(17);
+    ASSERT_LT(V, 17u);
+    Seen.insert(V);
+  }
+  // All 17 residues should appear in 3000 draws.
+  EXPECT_EQ(Seen.size(), 17u);
+}
+
+TEST(RNG, RangeInclusive) {
+  RNG R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.range(-3, 3);
+    ASSERT_GE(V, -3);
+    ASSERT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RNG, UnitInHalfOpenInterval) {
+  RNG R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double U = R.unit();
+    ASSERT_GE(U, 0.0);
+    ASSERT_LT(U, 1.0);
+  }
+}
+
+TEST(Table, AlignsColumns) {
+  Table T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "22"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(S.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(uint64_t(42)), "42");
+  EXPECT_EQ(Table::fmt(int64_t(-7)), "-7");
+}

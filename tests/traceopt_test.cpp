@@ -1,0 +1,190 @@
+//===- tests/traceopt_test.cpp - Intra-trace optimization -----------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/TraceOpt.h"
+#include "ir/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+
+TEST(Forwarding, LoadAfterStoreUsesRegister) {
+  Trace T = parseTraceOrDie("a = ldi 7\n"
+                            "store x, a\n"
+                            "b = load x\n"
+                            "c = add b, b\n"
+                            "store y, c\n");
+  TraceOptStats S = forwardAndEliminate(T);
+  EXPECT_EQ(S.LoadsForwarded, 1u);
+  EXPECT_EQ(S.StoresEliminated, 0u);
+  EXPECT_EQ(T.size(), 4u); // load removed
+  EXPECT_EQ(interpret(T).Memory["y"].I, 14);
+}
+
+TEST(Forwarding, ChainsAcrossMultipleLoads) {
+  Trace T = parseTraceOrDie("a = ldi 3\n"
+                            "store x, a\n"
+                            "b = load x\n"
+                            "c = neg b\n"
+                            "store x, c\n"
+                            "d = load x\n"
+                            "store y, d\n");
+  TraceOptStats S = forwardAndEliminate(T);
+  EXPECT_EQ(S.LoadsForwarded, 2u);
+  EXPECT_EQ(interpret(T).Memory["y"].I, -3);
+}
+
+TEST(Forwarding, SurvivesBranches) {
+  // The store before the branch still commits, so forwarding past the
+  // branch is safe for the on-trace path.
+  Trace T = parseTraceOrDie("a = ldi 5\n"
+                            "store x, a\n"
+                            "br a\n"
+                            "b = load x\n"
+                            "store y, b\n");
+  TraceOptStats S = forwardAndEliminate(T);
+  EXPECT_EQ(S.LoadsForwarded, 1u);
+  ExecResult R = interpret(T);
+  EXPECT_EQ(R.Memory["x"].I, 5) << "the store must remain";
+  EXPECT_EQ(R.Memory["y"].I, 5);
+}
+
+TEST(DeadStore, OverwrittenWithoutBranchIsRemoved) {
+  Trace T = parseTraceOrDie("a = ldi 1\n"
+                            "b = ldi 2\n"
+                            "store x, a\n"
+                            "store x, b\n");
+  TraceOptStats S = forwardAndEliminate(T);
+  EXPECT_EQ(S.StoresEliminated, 1u);
+  EXPECT_EQ(T.size(), 3u);
+  EXPECT_EQ(interpret(T).Memory["x"].I, 2);
+}
+
+TEST(DeadStore, BranchPinsTheFirstStore) {
+  // A side exit between the stores observes the first one.
+  Trace T = parseTraceOrDie("a = ldi 1\n"
+                            "b = ldi 2\n"
+                            "store x, a\n"
+                            "br a\n"
+                            "store x, b\n");
+  TraceOptStats S = forwardAndEliminate(T);
+  EXPECT_EQ(S.StoresEliminated, 0u);
+  EXPECT_EQ(T.size(), 5u);
+}
+
+TEST(Forwarding, DomainMismatchPinsStoreAndKeepsLoad) {
+  Trace T("t");
+  int A = T.emitLoadImm(4);
+  T.emitStore("x", A);
+  int F = T.emitLoad("x", Domain::Float); // reinterpreting float load
+  int G = T.emitOp(Opcode::FNeg, F);
+  T.emitStore("y", G);
+  int B = T.emitLoadImm(9);
+  T.emitStore("x", B);
+  TraceOptStats S = forwardAndEliminate(T);
+  EXPECT_EQ(S.LoadsForwarded, 0u);
+  EXPECT_EQ(S.StoresEliminated, 0u)
+      << "the float load observed the first store";
+}
+
+TEST(Forwarding, PreservesRandomProgramSemantics) {
+  GenOptions Opts;
+  Opts.NumInstrs = 40;
+  Opts.MemOpProb = 0.25;
+  Opts.BranchProb = 0.1;
+  RNG InputRng(3);
+  for (uint64_t Seed = 1; Seed != 25; ++Seed) {
+    Opts.Seed = Seed;
+    Trace T = generateTrace(Opts);
+    MemoryState In = randomInputs(T, InputRng);
+    ExecResult Want = interpret(T, In);
+    forwardAndEliminate(T);
+    EXPECT_TRUE(verifyTrace(T).empty()) << "seed " << Seed;
+    EXPECT_TRUE(interpret(T, In) == Want) << "seed " << Seed;
+  }
+}
+
+TEST(ValueNumbering, DeduplicatesConstantsAndPureOps) {
+  Trace T = parseTraceOrDie("a = ldi 7\n"
+                            "b = ldi 7\n"
+                            "c = add a, b\n"
+                            "d = add a, b\n"
+                            "e = mul c, d\n"
+                            "store out, e\n");
+  unsigned Removed = valueNumberTrace(T);
+  // b duplicates a; after that rewrite, d duplicates c.
+  EXPECT_EQ(Removed, 2u);
+  EXPECT_EQ(T.size(), 4u);
+  EXPECT_EQ(interpret(T).Memory["out"].I, 14 * 14);
+}
+
+TEST(ValueNumbering, DoesNotTouchMemoryOps) {
+  Trace T = parseTraceOrDie("a = load x\n"
+                            "b = load x\n" // looks identical, but memory
+                            "c = add a, b\n"
+                            "store x, c\n"
+                            "d = load x\n"
+                            "store y, d\n");
+  unsigned Removed = valueNumberTrace(T);
+  EXPECT_EQ(Removed, 0u);
+}
+
+TEST(ValueNumbering, DistinguishesDifferentImmediates) {
+  Trace T = parseTraceOrDie("a = ldi 1\n"
+                            "b = ldi 2\n"
+                            "c = add a, b\n"
+                            "store out, c\n");
+  EXPECT_EQ(valueNumberTrace(T), 0u);
+}
+
+TEST(ValueNumbering, FloatImmediatesCompareByBits) {
+  Trace T("t");
+  int A = T.emitFLoadImm(0.5);
+  int B = T.emitFLoadImm(0.5);
+  int C = T.emitFLoadImm(-0.5);
+  int S = T.emitOp(Opcode::FAdd, A, B);
+  int S2 = T.emitOp(Opcode::FAdd, S, C);
+  T.emitStore("out", T.emitOp(Opcode::CvtFI, S2));
+  EXPECT_EQ(valueNumberTrace(T), 1u); // only the duplicate 0.5
+}
+
+TEST(ValueNumbering, PreservesRandomProgramSemantics) {
+  GenOptions Opts;
+  Opts.NumInstrs = 40;
+  Opts.FloatFraction = 0.3;
+  RNG InputRng(17);
+  for (uint64_t Seed = 100; Seed != 120; ++Seed) {
+    Opts.Seed = Seed;
+    Trace T = generateTrace(Opts);
+    MemoryState In = randomInputs(T, InputRng);
+    ExecResult Want = interpret(T, In);
+    valueNumberTrace(T);
+    EXPECT_TRUE(verifyTrace(T).empty()) << "seed " << Seed;
+    EXPECT_TRUE(interpret(T, In) == Want) << "seed " << Seed;
+  }
+}
+
+TEST(ValueNumbering, ComposesWithForwarding) {
+  // The pair of passes in trace-formation order.
+  Trace T = parseTraceOrDie("a = ldi 2\n"
+                            "store x, a\n"
+                            "b = load x\n"
+                            "k1 = ldi 2\n"
+                            "c = mul b, k1\n"
+                            "store x, c\n"
+                            "d = load x\n"
+                            "k2 = ldi 2\n"
+                            "e = mul d, k2\n"
+                            "store out, e\n");
+  forwardAndEliminate(T);
+  valueNumberTrace(T);
+  EXPECT_TRUE(verifyTrace(T).empty());
+  EXPECT_EQ(interpret(T).Memory["out"].I, 8);
+  EXPECT_LT(T.size(), 10u);
+}

@@ -1,0 +1,308 @@
+//===- tests/transforms_test.cpp - Figure 3 reproductions (E2-E5) ---------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's Figure 3 transformation outcomes on the
+/// Figure 2 DAG and property-tests the three transformations: they only
+/// ever *remove* schedules (requirements never increase), they keep the
+/// DAG acyclic, and spilling preserves program semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+#include "ir/Interpreter.h"
+#include "ir/Verifier.h"
+#include "ursa/Driver.h"
+#include "ursa/Measure.h"
+#include "ursa/Transforms.h"
+#include "workload/Generators.h"
+#include "workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+
+namespace {
+
+ResourceId fuRes() {
+  return {ResourceId::FU, FUKind::Universal, RegClassKind::GPR, true};
+}
+ResourceId regRes() {
+  return {ResourceId::Reg, FUKind::Universal, RegClassKind::GPR, true};
+}
+
+/// Measures one resource on a fresh analysis of \p D.
+unsigned requirementOf(const DependenceDAG &D, ResourceId Res) {
+  DAGAnalysis A(D);
+  HammockForest HF(D, A);
+  return measureResource(D, A, HF, Res).MaxRequired;
+}
+
+/// Applies the best proposal (by remeasured requirement of \p Res) from
+/// \p Props; returns the transformed DAG.
+DependenceDAG applyBest(const DependenceDAG &D,
+                        const std::vector<TransformProposal> &Props,
+                        ResourceId Res) {
+  EXPECT_FALSE(Props.empty());
+  DependenceDAG Best = D;
+  unsigned BestReq = ~0u;
+  for (const TransformProposal &P : Props) {
+    DependenceDAG Scratch = D;
+    applyTransform(Scratch, P);
+    unsigned Req = requirementOf(Scratch, Res);
+    if (Req < BestReq) {
+      BestReq = Req;
+      Best = std::move(Scratch);
+    }
+  }
+  return Best;
+}
+
+std::vector<ExcessiveChainSet>
+excessiveSets(const DependenceDAG &D, ResourceId Res, unsigned Limit) {
+  DAGAnalysis A(D);
+  HammockForest HF(D, A);
+  Measurement M = measureResource(D, A, HF, Res);
+  return findExcessiveSets(M, A, HF, Limit);
+}
+
+} // namespace
+
+TEST(FUSequencing, Figure3aReducesFourToThree) {
+  DependenceDAG D = buildDAG(figure2Trace());
+  ASSERT_EQ(requirementOf(D, fuRes()), 4u);
+
+  std::vector<ExcessiveChainSet> Sets = excessiveSets(D, fuRes(), 3);
+  ASSERT_FALSE(Sets.empty());
+  DAGAnalysis A(D);
+  HammockForest HF(D, A);
+  TransformContext Ctx{D, A, HF};
+  std::vector<TransformProposal> Props =
+      proposeFUSequencing(Ctx, Sets.front());
+  ASSERT_FALSE(Props.empty());
+
+  DependenceDAG After = applyBest(D, Props, fuRes());
+  EXPECT_EQ(requirementOf(After, fuRes()), 3u) << "paper Figure 3(a)";
+  // One sequence edge suffices and the critical path grows by at most 1
+  // (the paper's G->H edge also lengthens the G-side path to 7 edges).
+  EXPECT_LE(DAGAnalysis(After).criticalPathLength(), 7u);
+}
+
+TEST(FUSequencing, CanReachTwoFUs) {
+  // Figure 3(d) needs FU requirements down to 2; iterate the transform.
+  DependenceDAG D = buildDAG(figure2Trace());
+  for (unsigned Round = 0; Round != 8; ++Round) {
+    if (requirementOf(D, fuRes()) <= 2)
+      break;
+    std::vector<ExcessiveChainSet> Sets = excessiveSets(D, fuRes(), 2);
+    ASSERT_FALSE(Sets.empty());
+    DAGAnalysis A(D);
+    HammockForest HF(D, A);
+    TransformContext Ctx{D, A, HF};
+    std::vector<TransformProposal> Props =
+        proposeFUSequencing(Ctx, Sets.front());
+    ASSERT_FALSE(Props.empty());
+    D = applyBest(D, Props, fuRes());
+  }
+  EXPECT_EQ(requirementOf(D, fuRes()), 2u);
+}
+
+TEST(RegSequencing, Figure3bReducesFiveToFour) {
+  DependenceDAG D = buildDAG(figure2Trace());
+  ASSERT_EQ(requirementOf(D, regRes()), 5u);
+
+  std::vector<ExcessiveChainSet> Sets = excessiveSets(D, regRes(), 4);
+  ASSERT_FALSE(Sets.empty());
+  DAGAnalysis A(D);
+  HammockForest HF(D, A);
+  TransformContext Ctx{D, A, HF};
+  std::vector<TransformProposal> Props =
+      proposeRegSequencing(Ctx, Sets.front());
+  ASSERT_FALSE(Props.empty());
+
+  DependenceDAG After = applyBest(D, Props, regRes());
+  EXPECT_LE(requirementOf(After, regRes()), 4u) << "paper Figure 3(b)";
+}
+
+TEST(Spilling, Figure3cReducesRegistersToThree) {
+  // The paper spills D's value and reaches 3 registers. Iterate spill
+  // proposals (each round picks the best) until the requirement is 3.
+  DependenceDAG D = buildDAG(figure2Trace());
+  unsigned Before = requirementOf(D, regRes());
+  ASSERT_EQ(Before, 5u);
+  for (unsigned Round = 0; Round != 6; ++Round) {
+    if (requirementOf(D, regRes()) <= 3)
+      break;
+    std::vector<ExcessiveChainSet> Sets = excessiveSets(D, regRes(), 3);
+    ASSERT_FALSE(Sets.empty());
+    DAGAnalysis A(D);
+    HammockForest HF(D, A);
+    TransformContext Ctx{D, A, HF};
+    std::vector<TransformProposal> Props = proposeSpills(Ctx, Sets.front());
+    ASSERT_FALSE(Props.empty());
+    D = applyBest(D, Props, regRes());
+  }
+  EXPECT_LE(requirementOf(D, regRes()), 3u) << "paper Figure 3(c)";
+  // Spill code must be structurally sound (def-before-use holds in trace
+  // order only for the original instructions; check the relaxed form).
+  EXPECT_TRUE(verifyTrace(D.trace(), /*RequireDefBeforeUse=*/false).empty());
+}
+
+TEST(Spilling, StoreSharesDefsChainReloadMayNot) {
+  // Paper Section 5 / C8: a spill store can always execute concurrently
+  // with what the spilled def ran with, so FU requirements do not grow
+  // because of the store... the reload may add demand. We check the
+  // weaker, directly measurable form: FU requirement grows by at most
+  // the reload's contribution (i.e. at most 1 per spill).
+  DependenceDAG D = buildDAG(figure2Trace());
+  unsigned FUBefore = requirementOf(D, fuRes());
+  std::vector<ExcessiveChainSet> Sets = excessiveSets(D, regRes(), 3);
+  ASSERT_FALSE(Sets.empty());
+  DAGAnalysis A(D);
+  HammockForest HF(D, A);
+  TransformContext Ctx{D, A, HF};
+  std::vector<TransformProposal> Props = proposeSpills(Ctx, Sets.front());
+  ASSERT_FALSE(Props.empty());
+  DependenceDAG After = D;
+  applyTransform(After, Props.front());
+  EXPECT_LE(requirementOf(After, fuRes()), FUBefore + 1);
+}
+
+TEST(Sequencing, NeverIncreasesTrueRequirements) {
+  // Paper Section 5: "Neither transformation can increase the
+  // requirements of either resource." That is a statement about the true
+  // worst case (sequence edges only remove schedules); the *greedy-kill
+  // measurement* of registers may wobble, so compare exact quantities:
+  // FU width (exact by construction) and brute-force max liveness.
+  GenOptions Opts;
+  Opts.NumInstrs = 12;
+  Opts.NumInputs = 3;
+  Opts.NumOutputs = 1;
+  unsigned Checked = 0;
+  for (uint64_t Seed = 1; Seed != 40 && Checked < 12; ++Seed) {
+    Opts.Seed = Seed;
+    Trace T = generateTrace(Opts);
+    if (T.size() > 20)
+      continue;
+    DependenceDAG D = buildDAG(T);
+    DAGAnalysis A0(D);
+    unsigned FU = requirementOf(D, fuRes());
+    unsigned TrueReg = bruteForceMaxLive(D, A0);
+    if (FU < 3)
+      continue;
+    DAGAnalysis A(D);
+    HammockForest HF(D, A);
+    TransformContext Ctx{D, A, HF};
+    for (ResourceId Res : {fuRes(), regRes()}) {
+      Measurement M = measureResource(D, A, HF, Res);
+      if (M.MaxRequired < 2)
+        continue;
+      for (const ExcessiveChainSet &E :
+           findExcessiveSets(M, A, HF, M.MaxRequired - 1)) {
+        std::vector<TransformProposal> Props =
+            Res.Kind == ResourceId::FU ? proposeFUSequencing(Ctx, E)
+                                       : proposeRegSequencing(Ctx, E);
+        for (const TransformProposal &P : Props) {
+          DependenceDAG Scratch = D;
+          applyTransform(Scratch, P);
+          DAGAnalysis A2(Scratch);
+          EXPECT_LE(requirementOf(Scratch, fuRes()), FU) << "seed " << Seed;
+          EXPECT_LE(bruteForceMaxLive(Scratch, A2), TrueReg)
+              << "seed " << Seed;
+          ++Checked;
+        }
+        break; // first excessive set per resource is enough
+      }
+    }
+  }
+  EXPECT_GE(Checked, 4u);
+}
+
+TEST(Spilling, PreservesSemantics) {
+  // Spill-transformed traces must compute the same memory state when run
+  // sequentially (the reload feeds exactly the delayed uses).
+  GenOptions Opts;
+  Opts.NumInstrs = 20;
+  Opts.Window = 8;
+  RNG InputRng(5);
+  unsigned Spilled = 0;
+  for (uint64_t Seed = 1; Seed != 25; ++Seed) {
+    Opts.Seed = Seed;
+    Trace T = generateTrace(Opts);
+    ExecResult Want = interpret(T, randomInputs(T, InputRng));
+    DependenceDAG D = buildDAG(T);
+    unsigned Reg = requirementOf(D, regRes());
+    if (Reg < 3)
+      continue;
+    std::vector<ExcessiveChainSet> Sets = excessiveSets(D, regRes(), Reg - 1);
+    if (Sets.empty())
+      continue;
+    DAGAnalysis A(D);
+    HammockForest HF(D, A);
+    TransformContext Ctx{D, A, HF};
+    std::vector<TransformProposal> Props = proposeSpills(Ctx, Sets.front());
+    if (Props.empty())
+      continue;
+    DependenceDAG After = D;
+    applyTransform(After, Props.front());
+    ++Spilled;
+    // A sequential run of the transformed trace must match... but the
+    // transformed trace's order may no longer be topological (reload is
+    // appended). Execute via a topological ordering instead.
+    DAGAnalysis A2(After);
+    // Rebuild a trace in topological order; vreg/symbol tables must match
+    // so we copy the whole trace and only permute instructions.
+    Trace Permuted = After.trace();
+    std::vector<Instruction> NewOrder;
+    for (unsigned N : A2.topoOrder())
+      if (!DependenceDAG::isVirtual(N))
+        NewOrder.push_back(After.trace().instr(DependenceDAG::instrOf(N)));
+    Permuted.replaceInstructions(NewOrder);
+    RNG InputRng2(5);
+    // Regenerate the same inputs (same RNG seed and symbol set).
+    ExecResult Got = interpret(Permuted, randomInputs(T, InputRng2));
+    RNG InputRng3(5);
+    Want = interpret(T, randomInputs(T, InputRng3));
+    EXPECT_TRUE(Got == Want) << "seed " << Seed;
+  }
+  EXPECT_GE(Spilled, 5u);
+}
+
+TEST(Proposals, SequenceEdgesAreAlwaysAcyclicAndNew) {
+  GenOptions Opts;
+  Opts.NumInstrs = 30;
+  for (uint64_t Seed = 1; Seed != 10; ++Seed) {
+    Opts.Seed = Seed;
+    DependenceDAG D = buildDAG(generateTrace(Opts));
+    DAGAnalysis A(D);
+    HammockForest HF(D, A);
+    TransformContext Ctx{D, A, HF};
+    for (ResourceId Res : {fuRes(), regRes()}) {
+      Measurement M = measureResource(D, A, HF, Res);
+      if (M.MaxRequired < 3)
+        continue;
+      for (const ExcessiveChainSet &E :
+           findExcessiveSets(M, A, HF, M.MaxRequired - 1)) {
+        std::vector<TransformProposal> Props;
+        if (Res.Kind == ResourceId::FU) {
+          Props = proposeFUSequencing(Ctx, E);
+        } else {
+          Props = proposeRegSequencing(Ctx, E);
+          auto Sp = proposeSpills(Ctx, E);
+          Props.insert(Props.end(), Sp.begin(), Sp.end());
+        }
+        for (const TransformProposal &P : Props) {
+          DependenceDAG Scratch = D;
+          applyTransform(Scratch, P);
+          // DAGAnalysis asserts acyclicity internally.
+          DAGAnalysis Check(Scratch);
+          EXPECT_EQ(Check.topoOrder().size(), Scratch.size());
+        }
+        break;
+      }
+    }
+  }
+}

@@ -1,0 +1,174 @@
+//===- tests/unroll_test.cpp - CFG loop unrolling -------------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFGCompiler.h"
+#include "cfg/CFGParser.h"
+#include "cfg/Unroll.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+
+namespace {
+
+/// dot-product-flavored loop: acc += i*i while i-- > 0.
+const char *LoopSource = R"(
+func squares {
+block entry:
+  z = ldi 0
+  store acc, z
+  jmp loop
+block loop:
+  a  = load acc
+  i  = load i
+  p  = mul i, i
+  a2 = add a, p
+  k  = ldi 1
+  i2 = sub i, k
+  store acc, a2
+  store i, i2
+  c  = cmplt z0, i2
+  br c ? loop:0.95 : exit
+block exit:
+  ret
+}
+)";
+
+/// The loop body needs a zero; patch: define z0 in the loop block.
+const char *Source = R"(
+func squares {
+block entry:
+  z = ldi 0
+  store acc, z
+  jmp loop
+block loop:
+  a  = load acc
+  i  = load i
+  p  = mul i, i
+  a2 = add a, p
+  k  = ldi 1
+  i2 = sub i, k
+  z0 = ldi 0
+  store acc, a2
+  store i, i2
+  c  = cmplt z0, i2
+  br c ? loop:0.95 : exit
+block exit:
+  ret
+}
+)";
+
+MemoryState inputs(int64_t N) {
+  MemoryState In;
+  In["i"] = Value::ofInt(N);
+  return In;
+}
+
+int64_t sumOfSquares(int64_t N) {
+  int64_t S = 0;
+  for (int64_t I = N; I > 0; --I)
+    S += I * I;
+  return S;
+}
+
+} // namespace
+
+TEST(Unroll, FindsSelfLoops) {
+  (void)LoopSource;
+  CFGFunction F = parseCFGOrDie(Source);
+  std::vector<unsigned> Loops = findSelfLoops(F);
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_EQ(F.block(Loops[0]).Name, "loop");
+}
+
+TEST(Unroll, FactorOneIsIdentity) {
+  CFGFunction F = parseCFGOrDie(Source);
+  CFGFunction U = unrollLoops(F, 1);
+  EXPECT_EQ(U.str(), F.str());
+}
+
+TEST(Unroll, ProducesChainOfCopies) {
+  CFGFunction F = parseCFGOrDie(Source);
+  CFGFunction U = unrollLoops(F, 4);
+  EXPECT_EQ(U.numBlocks(), F.numBlocks() + 3);
+  EXPECT_TRUE(U.verify().empty());
+  // loop -> loop.u2 -> loop.u3 -> loop.u4 -> loop.
+  int L = U.blockByName("loop");
+  int U2 = U.blockByName("loop.u2");
+  int U4 = U.blockByName("loop.u4");
+  ASSERT_GE(L, 0);
+  ASSERT_GE(U2, 0);
+  ASSERT_GE(U4, 0);
+  EXPECT_EQ(U.block(L).Term.TakenBlock, U2);
+  EXPECT_EQ(U.block(U4).Term.TakenBlock, L);
+  // Copies keep the exit arm.
+  EXPECT_EQ(U.block(U4).Term.FallBlock, U.blockByName("exit"));
+}
+
+TEST(Unroll, SemanticsPreservedForAllTripCounts) {
+  CFGFunction F = parseCFGOrDie(Source);
+  for (unsigned Factor : {2u, 3u, 4u, 8u}) {
+    CFGFunction U = unrollLoops(F, Factor);
+    for (int64_t N : {0, 1, 2, 3, 5, 9, 16}) {
+      CFGExecResult Want = interpretCFG(F, inputs(N));
+      CFGExecResult Got = interpretCFG(U, inputs(N));
+      ASSERT_TRUE(Want.Ok && Got.Ok);
+      EXPECT_EQ(Got.Memory["acc"].I, sumOfSquares(N))
+          << "factor " << Factor << " n " << N;
+      EXPECT_EQ(Got.Memory, Want.Memory);
+    }
+  }
+}
+
+TEST(Unroll, UnrolledChainFormsOneTrace) {
+  CFGFunction U = unrollLoops(parseCFGOrDie(Source), 4);
+  TraceSet TS = formTraces(U);
+  int L = U.blockByName("loop");
+  int U4 = U.blockByName("loop.u4");
+  ASSERT_GE(TS.TraceOf[L], 0);
+  EXPECT_EQ(TS.TraceOf[L], TS.TraceOf[U4])
+      << "the unrolled copies must share one trace";
+  const FormedTrace &FT = TS.Traces[unsigned(TS.TraceOf[L])];
+  EXPECT_EQ(FT.Blocks.size(), 4u);
+  EXPECT_EQ(FT.SideExits.size(), 4u) << "one exit test per iteration";
+}
+
+TEST(Unroll, CompiledUnrolledLoopMatchesInterpreter) {
+  CFGFunction F = parseCFGOrDie(Source);
+  MachineModel M = MachineModel::homogeneous(4, 8);
+  for (unsigned Factor : {1u, 2u, 4u}) {
+    CFGFunction U = unrollLoops(F, Factor);
+    CompiledCFG C = compileCFGWithURSA(U, M);
+    ASSERT_TRUE(C.Ok) << C.Error;
+    for (int64_t N : {0, 1, 5, 13}) {
+      CFGExecResult Want = interpretCFG(F, inputs(N));
+      CFGExecResult Got = runCompiledCFG(U, C, inputs(N));
+      ASSERT_TRUE(Got.Ok) << Got.Error;
+      EXPECT_EQ(Got.Memory, Want.Memory)
+          << "factor " << Factor << " n " << N;
+    }
+  }
+}
+
+TEST(Unroll, UnrollingReducesDynamicCycles) {
+  // The whole point of the Section 6 extension: more iterations per
+  // trace means fewer cycles per iteration on a wide machine.
+  CFGFunction F = parseCFGOrDie(Source);
+  MachineModel M = MachineModel::homogeneous(4, 12);
+  const int64_t N = 48;
+  unsigned CyclesAt1 = 0, CyclesAt4 = 0;
+  for (unsigned Factor : {1u, 4u}) {
+    CFGFunction U = unrollLoops(F, Factor);
+    CompiledCFG C = compileCFGWithURSA(U, M);
+    ASSERT_TRUE(C.Ok) << C.Error;
+    CFGExecResult Got = runCompiledCFG(U, C, inputs(N));
+    ASSERT_TRUE(Got.Ok) << Got.Error;
+    EXPECT_EQ(Got.Memory["acc"].I, sumOfSquares(N));
+    (Factor == 1 ? CyclesAt1 : CyclesAt4) = Got.Cycles;
+  }
+  EXPECT_LT(CyclesAt4, CyclesAt1)
+      << "4x unroll must run fewer total cycles on a 4-wide machine";
+}

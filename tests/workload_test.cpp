@@ -1,0 +1,219 @@
+//===- tests/workload_test.cpp - Generators and kernel corpus -------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Analysis.h"
+#include "graph/DAGBuilder.h"
+#include "ir/Interpreter.h"
+#include "ir/Verifier.h"
+#include "workload/Generators.h"
+#include "workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+
+TEST(Generators, DeterministicInSeed) {
+  GenOptions Opts;
+  Opts.NumInstrs = 40;
+  Opts.Seed = 1234;
+  Trace A = generateTrace(Opts);
+  Trace B = generateTrace(Opts);
+  EXPECT_EQ(A.str(), B.str());
+  Opts.Seed = 1235;
+  EXPECT_NE(generateTrace(Opts).str(), A.str());
+}
+
+TEST(Generators, AllShapesVerify) {
+  for (GenOptions::ShapeKind S :
+       {GenOptions::ShapeKind::Layered, GenOptions::ShapeKind::Expression,
+        GenOptions::ShapeKind::Chains}) {
+    GenOptions Opts;
+    Opts.Shape = S;
+    Opts.NumInstrs = 50;
+    for (uint64_t Seed = 1; Seed != 6; ++Seed) {
+      Opts.Seed = Seed;
+      Trace T = generateTrace(Opts);
+      EXPECT_TRUE(verifyTrace(T).empty());
+      EXPECT_GT(T.size(), 5u);
+    }
+  }
+}
+
+TEST(Generators, NoDeadValues) {
+  // Crucial invariant for the liveness ground truth (DESIGN.md Sec. 5).
+  GenOptions Opts;
+  Opts.NumInstrs = 30;
+  Opts.MemOpProb = 0.1;
+  Opts.BranchProb = 0.1;
+  for (uint64_t Seed = 1; Seed != 30; ++Seed) {
+    Opts.Seed = Seed;
+    Trace T = generateTrace(Opts);
+    DependenceDAG D = buildDAG(T);
+    std::vector<std::vector<unsigned>> Uses = computeUses(D);
+    for (unsigned Idx = 0; Idx != T.size(); ++Idx) {
+      if (T.instr(Idx).dest() < 0)
+        continue;
+      EXPECT_FALSE(Uses[DependenceDAG::nodeOf(Idx)].empty())
+          << "seed " << Seed << " instr " << Idx << " defines a dead value";
+    }
+  }
+}
+
+TEST(Generators, FloatFractionProducesFloatOps) {
+  GenOptions Opts;
+  Opts.NumInstrs = 60;
+  Opts.FloatFraction = 0.5;
+  Opts.Seed = 9;
+  Trace T = generateTrace(Opts);
+  unsigned FloatOps = 0;
+  for (const Instruction &I : T.instructions())
+    if (I.info().FU == FUKind::FloatALU)
+      ++FloatOps;
+  EXPECT_GT(FloatOps, 5u);
+}
+
+TEST(Generators, BranchProbProducesBranches) {
+  GenOptions Opts;
+  Opts.NumInstrs = 60;
+  Opts.BranchProb = 0.4;
+  Opts.Seed = 3;
+  Trace T = generateTrace(Opts);
+  unsigned Branches = 0;
+  for (const Instruction &I : T.instructions())
+    Branches += isBranch(I.opcode());
+  EXPECT_GT(Branches, 5u);
+}
+
+TEST(Generators, WindowControlsParallelism) {
+  // A wider operand window should yield a wider DAG on average.
+  auto WidthAt = [](unsigned Window) {
+    GenOptions Opts;
+    Opts.NumInstrs = 60;
+    Opts.Window = Window;
+    double Sum = 0;
+    for (uint64_t Seed = 1; Seed != 8; ++Seed) {
+      Opts.Seed = Seed;
+      DependenceDAG D = buildDAG(generateTrace(Opts));
+      DAGAnalysis A(D);
+      double CP = A.criticalPathLength();
+      Sum += double(D.size()) / CP; // avg nodes per level ~ width proxy
+    }
+    return Sum;
+  };
+  EXPECT_GT(WidthAt(16), WidthAt(2));
+}
+
+TEST(Generators, RandomInputsCoverSymbols) {
+  GenOptions Opts;
+  Opts.NumInstrs = 30;
+  Opts.Seed = 5;
+  Trace T = generateTrace(Opts);
+  RNG Rng(1);
+  MemoryState In = randomInputs(T, Rng);
+  for (const std::string &Name : T.symbolNames())
+    EXPECT_TRUE(In.count(Name)) << Name;
+}
+
+TEST(Kernels, SuiteVerifiesAndExecutes) {
+  for (auto &[Name, T] : kernelSuite()) {
+    EXPECT_TRUE(verifyTrace(T).empty()) << Name;
+    RNG Rng(2);
+    ExecResult R = interpret(T, randomInputs(T, Rng));
+    (void)R;
+  }
+}
+
+TEST(Kernels, Figure2ShapeMatchesPaper) {
+  Trace T = figure2Trace();
+  ASSERT_EQ(T.size(), 11u);
+  // A is the only load; K is the only unused value.
+  EXPECT_EQ(T.instr(0).opcode(), Opcode::Load);
+  DependenceDAG D = buildDAG(T);
+  std::vector<std::vector<unsigned>> Uses = computeUses(D);
+  for (unsigned Idx = 0; Idx != 10; ++Idx)
+    EXPECT_FALSE(Uses[DependenceDAG::nodeOf(Idx)].empty());
+  EXPECT_TRUE(Uses[DependenceDAG::nodeOf(10)].empty());
+}
+
+TEST(Kernels, DotProductComputesDotProduct) {
+  Trace T = dotProductTrace(4);
+  MemoryState In;
+  for (unsigned I = 0; I != 4; ++I) {
+    In["a" + std::to_string(I)] = Value::ofInt(I + 1);
+    In["b" + std::to_string(I)] = Value::ofInt(10);
+  }
+  In["sum"] = Value::ofInt(5);
+  ExecResult R = interpret(T, In);
+  EXPECT_EQ(R.Memory["sum"].I, 5 + 10 * (1 + 2 + 3 + 4));
+}
+
+TEST(Kernels, HornerAndEstrinAgree) {
+  for (unsigned Degree : {4u, 8u}) {
+    MemoryState In;
+    In["x"] = Value::ofInt(3);
+    for (unsigned I = 0; I <= Degree; ++I)
+      In["c" + std::to_string(I)] = Value::ofInt(int64_t(I) - 2);
+    ExecResult H = interpret(hornerTrace(Degree), In);
+    ExecResult E = interpret(estrinTrace(Degree), In);
+    EXPECT_EQ(H.Memory["p"].I, E.Memory["p"].I) << "degree " << Degree;
+  }
+}
+
+TEST(Kernels, StencilComputesWeightedSum) {
+  Trace T = stencilTrace(2);
+  MemoryState In;
+  for (unsigned I = 0; I != 4; ++I)
+    In["x" + std::to_string(I)] = Value::ofInt(I);
+  ExecResult R = interpret(T, In);
+  EXPECT_EQ(R.Memory["y0"].I, 0 + 2 * 1 + 2);
+  EXPECT_EQ(R.Memory["y1"].I, 1 + 2 * 2 + 3);
+}
+
+TEST(Kernels, Matmul2MultipliesMatrices) {
+  Trace T = matmul2Trace(1);
+  MemoryState In;
+  // A = [1 2; 3 4], B = [5 6; 7 8] -> C = [19 22; 43 50].
+  int64_t A[4] = {1, 2, 3, 4}, B[4] = {5, 6, 7, 8};
+  for (unsigned I = 0; I != 4; ++I) {
+    In["a0" + std::to_string(I)] = Value::ofInt(A[I]);
+    In["b0" + std::to_string(I)] = Value::ofInt(B[I]);
+  }
+  ExecResult R = interpret(T, In);
+  EXPECT_EQ(R.Memory["c00"].I, 19);
+  EXPECT_EQ(R.Memory["c01"].I, 22);
+  EXPECT_EQ(R.Memory["c02"].I, 43);
+  EXPECT_EQ(R.Memory["c03"].I, 50);
+}
+
+TEST(Kernels, ButterflyMatchesComplexMath) {
+  Trace T = butterflyTrace(1);
+  MemoryState In;
+  In["wr"] = Value::ofFloat(0.0);
+  In["wi"] = Value::ofFloat(1.0); // w = i
+  In["ar0"] = Value::ofFloat(1.0);
+  In["ai0"] = Value::ofFloat(0.0); // a = 1
+  In["br0"] = Value::ofFloat(2.0);
+  In["bi0"] = Value::ofFloat(0.0); // b = 2
+  ExecResult R = interpret(T, In);
+  // t = w*b = 2i; a+t = 1+2i; a-t = 1-2i.
+  EXPECT_DOUBLE_EQ(R.Memory["cr0"].F, 1.0);
+  EXPECT_DOUBLE_EQ(R.Memory["ci0"].F, 2.0);
+  EXPECT_DOUBLE_EQ(R.Memory["dr0"].F, 1.0);
+  EXPECT_DOUBLE_EQ(R.Memory["di0"].F, -2.0);
+}
+
+TEST(Kernels, HydroMatchesFormula) {
+  Trace T = hydroTrace(1);
+  MemoryState In;
+  In["q"] = Value::ofInt(1);
+  In["r"] = Value::ofInt(2);
+  In["t"] = Value::ofInt(3);
+  In["z10"] = Value::ofInt(4);
+  In["z11"] = Value::ofInt(5);
+  In["y0"] = Value::ofInt(6);
+  ExecResult R = interpret(T, In);
+  EXPECT_EQ(R.Memory["x0"].I, 1 + 6 * (2 * 4 + 3 * 5));
+}
