@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kill_cover.dir/bench_kill_cover.cpp.o"
+  "CMakeFiles/bench_kill_cover.dir/bench_kill_cover.cpp.o.d"
+  "bench_kill_cover"
+  "bench_kill_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kill_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

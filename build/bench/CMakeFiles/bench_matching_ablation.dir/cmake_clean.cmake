@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matching_ablation.dir/bench_matching_ablation.cpp.o"
+  "CMakeFiles/bench_matching_ablation.dir/bench_matching_ablation.cpp.o.d"
+  "bench_matching_ablation"
+  "bench_matching_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matching_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matching_driver.dir/bench_matching_driver.cpp.o"
+  "CMakeFiles/bench_matching_driver.dir/bench_matching_driver.cpp.o.d"
+  "bench_matching_driver"
+  "bench_matching_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matching_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

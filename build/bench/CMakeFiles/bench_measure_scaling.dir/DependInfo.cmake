@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_measure_scaling.cpp" "bench/CMakeFiles/bench_measure_scaling.dir/bench_measure_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_measure_scaling.dir/bench_measure_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

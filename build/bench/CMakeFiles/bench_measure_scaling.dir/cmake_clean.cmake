@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_measure_scaling.dir/bench_measure_scaling.cpp.o"
+  "CMakeFiles/bench_measure_scaling.dir/bench_measure_scaling.cpp.o.d"
+  "bench_measure_scaling"
+  "bench_measure_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_measure_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

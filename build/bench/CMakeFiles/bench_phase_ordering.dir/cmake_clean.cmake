@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase_ordering.dir/bench_phase_ordering.cpp.o"
+  "CMakeFiles/bench_phase_ordering.dir/bench_phase_ordering.cpp.o.d"
+  "bench_phase_ordering"
+  "bench_phase_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipelined_fus.dir/bench_pipelined_fus.cpp.o"
+  "CMakeFiles/bench_pipelined_fus.dir/bench_pipelined_fus.cpp.o.d"
+  "bench_pipelined_fus"
+  "bench_pipelined_fus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipelined_fus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regclasses.dir/bench_regclasses.cpp.o"
+  "CMakeFiles/bench_regclasses.dir/bench_regclasses.cpp.o.d"
+  "bench_regclasses"
+  "bench_regclasses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regclasses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

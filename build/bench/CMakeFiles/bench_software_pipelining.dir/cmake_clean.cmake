@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_software_pipelining.dir/bench_software_pipelining.cpp.o"
+  "CMakeFiles/bench_software_pipelining.dir/bench_software_pipelining.cpp.o.d"
+  "bench_software_pipelining"
+  "bench_software_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_software_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spill_vs_seq.dir/bench_spill_vs_seq.cpp.o"
+  "CMakeFiles/bench_spill_vs_seq.dir/bench_spill_vs_seq.cpp.o.d"
+  "bench_spill_vs_seq"
+  "bench_spill_vs_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spill_vs_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

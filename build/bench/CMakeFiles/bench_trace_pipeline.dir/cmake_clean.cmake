@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_pipeline.dir/bench_trace_pipeline.cpp.o"
+  "CMakeFiles/bench_trace_pipeline.dir/bench_trace_pipeline.cpp.o.d"
+  "bench_trace_pipeline"
+  "bench_trace_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transform_order.dir/bench_transform_order.cpp.o"
+  "CMakeFiles/bench_transform_order.dir/bench_transform_order.cpp.o.d"
+  "bench_transform_order"
+  "bench_transform_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transform_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

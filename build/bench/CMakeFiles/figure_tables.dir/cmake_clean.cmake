@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_tables.dir/figure_tables.cpp.o"
+  "CMakeFiles/figure_tables.dir/figure_tables.cpp.o.d"
+  "figure_tables"
+  "figure_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_tool.dir/measure_tool.cpp.o"
+  "CMakeFiles/measure_tool.dir/measure_tool.cpp.o.d"
+  "measure_tool"
+  "measure_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_ordering_demo.dir/phase_ordering_demo.cpp.o"
+  "CMakeFiles/phase_ordering_demo.dir/phase_ordering_demo.cpp.o.d"
+  "phase_ordering_demo"
+  "phase_ordering_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_ordering_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

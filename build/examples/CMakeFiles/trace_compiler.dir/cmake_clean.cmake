@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_compiler.dir/trace_compiler.cpp.o"
+  "CMakeFiles/trace_compiler.dir/trace_compiler.cpp.o.d"
+  "trace_compiler"
+  "trace_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_cc.dir/ursa_cc.cpp.o"
+  "CMakeFiles/ursa_cc.dir/ursa_cc.cpp.o.d"
+  "ursa_cc"
+  "ursa_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

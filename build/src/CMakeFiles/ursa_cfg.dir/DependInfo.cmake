@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/CFG.cpp" "src/CMakeFiles/ursa_cfg.dir/cfg/CFG.cpp.o" "gcc" "src/CMakeFiles/ursa_cfg.dir/cfg/CFG.cpp.o.d"
+  "/root/repo/src/cfg/CFGCompiler.cpp" "src/CMakeFiles/ursa_cfg.dir/cfg/CFGCompiler.cpp.o" "gcc" "src/CMakeFiles/ursa_cfg.dir/cfg/CFGCompiler.cpp.o.d"
+  "/root/repo/src/cfg/CFGParser.cpp" "src/CMakeFiles/ursa_cfg.dir/cfg/CFGParser.cpp.o" "gcc" "src/CMakeFiles/ursa_cfg.dir/cfg/CFGParser.cpp.o.d"
+  "/root/repo/src/cfg/SoftwarePipeline.cpp" "src/CMakeFiles/ursa_cfg.dir/cfg/SoftwarePipeline.cpp.o" "gcc" "src/CMakeFiles/ursa_cfg.dir/cfg/SoftwarePipeline.cpp.o.d"
+  "/root/repo/src/cfg/TraceFormation.cpp" "src/CMakeFiles/ursa_cfg.dir/cfg/TraceFormation.cpp.o" "gcc" "src/CMakeFiles/ursa_cfg.dir/cfg/TraceFormation.cpp.o.d"
+  "/root/repo/src/cfg/TraceOpt.cpp" "src/CMakeFiles/ursa_cfg.dir/cfg/TraceOpt.cpp.o" "gcc" "src/CMakeFiles/ursa_cfg.dir/cfg/TraceOpt.cpp.o.d"
+  "/root/repo/src/cfg/Unroll.cpp" "src/CMakeFiles/ursa_cfg.dir/cfg/Unroll.cpp.o" "gcc" "src/CMakeFiles/ursa_cfg.dir/cfg/Unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

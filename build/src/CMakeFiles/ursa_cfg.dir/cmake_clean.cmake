@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_cfg.dir/cfg/CFG.cpp.o"
+  "CMakeFiles/ursa_cfg.dir/cfg/CFG.cpp.o.d"
+  "CMakeFiles/ursa_cfg.dir/cfg/CFGCompiler.cpp.o"
+  "CMakeFiles/ursa_cfg.dir/cfg/CFGCompiler.cpp.o.d"
+  "CMakeFiles/ursa_cfg.dir/cfg/CFGParser.cpp.o"
+  "CMakeFiles/ursa_cfg.dir/cfg/CFGParser.cpp.o.d"
+  "CMakeFiles/ursa_cfg.dir/cfg/SoftwarePipeline.cpp.o"
+  "CMakeFiles/ursa_cfg.dir/cfg/SoftwarePipeline.cpp.o.d"
+  "CMakeFiles/ursa_cfg.dir/cfg/TraceFormation.cpp.o"
+  "CMakeFiles/ursa_cfg.dir/cfg/TraceFormation.cpp.o.d"
+  "CMakeFiles/ursa_cfg.dir/cfg/TraceOpt.cpp.o"
+  "CMakeFiles/ursa_cfg.dir/cfg/TraceOpt.cpp.o.d"
+  "CMakeFiles/ursa_cfg.dir/cfg/Unroll.cpp.o"
+  "CMakeFiles/ursa_cfg.dir/cfg/Unroll.cpp.o.d"
+  "libursa_cfg.a"
+  "libursa_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

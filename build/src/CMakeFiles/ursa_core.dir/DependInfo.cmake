@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ursa/ChainAssign.cpp" "src/CMakeFiles/ursa_core.dir/ursa/ChainAssign.cpp.o" "gcc" "src/CMakeFiles/ursa_core.dir/ursa/ChainAssign.cpp.o.d"
+  "/root/repo/src/ursa/Compiler.cpp" "src/CMakeFiles/ursa_core.dir/ursa/Compiler.cpp.o" "gcc" "src/CMakeFiles/ursa_core.dir/ursa/Compiler.cpp.o.d"
+  "/root/repo/src/ursa/Driver.cpp" "src/CMakeFiles/ursa_core.dir/ursa/Driver.cpp.o" "gcc" "src/CMakeFiles/ursa_core.dir/ursa/Driver.cpp.o.d"
+  "/root/repo/src/ursa/KillSelection.cpp" "src/CMakeFiles/ursa_core.dir/ursa/KillSelection.cpp.o" "gcc" "src/CMakeFiles/ursa_core.dir/ursa/KillSelection.cpp.o.d"
+  "/root/repo/src/ursa/Measure.cpp" "src/CMakeFiles/ursa_core.dir/ursa/Measure.cpp.o" "gcc" "src/CMakeFiles/ursa_core.dir/ursa/Measure.cpp.o.d"
+  "/root/repo/src/ursa/Report.cpp" "src/CMakeFiles/ursa_core.dir/ursa/Report.cpp.o" "gcc" "src/CMakeFiles/ursa_core.dir/ursa/Report.cpp.o.d"
+  "/root/repo/src/ursa/ReuseDAG.cpp" "src/CMakeFiles/ursa_core.dir/ursa/ReuseDAG.cpp.o" "gcc" "src/CMakeFiles/ursa_core.dir/ursa/ReuseDAG.cpp.o.d"
+  "/root/repo/src/ursa/Transforms.cpp" "src/CMakeFiles/ursa_core.dir/ursa/Transforms.cpp.o" "gcc" "src/CMakeFiles/ursa_core.dir/ursa/Transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

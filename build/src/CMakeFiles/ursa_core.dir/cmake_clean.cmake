@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_core.dir/ursa/ChainAssign.cpp.o"
+  "CMakeFiles/ursa_core.dir/ursa/ChainAssign.cpp.o.d"
+  "CMakeFiles/ursa_core.dir/ursa/Compiler.cpp.o"
+  "CMakeFiles/ursa_core.dir/ursa/Compiler.cpp.o.d"
+  "CMakeFiles/ursa_core.dir/ursa/Driver.cpp.o"
+  "CMakeFiles/ursa_core.dir/ursa/Driver.cpp.o.d"
+  "CMakeFiles/ursa_core.dir/ursa/KillSelection.cpp.o"
+  "CMakeFiles/ursa_core.dir/ursa/KillSelection.cpp.o.d"
+  "CMakeFiles/ursa_core.dir/ursa/Measure.cpp.o"
+  "CMakeFiles/ursa_core.dir/ursa/Measure.cpp.o.d"
+  "CMakeFiles/ursa_core.dir/ursa/Report.cpp.o"
+  "CMakeFiles/ursa_core.dir/ursa/Report.cpp.o.d"
+  "CMakeFiles/ursa_core.dir/ursa/ReuseDAG.cpp.o"
+  "CMakeFiles/ursa_core.dir/ursa/ReuseDAG.cpp.o.d"
+  "CMakeFiles/ursa_core.dir/ursa/Transforms.cpp.o"
+  "CMakeFiles/ursa_core.dir/ursa/Transforms.cpp.o.d"
+  "libursa_core.a"
+  "libursa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/Analysis.cpp" "src/CMakeFiles/ursa_graph.dir/graph/Analysis.cpp.o" "gcc" "src/CMakeFiles/ursa_graph.dir/graph/Analysis.cpp.o.d"
+  "/root/repo/src/graph/DAG.cpp" "src/CMakeFiles/ursa_graph.dir/graph/DAG.cpp.o" "gcc" "src/CMakeFiles/ursa_graph.dir/graph/DAG.cpp.o.d"
+  "/root/repo/src/graph/DAGBuilder.cpp" "src/CMakeFiles/ursa_graph.dir/graph/DAGBuilder.cpp.o" "gcc" "src/CMakeFiles/ursa_graph.dir/graph/DAGBuilder.cpp.o.d"
+  "/root/repo/src/graph/Dominators.cpp" "src/CMakeFiles/ursa_graph.dir/graph/Dominators.cpp.o" "gcc" "src/CMakeFiles/ursa_graph.dir/graph/Dominators.cpp.o.d"
+  "/root/repo/src/graph/Hammocks.cpp" "src/CMakeFiles/ursa_graph.dir/graph/Hammocks.cpp.o" "gcc" "src/CMakeFiles/ursa_graph.dir/graph/Hammocks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_graph.dir/graph/Analysis.cpp.o"
+  "CMakeFiles/ursa_graph.dir/graph/Analysis.cpp.o.d"
+  "CMakeFiles/ursa_graph.dir/graph/DAG.cpp.o"
+  "CMakeFiles/ursa_graph.dir/graph/DAG.cpp.o.d"
+  "CMakeFiles/ursa_graph.dir/graph/DAGBuilder.cpp.o"
+  "CMakeFiles/ursa_graph.dir/graph/DAGBuilder.cpp.o.d"
+  "CMakeFiles/ursa_graph.dir/graph/Dominators.cpp.o"
+  "CMakeFiles/ursa_graph.dir/graph/Dominators.cpp.o.d"
+  "CMakeFiles/ursa_graph.dir/graph/Hammocks.cpp.o"
+  "CMakeFiles/ursa_graph.dir/graph/Hammocks.cpp.o.d"
+  "libursa_graph.a"
+  "libursa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/ursa_ir.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/ursa_ir.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "src/CMakeFiles/ursa_ir.dir/ir/Interpreter.cpp.o" "gcc" "src/CMakeFiles/ursa_ir.dir/ir/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/CMakeFiles/ursa_ir.dir/ir/Parser.cpp.o" "gcc" "src/CMakeFiles/ursa_ir.dir/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Trace.cpp" "src/CMakeFiles/ursa_ir.dir/ir/Trace.cpp.o" "gcc" "src/CMakeFiles/ursa_ir.dir/ir/Trace.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/ursa_ir.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/ursa_ir.dir/ir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_ir.dir/ir/Instruction.cpp.o"
+  "CMakeFiles/ursa_ir.dir/ir/Instruction.cpp.o.d"
+  "CMakeFiles/ursa_ir.dir/ir/Interpreter.cpp.o"
+  "CMakeFiles/ursa_ir.dir/ir/Interpreter.cpp.o.d"
+  "CMakeFiles/ursa_ir.dir/ir/Parser.cpp.o"
+  "CMakeFiles/ursa_ir.dir/ir/Parser.cpp.o.d"
+  "CMakeFiles/ursa_ir.dir/ir/Trace.cpp.o"
+  "CMakeFiles/ursa_ir.dir/ir/Trace.cpp.o.d"
+  "CMakeFiles/ursa_ir.dir/ir/Verifier.cpp.o"
+  "CMakeFiles/ursa_ir.dir/ir/Verifier.cpp.o.d"
+  "libursa_ir.a"
+  "libursa_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

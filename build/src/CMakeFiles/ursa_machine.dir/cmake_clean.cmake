@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_machine.dir/machine/MachineModel.cpp.o"
+  "CMakeFiles/ursa_machine.dir/machine/MachineModel.cpp.o.d"
+  "libursa_machine.a"
+  "libursa_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

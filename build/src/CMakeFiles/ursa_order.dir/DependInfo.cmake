@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/order/Chains.cpp" "src/CMakeFiles/ursa_order.dir/order/Chains.cpp.o" "gcc" "src/CMakeFiles/ursa_order.dir/order/Chains.cpp.o.d"
+  "/root/repo/src/order/Matching.cpp" "src/CMakeFiles/ursa_order.dir/order/Matching.cpp.o" "gcc" "src/CMakeFiles/ursa_order.dir/order/Matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

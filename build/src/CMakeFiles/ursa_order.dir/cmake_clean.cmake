@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_order.dir/order/Chains.cpp.o"
+  "CMakeFiles/ursa_order.dir/order/Chains.cpp.o.d"
+  "CMakeFiles/ursa_order.dir/order/Matching.cpp.o"
+  "CMakeFiles/ursa_order.dir/order/Matching.cpp.o.d"
+  "libursa_order.a"
+  "libursa_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/GraphColoring.cpp" "src/CMakeFiles/ursa_sched.dir/sched/GraphColoring.cpp.o" "gcc" "src/CMakeFiles/ursa_sched.dir/sched/GraphColoring.cpp.o.d"
+  "/root/repo/src/sched/ListScheduler.cpp" "src/CMakeFiles/ursa_sched.dir/sched/ListScheduler.cpp.o" "gcc" "src/CMakeFiles/ursa_sched.dir/sched/ListScheduler.cpp.o.d"
+  "/root/repo/src/sched/Pipelines.cpp" "src/CMakeFiles/ursa_sched.dir/sched/Pipelines.cpp.o" "gcc" "src/CMakeFiles/ursa_sched.dir/sched/Pipelines.cpp.o.d"
+  "/root/repo/src/sched/RegAssign.cpp" "src/CMakeFiles/ursa_sched.dir/sched/RegAssign.cpp.o" "gcc" "src/CMakeFiles/ursa_sched.dir/sched/RegAssign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_sched.dir/sched/GraphColoring.cpp.o"
+  "CMakeFiles/ursa_sched.dir/sched/GraphColoring.cpp.o.d"
+  "CMakeFiles/ursa_sched.dir/sched/ListScheduler.cpp.o"
+  "CMakeFiles/ursa_sched.dir/sched/ListScheduler.cpp.o.d"
+  "CMakeFiles/ursa_sched.dir/sched/Pipelines.cpp.o"
+  "CMakeFiles/ursa_sched.dir/sched/Pipelines.cpp.o.d"
+  "CMakeFiles/ursa_sched.dir/sched/RegAssign.cpp.o"
+  "CMakeFiles/ursa_sched.dir/sched/RegAssign.cpp.o.d"
+  "libursa_sched.a"
+  "libursa_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_support.dir/support/Dot.cpp.o"
+  "CMakeFiles/ursa_support.dir/support/Dot.cpp.o.d"
+  "CMakeFiles/ursa_support.dir/support/Table.cpp.o"
+  "CMakeFiles/ursa_support.dir/support/Table.cpp.o.d"
+  "libursa_support.a"
+  "libursa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

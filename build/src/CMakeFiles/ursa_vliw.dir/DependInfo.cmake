@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vliw/Simulator.cpp" "src/CMakeFiles/ursa_vliw.dir/vliw/Simulator.cpp.o" "gcc" "src/CMakeFiles/ursa_vliw.dir/vliw/Simulator.cpp.o.d"
+  "/root/repo/src/vliw/VLIWProgram.cpp" "src/CMakeFiles/ursa_vliw.dir/vliw/VLIWProgram.cpp.o" "gcc" "src/CMakeFiles/ursa_vliw.dir/vliw/VLIWProgram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_vliw.dir/vliw/Simulator.cpp.o"
+  "CMakeFiles/ursa_vliw.dir/vliw/Simulator.cpp.o.d"
+  "CMakeFiles/ursa_vliw.dir/vliw/VLIWProgram.cpp.o"
+  "CMakeFiles/ursa_vliw.dir/vliw/VLIWProgram.cpp.o.d"
+  "libursa_vliw.a"
+  "libursa_vliw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

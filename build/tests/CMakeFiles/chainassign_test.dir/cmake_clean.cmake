@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainassign_test.dir/chainassign_test.cpp.o"
+  "CMakeFiles/chainassign_test.dir/chainassign_test.cpp.o.d"
+  "chainassign_test"
+  "chainassign_test.pdb"
+  "chainassign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainassign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driveropts_test.dir/driveropts_test.cpp.o"
+  "CMakeFiles/driveropts_test.dir/driveropts_test.cpp.o.d"
+  "driveropts_test"
+  "driveropts_test.pdb"
+  "driveropts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driveropts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

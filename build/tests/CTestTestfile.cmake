@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/order_test[1]_include.cmake")
+include("/root/repo/build/tests/measure_test[1]_include.cmake")
+include("/root/repo/build/tests/transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/vliw_test[1]_include.cmake")
+include("/root/repo/build/tests/endtoend_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/unroll_test[1]_include.cmake")
+include("/root/repo/build/tests/traceopt_test[1]_include.cmake")
+include("/root/repo/build/tests/pipelined_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/swp_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels2_test[1]_include.cmake")
+include("/root/repo/build/tests/corner_test[1]_include.cmake")
+include("/root/repo/build/tests/driveropts_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/chainassign_test[1]_include.cmake")
+include("/root/repo/build/tests/squash_test[1]_include.cmake")
