@@ -1,0 +1,62 @@
+//===- bench/bench_verify_overhead.cpp - Cost of phase-boundary checks ----===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what the pipeline guardrails cost: full URSA compilation of the
+// standard corpus at every VerifyLevel, on a modest and on a tight
+// machine. The interesting numbers are the ratios — Basic should be cheap
+// enough to leave on in development builds, Full (which re-runs the
+// interpreter and simulator per compile) is for test suites and triage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+using namespace ursa;
+using namespace ursa::bench;
+
+int main() {
+  std::printf("verification overhead: corpus compile time per VerifyLevel\n\n");
+
+  std::vector<std::pair<std::string, Trace>> Corpus = corpus(6);
+  const std::pair<const char *, VerifyLevel> Levels[] = {
+      {"none", VerifyLevel::None},
+      {"basic", VerifyLevel::Basic},
+      {"full", VerifyLevel::Full}};
+  const std::pair<const char *, MachineModel> Machines[] = {
+      {"4x8", MachineModel::homogeneous(4, 8)},
+      {"2x4", MachineModel::homogeneous(2, 4)}};
+
+  Table Tbl({"machine", "level", "compiles", "total ms", "ratio vs none"});
+  for (const auto &[MName, M] : Machines) {
+    double BaseMs = 0;
+    for (const auto &[LName, Level] : Levels) {
+      URSAOptions Opts;
+      Opts.Verify = Level;
+      unsigned Ok = 0;
+      auto Start = std::chrono::steady_clock::now();
+      // A few repetitions to get out of the clock's noise floor.
+      for (unsigned Rep = 0; Rep != 5; ++Rep)
+        for (const auto &[Name, T] : Corpus)
+          Ok += compileURSA(T, M, Opts).Compile.Ok;
+      double Ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+      if (Level == VerifyLevel::None)
+        BaseMs = Ms;
+      char Total[32], Ratio[32];
+      std::snprintf(Total, sizeof(Total), "%.1f", Ms);
+      std::snprintf(Ratio, sizeof(Ratio), "%.2fx",
+                    BaseMs > 0 ? Ms / BaseMs : 1.0);
+      Tbl.addRow({MName, LName, std::to_string(Ok), Total, Ratio});
+    }
+  }
+  Tbl.print(std::cout);
+  return 0;
+}

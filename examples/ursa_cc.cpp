@@ -22,6 +22,12 @@
 //   --emit WHAT           asm | dot | stats   (default: asm + stats)
 //   --set NAME=INT        initial memory value (repeatable)
 //   --run                 execute and print the final memory state
+//   --verify LEVEL        off | basic | full phase-boundary verification
+//                         (URSA only; overrides URSA_VERIFY; diagnostics
+//                         go to stderr — see docs/ROBUSTNESS.md)
+//   --guaranteed-fit      force residual excess to fit via the
+//                         sequentialize-and-spill fallback (URSA only)
+//   --time-budget MS      wall-clock budget for the allocation loop
 //
 //===----------------------------------------------------------------------===//
 
@@ -83,6 +89,9 @@ struct Options {
   bool EmitAsm = true, EmitDot = false, EmitStats = true;
   bool Report = false;
   bool Run = false;
+  std::string Verify; ///< empty = keep the URSA_VERIFY default
+  bool GuaranteedFit = false;
+  unsigned TimeBudgetMs = 0;
   MemoryState Inputs;
 };
 
@@ -167,6 +176,24 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Report = true;
     } else if (A == "--run") {
       O.Run = true;
+    } else if (A == "--verify") {
+      const char *S = Next();
+      if (!S)
+        return false;
+      if (std::string(S) != "off" && std::string(S) != "none" &&
+          std::string(S) != "basic" && std::string(S) != "full") {
+        std::fprintf(stderr, "unknown --verify level '%s' (off|basic|full)\n",
+                     S);
+        return false;
+      }
+      O.Verify = S;
+    } else if (A == "--guaranteed-fit") {
+      O.GuaranteedFit = true;
+    } else if (A == "--time-budget") {
+      const char *S = Next();
+      if (!S)
+        return false;
+      O.TimeBudgetMs = unsigned(std::atoi(S));
     } else if (A.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
       return false;
@@ -178,16 +205,17 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
 }
 
 CompileResult compileTraceBy(const std::string &Name, const Trace &T,
-                             const MachineModel &M, PhaseOrdering Order) {
+                             const MachineModel &M, const URSAOptions &UO) {
   if (Name == "prepass")
     return compilePrepass(T, M);
   if (Name == "postpass")
     return compilePostpass(T, M);
   if (Name == "integrated")
     return compileIntegrated(T, M);
-  URSAOptions UO;
-  UO.Order = Order;
-  return compileURSA(T, M, UO).Compile;
+  URSACompileResult R = compileURSA(T, M, UO);
+  for (const Diag &D : R.Diags)
+    std::fprintf(stderr, "%s\n", D.str().c_str());
+  return R.Compile;
 }
 
 } // namespace
@@ -226,6 +254,12 @@ int main(int Argc, char **Argv) {
                         : O.Order == "integrated"
                             ? PhaseOrdering::Integrated
                             : PhaseOrdering::RegistersFirst;
+  URSAOptions UO;
+  UO.Order = Order;
+  if (!O.Verify.empty())
+    UO.Verify = parseVerifyLevel(O.Verify.c_str());
+  UO.GuaranteedFit = O.GuaranteedFit;
+  UO.TimeBudgetMs = O.TimeBudgetMs;
 
   bool IsCFG = Source.find("func ") != std::string::npos;
 
@@ -238,14 +272,13 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     if (O.Report && O.Pipeline == "ursa") {
-      URSAOptions UO;
-      UO.Order = Order;
-      UO.KeepLog = true;
+      URSAOptions RO = UO;
+      RO.KeepLog = true;
       DependenceDAG D0 = buildDAG(T);
-      URSAResult AR = runURSA(D0, M, UO);
+      URSAResult AR = runURSA(D0, M, RO);
       std::printf("%s\n", formatAllocationReport(D0, AR, M).c_str());
     }
-    CompileResult R = compileTraceBy(O.Pipeline, T, M, Order);
+    CompileResult R = compileTraceBy(O.Pipeline, T, M, UO);
     if (!R.Ok) {
       std::fprintf(stderr, "compile error: %s\n", R.Error.c_str());
       return 1;
@@ -291,7 +324,7 @@ int main(int Argc, char **Argv) {
   } else {
     U = unrollLoops(F, O.Unroll);
     C = compileCFG(U, M, [&](const Trace &T, const MachineModel &Mm) {
-      return compileTraceBy(O.Pipeline, T, Mm, Order);
+      return compileTraceBy(O.Pipeline, T, Mm, UO);
     });
     if (!C.Ok) {
       std::fprintf(stderr, "compile error: %s\n", C.Error.c_str());

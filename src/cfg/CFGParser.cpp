@@ -210,12 +210,19 @@ bool ursa::parseCFG(const std::string &Source, CFGFunction &Out,
   return true;
 }
 
-CFGFunction ursa::parseCFGOrDie(const std::string &Source) {
+StatusOr<CFGFunction> ursa::parseCFGStatus(const std::string &Source) {
   CFGFunction F;
   std::string Err;
-  if (!parseCFG(Source, F, Err)) {
-    std::fprintf(stderr, "parseCFGOrDie: %s\n", Err.c_str());
+  if (!parseCFG(Source, F, Err))
+    return Status::error("parse", Err);
+  return F;
+}
+
+CFGFunction ursa::parseCFGOrDie(const std::string &Source) {
+  StatusOr<CFGFunction> R = parseCFGStatus(Source);
+  if (!R.isOk()) {
+    std::fprintf(stderr, "parseCFGOrDie: %s\n", R.status().str().c_str());
     std::abort();
   }
-  return F;
+  return std::move(*R);
 }

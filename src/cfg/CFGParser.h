@@ -38,6 +38,7 @@
 #define URSA_CFG_CFGPARSER_H
 
 #include "cfg/CFG.h"
+#include "support/Status.h"
 
 #include <string>
 
@@ -47,7 +48,12 @@ namespace ursa {
 /// returns false and sets \p Err.
 bool parseCFG(const std::string &Source, CFGFunction &Out, std::string &Err);
 
-/// Asserting wrapper for known-good embedded sources.
+/// Fallible entry point: the function, or a Status carrying the parse (or
+/// CFG verification) diagnostic. Never aborts.
+StatusOr<CFGFunction> parseCFGStatus(const std::string &Source);
+
+/// Wrapper over parseCFGStatus that prints the diagnostic and aborts on
+/// failure; for known-good embedded sources.
 CFGFunction parseCFGOrDie(const std::string &Source);
 
 } // namespace ursa

@@ -117,6 +117,11 @@ private:
   Trace T;
   std::vector<std::vector<std::pair<unsigned, EdgeKind>>> Succs;
   std::vector<std::vector<std::pair<unsigned, EdgeKind>>> Preds;
+
+  /// The fault-injection harness (ursa/FaultInjector.h) plants
+  /// deliberately malformed states — e.g. one-sided edges — that the
+  /// public mutators rightly refuse to create.
+  friend class FaultInjector;
 };
 
 } // namespace ursa

@@ -230,15 +230,22 @@ bool ursa::parseTrace(const std::string &Source, Trace &Out,
   return Ok;
 }
 
-Trace ursa::parseTraceOrDie(const std::string &Source,
-                            const std::string &Name) {
+StatusOr<Trace> ursa::parseTraceStatus(const std::string &Source,
+                                       const std::string &Name,
+                                       std::map<std::string, int> *NameMap) {
   Trace T(Name);
   std::string Err;
-  bool Ok = parseTrace(Source, T, Err);
-  if (!Ok) {
-    std::fprintf(stderr, "parseTraceOrDie(%s): %s\n", Name.c_str(),
-                 Err.c_str());
+  if (!parseTrace(Source, T, Err, NameMap))
+    return Status::error("parse", Name + ": " + Err);
+  return T;
+}
+
+Trace ursa::parseTraceOrDie(const std::string &Source,
+                            const std::string &Name) {
+  StatusOr<Trace> R = parseTraceStatus(Source, Name);
+  if (!R.isOk()) {
+    std::fprintf(stderr, "parseTraceOrDie: %s\n", R.status().str().c_str());
     std::abort();
   }
-  return T;
+  return std::move(*R);
 }

@@ -28,6 +28,7 @@
 #define URSA_IR_PARSER_H
 
 #include "ir/Trace.h"
+#include "support/Status.h"
 
 #include <map>
 #include <string>
@@ -41,8 +42,15 @@ namespace ursa {
 bool parseTrace(const std::string &Source, Trace &Out, std::string &Err,
                 std::map<std::string, int> *NameMap = nullptr);
 
-/// Convenience wrapper that asserts on parse failure; for tests and
-/// embedded kernels whose sources are known-good.
+/// Fallible entry point: the trace, or a Status whose diagnostic carries
+/// the "line N: ..." parse error. Never aborts.
+StatusOr<Trace> parseTraceStatus(const std::string &Source,
+                                 const std::string &Name = "trace",
+                                 std::map<std::string, int> *NameMap = nullptr);
+
+/// Convenience wrapper over parseTraceStatus that prints the diagnostic
+/// and aborts on failure; for tests and embedded kernels whose sources
+/// are known-good.
 Trace parseTraceOrDie(const std::string &Source,
                       const std::string &Name = "trace");
 

@@ -88,7 +88,8 @@ VLIWProgram ursa::emitSchedule(const DependenceDAG &D, const Schedule &S,
 }
 
 CompileResult ursa::finishAndEmit(DependenceDAG D, const MachineModel &M,
-                                  const SchedulerOptions &Opts) {
+                                  const SchedulerOptions &Opts,
+                                  const PipelineHooks &Hooks) {
   CompileResult R;
   if (!fileFitsEveryOp(D.trace(), M, R.Error))
     return R;
@@ -99,6 +100,13 @@ CompileResult ursa::finishAndEmit(DependenceDAG D, const MachineModel &M,
     RegAssignment RA = assignRegisters(D, S, M);
     R.PeakLive = std::max(R.PeakLive, RA.PeakLive);
     if (RA.Ok) {
+      if (Hooks.CheckAssignment) {
+        Status St = Hooks.CheckAssignment(D, S, RA, M);
+        if (!St.isOk()) {
+          R.Error = "assignment verification failed: " + St.message();
+          return R;
+        }
+      }
       VLIWProgram P = emitSchedule(D, S, RA, M);
       std::string Bad = P.validate();
       if (!Bad.empty()) {

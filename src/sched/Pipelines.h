@@ -29,8 +29,10 @@
 #include "machine/MachineModel.h"
 #include "sched/ListScheduler.h"
 #include "sched/RegAssign.h"
+#include "support/Status.h"
 #include "vliw/VLIWProgram.h"
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -57,11 +59,24 @@ struct CompileResult {
 VLIWProgram emitSchedule(const DependenceDAG &D, const Schedule &S,
                          const RegAssignment &RA, const MachineModel &M);
 
+/// Guardrail callbacks injected by higher layers. The URSA compiler wires
+/// ursa/PipelineVerifier.h checks in here; this library sits below it and
+/// cannot call the verifier directly.
+struct PipelineHooks {
+  /// Called on the final schedule and register mapping right before
+  /// emission. A failed Status aborts the pipeline with its diagnostics
+  /// instead of emitting a wrong program.
+  std::function<Status(const DependenceDAG &, const Schedule &,
+                       const RegAssignment &, const MachineModel &)>
+      CheckAssignment;
+};
+
 /// Schedules \p D, assigns registers (spilling and rescheduling until the
 /// machine's files suffice), and emits a VLIW program. The shared tail of
 /// every pipeline. \p Opts configures the scheduler (pressure awareness).
 CompileResult finishAndEmit(DependenceDAG D, const MachineModel &M,
-                            const SchedulerOptions &Opts = {});
+                            const SchedulerOptions &Opts = {},
+                            const PipelineHooks &Hooks = {});
 
 /// Prepass baseline: schedule, then allocate.
 CompileResult compilePrepass(const Trace &T, const MachineModel &M);

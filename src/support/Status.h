@@ -1,0 +1,132 @@
+//===- support/Status.h - Fallible-operation result types -------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error plumbing for the pipeline's fallible entry points. A Diag is one
+/// diagnostic (severity, originating phase, message); a Status is a bag of
+/// diagnostics that is "ok" when it holds no errors; StatusOr<T> carries
+/// either a value or the Status explaining its absence. Library code must
+/// never abort on malformed *input* — it returns one of these instead, and
+/// only the explicit `...OrDie` convenience wrappers terminate (after
+/// printing the diagnostic). See docs/ROBUSTNESS.md for conventions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SUPPORT_STATUS_H
+#define URSA_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ursa {
+
+/// Severity of one diagnostic.
+enum class Severity { Error, Warning, Note };
+
+/// One diagnostic: what went wrong, how bad it is, and which pipeline
+/// phase noticed ("parse", "dag", "measure", "allocate", "assign",
+/// "emit", "semantics", ...).
+struct Diag {
+  Severity Sev = Severity::Error;
+  std::string Phase;
+  std::string Message;
+
+  /// "error [measure]: chain 3 is not ordered by the relation"
+  std::string str() const {
+    const char *S = Sev == Severity::Error     ? "error"
+                    : Sev == Severity::Warning ? "warning"
+                                               : "note";
+    return std::string(S) + " [" + Phase + "]: " + Message;
+  }
+};
+
+/// Outcome of a fallible operation: ok iff no Error-severity diagnostic.
+/// Warnings and notes ride along without making the status a failure.
+class Status {
+public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(std::string Phase, std::string Message) {
+    Status S;
+    S.add({Severity::Error, std::move(Phase), std::move(Message)});
+    return S;
+  }
+
+  bool isOk() const {
+    for (const Diag &D : Ds)
+      if (D.Sev == Severity::Error)
+        return false;
+    return true;
+  }
+  explicit operator bool() const { return isOk(); }
+
+  void add(Diag D) { Ds.push_back(std::move(D)); }
+  void merge(const Status &O) {
+    Ds.insert(Ds.end(), O.Ds.begin(), O.Ds.end());
+  }
+
+  const std::vector<Diag> &diags() const { return Ds; }
+  bool empty() const { return Ds.empty(); }
+
+  /// First error's message, or "ok".
+  std::string message() const {
+    for (const Diag &D : Ds)
+      if (D.Sev == Severity::Error)
+        return D.Message;
+    return "ok";
+  }
+
+  /// Every diagnostic, one per line.
+  std::string str() const {
+    std::string Out;
+    for (const Diag &D : Ds) {
+      if (!Out.empty())
+        Out += '\n';
+      Out += D.str();
+    }
+    return Out.empty() ? "ok" : Out;
+  }
+
+private:
+  std::vector<Diag> Ds;
+};
+
+/// A value or the Status explaining why there is none.
+template <typename T> class StatusOr {
+public:
+  StatusOr(T V) : V(std::move(V)) {}
+  StatusOr(Status S) : S(std::move(S)) {
+    assert(!this->S.isOk() && "StatusOr from an ok Status carries no value");
+  }
+
+  bool isOk() const { return V.has_value(); }
+  explicit operator bool() const { return isOk(); }
+
+  const Status &status() const { return S; }
+
+  T &value() {
+    assert(isOk() && "value() on a failed StatusOr");
+    return *V;
+  }
+  const T &value() const {
+    assert(isOk() && "value() on a failed StatusOr");
+    return *V;
+  }
+  T &operator*() { return value(); }
+  T *operator->() { return &value(); }
+
+private:
+  Status S;
+  std::optional<T> V;
+};
+
+} // namespace ursa
+
+#endif // URSA_SUPPORT_STATUS_H

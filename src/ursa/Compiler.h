@@ -42,11 +42,30 @@ struct URSACompileResult {
   bool AllocWithinLimits = false;
   std::vector<unsigned> FinalRequired;
   std::vector<std::string> AllocLog;
+
+  /// Guardrail accounting (see docs/ROBUSTNESS.md). VerifyFailed means a
+  /// pipeline invariant was violated and compilation stopped with
+  /// diagnostics; Compile.Ok is false in that case.
+  bool VerifyFailed = false;
+  bool LivelockDetected = false;
+  bool BudgetExhausted = false;
+  bool FallbackUsed = false;
+  std::vector<Diag> Diags;
 };
 
-/// Runs the full URSA pipeline on \p T for machine \p M.
+/// Runs the full URSA pipeline on \p T for machine \p M. With
+/// URSAOptions::Verify above None the input trace is gated before the DAG
+/// is built and every phase boundary is checked; violations surface as
+/// Compile.Ok == false plus Diags instead of assertion failures.
 URSACompileResult compileURSA(const Trace &T, const MachineModel &M,
                               const URSAOptions &Opts = {});
+
+/// Fallible entry point: like compileURSA but with verification forced to
+/// at least Basic, returning a Status (never crashing) when the input is
+/// malformed, an invariant breaks mid-pipeline, or emission fails.
+StatusOr<URSACompileResult> compileURSAChecked(const Trace &T,
+                                               const MachineModel &M,
+                                               const URSAOptions &Opts = {});
 
 } // namespace ursa
 

@@ -6,7 +6,12 @@
 
 #include "ursa/Driver.h"
 
+#include "graph/DAGBuilder.h"
+#include "sched/RegAssign.h"
+#include "ursa/FaultInjector.h"
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
@@ -105,9 +110,112 @@ collectProposals(const DependenceDAG &D, const State &S, bool DoRegs,
   return Props;
 }
 
+/// Chains every real node into one total order (consecutive in the
+/// current topological order), collapsing all parallelism. Afterwards
+/// every CanReuse relation is a total order too, so each FU class needs
+/// one unit and the register requirement equals sequential liveness.
+static unsigned sequentializeTotally(DependenceDAG &D) {
+  unsigned Added = 0, Prev = ~0u;
+  DAGAnalysis A(D);
+  for (unsigned N : A.topoOrder()) {
+    if (DependenceDAG::isVirtual(N))
+      continue;
+    if (Prev != ~0u && D.addEdge(Prev, N, EdgeKind::Sequence))
+      ++Added;
+    Prev = N;
+  }
+  D.normalizeVirtualEdges();
+  return Added;
+}
+
+/// The guaranteed-fit fallback (graceful degradation): total-order
+/// sequentialization plus spilling of long-lived values until every
+/// measured requirement fits the machine or nothing spillable remains.
+/// Termination: each iteration spills a value whose post-spill live range
+/// collapses below the candidacy threshold, and reload-defined values are
+/// never candidates.
+static void guaranteedFitFallback(URSAResult &R, const MachineModel &M,
+                                  const MeasureOptions &MO) {
+  R.FallbackUsed = true;
+  R.SeqEdgesAdded += sequentializeTotally(R.DAG);
+  unsigned MaxIter = R.DAG.trace().numVRegs() + 4;
+  for (unsigned Iter = 0; Iter != MaxIter; ++Iter) {
+    State S(R.DAG, M, MO);
+    if (S.TotalExcess == 0)
+      return;
+    const Trace &T = R.DAG.trace();
+
+    // Longest live span in the (total) schedule order, among values not
+    // produced by spill code.
+    unsigned NV = T.numVRegs();
+    std::vector<int> DefPos(NV, -1), LastPos(NV, -1), DefIdx(NV, -1);
+    for (unsigned Idx = 0; Idx != T.size(); ++Idx) {
+      const Instruction &I = T.instr(Idx);
+      int Pos = int(S.A->topoPos(DependenceDAG::nodeOf(Idx)));
+      if (I.dest() >= 0) {
+        DefPos[I.dest()] = Pos;
+        DefIdx[I.dest()] = int(Idx);
+        LastPos[I.dest()] = std::max(LastPos[I.dest()], Pos);
+      }
+      for (unsigned Op = 0; Op != I.numOperands(); ++Op)
+        LastPos[I.operand(Op)] = std::max(LastPos[I.operand(Op)], Pos);
+    }
+    int Victim = -1, BestSpan = 1;
+    for (unsigned V = 0; V != NV; ++V) {
+      if (DefPos[V] < 0 || isSpillOp(T.instr(DefIdx[V]).opcode()))
+        continue;
+      int Span = LastPos[V] - DefPos[V];
+      if (Span > BestSpan) {
+        BestSpan = Span;
+        Victim = int(V);
+      }
+    }
+    if (Victim < 0)
+      return; // honest: WithinLimits stays false
+    Trace T2 = T;
+    spillValueInTrace(T2, Victim);
+    ++R.SpillsInserted;
+    R.DAG = buildDAG(std::move(T2));
+    R.SeqEdgesAdded += sequentializeTotally(R.DAG);
+  }
+}
+
 URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
                          const URSAOptions &Opts) {
   URSAResult R(std::move(D));
+  const bool VerifyOn = Opts.Verify != VerifyLevel::None;
+  const bool VerifyFull = Opts.Verify == VerifyLevel::Full;
+  auto AddDiag = [&R](Severity Sev, std::string Msg) {
+    R.Diags.push_back({Sev, "allocate", std::move(Msg)});
+  };
+  auto FailVerify = [&R](const Status &St) {
+    for (const Diag &Dg : St.diags())
+      R.Diags.push_back(Dg);
+    R.VerifyFailed = true;
+  };
+
+  // Input gate: never run the O(n^2) analyses on a malformed DAG — they
+  // assert (or worse) instead of diagnosing.
+  if (VerifyOn) {
+    Status St = verifyDAGStructure(R.DAG);
+    if (!St.isOk()) {
+      FailVerify(St);
+      return R;
+    }
+  }
+
+  auto StartTime = std::chrono::steady_clock::now();
+  auto BudgetExceeded = [&]() {
+    if (R.Rounds >= Opts.MaxTotalRounds)
+      return true;
+    if (Opts.TimeBudgetMs == 0)
+      return false;
+    auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - StartTime)
+                  .count();
+    return Ms >= long(Opts.TimeBudgetMs);
+  };
+
   std::vector<std::pair<bool, bool>> Phases; // (regs?, fus?)
   switch (Opts.Order) {
   case PhaseOrdering::RegistersFirst:
@@ -125,22 +233,46 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
   // sequencing shortened lifetimes); usually a no-op.
   Phases.push_back({true, true});
 
+  unsigned PrevSweepExcess;
   {
     State S0(R.DAG, M, Opts.Measure);
     R.CritPathBefore = S0.CritPath;
+    PrevSweepExcess = S0.TotalExcess;
   }
 
   // Outer fixpoint: a register round can disturb the functional-unit
   // phase's work and vice versa, so the phase list repeats until a whole
-  // pass applies nothing (or the excess is gone).
-  for (unsigned Sweep = 0; Sweep != 4; ++Sweep) {
+  // pass applies nothing (or the excess is gone). Bail stops transforming
+  // — on a verification failure the DAG is corrupt and only diagnostics
+  // come back; on budget exhaustion or livelock the current (sound) state
+  // proceeds to accounting and, optionally, the guaranteed-fit fallback.
+  bool Bail = false;
+  unsigned StaleSweeps = 0;
+  for (unsigned Sweep = 0; Sweep != 4 && !Bail; ++Sweep) {
   unsigned RoundsAtSweepStart = R.Rounds;
   for (auto [DoRegs, DoFUs] : Phases) {
+    if (Bail)
+      break;
     // Plateau patience: a round that keeps the excess flat can still set
     // up the next reduction (wave edges), but only finitely many are
     // tolerated before the residual is left to the assignment phase.
     unsigned Patience = 6;
     for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+      if (BudgetExceeded()) {
+        R.BudgetExhausted = true;
+        AddDiag(Severity::Warning,
+                "round/time budget exhausted; leaving residual excess");
+        Bail = true;
+        break;
+      }
+      if (VerifyOn) {
+        Status St = verifyDAGStructure(R.DAG);
+        if (!St.isOk()) {
+          FailVerify(St);
+          Bail = true;
+          break;
+        }
+      }
       State S(R.DAG, M, Opts.Measure);
       std::vector<TransformProposal> Props =
           collectProposals(R.DAG, S, DoRegs, DoFUs, Opts);
@@ -185,9 +317,18 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
         Patience = 6;
       }
 
-      ApplyStats St = applyTransform(R.DAG, Props[Best]);
-      R.SeqEdgesAdded += St.EdgesAdded;
-      R.SpillsInserted += St.SpillsInserted;
+      // Apply, cross-checking claimed progress against the actual DAG
+      // delta: a transform that says it changed something but didn't
+      // would re-propose itself forever (livelock by lying).
+      uint64_t FpBefore = VerifyOn ? dagFingerprint(R.DAG) : 0;
+      ApplyStats ASt;
+      if (Opts.Faults && Opts.Faults->shouldFakeProgress(R.Rounds))
+        ASt.EdgesAdded = unsigned(std::max<size_t>(
+            1, Props[Best].SeqEdges.size())); // claimed, never applied
+      else
+        ASt = applyTransform(R.DAG, Props[Best]);
+      R.SeqEdgesAdded += ASt.EdgesAdded;
+      R.SpillsInserted += ASt.SpillsInserted;
       ++R.Rounds;
       if (Opts.KeepLog) {
         char Buf[64];
@@ -195,14 +336,71 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
                       S.TotalExcess, BestScore.TotalExcess, BestScore.CritPath);
         R.Log.push_back(Props[Best].describe() + Buf);
       }
+      if (VerifyOn && (ASt.EdgesAdded || ASt.SpillsInserted) &&
+          dagFingerprint(R.DAG) == FpBefore) {
+        AddDiag(Severity::Error,
+                "transform '" + Props[Best].describe() +
+                    "' reported progress but left the DAG unchanged");
+        R.LivelockDetected = true;
+        Bail = true;
+        break;
+      }
+      // Armed DAG-corruption faults strike after a round, like a buggy
+      // in-place mutation would; the next round's gate must catch them.
+      if (Opts.Faults)
+        Opts.Faults->maybeInjectDAG(R.DAG, R.Rounds);
+    }
+
+    // Phase boundary: the next phase (or the assignment) inherits this
+    // DAG — prove the hand-off.
+    if (!Bail && VerifyOn) {
+      Status St = verifyDAGStructure(R.DAG);
+      if (St.isOk() && VerifyFull) {
+        State PB(R.DAG, M, Opts.Measure);
+        St.merge(verifyMeasurements(PB.Meas));
+      }
+      if (!St.isOk()) {
+        FailVerify(St);
+        Bail = true;
+      }
     }
   }
+  if (Bail)
+    break;
 
   {
     State Check(R.DAG, M, Opts.Measure);
     if (Check.TotalExcess == 0 || R.Rounds == RoundsAtSweepStart)
       break;
+    // Livelock detection: sweeps that keep applying transforms without
+    // reducing the total excess will not converge; two in a row and the
+    // residual goes to the assignment phase (or the fallback) instead.
+    if (Check.TotalExcess >= PrevSweepExcess) {
+      if (++StaleSweeps >= 2) {
+        R.LivelockDetected = true;
+        AddDiag(Severity::Warning,
+                "livelock: consecutive sweeps applied transforms without "
+                "reducing total excess");
+        break;
+      }
+    } else {
+      StaleSweeps = 0;
+    }
+    PrevSweepExcess = Check.TotalExcess;
   }
+  }
+
+  // A corrupt DAG supports no further measurement — return what we know.
+  if (R.VerifyFailed)
+    return R;
+
+  if (Opts.GuaranteedFit) {
+    State Pre(R.DAG, M, Opts.Measure);
+    if (Pre.TotalExcess > 0) {
+      AddDiag(Severity::Note, "guaranteed-fit fallback: sequentializing "
+                              "and spilling the residual excess");
+      guaranteedFitFallback(R, M, Opts.Measure);
+    }
   }
 
   State Final(R.DAG, M, Opts.Measure);

@@ -22,13 +22,17 @@
 
 #include "graph/DAG.h"
 #include "machine/MachineModel.h"
+#include "support/Status.h"
 #include "ursa/Measure.h"
+#include "ursa/PipelineVerifier.h"
 #include "ursa/Transforms.h"
 
 #include <string>
 #include <vector>
 
 namespace ursa {
+
+class FaultInjector;
 
 /// Which resource's transformations run first.
 enum class PhaseOrdering {
@@ -44,6 +48,24 @@ struct URSAOptions {
   /// Safety valve; each round must reduce total excess, so this is
   /// rarely reached.
   unsigned MaxRounds = 128;
+  /// Hard budget on applied rounds across all phases and sweeps. The
+  /// default exceeds the worst legitimate case (sweeps * phases *
+  /// MaxRounds), so it only fires on livelocked or faulty runs.
+  unsigned MaxTotalRounds = 2048;
+  /// Wall-clock budget in milliseconds; 0 = unlimited. When exceeded the
+  /// driver stops transforming and (with GuaranteedFit) falls back.
+  unsigned TimeBudgetMs = 0;
+  /// Phase-boundary verification level (see ursa/PipelineVerifier.h).
+  /// Defaults from the URSA_VERIFY environment variable.
+  VerifyLevel Verify = defaultVerifyLevel();
+  /// When the reduction phases leave residual excess (heuristics stuck,
+  /// budget exhausted, livelock), force a fit: sequentialize the DAG into
+  /// a total order and spill long-lived values until every requirement is
+  /// within the machine. Off by default — the paper's design leaves small
+  /// residues to the assignment phase.
+  bool GuaranteedFit = false;
+  /// Testing hook: an armed fault injector (see ursa/FaultInjector.h).
+  FaultInjector *Faults = nullptr;
   /// Collect a per-round textual log (for tools and debugging).
   bool KeepLog = false;
   /// Ablation switches (X4): restrict the register transformations to
@@ -69,6 +91,16 @@ struct URSAResult {
   unsigned CritPathBefore = 0;
   unsigned CritPathAfter = 0;
   std::vector<std::string> Log;
+
+  /// Guardrail accounting. VerifyFailed means a phase-boundary check
+  /// found a broken invariant and allocation stopped early — the DAG must
+  /// be considered corrupt and Diags explain why. The other flags record
+  /// degradations on an otherwise sound result.
+  bool VerifyFailed = false;
+  bool LivelockDetected = false;
+  bool BudgetExhausted = false;
+  bool FallbackUsed = false;
+  std::vector<Diag> Diags;
 
   explicit URSAResult(DependenceDAG D) : DAG(std::move(D)) {}
 };

@@ -1,0 +1,95 @@
+//===- ursa/FaultInjector.h - Deterministic pipeline fault injection -*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, RNG-seeded fault harness that corrupts pipeline state
+/// the way real bugs would, so tests can prove the PipelineVerifier
+/// catches every fault class and the driver degrades instead of crashing:
+///
+///  * CycleEdge      — adds a back edge, breaking acyclicity;
+///  * DanglingEdge   — records an edge on the successor side only;
+///  * DropSeqEdge    — silently removes a URSA-added sequence edge,
+///                     un-doing allocation work behind the driver's back;
+///  * FalseProgress  — makes the driver believe a transform applied while
+///                     the DAG is unchanged (livelock seed).
+///
+/// An injector is armed with one fault kind and a firing round and handed
+/// to the driver via URSAOptions::Faults; the static corrupt* helpers
+/// mutate states directly for unit tests (schedules into over-capacity
+/// cycles, assignments into live-range conflicts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_FAULTINJECTOR_H
+#define URSA_URSA_FAULTINJECTOR_H
+
+#include "graph/DAG.h"
+#include "sched/ListScheduler.h"
+#include "sched/RegAssign.h"
+#include "support/RNG.h"
+
+namespace ursa {
+
+/// What an armed injector corrupts.
+enum class FaultKind {
+  None,
+  CycleEdge,
+  DanglingEdge,
+  DropSeqEdge,
+  FalseProgress
+};
+
+class FaultInjector {
+public:
+  explicit FaultInjector(FaultKind Kind, uint64_t Seed = 1,
+                         unsigned FireAtRound = 0)
+      : Kind(Kind), FireAt(FireAtRound), Rng(Seed) {}
+
+  FaultKind kind() const { return Kind; }
+  bool fired() const { return Fired; }
+
+  /// Driver hook, called once per applied round with the live DAG.
+  /// DAG-corrupting kinds fire once when \p Round reaches the armed
+  /// round; returns true when a fault was injected.
+  bool maybeInjectDAG(DependenceDAG &D, unsigned Round);
+
+  /// Driver hook for FalseProgress: true when the driver should pretend
+  /// the chosen transform was applied. Fires persistently from the armed
+  /// round on, modelling a buggy transform, not a one-off glitch.
+  bool shouldFakeProgress(unsigned Round);
+
+  //===--- Direct corruption helpers (unit tests) -------------------------===//
+
+  /// Adds an edge opposing an existing real edge; returns false when the
+  /// DAG has no real edge to oppose.
+  static bool injectCycle(DependenceDAG &D, RNG &Rng);
+
+  /// Appends a successor-side-only half edge between two real nodes;
+  /// returns false on DAGs with fewer than two real nodes.
+  static bool injectDanglingEdge(DependenceDAG &D, RNG &Rng);
+
+  /// Removes one sequence edge between real nodes; false if none exist.
+  static bool dropSequenceEdge(DependenceDAG &D, RNG &Rng);
+
+  /// Moves one op of the busiest cycle into another cycle that is already
+  /// at capacity (over-subscription); no-op on schedules with one cycle.
+  static void corruptSchedule(Schedule &S, RNG &Rng);
+
+  /// Forces two simultaneously-live same-class values onto one physical
+  /// register; no-op when no such pair exists.
+  static void corruptAssignment(const DependenceDAG &D, const Schedule &S,
+                                RegAssignment &RA);
+
+private:
+  FaultKind Kind;
+  unsigned FireAt;
+  bool Fired = false;
+  RNG Rng;
+};
+
+} // namespace ursa
+
+#endif // URSA_URSA_FAULTINJECTOR_H

@@ -1,0 +1,421 @@
+//===- ursa/PipelineVerifier.cpp - Phase-boundary invariant checks --------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ursa/PipelineVerifier.h"
+
+#include "ir/Interpreter.h"
+#include "ir/Verifier.h"
+#include "support/RNG.h"
+#include "vliw/Simulator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ursa;
+
+VerifyLevel ursa::parseVerifyLevel(const char *S) {
+  if (!S)
+    return VerifyLevel::None;
+  if (!std::strcmp(S, "basic") || !std::strcmp(S, "1"))
+    return VerifyLevel::Basic;
+  if (!std::strcmp(S, "full") || !std::strcmp(S, "2"))
+    return VerifyLevel::Full;
+  return VerifyLevel::None;
+}
+
+VerifyLevel ursa::defaultVerifyLevel() {
+  static VerifyLevel Cached = parseVerifyLevel(std::getenv("URSA_VERIFY"));
+  return Cached;
+}
+
+static Diag err(const char *Phase, std::string Msg) {
+  return {Severity::Error, Phase, std::move(Msg)};
+}
+
+static std::string nodeStr(unsigned N) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "node %u", N);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// DAG structure
+//===----------------------------------------------------------------------===//
+
+Status ursa::verifyDAGStructure(const DependenceDAG &D) {
+  Status St;
+  unsigned N = D.size();
+  const Trace &T = D.trace();
+  if (N != T.size() + 2) {
+    St.add(err("dag", "node count disagrees with trace length"));
+    return St; // node/instr mapping broken; nothing below is meaningful
+  }
+
+  // Edge hygiene: endpoints in range, no self edges, succ/pred mirrored,
+  // no duplicate pairs. A half-edge (present on one side only) is exactly
+  // the "dangling edge" fault class.
+  bool EdgesSane = true;
+  auto CountEdge = [](const std::vector<std::pair<unsigned, EdgeKind>> &L,
+                      unsigned Peer, EdgeKind K) {
+    unsigned C = 0;
+    for (const auto &[P, PK] : L)
+      if (P == Peer && PK == K)
+        ++C;
+    return C;
+  };
+  for (unsigned U = 0; U != N; ++U) {
+    for (const auto &[V, K] : D.succs(U)) {
+      if (V >= N) {
+        St.add(err("dag", nodeStr(U) + " has a successor edge to " +
+                              "out-of-range " + nodeStr(V)));
+        EdgesSane = false;
+        continue;
+      }
+      if (V == U) {
+        St.add(err("dag", nodeStr(U) + " has a self edge"));
+        EdgesSane = false;
+        continue;
+      }
+      unsigned Fwd = CountEdge(D.succs(U), V, K);
+      unsigned Rev = CountEdge(D.preds(V), U, K);
+      if (Fwd != Rev) {
+        St.add(err("dag", "dangling edge " + nodeStr(U) + " -> " +
+                              nodeStr(V) +
+                              ": successor and predecessor lists disagree"));
+        EdgesSane = false;
+      }
+      if (Fwd > 1) {
+        St.add(err("dag", "duplicate edge " + nodeStr(U) + " -> " +
+                              nodeStr(V)));
+        EdgesSane = false;
+      }
+    }
+    for (const auto &[V, K] : D.preds(U)) {
+      if (V >= N) {
+        St.add(err("dag", nodeStr(U) + " has a predecessor edge from " +
+                              "out-of-range " + nodeStr(V)));
+        EdgesSane = false;
+        continue;
+      }
+      if (CountEdge(D.succs(V), U, K) == 0) {
+        St.add(err("dag", "dangling edge " + nodeStr(V) + " -> " +
+                              nodeStr(U) + ": present only on the " +
+                              "predecessor side"));
+        EdgesSane = false;
+      }
+    }
+  }
+
+  // Acyclicity via Kahn's algorithm over the successor lists alone, so a
+  // one-sided corruption cannot hide a cycle.
+  if (EdgesSane) {
+    std::vector<unsigned> InDeg(N, 0);
+    for (unsigned U = 0; U != N; ++U)
+      for (const auto &[V, K] : D.succs(U)) {
+        (void)K;
+        ++InDeg[V];
+      }
+    std::vector<unsigned> Work;
+    for (unsigned U = 0; U != N; ++U)
+      if (InDeg[U] == 0)
+        Work.push_back(U);
+    unsigned Seen = 0;
+    while (!Work.empty()) {
+      unsigned U = Work.back();
+      Work.pop_back();
+      ++Seen;
+      for (const auto &[V, K] : D.succs(U)) {
+        (void)K;
+        if (--InDeg[V] == 0)
+          Work.push_back(V);
+      }
+    }
+    if (Seen != N)
+      St.add(err("dag", "graph contains a cycle (" +
+                            std::to_string(N - Seen) + " of " +
+                            std::to_string(N) +
+                            " nodes unreachable from any source)"));
+  }
+
+  // Trace-level structure (SSA single-def, operand ranges, domains).
+  // Transformed traces keep dominance in the DAG, not trace order.
+  for (const std::string &P : verifyTrace(T, /*RequireDefBeforeUse=*/false))
+    St.add(err("dag", "trace: " + P));
+
+  // Dataflow edges: every operand's defining node must have an edge to the
+  // use (spill rewiring moves these; losing one silently relaxes the
+  // schedule and can miscompile).
+  if (EdgesSane && St.isOk()) {
+    std::vector<int> DefNode(T.numVRegs(), -1);
+    for (unsigned Idx = 0; Idx != T.size(); ++Idx)
+      if (T.instr(Idx).dest() >= 0)
+        DefNode[T.instr(Idx).dest()] = int(DependenceDAG::nodeOf(Idx));
+    for (unsigned Idx = 0; Idx != T.size(); ++Idx) {
+      const Instruction &I = T.instr(Idx);
+      for (unsigned S = 0; S != I.numOperands(); ++S) {
+        int Def = DefNode[I.operand(S)];
+        if (Def >= 0 &&
+            !D.hasEdge(unsigned(Def), DependenceDAG::nodeOf(Idx)))
+          St.add(err("dag", "missing def->use edge into " +
+                                nodeStr(DependenceDAG::nodeOf(Idx))));
+      }
+    }
+  }
+  return St;
+}
+
+//===----------------------------------------------------------------------===//
+// Chain decompositions
+//===----------------------------------------------------------------------===//
+
+Status ursa::verifyMeasurement(const Measurement &Meas) {
+  Status St;
+  const ChainDecomposition &CD = Meas.Chains;
+  const ReuseRelation &R = Meas.Reuse;
+  std::string Res = Meas.Res.describe();
+
+  // Chains must partition exactly the active nodes.
+  std::vector<unsigned> Covered;
+  for (unsigned C = 0; C != CD.Chains.size(); ++C) {
+    if (CD.Chains[C].empty())
+      St.add(err("measure", Res + ": chain " + std::to_string(C) +
+                                " is empty"));
+    for (unsigned N : CD.Chains[C]) {
+      Covered.push_back(N);
+      if (N >= CD.ChainOf.size() || CD.ChainOf[N] != int(C))
+        St.add(err("measure", Res + ": ChainOf disagrees with chain " +
+                                  std::to_string(C) + " at " + nodeStr(N)));
+    }
+    // Consecutive members must be related — allocation chains are chains
+    // *of the relation*, not arbitrary node lists (paper Definition 5).
+    for (unsigned I = 1; I < CD.Chains[C].size(); ++I)
+      if (!R.Rel.test(CD.Chains[C][I - 1], CD.Chains[C][I]))
+        St.add(err("measure",
+                   Res + ": chain " + std::to_string(C) +
+                       " members are not ordered by the Reuse relation (" +
+                       nodeStr(CD.Chains[C][I - 1]) + " !-> " +
+                       nodeStr(CD.Chains[C][I]) + ")"));
+  }
+  std::vector<unsigned> Active = R.Active;
+  std::sort(Covered.begin(), Covered.end());
+  std::sort(Active.begin(), Active.end());
+  if (Covered != Active)
+    St.add(err("measure", Res + ": chains do not partition the active "
+                              "nodes of the Reuse relation"));
+  if (std::adjacent_find(Covered.begin(), Covered.end()) != Covered.end())
+    St.add(err("measure", Res + ": a node appears in two chains"));
+
+  // Dilworth accounting: the reported worst-case requirement IS the
+  // decomposition width.
+  if (CD.width() != Meas.MaxRequired)
+    St.add(err("measure", Res + ": reported requirement " +
+                              std::to_string(Meas.MaxRequired) +
+                              " disagrees with decomposition width " +
+                              std::to_string(CD.width())));
+
+  // The relation itself must be a strict order over the active nodes.
+  for (unsigned A : R.Active) {
+    if (R.Rel.test(A, A))
+      St.add(err("measure", Res + ": Reuse relation is reflexive at " +
+                                nodeStr(A)));
+    for (unsigned B : R.Active)
+      if (A < B && R.Rel.test(A, B) && R.Rel.test(B, A))
+        St.add(err("measure", Res + ": Reuse relation has a 2-cycle " +
+                                  nodeStr(A) + " <-> " + nodeStr(B)));
+  }
+  return St;
+}
+
+Status ursa::verifyMeasurements(const std::vector<Measurement> &Meas) {
+  Status St;
+  for (const Measurement &M : Meas)
+    St.merge(verifyMeasurement(M));
+  return St;
+}
+
+//===----------------------------------------------------------------------===//
+// Assignment phase
+//===----------------------------------------------------------------------===//
+
+Status ursa::verifyAssignment(const DependenceDAG &D, const Schedule &S,
+                              const RegAssignment &RA,
+                              const MachineModel &M) {
+  Status St;
+  const Trace &T = D.trace();
+  unsigned N = D.size();
+  if (S.CycleOf.size() != N) {
+    St.add(err("assign", "schedule covers a different DAG"));
+    return St;
+  }
+
+  // Every real node scheduled, and Cycles[] agrees with CycleOf.
+  for (unsigned U = 2; U != N; ++U)
+    if (S.CycleOf[U] < 0)
+      St.add(err("assign", nodeStr(U) + " is unscheduled"));
+  for (unsigned C = 0; C != S.Cycles.size(); ++C)
+    for (unsigned U : S.Cycles[C])
+      if (U >= N || S.CycleOf[U] != int(C))
+        St.add(err("assign", "cycle list disagrees with CycleOf at cycle " +
+                                 std::to_string(C)));
+  if (!St.isOk())
+    return St;
+
+  // Dependence edges with latencies: a data successor needs the result
+  // (full latency); a sequence successor needs the FU slot clear
+  // (occupancy) — mirrors the list scheduler's and simulator's contract.
+  for (unsigned U = 2; U != N; ++U) {
+    FUKind K = D.instrAt(U).fuKind();
+    unsigned DataDone = unsigned(S.CycleOf[U]) + M.latency(K);
+    unsigned SeqDone = unsigned(S.CycleOf[U]) + M.occupancy(K);
+    for (const auto &[V, Kind] : D.succs(U)) {
+      if (DependenceDAG::isVirtual(V))
+        continue;
+      unsigned Need = Kind == EdgeKind::Data ? DataDone : SeqDone;
+      if (unsigned(S.CycleOf[V]) < Need)
+        St.add(err("assign", "schedule violates edge " + nodeStr(U) +
+                                 " -> " + nodeStr(V)));
+    }
+  }
+
+  // Per-cycle FU capacity, occupancy-aware: each issued op holds one unit
+  // of its class busy for occupancy() cycles.
+  {
+    unsigned Horizon = S.Length + 2;
+    std::vector<std::vector<unsigned>> Busy(4);
+    for (auto &B : Busy)
+      B.assign(Horizon, 0);
+    for (unsigned U = 2; U != N; ++U) {
+      FUKind K = D.instrAt(U).fuKind();
+      unsigned Class = M.isHomogeneous() ? 0u : unsigned(K);
+      for (unsigned C = unsigned(S.CycleOf[U]),
+                    E = std::min(Horizon, C + M.occupancy(K));
+           C != E; ++C)
+        ++Busy[Class][C];
+    }
+    for (unsigned Class = 0; Class != 4; ++Class) {
+      unsigned Cap = M.isHomogeneous()
+                         ? (Class == 0 ? M.numFUs(FUKind::Universal) : ~0u)
+                         : M.numFUs(FUKind(Class));
+      for (unsigned C = 0; C != Horizon; ++C)
+        if (Busy[Class][C] > Cap) {
+          char Buf[96];
+          std::snprintf(Buf, sizeof(Buf),
+                        "cycle %u over-subscribes FU class %u: %u busy, "
+                        "capacity %u",
+                        C, Class, Busy[Class][C], Cap);
+          St.add(err("assign", Buf));
+        }
+    }
+  }
+
+  // Register mapping: every used vreg assigned in range, and no two
+  // same-class values on one physical register with overlapping live
+  // ranges [def issue, last use issue].
+  {
+    unsigned NV = T.numVRegs();
+    // On homogeneous machines the single register file serves every value
+    // regardless of domain — mirror assignRegisters' classing.
+    auto ClassOf = [&](unsigned V) {
+      return M.isHomogeneous() ? RegClassKind::GPR : T.vregClass(int(V));
+    };
+    std::vector<int> DefC(NV, -1), LastC(NV, -1);
+    for (unsigned Idx = 0; Idx != T.size(); ++Idx) {
+      const Instruction &I = T.instr(Idx);
+      int Cyc = S.CycleOf[DependenceDAG::nodeOf(Idx)];
+      if (I.dest() >= 0) {
+        DefC[I.dest()] = Cyc;
+        LastC[I.dest()] = std::max(LastC[I.dest()], Cyc);
+      }
+      for (unsigned Op = 0; Op != I.numOperands(); ++Op) {
+        int V = I.operand(Op);
+        LastC[V] = std::max(LastC[V], Cyc);
+        if (V >= int(RA.PhysOf.size()) || RA.PhysOf[V] < 0)
+          St.add(err("assign", "virtual register " + std::to_string(V) +
+                                   " is used but unassigned"));
+      }
+    }
+    if (!St.isOk())
+      return St;
+    for (unsigned V = 0; V != NV; ++V) {
+      if (DefC[V] < 0 || RA.PhysOf[V] < 0)
+        continue;
+      if (unsigned(RA.PhysOf[V]) >= M.numRegs(ClassOf(V)))
+        St.add(err("assign", "virtual register " + std::to_string(V) +
+                                 " mapped outside the register file"));
+      for (unsigned W = V + 1; W != NV; ++W) {
+        if (DefC[W] < 0 || RA.PhysOf[W] != RA.PhysOf[V] ||
+            ClassOf(W) != ClassOf(V))
+          continue;
+        bool Overlap = DefC[V] == DefC[W] ||
+                       (DefC[W] < LastC[V] && DefC[V] < LastC[W]);
+        if (Overlap) {
+          char Buf[96];
+          std::snprintf(Buf, sizeof(Buf),
+                        "live-range conflict: v%u and v%u share physical "
+                        "register %d while both live",
+                        V, W, RA.PhysOf[V]);
+          St.add(err("assign", Buf));
+        }
+      }
+    }
+  }
+  return St;
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic equivalence
+//===----------------------------------------------------------------------===//
+
+Status ursa::verifySemanticEquivalence(const Trace &Source,
+                                       const VLIWProgram &P,
+                                       unsigned NumInputSets, uint64_t Seed) {
+  Status St;
+  RNG Rng(Seed ^ (uint64_t(Source.size()) << 32));
+  for (unsigned Set = 0; Set != NumInputSets; ++Set) {
+    // Mixed-domain random memory, mirroring workload::randomInputs (kept
+    // local so the verifier has no dependence on the workload library).
+    MemoryState In;
+    for (const std::string &Name : Source.symbolNames()) {
+      if (Rng.chance(0.25))
+        In[Name] = Value::ofFloat(double(Rng.range(-64, 64)) * 0.5);
+      else
+        In[Name] = Value::ofInt(Rng.range(-1000, 1000));
+    }
+    ExecResult Want = interpret(Source, In);
+    SimResult Got = simulate(P, In);
+    if (!Got.Ok) {
+      St.add(err("semantics", "simulator rejected the compiled program: " +
+                                  Got.Error));
+      return St;
+    }
+    if (!(Got.Exec == Want)) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "input set %u", Set);
+      St.add(err("semantics",
+                 std::string(Buf) +
+                     ": compiled program diverges from the interpreter"));
+      return St;
+    }
+  }
+  return St;
+}
+
+uint64_t ursa::dagFingerprint(const DependenceDAG &D) {
+  // Commutative mix over edges so list order is irrelevant, plus the
+  // trace length (spills append instructions).
+  uint64_t H = 0x9e3779b97f4a7c15ULL * (D.trace().size() + 1);
+  for (unsigned U = 0; U != D.size(); ++U)
+    for (const auto &[V, K] : D.succs(U)) {
+      uint64_t E = (uint64_t(U) << 33) ^ (uint64_t(V) << 2) ^
+                   uint64_t(K == EdgeKind::Data ? 1 : 2);
+      E *= 0xbf58476d1ce4e5b9ULL;
+      E ^= E >> 29;
+      H += E * 0x94d049bb133111ebULL;
+    }
+  return H;
+}

@@ -1,0 +1,101 @@
+//===- ursa/PipelineVerifier.h - Phase-boundary invariant checks -*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independent re-verification of the invariants each pipeline phase
+/// promises the next (paper Figure 1 hands the assignment phase a DAG the
+/// reduction phase claims fits the machine — this module *proves* the
+/// hand-offs). The checks are deliberately written against the public
+/// contracts, not the producing code, so a bug in a transform and a bug in
+/// its verifier are independent events:
+///
+///  * DAG structure: acyclicity, mirrored succ/pred lists, in-range
+///    endpoints, SSA trace, def->use edges present.
+///  * Measurement: every chain decomposition truly partitions the Reuse
+///    relation's active nodes, consecutive chain members are related, and
+///    the width matches the reported requirement.
+///  * Assignment: schedule respects dependence latencies and per-cycle FU
+///    capacity (occupancy-aware), and no two values sharing a physical
+///    register have overlapping live ranges.
+///  * Semantics: interpreter vs. VLIW simulator on seeded random inputs.
+///
+/// The driver and compiler run these at phase boundaries according to
+/// URSAOptions::Verify; the default level comes from the URSA_VERIFY
+/// environment variable so whole test suites can be re-run under full
+/// verification (ctest -L verify).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_PIPELINEVERIFIER_H
+#define URSA_URSA_PIPELINEVERIFIER_H
+
+#include "graph/DAG.h"
+#include "machine/MachineModel.h"
+#include "sched/ListScheduler.h"
+#include "sched/RegAssign.h"
+#include "support/Status.h"
+#include "ursa/Measure.h"
+#include "vliw/VLIWProgram.h"
+
+#include <cstdint>
+
+namespace ursa {
+
+/// How much phase-boundary verification the pipeline performs.
+enum class VerifyLevel {
+  None,  ///< trust every phase (production fast path)
+  Basic, ///< structural checks: DAG shape, transform progress, assignment
+  Full   ///< Basic + chain-decomposition audits + semantic equivalence
+};
+
+/// Parses "off"/"none"/"0", "basic"/"1", "full"/"2" (anything else: None).
+VerifyLevel parseVerifyLevel(const char *S);
+
+/// Level from the URSA_VERIFY environment variable, read once per process;
+/// None when unset.
+VerifyLevel defaultVerifyLevel();
+
+/// Structural invariants of \p D: every edge endpoint in range, succ/pred
+/// lists mirror each other, no self edges or duplicate pairs, the graph is
+/// acyclic, the trace is SSA-clean, and every operand's definition has an
+/// edge to the use. Works on arbitrarily corrupt DAGs without asserting
+/// (it is the check that makes the rest of the pipeline safe to run).
+Status verifyDAGStructure(const DependenceDAG &D);
+
+/// Chain-decomposition invariants of one measurement: chains partition the
+/// relation's active nodes, consecutive members are related (true
+/// allocation chains, paper Definition 5), ChainOf agrees with Chains, and
+/// width equals the reported requirement (Dilworth, paper Theorem 1).
+Status verifyMeasurement(const Measurement &Meas);
+
+/// verifyMeasurement over every resource.
+Status verifyMeasurements(const std::vector<Measurement> &Meas);
+
+/// Assignment-phase invariants on a scheduled, register-assigned DAG:
+/// dependence edges respected with latencies, per-cycle FU capacity per
+/// class (units stay busy for their occupancy), every used vreg mapped
+/// in-range, and no two same-class values sharing a physical register
+/// while simultaneously live.
+Status verifyAssignment(const DependenceDAG &D, const Schedule &S,
+                        const RegAssignment &RA, const MachineModel &M);
+
+/// End-to-end semantic equivalence: runs \p Source through the reference
+/// interpreter and \p P through the VLIW simulator on \p NumInputSets
+/// seeded random memory states; any observable divergence (final memory or
+/// branch log) is an error.
+Status verifySemanticEquivalence(const Trace &Source, const VLIWProgram &P,
+                                 unsigned NumInputSets = 3,
+                                 uint64_t Seed = 0x5eedU);
+
+/// Order-independent fingerprint of a DAG state (trace length + every edge
+/// with its kind). The driver compares fingerprints around each transform
+/// application to catch transforms that report progress without changing
+/// anything.
+uint64_t dagFingerprint(const DependenceDAG &D);
+
+} // namespace ursa
+
+#endif // URSA_URSA_PIPELINEVERIFIER_H
