@@ -15,6 +15,8 @@
 #ifndef URSA_BENCH_BENCHCOMMON_H
 #define URSA_BENCH_BENCHCOMMON_H
 
+#include "obs/Json.h"
+#include "obs/Stats.h"
 #include "sched/Pipelines.h"
 #include "support/Table.h"
 #include "ursa/Compiler.h"
@@ -22,6 +24,8 @@
 #include "workload/Kernels.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -59,6 +63,38 @@ inline const std::vector<std::string> &pipelineNames() {
   static const std::vector<std::string> Names = {"prepass", "postpass",
                                                  "integrated", "ursa"};
   return Names;
+}
+
+/// Writes a machine-readable artifact next to the human-readable table:
+/// `BENCH_<Name>.json` in the working directory (or $URSA_BENCH_DIR when
+/// set), schema "ursa.bench_artifact.v1". \p Fill is called with the
+/// writer positioned at the "results" value and must emit exactly one
+/// JSON value (typically an object or array). A process-wide stats
+/// snapshot (obs::snapshotStats) rides along so CI artifacts carry the
+/// pipeline's internal counters. Returns the path, or "" when the file
+/// could not be written.
+template <typename FillFn>
+inline std::string writeBenchArtifact(const std::string &Name, FillFn Fill) {
+  const char *Dir = std::getenv("URSA_BENCH_DIR");
+  std::string Path = (Dir && *Dir ? std::string(Dir) + "/" : std::string()) +
+                     "BENCH_" + Name + ".json";
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "ursa.bench_artifact.v1");
+  W.kv("bench", Name);
+  W.key("results");
+  Fill(W);
+  W.key("stats").beginObject();
+  for (const obs::StatValue &SV : obs::snapshotStats(/*NonZeroOnly=*/true))
+    W.kv(SV.Name, SV.Value);
+  W.endObject();
+  W.endObject();
+  std::ofstream Out(Path);
+  if (!Out)
+    return std::string();
+  Out << W.str() << "\n";
+  Out.flush();
+  return Out ? Path : std::string();
 }
 
 /// Geometric mean of positive samples.

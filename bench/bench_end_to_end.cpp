@@ -89,5 +89,32 @@ int main() {
                             ? "all pipelines compiled and matched the "
                               "reference interpreter on every input"
                             : "SOME RUNS FAILED OR DIVERGED");
+
+  std::string Artifact = writeBenchArtifact("end_to_end", [&](obs::JsonWriter
+                                                                  &W) {
+    W.beginObject();
+    W.kv("all_correct", AllCorrect);
+    W.kv("machines", uint64_t(Machines.size()));
+    W.kv("inputs", uint64_t(Work.size()));
+    W.key("pipelines").beginArray();
+    for (const std::string &P : pipelineNames()) {
+      const Agg &A = Sum[P];
+      W.beginObject();
+      W.kv("pipeline", P);
+      W.kv("runs", uint64_t(A.Total));
+      W.kv("compiled", uint64_t(A.Ok));
+      W.kv("correct", uint64_t(A.Correct));
+      W.kv("geomean_cycles", geomean(A.Cycles));
+      W.kv("mean_utilization", A.Util / std::max(1u, A.Ok));
+      W.kv("total_spills", uint64_t(A.Spills));
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  });
+  if (Artifact.empty())
+    std::fprintf(stderr, "warning: could not write bench artifact\n");
+  else
+    std::printf("artifact: %s\n", Artifact.c_str());
   return AllCorrect ? 0 : 1;
 }

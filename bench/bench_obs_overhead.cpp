@@ -1,0 +1,85 @@
+//===- bench/bench_obs_overhead.cpp - Cost of telemetry instrumentation ---===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what the observability layer costs: full URSA compilation of
+// the standard corpus with stats counters on (the default), off, and with
+// span tracing active. The contract (docs/OBSERVABILITY.md) is that a
+// disabled site is one relaxed atomic load, so the stats-off ratio should
+// sit within the clock's noise floor of 1.00x; tracing buffers events in
+// memory and may cost a few percent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "obs/Tracer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+using namespace ursa;
+using namespace ursa::bench;
+
+namespace {
+
+double compileCorpusMs(const std::vector<std::pair<std::string, Trace>> &C,
+                       const MachineModel &M, unsigned Reps,
+                       unsigned &OkOut) {
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned Rep = 0; Rep != Reps; ++Rep)
+    for (const auto &[Name, T] : C)
+      OkOut += compileURSA(T, M).Compile.Ok;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+int main() {
+  std::printf("observability overhead: corpus compile time per mode\n\n");
+
+  std::vector<std::pair<std::string, Trace>> Corpus = corpus(6);
+  const std::pair<const char *, MachineModel> Machines[] = {
+      {"4x8", MachineModel::homogeneous(4, 8)},
+      {"2x4", MachineModel::homogeneous(2, 4)}};
+  constexpr unsigned Reps = 5;
+
+  Table Tbl({"machine", "mode", "compiles", "total ms", "ratio vs off"});
+  for (const auto &[MName, M] : Machines) {
+    // Warm-up pass so first-touch effects don't land on one mode.
+    unsigned Warm = 0;
+    compileCorpusMs(Corpus, M, 1, Warm);
+
+    obs::setStatsEnabled(false);
+    unsigned OkOff = 0;
+    double OffMs = compileCorpusMs(Corpus, M, Reps, OkOff);
+
+    obs::setStatsEnabled(true);
+    unsigned OkOn = 0;
+    double OnMs = compileCorpusMs(Corpus, M, Reps, OkOn);
+
+    obs::startTrace("BENCH_obs_overhead_trace.json");
+    unsigned OkTr = 0;
+    double TraceMs = compileCorpusMs(Corpus, M, Reps, OkTr);
+    obs::endTrace();
+
+    auto Row = [&](const char *Mode, unsigned Ok, double Ms) {
+      char Total[32], Ratio[32];
+      std::snprintf(Total, sizeof(Total), "%.1f", Ms);
+      std::snprintf(Ratio, sizeof(Ratio), "%.2fx",
+                    OffMs > 0 ? Ms / OffMs : 1.0);
+      Tbl.addRow({MName, Mode, std::to_string(Ok), Total, Ratio});
+    };
+    Row("stats off", OkOff, OffMs);
+    Row("stats on", OkOn, OnMs);
+    Row("stats+trace", OkTr, TraceMs);
+  }
+  Tbl.print(std::cout);
+  std::remove("BENCH_obs_overhead_trace.json");
+  return 0;
+}

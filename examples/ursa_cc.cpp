@@ -28,6 +28,14 @@
 //   --guaranteed-fit      force residual excess to fit via the
 //                         sequentialize-and-spill fallback (URSA only)
 //   --time-budget MS      wall-clock budget for the allocation loop
+//   --report              print the human-readable allocation report
+//   --report-json         print the machine-readable allocation report
+//                         (schema ursa.allocation_report.v1, or
+//                         ursa.function_report.v1 for CFG inputs) to
+//                         stdout and exit; URSA pipeline only
+//   --trace-out FILE      write a Chrome-trace-event JSON timeline of the
+//                         compilation (load in ui.perfetto.dev); see
+//                         docs/OBSERVABILITY.md
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +45,9 @@
 #include "cfg/SoftwarePipeline.h"
 #include "cfg/Unroll.h"
 #include "ir/Parser.h"
+#include "obs/Json.h"
+#include "obs/Stats.h"
+#include "obs/Tracer.h"
 #include "support/Dot.h"
 #include "ursa/Compiler.h"
 #include "ursa/Report.h"
@@ -88,6 +99,8 @@ struct Options {
   bool AutoUnroll = false;
   bool EmitAsm = true, EmitDot = false, EmitStats = true;
   bool Report = false;
+  bool ReportJson = false;
+  std::string TraceOut;
   bool Run = false;
   std::string Verify; ///< empty = keep the URSA_VERIFY default
   bool GuaranteedFit = false;
@@ -174,6 +187,13 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
           Value::ofInt(std::atoll(KV.c_str() + Eq + 1));
     } else if (A == "--report") {
       O.Report = true;
+    } else if (A == "--report-json") {
+      O.ReportJson = true;
+    } else if (A == "--trace-out") {
+      const char *S = Next();
+      if (!S)
+        return false;
+      O.TraceOut = S;
     } else if (A == "--run") {
       O.Run = true;
     } else if (A == "--verify") {
@@ -227,6 +247,29 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // Flushes --trace-out on every exit path.
+  struct TraceGuard {
+    bool Active = false;
+    std::string Path;
+    ~TraceGuard() {
+      if (Active && !obs::endTrace())
+        std::fprintf(stderr, "warning: cannot write trace to '%s'\n",
+                     Path.c_str());
+    }
+  } TG;
+  if (!O.TraceOut.empty()) {
+    obs::startTrace(O.TraceOut);
+    TG.Active = true;
+    TG.Path = O.TraceOut;
+  }
+
+  if (O.ReportJson && O.Pipeline != "ursa") {
+    std::fprintf(stderr,
+                 "error: --report-json reports the URSA allocation and "
+                 "needs --pipeline ursa\n");
+    return 1;
+  }
+
   std::string Source = DemoSource;
   if (!O.Input.empty()) {
     std::ifstream File(O.Input);
@@ -271,11 +314,15 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "parse error: %s\n", Err.c_str());
       return 1;
     }
-    if (O.Report && O.Pipeline == "ursa") {
-      URSAOptions RO = UO;
-      RO.KeepLog = true;
+    if (O.ReportJson) {
       DependenceDAG D0 = buildDAG(T);
-      URSAResult AR = runURSA(D0, M, RO);
+      URSAResult AR = runURSA(D0, M, UO);
+      std::printf("%s\n", formatAllocationReportJSON(D0, AR, M).c_str());
+      return 0;
+    }
+    if (O.Report && O.Pipeline == "ursa") {
+      DependenceDAG D0 = buildDAG(T);
+      URSAResult AR = runURSA(D0, M, UO);
       std::printf("%s\n", formatAllocationReport(D0, AR, M).c_str());
     }
     CompileResult R = compileTraceBy(O.Pipeline, T, M, UO);
@@ -332,6 +379,30 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (O.ReportJson) {
+    // One allocation report per formed trace, wrapped with the machine
+    // and a single end-of-run stats snapshot (per-trace reports skip the
+    // snapshot — it is process-wide, not per-trace).
+    obs::JsonWriter W;
+    W.beginObject();
+    W.kv("schema", "ursa.function_report.v1");
+    W.kv("function", F.name());
+    W.kv("machine", M.describe());
+    W.key("traces").beginArray();
+    for (const FormedTrace &FT : C.Traces.Traces) {
+      DependenceDAG D0 = buildDAG(FT.Code);
+      URSAResult AR = runURSA(D0, M, UO);
+      W.raw(formatAllocationReportJSON(D0, AR, M, /*IncludeStats=*/false));
+    }
+    W.endArray();
+    W.key("stats").beginObject();
+    for (const obs::StatValue &SV : obs::snapshotStats(/*NonZeroOnly=*/true))
+      W.kv(SV.Name, SV.Value);
+    W.endObject();
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    return 0;
+  }
   if (O.EmitDot) {
     for (unsigned TI = 0; TI != C.Traces.Traces.size(); ++TI) {
       DependenceDAG D = buildDAG(C.Traces.Traces[TI].Code);

@@ -1,0 +1,384 @@
+//===- obs/Json.cpp - Minimal JSON writer and parser ----------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ursa;
+using namespace ursa::obs;
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+std::string JsonWriter::escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::preValue() {
+  if (Stack.empty())
+    return;
+  if (Stack.back() == 'V') {
+    Stack.back() = 'O'; // the pending key gets this value
+    return;
+  }
+  assert(Stack.back() == 'A' && "value inside an object requires key()");
+  if (NeedComma.back())
+    OS << ',';
+  NeedComma.back() = true;
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  preValue();
+  OS << '{';
+  Stack.push_back('O');
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back() == 'O' && "unbalanced endObject");
+  OS << '}';
+  Stack.pop_back();
+  NeedComma.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  preValue();
+  OS << '[';
+  Stack.push_back('A');
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back() == 'A' && "unbalanced endArray");
+  OS << ']';
+  Stack.pop_back();
+  NeedComma.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view K) {
+  assert(!Stack.empty() && Stack.back() == 'O' && "key() outside object");
+  if (NeedComma.back())
+    OS << ',';
+  NeedComma.back() = true;
+  OS << '"' << escape(K) << "\":";
+  Stack.back() = 'V';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view V) {
+  preValue();
+  OS << '"' << escape(V) << '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  preValue();
+  OS << V;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  preValue();
+  OS << V;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  preValue();
+  if (!std::isfinite(V)) { // JSON has no inf/nan
+    OS << "null";
+    return *this;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  OS << Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  preValue();
+  OS << (V ? "true" : "false");
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  preValue();
+  OS << "null";
+  return *this;
+}
+
+JsonWriter &JsonWriter::raw(std::string_view Json) {
+  preValue();
+  OS << Json;
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view S, std::string &Err) : S(S), Err(Err) {}
+
+  bool parse(JsonValue &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != S.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Err = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    char C = S[Pos];
+    if (C == '{')
+      return parseObject(Out);
+    if (C == '[')
+      return parseArray(Out);
+    if (C == '"') {
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (C == 't' || C == 'f')
+      return parseKeyword(Out);
+    if (C == 'n') {
+      if (S.substr(Pos, 4) != "null")
+        return fail("bad keyword");
+      Pos += 4;
+      Out.K = JsonValue::Kind::Null;
+      return true;
+    }
+    return parseNumber(Out);
+  }
+
+  bool parseKeyword(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Bool;
+    if (S.substr(Pos, 4) == "true") {
+      Pos += 4;
+      Out.B = true;
+      return true;
+    }
+    if (S.substr(Pos, 5) == "false") {
+      Pos += 5;
+      Out.B = false;
+      return true;
+    }
+    return fail("bad keyword");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    bool Digits = false;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '-' || S[Pos] == '+')) {
+      Digits |= std::isdigit(static_cast<unsigned char>(S[Pos])) != 0;
+      ++Pos;
+    }
+    if (!Digits) {
+      Pos = Start;
+      return fail("expected a value");
+    }
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = std::strtod(std::string(S.substr(Start, Pos - Start)).c_str(),
+                          nullptr);
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return fail("expected '\"'");
+    Out.clear();
+    while (Pos < S.size()) {
+      char C = S[Pos++];
+      if (C == '"')
+        return true;
+      if (C == '\\') {
+        if (Pos >= S.size())
+          return fail("unterminated escape");
+        char E = S[Pos++];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'u': {
+          if (Pos + 4 > S.size())
+            return fail("bad \\u escape");
+          unsigned Code =
+              unsigned(std::strtoul(std::string(S.substr(Pos, 4)).c_str(),
+                                    nullptr, 16));
+          Pos += 4;
+          // ASCII-only decoding; anything wider round-trips as '?'.
+          Out += Code < 0x80 ? char(Code) : '?';
+          break;
+        }
+        default:
+          return fail("bad escape");
+        }
+      } else {
+        Out += C;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    consume('{');
+    skipWs();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':'");
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    consume('[');
+    skipWs();
+    if (consume(']'))
+      return true;
+    while (true) {
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Arr.push_back(std::move(V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view S;
+  std::string &Err;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool obs::parseJson(std::string_view S, JsonValue &Out, std::string &Err) {
+  return Parser(S, Err).parse(Out);
+}

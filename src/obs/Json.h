@@ -1,0 +1,118 @@
+//===- obs/Json.h - Minimal JSON writer and parser --------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSON substrate behind every machine-readable artifact the system
+/// emits: the span tracer's Chrome trace files, `ursa_cc --report-json`,
+/// and the bench `BENCH_*.json` artifacts. Two halves:
+///
+///  * JsonWriter — a streaming writer with automatic comma/nesting
+///    management and full string escaping; misuse (value without a key
+///    inside an object, unbalanced end()) asserts.
+///
+///  * JsonValue / parseJson — a small recursive-descent parser producing
+///    a generic tree, used by the tests to prove emitted artifacts are
+///    well-formed and schema-stable, and available to tools that want to
+///    read the reports back.
+///
+/// Deliberately minimal (no external dependency): objects preserve
+/// insertion order, numbers are doubles, no \u surrogate pairs beyond
+/// pass-through escaping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_OBS_JSON_H
+#define URSA_OBS_JSON_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ursa::obs {
+
+/// Streaming JSON writer. Usage:
+/// \code
+///   JsonWriter W;
+///   W.beginObject().key("rounds").value(uint64_t(3)).endObject();
+///   std::string S = W.str();
+/// \endcode
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits the key of the next object member.
+  JsonWriter &key(std::string_view K);
+
+  JsonWriter &value(std::string_view V);
+  JsonWriter &value(const char *V) { return value(std::string_view(V)); }
+  JsonWriter &value(const std::string &V) {
+    return value(std::string_view(V));
+  }
+  JsonWriter &value(uint64_t V);
+  JsonWriter &value(int64_t V);
+  JsonWriter &value(unsigned V) { return value(uint64_t(V)); }
+  JsonWriter &value(int V) { return value(int64_t(V)); }
+  JsonWriter &value(double V);
+  JsonWriter &value(bool V);
+  JsonWriter &null();
+
+  /// Embeds \p Json verbatim in value position. The caller vouches that it
+  /// is a complete, well-formed JSON value (e.g. another writer's str()).
+  JsonWriter &raw(std::string_view Json);
+
+  /// key+value in one call.
+  template <typename T> JsonWriter &kv(std::string_view K, T V) {
+    key(K);
+    return value(V);
+  }
+
+  /// The document so far; call once nesting is balanced.
+  std::string str() const { return OS.str(); }
+
+  static std::string escape(std::string_view S);
+
+private:
+  void preValue();
+
+  std::ostringstream OS;
+  /// 'O' in object awaiting key, 'V' in object awaiting value (key just
+  /// written), 'A' in array.
+  std::vector<char> Stack;
+  std::vector<bool> NeedComma;
+};
+
+/// A parsed JSON tree.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *find(std::string_view Key) const;
+};
+
+/// Parses \p S into \p Out. On failure returns false and sets \p Err to a
+/// message with the byte offset. Trailing whitespace is allowed; trailing
+/// garbage is an error.
+bool parseJson(std::string_view S, JsonValue &Out, std::string &Err);
+
+} // namespace ursa::obs
+
+#endif // URSA_OBS_JSON_H

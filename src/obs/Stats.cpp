@@ -1,0 +1,81 @@
+//===- obs/Stats.cpp - Process-wide named statistics registry -------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Stats.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+using namespace ursa;
+using namespace ursa::obs;
+
+namespace {
+
+/// Registration order follows static-init order, so snapshots sort by
+/// name to stay deterministic across link orders.
+struct Registry {
+  std::mutex Mu;
+  std::vector<Statistic *> Stats;
+};
+
+Registry &registry() {
+  static Registry R; // function-local: safe across static-init order
+  return R;
+}
+
+std::atomic<bool> &enabledFlag() {
+  static std::atomic<bool> Enabled = [] {
+    const char *E = std::getenv("URSA_STATS");
+    return !(E && (!std::strcmp(E, "0") || !std::strcmp(E, "off") ||
+                   !std::strcmp(E, "false")));
+  }();
+  return Enabled;
+}
+
+} // namespace
+
+bool obs::statsEnabled() {
+  return enabledFlag().load(std::memory_order_relaxed);
+}
+
+void obs::setStatsEnabled(bool Enabled) {
+  enabledFlag().store(Enabled, std::memory_order_relaxed);
+}
+
+Statistic::Statistic(const char *Name, const char *Desc)
+    : Name(Name), Desc(Desc) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Stats.push_back(this);
+}
+
+std::vector<StatValue> obs::snapshotStats(bool NonZeroOnly) {
+  Registry &R = registry();
+  std::vector<StatValue> Out;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    for (const Statistic *S : R.Stats) {
+      uint64_t V = S->value();
+      if (NonZeroOnly && V == 0)
+        continue;
+      Out.push_back({S->name(), S->desc(), V});
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const StatValue &A, const StatValue &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+void obs::resetStats() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (Statistic *S : R.Stats)
+    S->reset();
+}

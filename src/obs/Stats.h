@@ -1,0 +1,103 @@
+//===- obs/Stats.h - Process-wide named statistics registry -----*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named counters and gauges, LLVM-STATISTIC style: each
+/// instrumentation site defines one static `Statistic` with a dotted name
+/// ("ursa.driver.rounds") and bumps it through the URSA_STAT_* macros.
+/// Increments are relaxed atomic adds behind a single global enable flag,
+/// so a disabled site costs one predictable branch — cheap enough to leave
+/// compiled into release builds (bench_obs_overhead keeps this honest).
+///
+/// Naming convention (see docs/OBSERVABILITY.md): `<layer>.<module>.<what>`
+/// all lower-case, dots as separators, underscores within a component —
+/// e.g. `order.matching.augmenting_paths`, `ursa.transforms.kept.spill`.
+///
+/// The registry is process-wide: snapshotStats() returns every registered
+/// statistic (sorted by name) for reports and bench artifacts, and
+/// resetStats() zeroes them between measurements. Stats default to
+/// enabled; set URSA_STATS=0 (or call setStatsEnabled(false)) to turn the
+/// counting off entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_OBS_STATS_H
+#define URSA_OBS_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ursa::obs {
+
+/// Whether statistic sites count at all (default on; URSA_STATS=0 env or
+/// setStatsEnabled(false) turns them off).
+bool statsEnabled();
+void setStatsEnabled(bool Enabled);
+
+/// One named counter/gauge. Define at file scope via URSA_STAT; the
+/// constructor registers it with the process-wide registry.
+class Statistic {
+public:
+  Statistic(const char *Name, const char *Desc);
+
+  /// Counter: add \p N (relaxed; sites may race, totals stay exact).
+  void add(uint64_t N = 1) {
+    if (statsEnabled())
+      Value.fetch_add(N, std::memory_order_relaxed);
+  }
+  /// Gauge: overwrite with the latest observation.
+  void set(uint64_t V) {
+    if (statsEnabled())
+      Value.store(V, std::memory_order_relaxed);
+  }
+  /// High-water gauge: keep the maximum observation.
+  void noteMax(uint64_t V) {
+    if (!statsEnabled())
+      return;
+    uint64_t Cur = Value.load(std::memory_order_relaxed);
+    while (V > Cur &&
+           !Value.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+      ;
+  }
+
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+
+  const char *name() const { return Name; }
+  const char *desc() const { return Desc; }
+
+private:
+  const char *Name;
+  const char *Desc;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// One row of a snapshot.
+struct StatValue {
+  std::string Name;
+  std::string Desc;
+  uint64_t Value = 0;
+};
+
+/// Every registered statistic, sorted by name. With \p NonZeroOnly only
+/// statistics that have counted something are returned (the form reports
+/// embed, so artifacts stay readable).
+std::vector<StatValue> snapshotStats(bool NonZeroOnly = false);
+
+/// Zeroes every registered statistic (between bench measurements/tests).
+void resetStats();
+
+} // namespace ursa::obs
+
+/// Defines a file-local statistic. Use at namespace scope:
+///   URSA_STAT(StatRounds, "ursa.driver.rounds", "transformation rounds");
+///   ... StatRounds.add();
+#define URSA_STAT(Var, Name, Desc)                                            \
+  static ::ursa::obs::Statistic Var(Name, Desc)
+
+#endif // URSA_OBS_STATS_H

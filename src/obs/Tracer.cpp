@@ -1,0 +1,153 @@
+//===- obs/Tracer.cpp - Chrome-trace-event span tracer --------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Tracer.h"
+
+#include "obs/Json.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace ursa;
+using namespace ursa::obs;
+
+std::atomic<bool> obs::detail::TraceActive{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Event {
+  const char *Name;
+  const char *Cat;
+  char Ph; ///< 'X' complete, 'i' instant
+  uint64_t TsUs;
+  uint64_t DurUs;
+  uint32_t Tid;
+};
+
+uint32_t currentTid() {
+  // Stable small id per thread for the trace's "tid" field.
+  static std::atomic<uint32_t> NextTid{1};
+  thread_local uint32_t Tid = NextTid.fetch_add(1);
+  return Tid;
+}
+
+/// The process-wide trace buffer. Function-local singleton so its
+/// destructor (static destruction at exit) flushes a trace left open by
+/// URSA_TRACE without an explicit endTrace().
+struct Tracer {
+  std::mutex Mu;
+  std::vector<Event> Events;
+  Clock::time_point Start;
+  std::string Path;
+
+  ~Tracer() { finishLocked(); }
+
+  void start(const std::string &P) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    finishLocked();
+    Path = P;
+    Events.clear();
+    Events.reserve(4096);
+    Start = Clock::now();
+    detail::TraceActive.store(true, std::memory_order_relaxed);
+  }
+
+  bool finish() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return finishLocked();
+  }
+
+  bool finishLocked() {
+    if (!detail::TraceActive.load(std::memory_order_relaxed))
+      return true;
+    detail::TraceActive.store(false, std::memory_order_relaxed);
+    std::ofstream OS(Path, std::ios::trunc);
+    if (!OS)
+      return false;
+    OS << jsonLocked();
+    Events.clear();
+    return bool(OS);
+  }
+
+  std::string jsonLocked() {
+    JsonWriter W;
+    W.beginObject();
+    W.key("traceEvents").beginArray();
+    for (const Event &E : Events) {
+      W.beginObject();
+      W.kv("name", E.Name).kv("cat", E.Cat);
+      W.kv("ph", std::string_view(&E.Ph, 1));
+      W.kv("ts", E.TsUs);
+      if (E.Ph == 'X')
+        W.kv("dur", E.DurUs);
+      if (E.Ph == 'i')
+        W.kv("s", "t"); // instant scope: thread
+      W.kv("pid", uint64_t(1)).kv("tid", uint64_t(E.Tid));
+      W.endObject();
+    }
+    W.endArray();
+    W.kv("displayTimeUnit", "ms");
+    W.endObject();
+    return W.str();
+  }
+
+  uint64_t nowUs() const {
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - Start)
+                        .count());
+  }
+};
+
+Tracer &tracer() {
+  static Tracer T;
+  return T;
+}
+
+/// URSA_TRACE=<file> arms the tracer for the whole process lifetime; the
+/// Tracer destructor writes the file at exit.
+[[maybe_unused]] const bool EnvInit = [] {
+  if (const char *Path = std::getenv("URSA_TRACE"))
+    if (*Path)
+      tracer().start(Path);
+  return true;
+}();
+
+} // namespace
+
+void obs::startTrace(const std::string &Path) { tracer().start(Path); }
+
+bool obs::endTrace() { return tracer().finish(); }
+
+std::string obs::traceJson() {
+  Tracer &T = tracer();
+  std::lock_guard<std::mutex> Lock(T.Mu);
+  return T.jsonLocked();
+}
+
+uint64_t obs::traceNowUs() { return tracer().nowUs(); }
+
+void obs::recordCompleteEvent(const char *Name, const char *Cat,
+                              uint64_t TsUs, uint64_t DurUs) {
+  Tracer &T = tracer();
+  std::lock_guard<std::mutex> Lock(T.Mu);
+  if (!traceEnabled())
+    return;
+  T.Events.push_back({Name, Cat, 'X', TsUs, DurUs, currentTid()});
+}
+
+void obs::recordInstantEvent(const char *Name, const char *Cat) {
+  Tracer &T = tracer();
+  std::lock_guard<std::mutex> Lock(T.Mu);
+  if (!traceEnabled())
+    return;
+  T.Events.push_back({Name, Cat, 'i', T.nowUs(), 0, currentTid()});
+}

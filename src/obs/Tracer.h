@@ -1,0 +1,96 @@
+//===- obs/Tracer.h - Chrome-trace-event span tracer ------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scoped RAII timing spans that emit Chrome trace-event JSON — the format
+/// Perfetto (ui.perfetto.dev) and chrome://tracing load directly. The
+/// pipeline brackets its phases with URSA_SPAN so one trace file shows the
+/// whole measure→transform→remeasure loop, each tentative transform
+/// evaluation, scheduling, and simulation on a common timeline.
+///
+/// Enabling: set the URSA_TRACE environment variable to an output path
+/// (picked up at process start), pass `--trace-out FILE` to ursa_cc, or
+/// call startTrace()/endTrace() programmatically. When disabled a span
+/// construction is one relaxed atomic load — cheap enough to leave spans
+/// on every hot path (bench_obs_overhead keeps this honest).
+///
+/// Events buffer in memory and flush as `{"traceEvents":[...]}` on
+/// endTrace() or at process exit. Timestamps are microseconds since
+/// startTrace; nesting is implied by containment, the Chrome "X"
+/// (complete) event semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_OBS_TRACER_H
+#define URSA_OBS_TRACER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ursa::obs {
+
+namespace detail {
+extern std::atomic<bool> TraceActive;
+} // namespace detail
+
+/// Whether spans currently record (a trace file is open).
+inline bool traceEnabled() {
+  return detail::TraceActive.load(std::memory_order_relaxed);
+}
+
+/// Starts buffering trace events, to be written to \p Path. Replaces any
+/// trace already in progress (flushing it first).
+void startTrace(const std::string &Path);
+
+/// Flushes buffered events to the startTrace() path and stops recording.
+/// No-op when no trace is active. Returns false when the file could not
+/// be written.
+bool endTrace();
+
+/// The trace JSON for the events buffered so far, without ending the
+/// trace (tests use this to validate well-formedness in-process).
+std::string traceJson();
+
+/// Low-level event append (spans use this; instants for point events).
+void recordCompleteEvent(const char *Name, const char *Cat, uint64_t TsUs,
+                         uint64_t DurUs);
+void recordInstantEvent(const char *Name, const char *Cat);
+
+/// Microseconds since the active trace began (0 when disabled).
+uint64_t traceNowUs();
+
+/// RAII span: construction records the start time, destruction emits one
+/// complete event. Cheap (one atomic load, no clock read) when tracing is
+/// off.
+class Span {
+public:
+  explicit Span(const char *Name, const char *Cat = "ursa")
+      : Name(Name), Cat(Cat), Active(traceEnabled()) {
+    if (Active)
+      StartUs = traceNowUs();
+  }
+  ~Span() {
+    if (Active)
+      recordCompleteEvent(Name, Cat, StartUs, traceNowUs() - StartUs);
+  }
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  const char *Name;
+  const char *Cat;
+  uint64_t StartUs = 0;
+  bool Active;
+};
+
+} // namespace ursa::obs
+
+/// Times the enclosing scope under \p Name (a string literal or other
+/// pointer that outlives the scope).
+#define URSA_SPAN(Var, Name, Cat) ::ursa::obs::Span Var(Name, Cat)
+
+#endif // URSA_OBS_TRACER_H

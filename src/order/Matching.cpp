@@ -6,11 +6,20 @@
 
 #include "order/Matching.h"
 
+#include "obs/Stats.h"
+
 #include <cassert>
 #include <cstdint>
 #include <deque>
 
 using namespace ursa;
+
+URSA_STAT(StatAugmentingPaths, "order.matching.augmenting_paths",
+          "successful augmenting-path searches across both engines");
+URSA_STAT(StatMatchedPairs, "order.matching.matched_pairs",
+          "total matched pairs produced (matching sizes summed)");
+URSA_STAT(StatHKPhases, "order.matching.hopcroft_karp_phases",
+          "Hopcroft-Karp BFS phases run");
 
 IncrementalMatcher::IncrementalMatcher(unsigned NumVertices)
     : N(NumVertices), Adj(NumVertices) {
@@ -48,8 +57,11 @@ void IncrementalMatcher::addBatchAndAugment(
     if (Res.MatchOfLeft[L] >= 0 || Adj[L].empty())
       continue;
     std::fill(Visited.begin(), Visited.end(), 0);
-    if (tryAugment(L, Visited))
+    if (tryAugment(L, Visited)) {
       ++Res.Size;
+      StatAugmentingPaths.add();
+      StatMatchedPairs.add();
+    }
   }
 }
 
@@ -103,9 +115,14 @@ ursa::hopcroftKarp(unsigned N, const std::vector<std::vector<unsigned>> &Adj) {
     return false;
   };
 
-  while (Bfs())
+  while (Bfs()) {
+    StatHKPhases.add();
     for (unsigned L = 0; L != N; ++L)
-      if (Res.MatchOfLeft[L] < 0 && Dfs(Dfs, L))
+      if (Res.MatchOfLeft[L] < 0 && Dfs(Dfs, L)) {
         ++Res.Size;
+        StatAugmentingPaths.add();
+        StatMatchedPairs.add();
+      }
+  }
   return Res;
 }

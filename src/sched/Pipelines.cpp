@@ -8,12 +8,19 @@
 
 #include "graph/Analysis.h"
 #include "graph/DAGBuilder.h"
+#include "obs/Stats.h"
+#include "obs/Tracer.h"
 #include "sched/GraphColoring.h"
 #include "sched/RegAssign.h"
 
 #include <algorithm>
 
 using namespace ursa;
+
+URSA_STAT(StatSchedRuns, "sched.finish_and_emit.runs",
+          "assignment-phase (schedule + assign + emit) invocations");
+URSA_STAT(StatSchedSpillRounds, "sched.finish_and_emit.spill_rounds",
+          "assignment-phase spill-and-reschedule iterations");
 
 /// A machine is structurally too small when one instruction reads more
 /// distinct registers than the file holds — no allocation can fix that.
@@ -90,7 +97,13 @@ VLIWProgram ursa::emitSchedule(const DependenceDAG &D, const Schedule &S,
 CompileResult ursa::finishAndEmit(DependenceDAG D, const MachineModel &M,
                                   const SchedulerOptions &Opts,
                                   const PipelineHooks &Hooks) {
+  URSA_SPAN(SchedSpan, "sched.finish_and_emit", "sched");
+  StatSchedRuns.add();
   CompileResult R;
+  struct SpillRoundGuard {
+    const CompileResult &R;
+    ~SpillRoundGuard() { StatSchedSpillRounds.add(R.AssignSpillRounds); }
+  } SRG{R};
   if (!fileFitsEveryOp(D.trace(), M, R.Error))
     return R;
   constexpr unsigned MaxSpillRounds = 1024;

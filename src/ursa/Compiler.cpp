@@ -8,12 +8,14 @@
 
 #include "graph/DAGBuilder.h"
 #include "ir/Verifier.h"
+#include "obs/Tracer.h"
 #include "ursa/PipelineVerifier.h"
 
 using namespace ursa;
 
 URSACompileResult ursa::compileURSA(const Trace &T, const MachineModel &M,
                                     const URSAOptions &Opts) {
+  URSA_SPAN(CompileSpan, "ursa.compile", "pipeline");
   URSACompileResult R;
 
   // Front gate: buildDAG and the analyses assume a structurally sound
@@ -36,7 +38,9 @@ URSACompileResult ursa::compileURSA(const Trace &T, const MachineModel &M,
   R.AllocSpills = Alloc.SpillsInserted;
   R.AllocWithinLimits = Alloc.WithinLimits;
   R.FinalRequired = Alloc.FinalRequired;
-  R.AllocLog = Alloc.Log;
+  R.AllocLog = Alloc.formatLog();
+  R.AllocRoundLog = Alloc.RoundLog;
+  R.AllocStopReasons = Alloc.StopReasons;
   R.VerifyFailed = Alloc.VerifyFailed;
   R.LivelockDetected = Alloc.LivelockDetected;
   R.BudgetExhausted = Alloc.BudgetExhausted;

@@ -41,6 +41,12 @@ struct URSACompileResult {
   unsigned AllocSpills = 0;
   bool AllocWithinLimits = false;
   std::vector<unsigned> FinalRequired;
+  /// Structured per-round telemetry (see ursa/Driver.h RoundRecord).
+  std::vector<RoundRecord> AllocRoundLog;
+  /// Why the reduction loop stopped early, when it did (URSAResult::
+  /// StopReasons).
+  std::vector<std::string> AllocStopReasons;
+  /// Text rendering of AllocRoundLog (compatibility shim).
   std::vector<std::string> AllocLog;
 
   /// Guardrail accounting (see docs/ROBUSTNESS.md). VerifyFailed means a

@@ -7,6 +7,8 @@
 #include "ursa/Driver.h"
 
 #include "graph/DAGBuilder.h"
+#include "obs/Stats.h"
+#include "obs/Tracer.h"
 #include "sched/RegAssign.h"
 #include "ursa/FaultInjector.h"
 
@@ -16,6 +18,27 @@
 #include <memory>
 
 using namespace ursa;
+
+URSA_STAT(StatRounds, "ursa.driver.rounds", "transformation rounds applied");
+URSA_STAT(StatProposalsTried, "ursa.driver.proposals_tried",
+          "candidate transforms tentatively applied and remeasured");
+URSA_STAT(StatSweeps, "ursa.driver.sweeps", "outer fixpoint sweeps run");
+URSA_STAT(StatFallbacks, "ursa.driver.fallback_activations",
+          "guaranteed-fit fallback activations");
+URSA_STAT(StatStopMaxRounds, "ursa.driver.stop.max_rounds",
+          "phases cut off by the MaxRounds safety valve");
+URSA_STAT(StatStopMaxTotal, "ursa.driver.stop.max_total_rounds",
+          "runs cut off by the MaxTotalRounds safety valve");
+URSA_STAT(StatStopTimeBudget, "ursa.driver.stop.time_budget",
+          "runs cut off by the TimeBudgetMs safety valve");
+URSA_STAT(StatStopLivelock, "ursa.driver.stop.livelock",
+          "runs stopped by livelock detection");
+URSA_STAT(StatKeptFUSeq, "ursa.transforms.kept.fu_seq",
+          "FU-sequencing transforms kept");
+URSA_STAT(StatKeptRegSeq, "ursa.transforms.kept.reg_seq",
+          "register-sequencing transforms kept");
+URSA_STAT(StatKeptSpill, "ursa.transforms.kept.spill",
+          "spill transforms kept");
 
 namespace {
 
@@ -68,7 +91,36 @@ struct Score {
   }
 };
 
+/// Span label for one tentative transform evaluation (static storage:
+/// span names must outlive the event buffer).
+const char *evalSpanName(TransformProposal::KindT K) {
+  switch (K) {
+  case TransformProposal::FUSequence:
+    return "eval.fu-seq";
+  case TransformProposal::RegSequence:
+    return "eval.reg-seq";
+  case TransformProposal::Spill:
+    return "eval.spill";
+  }
+  return "eval";
+}
+
 } // namespace
+
+std::string RoundRecord::describe() const {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), " (excess %u->%u, cp %u)", ExcessBefore,
+                ExcessAfter, CritPath);
+  return Detail + Buf;
+}
+
+std::vector<std::string> URSAResult::formatLog() const {
+  std::vector<std::string> Out;
+  Out.reserve(RoundLog.size());
+  for (const RoundRecord &RR : RoundLog)
+    Out.push_back(RR.describe());
+  return Out;
+}
 
 /// Collects candidate proposals for the current state, restricted to the
 /// resource kinds active in this phase.
@@ -136,6 +188,8 @@ static unsigned sequentializeTotally(DependenceDAG &D) {
 /// never candidates.
 static void guaranteedFitFallback(URSAResult &R, const MachineModel &M,
                                   const MeasureOptions &MO) {
+  URSA_SPAN(FallbackSpan, "ursa.fallback", "driver");
+  StatFallbacks.add();
   R.FallbackUsed = true;
   R.SeqEdgesAdded += sequentializeTotally(R.DAG);
   unsigned MaxIter = R.DAG.trace().numVRegs() + 4;
@@ -182,6 +236,7 @@ static void guaranteedFitFallback(URSAResult &R, const MachineModel &M,
 
 URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
                          const URSAOptions &Opts) {
+  URSA_SPAN(AllocSpan, "ursa.allocate", "driver");
   URSAResult R(std::move(D));
   const bool VerifyOn = Opts.Verify != VerifyLevel::None;
   const bool VerifyFull = Opts.Verify == VerifyLevel::Full;
@@ -192,6 +247,17 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
     for (const Diag &Dg : St.diags())
       R.Diags.push_back(Dg);
     R.VerifyFailed = true;
+    if (std::find(R.StopReasons.begin(), R.StopReasons.end(),
+                  "verify_failed") == R.StopReasons.end())
+      R.StopReasons.push_back("verify_failed");
+  };
+  // Safety-valve accounting: every early stop gets a named counter and a
+  // StopReasons entry so neither report format can hide it.
+  auto AddStop = [&R](const char *Reason, obs::Statistic &Counter) {
+    Counter.add();
+    if (std::find(R.StopReasons.begin(), R.StopReasons.end(), Reason) ==
+        R.StopReasons.end())
+      R.StopReasons.push_back(Reason);
   };
 
   // Input gate: never run the O(n^2) analyses on a malformed DAG — they
@@ -205,15 +271,17 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
   }
 
   auto StartTime = std::chrono::steady_clock::now();
+  enum class BudgetTrip { None, TotalRounds, Time };
   auto BudgetExceeded = [&]() {
     if (R.Rounds >= Opts.MaxTotalRounds)
-      return true;
+      return BudgetTrip::TotalRounds;
     if (Opts.TimeBudgetMs == 0)
-      return false;
+      return BudgetTrip::None;
     auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                   std::chrono::steady_clock::now() - StartTime)
                   .count();
-    return Ms >= long(Opts.TimeBudgetMs);
+    return Ms >= long(Opts.TimeBudgetMs) ? BudgetTrip::Time
+                                         : BudgetTrip::None;
   };
 
   std::vector<std::pair<bool, bool>> Phases; // (regs?, fus?)
@@ -249,20 +317,38 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
   bool Bail = false;
   unsigned StaleSweeps = 0;
   for (unsigned Sweep = 0; Sweep != 4 && !Bail; ++Sweep) {
+  StatSweeps.add();
   unsigned RoundsAtSweepStart = R.Rounds;
   for (auto [DoRegs, DoFUs] : Phases) {
     if (Bail)
       break;
+    URSA_SPAN(PhaseSpan,
+              DoRegs && DoFUs ? "ursa.phase.integrated"
+              : DoRegs        ? "ursa.phase.regs"
+                              : "ursa.phase.fus",
+              "driver");
     // Plateau patience: a round that keeps the excess flat can still set
     // up the next reduction (wave edges), but only finitely many are
     // tolerated before the residual is left to the assignment phase.
     unsigned Patience = 6;
+    // Distinguishes the MaxRounds valve tripping from the usual breaks
+    // (converged, plateau, budget): only falling off the end of the loop
+    // leaves it set.
+    bool HitRoundCap = true;
     for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
-      if (BudgetExceeded()) {
+      if (BudgetTrip Trip = BudgetExceeded(); Trip != BudgetTrip::None) {
         R.BudgetExhausted = true;
-        AddDiag(Severity::Warning,
-                "round/time budget exhausted; leaving residual excess");
+        if (Trip == BudgetTrip::TotalRounds) {
+          AddStop("max_total_rounds", StatStopMaxTotal);
+          AddDiag(Severity::Warning, "MaxTotalRounds budget exhausted; "
+                                     "leaving residual excess");
+        } else {
+          AddStop("time_budget", StatStopTimeBudget);
+          AddDiag(Severity::Warning, "TimeBudgetMs budget exhausted; "
+                                     "leaving residual excess");
+        }
         Bail = true;
+        HitRoundCap = false;
         break;
       }
       if (VerifyOn) {
@@ -270,20 +356,26 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
         if (!St.isOk()) {
           FailVerify(St);
           Bail = true;
+          HitRoundCap = false;
           break;
         }
       }
+      auto RoundStart = std::chrono::steady_clock::now();
       State S(R.DAG, M, Opts.Measure);
       std::vector<TransformProposal> Props =
           collectProposals(R.DAG, S, DoRegs, DoFUs, Opts);
-      if (Props.empty())
+      if (Props.empty()) {
+        HitRoundCap = false;
         break;
+      }
+      StatProposalsTried.add(Props.size());
 
       // Tentatively apply each proposal and keep the best
       // never-worsening one (paper Section 5).
       int Best = -1;
       Score BestScore{~0u, 0, ~0u, ~0u, ~0u, ~0u};
       for (unsigned I = 0; I != Props.size(); ++I) {
+        URSA_SPAN(EvalSpan, evalSpanName(Props[I].Kind), "transform");
         DependenceDAG Scratch = R.DAG;
         applyTransform(Scratch, Props[I]);
         State SS(Scratch, M, Opts.Measure);
@@ -302,15 +394,20 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
           Best = int(I);
         }
       }
-      if (Best < 0)
-        break; // every proposal worsens; leave residual to assignment
+      if (Best < 0) {
+        // Every proposal worsens; leave residual to assignment.
+        HitRoundCap = false;
+        break;
+      }
       if (BestScore.TotalExcess == S.TotalExcess) {
         // FU wave edges make monotonic progress (each round orders at
         // least one previously parallel pair), so they ride on MaxRounds
         // alone; other plateaus burn patience.
         if (Props[Best].Kind != TransformProposal::FUSequence) {
-          if (Patience == 0)
+          if (Patience == 0) {
+            HitRoundCap = false;
             break;
+          }
           --Patience;
         }
       } else {
@@ -330,11 +427,34 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
       R.SeqEdgesAdded += ASt.EdgesAdded;
       R.SpillsInserted += ASt.SpillsInserted;
       ++R.Rounds;
-      if (Opts.KeepLog) {
-        char Buf[64];
-        std::snprintf(Buf, sizeof(Buf), " (excess %u->%u, cp %u)",
-                      S.TotalExcess, BestScore.TotalExcess, BestScore.CritPath);
-        R.Log.push_back(Props[Best].describe() + Buf);
+      StatRounds.add();
+      switch (Props[Best].Kind) {
+      case TransformProposal::FUSequence:
+        StatKeptFUSeq.add();
+        break;
+      case TransformProposal::RegSequence:
+        StatKeptRegSeq.add();
+        break;
+      case TransformProposal::Spill:
+        StatKeptSpill.add();
+        break;
+      }
+      {
+        RoundRecord RR;
+        RR.Round = R.Rounds;
+        RR.Kind = Props[Best].Kind;
+        RR.Resource = Props[Best].Res.describe();
+        RR.Detail = Props[Best].describe();
+        RR.ExcessBefore = S.TotalExcess;
+        RR.ExcessAfter = BestScore.TotalExcess;
+        RR.CritPath = BestScore.CritPath;
+        RR.EdgesAdded = ASt.EdgesAdded;
+        RR.SpillsInserted = ASt.SpillsInserted;
+        RR.ProposalsTried = unsigned(Props.size());
+        RR.DurationMs = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - RoundStart)
+                            .count();
+        R.RoundLog.push_back(std::move(RR));
       }
       if (VerifyOn && (ASt.EdgesAdded || ASt.SpillsInserted) &&
           dagFingerprint(R.DAG) == FpBefore) {
@@ -342,13 +462,21 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
                 "transform '" + Props[Best].describe() +
                     "' reported progress but left the DAG unchanged");
         R.LivelockDetected = true;
+        AddStop("livelock", StatStopLivelock);
         Bail = true;
+        HitRoundCap = false;
         break;
       }
       // Armed DAG-corruption faults strike after a round, like a buggy
       // in-place mutation would; the next round's gate must catch them.
       if (Opts.Faults)
         Opts.Faults->maybeInjectDAG(R.DAG, R.Rounds);
+    }
+    if (HitRoundCap) {
+      AddStop("max_rounds", StatStopMaxRounds);
+      AddDiag(Severity::Warning,
+              "MaxRounds safety valve tripped for a phase; leaving "
+              "residual excess");
     }
 
     // Phase boundary: the next phase (or the assignment) inherits this
@@ -378,6 +506,7 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
     if (Check.TotalExcess >= PrevSweepExcess) {
       if (++StaleSweeps >= 2) {
         R.LivelockDetected = true;
+        AddStop("livelock", StatStopLivelock);
         AddDiag(Severity::Warning,
                 "livelock: consecutive sweeps applied transforms without "
                 "reducing total excess");

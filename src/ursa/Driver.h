@@ -66,12 +66,36 @@ struct URSAOptions {
   bool GuaranteedFit = false;
   /// Testing hook: an armed fault injector (see ursa/FaultInjector.h).
   FaultInjector *Faults = nullptr;
-  /// Collect a per-round textual log (for tools and debugging).
+  /// Deprecated, ignored: the per-round log is now always collected as
+  /// structured RoundRecords (URSAResult::RoundLog); render text with
+  /// URSAResult::formatLog(). Kept so existing callers still compile.
   bool KeepLog = false;
   /// Ablation switches (X4): restrict the register transformations to
   /// sequencing only or spilling only.
   bool EnableSpills = true;
   bool EnableRegSeq = true;
+};
+
+/// One applied transformation round, structured for telemetry: which
+/// transform won on which resource, what it did to the excess and the
+/// critical path, and how long the round (measure + tentative evaluation
+/// + apply) took. Replaces the old free-text KeepLog lines — formatLog()
+/// renders the identical text from these records.
+struct RoundRecord {
+  unsigned Round = 0; ///< 1-based ordinal within the run
+  TransformProposal::KindT Kind = TransformProposal::FUSequence;
+  std::string Resource; ///< ResourceId::describe() of the target resource
+  std::string Detail;   ///< the winning proposal's describe() string
+  unsigned ExcessBefore = 0; ///< total excess entering the round
+  unsigned ExcessAfter = 0;  ///< total excess after the kept transform
+  unsigned CritPath = 0;     ///< critical path after the kept transform
+  unsigned EdgesAdded = 0;
+  unsigned SpillsInserted = 0;
+  unsigned ProposalsTried = 0; ///< candidates tentatively applied
+  double DurationMs = 0;
+
+  /// The legacy log line ("spill[reg(gpr)]... (excess 5->4, cp 7)").
+  std::string describe() const;
 };
 
 /// Result of the allocation phase: the transformed DAG, ready for
@@ -90,7 +114,19 @@ struct URSAResult {
   /// Unit-latency critical path before/after.
   unsigned CritPathBefore = 0;
   unsigned CritPathAfter = 0;
-  std::vector<std::string> Log;
+  /// Per-round telemetry, one record per applied transformation (always
+  /// collected; bounded by MaxTotalRounds).
+  std::vector<RoundRecord> RoundLog;
+  /// Why the reduction loop stopped before removing all excess, when it
+  /// did: "max_rounds", "max_total_rounds", "time_budget", "livelock",
+  /// "verify_failed" — deduplicated, in first-trip order. Empty when the
+  /// loop converged (no excess left or no applicable transforms). Both
+  /// report formats surface these; the matching ursa.driver.stop.*
+  /// counters trend them across runs.
+  std::vector<std::string> StopReasons;
+
+  /// The old string log, rendered from RoundLog (compatibility shim).
+  std::vector<std::string> formatLog() const;
 
   /// Guardrail accounting. VerifyFailed means a phase-boundary check
   /// found a broken invariant and allocation stopped early — the DAG must

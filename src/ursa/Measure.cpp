@@ -6,9 +6,23 @@
 
 #include "ursa/Measure.h"
 
+#include "obs/Stats.h"
+#include "obs/Tracer.h"
+
 #include <algorithm>
 
 using namespace ursa;
+
+URSA_STAT(StatResourcesMeasured, "ursa.measure.resources_measured",
+          "per-resource requirement measurements performed");
+URSA_STAT(StatReuseActiveNodes, "ursa.measure.reuse_active_nodes",
+          "Reuse-relation active nodes across all measurements");
+URSA_STAT(StatReuseRelPairs, "ursa.measure.reuse_rel_pairs",
+          "CanReuse related pairs across all measurements");
+URSA_STAT(StatChains, "ursa.measure.chains",
+          "allocation chains found across all decompositions");
+URSA_STAT(StatExcessiveSets, "ursa.measure.excessive_sets",
+          "excessive chain sets surfaced to the transform generators");
 
 std::string ResourceId::describe() const {
   if (Kind == Reg)
@@ -66,6 +80,15 @@ Measurement ursa::measureResource(const DependenceDAG &D, const DAGAnalysis &A,
                  ? decomposeChainsPrioritized(M.Reuse.Rel, M.Reuse.Active, HF)
                  : decomposeChains(M.Reuse.Rel, M.Reuse.Active);
   M.MaxRequired = M.Chains.width();
+  StatResourcesMeasured.add();
+  StatReuseActiveNodes.add(M.Reuse.Active.size());
+  StatChains.add(M.Chains.width());
+  if (obs::statsEnabled()) {
+    uint64_t Pairs = 0;
+    for (unsigned A : M.Reuse.Active)
+      Pairs += M.Reuse.Rel.row(A).count(); // word-parallel popcount
+    StatReuseRelPairs.add(Pairs);
+  }
   return M;
 }
 
@@ -74,6 +97,7 @@ std::vector<Measurement> ursa::measureAll(const DependenceDAG &D,
                                           const HammockForest &HF,
                                           const MachineModel &M,
                                           const MeasureOptions &Opts) {
+  URSA_SPAN(MeasureSpan, "ursa.measure", "measure");
   std::vector<Measurement> Out;
   for (const auto &[Res, Limit] : machineResources(M)) {
     (void)Limit;
@@ -183,5 +207,6 @@ ursa::findExcessiveSets(const Measurement &Meas, const DAGAnalysis &A,
     E.Witness = std::move(Witness);
     Out.push_back(std::move(E));
   }
+  StatExcessiveSets.add(Out.size());
   return Out;
 }

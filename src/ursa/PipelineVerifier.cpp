@@ -6,6 +6,8 @@
 
 #include "ursa/PipelineVerifier.h"
 
+#include "obs/Stats.h"
+
 #include "ir/Interpreter.h"
 #include "ir/Verifier.h"
 #include "support/RNG.h"
@@ -17,6 +19,20 @@
 #include <cstring>
 
 using namespace ursa;
+
+URSA_STAT(StatChecksRun, "ursa.verify.checks_run",
+          "phase-boundary verifier checks executed");
+URSA_STAT(StatChecksFailed, "ursa.verify.checks_failed",
+          "phase-boundary verifier checks that found a violation");
+
+/// Every public check funnels its result through here so the registry
+/// sees one consistent run/failed pair per invocation.
+static Status countedCheck(Status St) {
+  StatChecksRun.add();
+  if (!St.isOk())
+    StatChecksFailed.add();
+  return St;
+}
 
 VerifyLevel ursa::parseVerifyLevel(const char *S) {
   if (!S)
@@ -47,7 +63,7 @@ static std::string nodeStr(unsigned N) {
 // DAG structure
 //===----------------------------------------------------------------------===//
 
-Status ursa::verifyDAGStructure(const DependenceDAG &D) {
+static Status verifyDAGStructureImpl(const DependenceDAG &D) {
   Status St;
   unsigned N = D.size();
   const Trace &T = D.trace();
@@ -173,7 +189,7 @@ Status ursa::verifyDAGStructure(const DependenceDAG &D) {
 // Chain decompositions
 //===----------------------------------------------------------------------===//
 
-Status ursa::verifyMeasurement(const Measurement &Meas) {
+static Status verifyMeasurementImpl(const Measurement &Meas) {
   Status St;
   const ChainDecomposition &CD = Meas.Chains;
   const ReuseRelation &R = Meas.Reuse;
@@ -242,9 +258,9 @@ Status ursa::verifyMeasurements(const std::vector<Measurement> &Meas) {
 // Assignment phase
 //===----------------------------------------------------------------------===//
 
-Status ursa::verifyAssignment(const DependenceDAG &D, const Schedule &S,
-                              const RegAssignment &RA,
-                              const MachineModel &M) {
+static Status verifyAssignmentImpl(const DependenceDAG &D, const Schedule &S,
+                                   const RegAssignment &RA,
+                                   const MachineModel &M) {
   Status St;
   const Trace &T = D.trace();
   unsigned N = D.size();
@@ -371,9 +387,10 @@ Status ursa::verifyAssignment(const DependenceDAG &D, const Schedule &S,
 // Semantic equivalence
 //===----------------------------------------------------------------------===//
 
-Status ursa::verifySemanticEquivalence(const Trace &Source,
-                                       const VLIWProgram &P,
-                                       unsigned NumInputSets, uint64_t Seed) {
+static Status verifySemanticEquivalenceImpl(const Trace &Source,
+                                            const VLIWProgram &P,
+                                            unsigned NumInputSets,
+                                            uint64_t Seed) {
   Status St;
   RNG Rng(Seed ^ (uint64_t(Source.size()) << 32));
   for (unsigned Set = 0; Set != NumInputSets; ++Set) {
@@ -418,4 +435,29 @@ uint64_t ursa::dagFingerprint(const DependenceDAG &D) {
       H += E * 0x94d049bb133111ebULL;
     }
   return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Counted public entry points
+//===----------------------------------------------------------------------===//
+
+Status ursa::verifyDAGStructure(const DependenceDAG &D) {
+  return countedCheck(verifyDAGStructureImpl(D));
+}
+
+Status ursa::verifyMeasurement(const Measurement &Meas) {
+  return countedCheck(verifyMeasurementImpl(Meas));
+}
+
+Status ursa::verifyAssignment(const DependenceDAG &D, const Schedule &S,
+                              const RegAssignment &RA,
+                              const MachineModel &M) {
+  return countedCheck(verifyAssignmentImpl(D, S, RA, M));
+}
+
+Status ursa::verifySemanticEquivalence(const Trace &Source,
+                                       const VLIWProgram &P,
+                                       unsigned NumInputSets, uint64_t Seed) {
+  return countedCheck(verifySemanticEquivalenceImpl(Source, P, NumInputSets,
+                                                    Seed));
 }

@@ -1,4 +1,4 @@
-//===- ursa/Report.cpp - Human-readable allocation reports ----------------===//
+//===- ursa/Report.cpp - Human- and machine-readable reports --------------===//
 //
 // Part of the URSA reproduction. MIT license.
 //
@@ -6,19 +6,43 @@
 
 #include "ursa/Report.h"
 
+#include "obs/Json.h"
+#include "obs/Stats.h"
 #include "support/Table.h"
 
 #include <sstream>
 
 using namespace ursa;
 
+namespace {
+
+/// Shared pre-measurement: the untransformed DAG's requirements.
+std::vector<Measurement> measureBefore(const DependenceDAG &Original,
+                                       const MachineModel &M) {
+  DAGAnalysis A(Original);
+  HammockForest HF(Original, A);
+  return measureAll(Original, A, HF, M);
+}
+
+const char *kindName(TransformProposal::KindT K) {
+  switch (K) {
+  case TransformProposal::FUSequence:
+    return "fu-seq";
+  case TransformProposal::RegSequence:
+    return "reg-seq";
+  case TransformProposal::Spill:
+    return "spill";
+  }
+  return "?";
+}
+
+} // namespace
+
 std::string ursa::formatAllocationReport(const DependenceDAG &Original,
                                          const URSAResult &Result,
                                          const MachineModel &M) {
   std::ostringstream OS;
-  DAGAnalysis A(Original);
-  HammockForest HF(Original, A);
-  std::vector<Measurement> Before = measureAll(Original, A, HF, M);
+  std::vector<Measurement> Before = measureBefore(Original, M);
   auto Limits = machineResources(M);
 
   OS << "URSA allocation report — machine " << M.describe() << "\n";
@@ -35,13 +59,113 @@ std::string ursa::formatAllocationReport(const DependenceDAG &Original,
      << Result.SeqEdgesAdded << " sequence edges, " << Result.SpillsInserted
      << " spills; critical path " << Result.CritPathBefore << " -> "
      << Result.CritPathAfter << "\n";
+  if (!Result.StopReasons.empty()) {
+    OS << "stopped early:";
+    for (const std::string &Reason : Result.StopReasons)
+      OS << " " << Reason;
+    OS << "\n";
+  }
   if (!Result.WithinLimits)
     OS << "residual excess remains; the assignment phase will spill "
           "on demand\n";
-  if (!Result.Log.empty()) {
+  if (!Result.RoundLog.empty()) {
     OS << "rounds:\n";
-    for (const std::string &L : Result.Log)
-      OS << "  " << L << "\n";
+    for (const RoundRecord &RR : Result.RoundLog)
+      OS << "  " << RR.describe() << "\n";
   }
   return OS.str();
+}
+
+void ursa::writeRoundLogJSON(obs::JsonWriter &W,
+                             const std::vector<RoundRecord> &RoundLog) {
+  W.beginArray();
+  for (const RoundRecord &RR : RoundLog) {
+    W.beginObject();
+    W.kv("round", RR.Round);
+    W.kv("kind", kindName(RR.Kind));
+    W.kv("resource", RR.Resource);
+    W.kv("detail", RR.Detail);
+    W.kv("excess_before", RR.ExcessBefore);
+    W.kv("excess_after", RR.ExcessAfter);
+    W.kv("crit_path", RR.CritPath);
+    W.kv("edges_added", RR.EdgesAdded);
+    W.kv("spills_inserted", RR.SpillsInserted);
+    W.kv("proposals_tried", RR.ProposalsTried);
+    W.kv("duration_ms", RR.DurationMs);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+std::string ursa::formatAllocationReportJSON(const DependenceDAG &Original,
+                                             const URSAResult &Result,
+                                             const MachineModel &M,
+                                             bool IncludeStats) {
+  std::vector<Measurement> Before = measureBefore(Original, M);
+  auto Limits = machineResources(M);
+
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "ursa.allocation_report.v1");
+  W.key("machine").beginObject();
+  W.kv("name", M.describe());
+  W.key("resources").beginArray();
+  for (const auto &[Res, Limit] : Limits) {
+    W.beginObject();
+    W.kv("resource", Res.describe());
+    W.kv("limit", Limit);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  W.key("requirements").beginArray();
+  for (unsigned I = 0; I != Limits.size(); ++I) {
+    W.beginObject();
+    W.kv("resource", Limits[I].first.describe());
+    W.kv("limit", Limits[I].second);
+    W.kv("before", Before[I].MaxRequired);
+    W.kv("after", Result.FinalRequired[I]);
+    W.kv("fits", Result.FinalRequired[I] <= Limits[I].second);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("critical_path").beginObject();
+  W.kv("before", Result.CritPathBefore);
+  W.kv("after", Result.CritPathAfter);
+  W.endObject();
+
+  W.key("accounting").beginObject();
+  W.kv("rounds", Result.Rounds);
+  W.kv("seq_edges_added", Result.SeqEdgesAdded);
+  W.kv("spills_inserted", Result.SpillsInserted);
+  W.kv("within_limits", Result.WithinLimits);
+  W.kv("verify_failed", Result.VerifyFailed);
+  W.kv("livelock_detected", Result.LivelockDetected);
+  W.kv("budget_exhausted", Result.BudgetExhausted);
+  W.kv("fallback_used", Result.FallbackUsed);
+  W.endObject();
+
+  W.key("stop_reasons").beginArray();
+  for (const std::string &Reason : Result.StopReasons)
+    W.value(Reason);
+  W.endArray();
+
+  W.key("round_log");
+  writeRoundLogJSON(W, Result.RoundLog);
+
+  W.key("diags").beginArray();
+  for (const Diag &Dg : Result.Diags)
+    W.value(Dg.str());
+  W.endArray();
+
+  if (IncludeStats) {
+    W.key("stats").beginObject();
+    for (const obs::StatValue &SV : obs::snapshotStats(/*NonZeroOnly=*/true))
+      W.kv(SV.Name, SV.Value);
+    W.endObject();
+  }
+  W.endObject();
+  return W.str();
 }

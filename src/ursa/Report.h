@@ -27,6 +27,25 @@ std::string formatAllocationReport(const DependenceDAG &Original,
                                    const URSAResult &Result,
                                    const MachineModel &M);
 
+/// The machine-readable counterpart (schema "ursa.allocation_report.v1"):
+/// machine capacities, per-resource requirements before/after, critical
+/// path, accounting flags, stop reasons, the per-round telemetry, and —
+/// when \p IncludeStats — the process-wide stats snapshot
+/// (obs::snapshotStats). Emitted by `ursa_cc --report-json` and embedded
+/// in bench artifacts; docs/OBSERVABILITY.md documents the schema.
+std::string formatAllocationReportJSON(const DependenceDAG &Original,
+                                       const URSAResult &Result,
+                                       const MachineModel &M,
+                                       bool IncludeStats = true);
+
+/// Serializes per-round telemetry into \p W as an array of objects
+/// (shared by the standalone report and higher-level tool reports).
+namespace obs {
+class JsonWriter;
+}
+void writeRoundLogJSON(obs::JsonWriter &W,
+                       const std::vector<RoundRecord> &RoundLog);
+
 } // namespace ursa
 
 #endif // URSA_URSA_REPORT_H

@@ -6,12 +6,25 @@
 
 #include "ursa/Transforms.h"
 
+#include "obs/Stats.h"
 #include "ursa/KillSelection.h"
 
 #include <algorithm>
 #include <cstdio>
 
 using namespace ursa;
+
+URSA_STAT(StatProposedFUSeq, "ursa.transforms.proposed.fu_seq",
+          "FU-sequencing candidates generated");
+URSA_STAT(StatProposedRegSeq, "ursa.transforms.proposed.reg_seq",
+          "register-sequencing candidates generated");
+URSA_STAT(StatProposedSpill, "ursa.transforms.proposed.spill",
+          "spill candidates generated");
+URSA_STAT(StatEdgesApplied, "ursa.transforms.edges_added",
+          "sequence edges added by applied transforms (incl. tentative)");
+URSA_STAT(StatSpillsApplied, "ursa.transforms.spills_inserted",
+          "store/reload pairs inserted by applied transforms (incl. "
+          "tentative)");
 
 namespace {
 
@@ -275,6 +288,7 @@ ursa::proposeFUSequencing(const TransformContext &Ctx,
       Out.push_back(std::move(Wave));
     }
   }
+  StatProposedFUSeq.add(Out.size());
   return Out;
 }
 
@@ -456,6 +470,7 @@ ursa::proposeRegSequencing(const TransformContext &Ctx,
     if (E.Witness.size() > E.Limit)
       GateSet(E.Witness);
   }
+  StatProposedRegSeq.add(Out.size());
   return Out;
 }
 
@@ -615,6 +630,7 @@ std::vector<TransformProposal> ursa::proposeSpills(const TransformContext &Ctx,
       ++Made;
     }
   }
+  StatProposedSpill.add(Out.size());
   return Out;
 }
 
@@ -663,6 +679,7 @@ ApplyStats ursa::applyTransform(DependenceDAG &D, const TransformProposal &P) {
               D.addEdge(After, P.SpillDef, EdgeKind::Sequence))
             ++Stats.EdgesAdded;
         D.normalizeVirtualEdges();
+        StatEdgesApplied.add(Stats.EdgesAdded);
         return Stats;
       }
     }
@@ -720,5 +737,7 @@ ApplyStats ursa::applyTransform(DependenceDAG &D, const TransformProposal &P) {
   }
 
   D.normalizeVirtualEdges();
+  StatEdgesApplied.add(Stats.EdgesAdded);
+  StatSpillsApplied.add(Stats.SpillsInserted);
   return Stats;
 }

@@ -6,12 +6,22 @@
 
 #include "vliw/Simulator.h"
 
+#include "obs/Stats.h"
+#include "obs/Tracer.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <map>
 #include <vector>
 
 using namespace ursa;
+
+URSA_STAT(StatSimRuns, "vliw.sim.runs", "simulations completed");
+URSA_STAT(StatSimCycles, "vliw.sim.cycles", "total cycles simulated");
+URSA_STAT(StatSimOpsIssued, "vliw.sim.ops_issued",
+          "operations issued (VLIW word slots filled)");
+URSA_STAT(StatSimFailures, "vliw.sim.failures",
+          "simulations rejected (hazard or validation failure)");
 
 namespace {
 
@@ -29,7 +39,17 @@ struct RegFile {
 
 SimResult ursa::simulate(const VLIWProgram &P, const MemoryState &Initial,
                          bool StopAtTakenBranch) {
+  URSA_SPAN(SimSpan, "vliw.simulate", "sim");
   SimResult R;
+  // Counts every early hazard/validation return without touching each
+  // return site.
+  struct FailGuard {
+    SimResult &R;
+    ~FailGuard() {
+      if (!R.Ok)
+        StatSimFailures.add();
+    }
+  } FG{R};
   std::string Invalid = P.validate();
   if (!Invalid.empty()) {
     R.Error = "invalid program: " + Invalid;
@@ -262,6 +282,7 @@ SimResult ursa::simulate(const VLIWProgram &P, const MemoryState &Initial,
     }
     for (auto &[Name, V] : StoreBuffer)
       R.Exec.Memory[Name] = V;
+    StatSimOpsIssued.add(W.Ops.size());
     if (!W.Ops.empty())
       LastActivity = Cycle + 1;
 
@@ -300,5 +321,7 @@ SimResult ursa::simulate(const VLIWProgram &P, const MemoryState &Initial,
   // A squashed trace only spends the cycles up to its taken branch.
   R.Cycles = Aborted ? LastActivity : std::max(LastActivity, P.numWords());
   R.Ok = true;
+  StatSimRuns.add();
+  StatSimCycles.add(R.Cycles);
   return R;
 }

@@ -108,13 +108,39 @@ TEST(Driver, RequirementsNeverIncreaseAcrossRun) {
 }
 
 TEST(Driver, LogRecordsRounds) {
-  URSAOptions UO;
-  UO.KeepLog = true;
   MachineModel M = MachineModel::homogeneous(2, 3);
-  URSAResult R = runURSA(buildDAG(figure2Trace()), M, UO);
-  EXPECT_EQ(R.Log.size(), R.Rounds);
-  for (const std::string &L : R.Log)
+  URSAResult R = runURSA(buildDAG(figure2Trace()), M);
+  EXPECT_EQ(R.RoundLog.size(), R.Rounds);
+  std::vector<std::string> Log = R.formatLog();
+  ASSERT_EQ(Log.size(), R.Rounds);
+  for (const std::string &L : Log)
     EXPECT_FALSE(L.empty());
+}
+
+TEST(Driver, RoundTelemetryMatchesResultAccounting) {
+  MachineModel M = MachineModel::homogeneous(2, 3);
+  URSAResult R = runURSA(buildDAG(figure2Trace()), M);
+  ASSERT_GT(R.Rounds, 0u);
+  ASSERT_EQ(R.RoundLog.size(), R.Rounds);
+  unsigned Edges = 0, Spills = 0;
+  for (unsigned I = 0; I != R.RoundLog.size(); ++I) {
+    const RoundRecord &RR = R.RoundLog[I];
+    EXPECT_EQ(RR.Round, I + 1);
+    EXPECT_FALSE(RR.Resource.empty());
+    EXPECT_FALSE(RR.Detail.empty());
+    // The driver only keeps never-worsening transforms.
+    EXPECT_LE(RR.ExcessAfter, RR.ExcessBefore);
+    EXPECT_GE(RR.ProposalsTried, 1u);
+    EXPECT_GE(RR.DurationMs, 0.0);
+    Edges += RR.EdgesAdded;
+    Spills += RR.SpillsInserted;
+  }
+  // No fallback ran, so every edge/spill came from a logged round.
+  EXPECT_FALSE(R.FallbackUsed);
+  EXPECT_EQ(Edges, R.SeqEdgesAdded);
+  EXPECT_EQ(Spills, R.SpillsInserted);
+  // Converged run: nothing tripped a safety valve.
+  EXPECT_TRUE(R.StopReasons.empty());
 }
 
 TEST(Driver, SingleFUMachineFullySequentializes) {

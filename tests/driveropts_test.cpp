@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace ursa;
 
 TEST(DriverOptions, DisabledSpillsMeansNoSpills) {
@@ -46,11 +48,38 @@ TEST(DriverOptions, MaxRoundsZeroDoesNothing) {
   EXPECT_FALSE(R.WithinLimits);
 }
 
-TEST(DriverOptions, LogOffByDefault) {
+TEST(DriverOptions, RoundLogAlwaysCollected) {
   MachineModel M = MachineModel::homogeneous(2, 3);
   URSAResult R = runURSA(buildDAG(figure2Trace()), M);
   EXPECT_GT(R.Rounds, 0u);
-  EXPECT_TRUE(R.Log.empty());
+  EXPECT_EQ(R.RoundLog.size(), R.Rounds);
+}
+
+TEST(DriverOptions, MaxRoundsTripIsRecorded) {
+  MachineModel M = MachineModel::homogeneous(2, 3);
+  URSAOptions UO;
+  UO.MaxRounds = 1; // figure2 needs several rounds on a 2x3 machine
+  URSAResult R = runURSA(buildDAG(figure2Trace()), M, UO);
+  EXPECT_NE(std::find(R.StopReasons.begin(), R.StopReasons.end(),
+                      "max_rounds"),
+            R.StopReasons.end());
+  bool Diagnosed = false;
+  for (const Diag &Dg : R.Diags)
+    Diagnosed |= Dg.Message.find("MaxRounds") != std::string::npos;
+  EXPECT_TRUE(Diagnosed);
+}
+
+TEST(DriverOptions, TimeBudgetTripIsRecorded) {
+  MachineModel M = MachineModel::homogeneous(2, 3);
+  URSAOptions UO;
+  UO.TimeBudgetMs = 1;
+  // A zero-length budget cannot be met; the driver must say so rather
+  // than stop quietly. Spin until the first budget check fires.
+  URSAResult R = runURSA(buildDAG(figure2Trace()), M, UO);
+  if (R.BudgetExhausted)
+    EXPECT_NE(std::find(R.StopReasons.begin(), R.StopReasons.end(),
+                        "time_budget"),
+              R.StopReasons.end());
 }
 
 TEST(DriverOptions, ExactKillSolverWorksEndToEnd) {

@@ -1,0 +1,295 @@
+//===- tests/obs_test.cpp - Stats registry, tracer, and JSON reports ------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/DAGBuilder.h"
+#include "obs/Json.h"
+#include "obs/Stats.h"
+#include "obs/Tracer.h"
+#include "ursa/Driver.h"
+#include "ursa/Report.h"
+#include "workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ursa;
+
+//===----------------------------------------------------------------------===//
+// Stats registry
+//===----------------------------------------------------------------------===//
+
+URSA_STAT(TestCounter, "test.obs.counter", "a test counter");
+URSA_STAT(TestGauge, "test.obs.gauge", "a test gauge");
+
+namespace {
+
+uint64_t snapshotValueOf(const char *Name) {
+  for (const obs::StatValue &SV : obs::snapshotStats())
+    if (SV.Name == Name)
+      return SV.Value;
+  ADD_FAILURE() << "statistic '" << Name << "' is not registered";
+  return ~0ull;
+}
+
+} // namespace
+
+TEST(Stats, RegistersAndCounts) {
+  obs::setStatsEnabled(true);
+  TestCounter.reset();
+  TestCounter.add();
+  TestCounter.add(4);
+  EXPECT_EQ(TestCounter.value(), 5u);
+  EXPECT_EQ(snapshotValueOf("test.obs.counter"), 5u);
+}
+
+TEST(Stats, GaugeSetAndMax) {
+  obs::setStatsEnabled(true);
+  TestGauge.reset();
+  TestGauge.set(7);
+  EXPECT_EQ(TestGauge.value(), 7u);
+  TestGauge.noteMax(3); // lower observation must not stick
+  EXPECT_EQ(TestGauge.value(), 7u);
+  TestGauge.noteMax(12);
+  EXPECT_EQ(TestGauge.value(), 12u);
+}
+
+TEST(Stats, DisabledSitesDoNotCount) {
+  obs::setStatsEnabled(true);
+  TestCounter.reset();
+  obs::setStatsEnabled(false);
+  TestCounter.add(100);
+  TestGauge.set(100);
+  EXPECT_EQ(TestCounter.value(), 0u);
+  obs::setStatsEnabled(true);
+  TestCounter.add();
+  EXPECT_EQ(TestCounter.value(), 1u);
+}
+
+TEST(Stats, ResetZeroesEverything) {
+  obs::setStatsEnabled(true);
+  TestCounter.add(9);
+  obs::resetStats();
+  for (const obs::StatValue &SV : obs::snapshotStats())
+    EXPECT_EQ(SV.Value, 0u) << SV.Name;
+  EXPECT_TRUE(obs::snapshotStats(/*NonZeroOnly=*/true).empty());
+}
+
+TEST(Stats, SnapshotIsSortedAndFollowsNaming) {
+  std::vector<obs::StatValue> Snap = obs::snapshotStats();
+  ASSERT_GT(Snap.size(), 10u) << "pipeline instrumentation missing";
+  for (unsigned I = 1; I < Snap.size(); ++I)
+    EXPECT_LT(Snap[I - 1].Name, Snap[I].Name);
+  for (const obs::StatValue &SV : Snap) {
+    EXPECT_FALSE(SV.Desc.empty()) << SV.Name;
+    // <layer>.<module>.<what>: at least two dots, lower-case.
+    EXPECT_GE(std::count(SV.Name.begin(), SV.Name.end(), '.'), 2) << SV.Name;
+    for (char C : SV.Name)
+      EXPECT_TRUE((C >= 'a' && C <= 'z') || (C >= '0' && C <= '9') ||
+                  C == '.' || C == '_')
+          << SV.Name;
+  }
+}
+
+TEST(Stats, PipelineRunPopulatesCounters) {
+  obs::setStatsEnabled(true);
+  obs::resetStats();
+  MachineModel M = MachineModel::homogeneous(2, 3);
+  URSAResult R = runURSA(buildDAG(figure2Trace()), M);
+  ASSERT_GT(R.Rounds, 0u);
+  EXPECT_EQ(snapshotValueOf("ursa.driver.rounds"), R.Rounds);
+  EXPECT_GT(snapshotValueOf("ursa.measure.resources_measured"), 0u);
+  EXPECT_GT(snapshotValueOf("order.matching.matched_pairs"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON writer and parser
+//===----------------------------------------------------------------------===//
+
+TEST(Json, WriterEscapingRoundTrips) {
+  obs::JsonWriter W;
+  const std::string Nasty = "a\"b\\c\nd\te\x01z";
+  W.beginObject().kv("s", Nasty).key("arr").beginArray();
+  W.value(int64_t(-3)).value(2.5).value(true).null().endArray();
+  W.endObject();
+
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(W.str(), V, Err)) << Err;
+  const obs::JsonValue *S = V.find("s");
+  ASSERT_TRUE(S && S->isString());
+  EXPECT_EQ(S->Str, Nasty);
+  const obs::JsonValue *A = V.find("arr");
+  ASSERT_TRUE(A && A->isArray());
+  ASSERT_EQ(A->Arr.size(), 4u);
+  EXPECT_EQ(A->Arr[0].Num, -3);
+  EXPECT_EQ(A->Arr[1].Num, 2.5);
+  EXPECT_TRUE(A->Arr[2].B);
+  EXPECT_EQ(A->Arr[3].K, obs::JsonValue::Kind::Null);
+}
+
+TEST(Json, RawEmbedsVerbatim) {
+  obs::JsonWriter Inner;
+  Inner.beginObject().kv("x", 1).endObject();
+  obs::JsonWriter W;
+  W.beginArray().raw(Inner.str()).raw(Inner.str()).endArray();
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(W.str(), V, Err)) << Err;
+  ASSERT_EQ(V.Arr.size(), 2u);
+  EXPECT_EQ(V.Arr[1].find("x")->Num, 1);
+}
+
+TEST(Json, ParserRejectsGarbage) {
+  obs::JsonValue V;
+  std::string Err;
+  EXPECT_FALSE(obs::parseJson("{\"a\":}", V, Err));
+  EXPECT_FALSE(obs::parseJson("[1,2", V, Err));
+  EXPECT_FALSE(obs::parseJson("{} trailing", V, Err));
+  EXPECT_TRUE(obs::parseJson("  {\"a\": [1, 2]}  ", V, Err)) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Span tracer
+//===----------------------------------------------------------------------===//
+
+TEST(Tracer, SpansNestAndEmitWellFormedJson) {
+  obs::startTrace("obs_test_trace.json");
+  {
+    URSA_SPAN(Outer, "test.outer", "test");
+    {
+      URSA_SPAN(Inner, "test.inner", "test");
+    }
+  }
+  std::string Doc = obs::traceJson();
+  ASSERT_TRUE(obs::endTrace());
+  std::remove("obs_test_trace.json");
+
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(Doc, V, Err)) << Err;
+  const obs::JsonValue *Evs = V.find("traceEvents");
+  ASSERT_TRUE(Evs && Evs->isArray());
+  ASSERT_GE(Evs->Arr.size(), 2u);
+
+  const obs::JsonValue *Outer = nullptr, *Inner = nullptr;
+  for (const obs::JsonValue &E : Evs->Arr) {
+    for (const char *K : {"name", "cat", "ph", "ts", "dur", "pid", "tid"})
+      EXPECT_TRUE(E.find(K)) << "missing trace-event key " << K;
+    EXPECT_EQ(E.find("ph")->Str, "X");
+    if (E.find("name")->Str == "test.outer")
+      Outer = &E;
+    if (E.find("name")->Str == "test.inner")
+      Inner = &E;
+  }
+  ASSERT_TRUE(Outer && Inner);
+  // Inner is contained within outer on the timeline.
+  EXPECT_GE(Inner->find("ts")->Num, Outer->find("ts")->Num);
+  EXPECT_LE(Inner->find("ts")->Num + Inner->find("dur")->Num,
+            Outer->find("ts")->Num + Outer->find("dur")->Num);
+}
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(obs::traceEnabled());
+  { URSA_SPAN(S, "test.ignored", "test"); }
+  obs::startTrace("obs_test_trace2.json");
+  std::string Doc = obs::traceJson();
+  ASSERT_TRUE(obs::endTrace());
+  std::remove("obs_test_trace2.json");
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(Doc, V, Err)) << Err;
+  for (const obs::JsonValue &E : V.find("traceEvents")->Arr)
+    EXPECT_NE(E.find("name")->Str, "test.ignored");
+}
+
+TEST(Tracer, PipelineRunProducesPhaseSpans) {
+  obs::startTrace("obs_test_trace3.json");
+  MachineModel M = MachineModel::homogeneous(2, 3);
+  runURSA(buildDAG(figure2Trace()), M);
+  std::string Doc = obs::traceJson();
+  ASSERT_TRUE(obs::endTrace());
+  std::remove("obs_test_trace3.json");
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(Doc, V, Err)) << Err;
+  std::vector<std::string> Names;
+  for (const obs::JsonValue &E : V.find("traceEvents")->Arr)
+    Names.push_back(E.find("name")->Str);
+  auto Has = [&](const char *N) {
+    return std::find(Names.begin(), Names.end(), N) != Names.end();
+  };
+  EXPECT_TRUE(Has("ursa.allocate"));
+  EXPECT_TRUE(Has("ursa.measure"));
+}
+
+//===----------------------------------------------------------------------===//
+// JSON allocation report
+//===----------------------------------------------------------------------===//
+
+TEST(ReportJson, SchemaIsStableAndTelemetryMatches) {
+  obs::setStatsEnabled(true);
+  MachineModel M = MachineModel::homogeneous(2, 3);
+  DependenceDAG D0 = buildDAG(figure2Trace());
+  URSAResult R = runURSA(D0, M);
+  std::string Doc = formatAllocationReportJSON(D0, R, M);
+
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(Doc, V, Err)) << Err;
+  for (const char *K : {"schema", "machine", "requirements", "critical_path",
+                        "accounting", "stop_reasons", "round_log", "diags",
+                        "stats"})
+    EXPECT_TRUE(V.find(K)) << "missing report key " << K;
+  EXPECT_EQ(V.find("schema")->Str, "ursa.allocation_report.v1");
+
+  const obs::JsonValue *Acc = V.find("accounting");
+  ASSERT_TRUE(Acc && Acc->isObject());
+  EXPECT_EQ(uint64_t(Acc->find("rounds")->Num), R.Rounds);
+  EXPECT_EQ(Acc->find("within_limits")->B, R.WithinLimits);
+
+  const obs::JsonValue *RL = V.find("round_log");
+  ASSERT_TRUE(RL && RL->isArray());
+  ASSERT_EQ(RL->Arr.size(), R.Rounds);
+  for (unsigned I = 0; I != RL->Arr.size(); ++I) {
+    const obs::JsonValue &E = RL->Arr[I];
+    EXPECT_EQ(uint64_t(E.find("round")->Num), R.RoundLog[I].Round);
+    EXPECT_EQ(uint64_t(E.find("excess_before")->Num),
+              R.RoundLog[I].ExcessBefore);
+    EXPECT_EQ(uint64_t(E.find("excess_after")->Num),
+              R.RoundLog[I].ExcessAfter);
+  }
+
+  // Requirements: before >= after for every resource on a converged run.
+  for (const obs::JsonValue &Req : V.find("requirements")->Arr)
+    EXPECT_GE(Req.find("before")->Num, Req.find("after")->Num);
+
+  // The embedded stats snapshot is the non-zero form.
+  for (const auto &[Name, SV] : V.find("stats")->Obj)
+    EXPECT_GT(SV.Num, 0) << Name;
+}
+
+TEST(ReportJson, StopReasonsSurfaceInBothFormats) {
+  MachineModel M = MachineModel::homogeneous(2, 3);
+  URSAOptions UO;
+  UO.MaxRounds = 1;
+  DependenceDAG D0 = buildDAG(figure2Trace());
+  URSAResult R = runURSA(D0, M, UO);
+  ASSERT_FALSE(R.StopReasons.empty());
+
+  std::string Doc = formatAllocationReportJSON(D0, R, M);
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(Doc, V, Err)) << Err;
+  const obs::JsonValue *SR = V.find("stop_reasons");
+  ASSERT_TRUE(SR && SR->isArray());
+  ASSERT_EQ(SR->Arr.size(), R.StopReasons.size());
+  EXPECT_EQ(SR->Arr[0].Str, "max_rounds");
+
+  std::string Text = formatAllocationReport(D0, R, M);
+  EXPECT_NE(Text.find("max_rounds"), std::string::npos);
+}
