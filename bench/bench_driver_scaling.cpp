@@ -1,0 +1,210 @@
+//===- bench/bench_driver_scaling.cpp - Driver hot-loop scaling -----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end driver wall time across trace sizes, serial vs the drained
+// hot loop: "serial" is the pre-change driver (Threads=1, measurement
+// reuse off — every round rebuilds the round-start state and the sweep
+// tail re-measures up to five identical states), the other configs turn
+// on the fingerprint-keyed measurement cache and the proposal-evaluation
+// worker pool. Every config must produce an identical RoundLog and
+// FinalRequired — the bench aborts otherwise, so the numbers can never
+// come from diverging work.
+//
+// Two regimes show up deliberately: tight-machine tiers transform (a few
+// rounds, most time in tentative proposal evaluation, which threads
+// attack on multi-core hosts), and the largest tier is measurement-
+// dominated (traces that fit or nearly fit, the common production case,
+// where the cache collapses the rebuild tail). The headline number is
+// the largest tier's serial / parallel+cache speedup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "graph/DAGBuilder.h"
+#include "ursa/Driver.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+using namespace ursa;
+using namespace ursa::bench;
+
+namespace {
+
+struct RunOutcome {
+  double Ms = 0;
+  URSAResult Result;
+};
+
+RunOutcome timeDriver(const DependenceDAG &D, const MachineModel &M,
+                      unsigned Threads, bool Reuse) {
+  URSAOptions O;
+  O.Threads = Threads;
+  O.MeasurementReuse = Reuse;
+  auto T0 = std::chrono::steady_clock::now();
+  URSAResult R = runURSA(D, M, O);
+  auto T1 = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double, std::milli>(T1 - T0).count(),
+          std::move(R)};
+}
+
+bool sameRound(const RoundRecord &A, const RoundRecord &B) {
+  return A.Round == B.Round && A.Kind == B.Kind && A.Resource == B.Resource &&
+         A.Detail == B.Detail && A.ExcessBefore == B.ExcessBefore &&
+         A.ExcessAfter == B.ExcessAfter && A.CritPath == B.CritPath &&
+         A.EdgesAdded == B.EdgesAdded &&
+         A.SpillsInserted == B.SpillsInserted &&
+         A.ProposalsTried == B.ProposalsTried;
+}
+
+bool sameOutcome(const URSAResult &A, const URSAResult &B) {
+  if (A.FinalRequired != B.FinalRequired ||
+      A.RoundLog.size() != B.RoundLog.size() ||
+      A.WithinLimits != B.WithinLimits)
+    return false;
+  for (unsigned I = 0; I != A.RoundLog.size(); ++I)
+    if (!sameRound(A.RoundLog[I], B.RoundLog[I]))
+      return false;
+  return true;
+}
+
+struct Config {
+  const char *Name;
+  unsigned Threads;
+  bool Reuse;
+};
+
+constexpr Config Configs[] = {
+    {"serial", 1, false}, // pre-change driver: the baseline
+    {"serial+cache", 1, true},
+    {"threads4", 4, false},
+    {"threads4+cache", 4, true}, // the drained hot loop
+};
+
+struct Tier {
+  std::string Name;
+  unsigned NumInstrs;
+  std::vector<std::pair<DependenceDAG, MachineModel>> Runs;
+  double TotalMs[4] = {0, 0, 0, 0};
+  unsigned Rounds = 0;
+  unsigned Proposals = 0;
+};
+
+} // namespace
+
+int main() {
+  std::printf("driver hot-loop scaling: serial vs parallel+cached\n\n");
+
+  // Tight 3x8 tiers transform (1+ rounds each); the largest tier runs
+  // fitting traces on ample machines — measurement-dominated.
+  std::vector<Tier> Tiers;
+  for (unsigned NI : {100u, 200u, 400u}) {
+    Tier T;
+    T.Name = "transform_" + std::to_string(NI);
+    T.NumInstrs = NI;
+    for (uint64_t Seed : {3ull, 5ull, 7ull}) {
+      GenOptions G;
+      G.NumInstrs = NI;
+      G.Window = 16;
+      G.Seed = Seed;
+      DependenceDAG D = buildDAG(generateTrace(G));
+      T.Runs.emplace_back(D, MachineModel::homogeneous(3, 8));
+      T.Runs.emplace_back(std::move(D), MachineModel::homogeneous(4, 8));
+    }
+    Tiers.push_back(std::move(T));
+  }
+  {
+    Tier T;
+    T.Name = "measure_800";
+    T.NumInstrs = 800;
+    for (uint64_t Seed : {3ull, 5ull, 7ull}) {
+      GenOptions G;
+      G.NumInstrs = 800;
+      G.Window = 16;
+      G.Seed = Seed;
+      DependenceDAG D = buildDAG(generateTrace(G));
+      T.Runs.emplace_back(D, MachineModel::homogeneous(4, 8));
+      T.Runs.emplace_back(std::move(D), MachineModel::homogeneous(8, 16));
+    }
+    Tiers.push_back(std::move(T));
+  }
+
+  bool Deterministic = true;
+  for (Tier &T : Tiers) {
+    for (auto &[D, M] : T.Runs) {
+      URSAResult Ref{DependenceDAG(Trace("empty"))};
+      for (unsigned C = 0; C != 4; ++C) {
+        // Best of 2 repetitions per config, against allocator noise.
+        double Best = 0;
+        for (unsigned Rep = 0; Rep != 2; ++Rep) {
+          RunOutcome O = timeDriver(D, M, Configs[C].Threads,
+                                    Configs[C].Reuse);
+          Best = Rep == 0 ? O.Ms : std::min(Best, O.Ms);
+          if (C == 0 && Rep == 0) {
+            for (const RoundRecord &RR : O.Result.RoundLog)
+              T.Proposals += RR.ProposalsTried;
+            T.Rounds += O.Result.Rounds;
+            Ref = std::move(O.Result);
+          } else if (!sameOutcome(O.Result, Ref)) {
+            Deterministic = false;
+            std::fprintf(stderr, "DIVERGENCE: %s on %s tier\n",
+                         Configs[C].Name, T.Name.c_str());
+          }
+        }
+        T.TotalMs[C] += Best;
+      }
+    }
+  }
+
+  Table Tbl({"tier", "instrs", "rounds", "proposals", "serial ms",
+             "serial+cache ms", "threads4+cache ms", "speedup"});
+  for (Tier &T : Tiers)
+    Tbl.addRow({T.Name, Table::fmt(uint64_t(T.NumInstrs)),
+                Table::fmt(uint64_t(T.Rounds)),
+                Table::fmt(uint64_t(T.Proposals)),
+                Table::fmt(T.TotalMs[0], 1), Table::fmt(T.TotalMs[1], 1),
+                Table::fmt(T.TotalMs[3], 1),
+                Table::fmt(T.TotalMs[0] / T.TotalMs[3], 2) + "x"});
+  Tbl.print(std::cout);
+
+  const Tier &Largest = Tiers.back();
+  double LargestSpeedup = Largest.TotalMs[0] / Largest.TotalMs[3];
+  std::printf("\nlargest tier (%s): %.2fx serial -> threads4+cache, "
+              "results %s\n",
+              Largest.Name.c_str(), LargestSpeedup,
+              Deterministic ? "identical across all configs"
+                            : "DIVERGED (bug!)");
+
+  std::string Artifact =
+      writeBenchArtifact("driver_scaling", [&](obs::JsonWriter &W) {
+        W.beginObject();
+        W.kv("deterministic", Deterministic);
+        W.kv("largest_tier", Largest.Name);
+        W.kv("largest_tier_speedup", LargestSpeedup);
+        W.kv("largest_tier_speedup_ok", LargestSpeedup >= 2.0);
+        W.key("tiers").beginArray();
+        for (Tier &T : Tiers) {
+          W.beginObject();
+          W.kv("tier", T.Name);
+          W.kv("instrs", uint64_t(T.NumInstrs));
+          W.kv("traces", uint64_t(T.Runs.size()));
+          W.kv("rounds", uint64_t(T.Rounds));
+          W.kv("proposals_tried", uint64_t(T.Proposals));
+          for (unsigned C = 0; C != 4; ++C)
+            W.kv(std::string(Configs[C].Name) + "_ms", T.TotalMs[C]);
+          W.kv("speedup", T.TotalMs[0] / T.TotalMs[3]);
+          W.endObject();
+        }
+        W.endArray();
+        W.endObject();
+      });
+  if (!Artifact.empty())
+    std::printf("artifact: %s\n", Artifact.c_str());
+
+  return Deterministic && LargestSpeedup >= 2.0 ? 0 : 1;
+}

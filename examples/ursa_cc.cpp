@@ -28,6 +28,9 @@
 //   --guaranteed-fit      force residual excess to fit via the
 //                         sequentialize-and-spill fallback (URSA only)
 //   --time-budget MS      wall-clock budget for the allocation loop
+//   --threads N           worker threads for proposal evaluation in the
+//                         URSA driver (default: URSA_THREADS, else 1);
+//                         results are identical across thread counts
 //   --report              print the human-readable allocation report
 //   --report-json         print the machine-readable allocation report
 //                         (schema ursa.allocation_report.v1, or
@@ -105,6 +108,7 @@ struct Options {
   std::string Verify; ///< empty = keep the URSA_VERIFY default
   bool GuaranteedFit = false;
   unsigned TimeBudgetMs = 0;
+  unsigned Threads = 0; ///< 0 = URSA_THREADS default
   MemoryState Inputs;
 };
 
@@ -214,6 +218,11 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       if (!S)
         return false;
       O.TimeBudgetMs = unsigned(std::atoi(S));
+    } else if (A == "--threads") {
+      const char *S = Next();
+      if (!S || std::atoi(S) < 1)
+        return false;
+      O.Threads = unsigned(std::atoi(S));
     } else if (A.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
       return false;
@@ -303,6 +312,7 @@ int main(int Argc, char **Argv) {
     UO.Verify = parseVerifyLevel(O.Verify.c_str());
   UO.GuaranteedFit = O.GuaranteedFit;
   UO.TimeBudgetMs = O.TimeBudgetMs;
+  UO.Threads = O.Threads;
 
   bool IsCFG = Source.find("func ") != std::string::npos;
 

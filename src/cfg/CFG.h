@@ -46,8 +46,8 @@ struct BasicBlock {
   Trace Body;
   Terminator Term;
 
-  explicit BasicBlock(std::string Name = "bb")
-      : Name(Name), Body(std::move(Name)) {}
+  explicit BasicBlock(std::string BlockName = "bb")
+      : Name(BlockName), Body(std::move(BlockName)) {}
 };
 
 /// A function: blocks with block 0 as the entry.

@@ -45,7 +45,7 @@ public:
   static constexpr unsigned EntryNode = 0;
   static constexpr unsigned ExitNode = 1;
 
-  explicit DependenceDAG(Trace T) : T(std::move(T)) {
+  explicit DependenceDAG(Trace Tr) : T(std::move(Tr)) {
     Succs.resize(this->T.size() + 2);
     Preds.resize(this->T.size() + 2);
   }

@@ -96,9 +96,9 @@ HammockForest::HammockForest(const DependenceDAG &D, const DAGAnalysis &A) {
   ByDepth.resize(Hammocks.size());
   for (unsigned I = 0; I != ByDepth.size(); ++I)
     ByDepth[I] = I;
-  std::sort(ByDepth.begin(), ByDepth.end(), [&](unsigned A, unsigned B) {
-    if (Hammocks[A].Level != Hammocks[B].Level)
-      return Hammocks[A].Level > Hammocks[B].Level;
-    return A < B;
+  std::sort(ByDepth.begin(), ByDepth.end(), [&](unsigned X, unsigned Y) {
+    if (Hammocks[X].Level != Hammocks[Y].Level)
+      return Hammocks[X].Level > Hammocks[Y].Level;
+    return X < Y;
   });
 }

@@ -44,10 +44,10 @@ Instruction::str(const std::vector<std::string> *SymNames) const {
     std::snprintf(Buf, sizeof(Buf), "v%d", R);
     return std::string(Buf);
   };
-  auto Symbol = [&](int Sym) {
-    if (SymNames && Sym >= 0 && unsigned(Sym) < SymNames->size())
-      return (*SymNames)[Sym];
-    std::snprintf(Buf, sizeof(Buf), "@%d", Sym);
+  auto Symbol = [&](int SymId) {
+    if (SymNames && SymId >= 0 && unsigned(SymId) < SymNames->size())
+      return (*SymNames)[SymId];
+    std::snprintf(Buf, sizeof(Buf), "@%d", SymId);
     return std::string(Buf);
   };
 

@@ -79,7 +79,7 @@ bool opcodeByMnemonic(const std::string &Mnemonic, Opcode &Out);
 class Instruction {
 public:
   Instruction() = default;
-  explicit Instruction(Opcode Op) : Op(Op) {}
+  explicit Instruction(Opcode Opc) : Op(Opc) {}
 
   Opcode opcode() const { return Op; }
   const OpcodeInfo &info() const { return opcodeInfo(Op); }

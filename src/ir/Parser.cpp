@@ -19,7 +19,7 @@ namespace {
 /// Line-oriented parsing state.
 class ParserImpl {
 public:
-  ParserImpl(const std::string &Source, Trace &Out) : Source(Source), T(Out) {}
+  ParserImpl(const std::string &Src, Trace &Out) : Source(Src), T(Out) {}
 
   bool run(std::string &Err);
 

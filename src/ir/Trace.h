@@ -27,7 +27,7 @@ namespace ursa {
 /// A straight-line trace of instructions with its symbol tables.
 class Trace {
 public:
-  explicit Trace(std::string Name = "trace") : Name(std::move(Name)) {}
+  explicit Trace(std::string TraceName = "trace") : Name(std::move(TraceName)) {}
 
   const std::string &name() const { return Name; }
 

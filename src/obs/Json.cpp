@@ -172,7 +172,7 @@ namespace {
 
 class Parser {
 public:
-  Parser(std::string_view S, std::string &Err) : S(S), Err(Err) {}
+  Parser(std::string_view Text, std::string &ErrOut) : S(Text), Err(ErrOut) {}
 
   bool parse(JsonValue &Out) {
     skipWs();

@@ -47,8 +47,8 @@ void obs::setStatsEnabled(bool Enabled) {
   enabledFlag().store(Enabled, std::memory_order_relaxed);
 }
 
-Statistic::Statistic(const char *Name, const char *Desc)
-    : Name(Name), Desc(Desc) {
+Statistic::Statistic(const char *StatName, const char *StatDesc)
+    : Name(StatName), Desc(StatDesc) {
   Registry &R = registry();
   std::lock_guard<std::mutex> Lock(R.Mu);
   R.Stats.push_back(this);

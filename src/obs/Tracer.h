@@ -68,8 +68,8 @@ uint64_t traceNowUs();
 /// off.
 class Span {
 public:
-  explicit Span(const char *Name, const char *Cat = "ursa")
-      : Name(Name), Cat(Cat), Active(traceEnabled()) {
+  explicit Span(const char *SpanName, const char *SpanCat = "ursa")
+      : Name(SpanName), Cat(SpanCat), Active(traceEnabled()) {
     if (Active)
       StartUs = traceNowUs();
   }

@@ -25,20 +25,49 @@ IncrementalMatcher::IncrementalMatcher(unsigned NumVertices)
     : N(NumVertices), Adj(NumVertices) {
   Res.MatchOfLeft.assign(N, -1);
   Res.MatchOfRight.assign(N, -1);
+  VisitedEpoch.assign(N, 0);
 }
 
-bool IncrementalMatcher::tryAugment(unsigned Left,
-                                    std::vector<uint8_t> &Visited) {
-  for (unsigned Right : Adj[Left]) {
-    if (Visited[Right])
+bool IncrementalMatcher::tryAugment(unsigned Root) {
+  // Fresh epoch == all marks cleared. On (unsigned) wraparound the stale
+  // array could alias epoch 1 again, so reset it explicitly.
+  if (++CurEpoch == 0) {
+    std::fill(VisitedEpoch.begin(), VisitedEpoch.end(), 0u);
+    CurEpoch = 1;
+  }
+
+  // Iterative DFS, visiting rights in exactly the order the recursive
+  // formulation did so the resulting matching is identical: try each
+  // right of Left in Adj order; a free right ends the search, a matched
+  // right descends into its current partner.
+  Stack.clear();
+  Stack.push_back({Root, 0, 0});
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    if (F.NextEdge == Adj[F.Left].size()) {
+      // Dead end; the parent frame resumes with its next edge.
+      Stack.pop_back();
       continue;
-    Visited[Right] = 1;
-    int Other = Res.MatchOfRight[Right];
-    if (Other < 0 || tryAugment(unsigned(Other), Visited)) {
-      Res.MatchOfLeft[Left] = int(Right);
-      Res.MatchOfRight[Right] = int(Left);
-      return true;
     }
+    unsigned Right = Adj[F.Left][F.NextEdge++];
+    if (VisitedEpoch[Right] == CurEpoch)
+      continue;
+    VisitedEpoch[Right] = CurEpoch;
+    int Other = Res.MatchOfRight[Right];
+    if (Other >= 0) {
+      F.TakenRight = Right;
+      Stack.push_back({unsigned(Other), 0, 0});
+      continue;
+    }
+    // Free right: flip matches along the whole stack (the recursive
+    // unwind), deepest frame taking the free right.
+    Res.MatchOfLeft[F.Left] = int(Right);
+    Res.MatchOfRight[Right] = int(F.Left);
+    for (unsigned D = unsigned(Stack.size()) - 1; D-- > 0;) {
+      Res.MatchOfLeft[Stack[D].Left] = int(Stack[D].TakenRight);
+      Res.MatchOfRight[Stack[D].TakenRight] = int(Stack[D].Left);
+    }
+    return true;
   }
   return false;
 }
@@ -52,12 +81,10 @@ void IncrementalMatcher::addBatchAndAugment(
   // Re-augment every unmatched left vertex; matched vertices stay matched
   // (augmenting paths only extend the matching), which is what makes the
   // batch priorities sticky.
-  std::vector<uint8_t> Visited(N, 0);
   for (unsigned L = 0; L != N; ++L) {
     if (Res.MatchOfLeft[L] >= 0 || Adj[L].empty())
       continue;
-    std::fill(Visited.begin(), Visited.end(), 0);
-    if (tryAugment(L, Visited)) {
+    if (tryAugment(L)) {
       ++Res.Size;
       StatAugmentingPaths.add();
       StatMatchedPairs.add();
@@ -101,24 +128,50 @@ ursa::hopcroftKarp(unsigned N, const std::vector<std::vector<unsigned>> &Adj) {
     return FoundFree;
   };
 
-  // Recursive DFS along layered structure.
-  auto Dfs = [&](auto &&Self, unsigned L) -> bool {
-    for (unsigned R : Adj[L]) {
-      int L2 = Res.MatchOfRight[R];
-      if (L2 < 0 || (Dist[L2] == Dist[L] + 1 && Self(Self, unsigned(L2)))) {
-        Res.MatchOfLeft[L] = int(R);
-        Res.MatchOfRight[R] = int(L);
-        return true;
+  // DFS along the layered structure — explicit stack; the recursive
+  // version overflowed on deep-chain graphs whose augmenting paths
+  // traverse most of the vertex set.
+  struct Frame {
+    unsigned L;
+    unsigned NextEdge;
+    unsigned TakenRight;
+  };
+  std::vector<Frame> Stack;
+  auto Dfs = [&](unsigned Root) -> bool {
+    Stack.clear();
+    Stack.push_back({Root, 0, 0});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.NextEdge == Adj[F.L].size()) {
+        Dist[F.L] = Inf;
+        Stack.pop_back();
+        continue;
       }
+      unsigned R = Adj[F.L][F.NextEdge++];
+      int L2 = Res.MatchOfRight[R];
+      if (L2 >= 0) {
+        if (Dist[unsigned(L2)] == Dist[F.L] + 1) {
+          F.TakenRight = R;
+          Stack.push_back({unsigned(L2), 0, 0});
+        }
+        continue;
+      }
+      // Free right: augment along the stack.
+      Res.MatchOfLeft[F.L] = int(R);
+      Res.MatchOfRight[R] = int(F.L);
+      for (unsigned D = unsigned(Stack.size()) - 1; D-- > 0;) {
+        Res.MatchOfLeft[Stack[D].L] = int(Stack[D].TakenRight);
+        Res.MatchOfRight[Stack[D].TakenRight] = int(Stack[D].L);
+      }
+      return true;
     }
-    Dist[L] = Inf;
     return false;
   };
 
   while (Bfs()) {
     StatHKPhases.add();
     for (unsigned L = 0; L != N; ++L)
-      if (Res.MatchOfLeft[L] < 0 && Dfs(Dfs, L)) {
+      if (Res.MatchOfLeft[L] < 0 && Dfs(L)) {
         ++Res.Size;
         StatAugmentingPaths.add();
         StatMatchedPairs.add();

@@ -51,11 +51,28 @@ public:
   const MatchingResult &result() const { return Res; }
 
 private:
-  bool tryAugment(unsigned Left, std::vector<uint8_t> &Visited);
+  bool tryAugment(unsigned Left);
 
   unsigned N;
   std::vector<std::vector<unsigned>> Adj;
   MatchingResult Res;
+
+  /// Visited marks as epochs: VisitedEpoch[R] == CurEpoch means "seen in
+  /// the current augmenting search". Bumping CurEpoch clears all marks in
+  /// O(1), instead of the O(V) std::fill per attempted augment that made
+  /// a batch O(V^2) even on sparse relations.
+  std::vector<unsigned> VisitedEpoch;
+  unsigned CurEpoch = 0;
+
+  /// Explicit DFS stack (kept across calls to avoid reallocation). The
+  /// recursive formulation overflows the stack on production-size traces:
+  /// one augmenting path through a k-node chain recurses k deep.
+  struct Frame {
+    unsigned Left;     ///< left vertex this frame explores
+    unsigned NextEdge; ///< next index into Adj[Left] to try
+    unsigned TakenRight; ///< right vertex the frame descended through
+  };
+  std::vector<Frame> Stack;
 };
 
 /// One-shot Hopcroft-Karp over a fixed edge set.

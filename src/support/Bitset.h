@@ -25,8 +25,8 @@ namespace ursa {
 class Bitset {
 public:
   Bitset() = default;
-  explicit Bitset(unsigned NumBits)
-      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+  explicit Bitset(unsigned Bits)
+      : NumBits(Bits), Words((Bits + 63) / 64, 0) {}
 
   unsigned size() const { return NumBits; }
 
@@ -134,7 +134,7 @@ private:
 class BitMatrix {
 public:
   BitMatrix() = default;
-  explicit BitMatrix(unsigned N) : N(N), Rows(N, Bitset(N)) {}
+  explicit BitMatrix(unsigned Size) : N(Size), Rows(Size, Bitset(Size)) {}
 
   unsigned size() const { return N; }
 

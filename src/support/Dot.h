@@ -22,7 +22,7 @@ namespace ursa {
 /// Collects nodes and edges, then renders a `digraph`.
 class DotWriter {
 public:
-  explicit DotWriter(std::string GraphName) : GraphName(std::move(GraphName)) {}
+  explicit DotWriter(std::string Name) : GraphName(std::move(Name)) {}
 
   /// Declares node \p Id with display \p Label; optional DOT \p Attrs like
   /// "shape=box".

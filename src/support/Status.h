@@ -101,8 +101,8 @@ private:
 /// A value or the Status explaining why there is none.
 template <typename T> class StatusOr {
 public:
-  StatusOr(T V) : V(std::move(V)) {}
-  StatusOr(Status S) : S(std::move(S)) {
+  StatusOr(T Val) : V(std::move(Val)) {}
+  StatusOr(Status St) : S(std::move(St)) {
     assert(!this->S.isOk() && "StatusOr from an ok Status carries no value");
   }
 

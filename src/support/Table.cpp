@@ -11,7 +11,7 @@
 
 using namespace ursa;
 
-Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+Table::Table(std::vector<std::string> Cols) : Header(std::move(Cols)) {}
 
 void Table::addRow(std::vector<std::string> Cells) {
   assert(Cells.size() == Header.size() && "row arity mismatch");

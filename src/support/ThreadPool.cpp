@@ -1,0 +1,111 @@
+//===- support/ThreadPool.cpp - Minimal blocking thread pool --------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+
+using namespace ursa;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads < 1)
+    Threads = 1;
+  Workers.reserve(Threads - 1);
+  for (unsigned I = 1; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+unsigned ThreadPool::defaultThreads() {
+  const char *Env = std::getenv("URSA_THREADS");
+  if (!Env || !*Env)
+    return 1;
+  long N = std::strtol(Env, nullptr, 10);
+  return N > 0 ? unsigned(N) : 1;
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    WorkReady.wait(Lock, [&] {
+      return ShuttingDown || (Fn && Generation != SeenGeneration);
+    });
+    if (ShuttingDown)
+      return;
+    SeenGeneration = Generation;
+    while (Next < Count) {
+      size_t I = Next++;
+      Lock.unlock();
+      try {
+        (*Fn)(I);
+      } catch (...) {
+        Lock.lock();
+        if (!FirstError)
+          FirstError = std::current_exception();
+        Lock.unlock();
+      }
+      Lock.lock();
+      if (--Remaining == 0)
+        BatchDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (Workers.empty()) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+
+  std::unique_lock<std::mutex> Lock(Mu);
+  Fn = &Body;
+  Count = N;
+  Next = 0;
+  Remaining = N;
+  FirstError = nullptr;
+  ++Generation;
+  Lock.unlock();
+  WorkReady.notify_all();
+
+  // The caller works the same queue, then waits out stragglers.
+  Lock.lock();
+  while (Next < Count) {
+    size_t I = Next++;
+    Lock.unlock();
+    try {
+      Body(I);
+    } catch (...) {
+      Lock.lock();
+      if (!FirstError)
+        FirstError = std::current_exception();
+      Lock.unlock();
+    }
+    Lock.lock();
+    if (--Remaining == 0)
+      BatchDone.notify_all();
+  }
+  BatchDone.wait(Lock, [&] { return Remaining == 0; });
+  Fn = nullptr;
+  std::exception_ptr Err = FirstError;
+  FirstError = nullptr;
+  Lock.unlock();
+  if (Err)
+    std::rethrow_exception(Err);
+}

@@ -1,0 +1,82 @@
+//===- support/ThreadPool.h - Minimal blocking thread pool ------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool with one operation: a blocking
+/// parallelFor over an index range. The calling thread participates in
+/// the work, so a pool of size N uses N-1 workers and `ThreadPool(1)`
+/// spawns no threads at all — the serial path stays exactly serial,
+/// which is what lets URSA_THREADS=1 reproduce single-threaded behavior
+/// bit for bit (see docs/PERFORMANCE.md).
+///
+/// Tasks must be independent: indices are handed out through one atomic
+/// counter, in no particular order, and parallelFor returns only after
+/// every index has been processed. The first exception thrown by any
+/// task is captured and rethrown on the calling thread once the batch
+/// drains; remaining indices still run (they may be mid-flight on other
+/// workers and results must stay deterministic for the reduction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SUPPORT_THREADPOOL_H
+#define URSA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ursa {
+
+class ThreadPool {
+public:
+  /// Creates a pool of total concurrency \p Threads (clamped to at least
+  /// 1). The calling thread counts toward the total, so Threads - 1
+  /// workers are spawned.
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total concurrency (workers + the calling thread).
+  unsigned numThreads() const { return unsigned(Workers.size()) + 1; }
+
+  /// Runs Fn(I) for every I in [0, Count), blocking until all complete.
+  /// The caller participates; with no workers this is a plain loop.
+  void parallelFor(size_t Count, const std::function<void(size_t)> &Fn);
+
+  /// The thread count URSAOptions::Threads == 0 resolves to: the
+  /// URSA_THREADS environment variable when set to a positive integer,
+  /// otherwise 1 (serial). Deliberately not hardware_concurrency() —
+  /// threading is opt-in so results stay reproducible by default.
+  static unsigned defaultThreads();
+
+private:
+  void workerLoop();
+
+  // One batch of work, guarded by Mu. Generation increments per batch so
+  // sleeping workers can tell a new batch from a spurious wake.
+  std::mutex Mu;
+  std::condition_variable WorkReady;
+  std::condition_variable BatchDone;
+  const std::function<void(size_t)> *Fn = nullptr;
+  size_t Count = 0;
+  size_t Next = 0;      ///< next index to hand out
+  size_t Remaining = 0; ///< indices not yet finished
+  uint64_t Generation = 0;
+  std::exception_ptr FirstError;
+  bool ShuttingDown = false;
+
+  std::vector<std::thread> Workers;
+};
+
+} // namespace ursa
+
+#endif // URSA_SUPPORT_THREADPOOL_H

@@ -10,6 +10,7 @@
 #include "obs/Stats.h"
 #include "obs/Tracer.h"
 #include "sched/RegAssign.h"
+#include "support/ThreadPool.h"
 #include "ursa/FaultInjector.h"
 
 #include <algorithm>
@@ -39,6 +40,12 @@ URSA_STAT(StatKeptRegSeq, "ursa.transforms.kept.reg_seq",
           "register-sequencing transforms kept");
 URSA_STAT(StatKeptSpill, "ursa.transforms.kept.spill",
           "spill transforms kept");
+URSA_STAT(StatMeasureCacheHits, "ursa.driver.measure_cache.hits",
+          "full-state measurements reused via the fingerprint cache");
+URSA_STAT(StatMeasureCacheMisses, "ursa.driver.measure_cache.misses",
+          "full-state measurements built (fingerprint cache misses)");
+URSA_STAT(StatParallelEvalBatches, "ursa.driver.parallel_eval_batches",
+          "proposal-evaluation rounds fanned out to the thread pool");
 
 namespace {
 
@@ -104,6 +111,60 @@ const char *evalSpanName(TransformProposal::KindT K) {
   }
   return "eval";
 }
+
+/// Tiny MRU cache of measured states keyed on dagFingerprint. The driver
+/// rebuilds the *same* state repeatedly — the winning proposal's
+/// remeasure becomes the next round's start state, which becomes the
+/// sweep-end check and finally the pre-fallback and final accounting —
+/// so a few entries capture nearly all reuse. States are self-contained
+/// snapshots (no references into the DAG they were measured from), which
+/// is what makes handing a scratch-copy measurement to later rounds
+/// sound. Keys are 64-bit content hashes; a collision would resurrect a
+/// stale measurement, which the phase-boundary verifier would flag.
+class MeasureCache {
+public:
+  explicit MeasureCache(bool EnabledIn) : Enabled(EnabledIn) {}
+
+  /// The measured state for \p D's current content, built on miss.
+  std::shared_ptr<const State> get(const DependenceDAG &D,
+                                   const MachineModel &M,
+                                   const MeasureOptions &MO) {
+    if (!Enabled)
+      return std::make_shared<State>(D, M, MO);
+    uint64_t Fp = dagFingerprint(D);
+    for (unsigned I = 0; I != Entries.size(); ++I) {
+      if (Entries[I].first == Fp) {
+        StatMeasureCacheHits.add();
+        auto E = Entries[I];
+        Entries.erase(Entries.begin() + I);
+        Entries.insert(Entries.begin(), E);
+        return E.second;
+      }
+    }
+    StatMeasureCacheMisses.add();
+    auto S = std::make_shared<const State>(D, M, MO);
+    insert(Fp, S);
+    return S;
+  }
+
+  /// Adopts an already-built measurement (a proposal evaluation's) under
+  /// its fingerprint.
+  void insert(uint64_t Fp, std::shared_ptr<const State> S) {
+    if (!Enabled)
+      return;
+    for (const auto &E : Entries)
+      if (E.first == Fp)
+        return;
+    Entries.insert(Entries.begin(), {Fp, std::move(S)});
+    if (Entries.size() > Capacity)
+      Entries.pop_back();
+  }
+
+private:
+  static constexpr unsigned Capacity = 4;
+  bool Enabled;
+  std::vector<std::pair<uint64_t, std::shared_ptr<const State>>> Entries;
+};
 
 } // namespace
 
@@ -187,14 +248,16 @@ static unsigned sequentializeTotally(DependenceDAG &D) {
 /// collapses below the candidacy threshold, and reload-defined values are
 /// never candidates.
 static void guaranteedFitFallback(URSAResult &R, const MachineModel &M,
-                                  const MeasureOptions &MO) {
+                                  const MeasureOptions &MO,
+                                  MeasureCache &Cache) {
   URSA_SPAN(FallbackSpan, "ursa.fallback", "driver");
   StatFallbacks.add();
   R.FallbackUsed = true;
   R.SeqEdgesAdded += sequentializeTotally(R.DAG);
   unsigned MaxIter = R.DAG.trace().numVRegs() + 4;
   for (unsigned Iter = 0; Iter != MaxIter; ++Iter) {
-    State S(R.DAG, M, MO);
+    std::shared_ptr<const State> SP = Cache.get(R.DAG, M, MO);
+    const State &S = *SP;
     if (S.TotalExcess == 0)
       return;
     const Trace &T = R.DAG.trace();
@@ -270,6 +333,17 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
     }
   }
 
+  // The proposal-evaluation pool and the measurement cache live for the
+  // whole run. Threads == 1 spawns no workers and evaluates inline, so
+  // serial behavior is always recoverable (URSA_THREADS=1), including
+  // under fault injection.
+  unsigned NumThreads =
+      Opts.Threads ? Opts.Threads : ThreadPool::defaultThreads();
+  std::unique_ptr<ThreadPool> Pool;
+  if (NumThreads > 1)
+    Pool = std::make_unique<ThreadPool>(NumThreads);
+  MeasureCache Cache(Opts.MeasurementReuse);
+
   auto StartTime = std::chrono::steady_clock::now();
   enum class BudgetTrip { None, TotalRounds, Time };
   auto BudgetExceeded = [&]() {
@@ -303,9 +377,9 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
 
   unsigned PrevSweepExcess;
   {
-    State S0(R.DAG, M, Opts.Measure);
-    R.CritPathBefore = S0.CritPath;
-    PrevSweepExcess = S0.TotalExcess;
+    std::shared_ptr<const State> S0 = Cache.get(R.DAG, M, Opts.Measure);
+    R.CritPathBefore = S0->CritPath;
+    PrevSweepExcess = S0->TotalExcess;
   }
 
   // Outer fixpoint: a register round can disturb the functional-unit
@@ -361,7 +435,8 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
         }
       }
       auto RoundStart = std::chrono::steady_clock::now();
-      State S(R.DAG, M, Opts.Measure);
+      std::shared_ptr<const State> SP = Cache.get(R.DAG, M, Opts.Measure);
+      const State &S = *SP;
       std::vector<TransformProposal> Props =
           collectProposals(R.DAG, S, DoRegs, DoFUs, Opts);
       if (Props.empty()) {
@@ -370,25 +445,52 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
       }
       StatProposalsTried.add(Props.size());
 
-      // Tentatively apply each proposal and keep the best
-      // never-worsening one (paper Section 5).
-      int Best = -1;
-      Score BestScore{~0u, 0, ~0u, ~0u, ~0u, ~0u};
-      for (unsigned I = 0; I != Props.size(); ++I) {
+      // Tentatively apply each proposal to its own scratch copy and
+      // remeasure — the hot loop. Evaluations are independent (pure
+      // functions of R.DAG + the proposal; stats are relaxed atomics and
+      // spans are scoped per task behind a mutex-guarded buffer), so they
+      // fan out across the pool. Scoring happens inside the task; the
+      // pick happens in a serial reduction below, in proposal order, so
+      // the chosen Best is bit-identical to the serial evaluation.
+      struct Eval {
+        Score Sc{~0u, 0, ~0u, ~0u, ~0u, ~0u};
+        uint64_t Fp = 0; ///< fingerprint of the transformed scratch DAG
+        std::shared_ptr<const State> SS;
+      };
+      std::vector<Eval> Evals(Props.size());
+      auto EvalOne = [&](size_t I) {
         URSA_SPAN(EvalSpan, evalSpanName(Props[I].Kind), "transform");
         DependenceDAG Scratch = R.DAG;
         applyTransform(Scratch, Props[I]);
-        State SS(Scratch, M, Opts.Measure);
+        auto SS = std::make_shared<const State>(Scratch, M, Opts.Measure);
         bool IsSpill = Props[I].Kind == TransformProposal::Spill;
-        unsigned Cost = (SS.CritPath > S.CritPath ? SS.CritPath - S.CritPath
-                                                  : 0) +
-                        (IsSpill ? 2 : 0); // store+reload occupy FU slots
-        Score Sc{SS.TotalExcess,
-                 S.TotalExcess - std::min(S.TotalExcess, SS.TotalExcess),
-                 Cost,
-                 SS.CritPath,
-                 IsSpill ? 1u : 0u,
-                 unsigned(Props[I].SeqEdges.size())};
+        unsigned Cost =
+            (SS->CritPath > S.CritPath ? SS->CritPath - S.CritPath : 0) +
+            (IsSpill ? 2 : 0); // store+reload occupy FU slots
+        Evals[I].Sc =
+            Score{SS->TotalExcess,
+                  S.TotalExcess - std::min(S.TotalExcess, SS->TotalExcess),
+                  Cost,
+                  SS->CritPath,
+                  IsSpill ? 1u : 0u,
+                  unsigned(Props[I].SeqEdges.size())};
+        if (Opts.MeasurementReuse)
+          Evals[I].Fp = dagFingerprint(Scratch);
+        Evals[I].SS = std::move(SS);
+      };
+      if (Pool && Props.size() > 1) {
+        StatParallelEvalBatches.add();
+        Pool->parallelFor(Props.size(), EvalOne);
+      } else {
+        for (size_t I = 0; I != Props.size(); ++I)
+          EvalOne(I);
+      }
+
+      // Keep the best never-worsening proposal (paper Section 5).
+      int Best = -1;
+      Score BestScore{~0u, 0, ~0u, ~0u, ~0u, ~0u};
+      for (unsigned I = 0; I != Props.size(); ++I) {
+        const Score &Sc = Evals[I].Sc;
         if (Sc.TotalExcess <= S.TotalExcess && Sc < BestScore) {
           BestScore = Sc;
           Best = int(I);
@@ -424,6 +526,14 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
             1, Props[Best].SeqEdges.size())); // claimed, never applied
       else
         ASt = applyTransform(R.DAG, Props[Best]);
+      // Adopt the winner's remeasure: applying the same proposal to
+      // R.DAG reproduces the scratch copy bit for bit, so the next
+      // round's start state (and the sweep-end/final accounting) comes
+      // from the cache instead of an O(n^2) rebuild. The fingerprint
+      // guard keeps a faked apply (FalseProgress injection) or a
+      // non-reproducing transform from planting a wrong entry.
+      if (Opts.MeasurementReuse && dagFingerprint(R.DAG) == Evals[Best].Fp)
+        Cache.insert(Evals[Best].Fp, Evals[Best].SS);
       R.SeqEdgesAdded += ASt.EdgesAdded;
       R.SpillsInserted += ASt.SpillsInserted;
       ++R.Rounds;
@@ -484,8 +594,8 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
     if (!Bail && VerifyOn) {
       Status St = verifyDAGStructure(R.DAG);
       if (St.isOk() && VerifyFull) {
-        State PB(R.DAG, M, Opts.Measure);
-        St.merge(verifyMeasurements(PB.Meas));
+        std::shared_ptr<const State> PB = Cache.get(R.DAG, M, Opts.Measure);
+        St.merge(verifyMeasurements(PB->Meas));
       }
       if (!St.isOk()) {
         FailVerify(St);
@@ -497,13 +607,13 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
     break;
 
   {
-    State Check(R.DAG, M, Opts.Measure);
-    if (Check.TotalExcess == 0 || R.Rounds == RoundsAtSweepStart)
+    std::shared_ptr<const State> Check = Cache.get(R.DAG, M, Opts.Measure);
+    if (Check->TotalExcess == 0 || R.Rounds == RoundsAtSweepStart)
       break;
     // Livelock detection: sweeps that keep applying transforms without
     // reducing the total excess will not converge; two in a row and the
     // residual goes to the assignment phase (or the fallback) instead.
-    if (Check.TotalExcess >= PrevSweepExcess) {
+    if (Check->TotalExcess >= PrevSweepExcess) {
       if (++StaleSweeps >= 2) {
         R.LivelockDetected = true;
         AddStop("livelock", StatStopLivelock);
@@ -515,7 +625,7 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
     } else {
       StaleSweeps = 0;
     }
-    PrevSweepExcess = Check.TotalExcess;
+    PrevSweepExcess = Check->TotalExcess;
   }
   }
 
@@ -524,18 +634,18 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
     return R;
 
   if (Opts.GuaranteedFit) {
-    State Pre(R.DAG, M, Opts.Measure);
-    if (Pre.TotalExcess > 0) {
+    std::shared_ptr<const State> Pre = Cache.get(R.DAG, M, Opts.Measure);
+    if (Pre->TotalExcess > 0) {
       AddDiag(Severity::Note, "guaranteed-fit fallback: sequentializing "
                               "and spilling the residual excess");
-      guaranteedFitFallback(R, M, Opts.Measure);
+      guaranteedFitFallback(R, M, Opts.Measure, Cache);
     }
   }
 
-  State Final(R.DAG, M, Opts.Measure);
-  R.CritPathAfter = Final.CritPath;
-  R.WithinLimits = Final.TotalExcess == 0;
-  for (const Measurement &Ms : Final.Meas)
+  std::shared_ptr<const State> Final = Cache.get(R.DAG, M, Opts.Measure);
+  R.CritPathAfter = Final->CritPath;
+  R.WithinLimits = Final->TotalExcess == 0;
+  for (const Measurement &Ms : Final->Meas)
     R.FinalRequired.push_back(Ms.MaxRequired);
   return R;
 }

@@ -45,6 +45,19 @@ enum class PhaseOrdering {
 struct URSAOptions {
   PhaseOrdering Order = PhaseOrdering::RegistersFirst;
   MeasureOptions Measure;
+  /// Worker threads for the tentative apply+remeasure of each round's
+  /// proposals (the driver's hot loop). 0 resolves through URSA_THREADS
+  /// (default 1 = serial). Results are deterministic and bit-identical
+  /// across thread counts: proposals are scored independently and reduced
+  /// in proposal order, so Threads=1 always reproduces any parallel run.
+  unsigned Threads = 0;
+  /// Reuse measurements between identical DAG states (keyed on
+  /// dagFingerprint): the round-start state, the winning proposal's
+  /// remeasure, the sweep-end check, and the pre-fallback/final
+  /// accounting share one build instead of five. Off = always rebuild
+  /// (the pre-cache behavior, kept for benchmarking and as an escape
+  /// hatch).
+  bool MeasurementReuse = true;
   /// Safety valve; each round must reduce total excess, so this is
   /// rarely reached.
   unsigned MaxRounds = 128;

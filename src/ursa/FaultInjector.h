@@ -44,9 +44,9 @@ enum class FaultKind {
 
 class FaultInjector {
 public:
-  explicit FaultInjector(FaultKind Kind, uint64_t Seed = 1,
+  explicit FaultInjector(FaultKind K, uint64_t Seed = 1,
                          unsigned FireAtRound = 0)
-      : Kind(Kind), FireAt(FireAtRound), Rng(Seed) {}
+      : Kind(K), FireAt(FireAtRound), Rng(Seed) {}
 
   FaultKind kind() const { return Kind; }
   bool fired() const { return Fired; }

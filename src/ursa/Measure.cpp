@@ -10,6 +10,7 @@
 #include "obs/Tracer.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace ursa;
 
@@ -85,8 +86,8 @@ Measurement ursa::measureResource(const DependenceDAG &D, const DAGAnalysis &A,
   StatChains.add(M.Chains.width());
   if (obs::statsEnabled()) {
     uint64_t Pairs = 0;
-    for (unsigned A : M.Reuse.Active)
-      Pairs += M.Reuse.Rel.row(A).count(); // word-parallel popcount
+    for (unsigned Node : M.Reuse.Active)
+      Pairs += M.Reuse.Rel.row(Node).count(); // word-parallel popcount
     StatReuseRelPairs.add(Pairs);
   }
   return M;
@@ -201,8 +202,13 @@ ursa::findExcessiveSets(const Measurement &Meas, const DAGAnalysis &A,
       // Trimming degenerated although the witness proves excess (heads
       // or tails were all related in the relation); fall back to the
       // untrimmed projection so the witness-based transforms still fire.
+      // Copy first, then move: both fields must end up with the full
+      // untrimmed projection (a move before the copy would leave one of
+      // them reading a moved-from vector).
       E.Subchains = Untrimmed;
       E.FullChains = std::move(Untrimmed);
+      assert(E.Subchains == E.FullChains &&
+             "fallback must expose identical sub- and full chains");
     }
     E.Witness = std::move(Witness);
     Out.push_back(std::move(E));

@@ -32,7 +32,7 @@ namespace {
 /// proposal builders use it to keep multi-edge proposals acyclic.
 class IncrementalReach {
 public:
-  explicit IncrementalReach(const DAGAnalysis &A) : A(A) {}
+  explicit IncrementalReach(const DAGAnalysis &Analysis) : A(Analysis) {}
 
   bool reaches(unsigned From, unsigned To) const {
     if (From == To)

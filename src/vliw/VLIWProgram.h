@@ -42,10 +42,10 @@ struct VLIWWord {
 /// A compiled straight-line VLIW program.
 class VLIWProgram {
 public:
-  VLIWProgram(MachineModel M, std::vector<std::string> SymNames,
-              unsigned NumSpillSlots)
-      : M(std::move(M)), SymNames(std::move(SymNames)),
-        NumSpillSlots(NumSpillSlots) {}
+  VLIWProgram(MachineModel Machine, std::vector<std::string> Syms,
+              unsigned SpillSlots)
+      : M(std::move(Machine)), SymNames(std::move(Syms)),
+        NumSpillSlots(SpillSlots) {}
 
   const MachineModel &machine() const { return M; }
   const std::vector<std::string> &symbolNames() const { return SymNames; }

@@ -20,8 +20,8 @@ namespace {
 /// tracked until something consumes it; leftovers fold into the outputs.
 class GenState {
 public:
-  GenState(Trace &T, RNG &Rng, const GenOptions &Opts)
-      : T(T), Rng(Rng), Opts(Opts) {}
+  GenState(Trace &Out, RNG &R, const GenOptions &O)
+      : T(Out), Rng(R), Opts(O) {}
 
   void loadInputs() {
     for (unsigned I = 0; I != std::max(1u, Opts.NumInputs); ++I) {

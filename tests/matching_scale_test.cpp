@@ -1,0 +1,306 @@
+//===- tests/matching_scale_test.cpp - Iterative matcher equivalence ------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The matching engines were converted from recursive DFS to explicit-stack
+// iterative form (an augmenting path through a k-node chain recursed k
+// deep and overflowed the thread stack on production-size traces). These
+// tests pin the iterative engines against reference implementations of
+// the old recursive code — the conversion is only correct if it visits
+// rights in exactly the recursive order, making the resulting matchings
+// bit-identical — and exercise the deep-chain shapes the recursion could
+// not survive.
+//
+//===----------------------------------------------------------------------===//
+
+#include "order/Chains.h"
+#include "order/Matching.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+
+using namespace ursa;
+
+namespace {
+
+/// The pre-conversion recursive Kuhn matcher, verbatim semantics: a
+/// Visited byte array refilled per augment attempt and recursion into the
+/// matched partner of each taken right. Small inputs only.
+class RecursiveRefMatcher {
+public:
+  explicit RecursiveRefMatcher(unsigned NumVertices)
+      : N(NumVertices), Adj(NumVertices) {
+    Res.MatchOfLeft.assign(N, -1);
+    Res.MatchOfRight.assign(N, -1);
+  }
+
+  void addBatchAndAugment(
+      const std::vector<std::pair<unsigned, unsigned>> &Edges) {
+    for (auto [L, R] : Edges)
+      Adj[L].push_back(R);
+    std::vector<uint8_t> Visited(N, 0);
+    for (unsigned L = 0; L != N; ++L) {
+      if (Res.MatchOfLeft[L] >= 0 || Adj[L].empty())
+        continue;
+      std::fill(Visited.begin(), Visited.end(), 0);
+      if (tryAugment(L, Visited))
+        ++Res.Size;
+    }
+  }
+
+  const MatchingResult &result() const { return Res; }
+
+private:
+  bool tryAugment(unsigned Left, std::vector<uint8_t> &Visited) {
+    for (unsigned Right : Adj[Left]) {
+      if (Visited[Right])
+        continue;
+      Visited[Right] = 1;
+      int Other = Res.MatchOfRight[Right];
+      if (Other < 0 || tryAugment(unsigned(Other), Visited)) {
+        Res.MatchOfLeft[Left] = int(Right);
+        Res.MatchOfRight[Right] = int(Left);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  unsigned N;
+  std::vector<std::vector<unsigned>> Adj;
+  MatchingResult Res;
+};
+
+/// The pre-conversion recursive Hopcroft-Karp (recursive layered DFS).
+MatchingResult
+recursiveRefHopcroftKarp(unsigned N,
+                         const std::vector<std::vector<unsigned>> &Adj) {
+  MatchingResult Res;
+  Res.MatchOfLeft.assign(N, -1);
+  Res.MatchOfRight.assign(N, -1);
+  constexpr unsigned Inf = ~0u;
+  std::vector<unsigned> Dist(N, Inf);
+
+  auto Bfs = [&]() {
+    std::deque<unsigned> Q;
+    for (unsigned L = 0; L != N; ++L) {
+      if (Res.MatchOfLeft[L] < 0) {
+        Dist[L] = 0;
+        Q.push_back(L);
+      } else {
+        Dist[L] = Inf;
+      }
+    }
+    bool FoundFree = false;
+    while (!Q.empty()) {
+      unsigned L = Q.front();
+      Q.pop_front();
+      for (unsigned R : Adj[L]) {
+        int L2 = Res.MatchOfRight[R];
+        if (L2 < 0) {
+          FoundFree = true;
+        } else if (Dist[L2] == Inf) {
+          Dist[L2] = Dist[L] + 1;
+          Q.push_back(unsigned(L2));
+        }
+      }
+    }
+    return FoundFree;
+  };
+
+  auto Dfs = [&](auto &&Self, unsigned L) -> bool {
+    for (unsigned R : Adj[L]) {
+      int L2 = Res.MatchOfRight[R];
+      if (L2 < 0 || (Dist[L2] == Dist[L] + 1 && Self(Self, unsigned(L2)))) {
+        Res.MatchOfLeft[L] = int(R);
+        Res.MatchOfRight[R] = int(L);
+        return true;
+      }
+    }
+    Dist[L] = Inf;
+    return false;
+  };
+
+  while (Bfs())
+    for (unsigned L = 0; L != N; ++L)
+      if (Res.MatchOfLeft[L] < 0 && Dfs(Dfs, L))
+        ++Res.Size;
+  return Res;
+}
+
+/// Random strict order on N elements: random DAG + closure.
+BitMatrix randomOrder(unsigned N, RNG &Rng, double EdgeProb) {
+  BitMatrix Rel(N);
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned J = I + 1; J != N; ++J)
+      if (Rng.chance(EdgeProb))
+        Rel.set(I, J);
+  for (unsigned I = N; I-- > 0;)
+    Rel.row(I).forEach([&](unsigned J) { Rel.unionRows(I, J); });
+  return Rel;
+}
+
+std::vector<unsigned> allOf(unsigned N) {
+  std::vector<unsigned> V(N);
+  for (unsigned I = 0; I != N; ++I)
+    V[I] = I;
+  return V;
+}
+
+/// Bipartite edges of a relation (the chain reduction's edge set), in
+/// deterministic row-major order.
+std::vector<std::pair<unsigned, unsigned>> relationEdges(const BitMatrix &Rel,
+                                                         unsigned N) {
+  std::vector<std::pair<unsigned, unsigned>> Edges;
+  for (unsigned I = 0; I != N; ++I)
+    Rel.row(I).forEach([&](unsigned J) { Edges.push_back({I, J}); });
+  return Edges;
+}
+
+void expectSameMatching(const MatchingResult &Got, const MatchingResult &Ref) {
+  EXPECT_EQ(Got.Size, Ref.Size);
+  EXPECT_EQ(Got.MatchOfLeft, Ref.MatchOfLeft);
+  EXPECT_EQ(Got.MatchOfRight, Ref.MatchOfRight);
+}
+
+/// Three relation families the matchers feed on in production: deep
+/// chains (sequential reuse), wide antichains (parallel reuse), and
+/// dense random orders.
+BitMatrix shapedRelation(unsigned Shape, unsigned N, RNG &Rng) {
+  switch (Shape) {
+  case 0: { // deep chain: closure of a path
+    BitMatrix Rel(N);
+    for (unsigned I = 0; I != N; ++I)
+      for (unsigned J = I + 1; J != N; ++J)
+        Rel.set(I, J);
+    return Rel;
+  }
+  case 1: // wide antichain: no relations at all
+    return BitMatrix(N);
+  default: // dense random order
+    return randomOrder(N, Rng, 0.5);
+  }
+}
+
+} // namespace
+
+TEST(MatchingScale, IncrementalDifferentialVsRecursive) {
+  // The iterative engine must reproduce the recursive engine's matching
+  // bit for bit across random batch splits of random relations.
+  RNG Rng(2024);
+  for (unsigned Trial = 0; Trial != 120; ++Trial) {
+    unsigned Shape = Trial % 3;
+    unsigned N = 4 + Rng.below(40);
+    BitMatrix Rel = shapedRelation(Shape, N, Rng);
+    auto Edges = relationEdges(Rel, N);
+
+    // Split the edge list into 1..4 prioritized batches.
+    unsigned NumBatches = 1 + Rng.below(4);
+    std::vector<std::vector<std::pair<unsigned, unsigned>>> Batches(NumBatches);
+    for (const auto &E : Edges)
+      Batches[Rng.below(NumBatches)].push_back(E);
+
+    IncrementalMatcher It(N);
+    RecursiveRefMatcher Ref(N);
+    for (const auto &B : Batches) {
+      It.addBatchAndAugment(B);
+      Ref.addBatchAndAugment(B);
+      expectSameMatching(It.result(), Ref.result());
+    }
+  }
+}
+
+TEST(MatchingScale, HopcroftKarpDifferentialVsRecursive) {
+  RNG Rng(7);
+  for (unsigned Trial = 0; Trial != 120; ++Trial) {
+    unsigned Shape = Trial % 3;
+    unsigned N = 4 + Rng.below(40);
+    BitMatrix Rel = shapedRelation(Shape, N, Rng);
+    std::vector<std::vector<unsigned>> Adj(N);
+    for (auto [L, R] : relationEdges(Rel, N))
+      Adj[L].push_back(R);
+    expectSameMatching(hopcroftKarp(N, Adj), recursiveRefHopcroftKarp(N, Adj));
+  }
+}
+
+TEST(MatchingScale, WidthsStillMatchBruteForce) {
+  // End-to-end through the chain decomposition: both engines must still
+  // produce Dilworth-minimal decompositions on every relation shape.
+  RNG Rng(500);
+  for (unsigned Trial = 0; Trial != 60; ++Trial) {
+    unsigned Shape = Trial % 3;
+    unsigned N = 3 + Rng.below(12);
+    BitMatrix Rel = shapedRelation(Shape, N, Rng);
+    std::vector<unsigned> Active = allOf(N);
+    unsigned Want = bruteForceWidth(Rel, Active);
+    EXPECT_EQ(decomposeChains(Rel, Active).width(), Want);
+  }
+}
+
+TEST(MatchingScale, DeepChainAugmentDoesNotOverflow) {
+  // Adversarial two-batch instance whose final augmenting path walks a
+  // K-deep alternating chain: batch 1 matches L_i <-> R_i (each L_i also
+  // knows R_{i+1}); batch 2 adds L_0 -> R_1, and the only augmentation
+  // re-routes every existing pair. The recursive engine recursed K deep
+  // here and overflowed the stack for K around 10^5.
+  constexpr unsigned K = 100000;
+  unsigned N = K + 1;
+  std::vector<std::pair<unsigned, unsigned>> Batch1;
+  for (unsigned I = 1; I != K; ++I) {
+    Batch1.push_back({I, I});
+    Batch1.push_back({I, I + 1});
+  }
+  IncrementalMatcher M(N);
+  M.addBatchAndAugment(Batch1);
+  ASSERT_EQ(M.result().Size, K - 1);
+
+  M.addBatchAndAugment({{0u, 1u}});
+  const MatchingResult &R = M.result();
+  EXPECT_EQ(R.Size, K);
+  EXPECT_EQ(R.MatchOfLeft[0], 1);
+  for (unsigned I = 1; I != K; ++I)
+    EXPECT_EQ(R.MatchOfLeft[I], int(I + 1)) << "left " << I;
+}
+
+TEST(MatchingScale, DeepChainHopcroftKarpDoesNotOverflow) {
+  // Phase 1 greedily pairs L_i with R_{i+1} (listed first), stranding
+  // L_{K-1}; phase 2's only augmenting path cascades through all K pairs
+  // down to the free R_0 — a K-deep DFS in the old recursive form.
+  constexpr unsigned K = 100000;
+  std::vector<std::vector<unsigned>> Adj(K);
+  for (unsigned I = 0; I + 1 != K; ++I)
+    Adj[I] = {I + 1, I};
+  Adj[K - 1] = {K - 1};
+  MatchingResult R = hopcroftKarp(K, Adj);
+  EXPECT_EQ(R.Size, K);
+  for (unsigned I = 0; I != K; ++I)
+    EXPECT_EQ(R.MatchOfLeft[I], int(I)) << "left " << I;
+}
+
+TEST(MatchingScale, DeepChainDecompositionWidthOne) {
+  // A deep chain fed through the full decomposition: one chain, in
+  // order. (Consecutive-only edges — the BitMatrix closure of a path
+  // would cost O(N^2) bits — which still decomposes into one chain.)
+  constexpr unsigned N = 20000;
+  BitMatrix Rel(N);
+  for (unsigned I = 0; I + 1 != N; ++I)
+    Rel.set(I, I + 1);
+  ChainDecomposition CD = decomposeChains(Rel, allOf(N));
+  ASSERT_EQ(CD.width(), 1u);
+  ASSERT_EQ(CD.Chains[0].size(), N);
+  for (unsigned I = 0; I != N; ++I)
+    EXPECT_EQ(CD.Chains[0][I], I);
+}
+
+TEST(MatchingScale, WideAntichainDecomposition) {
+  // The opposite extreme: no relations, so every node is its own chain.
+  constexpr unsigned N = 8192;
+  BitMatrix Rel(N);
+  ChainDecomposition CD = decomposeChains(Rel, allOf(N));
+  EXPECT_EQ(CD.width(), N);
+}

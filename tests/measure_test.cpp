@@ -326,3 +326,64 @@ TEST(Measure, RequirementNeverBelowObservedConcurrency) {
   std::vector<unsigned> AC = maxAntichain(FuM.Reuse.Rel, FuM.Reuse.Active);
   EXPECT_EQ(AC.size(), FuM.MaxRequired);
 }
+
+TEST(Measure, UntrimmedFallbackExposesFullProjection) {
+  // Regression for the degenerate-trimming fallback in findExcessiveSets:
+  // when head/tail trimming eats whole subchains and collapses the set to
+  // Limit or fewer, the fallback must hand out the *untrimmed* hammock
+  // projection in BOTH Subchains and FullChains (a move before the copy
+  // once left one of them reading a moved-from vector) with
+  // Trimmed == false. Generated workloads almost never trip this, so the
+  // degenerate measurement is forged directly: three pairwise-independent
+  // singleton chains {a},{b},{c} that all precede a fourth chain's head
+  // {d}. With Limit = 2 the head rule erases {a} and then {b} entirely,
+  // leaving two subchains — not enough — while the witness {a,b,c}
+  // still proves the excess.
+  Fig2 F;
+  unsigned N = F.D.size();
+
+  // Four nodes sharing one hammock (the widest one spans the trace).
+  unsigned Widest = 0;
+  for (unsigned HIdx : F.HF.innermostFirst())
+    if (F.HF.hammock(HIdx).Members.count() >
+        F.HF.hammock(Widest).Members.count())
+      Widest = HIdx;
+  std::vector<unsigned> Picked;
+  F.HF.hammock(Widest).Members.forEach([&](unsigned Node) {
+    if (Picked.size() < 4)
+      Picked.push_back(Node);
+  });
+  ASSERT_EQ(Picked.size(), 4u);
+  unsigned A = Picked[0], B = Picked[1], C = Picked[2], D = Picked[3];
+
+  Measurement M;
+  M.Res = ResourceId{ResourceId::Reg, FUKind::Universal, RegClassKind::GPR,
+                     true};
+  M.MaxRequired = 3;
+  M.Reuse.Rel = BitMatrix(N);
+  M.Reuse.Rel.set(A, D);
+  M.Reuse.Rel.set(B, D);
+  M.Reuse.Rel.set(C, D);
+  M.Reuse.Active = {A, B, C, D};
+  M.Chains.Chains = {{A}, {B}, {C}, {D}};
+  M.Chains.ChainOf.assign(N, -1);
+  for (unsigned I = 0; I != 4; ++I)
+    M.Chains.ChainOf[Picked[I]] = int(I);
+
+  bool SawFallback = false;
+  for (const ExcessiveChainSet &E : findExcessiveSets(M, F.A, F.HF, 2)) {
+    EXPECT_GT(E.Witness.size(), E.Limit);
+    if (E.Trimmed) {
+      EXPECT_GT(E.Subchains.size(), E.Limit);
+      continue;
+    }
+    SawFallback = true;
+    // The fallback invariant under test: both views hold the identical,
+    // complete untrimmed projection.
+    EXPECT_EQ(E.Subchains, E.FullChains);
+    ASSERT_EQ(E.Subchains.size(), 4u);
+    for (const auto &Chain : E.Subchains)
+      EXPECT_FALSE(Chain.empty());
+  }
+  EXPECT_TRUE(SawFallback) << "forged measurement must take the fallback";
+}
