@@ -1,0 +1,177 @@
+//===- bench/bench_incremental_measure.cpp - Delta vs full rebuild --------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The incremental measurement engine in isolation: for each tier, build
+// one round-start state, draw a batch of edge-only sequencing proposals,
+// and measure every proposal's scratch DAG twice — the full path (fresh
+// DAGAnalysis + hammock forest + measureAll, what the driver did before)
+// and the delta path (IncrementalMeasurer::measureDelta). Every number
+// the delta path returns is checked against the full rebuild on the
+// spot, so the speedup column can never come from diverging work.
+//
+// The gate mirrors the driver-level bench: the delta path must be at
+// least 2x the full rebuild on every tier, with zero mismatches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "graph/DAGBuilder.h"
+#include "support/RNG.h"
+#include "ursa/IncrementalMeasure.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+using namespace ursa;
+using namespace ursa::bench;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+struct TierResult {
+  std::string Name;
+  unsigned NumInstrs = 0;
+  unsigned Proposals = 0;
+  double FullMs = 0;
+  double DeltaMs = 0;
+  unsigned Mismatches = 0;
+  unsigned Fallbacks = 0;
+};
+
+} // namespace
+
+int main() {
+  std::printf("incremental measurement: delta closures + warm-started "
+              "matchings vs full rebuild\n\n");
+
+  MachineModel M = MachineModel::homogeneous(3, 8);
+  auto Limits = machineResources(M);
+
+  std::vector<TierResult> Tiers;
+  for (unsigned NI : {200u, 400u, 800u}) {
+    TierResult T;
+    T.Name = "instrs_" + std::to_string(NI);
+    T.NumInstrs = NI;
+
+    for (uint64_t Seed : {3ull, 5ull, 7ull}) {
+      GenOptions G;
+      G.NumInstrs = NI;
+      G.Window = 16;
+      G.Seed = Seed;
+      DependenceDAG D = buildDAG(generateTrace(G));
+
+      // The round-start state a driver round would hold.
+      DAGAnalysis A(D);
+      HammockForest HF(D, A);
+      std::vector<Measurement> Meas = measureAll(D, A, HF, M);
+      IncrementalMeasurer Inc(D, A, Meas, Limits, MeasureOptions{});
+
+      // A batch of independent-pair sequencing proposals, like a round's
+      // candidate set. Independent pairs are scarce in window-local
+      // traces, so enumerate rather than rejection-sample.
+      std::vector<std::pair<unsigned, unsigned>> Indep;
+      for (unsigned U = 2; U != D.size(); ++U)
+        for (unsigned V = 2; V != D.size(); ++V)
+          if (A.independent(U, V))
+            Indep.emplace_back(U, V);
+      RNG Rng(Seed * 0x9E37 + NI);
+      std::vector<TransformProposal> Props;
+      for (unsigned I = 0; I != 24 && !Indep.empty(); ++I) {
+        TransformProposal P;
+        P.Kind = TransformProposal::FUSequence;
+        P.Res = Limits[0].first;
+        P.SeqEdges = {Indep[Rng.below(Indep.size())]};
+        Props.push_back(std::move(P));
+      }
+
+      for (const TransformProposal &P : Props) {
+        DependenceDAG Scratch = D;
+        applyTransform(Scratch, P);
+        ++T.Proposals;
+
+        auto T0 = std::chrono::steady_clock::now();
+        DAGAnalysis SA(Scratch);
+        HammockForest SHF(Scratch, SA);
+        std::vector<Measurement> SMeas = measureAll(Scratch, SA, SHF, M);
+        T.FullMs += msSince(T0);
+
+        T0 = std::chrono::steady_clock::now();
+        DeltaMeasurement DM;
+        bool Ok = Inc.measureDelta(Scratch, P, DM);
+        T.DeltaMs += msSince(T0);
+
+        if (!Ok) {
+          ++T.Fallbacks;
+          continue;
+        }
+        unsigned WantExcess = 0;
+        for (unsigned I = 0; I != SMeas.size(); ++I) {
+          if (DM.Required[I] != SMeas[I].MaxRequired)
+            ++T.Mismatches;
+          if (SMeas[I].MaxRequired > Limits[I].second)
+            WantExcess += SMeas[I].MaxRequired - Limits[I].second;
+        }
+        if (DM.CritPath != SA.criticalPathLength() ||
+            DM.TotalExcess != WantExcess)
+          ++T.Mismatches;
+      }
+    }
+    Tiers.push_back(std::move(T));
+  }
+
+  bool Identical = true;
+  double WorstSpeedup = 1e9;
+  Table Tbl({"tier", "proposals", "full ms", "delta ms", "speedup",
+             "fallbacks", "mismatches"});
+  for (const TierResult &T : Tiers) {
+    double Speedup = T.FullMs / T.DeltaMs;
+    WorstSpeedup = std::min(WorstSpeedup, Speedup);
+    if (T.Mismatches)
+      Identical = false;
+    Tbl.addRow({T.Name, Table::fmt(uint64_t(T.Proposals)),
+                Table::fmt(T.FullMs, 1), Table::fmt(T.DeltaMs, 1),
+                Table::fmt(Speedup, 2) + "x",
+                Table::fmt(uint64_t(T.Fallbacks)),
+                Table::fmt(uint64_t(T.Mismatches))});
+  }
+  Tbl.print(std::cout);
+  std::printf("\nworst tier %.2fx; delta numbers %s the full rebuild\n",
+              WorstSpeedup, Identical ? "match" : "DIVERGE from (bug!)");
+
+  std::string Artifact =
+      writeBenchArtifact("incremental_measure", [&](obs::JsonWriter &W) {
+        W.beginObject();
+        W.kv("identical", Identical);
+        W.kv("worst_speedup", WorstSpeedup);
+        W.kv("worst_speedup_ok", WorstSpeedup >= 2.0);
+        W.key("tiers").beginArray();
+        for (const TierResult &T : Tiers) {
+          W.beginObject();
+          W.kv("tier", T.Name);
+          W.kv("instrs", uint64_t(T.NumInstrs));
+          W.kv("proposals", uint64_t(T.Proposals));
+          W.kv("full_ms", T.FullMs);
+          W.kv("delta_ms", T.DeltaMs);
+          W.kv("speedup", T.FullMs / T.DeltaMs);
+          W.kv("fallbacks", uint64_t(T.Fallbacks));
+          W.kv("mismatches", uint64_t(T.Mismatches));
+          W.endObject();
+        }
+        W.endArray();
+        W.endObject();
+      });
+  if (!Artifact.empty())
+    std::printf("artifact: %s\n", Artifact.c_str());
+
+  return Identical && WorstSpeedup >= 2.0 ? 0 : 1;
+}

@@ -31,6 +31,12 @@
 //   --threads N           worker threads for proposal evaluation in the
 //                         URSA driver (default: URSA_THREADS, else 1);
 //                         results are identical across thread counts
+//   --incremental         score edge-only proposals through the delta
+//   --no-incremental      measurement engine / always rebuild in full
+//                         (default: URSA_INCREMENTAL, else on); results
+//                         are identical either way
+//   --cache-size N        measurement-cache entries in the URSA driver
+//                         (default: URSA_CACHE_SIZE, else 4)
 //   --report              print the human-readable allocation report
 //   --report-json         print the machine-readable allocation report
 //                         (schema ursa.allocation_report.v1, or
@@ -108,7 +114,9 @@ struct Options {
   std::string Verify; ///< empty = keep the URSA_VERIFY default
   bool GuaranteedFit = false;
   unsigned TimeBudgetMs = 0;
-  unsigned Threads = 0; ///< 0 = URSA_THREADS default
+  unsigned Threads = 0;   ///< 0 = URSA_THREADS default
+  int Incremental = -1;   ///< -1 = URSA_INCREMENTAL default
+  unsigned CacheSize = 0; ///< 0 = URSA_CACHE_SIZE default
   MemoryState Inputs;
 };
 
@@ -223,6 +231,15 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       if (!S || std::atoi(S) < 1)
         return false;
       O.Threads = unsigned(std::atoi(S));
+    } else if (A == "--incremental") {
+      O.Incremental = 1;
+    } else if (A == "--no-incremental") {
+      O.Incremental = 0;
+    } else if (A == "--cache-size") {
+      const char *S = Next();
+      if (!S || std::atoi(S) < 1)
+        return false;
+      O.CacheSize = unsigned(std::atoi(S));
     } else if (A.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
       return false;
@@ -313,6 +330,10 @@ int main(int Argc, char **Argv) {
   UO.GuaranteedFit = O.GuaranteedFit;
   UO.TimeBudgetMs = O.TimeBudgetMs;
   UO.Threads = O.Threads;
+  if (O.Incremental >= 0)
+    UO.IncrementalMeasure = O.Incremental != 0;
+  if (O.CacheSize)
+    UO.MeasurementCacheSize = O.CacheSize;
 
   bool IsCFG = Source.find("func ") != std::string::npos;
 

@@ -10,10 +10,12 @@
 
 using namespace ursa;
 
-DAGAnalysis::DAGAnalysis(const DependenceDAG &D)
-    : TopoPos(D.size(), 0), Desc(D.size()), Anc(D.size()),
-      Depth(D.size(), 0), Height(D.size(), 0) {
+void DAGAnalysis::computeOrderAndPaths(const DependenceDAG &D) {
   unsigned N = D.size();
+  TopoPos.assign(N, 0);
+  Depth.assign(N, 0);
+  Height.assign(N, 0);
+  Topo.clear();
 
   // Kahn's algorithm, visiting ready nodes in ascending id for
   // determinism.
@@ -44,14 +46,11 @@ DAGAnalysis::DAGAnalysis(const DependenceDAG &D)
   }
   assert(Topo.size() == N && "dependence graph has a cycle");
 
-  // Descendant closure and depths in reverse topological order;
-  // ancestors and heights forward.
+  // Longest paths: heights in reverse topological order, depths forward.
   for (unsigned I = N; I-- > 0;) {
     unsigned U = Topo[I];
     for (const auto &[V, Kind] : D.succs(U)) {
       (void)Kind;
-      Desc.set(U, V);
-      Desc.unionRows(U, V);
       if (Height[V] + 1 > Height[U])
         Height[U] = Height[V] + 1;
     }
@@ -60,12 +59,65 @@ DAGAnalysis::DAGAnalysis(const DependenceDAG &D)
     unsigned U = Topo[I];
     for (const auto &[V, Kind] : D.preds(U)) {
       (void)Kind;
-      Anc.set(U, V);
-      Anc.unionRows(U, V);
       if (Depth[V] + 1 > Depth[U])
         Depth[U] = Depth[V] + 1;
     }
   }
+}
+
+DAGAnalysis::DAGAnalysis(const DependenceDAG &D)
+    : Desc(D.size()), Anc(D.size()) {
+  computeOrderAndPaths(D);
+  unsigned N = D.size();
+
+  // Descendant closure in reverse topological order; ancestors forward.
+  for (unsigned I = N; I-- > 0;) {
+    unsigned U = Topo[I];
+    for (const auto &[V, Kind] : D.succs(U)) {
+      (void)Kind;
+      Desc.set(U, V);
+      Desc.unionRows(U, V);
+    }
+  }
+  for (unsigned I = 0; I != N; ++I) {
+    unsigned U = Topo[I];
+    for (const auto &[V, Kind] : D.preds(U)) {
+      (void)Kind;
+      Anc.set(U, V);
+      Anc.unionRows(U, V);
+    }
+  }
+}
+
+std::unique_ptr<DAGAnalysis> DAGAnalysis::buildIncremental(
+    const DependenceDAG &D, const DAGAnalysis &Base,
+    const std::vector<std::pair<unsigned, unsigned>> &AddedEdges) {
+  unsigned N = D.size();
+  if (N != Base.Desc.size())
+    return nullptr; // nodes were inserted or removed: not an edge delta
+
+  std::unique_ptr<DAGAnalysis> A(new DAGAnalysis());
+  A->Desc = Base.Desc;
+  A->Anc = Base.Anc;
+  for (auto [U, V] : AddedEdges) {
+    if (U >= N || V >= N || U == V)
+      return nullptr;
+    if (A->Desc.test(U, V))
+      continue; // already ordered: the closure absorbs the edge
+    if (A->Desc.test(V, U))
+      return nullptr; // would close a cycle against the edges so far
+    // New pairs are exactly (ancestors-of-u + u) x (v + descendants-of-v),
+    // taken against the closure updated by the preceding edges. Snapshot
+    // both sides before writing: u's own rows are among the targets.
+    Bitset NewDesc = A->Desc.row(V);
+    NewDesc.set(V);
+    Bitset NewAnc = A->Anc.row(U);
+    NewAnc.set(U);
+    NewAnc.forEach([&](unsigned W) { A->Desc.row(W) |= NewDesc; });
+    NewDesc.forEach([&](unsigned W) { A->Anc.row(W) |= NewAnc; });
+  }
+  A->computeOrderAndPaths(D);
+  return A;
 }
 
 std::vector<std::vector<unsigned>> ursa::computeUses(const DependenceDAG &D) {

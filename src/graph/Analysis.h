@@ -19,6 +19,8 @@
 #include "graph/DAG.h"
 #include "support/Bitset.h"
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace ursa {
@@ -28,6 +30,25 @@ namespace ursa {
 class DAGAnalysis {
 public:
   explicit DAGAnalysis(const DependenceDAG &D);
+
+  /// Derives the analysis of \p D incrementally, where \p D must be the
+  /// DAG \p Base was built from plus exactly \p AddedEdges (minus any
+  /// virtual edges normalizeVirtualEdges() dropped as redundant — those
+  /// never change reachability). The closure delta of one new edge u->v
+  /// is exact: every ancestor of u (and u itself) gains v and all of v's
+  /// descendants, and symmetrically for ancestor rows; edges are folded
+  /// in sequentially so multi-edge proposals compose. The closure is a
+  /// canonical set, so the result is bit-identical to a fresh build.
+  /// Topological order and depths/heights are recomputed from \p D
+  /// directly (O(V+E), negligible next to the closure).
+  ///
+  /// Returns nullptr when the delta cannot be proven safe: size mismatch
+  /// (nodes were inserted), an out-of-range endpoint, or an edge that
+  /// would close a cycle against the partially-updated closure. Callers
+  /// fall back to a full rebuild.
+  static std::unique_ptr<DAGAnalysis> buildIncremental(
+      const DependenceDAG &D, const DAGAnalysis &Base,
+      const std::vector<std::pair<unsigned, unsigned>> &AddedEdges);
 
   /// Nodes in a deterministic topological order (entry first, exit last).
   const std::vector<unsigned> &topoOrder() const { return Topo; }
@@ -45,6 +66,12 @@ public:
   bool independent(unsigned A, unsigned B) const {
     return A != B && !reaches(A, B) && !reaches(B, A);
   }
+
+  /// The whole strict-reachability closure (row N = descendants(N)).
+  /// Exposed so relation consumers that are defined *as* reachability
+  /// restricted to a node subset (the FU reuse relation) can read it in
+  /// place instead of copying rows into their own matrix.
+  const BitMatrix &reachabilityClosure() const { return Desc; }
 
   /// Strict descendants of \p N as a bitset over node ids.
   const Bitset &descendants(unsigned N) const { return Desc.row(N); }
@@ -67,6 +94,12 @@ public:
   }
 
 private:
+  DAGAnalysis() = default; ///< for buildIncremental
+
+  /// Fills Topo/TopoPos/Depth/Height from \p D (Kahn's algorithm plus
+  /// longest paths); the closure matrices are handled by the caller.
+  void computeOrderAndPaths(const DependenceDAG &D);
+
   std::vector<unsigned> Topo;
   std::vector<unsigned> TopoPos;
   BitMatrix Desc;

@@ -6,12 +6,18 @@
 
 #include "order/Chains.h"
 
+#include "obs/Stats.h"
 #include "order/Matching.h"
 
 #include <algorithm>
 #include <map>
 
 using namespace ursa;
+
+URSA_STAT(StatWarmSeededPairs, "order.chains.warm_seeded_pairs",
+          "matched pairs adopted from a previous decomposition");
+URSA_STAT(StatWarmAugments, "order.chains.warm_augments",
+          "augmenting-path searches run on top of a warm-started matching");
 
 static ChainDecomposition
 chainsFromMatching(const MatchingResult &M, unsigned NumNodes,
@@ -84,6 +90,106 @@ ursa::decomposeChainsPrioritized(const BitMatrix &Rel,
     M.addBatchAndAugment(Edges);
   }
   return chainsFromMatching(M.result(), Rel.size(), Active);
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+ursa::survivingMatchedPairs(const ChainDecomposition &Prev,
+                            const BitMatrix &Rel) {
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  for (const auto &Chain : Prev.Chains)
+    for (unsigned I = 0; I + 1 < Chain.size(); ++I) {
+      unsigned A = Chain[I], B = Chain[I + 1];
+      if (A < Rel.size() && B < Rel.size() && Rel.test(A, B))
+        Pairs.emplace_back(A, B);
+    }
+  return Pairs;
+}
+
+unsigned ursa::chainWidthWarmStart(const BitMatrix &Rel,
+                                   const std::vector<unsigned> &Active,
+                                   const ChainDecomposition &Prev) {
+  unsigned N = Rel.size();
+  std::vector<int> MatchL(N, -1), MatchR(N, -1);
+  unsigned Size = 0;
+  for (auto [A, B] : survivingMatchedPairs(Prev, Rel)) {
+    assert(MatchL[A] < 0 && MatchR[B] < 0 && "chain pairs cannot conflict");
+    MatchL[A] = int(B);
+    MatchR[B] = int(A);
+    ++Size;
+  }
+
+  std::vector<uint8_t> IsActive(N, 0);
+  for (unsigned A : Active)
+    IsActive[A] = 1;
+
+  // Kuhn augmentation reading the relation rows in place: no adjacency
+  // lists, no pair vector — the row bits filtered by IsActive are the
+  // edges. An explicit stack keeps the DFS iterative; VisitedEpoch spares
+  // a clear per phase. The warm start leaves only a handful of free lefts
+  // to augment, so most rows are never even scanned.
+  std::vector<unsigned> VisitedEpoch(N, 0);
+  unsigned Epoch = 0;
+  struct Frame {
+    unsigned Left;
+    unsigned NextBit;    ///< resume position in the row scan
+    unsigned TakenRight; ///< the matched right we descended through
+  };
+  std::vector<Frame> Stack;
+  auto TryAugment = [&](unsigned Root) {
+    Stack.clear();
+    Stack.push_back({Root, 0, 0});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      unsigned R = Rel.row(F.Left).findNext(F.NextBit);
+      if (R >= N) {
+        Stack.pop_back();
+        continue;
+      }
+      F.NextBit = R + 1;
+      if (!IsActive[R] || VisitedEpoch[R] == Epoch)
+        continue;
+      VisitedEpoch[R] = Epoch;
+      int Owner = MatchR[R];
+      if (Owner >= 0) {
+        F.TakenRight = R;
+        Stack.push_back({unsigned(Owner), 0, 0});
+        continue;
+      }
+      // Free right: flip the alternating path recorded on the stack.
+      MatchL[F.Left] = int(R);
+      MatchR[R] = int(F.Left);
+      for (unsigned D = unsigned(Stack.size()) - 1; D-- > 0;) {
+        MatchL[Stack[D].Left] = int(Stack[D].TakenRight);
+        MatchR[Stack[D].TakenRight] = int(Stack[D].Left);
+      }
+      return true;
+    }
+    return false;
+  };
+
+  // Phased multi-root augmentation: every free left in a phase shares one
+  // visited epoch. A failed DFS leaves the matching untouched, so its
+  // visited rights provably admit no augmenting path for the *next* root
+  // either (the Hopcroft–Karp pruning lemma) — without the sharing, each
+  // free chain tail would rescan the whole alternating structure. A
+  // success may invalidate marks made before it, so phases repeat until
+  // one finds nothing; that clean last phase certifies maximality.
+  StatWarmSeededPairs.add(Size);
+  unsigned Phases = 0;
+  for (bool Progress = true; Progress;) {
+    Progress = false;
+    ++Phases;
+    ++Epoch;
+    for (unsigned L : Active)
+      if (MatchL[L] < 0 && TryAugment(L)) {
+        ++Size;
+        Progress = true;
+      }
+  }
+  StatWarmAugments.add(Phases);
+
+  assert(Size <= Active.size() && "matching larger than domain");
+  return unsigned(Active.size()) - Size;
 }
 
 std::vector<unsigned> ursa::maxAntichain(const BitMatrix &Rel,

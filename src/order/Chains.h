@@ -52,6 +52,34 @@ decomposeChainsPrioritized(const BitMatrix &Rel,
                            const std::vector<unsigned> &Active,
                            const HammockForest &HF);
 
+/// The consecutive chain pairs of \p Prev still related under \p Rel — a
+/// valid matching of \p Rel usable as a warm start. Consecutive chain
+/// members are exactly the matched pairs of the decomposition's matching,
+/// and each node is a left (and a right) of at most one pair, so the
+/// surviving subset is conflict-free. Edge-only DAG deltas grow the FU
+/// reuse relation monotonically (every pair survives); register relations
+/// re-select kills and may drop some, hence the filter.
+std::vector<std::pair<unsigned, unsigned>>
+survivingMatchedPairs(const ChainDecomposition &Prev, const BitMatrix &Rel);
+
+/// Width of \p Rel over \p Active — |Active| minus a maximum matching
+/// (Dilworth via Fulkerson's reduction) — warm-started from \p Prev's
+/// surviving pairs, augmenting only the lefts the seed leaves unmatched.
+/// Every maximum matching has the same size, so the width is canonical:
+/// bit-identical to decomposeChains(Rel, Active).width() and to the
+/// prioritized variant (priorities change which chains are found, never
+/// how many).
+///
+/// Augmentation reads \p Rel's rows directly (no adjacency-list
+/// materialization) and masks them with the active set on the fly, so
+/// rows may carry extra bits on inactive columns: only active-to-active
+/// bits define the relation. In particular a raw reachability closure
+/// works as-is — the FU reuse relation *is* the closure restricted to
+/// the active nodes.
+unsigned chainWidthWarmStart(const BitMatrix &Rel,
+                             const std::vector<unsigned> &Active,
+                             const ChainDecomposition &Prev);
+
 /// A maximum antichain of the relation over \p Active (size == width).
 std::vector<unsigned> maxAntichain(const BitMatrix &Rel,
                                    const std::vector<unsigned> &Active);

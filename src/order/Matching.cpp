@@ -20,6 +20,8 @@ URSA_STAT(StatMatchedPairs, "order.matching.matched_pairs",
           "total matched pairs produced (matching sizes summed)");
 URSA_STAT(StatHKPhases, "order.matching.hopcroft_karp_phases",
           "Hopcroft-Karp BFS phases run");
+URSA_STAT(StatSeededPairs, "order.matching.seeded_pairs",
+          "matched pairs installed by warm starts instead of augmentation");
 
 IncrementalMatcher::IncrementalMatcher(unsigned NumVertices)
     : N(NumVertices), Adj(NumVertices) {
@@ -70,6 +72,20 @@ bool IncrementalMatcher::tryAugment(unsigned Root) {
     return true;
   }
   return false;
+}
+
+void IncrementalMatcher::seedMatching(
+    const std::vector<std::pair<unsigned, unsigned>> &Pairs) {
+  for (auto [L, R] : Pairs) {
+    assert(L < N && R < N && "seed endpoint out of range");
+    assert(Res.MatchOfLeft[L] < 0 && Res.MatchOfRight[R] < 0 &&
+           "seed pair conflicts with an existing match");
+    Res.MatchOfLeft[L] = int(R);
+    Res.MatchOfRight[R] = int(L);
+    ++Res.Size;
+  }
+  StatSeededPairs.add(Pairs.size());
+  StatMatchedPairs.add(Pairs.size());
 }
 
 void IncrementalMatcher::addBatchAndAugment(

@@ -48,6 +48,16 @@ public:
   /// of the matching over all edges added so far.
   void addBatchAndAugment(const std::vector<std::pair<unsigned, unsigned>> &Edges);
 
+  /// Installs an existing valid matching before any edges are added — the
+  /// warm start for incremental re-measurement. Each pair matches Left ->
+  /// Right; no left or right may appear twice or conflict with an earlier
+  /// seed. The seeded pairs need not be maximum (or even maximal): the
+  /// next addBatchAndAugment() call re-augments every unmatched left, and
+  /// since a left with no augmenting path never regains one after other
+  /// augmentations, that single pass restores maximality — starting from
+  /// the seed instead of from the empty matching.
+  void seedMatching(const std::vector<std::pair<unsigned, unsigned>> &Pairs);
+
   const MatchingResult &result() const { return Res; }
 
 private:

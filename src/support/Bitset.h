@@ -107,6 +107,21 @@ public:
     return NumBits == O.NumBits && Words == O.Words;
   }
 
+  /// Index of the first set bit >= \p From, or size() when none — the
+  /// resumable counterpart of forEach() for explicit-stack traversals.
+  unsigned findNext(unsigned From) const {
+    if (From >= NumBits)
+      return NumBits;
+    unsigned WI = From / 64;
+    uint64_t W = Words[WI] & (~uint64_t(0) << (From % 64));
+    while (!W) {
+      if (++WI == Words.size())
+        return NumBits;
+      W = Words[WI];
+    }
+    return WI * 64 + __builtin_ctzll(W);
+  }
+
   /// Calls \p F with the index of every set bit, in increasing order.
   template <typename Fn> void forEach(Fn F) const {
     for (unsigned WI = 0, WE = Words.size(); WI != WE; ++WI) {

@@ -12,10 +12,13 @@
 #include "sched/RegAssign.h"
 #include "support/ThreadPool.h"
 #include "ursa/FaultInjector.h"
+#include "ursa/IncrementalMeasure.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 using namespace ursa;
@@ -46,6 +49,30 @@ URSA_STAT(StatMeasureCacheMisses, "ursa.driver.measure_cache.misses",
           "full-state measurements built (fingerprint cache misses)");
 URSA_STAT(StatParallelEvalBatches, "ursa.driver.parallel_eval_batches",
           "proposal-evaluation rounds fanned out to the thread pool");
+URSA_STAT(StatMeasureCacheEvictions, "ursa.driver.measure_cache.evictions",
+          "measured states dropped from the fingerprint cache (LRU)");
+URSA_STAT(StatIncrementalEvals, "ursa.driver.incremental.delta_evals",
+          "proposal evaluations scored by the incremental delta path");
+URSA_STAT(StatIncrementalFallbacks, "ursa.driver.incremental.fallbacks",
+          "proposal evaluations that fell back to a full rebuild while "
+          "incremental measurement was enabled");
+
+bool ursa::defaultIncrementalMeasure() {
+  const char *E = std::getenv("URSA_INCREMENTAL");
+  if (!E)
+    return true;
+  return !(std::strcmp(E, "0") == 0 || std::strcmp(E, "off") == 0 ||
+           std::strcmp(E, "false") == 0);
+}
+
+unsigned ursa::defaultMeasurementCacheSize() {
+  if (const char *E = std::getenv("URSA_CACHE_SIZE")) {
+    int V = std::atoi(E);
+    if (V > 0)
+      return unsigned(V);
+  }
+  return 4;
+}
 
 namespace {
 
@@ -123,7 +150,8 @@ const char *evalSpanName(TransformProposal::KindT K) {
 /// stale measurement, which the phase-boundary verifier would flag.
 class MeasureCache {
 public:
-  explicit MeasureCache(bool EnabledIn) : Enabled(EnabledIn) {}
+  MeasureCache(bool EnabledIn, unsigned CapacityIn)
+      : Capacity(std::max(1u, CapacityIn)), Enabled(EnabledIn) {}
 
   /// The measured state for \p D's current content, built on miss.
   std::shared_ptr<const State> get(const DependenceDAG &D,
@@ -156,12 +184,14 @@ public:
       if (E.first == Fp)
         return;
     Entries.insert(Entries.begin(), {Fp, std::move(S)});
-    if (Entries.size() > Capacity)
+    if (Entries.size() > Capacity) {
       Entries.pop_back();
+      StatMeasureCacheEvictions.add();
+    }
   }
 
 private:
-  static constexpr unsigned Capacity = 4;
+  unsigned Capacity;
   bool Enabled;
   std::vector<std::pair<uint64_t, std::shared_ptr<const State>>> Entries;
 };
@@ -342,7 +372,10 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
   std::unique_ptr<ThreadPool> Pool;
   if (NumThreads > 1)
     Pool = std::make_unique<ThreadPool>(NumThreads);
-  MeasureCache Cache(Opts.MeasurementReuse);
+  MeasureCache Cache(Opts.MeasurementReuse,
+                     Opts.MeasurementCacheSize
+                         ? Opts.MeasurementCacheSize
+                         : defaultMeasurementCacheSize());
 
   auto StartTime = std::chrono::steady_clock::now();
   enum class BudgetTrip { None, TotalRounds, Time };
@@ -452,29 +485,66 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
       // fan out across the pool. Scoring happens inside the task; the
       // pick happens in a serial reduction below, in proposal order, so
       // the chosen Best is bit-identical to the serial evaluation.
+      //
+      // With IncrementalMeasure on, edge-only proposals are scored through
+      // the delta engine against the round-start state S: same canonical
+      // numbers (widths/excess/critical path), a fraction of the work. A
+      // delta-scored evaluation has no State to cache (SS stays null), so
+      // if it wins, the next round rebuilds once from R.DAG — one full
+      // build per round instead of 1 + P. Spills and unprovable deltas
+      // take the full path exactly as before.
       struct Eval {
         Score Sc{~0u, 0, ~0u, ~0u, ~0u, ~0u};
         uint64_t Fp = 0; ///< fingerprint of the transformed scratch DAG
         std::shared_ptr<const State> SS;
+        bool Diverged = false; ///< VerifyFull: delta != fresh rebuild
       };
       std::vector<Eval> Evals(Props.size());
+      std::unique_ptr<IncrementalMeasurer> Inc;
+      if (Opts.IncrementalMeasure)
+        Inc = std::make_unique<IncrementalMeasurer>(R.DAG, *S.A, S.Meas,
+                                                    S.Limits, Opts.Measure);
       auto EvalOne = [&](size_t I) {
         URSA_SPAN(EvalSpan, evalSpanName(Props[I].Kind), "transform");
         DependenceDAG Scratch = R.DAG;
         applyTransform(Scratch, Props[I]);
-        auto SS = std::make_shared<const State>(Scratch, M, Opts.Measure);
         bool IsSpill = Props[I].Kind == TransformProposal::Spill;
+        unsigned NewExcess = 0, NewCrit = 0;
+        std::shared_ptr<const State> SS;
+        DeltaMeasurement DM;
+        if (Inc && Inc->measureDelta(Scratch, Props[I], DM)) {
+          StatIncrementalEvals.add();
+          NewExcess = DM.TotalExcess;
+          NewCrit = DM.CritPath;
+          if (VerifyFull) {
+            // The incremental contract: every delta-derived number must
+            // match a fresh rebuild bit for bit.
+            State Fresh(Scratch, M, Opts.Measure);
+            bool Same = Fresh.TotalExcess == DM.TotalExcess &&
+                        Fresh.CritPath == DM.CritPath &&
+                        Fresh.Meas.size() == DM.Required.size();
+            for (unsigned K = 0; Same && K != Fresh.Meas.size(); ++K)
+              Same = Fresh.Meas[K].MaxRequired == DM.Required[K];
+            Evals[I].Diverged = !Same;
+          }
+        } else {
+          if (Inc)
+            StatIncrementalFallbacks.add();
+          SS = std::make_shared<const State>(Scratch, M, Opts.Measure);
+          NewExcess = SS->TotalExcess;
+          NewCrit = SS->CritPath;
+        }
         unsigned Cost =
-            (SS->CritPath > S.CritPath ? SS->CritPath - S.CritPath : 0) +
+            (NewCrit > S.CritPath ? NewCrit - S.CritPath : 0) +
             (IsSpill ? 2 : 0); // store+reload occupy FU slots
         Evals[I].Sc =
-            Score{SS->TotalExcess,
-                  S.TotalExcess - std::min(S.TotalExcess, SS->TotalExcess),
+            Score{NewExcess,
+                  S.TotalExcess - std::min(S.TotalExcess, NewExcess),
                   Cost,
-                  SS->CritPath,
+                  NewCrit,
                   IsSpill ? 1u : 0u,
                   unsigned(Props[I].SeqEdges.size())};
-        if (Opts.MeasurementReuse)
+        if (Opts.MeasurementReuse && SS)
           Evals[I].Fp = dagFingerprint(Scratch);
         Evals[I].SS = std::move(SS);
       };
@@ -484,6 +554,23 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
       } else {
         for (size_t I = 0; I != Props.size(); ++I)
           EvalOne(I);
+      }
+
+      if (VerifyFull && Inc) {
+        bool AnyDiverged = false;
+        for (unsigned I = 0; I != Evals.size(); ++I)
+          if (Evals[I].Diverged) {
+            FailVerify(Status::error(
+                "allocate", "incremental measurement diverged from the "
+                            "full rebuild for proposal '" +
+                                Props[I].describe() + "'"));
+            AnyDiverged = true;
+          }
+        if (AnyDiverged) {
+          Bail = true;
+          HitRoundCap = false;
+          break;
+        }
       }
 
       // Keep the best never-worsening proposal (paper Section 5).
@@ -531,8 +618,10 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
       // round's start state (and the sweep-end/final accounting) comes
       // from the cache instead of an O(n^2) rebuild. The fingerprint
       // guard keeps a faked apply (FalseProgress injection) or a
-      // non-reproducing transform from planting a wrong entry.
-      if (Opts.MeasurementReuse && dagFingerprint(R.DAG) == Evals[Best].Fp)
+      // non-reproducing transform from planting a wrong entry. A
+      // delta-scored winner has no state to adopt (SS is null).
+      if (Opts.MeasurementReuse && Evals[Best].SS &&
+          dagFingerprint(R.DAG) == Evals[Best].Fp)
         Cache.insert(Evals[Best].Fp, Evals[Best].SS);
       R.SeqEdgesAdded += ASt.EdgesAdded;
       R.SpillsInserted += ASt.SpillsInserted;

@@ -34,6 +34,15 @@ namespace ursa {
 
 class FaultInjector;
 
+/// Default for URSAOptions::IncrementalMeasure: true unless the
+/// URSA_INCREMENTAL environment variable is set to "0"/"off"/"false"
+/// (read per call, so tests can flip it).
+bool defaultIncrementalMeasure();
+
+/// Default measurement-cache capacity: the URSA_CACHE_SIZE environment
+/// variable when set to a positive integer, else 4 (read per call).
+unsigned defaultMeasurementCacheSize();
+
 /// Which resource's transformations run first.
 enum class PhaseOrdering {
   RegistersFirst, ///< the paper's recommendation (Section 5)
@@ -58,6 +67,24 @@ struct URSAOptions {
   /// (the pre-cache behavior, kept for benchmarking and as an escape
   /// hatch).
   bool MeasurementReuse = true;
+  /// Score edge-only proposals (FU/register sequencing) through the
+  /// incremental measurement engine (ursa/IncrementalMeasure.h): delta
+  /// reachability closures plus warm-started chain matchings derived from
+  /// the round-start state, instead of a full State build per scratch
+  /// copy. Spill proposals and any delta the engine cannot prove safe
+  /// fall back to the full rebuild. Results stay bit-identical either
+  /// way: the incremental path computes only canonical quantities
+  /// (per-resource widths, total excess, critical path) and is used only
+  /// to *score* proposals — the winner is always re-measured in full, so
+  /// chains, excessive sets, and every downstream decision are unchanged.
+  /// Under VerifyLevel::Full each delta is differentially checked against
+  /// a fresh rebuild. Defaults through URSA_INCREMENTAL (on unless 0).
+  bool IncrementalMeasure = defaultIncrementalMeasure();
+  /// Capacity (entries) of the fingerprint-keyed measurement cache; 0
+  /// resolves through URSA_CACHE_SIZE, else 4. Deeper phase interleavings
+  /// (long sweeps revisiting states) benefit from more entries;
+  /// ursa.driver.measure_cache.evictions tells when 4 is too small.
+  unsigned MeasurementCacheSize = 0;
   /// Safety valve; each round must reduce total excess, so this is
   /// rarely reached.
   unsigned MaxRounds = 128;

@@ -1,0 +1,106 @@
+//===- ursa/IncrementalMeasure.cpp - Delta re-measurement -----------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ursa/IncrementalMeasure.h"
+
+#include "obs/Stats.h"
+#include "obs/Tracer.h"
+#include "ursa/KillSelection.h"
+#include "ursa/ReuseDAG.h"
+
+#include <cassert>
+
+using namespace ursa;
+
+URSA_STAT(StatDeltaMeasures, "ursa.incremental.delta_measures",
+          "proposal states measured by delta instead of a full rebuild");
+URSA_STAT(StatDeltaEdges, "ursa.incremental.edges_propagated",
+          "edges folded into reachability closures by delta propagation");
+
+IncrementalMeasurer::IncrementalMeasurer(
+    const DependenceDAG &BaseDIn, const DAGAnalysis &BaseAIn,
+    const std::vector<Measurement> &BaseMeasIn,
+    const std::vector<std::pair<ResourceId, unsigned>> &LimitsIn,
+    const MeasureOptions &MOIn)
+    : BaseD(BaseDIn), BaseA(BaseAIn), BaseMeas(BaseMeasIn), Limits(LimitsIn),
+      MO(MOIn) {
+  assert(BaseMeas.size() == Limits.size() &&
+         "measurements and limits must align (machineResources order)");
+}
+
+bool IncrementalMeasurer::measureDelta(const DependenceDAG &Scratch,
+                                       const TransformProposal &P,
+                                       DeltaMeasurement &Out) const {
+  // Spills insert store/reload nodes and rewire use edges — not an edge
+  // delta. Everything else only adds P.SeqEdges (plus reachability-neutral
+  // virtual-edge cleanup).
+  if (P.Kind == TransformProposal::Spill)
+    return false;
+  if (Scratch.size() != BaseD.size())
+    return false;
+
+  URSA_SPAN(DeltaSpan, "ursa.measure.delta", "measure");
+  std::unique_ptr<DAGAnalysis> A;
+  {
+    URSA_SPAN(ClosureSpan, "ursa.measure.delta.closure", "measure");
+    A = DAGAnalysis::buildIncremental(Scratch, BaseA, P.SeqEdges);
+  }
+  if (!A)
+    return false;
+
+  Out.Required.clear();
+  Out.Required.reserve(BaseMeas.size());
+  Out.CritPath = A->criticalPathLength();
+  Out.TotalExcess = 0;
+
+  KillMap Kills;
+  bool KillsBuilt = false;
+  std::vector<unsigned> FUActive;
+  for (unsigned I = 0; I != BaseMeas.size(); ++I) {
+    const Measurement &BM = BaseMeas[I];
+    unsigned W;
+    if (BM.Res.Kind == ResourceId::FU) {
+      // The FU reuse relation is the reachability closure restricted to
+      // the FU-using nodes (ReuseDAG.cpp builds row = descendants &
+      // active), so skip the matrix build: recompute the active set the
+      // same way and let the width matcher mask the closure rows.
+      FUActive.clear();
+      for (unsigned N = 2, E = Scratch.size(); N != E; ++N)
+        if (BM.Res.AllClasses ||
+            Scratch.instrAt(N).fuKind() == BM.Res.FUClass)
+          FUActive.push_back(N);
+      // The warm start assumes the relation's domain is unchanged; an
+      // edge delta never changes it (active sets are trace-determined),
+      // so a mismatch means the delta premise is broken — fall back.
+      if (FUActive != BM.Reuse.Active)
+        return false;
+      URSA_SPAN(WidthSpan, "ursa.measure.delta.fu_width", "measure");
+      W = chainWidthWarmStart(A->reachabilityClosure(), FUActive, BM.Chains);
+    } else {
+      if (!KillsBuilt) {
+        URSA_SPAN(KillSpan, "ursa.measure.delta.kills", "measure");
+        Kills = MO.KillSolver == 1 ? selectKillsMinCoverExact(Scratch, *A)
+                                   : selectKillsGreedy(Scratch, *A);
+        KillsBuilt = true;
+      }
+      URSA_SPAN(RegSpan, "ursa.measure.delta.reg_width", "measure");
+      ReuseRelation R = BM.Res.AllClasses
+                            ? buildRegReuse(Scratch, *A, Kills)
+                            : buildRegReuseForClass(Scratch, *A, Kills,
+                                                    BM.Res.RC);
+      if (R.Active != BM.Reuse.Active)
+        return false;
+      W = chainWidthWarmStart(R.Rel, R.Active, BM.Chains);
+    }
+    Out.Required.push_back(W);
+    if (W > Limits[I].second)
+      Out.TotalExcess += W - Limits[I].second;
+  }
+
+  StatDeltaMeasures.add();
+  StatDeltaEdges.add(P.SeqEdges.size());
+  return true;
+}

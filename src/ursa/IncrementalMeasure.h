@@ -1,0 +1,86 @@
+//===- ursa/IncrementalMeasure.h - Delta re-measurement ---------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental re-measurement for the driver's proposal loop. A sequencing
+/// proposal adds a handful of edges to a DAG the round-start state already
+/// analyzed, yet the full evaluation path rebuilds everything from scratch:
+/// transitive closure, hammock forest, kill selection, reuse relations, and
+/// one Kuhn matching per resource. This module derives the score-relevant
+/// numbers from the round-start state instead:
+///
+///  * the reachability closure is updated by DAGAnalysis::buildIncremental
+///    (exact per-edge delta propagation);
+///  * each resource's width is recomputed by warm-starting the chain
+///    matching from the round-start decomposition (chainWidthWarmStart) —
+///    edge additions only grow the FU reuse relation, so its whole previous
+///    matching survives; register relations re-run kill selection and seed
+///    with whatever pairs the new relation still contains;
+///  * the hammock forest, the chain decompositions themselves, and the
+///    excessive-set search are skipped entirely — proposal scoring needs
+///    only widths, total excess, and the critical path, all of which are
+///    canonical (independent of matching history), so the numbers are
+///    bit-identical to a full rebuild.
+///
+/// Strict correctness contract: anything the engine cannot prove to be a
+/// pure edge delta — spill proposals (they insert nodes), size changes, a
+/// changed active set, an edge that would close a cycle — makes
+/// measureDelta() return false and the caller falls back to the full
+/// rebuild. The driver additionally differential-checks every delta
+/// against a fresh rebuild under URSA_VERIFY=full.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_INCREMENTALMEASURE_H
+#define URSA_URSA_INCREMENTALMEASURE_H
+
+#include "graph/Analysis.h"
+#include "ursa/Measure.h"
+#include "ursa/Transforms.h"
+
+#include <vector>
+
+namespace ursa {
+
+/// The score-relevant summary of one measured DAG state: everything the
+/// driver's proposal ranking reads, nothing it does not (no chains, no
+/// hammocks, no excessive sets — those come only from full builds).
+struct DeltaMeasurement {
+  /// Per-resource widths, aligned with machineResources() order.
+  std::vector<unsigned> Required;
+  unsigned CritPath = 0;
+  unsigned TotalExcess = 0;
+};
+
+/// Measures proposal scratch copies against one round-start state. The
+/// referenced base state (analysis, measurements, limits) must outlive the
+/// measurer and all measureDelta() calls. measureDelta() is const and
+/// touches no shared mutable state, so one measurer serves all of a
+/// round's evaluations concurrently.
+class IncrementalMeasurer {
+public:
+  IncrementalMeasurer(const DependenceDAG &BaseD, const DAGAnalysis &BaseA,
+                      const std::vector<Measurement> &BaseMeas,
+                      const std::vector<std::pair<ResourceId, unsigned>> &Limits,
+                      const MeasureOptions &MO);
+
+  /// Measures \p Scratch — the base DAG with \p P already applied — into
+  /// \p Out. Returns false (leaving \p Out unspecified) when the delta
+  /// cannot be proven safe; the caller must then build a full State.
+  bool measureDelta(const DependenceDAG &Scratch, const TransformProposal &P,
+                    DeltaMeasurement &Out) const;
+
+private:
+  const DependenceDAG &BaseD;
+  const DAGAnalysis &BaseA;
+  const std::vector<Measurement> &BaseMeas;
+  const std::vector<std::pair<ResourceId, unsigned>> &Limits;
+  MeasureOptions MO;
+};
+
+} // namespace ursa
+
+#endif // URSA_URSA_INCREMENTALMEASURE_H

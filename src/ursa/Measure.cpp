@@ -164,31 +164,89 @@ ursa::findExcessiveSets(const Measurement &Meas, const DAGAnalysis &A,
     // until heads and tails are pairwise independent. Independence is in
     // the Reuse relation: two values in DAG order can still demand
     // registers simultaneously, so DAG reachability would over-trim.
+    // The rule set is order-sensitive: each step applies the
+    // lexicographically-first applicable trim — smallest (I, J), head
+    // rule before tail rule at a pair — so chains are trimmed in a
+    // deterministic sequence. A naive implementation restarts the full
+    // pair scan after every trim (O(chains^2) per trim, O(chains^3)+ on
+    // wide hammocks); instead, trim [Lo, Hi) windows over the projections
+    // and keep, per chain, the smallest partner the rules apply against.
+    // A trim only moves chain I's endpoints, so only pairs involving I
+    // can change applicability — everything else is repaired locally.
+    // The trim sequence (and thus the output) is identical to the naive
+    // scan's.
     const BitMatrix &Rel = Meas.Reuse.Rel;
     (void)A;
-    bool Changed = true;
-    while (Changed && Sub.size() > Limit) {
-      Changed = false;
-      for (unsigned I = 0; I != Sub.size() && !Changed; ++I) {
-        for (unsigned J = 0; J != Sub.size() && !Changed; ++J) {
-          if (I == J)
-            continue;
-          if (Rel.test(Sub[I].front(), Sub[J].front())) {
-            Sub[I].erase(Sub[I].begin());
-            Changed = true;
-          } else if (Rel.test(Sub[J].back(), Sub[I].back())) {
-            Sub[I].pop_back();
-            Changed = true;
-          }
-        }
+    unsigned NumC = Sub.size();
+    std::vector<unsigned> Lo(NumC, 0), Hi(NumC);
+    std::vector<uint8_t> Alive(NumC, 1);
+    for (unsigned I = 0; I != NumC; ++I)
+      Hi[I] = Sub[I].size();
+    unsigned LiveCount = NumC;
+
+    // Head rule: I's head precedes J's head. Tail rule: I's tail follows
+    // J's tail. Either lets chain I shed the endpoint.
+    auto Applies = [&](unsigned I, unsigned J) {
+      return Rel.test(Sub[I][Lo[I]], Sub[J][Lo[J]]) ||
+             Rel.test(Sub[J][Hi[J] - 1], Sub[I][Hi[I] - 1]);
+    };
+    constexpr int None = -1;
+    auto BestFor = [&](unsigned I, unsigned From) {
+      for (unsigned J = From; J != NumC; ++J)
+        if (J != I && Alive[J] && Applies(I, J))
+          return int(J);
+      return None;
+    };
+    std::vector<int> BestJ(NumC, None);
+    for (unsigned I = 0; I != NumC; ++I)
+      BestJ[I] = BestFor(I, 0);
+
+    while (LiveCount > Limit) {
+      // The next trim: smallest live I with an applicable partner.
+      unsigned I = 0;
+      while (I != NumC && (!Alive[I] || BestJ[I] == None))
+        ++I;
+      if (I == NumC)
+        break;
+      unsigned J = unsigned(BestJ[I]);
+      if (Rel.test(Sub[I][Lo[I]], Sub[J][Lo[J]]))
+        ++Lo[I]; // head rule first, as in the pair scan
+      else
+        --Hi[I];
+
+      if (Lo[I] == Hi[I]) {
+        Alive[I] = 0;
+        --LiveCount;
+        // Rows that applied against I must look further; pairs not
+        // involving I are untouched.
+        for (unsigned K = 0; K != NumC; ++K)
+          if (Alive[K] && BestJ[K] == int(I))
+            BestJ[K] = BestFor(K, I);
+        continue;
       }
-      for (unsigned I = Sub.size(); I-- > 0;) {
-        if (Sub[I].empty()) {
-          Sub.erase(Sub.begin() + I);
-          Full.erase(Full.begin() + I);
-        }
+      BestJ[I] = BestFor(I, 0);
+      for (unsigned K = 0; K != NumC; ++K) {
+        if (!Alive[K] || K == I)
+          continue;
+        if (BestJ[K] == int(I))
+          // (K, I) may no longer apply; smaller partners were and remain
+          // inapplicable, so resume the scan at I.
+          BestJ[K] = BestFor(K, I);
+        else if ((BestJ[K] == None || int(I) < BestJ[K]) && Applies(K, I))
+          BestJ[K] = int(I);
       }
     }
+
+    // Materialize the surviving windows.
+    std::vector<std::vector<unsigned>> TrimmedSub, TrimmedFull;
+    for (unsigned I = 0; I != NumC; ++I)
+      if (Alive[I]) {
+        TrimmedSub.emplace_back(Sub[I].begin() + Lo[I],
+                                Sub[I].begin() + Hi[I]);
+        TrimmedFull.push_back(std::move(Full[I]));
+      }
+    Sub = std::move(TrimmedSub);
+    Full = std::move(TrimmedFull);
 
     ExcessiveChainSet E;
     E.Res = Meas.Res;

@@ -387,3 +387,146 @@ TEST(Measure, UntrimmedFallbackExposesFullProjection) {
   }
   EXPECT_TRUE(SawFallback) << "forged measurement must take the fallback";
 }
+
+namespace {
+
+/// The pre-optimization findExcessiveSets, transcribed verbatim as the
+/// reference for the incremental trimming loop: after every single trim it
+/// restarts the full pair scan (the O(chains^3) behavior the production
+/// loop now avoids). The production loop must reproduce its exact trim
+/// sequence, so the outputs must match field for field.
+std::vector<ExcessiveChainSet>
+referenceExcessiveSets(const Measurement &Meas, const HammockForest &HF,
+                       unsigned Limit) {
+  std::vector<ExcessiveChainSet> Out;
+  if (Meas.MaxRequired <= Limit)
+    return Out;
+
+  for (unsigned HIdx : HF.innermostFirst()) {
+    const Hammock &H = HF.hammock(HIdx);
+
+    std::vector<unsigned> InHammock;
+    for (unsigned N : Meas.Reuse.Active)
+      if (H.Members.test(N))
+        InHammock.push_back(N);
+    if (InHammock.size() <= Limit)
+      continue;
+    std::vector<unsigned> Witness = maxAntichain(Meas.Reuse.Rel, InHammock);
+    if (Witness.size() <= Limit)
+      continue;
+
+    std::vector<std::vector<unsigned>> Sub, Full;
+    for (const auto &Chain : Meas.Chains.Chains) {
+      std::vector<unsigned> S;
+      for (unsigned N : Chain)
+        if (H.Members.test(N))
+          S.push_back(N);
+      if (!S.empty()) {
+        Full.push_back(S);
+        Sub.push_back(std::move(S));
+      }
+    }
+    std::vector<std::vector<unsigned>> Untrimmed = Sub;
+
+    const BitMatrix &Rel = Meas.Reuse.Rel;
+    bool Changed = true;
+    while (Changed && Sub.size() > Limit) {
+      Changed = false;
+      for (unsigned I = 0; I != Sub.size() && !Changed; ++I) {
+        for (unsigned J = 0; J != Sub.size() && !Changed; ++J) {
+          if (I == J)
+            continue;
+          if (Rel.test(Sub[I].front(), Sub[J].front())) {
+            Sub[I].erase(Sub[I].begin());
+            Changed = true;
+          } else if (Rel.test(Sub[J].back(), Sub[I].back())) {
+            Sub[I].pop_back();
+            Changed = true;
+          }
+        }
+      }
+      for (unsigned I = Sub.size(); I-- > 0;) {
+        if (Sub[I].empty()) {
+          Sub.erase(Sub.begin() + I);
+          Full.erase(Full.begin() + I);
+        }
+      }
+    }
+
+    ExcessiveChainSet E;
+    E.Res = Meas.Res;
+    E.HammockIdx = HIdx;
+    E.Limit = Limit;
+    if (Sub.size() > Limit) {
+      E.Subchains = std::move(Sub);
+      E.FullChains = std::move(Full);
+    } else {
+      E.Trimmed = false;
+      E.Subchains = Untrimmed;
+      E.FullChains = std::move(Untrimmed);
+    }
+    E.Witness = std::move(Witness);
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+void expectSameSets(const std::vector<ExcessiveChainSet> &Got,
+                    const std::vector<ExcessiveChainSet> &Want) {
+  ASSERT_EQ(Got.size(), Want.size());
+  for (unsigned I = 0; I != Got.size(); ++I) {
+    EXPECT_EQ(Got[I].HammockIdx, Want[I].HammockIdx);
+    EXPECT_EQ(Got[I].Limit, Want[I].Limit);
+    EXPECT_EQ(Got[I].Trimmed, Want[I].Trimmed);
+    EXPECT_EQ(Got[I].Subchains, Want[I].Subchains);
+    EXPECT_EQ(Got[I].FullChains, Want[I].FullChains);
+    EXPECT_EQ(Got[I].Witness, Want[I].Witness);
+  }
+}
+
+} // namespace
+
+TEST(Measure, TrimLoopMatchesRestartingReference) {
+  // The incremental trimming loop must be a pure speedup: identical trim
+  // sequence, identical sets, at every limit, on both resources.
+  GenOptions Opts;
+  Opts.NumInstrs = 40;
+  Opts.Window = 12;
+  for (uint64_t Seed = 1; Seed != 12; ++Seed) {
+    Opts.Seed = Seed;
+    DependenceDAG D = buildDAG(generateTrace(Opts));
+    DAGAnalysis A(D);
+    HammockForest HF(D, A);
+    for (ResourceId::KindT Kind : {ResourceId::FU, ResourceId::Reg}) {
+      ResourceId Res{Kind, FUKind::Universal, RegClassKind::GPR, true};
+      Measurement M = measureResource(D, A, HF, Res);
+      for (unsigned Limit = 1; Limit < M.MaxRequired; ++Limit)
+        expectSameSets(findExcessiveSets(M, A, HF, Limit),
+                       referenceExcessiveSets(M, HF, Limit));
+    }
+  }
+}
+
+TEST(Measure, TrimLoopManyChainHammock) {
+  // The regression target: hammocks holding dozens of parallel chains,
+  // where the restart-on-change scan went cubic. The Chains shape builds
+  // them directly: NumInputs independent chains joined at the end. Tight
+  // limits force the longest trim sequences.
+  GenOptions Opts;
+  Opts.Shape = GenOptions::ShapeKind::Chains;
+  Opts.NumInstrs = 120;
+  Opts.NumInputs = 24;
+  for (uint64_t Seed : {2ull, 9ull}) {
+    Opts.Seed = Seed;
+    DependenceDAG D = buildDAG(generateTrace(Opts));
+    DAGAnalysis A(D);
+    HammockForest HF(D, A);
+    ResourceId Res{ResourceId::FU, FUKind::Universal, RegClassKind::GPR,
+                   true};
+    Measurement M = measureResource(D, A, HF, Res);
+    ASSERT_GT(M.MaxRequired, 8u) << "workload no longer wide enough";
+    for (unsigned Limit : {1u, 2u, M.MaxRequired / 2})
+      expectSameSets(findExcessiveSets(M, A, HF, Limit),
+                     referenceExcessiveSets(M, HF, Limit));
+  }
+}
