@@ -1,0 +1,215 @@
+//===- bench/bench_service_throughput.cpp - Cold vs warm batches ----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Batch throughput through the in-process CompileService: the same
+// machinery ursa_served drives, minus the socket, so the numbers isolate
+// the service's own contribution (queueing, worker dispatch, and the
+// server-scope measurement cache shared across requests).
+//
+// Two corpus tiers, three passes each:
+//
+//   cold     first pass over the corpus — every fingerprint misses
+//   warm     identical second pass — measured states come from the shared
+//            cache, so compiles skip the from-scratch reuse/width build
+//   fresh    a control pass over a *different* corpus of the same shape —
+//            misses again, proving the warm win is cache reuse and not
+//            some other warm-up effect
+//
+// The `measure` tier (wide traces, machine ample enough that nothing
+// transforms) is where a compile service earns its cache: recompiling an
+// unchanged function costs one fingerprint probe instead of the O(n^2)
+// reuse relation and Dilworth matchings, which dominate such compiles.
+// The `transform` tier (register-tight) is reported for honesty — there
+// the proposal loop dominates and runs identically warm or cold, so the
+// cache buys little wall clock.
+//
+// The gate mirrors the acceptance bar: on the repeated-corpus `measure`
+// tier, warm throughput must be at least 1.5x cold, with every warm
+// response byte-identical to its cold counterpart (both tiers).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "service/CompileService.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+using namespace ursa;
+using namespace ursa::service;
+using namespace ursa::bench;
+
+namespace {
+
+struct PassResult {
+  double WallMs = 0;
+  std::vector<std::string> Texts;
+  unsigned Failures = 0;
+};
+
+/// Runs one batch through \p Svc; wall clock covers submit through last
+/// response.
+PassResult runPass(CompileService &Svc, const std::vector<std::string> &Sources,
+                   const MachineSpec &Machine, const char *Tag) {
+  struct Sink {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    size_t Done = 0;
+    std::vector<std::string> Texts;
+    std::vector<bool> Ok;
+  } S;
+  S.Texts.resize(Sources.size());
+  S.Ok.assign(Sources.size(), false);
+
+  auto T0 = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != Sources.size(); ++I) {
+    ServiceRequest R;
+    R.Op = ServiceRequest::OpKind::Compile;
+    R.Id = std::string(Tag) + std::to_string(I);
+    R.Source = Sources[I];
+    R.Machine = Machine;
+    Svc.handle(std::move(R), [&S, I](const ServiceResponse &Resp) {
+      std::lock_guard<std::mutex> L(S.Mu);
+      if (Resp.Status == ServiceResponse::StatusKind::Ok) {
+        S.Texts[I] = Resp.Text;
+        S.Ok[I] = true;
+      }
+      ++S.Done;
+      S.Cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> L(S.Mu);
+    S.Cv.wait(L, [&] { return S.Done == Sources.size(); });
+  }
+  PassResult R;
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
+  R.Texts = std::move(S.Texts);
+  for (bool Ok : S.Ok)
+    if (!Ok)
+      ++R.Failures;
+  return R;
+}
+
+std::vector<std::string> makeCorpus(unsigned N, unsigned Instrs,
+                                    unsigned Window, uint64_t SeedBase) {
+  std::vector<std::string> Out;
+  for (unsigned I = 0; I != N; ++I) {
+    GenOptions G;
+    G.NumInstrs = Instrs;
+    G.Window = Window;
+    G.Seed = SeedBase + I;
+    Out.push_back(generateTrace(G).str());
+  }
+  return Out;
+}
+
+struct TierResult {
+  std::string Name;
+  PassResult Cold, Warm, Fresh;
+  unsigned Mismatches = 0;
+  double warmSpeedup() const { return Cold.WallMs / Warm.WallMs; }
+  double freshSpeedup() const { return Cold.WallMs / Fresh.WallMs; }
+  bool identical() const {
+    return Mismatches == 0 && !Cold.Failures && !Warm.Failures &&
+           !Fresh.Failures;
+  }
+};
+
+TierResult runTier(const char *Name, unsigned N, unsigned Instrs,
+                   unsigned Window, const MachineSpec &Machine) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.CacheSize = 4096;
+  CompileService Svc(Cfg);
+
+  std::vector<std::string> Corpus = makeCorpus(N, Instrs, Window, 1000);
+  std::vector<std::string> Fresh = makeCorpus(N, Instrs, Window, 9000);
+
+  TierResult T;
+  T.Name = Name;
+  T.Cold = runPass(Svc, Corpus, Machine, "cold");
+  T.Warm = runPass(Svc, Corpus, Machine, "warm");
+  T.Fresh = runPass(Svc, Fresh, Machine, "fresh");
+  for (unsigned I = 0; I != N; ++I)
+    if (T.Cold.Texts[I] != T.Warm.Texts[I])
+      ++T.Mismatches;
+  return T;
+}
+
+} // namespace
+
+int main() {
+  std::printf("service batch throughput: cold vs warm measurement cache\n\n");
+
+  const unsigned N = 32;
+
+  // Wide traces on an ample machine: the compile is the measurement.
+  MachineSpec Ample;
+  Ample.Fus = 4;
+  Ample.Regs = 64;
+  TierResult Measure = runTier("measure", N, 160, 48, Ample);
+
+  // Register-tight: the proposal loop dominates; cache buys little.
+  MachineSpec Tight;
+  Tight.Fus = 2;
+  Tight.Regs = 16;
+  TierResult Transform = runTier("transform", N, 60, 12, Tight);
+
+  Table Tbl({"tier", "pass", "functions", "wall ms", "funcs/s", "vs cold"});
+  for (const TierResult *T : {&Measure, &Transform}) {
+    auto Row = [&](const char *Pass, const PassResult &P, double Speedup) {
+      Tbl.addRow({T->Name, Pass, Table::fmt(uint64_t(N)),
+                  Table::fmt(P.WallMs, 1),
+                  Table::fmt(1000.0 * N / P.WallMs, 1),
+                  Table::fmt(Speedup, 2) + "x"});
+    };
+    Row("cold", T->Cold, 1.0);
+    Row("warm", T->Warm, T->warmSpeedup());
+    Row("fresh", T->Fresh, T->freshSpeedup());
+  }
+  Tbl.print(std::cout);
+
+  bool Identical = Measure.identical() && Transform.identical();
+  bool SpeedupOk = Measure.warmSpeedup() >= 1.5;
+  std::printf("\nmeasure tier warm %.2fx cold (gate: >= 1.50x), transform "
+              "tier %.2fx; warm responses %s cold\n",
+              Measure.warmSpeedup(), Transform.warmSpeedup(),
+              Identical ? "match" : "DIVERGE from (bug!)");
+
+  std::string Artifact =
+      writeBenchArtifact("service_throughput", [&](obs::JsonWriter &W) {
+        W.beginObject();
+        W.kv("functions", uint64_t(N));
+        W.kv("workers", uint64_t(2));
+        W.kv("warm_speedup_ok", SpeedupOk);
+        W.kv("identical", Identical);
+        W.key("tiers").beginArray();
+        for (const TierResult *T : {&Measure, &Transform}) {
+          W.beginObject();
+          W.kv("tier", T->Name);
+          W.kv("cold_ms", T->Cold.WallMs);
+          W.kv("warm_ms", T->Warm.WallMs);
+          W.kv("fresh_ms", T->Fresh.WallMs);
+          W.kv("warm_speedup", T->warmSpeedup());
+          W.kv("fresh_speedup", T->freshSpeedup());
+          W.kv("mismatches", uint64_t(T->Mismatches));
+          W.endObject();
+        }
+        W.endArray();
+        W.endObject();
+      });
+  if (!Artifact.empty())
+    std::printf("artifact: %s\n", Artifact.c_str());
+
+  return Identical && SpeedupOk ? 0 : 1;
+}

@@ -1,0 +1,238 @@
+//===- examples/ursa_batch.cpp - Batch client for ursa_served -------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Compiles a batch of trace files through a running ursa_served:
+//
+//   ursa_batch --socket PATH [files...] [options]
+//
+//   --machine FxR         homogeneous machine (as ursa_cc)
+//   --classed i,f,m,g,p   classed machine
+//   --latencies i,f,m     operation latencies
+//   --pipelined           initiation-interval-1 FUs
+//   --order NAME          regs | fus | integrated
+//   --verify LEVEL        off | basic | full
+//   --guaranteed-fit      force residual excess to fit
+//   --time-budget MS      per-compile wall-clock budget
+//   --deadline MS         per-request deadline (queue + compile)
+//   --window N            max requests in flight (default 16); keeps the
+//                         batch inside the server's queue so nothing is
+//                         shed, while still pipelining across workers
+//   --report              fetch and print the server report instead
+//   --shutdown            ask the server to shut down (drains first)
+//
+// Requests are pipelined up to the window and responses matched back by
+// id, so compiles run concurrently on the server; output is printed in
+// input order and is bit-identical to running `ursa_cc FILE ...` per
+// file, at any worker count. A shed response (server momentarily full)
+// is retried with backoff.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace ursa;
+using namespace ursa::service;
+
+namespace {
+
+bool parseUints(const char *S, std::vector<unsigned> &Out, char Sep) {
+  Out.clear();
+  std::stringstream In(S);
+  std::string Tok;
+  while (std::getline(In, Tok, Sep))
+    Out.push_back(unsigned(std::atoi(Tok.c_str())));
+  return !Out.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath;
+  if (const char *S = std::getenv("URSA_SERVICE_SOCKET"))
+    SocketPath = S;
+  std::vector<std::string> Files;
+  ServiceRequest Proto; // machine/options shared by every file
+  unsigned Window = 16;
+  bool DoReport = false, DoShutdown = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    const char *S = nullptr;
+    std::vector<unsigned> V;
+    if (A == "--socket" && (S = Next())) {
+      SocketPath = S;
+    } else if (A == "--machine" && (S = Next()) && parseUints(S, V, 'x') &&
+               V.size() == 2) {
+      Proto.Machine.Classed = false;
+      Proto.Machine.Fus = V[0];
+      Proto.Machine.Regs = V[1];
+    } else if (A == "--classed" && (S = Next()) && parseUints(S, V, ',') &&
+               V.size() == 5) {
+      Proto.Machine.Classed = true;
+      Proto.Machine.IntFus = V[0];
+      Proto.Machine.FltFus = V[1];
+      Proto.Machine.MemFus = V[2];
+      Proto.Machine.Gprs = V[3];
+      Proto.Machine.Fprs = V[4];
+    } else if (A == "--latencies" && (S = Next()) && parseUints(S, V, ',') &&
+               V.size() == 3) {
+      Proto.Machine.LatInt = V[0];
+      Proto.Machine.LatFlt = V[1];
+      Proto.Machine.LatMem = V[2];
+    } else if (A == "--pipelined") {
+      Proto.Machine.Pipelined = true;
+    } else if (A == "--order" && (S = Next())) {
+      Proto.Order = S;
+    } else if (A == "--verify" && (S = Next())) {
+      Proto.Verify = S;
+    } else if (A == "--guaranteed-fit") {
+      Proto.GuaranteedFit = true;
+    } else if (A == "--time-budget" && (S = Next())) {
+      Proto.TimeBudgetMs = unsigned(std::atoi(S));
+    } else if (A == "--deadline" && (S = Next())) {
+      Proto.DeadlineMs = unsigned(std::atoi(S));
+    } else if (A == "--window" && (S = Next()) && std::atoi(S) > 0) {
+      Window = unsigned(std::atoi(S));
+    } else if (A == "--report") {
+      DoReport = true;
+    } else if (A == "--shutdown") {
+      DoShutdown = true;
+    } else if (A.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown or incomplete option '%s'\n", A.c_str());
+      return 1;
+    } else {
+      Files.push_back(A);
+    }
+  }
+  if (SocketPath.empty() || (Files.empty() && !DoReport && !DoShutdown)) {
+    std::fprintf(stderr,
+                 "usage: ursa_batch --socket PATH [files...] [options]\n"
+                 "       (see the header of examples/ursa_batch.cpp)\n");
+    return 1;
+  }
+
+  StatusOr<ServiceClient> COr = ServiceClient::connect(SocketPath);
+  if (!COr.isOk()) {
+    std::fprintf(stderr, "error: %s\n", COr.status().str().c_str());
+    return 1;
+  }
+  ServiceClient &Client = *COr;
+
+  // Per-file results, indexed like Files; printed in order at the end.
+  std::vector<ServiceResponse> Results(Files.size());
+  std::vector<bool> Got(Files.size(), false);
+  std::vector<std::string> Sources(Files.size());
+  for (size_t I = 0; I != Files.size(); ++I) {
+    std::ifstream In(Files[I]);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Files[I].c_str());
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Sources[I] = Buf.str();
+  }
+
+  auto SendOne = [&](size_t I) -> bool {
+    ServiceRequest R = Proto;
+    R.Op = ServiceRequest::OpKind::Compile;
+    R.Id = std::to_string(I);
+    R.Source = Sources[I];
+    if (Status St = Client.send(R); !St.isOk()) {
+      std::fprintf(stderr, "error: %s\n", St.str().c_str());
+      return false;
+    }
+    return true;
+  };
+
+  size_t NextToSend = 0, Outstanding = 0, Remaining = Files.size();
+  unsigned ShedRetries = 0;
+  while (Remaining) {
+    while (NextToSend < Files.size() && Outstanding < Window) {
+      if (!SendOne(NextToSend))
+        return 1;
+      ++NextToSend;
+      ++Outstanding;
+    }
+    ServiceResponse Resp;
+    bool Closed = false;
+    if (Status St = Client.recv(Resp, Closed); !St.isOk() || Closed) {
+      std::fprintf(stderr, "error: %s\n",
+                   Closed ? "server closed the connection" : St.str().c_str());
+      return 1;
+    }
+    --Outstanding;
+    size_t I = size_t(std::atol(Resp.Id.c_str()));
+    if (I >= Files.size() || Got[I]) {
+      std::fprintf(stderr, "error: response for unknown id '%s'\n",
+                   Resp.Id.c_str());
+      return 1;
+    }
+    if (Resp.Status == ServiceResponse::StatusKind::Shed) {
+      // Momentary backpressure: ease off and resend this file.
+      if (++ShedRetries > 100) {
+        std::fprintf(stderr, "error: '%s' shed repeatedly, giving up\n",
+                     Files[I].c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (!SendOne(I))
+        return 1;
+      ++Outstanding;
+      continue;
+    }
+    Results[I] = Resp;
+    Got[I] = true;
+    --Remaining;
+  }
+
+  int Exit = 0;
+  for (size_t I = 0; I != Files.size(); ++I) {
+    const ServiceResponse &R = Results[I];
+    if (R.Status == ServiceResponse::StatusKind::Ok) {
+      std::fputs(R.Text.c_str(), stdout);
+    } else {
+      std::fprintf(stderr, "%s: %s: %s\n", Files[I].c_str(),
+                   statusName(R.Status), R.Error.c_str());
+      Exit = 1;
+    }
+  }
+
+  if (DoReport) {
+    ServiceRequest R;
+    R.Op = ServiceRequest::OpKind::Report;
+    R.Id = "report";
+    ServiceResponse Resp;
+    if (Status St = Client.call(R, Resp); !St.isOk()) {
+      std::fprintf(stderr, "error: %s\n", St.str().c_str());
+      return 1;
+    }
+    std::printf("%s\n", Resp.Text.c_str());
+  }
+  if (DoShutdown) {
+    ServiceRequest R;
+    R.Op = ServiceRequest::OpKind::Shutdown;
+    R.Id = "shutdown";
+    ServiceResponse Resp;
+    if (Status St = Client.call(R, Resp); !St.isOk()) {
+      std::fprintf(stderr, "error: %s\n", St.str().c_str());
+      return 1;
+    }
+  }
+  return Exit;
+}

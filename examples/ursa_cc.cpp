@@ -361,12 +361,11 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "compile error: %s\n", R.Error.c_str());
       return 1;
     }
-    if (O.EmitStats)
-      std::printf("; %s on %s: %u cycles, %u spill ops, %.0f%% utilization\n",
-                  O.Pipeline.c_str(), M.describe().c_str(), R.Cycles,
-                  R.SpillOps, 100 * R.Utilization);
-    if (O.EmitAsm)
-      std::printf("%s", R.Prog->str().c_str());
+    // Rendered through the same helper the compile service uses, so
+    // ursa_batch output stays bit-identical to this tool's.
+    std::fputs(
+        formatCompileText(O.Pipeline, M, R, O.EmitStats, O.EmitAsm).c_str(),
+        stdout);
     if (O.Run) {
       SimResult S = simulate(*R.Prog, O.Inputs);
       if (!S.Ok) {

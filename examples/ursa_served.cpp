@@ -1,0 +1,110 @@
+//===- examples/ursa_served.cpp - The persistent compile server -----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// A persistent compile service over a Unix-domain socket:
+//
+//   ursa_served --socket PATH [options]
+//
+//   --socket PATH       socket file to listen on (required; also
+//                       URSA_SERVICE_SOCKET)
+//   --workers N         concurrent compile workers (URSA_SERVICE_WORKERS,
+//                       default 2)
+//   --queue-depth N     bounded queue; arrivals beyond it are shed
+//                       (URSA_SERVICE_QUEUE_DEPTH, default 64)
+//   --cache-size N      measurement-cache entries per machine
+//                       (URSA_SERVICE_CACHE_SIZE, default 1024)
+//   --no-cache          disable cross-request measurement reuse
+//                       (URSA_SERVICE_CACHE=0)
+//   --time-budget MS    default per-compile wall-clock budget
+//                       (URSA_SERVICE_TIME_BUDGET_MS, default unlimited)
+//   --test-hooks        honor the per-request stall test hook
+//                       (URSA_SERVICE_TEST_HOOKS)
+//   --report-out FILE   write the final ursa.service_report.v1 document
+//                       to FILE on shutdown
+//
+// The server drains on a `shutdown` request: queued compiles finish and
+// their responses flush before the process exits. Protocol and report
+// schemas are documented in docs/SERVICE.md; ursa_batch is the matching
+// client.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+using namespace ursa;
+using namespace ursa::service;
+
+int main(int Argc, char **Argv) {
+  ServiceConfig Cfg = ServiceConfig::fromEnv();
+  std::string SocketPath;
+  if (const char *S = std::getenv("URSA_SERVICE_SOCKET"))
+    SocketPath = S;
+  std::string ReportOut;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    const char *S = nullptr;
+    if (A == "--socket" && (S = Next()))
+      SocketPath = S;
+    else if (A == "--workers" && (S = Next()) && std::atoi(S) > 0)
+      Cfg.Workers = unsigned(std::atoi(S));
+    else if (A == "--queue-depth" && (S = Next()) && std::atoi(S) > 0)
+      Cfg.QueueDepth = unsigned(std::atoi(S));
+    else if (A == "--cache-size" && (S = Next()) && std::atoi(S) > 0)
+      Cfg.CacheSize = unsigned(std::atoi(S));
+    else if (A == "--no-cache")
+      Cfg.CacheEnabled = false;
+    else if (A == "--time-budget" && (S = Next()))
+      Cfg.DefaultTimeBudgetMs = unsigned(std::atoi(S));
+    else if (A == "--test-hooks")
+      Cfg.EnableTestHooks = true;
+    else if (A == "--report-out" && (S = Next()))
+      ReportOut = S;
+    else {
+      std::fprintf(stderr, "unknown or incomplete option '%s'\n", A.c_str());
+      return 1;
+    }
+  }
+  if (SocketPath.empty()) {
+    std::fprintf(stderr,
+                 "usage: ursa_served --socket PATH [options]\n"
+                 "       (see the header of examples/ursa_served.cpp)\n");
+    return 1;
+  }
+
+  Server Srv(SocketPath, Cfg);
+  if (Status St = Srv.start(); !St.isOk()) {
+    std::fprintf(stderr, "error: %s\n", St.str().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "ursa_served: listening on %s (%u workers, queue %u, "
+               "cache %s/%u)\n",
+               SocketPath.c_str(), Cfg.Workers, Cfg.QueueDepth,
+               Cfg.CacheEnabled ? "on" : "off", Cfg.CacheSize);
+  Srv.run();
+
+  std::string Report = Srv.service().reportJSON();
+  if (!ReportOut.empty()) {
+    std::ofstream Out(ReportOut);
+    if (!Out) {
+      std::fprintf(stderr, "warning: cannot write report to '%s'\n",
+                   ReportOut.c_str());
+    } else {
+      Out << Report << "\n";
+    }
+  }
+  std::fprintf(stderr, "ursa_served: shut down\n");
+  return 0;
+}

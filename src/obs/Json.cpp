@@ -172,7 +172,8 @@ namespace {
 
 class Parser {
 public:
-  Parser(std::string_view Text, std::string &ErrOut) : S(Text), Err(ErrOut) {}
+  Parser(std::string_view Text, std::string &ErrOut, size_t MaxDepthIn)
+      : S(Text), Err(ErrOut), MaxDepth(MaxDepthIn) {}
 
   bool parse(JsonValue &Out) {
     skipWs();
@@ -208,10 +209,17 @@ private:
     if (Pos >= S.size())
       return fail("unexpected end of input");
     char C = S[Pos];
-    if (C == '{')
-      return parseObject(Out);
-    if (C == '[')
-      return parseArray(Out);
+    if (C == '{' || C == '[') {
+      // The parser is recursive-descent: depth is literal stack depth, so
+      // untrusted input must not choose it.
+      if (Depth >= MaxDepth)
+        return fail("nesting exceeds the depth limit (" +
+                    std::to_string(MaxDepth) + ")");
+      ++Depth;
+      bool Ok = C == '{' ? parseObject(Out) : parseArray(Out);
+      --Depth;
+      return Ok;
+    }
     if (C == '"') {
       Out.K = JsonValue::Kind::String;
       return parseString(Out.Str);
@@ -374,11 +382,26 @@ private:
 
   std::string_view S;
   std::string &Err;
+  size_t MaxDepth;
   size_t Pos = 0;
+  size_t Depth = 0;
 };
 
 } // namespace
 
 bool obs::parseJson(std::string_view S, JsonValue &Out, std::string &Err) {
-  return Parser(S, Err).parse(Out);
+  return Parser(S, Err, /*MaxDepth=*/256).parse(Out);
+}
+
+Status obs::parseJsonLimited(std::string_view S, JsonValue &Out,
+                             const JsonParseLimits &Limits) {
+  if (Limits.MaxBytes && S.size() > Limits.MaxBytes)
+    return Status::error("json",
+                         "document of " + std::to_string(S.size()) +
+                             " bytes exceeds the payload limit (" +
+                             std::to_string(Limits.MaxBytes) + ")");
+  std::string Err;
+  if (!Parser(S, Err, Limits.MaxDepth).parse(Out))
+    return Status::error("json", Err);
+  return Status::ok();
 }

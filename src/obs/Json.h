@@ -27,6 +27,8 @@
 #ifndef URSA_OBS_JSON_H
 #define URSA_OBS_JSON_H
 
+#include "support/Status.h"
+
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -110,8 +112,28 @@ struct JsonValue {
 
 /// Parses \p S into \p Out. On failure returns false and sets \p Err to a
 /// message with the byte offset. Trailing whitespace is allowed; trailing
-/// garbage is an error.
+/// garbage is an error. Meant for trusted input (our own artifacts read
+/// back): no payload cap, but nesting is still bounded (256 levels) so a
+/// corrupt file cannot overflow the parser's stack.
 bool parseJson(std::string_view S, JsonValue &Out, std::string &Err);
+
+/// Resource limits for parsing untrusted input (service requests arriving
+/// over a socket). Exceeding either limit is a clean parse error, never
+/// an abort or unbounded recursion.
+struct JsonParseLimits {
+  /// Maximum object/array nesting depth. The parser is recursive-descent,
+  /// so this bounds its stack use.
+  size_t MaxDepth = 64;
+  /// Maximum document size in bytes; 0 = unlimited.
+  size_t MaxBytes = 8u << 20;
+};
+
+/// Parses \p S into \p Out under \p Limits, returning a Status (phase
+/// "json") instead of a bool+string. This is the entry point for
+/// untrusted input: malformed documents, over-deep nesting, and oversized
+/// payloads all come back as ordinary errors.
+Status parseJsonLimited(std::string_view S, JsonValue &Out,
+                        const JsonParseLimits &Limits = {});
 
 } // namespace ursa::obs
 

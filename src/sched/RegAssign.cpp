@@ -79,9 +79,13 @@ RegAssignment ursa::assignRegisters(const DependenceDAG &D, const Schedule &S,
         continue;
       // Registers whose value died strictly before, or whose last read
       // happens this very cycle, are reusable (VLIW words read before
-      // they write).
+      // they write). A dead definition (End == Start) still *writes* its
+      // register in its issue cycle, so handing that register to another
+      // value defined in the same cycle would put two writes in one VLIW
+      // word — the interval must have started strictly earlier.
       for (auto It = Active.begin(); It != Active.end();) {
-        if (It->End <= V.Start && It->VReg != V.VReg) {
+        if (It->End <= V.Start && It->Start < V.Start &&
+            It->VReg != V.VReg) {
           Free.push_back(R.PhysOf[It->VReg]);
           It = Active.erase(It);
         } else {

@@ -1,0 +1,42 @@
+//===- service/Client.cpp - Compile-service client ------------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+using namespace ursa;
+using namespace ursa::service;
+
+StatusOr<ServiceClient> ServiceClient::connect(const std::string &Path) {
+  StatusOr<UnixSocket> S = UnixSocket::connect(Path);
+  if (!S.isOk())
+    return S.status();
+  return ServiceClient(std::move(*S));
+}
+
+Status ServiceClient::send(const ServiceRequest &R) {
+  return Sock.sendFrame(writeRequest(R));
+}
+
+Status ServiceClient::recv(ServiceResponse &Out, bool &Closed) {
+  std::string Frame;
+  Closed = false;
+  if (Status St = Sock.recvFrame(Frame, Closed); !St.isOk())
+    return St;
+  if (Closed)
+    return Status::ok();
+  return parseResponse(Frame, Out);
+}
+
+Status ServiceClient::call(const ServiceRequest &R, ServiceResponse &Out) {
+  if (Status St = send(R); !St.isOk())
+    return St;
+  bool Closed = false;
+  if (Status St = recv(Out, Closed); !St.isOk())
+    return St;
+  if (Closed)
+    return Status::error("service", "server closed the connection");
+  return Status::ok();
+}

@@ -1,0 +1,47 @@
+//===- service/Client.h - Compile-service client ----------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the wire protocol: connect, send requests, read
+/// responses. Requests may be pipelined — send any number before reading
+/// — and responses matched back by id; `ursa_batch` keeps a whole
+/// worker-pool's worth of compiles in flight this way. Shared by
+/// ursa_batch and the service tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SERVICE_CLIENT_H
+#define URSA_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+#include "support/Socket.h"
+
+namespace ursa::service {
+
+class ServiceClient {
+public:
+  /// Connects to the server listening on \p Path.
+  static StatusOr<ServiceClient> connect(const std::string &Path);
+
+  /// Sends one request frame.
+  Status send(const ServiceRequest &R);
+
+  /// Reads one response frame. A clean server close sets \p Closed and
+  /// returns OK.
+  Status recv(ServiceResponse &Out, bool &Closed);
+
+  /// send + recv for the simple one-at-a-time case.
+  Status call(const ServiceRequest &R, ServiceResponse &Out);
+
+private:
+  explicit ServiceClient(UnixSocket S) : Sock(std::move(S)) {}
+
+  UnixSocket Sock;
+};
+
+} // namespace ursa::service
+
+#endif // URSA_SERVICE_CLIENT_H

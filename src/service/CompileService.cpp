@@ -1,0 +1,350 @@
+//===- service/CompileService.cpp - Persistent compile service ------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+
+#include "ir/Parser.h"
+#include "obs/Json.h"
+#include "obs/Stats.h"
+#include "ursa/Compiler.h"
+#include "ursa/FaultInjector.h"
+#include "ursa/PipelineVerifier.h"
+#include "ursa/Report.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace ursa;
+using namespace ursa::service;
+
+static unsigned envUnsigned(const char *Name, unsigned Default) {
+  const char *S = std::getenv(Name);
+  if (!S || !*S)
+    return Default;
+  long V = std::atol(S);
+  return V >= 0 ? unsigned(V) : Default;
+}
+
+ServiceConfig ServiceConfig::fromEnv() {
+  ServiceConfig C;
+  C.Workers = std::max(1u, envUnsigned("URSA_SERVICE_WORKERS", C.Workers));
+  C.QueueDepth =
+      std::max(1u, envUnsigned("URSA_SERVICE_QUEUE_DEPTH", C.QueueDepth));
+  C.CacheSize = envUnsigned("URSA_SERVICE_CACHE_SIZE", C.CacheSize);
+  C.CacheEnabled = envUnsigned("URSA_SERVICE_CACHE", 1) != 0;
+  C.DefaultTimeBudgetMs =
+      envUnsigned("URSA_SERVICE_TIME_BUDGET_MS", C.DefaultTimeBudgetMs);
+  C.MaxRequestBytes =
+      envUnsigned("URSA_SERVICE_MAX_REQUEST_BYTES", C.MaxRequestBytes);
+  C.EnableTestHooks = envUnsigned("URSA_SERVICE_TEST_HOOKS", 0) != 0;
+  return C;
+}
+
+CompileService::CompileService(const ServiceConfig &Cfg) : Config(Cfg) {
+  Pool = std::make_unique<ThreadPool>(std::max(1u, Config.Workers));
+  // The dispatcher participates in the parallelFor, so this produces
+  // exactly Config.Workers concurrent workerLoop executions and joins
+  // them all before the dispatcher thread exits.
+  Dispatcher = std::thread([this] {
+    Pool->parallelFor(std::max(1u, Config.Workers),
+                      [this](size_t) { workerLoop(); });
+  });
+}
+
+CompileService::~CompileService() { stop(/*Drain=*/true); }
+
+void CompileService::stop(bool Drain) {
+  std::deque<Job> ToShed;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stopping = true;
+    if (!Drain) {
+      ToShed.swap(Queue);
+      C.Shed += ToShed.size();
+      C.QueueDepthNow = 0;
+    }
+    Quit = true;
+    JobReady.notify_all();
+  }
+  for (Job &J : ToShed) {
+    ServiceResponse Resp;
+    Resp.Status = ServiceResponse::StatusKind::Shed;
+    Resp.Id = J.R.Id;
+    Resp.Error = "server shutting down";
+    J.Done(Resp);
+  }
+  if (Dispatcher.joinable())
+    Dispatcher.join();
+}
+
+bool CompileService::handle(const ServiceRequest &R, ResponseFn Done) {
+  switch (R.Op) {
+  case ServiceRequest::OpKind::Compile:
+    submit(R, std::move(Done));
+    return true;
+  case ServiceRequest::OpKind::Report: {
+    ServiceResponse Resp;
+    Resp.Status = ServiceResponse::StatusKind::Report;
+    Resp.Id = R.Id;
+    Resp.Text = reportJSON();
+    Done(Resp);
+    return true;
+  }
+  case ServiceRequest::OpKind::Ping: {
+    ServiceResponse Resp;
+    Resp.Status = ServiceResponse::StatusKind::Ok;
+    Resp.Id = R.Id;
+    Done(Resp);
+    return true;
+  }
+  case ServiceRequest::OpKind::Shutdown: {
+    ServiceResponse Resp;
+    Resp.Status = ServiceResponse::StatusKind::Bye;
+    Resp.Id = R.Id;
+    Done(Resp);
+    return false;
+  }
+  }
+  return true;
+}
+
+void CompileService::submit(ServiceRequest R, ResponseFn Done) {
+  bool WasStopping;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++C.Received;
+    if (!Stopping && Queue.size() < Config.QueueDepth) {
+      Queue.push_back({std::move(R), std::move(Done),
+                       std::chrono::steady_clock::now()});
+      C.QueueDepthNow = Queue.size();
+      C.QueueDepthPeak = std::max(C.QueueDepthPeak, uint64_t(Queue.size()));
+      JobReady.notify_one();
+      return;
+    }
+    ++C.Shed;
+    WasStopping = Stopping;
+  }
+  ServiceResponse Resp;
+  Resp.Status = ServiceResponse::StatusKind::Shed;
+  Resp.Id = R.Id;
+  Resp.Error = WasStopping ? "server shutting down" : "queue full";
+  Done(Resp);
+}
+
+void CompileService::workerLoop() {
+  for (;;) {
+    Job J;
+    double QueueMs = 0;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      JobReady.wait(L, [this] { return Quit || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Quit and drained
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      C.QueueDepthNow = Queue.size();
+      ++C.InFlight;
+      QueueMs = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - J.Enqueued)
+                    .count();
+      C.TotalQueueMs += QueueMs;
+    }
+
+    ServiceResponse Resp;
+    if (J.R.DeadlineMs && QueueMs >= double(J.R.DeadlineMs)) {
+      // Expired while queued: answer without burning a compile on it.
+      Resp.Status = ServiceResponse::StatusKind::Deadline;
+      Resp.Id = J.R.Id;
+      Resp.Error = "deadline of " + std::to_string(J.R.DeadlineMs) +
+                   "ms expired while queued";
+      Resp.QueueMs = QueueMs;
+    } else {
+      Resp = compileOne(J.R, QueueMs);
+    }
+
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      --C.InFlight;
+      C.TotalCompileMs += Resp.CompileMs;
+      C.MaxCompileMs = std::max(C.MaxCompileMs, Resp.CompileMs);
+      switch (Resp.Status) {
+      case ServiceResponse::StatusKind::Ok:
+        ++C.Completed;
+        break;
+      case ServiceResponse::StatusKind::Deadline:
+        ++C.DeadlineExpired;
+        break;
+      default:
+        ++C.Errors;
+        break;
+      }
+    }
+    J.Done(Resp);
+  }
+}
+
+MeasurementCache *CompileService::cacheFor(const std::string &Key) {
+  std::lock_guard<std::mutex> L(TablesMu);
+  std::unique_ptr<MeasurementCache> &Slot = Caches[Key];
+  if (!Slot)
+    Slot = std::make_unique<MeasurementCache>(Config.CacheEnabled,
+                                              std::max(1u, Config.CacheSize));
+  return Slot.get();
+}
+
+const MachineModel &CompileService::modelFor(const MachineSpec &Spec) {
+  std::lock_guard<std::mutex> L(TablesMu);
+  auto It = Models.find(Spec.key());
+  if (It == Models.end())
+    It = Models.emplace(Spec.key(), Spec.build()).first;
+  return It->second;
+}
+
+ServiceResponse CompileService::compileOne(const ServiceRequest &R,
+                                           double QueueMs) {
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  Resp.QueueMs = QueueMs;
+  auto Begin = std::chrono::steady_clock::now();
+  auto Finish = [&](ServiceResponse &Out) -> ServiceResponse & {
+    Out.CompileMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Begin)
+                        .count();
+    return Out;
+  };
+
+  Trace T(R.Id.empty() ? "request" : R.Id);
+  std::string Err;
+  if (!parseTrace(R.Source, T, Err)) {
+    Resp.Status = ServiceResponse::StatusKind::Error;
+    Resp.Error = "parse error: " + Err;
+    return Finish(Resp);
+  }
+
+  const MachineModel &M = modelFor(R.Machine);
+
+  URSAOptions UO;
+  UO.Order = R.Order == "fus"          ? PhaseOrdering::FUsFirst
+             : R.Order == "integrated" ? PhaseOrdering::Integrated
+                                       : PhaseOrdering::RegistersFirst;
+  if (!R.Verify.empty())
+    UO.Verify = parseVerifyLevel(R.Verify.c_str());
+  UO.GuaranteedFit = R.GuaranteedFit;
+  UO.Threads = R.Threads ? R.Threads : 1;
+  if (R.Incremental >= 0)
+    UO.IncrementalMeasure = R.Incremental != 0;
+  if (R.MaxTotalRounds)
+    UO.MaxTotalRounds = R.MaxTotalRounds;
+  UO.SharedCache = cacheFor(R.Machine.key());
+
+  // Budget: the request's own budget, the server default, and whatever is
+  // left of the deadline after queueing — whichever binds first.
+  unsigned Budget = R.TimeBudgetMs ? R.TimeBudgetMs : Config.DefaultTimeBudgetMs;
+  if (R.DeadlineMs) {
+    unsigned Left = unsigned(std::max(1.0, double(R.DeadlineMs) - QueueMs));
+    Budget = Budget ? std::min(Budget, Left) : Left;
+  }
+  UO.TimeBudgetMs = Budget;
+
+  FaultInjector Stall(FaultKind::StallRound);
+  if (Config.EnableTestHooks && R.StallMs) {
+    Stall.withStallMs(R.StallMs);
+    UO.Faults = &Stall;
+  }
+
+  URSACompileResult CR = compileURSA(T, M, UO);
+
+  double ElapsedMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - Begin)
+                         .count();
+  if (R.DeadlineMs && CR.BudgetExhausted &&
+      QueueMs + ElapsedMs >= double(R.DeadlineMs)) {
+    Resp.Status = ServiceResponse::StatusKind::Deadline;
+    Resp.Error = "deadline of " + std::to_string(R.DeadlineMs) +
+                 "ms expired during compilation";
+    return Finish(Resp);
+  }
+  if (!CR.Compile.Ok) {
+    Resp.Status = ServiceResponse::StatusKind::Error;
+    Resp.Error = CR.Compile.Error.empty() ? "compilation failed"
+                                          : CR.Compile.Error;
+    for (const Diag &D : CR.Diags) {
+      Resp.Error += '\n';
+      Resp.Error += D.str();
+    }
+    return Finish(Resp);
+  }
+
+  Resp.Status = ServiceResponse::StatusKind::Ok;
+  Resp.Text = formatCompileText("ursa", M, CR.Compile);
+  Resp.Cycles = CR.Compile.Cycles;
+  Resp.SpillOps = CR.Compile.SpillOps;
+  Resp.WithinLimits = CR.AllocWithinLimits;
+  Resp.BudgetExhausted = CR.BudgetExhausted;
+  return Finish(Resp);
+}
+
+ServiceCounters CompileService::counters() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return C;
+}
+
+std::string CompileService::reportJSON() const {
+  ServiceCounters S = counters();
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "ursa.service_report.v1");
+  W.key("config").beginObject();
+  W.kv("workers", Config.Workers);
+  W.kv("queue_depth", Config.QueueDepth);
+  W.kv("cache_enabled", Config.CacheEnabled);
+  W.kv("cache_size", Config.CacheSize);
+  W.kv("default_time_budget_ms", Config.DefaultTimeBudgetMs);
+  W.kv("max_request_bytes", Config.MaxRequestBytes);
+  W.endObject();
+  W.key("requests").beginObject();
+  W.kv("received", S.Received);
+  W.kv("completed", S.Completed);
+  W.kv("errors", S.Errors);
+  W.kv("shed", S.Shed);
+  W.kv("deadline_expired", S.DeadlineExpired);
+  W.kv("in_flight", S.InFlight);
+  W.endObject();
+  W.key("queue").beginObject();
+  W.kv("depth", S.QueueDepthNow);
+  W.kv("depth_peak", S.QueueDepthPeak);
+  W.endObject();
+  W.key("latency").beginObject();
+  W.kv("total_queue_ms", S.TotalQueueMs);
+  W.kv("total_compile_ms", S.TotalCompileMs);
+  W.kv("max_compile_ms", S.MaxCompileMs);
+  uint64_t Done = S.Completed + S.Errors + S.DeadlineExpired;
+  W.kv("avg_compile_ms", Done ? S.TotalCompileMs / double(Done) : 0.0);
+  W.endObject();
+  {
+    std::lock_guard<std::mutex> L(TablesMu);
+    W.key("caches").beginArray();
+    for (const auto &[Key, Cache] : Caches) {
+      W.beginObject();
+      W.kv("machine", Key);
+      W.kv("entries", uint64_t(Cache->size()));
+      W.kv("capacity", Config.CacheSize);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  // The process-wide measurement-cache stats (hits/misses/evictions)
+  // cover every driver run in this server, which is exactly the
+  // cross-request reuse story the report is about.
+  W.key("stats").beginObject();
+  for (const obs::StatValue &SV : obs::snapshotStats(/*NonZeroOnly=*/true))
+    if (SV.Name.rfind("ursa.driver.measure_cache", 0) == 0 ||
+        SV.Name.rfind("ursa.driver.incremental", 0) == 0)
+      W.kv(SV.Name, SV.Value);
+  W.endObject();
+  W.endObject();
+  return W.str();
+}

@@ -1,0 +1,167 @@
+//===- service/CompileService.h - Persistent compile service ----*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport-independent heart of `ursa_served`: a bounded job queue
+/// with admission control, a worker pool (support/ThreadPool.h) compiling
+/// requests through the exact `ursa_cc` pipeline, and long-lived
+/// server-scope allocator state — one fingerprint-keyed MeasurementCache
+/// and one MachineModel per distinct machine spec, shared across requests
+/// so a warm server re-measures nothing it has already seen.
+///
+/// Admission control and backpressure:
+///  * the queue is bounded (ServiceConfig::QueueDepth); a compile arriving
+///    at a full queue is *shed* immediately with StatusKind::Shed rather
+///    than queued without bound;
+///  * each request may carry a DeadlineMs; a request whose deadline
+///    expires while queued is answered StatusKind::Deadline without
+///    compiling, and the deadline remaining at dispatch is folded into the
+///    driver's TimeBudgetMs so a slow compile cannot overrun it either.
+///
+/// Results are bit-identical to `ursa_cc`: the same compileURSA call, the
+/// same formatCompileText rendering, at any worker count (the driver is
+/// deterministic and cached MeasuredStates are immutable).
+///
+/// The service is usable in-process (the lifecycle tests drive it without
+/// any socket); service/Server.h adds the Unix-domain-socket front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SERVICE_COMPILESERVICE_H
+#define URSA_SERVICE_COMPILESERVICE_H
+
+#include "service/Protocol.h"
+#include "support/ThreadPool.h"
+#include "ursa/MeasureCache.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace ursa::service {
+
+/// Server tuning. Every field has a URSA_SERVICE_* environment knob (see
+/// docs/SERVICE.md) read by fromEnv().
+struct ServiceConfig {
+  /// Concurrent compile workers (URSA_SERVICE_WORKERS, default 2).
+  unsigned Workers = 2;
+  /// Bounded queue depth; arrivals beyond it are shed
+  /// (URSA_SERVICE_QUEUE_DEPTH, default 64).
+  unsigned QueueDepth = 64;
+  /// Entries per machine-key measurement cache (URSA_SERVICE_CACHE_SIZE,
+  /// default 1024).
+  unsigned CacheSize = 1024;
+  /// Cross-request measurement reuse (URSA_SERVICE_CACHE, 0 disables).
+  bool CacheEnabled = true;
+  /// Applied to compiles that specify no budget of their own
+  /// (URSA_SERVICE_TIME_BUDGET_MS, default 0 = unlimited).
+  unsigned DefaultTimeBudgetMs = 0;
+  /// Per-frame request size cap handed to the JSON parser
+  /// (URSA_SERVICE_MAX_REQUEST_BYTES, default 8 MiB).
+  unsigned MaxRequestBytes = 8u << 20;
+  /// Honor the StallMs test hook in requests (URSA_SERVICE_TEST_HOOKS).
+  bool EnableTestHooks = false;
+
+  static ServiceConfig fromEnv();
+};
+
+/// A monotonic snapshot of the service counters, also serialized into the
+/// ursa.service_report.v1 document.
+struct ServiceCounters {
+  uint64_t Received = 0;        ///< compile requests admitted or refused
+  uint64_t Completed = 0;       ///< compiles answered Ok
+  uint64_t Errors = 0;          ///< compiles answered Error
+  uint64_t Shed = 0;            ///< refused: queue full or shutting down
+  uint64_t DeadlineExpired = 0; ///< answered Deadline (queued or compiling)
+  uint64_t QueueDepthPeak = 0;
+  uint64_t QueueDepthNow = 0;
+  uint64_t InFlight = 0; ///< requests currently inside a worker
+  double TotalQueueMs = 0;
+  double TotalCompileMs = 0;
+  double MaxCompileMs = 0;
+};
+
+class CompileService {
+public:
+  /// Invoked exactly once per submitted request, from a worker thread for
+  /// compiles that reached the queue and inline for refusals and the
+  /// non-compile ops. Must be thread-safe in the caller.
+  using ResponseFn = std::function<void(const ServiceResponse &)>;
+
+  explicit CompileService(const ServiceConfig &C);
+  ~CompileService(); ///< stop(true): drains the queue, then joins
+
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Routes any request. Compiles are queued (or shed); Report and Ping
+  /// are answered inline; Shutdown is answered Bye and returns false so
+  /// the transport can begin draining. Returns true otherwise.
+  bool handle(const ServiceRequest &R, ResponseFn Done);
+
+  /// Queues one compile (or sheds it inline). Prefer handle().
+  void submit(ServiceRequest R, ResponseFn Done);
+
+  /// Stops admission. With \p Drain the queued jobs are still compiled;
+  /// without it they are answered Shed. Joins the workers. Idempotent.
+  void stop(bool Drain);
+
+  /// The ursa.service_report.v1 document (see docs/SERVICE.md).
+  std::string reportJSON() const;
+
+  ServiceCounters counters() const;
+  const ServiceConfig &config() const { return Config; }
+
+  /// Parse limits matching the configured request size cap.
+  obs::JsonParseLimits parseLimits() const {
+    obs::JsonParseLimits L;
+    L.MaxBytes = Config.MaxRequestBytes;
+    return L;
+  }
+
+private:
+  struct Job {
+    ServiceRequest R;
+    ResponseFn Done;
+    std::chrono::steady_clock::time_point Enqueued;
+  };
+
+  void workerLoop();
+  ServiceResponse compileOne(const ServiceRequest &R, double QueueMs);
+  MeasurementCache *cacheFor(const std::string &Key);
+  const MachineModel &modelFor(const MachineSpec &Spec);
+
+  ServiceConfig Config;
+
+  mutable std::mutex Mu; ///< queue + counters
+  std::condition_variable JobReady;
+  std::deque<Job> Queue;
+  bool Stopping = false; ///< no new admissions
+  bool Quit = false;     ///< workers exit once the queue is empty
+  ServiceCounters C;
+
+  /// Server-scope allocator state, both keyed by MachineSpec::key().
+  mutable std::mutex TablesMu;
+  std::map<std::string, std::unique_ptr<MeasurementCache>> Caches;
+  std::map<std::string, MachineModel> Models;
+
+  /// Workers: a dispatcher thread runs Pool->parallelFor(Workers,
+  /// workerLoop), giving exactly Config.Workers concurrent consumers
+  /// (the dispatcher participates; see support/ThreadPool.h).
+  std::unique_ptr<ThreadPool> Pool;
+  std::thread Dispatcher;
+};
+
+} // namespace ursa::service
+
+#endif // URSA_SERVICE_COMPILESERVICE_H

@@ -1,0 +1,117 @@
+//===- service/Protocol.h - Compile-service wire protocol -------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request/response vocabulary of the persistent compile service.
+/// Messages are JSON documents (schemas "ursa.service_request.v1" and
+/// "ursa.service_response.v1") carried in length-prefixed frames
+/// (support/Socket.h). This header is transport-agnostic: parsing and
+/// serialization only, shared by the server, the batch client, and the
+/// tests. Requests are untrusted input — parsing goes through
+/// obs::parseJsonLimited and every malformed field is a clean Status.
+///
+/// docs/SERVICE.md documents the schemas field by field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SERVICE_PROTOCOL_H
+#define URSA_SERVICE_PROTOCOL_H
+
+#include "machine/MachineModel.h"
+#include "obs/Json.h"
+#include "support/Status.h"
+
+#include <string>
+
+namespace ursa::service {
+
+/// The machine a request targets, kept in spec form so the server can key
+/// its model/cache tables on it. Mirrors the `ursa_cc` machine flags.
+struct MachineSpec {
+  bool Classed = false;
+  unsigned Fus = 4, Regs = 8;                            ///< homogeneous
+  unsigned IntFus = 2, FltFus = 1, MemFus = 1, Gprs = 8, Fprs = 4;
+  unsigned LatInt = 1, LatFlt = 1, LatMem = 1;
+  bool Pipelined = false;
+
+  /// Builds the model this spec describes.
+  MachineModel build() const;
+
+  /// Canonical key for the server's machine-model and measurement-cache
+  /// tables: two requests with equal keys may share cached state.
+  std::string key() const;
+};
+
+/// One service request.
+struct ServiceRequest {
+  enum class OpKind { Compile, Report, Shutdown, Ping } Op = OpKind::Compile;
+  /// Client-chosen id echoed in the response (responses may arrive out of
+  /// order when requests are pipelined).
+  std::string Id;
+  /// Trace source text (the `ursa_cc` straight-line dialect).
+  std::string Source;
+  MachineSpec Machine;
+
+  // Options, mapped onto URSAOptions by the service. 0 = service default.
+  std::string Order = "regs"; ///< regs | fus | integrated
+  std::string Verify;         ///< "" = URSA_VERIFY default; off|basic|full
+  bool GuaranteedFit = false;
+  unsigned TimeBudgetMs = 0;
+  unsigned MaxTotalRounds = 0;
+  unsigned Threads = 0;
+  int Incremental = -1; ///< -1 = environment default
+  /// Admission deadline: total milliseconds the request may spend queued
+  /// plus compiling before the server gives up on it. 0 = none. The
+  /// remaining deadline at dispatch is folded into TimeBudgetMs.
+  unsigned DeadlineMs = 0;
+  /// Test hook (honored only when the server enables test hooks): stall
+  /// every allocation round by this many milliseconds.
+  unsigned StallMs = 0;
+};
+
+/// One service response.
+struct ServiceResponse {
+  enum class StatusKind {
+    Ok,       ///< compiled; Text holds the ursa_cc-identical output
+    Error,    ///< bad request or failed compile; Error explains
+    Shed,     ///< load-shed: queue full or server shutting down
+    Deadline, ///< the request's deadline expired before compilation
+    Report,   ///< Text holds a ursa.service_report.v1 document
+    Bye       ///< shutdown acknowledged
+  } Status = StatusKind::Error;
+  std::string Id;
+  std::string Error;
+  /// For Ok: exactly what `ursa_cc <file> --machine ...` would print
+  /// (stats comment + VLIW assembly). For Report: the report JSON.
+  std::string Text;
+
+  unsigned Cycles = 0;
+  unsigned SpillOps = 0;
+  bool WithinLimits = false;
+  bool BudgetExhausted = false;
+  double QueueMs = 0;   ///< time spent queued before a worker picked it up
+  double CompileMs = 0; ///< time inside the compiler
+};
+
+/// Serializes \p R as a ursa.service_request.v1 document.
+std::string writeRequest(const ServiceRequest &R);
+
+/// Parses an untrusted request document under \p Limits.
+Status parseRequest(std::string_view Doc, ServiceRequest &Out,
+                    const obs::JsonParseLimits &Limits = {});
+
+/// Serializes \p R as a ursa.service_response.v1 document.
+std::string writeResponse(const ServiceResponse &R);
+
+/// Parses a response document (trusted: our own server produced it).
+Status parseResponse(std::string_view Doc, ServiceResponse &Out);
+
+/// The wire name of a response status ("ok", "error", "shed", ...).
+const char *statusName(ServiceResponse::StatusKind K);
+
+} // namespace ursa::service
+
+#endif // URSA_SERVICE_PROTOCOL_H

@@ -1,0 +1,109 @@
+//===- service/Server.cpp - Unix-socket front end for the service ---------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <unistd.h>
+
+using namespace ursa;
+using namespace ursa::service;
+
+void Server::Conn::send(const ServiceResponse &R) {
+  std::lock_guard<std::mutex> L(WriteMu);
+  // A send failure means the client went away; its remaining responses
+  // will fail the same way and the reader thread is already unwinding.
+  (void)Sock.sendFrame(writeResponse(R));
+}
+
+Status Server::start() {
+  StatusOr<UnixSocket> L = UnixSocket::listen(Path);
+  if (!L.isOk())
+    return L.status();
+  Listener = std::move(*L);
+  return Status::ok();
+}
+
+void Server::run() {
+  while (!StopFlag.load()) {
+    StatusOr<UnixSocket> A = Listener.accept(/*TimeoutMs=*/200);
+    if (!A.isOk())
+      break; // listener is gone; nothing left to accept
+    if (!A->valid())
+      continue; // timeout: re-check the stop flag
+    auto C = std::make_shared<Conn>(std::move(*A));
+    {
+      std::lock_guard<std::mutex> L(ConnsMu);
+      Conns.push_back(C);
+      ConnThreads.emplace_back([this, C] { serveConnection(C); });
+    }
+  }
+
+  // Drain: stop admission, finish every queued compile, flush responses
+  // while the connection readers are still alive to carry them.
+  Listener.close();
+  Service.stop(/*Drain=*/true);
+
+  // Now unblock the readers and collect the threads.
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> L(ConnsMu);
+    for (std::weak_ptr<Conn> &W : Conns)
+      if (std::shared_ptr<Conn> C = W.lock())
+        C->Sock.shutdown();
+    Threads.swap(ConnThreads);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  ::unlink(Path.c_str());
+}
+
+Server::~Server() {
+  // run() normally joins everything; this covers servers that were
+  // started but whose run() was never reached (e.g. start() failed later
+  // in the caller).
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> L(ConnsMu);
+    Threads.swap(ConnThreads);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void Server::serveConnection(std::shared_ptr<Conn> C) {
+  const obs::JsonParseLimits Limits = Service.parseLimits();
+  for (;;) {
+    std::string Frame;
+    bool PeerClosed = false;
+    // Frame cap: the JSON byte limit plus slack for framing; an oversized
+    // frame desynchronizes the stream, so the connection drops.
+    Status St = C->Sock.recvFrame(Frame, PeerClosed,
+                                  size_t(Limits.MaxBytes
+                                             ? Limits.MaxBytes + 4096
+                                             : 64u << 20));
+    if (!St.isOk() || PeerClosed)
+      return;
+
+    ServiceRequest R;
+    if (Status PS = parseRequest(Frame, R, Limits); !PS.isOk()) {
+      ServiceResponse Resp;
+      Resp.Status = ServiceResponse::StatusKind::Error;
+      Resp.Id = R.Id; // best effort: may have parsed before the failure
+      Resp.Error = PS.message();
+      C->send(Resp);
+      continue;
+    }
+
+    // Worker threads answer compiles through the connection's write
+    // lock; the Conn outlives this reader via the shared_ptr captures.
+    bool KeepServing =
+        Service.handle(R, [C](const ServiceResponse &Resp) { C->send(Resp); });
+    if (!KeepServing) {
+      StopFlag.store(true);
+      return; // run() notices within one accept timeout
+    }
+  }
+}

@@ -1,0 +1,80 @@
+//===- service/Server.h - Unix-socket front end for the service -*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport layer of `ursa_served`: a Unix-domain stream socket
+/// accepting length-prefixed JSON frames (support/Socket.h, schemas in
+/// service/Protocol.h) and routing them into a CompileService. One reader
+/// thread per connection; responses may be written out of order by worker
+/// threads, serialized per connection, so clients can pipeline requests
+/// and match responses by id (ursa_batch does).
+///
+/// Shutdown (a `shutdown` request or requestStop()) is a drain: the
+/// listener closes, queued compiles finish and their responses flush,
+/// then the remaining connections are torn down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SERVICE_SERVER_H
+#define URSA_SERVICE_SERVER_H
+
+#include "service/CompileService.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ursa::service {
+
+class Server {
+public:
+  Server(std::string SocketPath, const ServiceConfig &C)
+      : Path(std::move(SocketPath)), Service(C) {}
+  ~Server();
+
+  /// Binds and listens on the socket path. Call before run().
+  Status start();
+
+  /// Serves until a shutdown request arrives (or requestStop()), then
+  /// drains the compile queue and tears the connections down. Blocks.
+  void run();
+
+  /// Asks run() to finish; safe from any thread or a signal-adjacent
+  /// context (it only sets a flag — run() polls it between accepts).
+  void requestStop() { StopFlag.store(true); }
+
+  CompileService &service() { return Service; }
+  const std::string &path() const { return Path; }
+
+private:
+  /// Per-connection shared state: the socket plus the write lock that
+  /// serializes response frames from worker threads.
+  struct Conn {
+    UnixSocket Sock;
+    std::mutex WriteMu;
+    explicit Conn(UnixSocket S) : Sock(std::move(S)) {}
+    void send(const ServiceResponse &R);
+  };
+
+  void serveConnection(std::shared_ptr<Conn> C);
+
+  std::string Path;
+  CompileService Service;
+  UnixSocket Listener;
+  std::atomic<bool> StopFlag{false};
+
+  std::mutex ConnsMu;
+  std::vector<std::weak_ptr<Conn>> Conns;
+  std::vector<std::thread> ConnThreads;
+};
+
+} // namespace ursa::service
+
+#endif // URSA_SERVICE_SERVER_H

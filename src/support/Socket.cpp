@@ -1,0 +1,182 @@
+//===- support/Socket.cpp - Unix-domain socket + framing ------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ursa;
+
+static Status sockError(const std::string &What) {
+  return Status::error("socket", What + ": " + std::strerror(errno));
+}
+
+UnixSocket &UnixSocket::operator=(UnixSocket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+void UnixSocket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void UnixSocket::shutdown() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+static Status fillAddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return Status::error("socket", "socket path too long: " + Path);
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return Status::ok();
+}
+
+StatusOr<UnixSocket> UnixSocket::listen(const std::string &Path,
+                                        int Backlog) {
+  sockaddr_un Addr;
+  if (Status St = fillAddr(Path, Addr); !St.isOk())
+    return St;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return sockError("socket()");
+  UnixSocket S(Fd);
+  ::unlink(Path.c_str()); // stale socket file from a crashed server
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return sockError("bind('" + Path + "')");
+  if (::listen(Fd, Backlog) != 0)
+    return sockError("listen('" + Path + "')");
+  return S;
+}
+
+StatusOr<UnixSocket> UnixSocket::connect(const std::string &Path) {
+  sockaddr_un Addr;
+  if (Status St = fillAddr(Path, Addr); !St.isOk())
+    return St;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return sockError("socket()");
+  UnixSocket S(Fd);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return sockError("connect('" + Path + "')");
+  return S;
+}
+
+StatusOr<UnixSocket> UnixSocket::accept(int TimeoutMs) {
+  if (TimeoutMs >= 0) {
+    pollfd P{Fd, POLLIN, 0};
+    int N = ::poll(&P, 1, TimeoutMs);
+    if (N < 0 && errno != EINTR)
+      return sockError("poll()");
+    if (N <= 0)
+      return UnixSocket(); // timeout (or EINTR): let the caller re-check
+  }
+  int Conn = ::accept(Fd, nullptr, nullptr);
+  if (Conn < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EINVAL)
+      return UnixSocket(); // racing a shutdown; caller re-checks its flag
+    return sockError("accept()");
+  }
+  return UnixSocket(Conn);
+}
+
+/// Writes all of \p Data, riding out EINTR and partial writes.
+static Status writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return sockError("send()");
+    }
+    Data += N;
+    Len -= size_t(N);
+  }
+  return Status::ok();
+}
+
+/// Reads exactly \p Len bytes. AtStart distinguishes a clean EOF on the
+/// first byte from a connection dropped mid-message.
+static Status readAll(int Fd, char *Data, size_t Len, bool &CleanEOF) {
+  CleanEOF = false;
+  bool AtStart = true;
+  while (Len) {
+    ssize_t N = ::recv(Fd, Data, Len, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return sockError("recv()");
+    }
+    if (N == 0) {
+      if (AtStart) {
+        CleanEOF = true;
+        return Status::ok();
+      }
+      return Status::error("socket", "connection closed mid-frame");
+    }
+    AtStart = false;
+    Data += N;
+    Len -= size_t(N);
+  }
+  return Status::ok();
+}
+
+Status UnixSocket::sendFrame(std::string_view Payload) {
+  if (Payload.size() > 0xffffffffu)
+    return Status::error("socket", "frame too large to encode");
+  unsigned char Hdr[4] = {
+      static_cast<unsigned char>(Payload.size() >> 24),
+      static_cast<unsigned char>(Payload.size() >> 16),
+      static_cast<unsigned char>(Payload.size() >> 8),
+      static_cast<unsigned char>(Payload.size()),
+  };
+  if (Status St = writeAll(Fd, reinterpret_cast<char *>(Hdr), 4); !St.isOk())
+    return St;
+  return writeAll(Fd, Payload.data(), Payload.size());
+}
+
+Status UnixSocket::recvFrame(std::string &Out, bool &PeerClosed,
+                             size_t MaxBytes) {
+  Out.clear();
+  PeerClosed = false;
+  char Hdr[4];
+  bool CleanEOF = false;
+  if (Status St = readAll(Fd, Hdr, 4, CleanEOF); !St.isOk())
+    return St;
+  if (CleanEOF) {
+    PeerClosed = true;
+    return Status::ok();
+  }
+  size_t Len = (size_t(static_cast<unsigned char>(Hdr[0])) << 24) |
+               (size_t(static_cast<unsigned char>(Hdr[1])) << 16) |
+               (size_t(static_cast<unsigned char>(Hdr[2])) << 8) |
+               size_t(static_cast<unsigned char>(Hdr[3]));
+  if (Len > MaxBytes)
+    return Status::error("socket", "frame of " + std::to_string(Len) +
+                                       " bytes exceeds the limit (" +
+                                       std::to_string(MaxBytes) + ")");
+  Out.resize(Len);
+  if (Status St = readAll(Fd, Out.data(), Len, CleanEOF); !St.isOk())
+    return St;
+  if (CleanEOF) // closed right after the header: still mid-frame
+    return Status::error("socket", "connection closed mid-frame");
+  return Status::ok();
+}

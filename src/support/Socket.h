@@ -1,0 +1,77 @@
+//===- support/Socket.h - Unix-domain socket + framing ----------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport under the compile service: RAII Unix-domain stream
+/// sockets plus length-prefixed message framing. A frame is a 4-byte
+/// big-endian payload length followed by that many bytes (the service
+/// puts JSON in them; this layer does not care). All failures come back
+/// as Status — short reads, peer resets, and oversized frames are
+/// ordinary errors, never aborts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SUPPORT_SOCKET_H
+#define URSA_SUPPORT_SOCKET_H
+
+#include "support/Status.h"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ursa {
+
+/// An owned socket file descriptor (listener or connection).
+class UnixSocket {
+public:
+  UnixSocket() = default;
+  ~UnixSocket() { close(); }
+
+  UnixSocket(UnixSocket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  UnixSocket &operator=(UnixSocket &&O) noexcept;
+  UnixSocket(const UnixSocket &) = delete;
+  UnixSocket &operator=(const UnixSocket &) = delete;
+
+  /// Binds and listens on \p Path, unlinking any stale socket file first.
+  static StatusOr<UnixSocket> listen(const std::string &Path,
+                                     int Backlog = 16);
+
+  /// Connects to the server listening on \p Path.
+  static StatusOr<UnixSocket> connect(const std::string &Path);
+
+  /// Accepts one connection on a listening socket. Blocks up to
+  /// \p TimeoutMs (-1 = forever); a timeout returns an invalid socket
+  /// with an OK status so accept loops can poll a stop flag.
+  StatusOr<UnixSocket> accept(int TimeoutMs = -1);
+
+  /// Writes one length-prefixed frame (the whole payload or an error).
+  Status sendFrame(std::string_view Payload);
+
+  /// Reads one length-prefixed frame into \p Out. A clean end-of-stream
+  /// before any header byte returns OK with \p Out cleared and
+  /// \p PeerClosed set; frames longer than \p MaxBytes are an error (the
+  /// connection is then out of sync and should be dropped).
+  Status recvFrame(std::string &Out, bool &PeerClosed,
+                   size_t MaxBytes = 64u << 20);
+
+  /// Shuts down both directions, unblocking any thread inside
+  /// recvFrame/sendFrame on this socket (used for server shutdown).
+  void shutdown();
+
+  void close();
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+private:
+  explicit UnixSocket(int FdIn) : Fd(FdIn) {}
+
+  int Fd = -1;
+};
+
+} // namespace ursa
+
+#endif // URSA_SUPPORT_SOCKET_H

@@ -13,6 +13,7 @@
 #include "support/ThreadPool.h"
 #include "ursa/FaultInjector.h"
 #include "ursa/IncrementalMeasure.h"
+#include "ursa/MeasureCache.h"
 
 #include <algorithm>
 #include <chrono>
@@ -43,14 +44,11 @@ URSA_STAT(StatKeptRegSeq, "ursa.transforms.kept.reg_seq",
           "register-sequencing transforms kept");
 URSA_STAT(StatKeptSpill, "ursa.transforms.kept.spill",
           "spill transforms kept");
-URSA_STAT(StatMeasureCacheHits, "ursa.driver.measure_cache.hits",
-          "full-state measurements reused via the fingerprint cache");
-URSA_STAT(StatMeasureCacheMisses, "ursa.driver.measure_cache.misses",
-          "full-state measurements built (fingerprint cache misses)");
 URSA_STAT(StatParallelEvalBatches, "ursa.driver.parallel_eval_batches",
           "proposal-evaluation rounds fanned out to the thread pool");
-URSA_STAT(StatMeasureCacheEvictions, "ursa.driver.measure_cache.evictions",
-          "measured states dropped from the fingerprint cache (LRU)");
+URSA_STAT(StatIncrementalPromotions, "ursa.driver.incremental.promotions",
+          "delta-scored winners promoted to the next round's base via "
+          "their delta closure (closure rebuild skipped)");
 URSA_STAT(StatIncrementalEvals, "ursa.driver.incremental.delta_evals",
           "proposal evaluations scored by the incremental delta path");
 URSA_STAT(StatIncrementalFallbacks, "ursa.driver.incremental.fallbacks",
@@ -76,27 +74,10 @@ unsigned ursa::defaultMeasurementCacheSize() {
 
 namespace {
 
-/// One measured DAG state: analyses plus per-resource requirements.
-struct State {
-  std::unique_ptr<DAGAnalysis> A;
-  std::unique_ptr<HammockForest> HF;
-  std::vector<Measurement> Meas;
-  std::vector<std::pair<ResourceId, unsigned>> Limits;
-  unsigned TotalExcess = 0;
-  unsigned CritPath = 0;
-
-  State(const DependenceDAG &D, const MachineModel &M,
-        const MeasureOptions &MO) {
-    A = std::make_unique<DAGAnalysis>(D);
-    HF = std::make_unique<HammockForest>(D, *A);
-    Limits = machineResources(M);
-    Meas = measureAll(D, *A, *HF, M, MO);
-    CritPath = A->criticalPathLength();
-    for (unsigned I = 0; I != Meas.size(); ++I)
-      if (Meas[I].MaxRequired > Limits[I].second)
-        TotalExcess += Meas[I].MaxRequired - Limits[I].second;
-  }
-};
+/// The driver's historical name for a measured DAG state; the type now
+/// lives in ursa/MeasureCache.h so the compile service can share cached
+/// instances across requests.
+using State = MeasuredState;
 
 /// Score of a tentatively applied proposal. The paper asks for "the
 /// combination of minimizing the critical path and reduction of all
@@ -138,63 +119,6 @@ const char *evalSpanName(TransformProposal::KindT K) {
   }
   return "eval";
 }
-
-/// Tiny MRU cache of measured states keyed on dagFingerprint. The driver
-/// rebuilds the *same* state repeatedly — the winning proposal's
-/// remeasure becomes the next round's start state, which becomes the
-/// sweep-end check and finally the pre-fallback and final accounting —
-/// so a few entries capture nearly all reuse. States are self-contained
-/// snapshots (no references into the DAG they were measured from), which
-/// is what makes handing a scratch-copy measurement to later rounds
-/// sound. Keys are 64-bit content hashes; a collision would resurrect a
-/// stale measurement, which the phase-boundary verifier would flag.
-class MeasureCache {
-public:
-  MeasureCache(bool EnabledIn, unsigned CapacityIn)
-      : Capacity(std::max(1u, CapacityIn)), Enabled(EnabledIn) {}
-
-  /// The measured state for \p D's current content, built on miss.
-  std::shared_ptr<const State> get(const DependenceDAG &D,
-                                   const MachineModel &M,
-                                   const MeasureOptions &MO) {
-    if (!Enabled)
-      return std::make_shared<State>(D, M, MO);
-    uint64_t Fp = dagFingerprint(D);
-    for (unsigned I = 0; I != Entries.size(); ++I) {
-      if (Entries[I].first == Fp) {
-        StatMeasureCacheHits.add();
-        auto E = Entries[I];
-        Entries.erase(Entries.begin() + I);
-        Entries.insert(Entries.begin(), E);
-        return E.second;
-      }
-    }
-    StatMeasureCacheMisses.add();
-    auto S = std::make_shared<const State>(D, M, MO);
-    insert(Fp, S);
-    return S;
-  }
-
-  /// Adopts an already-built measurement (a proposal evaluation's) under
-  /// its fingerprint.
-  void insert(uint64_t Fp, std::shared_ptr<const State> S) {
-    if (!Enabled)
-      return;
-    for (const auto &E : Entries)
-      if (E.first == Fp)
-        return;
-    Entries.insert(Entries.begin(), {Fp, std::move(S)});
-    if (Entries.size() > Capacity) {
-      Entries.pop_back();
-      StatMeasureCacheEvictions.add();
-    }
-  }
-
-private:
-  unsigned Capacity;
-  bool Enabled;
-  std::vector<std::pair<uint64_t, std::shared_ptr<const State>>> Entries;
-};
 
 } // namespace
 
@@ -279,7 +203,7 @@ static unsigned sequentializeTotally(DependenceDAG &D) {
 /// never candidates.
 static void guaranteedFitFallback(URSAResult &R, const MachineModel &M,
                                   const MeasureOptions &MO,
-                                  MeasureCache &Cache) {
+                                  MeasurementCache &Cache) {
   URSA_SPAN(FallbackSpan, "ursa.fallback", "driver");
   StatFallbacks.add();
   R.FallbackUsed = true;
@@ -372,10 +296,12 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
   std::unique_ptr<ThreadPool> Pool;
   if (NumThreads > 1)
     Pool = std::make_unique<ThreadPool>(NumThreads);
-  MeasureCache Cache(Opts.MeasurementReuse,
-                     Opts.MeasurementCacheSize
-                         ? Opts.MeasurementCacheSize
-                         : defaultMeasurementCacheSize());
+  MeasurementCache LocalCache(Opts.MeasurementReuse,
+                              Opts.MeasurementCacheSize
+                                  ? Opts.MeasurementCacheSize
+                                  : defaultMeasurementCacheSize());
+  MeasurementCache &Cache =
+      Opts.SharedCache ? *Opts.SharedCache : LocalCache;
 
   auto StartTime = std::chrono::steady_clock::now();
   enum class BudgetTrip { None, TotalRounds, Time };
@@ -608,7 +534,9 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
       // would re-propose itself forever (livelock by lying).
       uint64_t FpBefore = VerifyOn ? dagFingerprint(R.DAG) : 0;
       ApplyStats ASt;
-      if (Opts.Faults && Opts.Faults->shouldFakeProgress(R.Rounds))
+      bool FakedApply =
+          Opts.Faults && Opts.Faults->shouldFakeProgress(R.Rounds);
+      if (FakedApply)
         ASt.EdgesAdded = unsigned(std::max<size_t>(
             1, Props[Best].SeqEdges.size())); // claimed, never applied
       else
@@ -618,11 +546,28 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
       // round's start state (and the sweep-end/final accounting) comes
       // from the cache instead of an O(n^2) rebuild. The fingerprint
       // guard keeps a faked apply (FalseProgress injection) or a
-      // non-reproducing transform from planting a wrong entry. A
-      // delta-scored winner has no state to adopt (SS is null).
+      // non-reproducing transform from planting a wrong entry.
       if (Opts.MeasurementReuse && Evals[Best].SS &&
-          dagFingerprint(R.DAG) == Evals[Best].Fp)
+          dagFingerprint(R.DAG) == Evals[Best].Fp) {
         Cache.insert(Evals[Best].Fp, Evals[Best].SS);
+      } else if (Opts.MeasurementReuse && !Evals[Best].SS && !FakedApply) {
+        // Delta-scored winner: no full state was built for it, so promote
+        // it through its delta closure instead of letting the next round
+        // rebuild the O(n^2) reachability from scratch. buildIncremental
+        // is bit-identical to a fresh analysis (canonical closure), and
+        // the rest of the state (hammocks, measurements, excess) derives
+        // from it exactly as a from-scratch build would; the differential
+        // test in tests/incremental_test.cpp pins this. A nullptr (edge
+        // list not provably a pure delta against the applied DAG) just
+        // falls back to the old full rebuild on the next get().
+        if (std::unique_ptr<DAGAnalysis> NA = DAGAnalysis::buildIncremental(
+                R.DAG, *S.A, Props[Best].SeqEdges)) {
+          StatIncrementalPromotions.add();
+          Cache.insert(dagFingerprint(R.DAG),
+                       std::make_shared<const State>(R.DAG, M, Opts.Measure,
+                                                     std::move(NA)));
+        }
+      }
       R.SeqEdgesAdded += ASt.EdgesAdded;
       R.SpillsInserted += ASt.SpillsInserted;
       ++R.Rounds;

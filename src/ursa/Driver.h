@@ -33,6 +33,7 @@
 namespace ursa {
 
 class FaultInjector;
+class MeasurementCache;
 
 /// Default for URSAOptions::IncrementalMeasure: true unless the
 /// URSA_INCREMENTAL environment variable is set to "0"/"off"/"false"
@@ -84,7 +85,16 @@ struct URSAOptions {
   /// resolves through URSA_CACHE_SIZE, else 4. Deeper phase interleavings
   /// (long sweeps revisiting states) benefit from more entries;
   /// ursa.driver.measure_cache.evictions tells when 4 is too small.
+  /// Ignored when SharedCache is set (the owner sized it).
   unsigned MeasurementCacheSize = 0;
+  /// Externally-owned measurement cache (ursa/MeasureCache.h), shared
+  /// across runs: the compile service injects one server-scope instance
+  /// so identical DAG states in different requests reuse each other's
+  /// measurements. Null = the driver creates a private per-run cache
+  /// sized by MeasurementCacheSize (the historical behavior). States are
+  /// immutable and the cache is mutex-guarded, so concurrent runs may
+  /// share one instance; results are bit-identical either way.
+  MeasurementCache *SharedCache = nullptr;
   /// Safety valve; each round must reduce total excess, so this is
   /// rarely reached.
   unsigned MaxRounds = 128;

@@ -7,10 +7,22 @@
 #include "ursa/FaultInjector.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 using namespace ursa;
 
 bool FaultInjector::maybeInjectDAG(DependenceDAG &D, unsigned Round) {
+  if (Kind == FaultKind::StallRound) {
+    // Persistent, non-corrupting: every applied round from the armed one
+    // on costs StallMs of wall clock, so a short TimeBudgetMs (or a
+    // service deadline mapped onto it) trips deterministically.
+    if (Round < FireAt)
+      return false;
+    Fired = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(StallMs));
+    return false;
+  }
   if (Fired || Round < FireAt)
     return false;
   bool Did = false;
@@ -26,6 +38,7 @@ bool FaultInjector::maybeInjectDAG(DependenceDAG &D, unsigned Round) {
     break;
   case FaultKind::None:
   case FaultKind::FalseProgress:
+  case FaultKind::StallRound:
     return false;
   }
   Fired |= Did;

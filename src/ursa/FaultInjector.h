@@ -14,7 +14,12 @@
 ///  * DropSeqEdge    — silently removes a URSA-added sequence edge,
 ///                     un-doing allocation work behind the driver's back;
 ///  * FalseProgress  — makes the driver believe a transform applied while
-///                     the DAG is unchanged (livelock seed).
+///                     the DAG is unchanged (livelock seed);
+///  * StallRound     — delays every applied round by a fixed wall-clock
+///                     amount without corrupting anything, modelling a
+///                     pathologically slow compile so budget and
+///                     service-deadline paths can be tested
+///                     deterministically.
 ///
 /// An injector is armed with one fault kind and a firing round and handed
 /// to the driver via URSAOptions::Faults; the static corrupt* helpers
@@ -39,7 +44,8 @@ enum class FaultKind {
   CycleEdge,
   DanglingEdge,
   DropSeqEdge,
-  FalseProgress
+  FalseProgress,
+  StallRound
 };
 
 class FaultInjector {
@@ -50,6 +56,13 @@ public:
 
   FaultKind kind() const { return Kind; }
   bool fired() const { return Fired; }
+
+  /// StallRound only: how long each applied round sleeps. Returns *this
+  /// for chaining at the arming site.
+  FaultInjector &withStallMs(unsigned Ms) {
+    StallMs = Ms;
+    return *this;
+  }
 
   /// Driver hook, called once per applied round with the live DAG.
   /// DAG-corrupting kinds fire once when \p Round reaches the armed
@@ -86,6 +99,7 @@ public:
 private:
   FaultKind Kind;
   unsigned FireAt;
+  unsigned StallMs = 10;
   bool Fired = false;
   RNG Rng;
 };

@@ -1,0 +1,92 @@
+//===- ursa/MeasureCache.cpp - Shared measured-state cache ----------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ursa/MeasureCache.h"
+
+#include "obs/Stats.h"
+#include "ursa/PipelineVerifier.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ursa;
+
+URSA_STAT(StatMeasureCacheHits, "ursa.driver.measure_cache.hits",
+          "full-state measurements reused via the fingerprint cache");
+URSA_STAT(StatMeasureCacheMisses, "ursa.driver.measure_cache.misses",
+          "full-state measurements built (fingerprint cache misses)");
+URSA_STAT(StatMeasureCacheEvictions, "ursa.driver.measure_cache.evictions",
+          "measured states dropped from the fingerprint cache (LRU)");
+
+MeasuredState::MeasuredState(const DependenceDAG &D, const MachineModel &M,
+                             const MeasureOptions &MO)
+    : MeasuredState(D, M, MO, std::make_unique<DAGAnalysis>(D)) {}
+
+MeasuredState::MeasuredState(const DependenceDAG &D, const MachineModel &M,
+                             const MeasureOptions &MO,
+                             std::unique_ptr<DAGAnalysis> Analysis) {
+  assert(Analysis && "measured state needs an analysis");
+  A = std::move(Analysis);
+  HF = std::make_unique<HammockForest>(D, *A);
+  Limits = machineResources(M);
+  Meas = measureAll(D, *A, *HF, M, MO);
+  CritPath = A->criticalPathLength();
+  for (unsigned I = 0; I != Meas.size(); ++I)
+    if (Meas[I].MaxRequired > Limits[I].second)
+      TotalExcess += Meas[I].MaxRequired - Limits[I].second;
+}
+
+MeasurementCache::MeasurementCache(bool EnabledIn, unsigned CapacityIn)
+    : Capacity(std::max(1u, CapacityIn)), Enabled(EnabledIn) {}
+
+std::shared_ptr<const MeasuredState>
+MeasurementCache::lookup(uint64_t Fp) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (unsigned I = 0; I != Entries.size(); ++I) {
+    if (Entries[I].first == Fp) {
+      StatMeasureCacheHits.add();
+      auto E = Entries[I];
+      Entries.erase(Entries.begin() + I);
+      Entries.insert(Entries.begin(), E);
+      return E.second;
+    }
+  }
+  StatMeasureCacheMisses.add();
+  return nullptr;
+}
+
+std::shared_ptr<const MeasuredState>
+MeasurementCache::get(const DependenceDAG &D, const MachineModel &M,
+                      const MeasureOptions &MO) {
+  if (!Enabled)
+    return std::make_shared<MeasuredState>(D, M, MO);
+  uint64_t Fp = dagFingerprint(D);
+  if (std::shared_ptr<const MeasuredState> Hit = lookup(Fp))
+    return Hit;
+  auto S = std::make_shared<const MeasuredState>(D, M, MO);
+  insert(Fp, S);
+  return S;
+}
+
+void MeasurementCache::insert(uint64_t Fp,
+                              std::shared_ptr<const MeasuredState> S) {
+  if (!Enabled)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &E : Entries)
+    if (E.first == Fp)
+      return;
+  Entries.insert(Entries.begin(), {Fp, std::move(S)});
+  if (Entries.size() > Capacity) {
+    Entries.pop_back();
+    StatMeasureCacheEvictions.add();
+  }
+}
+
+unsigned MeasurementCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return unsigned(Entries.size());
+}

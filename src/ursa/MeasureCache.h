@@ -1,0 +1,95 @@
+//===- ursa/MeasureCache.h - Shared measured-state cache --------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fingerprint-keyed cache of measured DAG states. Historically a
+/// private detail of the driver (one cache per runURSA call); the compile
+/// service shares one instance across requests so identical or
+/// near-identical DAGs arriving in different requests reuse each other's
+/// measurements. States are immutable self-contained snapshots, which is
+/// what makes sharing them across threads and requests sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_URSA_MEASURECACHE_H
+#define URSA_URSA_MEASURECACHE_H
+
+#include "graph/Analysis.h"
+#include "graph/Hammocks.h"
+#include "machine/MachineModel.h"
+#include "ursa/Measure.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ursa {
+
+/// One measured DAG state: analyses plus per-resource requirements.
+struct MeasuredState {
+  std::unique_ptr<DAGAnalysis> A;
+  std::unique_ptr<HammockForest> HF;
+  std::vector<Measurement> Meas;
+  std::vector<std::pair<ResourceId, unsigned>> Limits;
+  unsigned TotalExcess = 0;
+  unsigned CritPath = 0;
+
+  MeasuredState(const DependenceDAG &D, const MachineModel &M,
+                const MeasureOptions &MO);
+
+  /// Builds from a precomputed analysis — the delta-closure promotion
+  /// path. \p Analysis must describe exactly \p D (the driver hands over
+  /// DAGAnalysis::buildIncremental output, which is bit-identical to a
+  /// fresh build); everything downstream (hammocks, measurements, excess)
+  /// is derived from it the same way the from-scratch constructor would.
+  MeasuredState(const DependenceDAG &D, const MachineModel &M,
+                const MeasureOptions &MO,
+                std::unique_ptr<DAGAnalysis> Analysis);
+};
+
+/// MRU cache of measured states keyed on dagFingerprint. The driver
+/// rebuilds the *same* state repeatedly — the winning proposal's
+/// remeasure becomes the next round's start state, which becomes the
+/// sweep-end check and finally the pre-fallback and final accounting —
+/// so a few entries capture nearly all intra-run reuse; at server scope
+/// (one cache injected into every request) recompiles of an unchanged
+/// function hit on every full build. Keys are 64-bit content hashes; a
+/// collision would resurrect a stale measurement, which the
+/// phase-boundary verifier would flag.
+///
+/// Thread safety: lookups and insertions are mutex-guarded; the build on
+/// a miss runs outside the lock, so two threads missing on the same
+/// fingerprint may build the state twice (both builds are bit-identical
+/// and the second insert is dropped) but never block each other for the
+/// O(n^2) duration.
+class MeasurementCache {
+public:
+  MeasurementCache(bool Enabled, unsigned Capacity);
+
+  /// The measured state for \p D's current content, built on miss.
+  std::shared_ptr<const MeasuredState>
+  get(const DependenceDAG &D, const MachineModel &M, const MeasureOptions &MO);
+
+  /// Adopts an already-built measurement (a proposal evaluation's or a
+  /// delta-closure promotion's) under its fingerprint.
+  void insert(uint64_t Fp, std::shared_ptr<const MeasuredState> S);
+
+  /// Entries currently held (for reports; racy by nature under load).
+  unsigned size() const;
+
+private:
+  std::shared_ptr<const MeasuredState> lookup(uint64_t Fp);
+
+  mutable std::mutex Mu;
+  unsigned Capacity;
+  bool Enabled;
+  std::vector<std::pair<uint64_t, std::shared_ptr<const MeasuredState>>>
+      Entries;
+};
+
+} // namespace ursa
+
+#endif // URSA_URSA_MEASURECACHE_H

@@ -10,6 +10,7 @@
 #include "obs/Stats.h"
 #include "support/Table.h"
 
+#include <cstdio>
 #include <sstream>
 
 using namespace ursa;
@@ -168,4 +169,22 @@ std::string ursa::formatAllocationReportJSON(const DependenceDAG &Original,
   }
   W.endObject();
   return W.str();
+}
+
+std::string ursa::formatCompileText(const std::string &Pipeline,
+                                    const MachineModel &M,
+                                    const CompileResult &R, bool EmitStats,
+                                    bool EmitAsm) {
+  std::string Out;
+  if (EmitStats) {
+    char Buf[192];
+    std::snprintf(Buf, sizeof(Buf),
+                  "; %s on %s: %u cycles, %u spill ops, %.0f%% utilization\n",
+                  Pipeline.c_str(), M.describe().c_str(), R.Cycles, R.SpillOps,
+                  100 * R.Utilization);
+    Out += Buf;
+  }
+  if (EmitAsm && R.Prog)
+    Out += R.Prog->str();
+  return Out;
 }

@@ -15,6 +15,7 @@
 #ifndef URSA_URSA_REPORT_H
 #define URSA_URSA_REPORT_H
 
+#include "sched/Pipelines.h"
 #include "ursa/Driver.h"
 
 #include <string>
@@ -37,6 +38,15 @@ std::string formatAllocationReportJSON(const DependenceDAG &Original,
                                        const URSAResult &Result,
                                        const MachineModel &M,
                                        bool IncludeStats = true);
+
+/// The canonical text a compile emits: the `ursa_cc` stats comment line
+/// (pipeline, machine, cycles, spill ops, utilization) followed by the
+/// VLIW assembly. `ursa_cc` and the compile service both render through
+/// this one function, which is what makes `ursa_batch` output
+/// bit-identical to per-function `ursa_cc` runs.
+std::string formatCompileText(const std::string &Pipeline,
+                              const MachineModel &M, const CompileResult &R,
+                              bool EmitStats = true, bool EmitAsm = true);
 
 /// Serializes per-round telemetry into \p W as an array of objects
 /// (shared by the standalone report and higher-level tool reports).

@@ -22,6 +22,7 @@
 #include "ursa/FaultInjector.h"
 #include "support/RNG.h"
 #include "ursa/IncrementalMeasure.h"
+#include "ursa/MeasureCache.h"
 #include "workload/Generators.h"
 
 #include <gtest/gtest.h>
@@ -568,4 +569,82 @@ TEST(DriverIncremental, CacheSizeChangesNothingButEvictions) {
   if (!Ref.RoundLog.empty())
     EXPECT_GT(statValue("ursa.driver.measure_cache.evictions"), Evict0)
         << "a one-entry cache must evict on a transforming run";
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 5: winner promotion through the delta closure
+//===----------------------------------------------------------------------===//
+
+TEST(WinnerPromotion, PromotedStateMatchesFreshBuild) {
+  // When a delta-scored winner is applied, the driver promotes its delta
+  // closure into the next round's base state (MeasuredState built from
+  // DAGAnalysis::buildIncremental output) instead of re-deriving the
+  // analysis from scratch. Everything downstream of the analysis must be
+  // bit-identical to the from-scratch constructor.
+  MachineModel M = MachineModel::homogeneous(2, 3);
+  MeasureOptions MO;
+  for (uint64_t Seed = 1; Seed != 6; ++Seed) {
+    DependenceDAG D = genDAG(30, 10, Seed);
+    DAGAnalysis Base(D);
+    std::vector<std::pair<unsigned, unsigned>> Pairs =
+        independentPairs(D, Base);
+    if (Pairs.empty())
+      continue;
+    std::vector<std::pair<unsigned, unsigned>> Added{
+        Pairs[Seed % Pairs.size()]};
+    D.addEdge(Added[0].first, Added[0].second, EdgeKind::Sequence);
+
+    std::unique_ptr<DAGAnalysis> NA =
+        DAGAnalysis::buildIncremental(D, Base, Added);
+    ASSERT_TRUE(NA) << "single independent-pair edge must be provable";
+
+    MeasuredState Fresh(D, M, MO);
+    MeasuredState Promoted(D, M, MO, std::move(NA));
+    expectSameAnalysis(*Promoted.A, *Fresh.A, D.size(), "promoted analysis");
+    EXPECT_EQ(Promoted.TotalExcess, Fresh.TotalExcess);
+    EXPECT_EQ(Promoted.CritPath, Fresh.CritPath);
+    ASSERT_EQ(Promoted.Limits.size(), Fresh.Limits.size());
+    for (size_t I = 0; I != Fresh.Limits.size(); ++I) {
+      EXPECT_TRUE(Promoted.Limits[I].first == Fresh.Limits[I].first);
+      EXPECT_EQ(Promoted.Limits[I].second, Fresh.Limits[I].second);
+    }
+    ASSERT_EQ(Promoted.Meas.size(), Fresh.Meas.size());
+    for (size_t I = 0; I != Fresh.Meas.size(); ++I) {
+      EXPECT_TRUE(Promoted.Meas[I].Res == Fresh.Meas[I].Res);
+      EXPECT_EQ(Promoted.Meas[I].MaxRequired, Fresh.Meas[I].MaxRequired);
+      EXPECT_EQ(Promoted.Meas[I].Chains.Chains, Fresh.Meas[I].Chains.Chains);
+      EXPECT_EQ(Promoted.Meas[I].Chains.ChainOf, Fresh.Meas[I].Chains.ChainOf);
+    }
+  }
+}
+
+TEST(WinnerPromotion, DriverPromotesAndStaysBitIdentical) {
+  // Differential acceptance for the promotion path: reuse+incremental
+  // (promotions active) against the no-reuse reference, with the
+  // promotions counter proving the path actually ran.
+  MachineModel M = MachineModel::homogeneous(2, 3);
+  uint64_t Before = statValue("ursa.driver.incremental.promotions");
+  for (uint64_t Seed : {3u, 7u, 11u}) {
+    DependenceDAG D = genDAG(40, 8, Seed);
+
+    URSAOptions On;
+    On.MeasurementReuse = true;
+    On.IncrementalMeasure = true;
+    URSAResult A = runURSA(D, M, On);
+
+    URSAOptions Off;
+    Off.MeasurementReuse = false;
+    Off.IncrementalMeasure = true;
+    URSAResult B = runURSA(D, M, Off);
+    expectSameResult(A, B, "promotion seed " + std::to_string(Seed));
+
+    // And against the fully conventional driver.
+    URSAOptions Ref;
+    Ref.MeasurementReuse = false;
+    Ref.IncrementalMeasure = false;
+    expectSameResult(runURSA(D, M, Ref), A,
+                     "reference seed " + std::to_string(Seed));
+  }
+  EXPECT_GT(statValue("ursa.driver.incremental.promotions"), Before)
+      << "no delta-scored winner was promoted on any seed";
 }

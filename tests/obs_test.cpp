@@ -8,6 +8,7 @@
 #include "obs/Json.h"
 #include "obs/Stats.h"
 #include "obs/Tracer.h"
+#include "support/RNG.h"
 #include "ursa/Driver.h"
 #include "ursa/Report.h"
 #include "workload/Kernels.h"
@@ -151,6 +152,82 @@ TEST(Json, ParserRejectsGarbage) {
   EXPECT_FALSE(obs::parseJson("[1,2", V, Err));
   EXPECT_FALSE(obs::parseJson("{} trailing", V, Err));
   EXPECT_TRUE(obs::parseJson("  {\"a\": [1, 2]}  ", V, Err)) << Err;
+}
+
+TEST(Json, DepthLimitIsEnforced) {
+  // Untrusted-input entry point: nesting beyond MaxDepth is a clean
+  // Status error, never unbounded recursion.
+  auto Nested = [](size_t Depth) {
+    return std::string(Depth, '[') + std::string(Depth, ']');
+  };
+  obs::JsonValue V;
+  obs::JsonParseLimits L;
+  L.MaxDepth = 8;
+  EXPECT_TRUE(obs::parseJsonLimited(Nested(8), V, L).isOk());
+  Status St = obs::parseJsonLimited(Nested(9), V, L);
+  EXPECT_FALSE(St.isOk());
+  EXPECT_NE(St.message().find("depth"), std::string::npos) << St.str();
+
+  // Objects count like arrays.
+  std::string DeepObj;
+  for (unsigned I = 0; I != 9; ++I)
+    DeepObj += "{\"k\":";
+  DeepObj += "1";
+  DeepObj += std::string(9, '}');
+  EXPECT_FALSE(obs::parseJsonLimited(DeepObj, V, L).isOk());
+
+  // The trusted-input parser stays usable for deep-but-sane documents
+  // and still refuses stack-breaking depths (256 levels).
+  std::string Err;
+  EXPECT_TRUE(obs::parseJson(Nested(200), V, Err)) << Err;
+  EXPECT_FALSE(obs::parseJson(Nested(300), V, Err));
+}
+
+TEST(Json, ByteLimitIsEnforced) {
+  obs::JsonValue V;
+  obs::JsonParseLimits L;
+  L.MaxBytes = 32;
+  std::string Big = "\"" + std::string(64, 'x') + "\"";
+  Status St = obs::parseJsonLimited(Big, V, L);
+  EXPECT_FALSE(St.isOk());
+  EXPECT_NE(St.message().find("exceeds"), std::string::npos) << St.str();
+  L.MaxBytes = 0; // 0 = unlimited
+  EXPECT_TRUE(obs::parseJsonLimited(Big, V, L).isOk());
+  L.MaxBytes = Big.size();
+  EXPECT_TRUE(obs::parseJsonLimited(Big, V, L).isOk()) << "cap is inclusive";
+}
+
+TEST(Json, MalformedInputNeverCrashes) {
+  // Fuzz-style corpus: truncations, bad escapes, wrong literals, stray
+  // bytes. Every case must come back as a clean error (or a clean parse),
+  // never a crash or an assert.
+  const char *Cases[] = {
+      "",        "   ",          "nul",        "tru",     "falsy",
+      "\"",      "\"\\",         "\"\\u12\"",  "\"\\q\"", "\"\x01\"",
+      "-",       "1e",           "0x10",       "--3",     "+5",
+      "{",       "{\"a\"",       "{\"a\":1,}", "{,}",     "{\"a\" 1}",
+      "[",       "[1 2]",        "[,]",        "]",       "}",
+      "{\"a\":1}{\"b\":2}",      "[1,2,]",     "\xff\xfe\x00",
+  };
+  obs::JsonValue V;
+  for (const char *C : Cases) {
+    (void)obs::parseJsonLimited(C, V);
+    std::string Err;
+    (void)obs::parseJson(C, V, Err);
+  }
+
+  // Deterministic random byte soup, biased toward JSON punctuation so
+  // some documents get deep into the parser before failing.
+  RNG Rng(42);
+  const char Alphabet[] = "{}[]\",:truefalsnu0123456789.-+eE \\/x";
+  for (unsigned Doc = 0; Doc != 500; ++Doc) {
+    std::string S;
+    unsigned Len = 1 + unsigned(Rng.below(64));
+    for (unsigned I = 0; I != Len; ++I)
+      S += Alphabet[Rng.below(sizeof(Alphabet) - 1)];
+    (void)obs::parseJsonLimited(S, V);
+  }
+  SUCCEED() << "no crash across the corpus";
 }
 
 //===----------------------------------------------------------------------===//

@@ -13,6 +13,7 @@
 #include "sched/ListScheduler.h"
 #include "sched/Pipelines.h"
 #include "sched/RegAssign.h"
+#include "ursa/PipelineVerifier.h"
 #include "workload/Generators.h"
 #include "workload/Kernels.h"
 
@@ -148,6 +149,31 @@ TEST(RegAssign, ReportsConflictWhenStarved) {
   RegAssignment RA = assignRegisters(D, S, M);
   EXPECT_FALSE(RA.Ok);
   EXPECT_GE(RA.ConflictVReg, 0);
+}
+
+TEST(RegAssign, DeadDefStillOccupiesItsIssueCycle) {
+  // Regression: a value that is never used has End == Start, but its
+  // register is still written in the issue cycle. The expiry scan must
+  // not hand that register to another value defined in the same cycle,
+  // or the VLIW word ends up with two writes to one register. Surfaced
+  // by the seed-11 add chain on 2fu/3reg (tests/corpus/).
+  MachineModel M = MachineModel::homogeneous(2, 2);
+  Trace T = parseTraceOrDie("a = load x\n"
+                            "b = neg a\n" // dead: no uses
+                            "c = neg a\n"
+                            "store o, c\n");
+  DependenceDAG D = buildDAG(T);
+  Schedule S = listSchedule(D, M);
+  RegAssignment RA = assignRegisters(D, S, M);
+  ASSERT_TRUE(RA.Ok);
+  Status St = verifyAssignment(D, S, RA, M);
+  EXPECT_TRUE(St.isOk()) << St.str();
+  int B = T.instr(1).dest(), C = T.instr(2).dest();
+  if (S.CycleOf[DependenceDAG::nodeOf(1)] ==
+      S.CycleOf[DependenceDAG::nodeOf(2)]) {
+    EXPECT_NE(RA.PhysOf[B], RA.PhysOf[C])
+        << "same-cycle defs share a physical register";
+  }
 }
 
 TEST(RegAssign, SpillValueInTraceRewrites) {

@@ -1,0 +1,647 @@
+//===- tests/service_test.cpp - Compile-service lifecycle -----------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The persistent compile service, bottom to top: protocol round-trips and
+// malformed-input rejection, the in-process CompileService lifecycle
+// (admission control, queue-full shedding, deadline expiry against
+// FaultInjector-stalled compiles, clean shutdown draining), the Unix-
+// socket server with pipelined and concurrent clients, and the acceptance
+// bar — service output bit-identical to the direct compileURSA +
+// formatCompileText path over a 50-function corpus at worker counts > 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "obs/Json.h"
+#include "service/Client.h"
+#include "service/CompileService.h"
+#include "service/Server.h"
+#include "ursa/Compiler.h"
+#include "ursa/Report.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace ursa;
+using namespace ursa::service;
+
+namespace {
+
+/// Source text of a generated trace (deterministic in the seed).
+std::string genSource(uint64_t Seed, unsigned NumInstrs = 30,
+                      unsigned Window = 8) {
+  GenOptions G;
+  G.NumInstrs = NumInstrs;
+  G.Window = Window;
+  G.Seed = Seed;
+  return generateTrace(G).str();
+}
+
+/// What the service must produce for \p Source: the direct compileURSA +
+/// formatCompileText path with matching options.
+std::string directText(const std::string &Source, const MachineSpec &Spec) {
+  Trace T("direct");
+  std::string Err;
+  EXPECT_TRUE(parseTrace(Source, T, Err)) << Err;
+  MachineModel M = Spec.build();
+  URSAOptions UO;
+  UO.Threads = 1;
+  URSACompileResult R = compileURSA(T, M, UO);
+  EXPECT_TRUE(R.Compile.Ok) << R.Compile.Error;
+  return formatCompileText("ursa", M, R.Compile);
+}
+
+ServiceRequest compileRequest(std::string Id, std::string Source,
+                              unsigned Fus = 2, unsigned Regs = 4) {
+  ServiceRequest R;
+  R.Op = ServiceRequest::OpKind::Compile;
+  R.Id = std::move(Id);
+  R.Source = std::move(Source);
+  R.Machine.Fus = Fus;
+  R.Machine.Regs = Regs;
+  return R;
+}
+
+/// Collects responses from worker threads and lets the test block until
+/// an expected number arrived.
+struct Collector {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::vector<ServiceResponse> Got;
+
+  CompileService::ResponseFn sink() {
+    return [this](const ServiceResponse &R) {
+      std::lock_guard<std::mutex> L(Mu);
+      Got.push_back(R);
+      Cv.notify_all();
+    };
+  }
+  std::vector<ServiceResponse> waitFor(size_t N) {
+    std::unique_lock<std::mutex> L(Mu);
+    Cv.wait_for(L, std::chrono::seconds(60), [&] { return Got.size() >= N; });
+    return Got;
+  }
+  const ServiceResponse *byId(const std::string &Id) {
+    for (const ServiceResponse &R : Got)
+      if (R.Id == Id)
+        return &R;
+    return nullptr;
+  }
+};
+
+std::string testSocketPath(const char *Tag) {
+  return "/tmp/ursa_service_test_" + std::string(Tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceProtocol, RequestRoundTrips) {
+  ServiceRequest R;
+  R.Op = ServiceRequest::OpKind::Compile;
+  R.Id = "req-7";
+  R.Source = "a = load x\nstore y, a\n";
+  R.Machine.Classed = true;
+  R.Machine.IntFus = 3;
+  R.Machine.Gprs = 6;
+  R.Machine.LatMem = 2;
+  R.Machine.Pipelined = true;
+  R.Order = "integrated";
+  R.Verify = "full";
+  R.GuaranteedFit = true;
+  R.TimeBudgetMs = 1234;
+  R.Threads = 2;
+  R.Incremental = 0;
+  R.DeadlineMs = 500;
+  R.StallMs = 9;
+
+  ServiceRequest P;
+  Status St = parseRequest(writeRequest(R), P);
+  ASSERT_TRUE(St.isOk()) << St.str();
+  EXPECT_EQ(P.Op, R.Op);
+  EXPECT_EQ(P.Id, R.Id);
+  EXPECT_EQ(P.Source, R.Source);
+  EXPECT_EQ(P.Machine.Classed, true);
+  EXPECT_EQ(P.Machine.IntFus, 3u);
+  EXPECT_EQ(P.Machine.Gprs, 6u);
+  EXPECT_EQ(P.Machine.LatMem, 2u);
+  EXPECT_TRUE(P.Machine.Pipelined);
+  EXPECT_EQ(P.Machine.key(), R.Machine.key());
+  EXPECT_EQ(P.Order, "integrated");
+  EXPECT_EQ(P.Verify, "full");
+  EXPECT_TRUE(P.GuaranteedFit);
+  EXPECT_EQ(P.TimeBudgetMs, 1234u);
+  EXPECT_EQ(P.Threads, 2u);
+  EXPECT_EQ(P.Incremental, 0);
+  EXPECT_EQ(P.DeadlineMs, 500u);
+  EXPECT_EQ(P.StallMs, 9u);
+}
+
+TEST(ServiceProtocol, ResponseRoundTrips) {
+  ServiceResponse R;
+  R.Status = ServiceResponse::StatusKind::Ok;
+  R.Id = "42";
+  R.Text = "; line one\n   0: v0 = load x\n";
+  R.Cycles = 17;
+  R.SpillOps = 3;
+  R.WithinLimits = true;
+  R.BudgetExhausted = false;
+  R.QueueMs = 1.5;
+  R.CompileMs = 20.25;
+
+  ServiceResponse P;
+  Status St = parseResponse(writeResponse(R), P);
+  ASSERT_TRUE(St.isOk()) << St.str();
+  EXPECT_EQ(P.Status, R.Status);
+  EXPECT_EQ(P.Id, R.Id);
+  EXPECT_EQ(P.Text, R.Text);
+  EXPECT_EQ(P.Cycles, 17u);
+  EXPECT_EQ(P.SpillOps, 3u);
+  EXPECT_TRUE(P.WithinLimits);
+  EXPECT_DOUBLE_EQ(P.QueueMs, 1.5);
+  EXPECT_DOUBLE_EQ(P.CompileMs, 20.25);
+
+  for (auto K : {ServiceResponse::StatusKind::Shed,
+                 ServiceResponse::StatusKind::Deadline,
+                 ServiceResponse::StatusKind::Bye}) {
+    ServiceResponse E;
+    E.Status = K;
+    E.Id = "e";
+    E.Error = "why";
+    ServiceResponse Q;
+    ASSERT_TRUE(parseResponse(writeResponse(E), Q).isOk());
+    EXPECT_EQ(Q.Status, K) << statusName(K);
+    EXPECT_EQ(Q.Error, "why");
+  }
+}
+
+TEST(ServiceProtocol, MalformedRequestsAreCleanErrors) {
+  ServiceRequest R;
+  auto Fails = [&](const std::string &Doc) {
+    Status St = parseRequest(Doc, R);
+    EXPECT_FALSE(St.isOk()) << Doc;
+    return St;
+  };
+  Fails("");
+  Fails("not json at all");
+  Fails("[1,2,3]");
+  Fails("{\"schema\":\"wrong.v9\",\"op\":\"compile\"}");
+  Fails("{\"schema\":\"ursa.service_request.v1\",\"op\":\"explode\"}");
+  // Compile without source.
+  Fails("{\"schema\":\"ursa.service_request.v1\",\"op\":\"compile\","
+        "\"id\":\"1\"}");
+  // Wrong field types.
+  Fails("{\"schema\":\"ursa.service_request.v1\",\"op\":\"compile\","
+        "\"source\":\"a = load x\",\"options\":{\"threads\":\"many\"}}");
+  Fails("{\"schema\":\"ursa.service_request.v1\",\"op\":\"compile\","
+        "\"source\":\"a = load x\",\"machine\":{\"fus\":-2}}");
+  // A machine that can never fit anything.
+  Fails("{\"schema\":\"ursa.service_request.v1\",\"op\":\"compile\","
+        "\"source\":\"a = load x\",\"machine\":{\"fus\":0,\"regs\":4}}");
+  // Unknown enum values.
+  Fails("{\"schema\":\"ursa.service_request.v1\",\"op\":\"compile\","
+        "\"source\":\"a = load x\",\"options\":{\"order\":\"sideways\"}}");
+
+  // Parse limits apply: over-deep and over-large documents.
+  obs::JsonParseLimits L;
+  L.MaxDepth = 4;
+  std::string Deep = "{\"schema\":\"ursa.service_request.v1\",\"a\":" +
+                     std::string(16, '[') + "1" + std::string(16, ']') + "}";
+  EXPECT_FALSE(parseRequest(Deep, R, L).isOk());
+  L = obs::JsonParseLimits{};
+  L.MaxBytes = 16;
+  EXPECT_FALSE(parseRequest("{\"schema\":\"ursa.service_request.v1\"}", R, L)
+                   .isOk());
+
+  // Non-compile ops need no source.
+  Status St = parseRequest(
+      "{\"schema\":\"ursa.service_request.v1\",\"op\":\"ping\"}", R);
+  EXPECT_TRUE(St.isOk()) << St.str();
+}
+
+//===----------------------------------------------------------------------===//
+// In-process service lifecycle
+//===----------------------------------------------------------------------===//
+
+TEST(CompileServiceTest, CompilesAndMatchesDirectPath) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 3;
+  CompileService Svc(Cfg);
+  Collector Col;
+
+  const unsigned N = 12;
+  for (unsigned I = 0; I != N; ++I)
+    Svc.handle(compileRequest(std::to_string(I), genSource(I + 1)),
+               Col.sink());
+  auto Got = Col.waitFor(N);
+  ASSERT_EQ(Got.size(), N);
+
+  MachineSpec Spec;
+  Spec.Fus = 2;
+  Spec.Regs = 4;
+  for (unsigned I = 0; I != N; ++I) {
+    const ServiceResponse *R = Col.byId(std::to_string(I));
+    ASSERT_NE(R, nullptr) << I;
+    ASSERT_EQ(R->Status, ServiceResponse::StatusKind::Ok) << R->Error;
+    EXPECT_EQ(R->Text, directText(genSource(I + 1), Spec)) << "function " << I;
+  }
+}
+
+TEST(CompileServiceTest, FiftyFunctionCorpusBitIdenticalWarmAndCold) {
+  // The acceptance corpus: 50 distinct functions, compiled twice (cold
+  // cache, then warm), at 4 workers. Every response must equal the direct
+  // single-threaded path, and the warm pass must equal the cold pass.
+  ServiceConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.CacheSize = 4096;
+  CompileService Svc(Cfg);
+
+  const unsigned N = 50;
+  MachineSpec Spec;
+  Spec.Fus = 2;
+  Spec.Regs = 4;
+  std::vector<std::string> Sources;
+  for (unsigned I = 0; I != N; ++I)
+    Sources.push_back(genSource(100 + I, 24, 8));
+
+  auto RunPass = [&](const char *Tag) {
+    Collector Col;
+    for (unsigned I = 0; I != N; ++I) {
+      ServiceRequest R =
+          compileRequest(std::string(Tag) + std::to_string(I), Sources[I]);
+      Svc.handle(std::move(R), Col.sink());
+    }
+    auto Got = Col.waitFor(N);
+    EXPECT_EQ(Got.size(), N);
+    std::vector<std::string> Texts(N);
+    for (unsigned I = 0; I != N; ++I) {
+      const ServiceResponse *R = Col.byId(std::string(Tag) + std::to_string(I));
+      EXPECT_NE(R, nullptr);
+      if (!R)
+        continue;
+      EXPECT_EQ(R->Status, ServiceResponse::StatusKind::Ok) << R->Error;
+      Texts[I] = R->Text;
+    }
+    return Texts;
+  };
+
+  std::vector<std::string> Cold = RunPass("cold");
+  std::vector<std::string> Warm = RunPass("warm");
+  for (unsigned I = 0; I != N; ++I) {
+    EXPECT_EQ(Cold[I], Warm[I]) << "warm pass diverged on function " << I;
+    EXPECT_EQ(Cold[I], directText(Sources[I], Spec)) << "function " << I;
+  }
+}
+
+TEST(CompileServiceTest, QueueFullSheds) {
+  // One worker, a queue of two, and a compile stalled by the fault
+  // injector: the worker is pinned, two requests queue, and everything
+  // beyond that is shed with a clean response.
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueDepth = 2;
+  Cfg.EnableTestHooks = true;
+  CompileService Svc(Cfg);
+  Collector Col;
+
+  // A register-tight machine guarantees transforming rounds, so StallMs
+  // reliably holds the worker.
+  ServiceRequest Slow = compileRequest("slow", genSource(1, 40, 12), 2, 2);
+  Slow.StallMs = 40;
+  Svc.handle(Slow, Col.sink());
+  // Give the worker a moment to take the slow job off the queue.
+  for (unsigned Spin = 0; Spin != 200 && Svc.counters().InFlight == 0; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(Svc.counters().InFlight, 1u) << "stalled compile never started";
+
+  for (unsigned I = 0; I != 2; ++I)
+    Svc.handle(compileRequest("q" + std::to_string(I), genSource(2)),
+               Col.sink());
+  for (unsigned I = 0; I != 3; ++I)
+    Svc.handle(compileRequest("over" + std::to_string(I), genSource(2)),
+               Col.sink());
+
+  // The three over-capacity requests are answered inline.
+  auto Got = Col.waitFor(3);
+  unsigned ShedSeen = 0;
+  for (const ServiceResponse &R : Got)
+    if (R.Status == ServiceResponse::StatusKind::Shed) {
+      ++ShedSeen;
+      EXPECT_EQ(R.Error, "queue full");
+      EXPECT_EQ(R.Id.rfind("over", 0), 0u) << R.Id;
+    }
+  EXPECT_EQ(ShedSeen, 3u);
+  EXPECT_EQ(Svc.counters().Shed, 3u);
+  EXPECT_EQ(Svc.counters().QueueDepthPeak, 2u);
+
+  // Everything admitted still completes.
+  Got = Col.waitFor(6);
+  ASSERT_EQ(Got.size(), 6u);
+  for (const char *Id : {"slow", "q0", "q1"}) {
+    const ServiceResponse *R = Col.byId(Id);
+    ASSERT_NE(R, nullptr) << Id;
+    EXPECT_EQ(R->Status, ServiceResponse::StatusKind::Ok) << Id;
+  }
+}
+
+TEST(CompileServiceTest, DeadlineExpiresInQueue) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.EnableTestHooks = true;
+  CompileService Svc(Cfg);
+  Collector Col;
+
+  ServiceRequest Slow = compileRequest("slow", genSource(1, 40, 12), 2, 2);
+  Slow.StallMs = 30;
+  Svc.handle(Slow, Col.sink());
+
+  // Queued behind a compile that takes many stalled rounds; a 1 ms
+  // deadline is long gone by the time the worker frees up.
+  ServiceRequest Doomed = compileRequest("doomed", genSource(2));
+  Doomed.DeadlineMs = 1;
+  Svc.handle(Doomed, Col.sink());
+
+  auto Got = Col.waitFor(2);
+  ASSERT_EQ(Got.size(), 2u);
+  const ServiceResponse *R = Col.byId("doomed");
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->Status, ServiceResponse::StatusKind::Deadline);
+  EXPECT_NE(R->Error.find("expired while queued"), std::string::npos)
+      << R->Error;
+  EXPECT_GE(R->QueueMs, 1.0);
+  EXPECT_EQ(Svc.counters().DeadlineExpired, 1u);
+}
+
+TEST(CompileServiceTest, DeadlineBoundsTheCompileItself) {
+  // The remaining deadline is folded into the driver's TimeBudgetMs, so a
+  // compile whose rounds are stalled past the deadline stops early and is
+  // answered Deadline instead of running to completion.
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.EnableTestHooks = true;
+  CompileService Svc(Cfg);
+  Collector Col;
+
+  ServiceRequest R = compileRequest("tight", genSource(1, 40, 12), 2, 2);
+  R.StallMs = 50;
+  R.DeadlineMs = 10;
+  Svc.handle(R, Col.sink());
+
+  auto Got = Col.waitFor(1);
+  ASSERT_EQ(Got.size(), 1u);
+  EXPECT_EQ(Got[0].Status, ServiceResponse::StatusKind::Deadline);
+  EXPECT_NE(Got[0].Error.find("during compilation"), std::string::npos)
+      << Got[0].Error;
+}
+
+TEST(CompileServiceTest, ShutdownDrainsAdmittedWork) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 2;
+  CompileService Svc(Cfg);
+  Collector Col;
+
+  const unsigned N = 8;
+  for (unsigned I = 0; I != N; ++I)
+    Svc.handle(compileRequest(std::to_string(I), genSource(I + 1)),
+               Col.sink());
+  Svc.stop(/*Drain=*/true); // blocks until the queue is empty
+
+  auto Got = Col.waitFor(N);
+  ASSERT_EQ(Got.size(), N);
+  for (const ServiceResponse &R : Got)
+    EXPECT_EQ(R.Status, ServiceResponse::StatusKind::Ok)
+        << R.Id << ": " << R.Error;
+
+  // Admission is closed now.
+  Svc.handle(compileRequest("late", genSource(1)), Col.sink());
+  Got = Col.waitFor(N + 1);
+  const ServiceResponse *Late = Col.byId("late");
+  ASSERT_NE(Late, nullptr);
+  EXPECT_EQ(Late->Status, ServiceResponse::StatusKind::Shed);
+  EXPECT_EQ(Late->Error, "server shutting down");
+}
+
+TEST(CompileServiceTest, StopWithoutDrainShedsTheQueue) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.EnableTestHooks = true;
+  CompileService Svc(Cfg);
+  Collector Col;
+
+  ServiceRequest Slow = compileRequest("slow", genSource(1, 40, 12), 2, 2);
+  Slow.StallMs = 30;
+  Svc.handle(Slow, Col.sink());
+  for (unsigned Spin = 0; Spin != 200 && Svc.counters().InFlight == 0; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  for (unsigned I = 0; I != 3; ++I)
+    Svc.handle(compileRequest("q" + std::to_string(I), genSource(2)),
+               Col.sink());
+
+  Svc.stop(/*Drain=*/false);
+  auto Got = Col.waitFor(4);
+  ASSERT_EQ(Got.size(), 4u);
+  unsigned ShedSeen = 0;
+  for (const ServiceResponse &R : Got)
+    if (R.Status == ServiceResponse::StatusKind::Shed) {
+      ++ShedSeen;
+      EXPECT_EQ(R.Error, "server shutting down");
+    }
+  // The in-flight compile still finishes; the queued ones are shed.
+  EXPECT_EQ(ShedSeen, 3u);
+  const ServiceResponse *R = Col.byId("slow");
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->Status, ServiceResponse::StatusKind::Ok) << R->Error;
+}
+
+TEST(CompileServiceTest, ReportCountsAndCaches) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 2;
+  CompileService Svc(Cfg);
+  Collector Col;
+  for (unsigned I = 0; I != 4; ++I)
+    Svc.handle(compileRequest(std::to_string(I), genSource(1 + (I % 2))),
+               Col.sink());
+  Col.waitFor(4);
+
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(Svc.reportJSON(), V, Err)) << Err;
+  EXPECT_EQ(V.find("schema")->Str, "ursa.service_report.v1");
+  const obs::JsonValue *Req = V.find("requests");
+  ASSERT_NE(Req, nullptr);
+  EXPECT_EQ(Req->find("received")->Num, 4);
+  EXPECT_EQ(Req->find("completed")->Num, 4);
+  EXPECT_EQ(Req->find("shed")->Num, 0);
+  const obs::JsonValue *Caches = V.find("caches");
+  ASSERT_NE(Caches, nullptr);
+  ASSERT_EQ(Caches->Arr.size(), 1u) << "one machine key -> one cache";
+  EXPECT_GT(Caches->Arr[0].find("entries")->Num, 0);
+  ASSERT_NE(V.find("latency"), nullptr);
+  EXPECT_GT(V.find("latency")->find("total_compile_ms")->Num, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Socket server, end to end
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceServer, PipelinedClientMatchesDirectPath) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 2;
+  std::string Path = testSocketPath("pipelined");
+  Server Srv(Path, Cfg);
+  ASSERT_TRUE(Srv.start().isOk());
+  std::thread Runner([&] { Srv.run(); });
+
+  {
+    StatusOr<ServiceClient> COr = ServiceClient::connect(Path);
+    ASSERT_TRUE(COr.isOk()) << COr.status().str();
+    ServiceClient &Client = *COr;
+
+    // Pipeline: send everything, then collect; responses may arrive in
+    // any order and are matched by id.
+    const unsigned N = 10;
+    for (unsigned I = 0; I != N; ++I)
+      ASSERT_TRUE(
+          Client.send(compileRequest(std::to_string(I), genSource(I + 1)))
+              .isOk());
+    std::vector<ServiceResponse> Got(N);
+    std::vector<bool> Seen(N, false);
+    for (unsigned I = 0; I != N; ++I) {
+      ServiceResponse R;
+      bool Closed = false;
+      ASSERT_TRUE(Client.recv(R, Closed).isOk());
+      ASSERT_FALSE(Closed);
+      unsigned Idx = unsigned(std::atoi(R.Id.c_str()));
+      ASSERT_LT(Idx, N);
+      ASSERT_FALSE(Seen[Idx]);
+      Seen[Idx] = true;
+      Got[Idx] = R;
+    }
+    MachineSpec Spec;
+    Spec.Fus = 2;
+    Spec.Regs = 4;
+    for (unsigned I = 0; I != N; ++I) {
+      ASSERT_EQ(Got[I].Status, ServiceResponse::StatusKind::Ok)
+          << Got[I].Error;
+      EXPECT_EQ(Got[I].Text, directText(genSource(I + 1), Spec));
+    }
+
+    // Ping, report, shutdown over the same connection.
+    ServiceRequest Ping;
+    Ping.Op = ServiceRequest::OpKind::Ping;
+    Ping.Id = "ping";
+    ServiceResponse R;
+    ASSERT_TRUE(Client.call(Ping, R).isOk());
+    EXPECT_EQ(R.Status, ServiceResponse::StatusKind::Ok);
+
+    ServiceRequest Report;
+    Report.Op = ServiceRequest::OpKind::Report;
+    Report.Id = "rep";
+    ASSERT_TRUE(Client.call(Report, R).isOk());
+    ASSERT_EQ(R.Status, ServiceResponse::StatusKind::Report);
+    obs::JsonValue V;
+    std::string Err;
+    ASSERT_TRUE(obs::parseJson(R.Text, V, Err)) << Err;
+    EXPECT_EQ(V.find("schema")->Str, "ursa.service_report.v1");
+    EXPECT_EQ(V.find("requests")->find("completed")->Num, N);
+
+    ServiceRequest Bye;
+    Bye.Op = ServiceRequest::OpKind::Shutdown;
+    Bye.Id = "bye";
+    ASSERT_TRUE(Client.call(Bye, R).isOk());
+    EXPECT_EQ(R.Status, ServiceResponse::StatusKind::Bye);
+  }
+  Runner.join(); // run() returns once the shutdown drains
+  EXPECT_NE(::access(Path.c_str(), F_OK), 0) << "socket file not removed";
+}
+
+TEST(ServiceServer, ConcurrentClientsAllSucceed) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 2;
+  std::string Path = testSocketPath("concurrent");
+  Server Srv(Path, Cfg);
+  ASSERT_TRUE(Srv.start().isOk());
+  std::thread Runner([&] { Srv.run(); });
+
+  const unsigned Clients = 4, PerClient = 5;
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned CI = 0; CI != Clients; ++CI)
+    Threads.emplace_back([&, CI] {
+      StatusOr<ServiceClient> COr = ServiceClient::connect(Path);
+      if (!COr.isOk()) {
+        ++Failures;
+        return;
+      }
+      MachineSpec Spec;
+      Spec.Fus = 2;
+      Spec.Regs = 4;
+      for (unsigned I = 0; I != PerClient; ++I) {
+        uint64_t Seed = 1 + (CI * PerClient + I) % 7;
+        ServiceResponse R;
+        Status St = COr->call(
+            compileRequest(std::to_string(CI) + "." + std::to_string(I),
+                           genSource(Seed)),
+            R);
+        if (!St.isOk() || R.Status != ServiceResponse::StatusKind::Ok ||
+            R.Text != directText(genSource(Seed), Spec))
+          ++Failures;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+
+  Srv.requestStop();
+  Runner.join();
+}
+
+TEST(ServiceServer, MalformedFrameGetsErrorResponse) {
+  ServiceConfig Cfg;
+  std::string Path = testSocketPath("malformed");
+  Server Srv(Path, Cfg);
+  ASSERT_TRUE(Srv.start().isOk());
+  std::thread Runner([&] { Srv.run(); });
+
+  {
+    StatusOr<UnixSocket> SOr = UnixSocket::connect(Path);
+    ASSERT_TRUE(SOr.isOk());
+    ASSERT_TRUE(SOr->sendFrame("this is not json").isOk());
+    std::string Frame;
+    bool Closed = false;
+    ASSERT_TRUE(SOr->recvFrame(Frame, Closed).isOk());
+    ASSERT_FALSE(Closed);
+    ServiceResponse R;
+    ASSERT_TRUE(parseResponse(Frame, R).isOk());
+    EXPECT_EQ(R.Status, ServiceResponse::StatusKind::Error);
+    EXPECT_FALSE(R.Error.empty());
+
+    // The connection survives a bad request.
+    ServiceRequest Ping;
+    Ping.Op = ServiceRequest::OpKind::Ping;
+    ASSERT_TRUE(SOr->sendFrame(writeRequest(Ping)).isOk());
+    ASSERT_TRUE(SOr->recvFrame(Frame, Closed).isOk());
+    ASSERT_FALSE(Closed);
+    ASSERT_TRUE(parseResponse(Frame, R).isOk());
+    EXPECT_EQ(R.Status, ServiceResponse::StatusKind::Ok);
+  }
+
+  Srv.requestStop();
+  Runner.join();
+}
