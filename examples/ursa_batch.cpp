@@ -6,8 +6,10 @@
 //
 // Compiles a batch of trace files through a running ursa_served:
 //
-//   ursa_batch --socket PATH [files...] [options]
+//   ursa_batch --connect ENDPOINT [files...] [options]
 //
+//   --connect ENDPOINT    "unix:PATH", a bare socket path, or
+//                         "tcp:HOST:PORT" (--socket is an alias)
 //   --machine FxR         homogeneous machine (as ursa_cc)
 //   --classed i,f,m,g,p   classed machine
 //   --latencies i,f,m     operation latencies
@@ -17,17 +19,25 @@
 //   --guaranteed-fit      force residual excess to fit
 //   --time-budget MS      per-compile wall-clock budget
 //   --deadline MS         per-request deadline (queue + compile)
-//   --window N            max requests in flight (default 16); keeps the
-//                         batch inside the server's queue so nothing is
-//                         shed, while still pipelining across workers
+//   --window N            max requests in flight (default 16)
+//   --retries N           transport-failure budget: how many times the
+//                         batch may reconnect and resume (default 0)
 //   --report              fetch and print the server report instead
 //   --shutdown            ask the server to shut down (drains first)
 //
 // Requests are pipelined up to the window and responses matched back by
-// id, so compiles run concurrently on the server; output is printed in
-// input order and is bit-identical to running `ursa_cc FILE ...` per
-// file, at any worker count. A shed response (server momentarily full)
-// is retried with backoff.
+// id; output is printed in input order and is bit-identical to running
+// `ursa_cc FILE ...` per file, at any worker count.
+//
+// Fault tolerance: a shed response is retried with backoff. On a
+// transport failure the batch re-queues every file the server provably
+// never started — unsent files always; in-flight files only when the
+// connection closed cleanly before their responses (a draining server
+// flushes responses for admitted work first) — reconnects with backoff
+// while the --retries budget lasts, and resumes. Files lost to an
+// indeterminate failure (reset mid-frame) are never replayed
+// (at-most-once); they are reported in a per-file failure table on
+// stderr and the exit status is nonzero.
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,7 +47,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -56,15 +68,19 @@ bool parseUints(const char *S, std::vector<unsigned> &Out, char Sep) {
   return !Out.empty();
 }
 
+/// Per-file progress through the batch.
+enum class FileState { Unsent, InFlight, Done, Failed };
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string SocketPath;
+  std::string Endpoint;
   if (const char *S = std::getenv("URSA_SERVICE_SOCKET"))
-    SocketPath = S;
+    Endpoint = S;
   std::vector<std::string> Files;
   ServiceRequest Proto; // machine/options shared by every file
   unsigned Window = 16;
+  unsigned Retries = 0;
   bool DoReport = false, DoShutdown = false;
 
   for (int I = 1; I < Argc; ++I) {
@@ -74,8 +90,8 @@ int main(int Argc, char **Argv) {
     };
     const char *S = nullptr;
     std::vector<unsigned> V;
-    if (A == "--socket" && (S = Next())) {
-      SocketPath = S;
+    if ((A == "--connect" || A == "--socket") && (S = Next())) {
+      Endpoint = S;
     } else if (A == "--machine" && (S = Next()) && parseUints(S, V, 'x') &&
                V.size() == 2) {
       Proto.Machine.Classed = false;
@@ -108,6 +124,8 @@ int main(int Argc, char **Argv) {
       Proto.DeadlineMs = unsigned(std::atoi(S));
     } else if (A == "--window" && (S = Next()) && std::atoi(S) > 0) {
       Window = unsigned(std::atoi(S));
+    } else if (A == "--retries" && (S = Next())) {
+      Retries = unsigned(std::atoi(S));
     } else if (A == "--report") {
       DoReport = true;
     } else if (A == "--shutdown") {
@@ -119,23 +137,30 @@ int main(int Argc, char **Argv) {
       Files.push_back(A);
     }
   }
-  if (SocketPath.empty() || (Files.empty() && !DoReport && !DoShutdown)) {
+  if (Endpoint.empty() || (Files.empty() && !DoReport && !DoShutdown)) {
     std::fprintf(stderr,
-                 "usage: ursa_batch --socket PATH [files...] [options]\n"
+                 "usage: ursa_batch --connect ENDPOINT [files...] [options]\n"
                  "       (see the header of examples/ursa_batch.cpp)\n");
     return 1;
   }
 
-  StatusOr<ServiceClient> COr = ServiceClient::connect(SocketPath);
+  // Connect (the initial connection also gets the retry budget: a server
+  // mid-restart looks like connect-refused).
+  RetryPolicy ConnPolicy;
+  ConnPolicy.MaxRetries = Retries;
+  ConnPolicy.BackoffBaseMs = 20;
+  ConnPolicy.BackoffMaxMs = 1000;
+  StatusOr<ServiceClient> COr =
+      ServiceClient::connectWithRetry(Endpoint, ConnPolicy);
   if (!COr.isOk()) {
     std::fprintf(stderr, "error: %s\n", COr.status().str().c_str());
     return 1;
   }
-  ServiceClient &Client = *COr;
+  std::optional<ServiceClient> Client(std::move(*COr));
 
-  // Per-file results, indexed like Files; printed in order at the end.
   std::vector<ServiceResponse> Results(Files.size());
-  std::vector<bool> Got(Files.size(), false);
+  std::vector<FileState> State(Files.size(), FileState::Unsent);
+  std::vector<std::string> FailReason(Files.size());
   std::vector<std::string> Sources(Files.size());
   for (size_t I = 0; I != Files.size(); ++I) {
     std::ifstream In(Files[I]);
@@ -148,88 +173,200 @@ int main(int Argc, char **Argv) {
     Sources[I] = Buf.str();
   }
 
+  std::deque<size_t> Pending; // files not yet (re)sent, in input order
+  for (size_t I = 0; I != Files.size(); ++I)
+    Pending.push_back(I);
+  std::vector<size_t> InFlight; // awaiting a response on this connection
+  size_t Remaining = Files.size();
+  unsigned ReconnectsLeft = Retries;
+  unsigned ReconnectRound = 0;
+  unsigned ShedRetries = 0;
+
+  auto FailFile = [&](size_t I, const std::string &Why) {
+    State[I] = FileState::Failed;
+    FailReason[I] = Why;
+    --Remaining;
+  };
+
+  /// The connection died. Requeue what the at-most-once rule allows:
+  /// unsent files always; in-flight files only on a clean pre-response
+  /// close (\p CleanClose).
+  auto TransportFailure = [&](bool CleanClose, const std::string &Why) {
+    for (size_t I : InFlight) {
+      if (CleanClose) {
+        State[I] = FileState::Unsent;
+        Pending.push_front(I);
+      } else {
+        FailFile(I, Why + " (indeterminate: not replayed)");
+      }
+    }
+    InFlight.clear();
+    Client.reset();
+  };
+
   auto SendOne = [&](size_t I) -> bool {
     ServiceRequest R = Proto;
     R.Op = ServiceRequest::OpKind::Compile;
     R.Id = std::to_string(I);
     R.Source = Sources[I];
-    if (Status St = Client.send(R); !St.isOk()) {
-      std::fprintf(stderr, "error: %s\n", St.str().c_str());
-      return false;
+    Status St = Client->send(R);
+    if (St.isOk()) {
+      State[I] = FileState::InFlight;
+      InFlight.push_back(I);
+      return true;
     }
-    return true;
+    // EPIPE: the peer closed before this frame went out — never read,
+    // safe to retry. Anything else on send is also pre-admission for
+    // *this* file (its bytes never completed), so requeue it; the
+    // already-in-flight files are settled by the recv path.
+    State[I] = FileState::Unsent;
+    Pending.push_front(I);
+    TransportFailure(/*CleanClose=*/Client->lastErrno() == EPIPE,
+                     "send failed: " + St.message());
+    return false;
   };
 
-  size_t NextToSend = 0, Outstanding = 0, Remaining = Files.size();
-  unsigned ShedRetries = 0;
+  auto DropInFlight = [&](std::vector<size_t> &V, size_t I) {
+    for (size_t K = 0; K != V.size(); ++K)
+      if (V[K] == I) {
+        V.erase(V.begin() + K);
+        return;
+      }
+  };
+
   while (Remaining) {
-    while (NextToSend < Files.size() && Outstanding < Window) {
-      if (!SendOne(NextToSend))
-        return 1;
-      ++NextToSend;
-      ++Outstanding;
+    if (!Client) {
+      if (!ReconnectsLeft) {
+        while (!Pending.empty()) {
+          size_t I = Pending.front();
+          Pending.pop_front();
+          if (State[I] == FileState::Unsent)
+            FailFile(I, "not attempted: transport failed and the retry "
+                        "budget is exhausted (--retries)");
+        }
+        break;
+      }
+      --ReconnectsLeft;
+      unsigned Cap = std::min(1000u, 20u << std::min(ReconnectRound++, 10u));
+      std::this_thread::sleep_for(std::chrono::milliseconds(Cap / 2));
+      StatusOr<ServiceClient> R = ServiceClient::connect(Endpoint);
+      if (!R.isOk())
+        continue; // burn another retry (or give up) next iteration
+      Client.emplace(std::move(*R));
+      ReconnectRound = 0;
     }
+
+    bool SendBroke = false;
+    while (!Pending.empty() && InFlight.size() < Window) {
+      size_t I = Pending.front();
+      Pending.pop_front();
+      if (State[I] != FileState::Unsent)
+        continue;
+      if (!SendOne(I)) {
+        SendBroke = true;
+        break;
+      }
+    }
+    if (SendBroke || InFlight.empty())
+      continue;
+
     ServiceResponse Resp;
     bool Closed = false;
-    if (Status St = Client.recv(Resp, Closed); !St.isOk() || Closed) {
-      std::fprintf(stderr, "error: %s\n",
-                   Closed ? "server closed the connection" : St.str().c_str());
-      return 1;
+    if (Status St = Client->recv(Resp, Closed); !St.isOk()) {
+      TransportFailure(/*CleanClose=*/false,
+                       "connection lost: " + St.message());
+      continue;
     }
-    --Outstanding;
+    if (Closed) {
+      // Clean FIN: the server drained; responses for everything it
+      // admitted were flushed first, so the still-unanswered in-flight
+      // files were never started. Requeue them.
+      TransportFailure(/*CleanClose=*/true, "server closed");
+      continue;
+    }
+
     size_t I = size_t(std::atol(Resp.Id.c_str()));
-    if (I >= Files.size() || Got[I]) {
+    if (I >= Files.size() || State[I] != FileState::InFlight) {
       std::fprintf(stderr, "error: response for unknown id '%s'\n",
                    Resp.Id.c_str());
       return 1;
     }
+    DropInFlight(InFlight, I);
     if (Resp.Status == ServiceResponse::StatusKind::Shed) {
       // Momentary backpressure: ease off and resend this file.
       if (++ShedRetries > 100) {
-        std::fprintf(stderr, "error: '%s' shed repeatedly, giving up\n",
-                     Files[I].c_str());
-        return 1;
+        FailFile(I, "shed repeatedly, giving up");
+        continue;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      if (!SendOne(I))
-        return 1;
-      ++Outstanding;
+      State[I] = FileState::Unsent;
+      Pending.push_back(I);
       continue;
     }
     Results[I] = Resp;
-    Got[I] = true;
+    State[I] = FileState::Done;
     --Remaining;
   }
 
   int Exit = 0;
   for (size_t I = 0; I != Files.size(); ++I) {
-    const ServiceResponse &R = Results[I];
-    if (R.Status == ServiceResponse::StatusKind::Ok) {
-      std::fputs(R.Text.c_str(), stdout);
+    if (State[I] == FileState::Done &&
+        Results[I].Status == ServiceResponse::StatusKind::Ok) {
+      std::fputs(Results[I].Text.c_str(), stdout);
     } else {
-      std::fprintf(stderr, "%s: %s: %s\n", Files[I].c_str(),
-                   statusName(R.Status), R.Error.c_str());
       Exit = 1;
     }
   }
 
-  if (DoReport) {
+  // Per-file failure table: every file that did not compile, and why —
+  // nothing is lost silently.
+  if (Exit) {
+    std::fprintf(stderr, "ursa_batch: %zu file(s) failed:\n", [&] {
+      size_t N = 0;
+      for (size_t I = 0; I != Files.size(); ++I)
+        if (State[I] != FileState::Done ||
+            Results[I].Status != ServiceResponse::StatusKind::Ok)
+          ++N;
+      return N;
+    }());
+    for (size_t I = 0; I != Files.size(); ++I) {
+      if (State[I] == FileState::Done &&
+          Results[I].Status == ServiceResponse::StatusKind::Ok)
+        continue;
+      const char *Kind = State[I] == FileState::Done
+                             ? statusName(Results[I].Status)
+                             : State[I] == FileState::Failed ? "transport"
+                                                             : "unsent";
+      const std::string &Why = State[I] == FileState::Done
+                                   ? Results[I].Error
+                                   : FailReason[I];
+      std::fprintf(stderr, "  %-40s %-10s %s\n", Files[I].c_str(), Kind,
+                   Why.c_str());
+    }
+  }
+
+  if ((DoReport || DoShutdown) && !Client) {
+    StatusOr<ServiceClient> R = ServiceClient::connect(Endpoint);
+    if (R.isOk())
+      Client.emplace(std::move(*R));
+  }
+  if (DoReport && Client) {
     ServiceRequest R;
     R.Op = ServiceRequest::OpKind::Report;
     R.Id = "report";
     ServiceResponse Resp;
-    if (Status St = Client.call(R, Resp); !St.isOk()) {
+    if (Status St = Client->call(R, Resp); !St.isOk()) {
       std::fprintf(stderr, "error: %s\n", St.str().c_str());
       return 1;
     }
     std::printf("%s\n", Resp.Text.c_str());
   }
-  if (DoShutdown) {
+  if (DoShutdown && Client) {
     ServiceRequest R;
     R.Op = ServiceRequest::OpKind::Shutdown;
     R.Id = "shutdown";
     ServiceResponse Resp;
-    if (Status St = Client.call(R, Resp); !St.isOk()) {
+    if (Status St = Client->call(R, Resp); !St.isOk()) {
       std::fprintf(stderr, "error: %s\n", St.str().c_str());
       return 1;
     }

@@ -4,12 +4,15 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// A persistent compile service over a Unix-domain socket:
+// A persistent compile service over a Unix-domain or TCP socket:
 //
-//   ursa_served --socket PATH [options]
+//   ursa_served --socket PATH | --tcp [HOST:]PORT [options]
 //
-//   --socket PATH       socket file to listen on (required; also
-//                       URSA_SERVICE_SOCKET)
+//   --socket PATH       Unix socket file to listen on (also
+//                       URSA_SERVICE_SOCKET; "unix:PATH" and "tcp:..."
+//                       endpoint strings are accepted here too)
+//   --tcp [HOST:]PORT   listen on TCP instead (loopback by default;
+//                       port 0 = kernel-assigned, printed at startup)
 //   --workers N         concurrent compile workers (URSA_SERVICE_WORKERS,
 //                       default 2)
 //   --queue-depth N     bounded queue; arrivals beyond it are shed
@@ -18,6 +21,19 @@
 //                       (URSA_SERVICE_CACHE_SIZE, default 1024)
 //   --no-cache          disable cross-request measurement reuse
 //                       (URSA_SERVICE_CACHE=0)
+//   --cache-dir DIR     persist measurement caches to DIR as crash-safe
+//                       snapshot+journal images; restarts load them warm
+//                       (URSA_SERVICE_CACHE_DIR)
+//   --snapshot-every N  journal appends between periodic snapshots
+//                       (URSA_SERVICE_SNAPSHOT_EVERY, default 32)
+//   --idle-timeout MS   reap connections idle this long
+//                       (URSA_SERVICE_IDLE_TIMEOUT_MS, default never)
+//   --io-timeout MS     per-operation socket deadline mid-frame
+//                       (URSA_SERVICE_IO_TIMEOUT_MS, default unbounded)
+//   --no-degrade        disable graceful-degradation tiers
+//                       (URSA_SERVICE_DEGRADE=0)
+//   --degraded-budget MS tier-3 budget clamp
+//                       (URSA_SERVICE_DEGRADED_BUDGET_MS, default 250)
 //   --time-budget MS    default per-compile wall-clock budget
 //                       (URSA_SERVICE_TIME_BUDGET_MS, default unlimited)
 //   --test-hooks        honor the per-request stall test hook
@@ -44,9 +60,9 @@ using namespace ursa::service;
 
 int main(int Argc, char **Argv) {
   ServiceConfig Cfg = ServiceConfig::fromEnv();
-  std::string SocketPath;
+  std::string Endpoint;
   if (const char *S = std::getenv("URSA_SERVICE_SOCKET"))
-    SocketPath = S;
+    Endpoint = S;
   std::string ReportOut;
 
   for (int I = 1; I < Argc; ++I) {
@@ -56,7 +72,9 @@ int main(int Argc, char **Argv) {
     };
     const char *S = nullptr;
     if (A == "--socket" && (S = Next()))
-      SocketPath = S;
+      Endpoint = S;
+    else if (A == "--tcp" && (S = Next()))
+      Endpoint = std::string("tcp:") + S;
     else if (A == "--workers" && (S = Next()) && std::atoi(S) > 0)
       Cfg.Workers = unsigned(std::atoi(S));
     else if (A == "--queue-depth" && (S = Next()) && std::atoi(S) > 0)
@@ -65,6 +83,18 @@ int main(int Argc, char **Argv) {
       Cfg.CacheSize = unsigned(std::atoi(S));
     else if (A == "--no-cache")
       Cfg.CacheEnabled = false;
+    else if (A == "--cache-dir" && (S = Next()))
+      Cfg.CacheDir = S;
+    else if (A == "--snapshot-every" && (S = Next()))
+      Cfg.SnapshotEvery = unsigned(std::atoi(S));
+    else if (A == "--idle-timeout" && (S = Next()))
+      Cfg.IdleTimeoutMs = unsigned(std::atoi(S));
+    else if (A == "--io-timeout" && (S = Next()))
+      Cfg.IoTimeoutMs = unsigned(std::atoi(S));
+    else if (A == "--no-degrade")
+      Cfg.DegradeEnabled = false;
+    else if (A == "--degraded-budget" && (S = Next()))
+      Cfg.DegradedTimeBudgetMs = unsigned(std::atoi(S));
     else if (A == "--time-budget" && (S = Next()))
       Cfg.DefaultTimeBudgetMs = unsigned(std::atoi(S));
     else if (A == "--test-hooks")
@@ -76,23 +106,28 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
-  if (SocketPath.empty()) {
+  if (Endpoint.empty()) {
     std::fprintf(stderr,
-                 "usage: ursa_served --socket PATH [options]\n"
+                 "usage: ursa_served --socket PATH | --tcp [HOST:]PORT "
+                 "[options]\n"
                  "       (see the header of examples/ursa_served.cpp)\n");
     return 1;
   }
 
-  Server Srv(SocketPath, Cfg);
+  Server Srv(Endpoint, Cfg);
   if (Status St = Srv.start(); !St.isOk()) {
     std::fprintf(stderr, "error: %s\n", St.str().c_str());
     return 1;
   }
+  if (Srv.port())
+    std::fprintf(stderr, "ursa_served: listening on tcp port %u", Srv.port());
+  else
+    std::fprintf(stderr, "ursa_served: listening on %s", Endpoint.c_str());
   std::fprintf(stderr,
-               "ursa_served: listening on %s (%u workers, queue %u, "
-               "cache %s/%u)\n",
-               SocketPath.c_str(), Cfg.Workers, Cfg.QueueDepth,
-               Cfg.CacheEnabled ? "on" : "off", Cfg.CacheSize);
+               " (%u workers, queue %u, cache %s/%u%s%s)\n",
+               Cfg.Workers, Cfg.QueueDepth, Cfg.CacheEnabled ? "on" : "off",
+               Cfg.CacheSize, Cfg.CacheDir.empty() ? "" : ", persisted to ",
+               Cfg.CacheDir.c_str());
   Srv.run();
 
   std::string Report = Srv.service().reportJSON();

@@ -6,14 +6,74 @@
 
 #include "service/Client.h"
 
+#include "obs/Stats.h"
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
 using namespace ursa;
 using namespace ursa::service;
 
-StatusOr<ServiceClient> ServiceClient::connect(const std::string &Path) {
-  StatusOr<UnixSocket> S = UnixSocket::connect(Path);
+URSA_STAT(StatClientRetries, "ursa.client.retries",
+          "supervised requests re-sent after a retryable failure");
+URSA_STAT(StatClientReconnects, "ursa.client.reconnects",
+          "connections re-established by the supervised client");
+URSA_STAT(StatClientBackoffMs, "ursa.client.backoff_ms",
+          "total milliseconds slept in retry backoff");
+URSA_STAT(StatClientShedRetries, "ursa.client.shed_retries",
+          "retries caused by a shed (load-refused) response");
+URSA_STAT(StatClientGiveUps, "ursa.client.give_ups",
+          "supervised requests that exhausted retries or their deadline");
+
+StatusOr<ServiceClient> ServiceClient::connect(const std::string &Endpoint) {
+  ignoreSigpipe();
+  StatusOr<Socket> S = Socket::connectEndpoint(Endpoint);
   if (!S.isOk())
     return S.status();
-  return ServiceClient(std::move(*S));
+  ServiceClient C(std::move(*S));
+  C.Endpoint = Endpoint;
+  return C;
+}
+
+StatusOr<ServiceClient> ServiceClient::connectWithRetry(
+    const std::string &Endpoint, const RetryPolicy &Policy) {
+  ignoreSigpipe();
+  RNG Rng(Policy.Seed);
+  Status Last = Status::ok();
+  for (unsigned Attempt = 0; Attempt <= Policy.MaxRetries; ++Attempt) {
+    if (Attempt) {
+      unsigned Cap = std::min(Policy.BackoffMaxMs,
+                              Policy.BackoffBaseMs << (Attempt - 1));
+      unsigned Delay = Cap ? Cap / 2 + unsigned(Rng.below(Cap / 2 + 1)) : 0;
+      StatClientBackoffMs.add(Delay);
+      std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+      StatClientReconnects.add();
+    }
+    StatusOr<ServiceClient> C = connect(Endpoint);
+    if (C.isOk()) {
+      C->Policy = Policy;
+      C->Rng = RNG(Policy.Seed);
+      if (Policy.OpTimeoutMs)
+        (void)C->Sock.setOpTimeoutMs(Policy.OpTimeoutMs);
+      return C;
+    }
+    Last = C.status();
+  }
+  StatClientGiveUps.add();
+  return Last;
+}
+
+Status ServiceClient::reconnect() {
+  Sock.close();
+  StatusOr<Socket> S = Socket::connectEndpoint(Endpoint);
+  if (!S.isOk())
+    return S.status();
+  Sock = std::move(*S);
+  if (Policy.OpTimeoutMs)
+    (void)Sock.setOpTimeoutMs(Policy.OpTimeoutMs);
+  StatClientReconnects.add();
+  return Status::ok();
 }
 
 Status ServiceClient::send(const ServiceRequest &R) {
@@ -39,4 +99,99 @@ Status ServiceClient::call(const ServiceRequest &R, ServiceResponse &Out) {
   if (Closed)
     return Status::error("service", "server closed the connection");
   return Status::ok();
+}
+
+ServiceClient::Attempt ServiceClient::tryOnce(const ServiceRequest &R,
+                                              ServiceResponse &Out,
+                                              Status &Err) {
+  if (!Sock.valid()) {
+    Err = reconnect();
+    if (!Err.isOk())
+      return Attempt::RetryConnect; // nothing reached the server
+  }
+
+  if (Status St = send(R); !St.isOk()) {
+    Err = St;
+    int E = Sock.lastErrno();
+    Sock.close();
+    // EPIPE: the peer had already closed before our frame went out. The
+    // server flushes every response before closing a connection it read
+    // from, so a frame that died on send was never read — safe to retry.
+    // ECONNRESET and anything else is indeterminate: the frame may have
+    // landed before the connection blew up.
+    return E == EPIPE ? Attempt::RetrySend : Attempt::Fatal;
+  }
+
+  bool Closed = false;
+  if (Status St = recv(Out, Closed); !St.isOk()) {
+    Err = St;
+    Sock.close();
+    return Attempt::Fatal; // mid-frame loss or timeout: compile may have run
+  }
+  if (Closed) {
+    // Clean FIN before any response byte: a draining server that never
+    // admitted the request (responses for admitted work are flushed
+    // before the close).
+    Err = Status::error("service", "server closed before responding");
+    Sock.close();
+    return Attempt::RetrySend;
+  }
+  if (Out.Status == ServiceResponse::StatusKind::Shed) {
+    Err = Status::error("service", "request shed: " + Out.Error);
+    return Attempt::RetryShed; // explicitly refused, provably not started
+  }
+  Err = Status::ok();
+  return Attempt::Done;
+}
+
+Status ServiceClient::callSupervised(const ServiceRequest &R,
+                                     ServiceResponse &Out) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point Start = Clock::now();
+  auto DeadlineLeft = [&]() -> bool {
+    if (!R.DeadlineMs)
+      return true;
+    auto Spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     Clock::now() - Start)
+                     .count();
+    return Spent < long(R.DeadlineMs);
+  };
+
+  Status Err = Status::ok();
+  for (unsigned Try = 0; Try <= Policy.MaxRetries; ++Try) {
+    if (Try) {
+      unsigned Cap = std::min(Policy.BackoffMaxMs,
+                              Policy.BackoffBaseMs << (Try - 1));
+      unsigned Delay = Cap ? Cap / 2 + unsigned(Rng.below(Cap / 2 + 1)) : 0;
+      StatClientBackoffMs.add(Delay);
+      std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+      if (!DeadlineLeft())
+        break;
+      StatClientRetries.add();
+    }
+    Attempt A = tryOnce(R, Out, Err);
+    switch (A) {
+    case Attempt::Done:
+      return Status::ok();
+    case Attempt::Fatal:
+      return Err; // at-most-once: never replay an indeterminate request
+    case Attempt::RetryShed:
+      StatClientShedRetries.add();
+      [[fallthrough]];
+    case Attempt::RetryConnect:
+    case Attempt::RetrySend:
+      if (!DeadlineLeft()) {
+        StatClientGiveUps.add();
+        Status Out2 = Status::error(
+            "service", "deadline expired while retrying: " + Err.message());
+        return Out2;
+      }
+      break; // loop for another attempt
+    }
+  }
+  StatClientGiveUps.add();
+  Status Final = Status::error(
+      "service", "retries exhausted (" + std::to_string(Policy.MaxRetries + 1) +
+                     " attempts): " + Err.message());
+  return Final;
 }

@@ -11,20 +11,58 @@
 /// worker-pool's worth of compiles in flight this way. Shared by
 /// ursa_batch and the service tests.
 ///
+/// Supervision: callSupervised() wraps one request in reconnect-with-
+/// backoff under a strict **at-most-once** rule. Only failures that prove
+/// the server never started the compile are retried:
+///
+///   retryable      connect refused/failed; a `shed` response; a clean
+///                  close (FIN) before any response byte; EPIPE on send
+///                  (a draining server flushes responses before closing,
+///                  so an unsent frame was never read);
+///   non-retryable  ECONNRESET, torn or mid-frame failures, op timeouts,
+///                  and any response other than `shed` — the server may
+///                  have started (or finished) the compile, so replaying
+///                  could run it twice. These surface as a Status.
+///
+/// Backoff is exponential with deterministic jitter (support/RNG.h), and
+/// every attempt honors the request's DeadlineMs across the whole
+/// supervised call, not per try.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef URSA_SERVICE_CLIENT_H
 #define URSA_SERVICE_CLIENT_H
 
 #include "service/Protocol.h"
+#include "support/RNG.h"
 #include "support/Socket.h"
 
 namespace ursa::service {
 
+/// Reconnect/retry tuning for callSupervised.
+struct RetryPolicy {
+  /// Extra attempts after the first (0 = never retry; the supervised
+  /// call then behaves like plain call() plus failure classification).
+  unsigned MaxRetries = 0;
+  /// First backoff delay; doubles per retry up to BackoffMaxMs.
+  unsigned BackoffBaseMs = 10;
+  unsigned BackoffMaxMs = 1000;
+  /// Jitter seed (deterministic per client; vary per process if desired).
+  uint64_t Seed = 1;
+  /// Per-operation socket deadline applied to every connection
+  /// (Socket::setOpTimeoutMs); 0 = unbounded.
+  unsigned OpTimeoutMs = 0;
+};
+
 class ServiceClient {
 public:
-  /// Connects to the server listening on \p Path.
-  static StatusOr<ServiceClient> connect(const std::string &Path);
+  /// Connects to \p Endpoint ("unix:PATH", bare path, or "tcp:HOST:PORT").
+  static StatusOr<ServiceClient> connect(const std::string &Endpoint);
+
+  /// Like connect(), but remembers \p Policy and retries the initial
+  /// connection itself with backoff.
+  static StatusOr<ServiceClient> connectWithRetry(const std::string &Endpoint,
+                                                  const RetryPolicy &Policy);
 
   /// Sends one request frame.
   Status send(const ServiceRequest &R);
@@ -36,10 +74,38 @@ public:
   /// send + recv for the simple one-at-a-time case.
   Status call(const ServiceRequest &R, ServiceResponse &Out);
 
-private:
-  explicit ServiceClient(UnixSocket S) : Sock(std::move(S)) {}
+  /// One request under supervision: reconnects and retries per the
+  /// policy, but only on failures the at-most-once rule allows (see file
+  /// header). A `shed` response is retried with backoff and only
+  /// surfaced once retries are exhausted.
+  Status callSupervised(const ServiceRequest &R, ServiceResponse &Out);
 
-  UnixSocket Sock;
+  /// True while the underlying connection looks usable. After a failed
+  /// callSupervised the connection may be closed; the next supervised
+  /// call reconnects on its own.
+  bool connected() const { return Sock.valid(); }
+
+  const RetryPolicy &policy() const { return Policy; }
+  void setPolicy(const RetryPolicy &P) { Policy = P; }
+
+  /// errno of the last failed socket operation (failure classification
+  /// for callers doing their own pipelined retries, e.g. ursa_batch).
+  int lastErrno() const { return Sock.lastErrno(); }
+
+private:
+  explicit ServiceClient(Socket S) : Sock(std::move(S)) {}
+
+  /// (Re)establishes Sock to Endpoint, applying OpTimeoutMs.
+  Status reconnect();
+
+  /// True when the failed attempt provably never started server-side.
+  enum class Attempt { Done, RetryConnect, RetrySend, RetryShed, Fatal };
+  Attempt tryOnce(const ServiceRequest &R, ServiceResponse &Out, Status &Err);
+
+  Socket Sock;
+  std::string Endpoint;
+  RetryPolicy Policy;
+  RNG Rng{1};
 };
 
 } // namespace ursa::service

@@ -15,7 +15,12 @@
 #include "ursa/Report.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <set>
+
+#include <dirent.h>
 
 using namespace ursa;
 using namespace ursa::service;
@@ -40,8 +45,33 @@ ServiceConfig ServiceConfig::fromEnv() {
   C.MaxRequestBytes =
       envUnsigned("URSA_SERVICE_MAX_REQUEST_BYTES", C.MaxRequestBytes);
   C.EnableTestHooks = envUnsigned("URSA_SERVICE_TEST_HOOKS", 0) != 0;
+  if (const char *Dir = std::getenv("URSA_SERVICE_CACHE_DIR"); Dir && *Dir)
+    C.CacheDir = Dir;
+  C.SnapshotEvery =
+      envUnsigned("URSA_SERVICE_SNAPSHOT_EVERY", C.SnapshotEvery);
+  C.SnapshotOnStop = envUnsigned("URSA_SERVICE_SNAPSHOT_ON_STOP", 1) != 0;
+  C.IdleTimeoutMs = envUnsigned("URSA_SERVICE_IDLE_TIMEOUT_MS", 0);
+  C.IoTimeoutMs = envUnsigned("URSA_SERVICE_IO_TIMEOUT_MS", 0);
+  C.DegradeEnabled = envUnsigned("URSA_SERVICE_DEGRADE", 1) != 0;
+  C.DegradedTimeBudgetMs =
+      envUnsigned("URSA_SERVICE_DEGRADED_BUDGET_MS", C.DegradedTimeBudgetMs);
   return C;
 }
+
+URSA_STAT(StatDegradeTier, "ursa.service.degrade_tier",
+          "active graceful-degradation tier (gauge, 0..3)");
+URSA_STAT(StatDegradeTransitions, "ursa.service.degrade_transitions",
+          "degradation tier changes");
+URSA_STAT(StatDegradedVerifyOff, "ursa.service.degraded_verify_off",
+          "compiles run with verification shed (tier >= 1)");
+URSA_STAT(StatDegradedIncrementalOff,
+          "ursa.service.degraded_incremental_off",
+          "compiles run with incremental warm paths shed (tier >= 2)");
+URSA_STAT(StatDegradedBudgetClamped,
+          "ursa.service.degraded_budget_clamped",
+          "compiles run with the degraded budget clamp (tier >= 3)");
+URSA_STAT(StatCacheWarmLoaded, "ursa.service.cache_warm_loaded",
+          "cache entries restored warm from disk at startup");
 
 CompileService::CompileService(const ServiceConfig &Cfg) : Config(Cfg) {
   Pool = std::make_unique<ThreadPool>(std::max(1u, Config.Workers));
@@ -52,6 +82,44 @@ CompileService::CompileService(const ServiceConfig &Cfg) : Config(Cfg) {
     Pool->parallelFor(std::max(1u, Config.Workers),
                       [this](size_t) { workerLoop(); });
   });
+  warmLoadPersistedCaches();
+}
+
+void CompileService::warmLoadPersistedCaches() {
+  if (Config.CacheDir.empty() || !Config.CacheEnabled)
+    return;
+  DIR *D = ::opendir(Config.CacheDir.c_str());
+  if (!D)
+    return; // no directory yet: a cold start
+  std::set<std::string> Seen;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    auto EndsWith = [&](const char *Suffix) {
+      size_t N = std::strlen(Suffix);
+      return Name.size() > N && Name.compare(Name.size() - N, N, Suffix) == 0;
+    };
+    if (!EndsWith(".ursacache") && !EndsWith(".journal"))
+      continue;
+    StatusOr<std::string> KeyOr =
+        CachePersister::readImageKey(Config.CacheDir + "/" + Name);
+    if (!KeyOr.isOk()) {
+      std::fprintf(stderr, "warning [cache_image]: %s\n",
+                   KeyOr.status().message().c_str());
+      continue;
+    }
+    MachineSpec Spec;
+    if (!MachineSpec::fromKey(*KeyOr, Spec)) {
+      std::fprintf(stderr,
+                   "warning [cache_image]: %s: unrecognized machine key "
+                   "'%s'; leaving cold\n",
+                   Name.c_str(), KeyOr->c_str());
+      continue;
+    }
+    if (!Seen.insert(*KeyOr).second)
+      continue; // the snapshot already warmed this key's cache
+    (void)cacheFor(Spec); // creates, loads warm, wires the journal observer
+  }
+  ::closedir(D);
 }
 
 CompileService::~CompileService() { stop(/*Drain=*/true); }
@@ -78,6 +146,36 @@ void CompileService::stop(bool Drain) {
   }
   if (Dispatcher.joinable())
     Dispatcher.join();
+
+  // Drain-time snapshots: with the workers quiesced every built state is
+  // recorded, so the next start replays nothing from the journal.
+  if (Config.SnapshotOnStop) {
+    std::lock_guard<std::mutex> L(TablesMu);
+    for (auto &[Key, P] : Persisters)
+      (void)P->snapshot();
+  }
+}
+
+void CompileService::updateLoadLocked() {
+  // EWMA over queue occupancy, advanced on every enqueue/dequeue; tier
+  // boundaries carry hysteresis so bursty arrivals do not flap the tier.
+  double Occ = double(Queue.size()) / double(std::max(1u, Config.QueueDepth));
+  LoadEwma = 0.8 * LoadEwma + 0.2 * Occ;
+  if (!Config.DegradeEnabled)
+    return;
+  static constexpr double Up[3] = {0.5, 0.7, 0.85};
+  static constexpr double Hysteresis = 0.15;
+  unsigned T = DegradeTier.load(std::memory_order_relaxed);
+  while (T < 3 && LoadEwma >= Up[T])
+    ++T;
+  while (T > 0 && LoadEwma < Up[T - 1] - Hysteresis)
+    --T;
+  if (T != DegradeTier.load(std::memory_order_relaxed)) {
+    DegradeTier.store(T, std::memory_order_relaxed);
+    ++C.DegradeTransitions;
+    StatDegradeTransitions.add();
+    StatDegradeTier.set(T);
+  }
 }
 
 bool CompileService::handle(const ServiceRequest &R, ResponseFn Done) {
@@ -121,6 +219,7 @@ void CompileService::submit(ServiceRequest R, ResponseFn Done) {
                        std::chrono::steady_clock::now()});
       C.QueueDepthNow = Queue.size();
       C.QueueDepthPeak = std::max(C.QueueDepthPeak, uint64_t(Queue.size()));
+      updateLoadLocked();
       JobReady.notify_one();
       return;
     }
@@ -146,6 +245,7 @@ void CompileService::workerLoop() {
       J = std::move(Queue.front());
       Queue.pop_front();
       C.QueueDepthNow = Queue.size();
+      updateLoadLocked();
       ++C.InFlight;
       QueueMs = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - J.Enqueued)
@@ -186,21 +286,48 @@ void CompileService::workerLoop() {
   }
 }
 
-MeasurementCache *CompileService::cacheFor(const std::string &Key) {
+MeasurementCache *CompileService::cacheFor(const MachineSpec &Spec) {
+  const std::string Key = Spec.key();
   std::lock_guard<std::mutex> L(TablesMu);
   std::unique_ptr<MeasurementCache> &Slot = Caches[Key];
-  if (!Slot)
-    Slot = std::make_unique<MeasurementCache>(Config.CacheEnabled,
-                                              std::max(1u, Config.CacheSize));
+  if (Slot)
+    return Slot.get();
+  Slot = std::make_unique<MeasurementCache>(Config.CacheEnabled,
+                                            std::max(1u, Config.CacheSize));
+  if (Config.CacheDir.empty() || !Config.CacheEnabled)
+    return Slot.get();
+
+  // First touch of this machine key with persistence on: reload whatever
+  // a previous server left behind, then journal every state this one
+  // builds. Load problems are warnings (a cold start), never failures.
+  auto P = std::make_unique<CachePersister>(Config.CacheDir, Key,
+                                            MeasureOptions{});
+  Status LoadSt = P->load(*Slot, modelForLocked(Spec));
+  for (const Diag &D : LoadSt.diags())
+    std::fprintf(stderr, "%s\n", D.str().c_str());
+  StatCacheWarmLoaded.add(P->loadedEntries());
+
+  CachePersister *Raw = P.get();
+  const unsigned Every = Config.SnapshotEvery;
+  Slot->setBuildObserver([Raw, Every](uint64_t Fp, const DependenceDAG &D) {
+    Raw->append(Fp, D);
+    if (Every && Raw->dirtyEntries() >= Every)
+      (void)Raw->snapshot();
+  });
+  Persisters[Key] = std::move(P);
   return Slot.get();
 }
 
-const MachineModel &CompileService::modelFor(const MachineSpec &Spec) {
-  std::lock_guard<std::mutex> L(TablesMu);
+const MachineModel &CompileService::modelForLocked(const MachineSpec &Spec) {
   auto It = Models.find(Spec.key());
   if (It == Models.end())
     It = Models.emplace(Spec.key(), Spec.build()).first;
   return It->second;
+}
+
+const MachineModel &CompileService::modelFor(const MachineSpec &Spec) {
+  std::lock_guard<std::mutex> L(TablesMu);
+  return modelForLocked(Spec);
 }
 
 ServiceResponse CompileService::compileOne(const ServiceRequest &R,
@@ -238,7 +365,7 @@ ServiceResponse CompileService::compileOne(const ServiceRequest &R,
     UO.IncrementalMeasure = R.Incremental != 0;
   if (R.MaxTotalRounds)
     UO.MaxTotalRounds = R.MaxTotalRounds;
-  UO.SharedCache = cacheFor(R.Machine.key());
+  UO.SharedCache = cacheFor(R.Machine);
 
   // Budget: the request's own budget, the server default, and whatever is
   // left of the deadline after queueing — whichever binds first.
@@ -246,6 +373,26 @@ ServiceResponse CompileService::compileOne(const ServiceRequest &R,
   if (R.DeadlineMs) {
     unsigned Left = unsigned(std::max(1.0, double(R.DeadlineMs) - QueueMs));
     Budget = Budget ? std::min(Budget, Left) : Left;
+  }
+
+  // Graceful degradation: shed work before requests. Each tier trades a
+  // little per-request cost for headroom; only the queue-full path (the
+  // de-facto tier 4) refuses anyone.
+  if (Config.DegradeEnabled) {
+    unsigned Tier = DegradeTier.load(std::memory_order_relaxed);
+    if (Tier >= 1) {
+      UO.Verify = VerifyLevel::None;
+      StatDegradedVerifyOff.add();
+    }
+    if (Tier >= 2) {
+      UO.IncrementalMeasure = false;
+      StatDegradedIncrementalOff.add();
+    }
+    if (Tier >= 3) {
+      Budget = Budget ? std::min(Budget, Config.DegradedTimeBudgetMs)
+                      : Config.DegradedTimeBudgetMs;
+      StatDegradedBudgetClamped.add();
+    }
   }
   UO.TimeBudgetMs = Budget;
 
@@ -289,7 +436,10 @@ ServiceResponse CompileService::compileOne(const ServiceRequest &R,
 
 ServiceCounters CompileService::counters() const {
   std::lock_guard<std::mutex> L(Mu);
-  return C;
+  ServiceCounters Out = C;
+  Out.DegradeTier = DegradeTier.load(std::memory_order_relaxed);
+  Out.LoadEwma = LoadEwma;
+  return Out;
 }
 
 std::string CompileService::reportJSON() const {
@@ -304,6 +454,12 @@ std::string CompileService::reportJSON() const {
   W.kv("cache_size", Config.CacheSize);
   W.kv("default_time_budget_ms", Config.DefaultTimeBudgetMs);
   W.kv("max_request_bytes", Config.MaxRequestBytes);
+  W.kv("cache_dir", Config.CacheDir);
+  W.kv("snapshot_every", Config.SnapshotEvery);
+  W.kv("idle_timeout_ms", Config.IdleTimeoutMs);
+  W.kv("io_timeout_ms", Config.IoTimeoutMs);
+  W.kv("degrade_enabled", Config.DegradeEnabled);
+  W.kv("degraded_time_budget_ms", Config.DegradedTimeBudgetMs);
   W.endObject();
   W.key("requests").beginObject();
   W.kv("received", S.Received);
@@ -324,6 +480,12 @@ std::string CompileService::reportJSON() const {
   uint64_t Done = S.Completed + S.Errors + S.DeadlineExpired;
   W.kv("avg_compile_ms", Done ? S.TotalCompileMs / double(Done) : 0.0);
   W.endObject();
+  W.key("degradation").beginObject();
+  W.kv("enabled", Config.DegradeEnabled);
+  W.kv("tier", S.DegradeTier);
+  W.kv("load_ewma", S.LoadEwma);
+  W.kv("transitions", S.DegradeTransitions);
+  W.endObject();
   {
     std::lock_guard<std::mutex> L(TablesMu);
     W.key("caches").beginArray();
@@ -335,14 +497,31 @@ std::string CompileService::reportJSON() const {
       W.endObject();
     }
     W.endArray();
+    W.key("persistence").beginObject();
+    W.kv("enabled", !Config.CacheDir.empty() && Config.CacheEnabled);
+    W.key("images").beginArray();
+    for (const auto &[Key, P] : Persisters) {
+      W.beginObject();
+      W.kv("machine", Key);
+      W.kv("entries", uint64_t(P->entries()));
+      W.kv("loaded_warm", uint64_t(P->loadedEntries()));
+      W.kv("journal_dirty", uint64_t(P->dirtyEntries()));
+      W.kv("snapshot_path", P->snapshotPath());
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
   }
-  // The process-wide measurement-cache stats (hits/misses/evictions)
-  // cover every driver run in this server, which is exactly the
-  // cross-request reuse story the report is about.
+  // The process-wide stats cover every driver run in this server: the
+  // measurement-cache reuse story plus the robustness layer (persistence,
+  // degradation, transport retries).
   W.key("stats").beginObject();
   for (const obs::StatValue &SV : obs::snapshotStats(/*NonZeroOnly=*/true))
     if (SV.Name.rfind("ursa.driver.measure_cache", 0) == 0 ||
-        SV.Name.rfind("ursa.driver.incremental", 0) == 0)
+        SV.Name.rfind("ursa.driver.incremental", 0) == 0 ||
+        SV.Name.rfind("ursa.cache_image", 0) == 0 ||
+        SV.Name.rfind("ursa.service", 0) == 0 ||
+        SV.Name.rfind("ursa.client", 0) == 0)
       W.kv(SV.Name, SV.Value);
   W.endObject();
   W.endObject();

@@ -21,6 +21,26 @@
 ///    compiling, and the deadline remaining at dispatch is folded into the
 ///    driver's TimeBudgetMs so a slow compile cannot overrun it either.
 ///
+/// Graceful degradation (ServiceConfig::DegradeEnabled): under sustained
+/// queue pressure — an exponentially-weighted moving average of queue
+/// occupancy, with hysteresis so the tier does not flap — the service
+/// sheds *work before requests*:
+///   tier 1  per-request verification off (correctness checks are
+///           re-derivable later; answers stay identical);
+///   tier 2  incremental-measure warm paths off (bounds the per-request
+///           working set delta closures keep alive);
+///   tier 3  driver budgets clamped to DegradedTimeBudgetMs (answers may
+///           report BudgetExhausted but every request still answers);
+///   tier 4  the existing queue-full shed — the only tier that refuses.
+/// The active tier is exported in stats (ursa.service.degrade_tier) and
+/// the service report.
+///
+/// Persistence (ServiceConfig::CacheDir): each machine key's
+/// MeasurementCache is journaled to a crash-safe image (ursa/CacheImage.h)
+/// as states are built, snapshotted every SnapshotEvery appends and at
+/// drain, and reloaded warm on the next start — a kill -9 costs at most
+/// the entry being written.
+///
 /// Results are bit-identical to `ursa_cc`: the same compileURSA call, the
 /// same formatCompileText rendering, at any worker count (the driver is
 /// deterministic and cached MeasuredStates are immutable).
@@ -35,8 +55,10 @@
 
 #include "service/Protocol.h"
 #include "support/ThreadPool.h"
+#include "ursa/CacheImage.h"
 #include "ursa/MeasureCache.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -72,6 +94,30 @@ struct ServiceConfig {
   /// Honor the StallMs test hook in requests (URSA_SERVICE_TEST_HOOKS).
   bool EnableTestHooks = false;
 
+  /// Directory for crash-safe cache images (URSA_SERVICE_CACHE_DIR,
+  /// default "" = no persistence).
+  std::string CacheDir;
+  /// Journal appends between periodic snapshots
+  /// (URSA_SERVICE_SNAPSHOT_EVERY, default 32; 0 = drain-time only).
+  unsigned SnapshotEvery = 32;
+  /// Snapshot at stop(Drain) (URSA_SERVICE_SNAPSHOT_ON_STOP, default on).
+  /// Benches turn it off to simulate a kill -9 (journal-only recovery).
+  bool SnapshotOnStop = true;
+
+  /// Reap connections idle this long with no frame started
+  /// (URSA_SERVICE_IDLE_TIMEOUT_MS, default 0 = never).
+  unsigned IdleTimeoutMs = 0;
+  /// Per-operation socket deadline for reads/writes mid-frame
+  /// (URSA_SERVICE_IO_TIMEOUT_MS, default 0 = unbounded).
+  unsigned IoTimeoutMs = 0;
+
+  /// Degradation tiers under queue pressure (URSA_SERVICE_DEGRADE,
+  /// default on).
+  bool DegradeEnabled = true;
+  /// Tier-3 clamp on the driver budget (URSA_SERVICE_DEGRADED_BUDGET_MS,
+  /// default 250).
+  unsigned DegradedTimeBudgetMs = 250;
+
   static ServiceConfig fromEnv();
 };
 
@@ -89,6 +135,9 @@ struct ServiceCounters {
   double TotalQueueMs = 0;
   double TotalCompileMs = 0;
   double MaxCompileMs = 0;
+  uint64_t DegradeTier = 0;        ///< active degradation tier (0..3)
+  uint64_t DegradeTransitions = 0; ///< tier changes since start
+  double LoadEwma = 0;             ///< smoothed queue occupancy [0,1]
 };
 
 class CompileService {
@@ -138,8 +187,18 @@ private:
 
   void workerLoop();
   ServiceResponse compileOne(const ServiceRequest &R, double QueueMs);
-  MeasurementCache *cacheFor(const std::string &Key);
+  MeasurementCache *cacheFor(const MachineSpec &Spec);
   const MachineModel &modelFor(const MachineSpec &Spec);
+  const MachineModel &modelForLocked(const MachineSpec &Spec);
+
+  /// Folds the current queue size into LoadEwma and moves the degrade
+  /// tier (with hysteresis). Call with Mu held after queue changes.
+  void updateLoadLocked();
+
+  /// Scans CacheDir for persisted images at construction and warms their
+  /// caches eagerly, so the O(n^2) state rebuilds happen at startup — off
+  /// the request path — instead of inside the first request per machine.
+  void warmLoadPersistedCaches();
 
   ServiceConfig Config;
 
@@ -149,10 +208,13 @@ private:
   bool Stopping = false; ///< no new admissions
   bool Quit = false;     ///< workers exit once the queue is empty
   ServiceCounters C;
+  double LoadEwma = 0;                 ///< smoothed occupancy, under Mu
+  std::atomic<unsigned> DegradeTier{0}; ///< written under Mu, read lock-free
 
-  /// Server-scope allocator state, both keyed by MachineSpec::key().
+  /// Server-scope allocator state, all keyed by MachineSpec::key().
   mutable std::mutex TablesMu;
   std::map<std::string, std::unique_ptr<MeasurementCache>> Caches;
+  std::map<std::string, std::unique_ptr<CachePersister>> Persisters;
   std::map<std::string, MachineModel> Models;
 
   /// Workers: a dispatcher thread runs Pool->parallelFor(Workers,

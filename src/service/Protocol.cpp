@@ -38,6 +38,28 @@ std::string MachineSpec::key() const {
   return Buf;
 }
 
+bool MachineSpec::fromKey(const std::string &Key, MachineSpec &Out) {
+  MachineSpec S;
+  int P = 0;
+  if (std::sscanf(Key.c_str(), "h%ux%u/l%u,%u,%u/p%d", &S.Fus, &S.Regs,
+                  &S.LatInt, &S.LatFlt, &S.LatMem, &P) == 6) {
+    S.Classed = false;
+  } else if (std::sscanf(Key.c_str(), "c%u,%u,%u,%u,%u/l%u,%u,%u/p%d",
+                         &S.IntFus, &S.FltFus, &S.MemFus, &S.Gprs, &S.Fprs,
+                         &S.LatInt, &S.LatFlt, &S.LatMem, &P) == 9) {
+    S.Classed = true;
+  } else {
+    return false;
+  }
+  S.Pipelined = P != 0;
+  // The round trip must be exact — trailing junk or out-of-range digits
+  // would otherwise fabricate a machine key() never produced.
+  if (S.key() != Key)
+    return false;
+  Out = S;
+  return true;
+}
+
 const char *service::statusName(ServiceResponse::StatusKind K) {
   switch (K) {
   case ServiceResponse::StatusKind::Ok:

@@ -43,6 +43,12 @@ struct MachineSpec {
   /// Canonical key for the server's machine-model and measurement-cache
   /// tables: two requests with equal keys may share cached state.
   std::string key() const;
+
+  /// Inverts key(): reconstructs the spec a key describes. The startup
+  /// warm-load path uses this to rebuild machine models from persisted
+  /// cache-image headers before any request names them. Returns false on
+  /// anything key() could not have produced.
+  static bool fromKey(const std::string &Key, MachineSpec &Out);
 };
 
 /// One service request.

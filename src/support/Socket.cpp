@@ -1,4 +1,4 @@
-//===- support/Socket.cpp - Unix-domain socket + framing ------------------===//
+//===- support/Socket.cpp - Stream sockets + framing ----------------------===//
 //
 // Part of the URSA reproduction. MIT license.
 //
@@ -7,41 +7,63 @@
 #include "support/Socket.h"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 using namespace ursa;
 
-static Status sockError(const std::string &What) {
-  return Status::error("socket", What + ": " + std::strerror(errno));
+void ursa::ignoreSigpipe() {
+  static std::once_flag Once;
+  std::call_once(Once, [] { ::signal(SIGPIPE, SIG_IGN); });
 }
 
-UnixSocket &UnixSocket::operator=(UnixSocket &&O) noexcept {
+Status Socket::fail(const std::string &What) {
+  LastErr = errno;
+  return Status::error("socket", What + ": " + std::strerror(LastErr));
+}
+
+Socket::Socket(Socket &&O) noexcept : Fd(O.Fd), LastErr(O.LastErr) {
+  O.Fd = -1;
+}
+
+Socket &Socket::operator=(Socket &&O) noexcept {
   if (this != &O) {
     close();
     Fd = O.Fd;
+    LastErr = O.LastErr;
     O.Fd = -1;
   }
   return *this;
 }
 
-void UnixSocket::close() {
+void Socket::close() {
   if (Fd >= 0) {
     ::close(Fd);
     Fd = -1;
   }
 }
 
-void UnixSocket::shutdown() {
+void Socket::shutdown() {
   if (Fd >= 0)
     ::shutdown(Fd, SHUT_RDWR);
 }
 
-static Status fillAddr(const std::string &Path, sockaddr_un &Addr) {
+//===----------------------------------------------------------------------===//
+// Unix-domain
+//===----------------------------------------------------------------------===//
+
+static Status fillUnixAddr(const std::string &Path, sockaddr_un &Addr) {
   if (Path.size() >= sizeof(Addr.sun_path))
     return Status::error("socket", "socket path too long: " + Path);
   std::memset(&Addr, 0, sizeof(Addr));
@@ -50,62 +72,202 @@ static Status fillAddr(const std::string &Path, sockaddr_un &Addr) {
   return Status::ok();
 }
 
-StatusOr<UnixSocket> UnixSocket::listen(const std::string &Path,
-                                        int Backlog) {
+StatusOr<Socket> Socket::listenUnix(const std::string &Path, int Backlog) {
   sockaddr_un Addr;
-  if (Status St = fillAddr(Path, Addr); !St.isOk())
+  if (Status St = fillUnixAddr(Path, Addr); !St.isOk())
     return St;
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0)
-    return sockError("socket()");
-  UnixSocket S(Fd);
+    return Socket().fail("socket()");
+  Socket S(Fd);
   ::unlink(Path.c_str()); // stale socket file from a crashed server
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
-    return sockError("bind('" + Path + "')");
+    return S.fail("bind('" + Path + "')");
   if (::listen(Fd, Backlog) != 0)
-    return sockError("listen('" + Path + "')");
+    return S.fail("listen('" + Path + "')");
   return S;
 }
 
-StatusOr<UnixSocket> UnixSocket::connect(const std::string &Path) {
+StatusOr<Socket> Socket::connectUnix(const std::string &Path) {
   sockaddr_un Addr;
-  if (Status St = fillAddr(Path, Addr); !St.isOk())
+  if (Status St = fillUnixAddr(Path, Addr); !St.isOk())
     return St;
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0)
-    return sockError("socket()");
-  UnixSocket S(Fd);
+    return Socket().fail("socket()");
+  Socket S(Fd);
   if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
-    return sockError("connect('" + Path + "')");
+    return S.fail("connect('" + Path + "')");
   return S;
 }
 
-StatusOr<UnixSocket> UnixSocket::accept(int TimeoutMs) {
+//===----------------------------------------------------------------------===//
+// TCP
+//===----------------------------------------------------------------------===//
+
+static Status fillTcpAddr(const std::string &Host, uint16_t Port,
+                          sockaddr_in &Addr) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  const std::string &H = Host.empty() ? std::string("127.0.0.1") : Host;
+  if (::inet_pton(AF_INET, H.c_str(), &Addr.sin_addr) != 1)
+    return Status::error("socket", "bad IPv4 address: '" + H + "'");
+  return Status::ok();
+}
+
+static void setNodelay(int Fd) {
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
+StatusOr<Socket> Socket::listenTcp(const std::string &Host, uint16_t Port,
+                                   int Backlog) {
+  sockaddr_in Addr;
+  if (Status St = fillTcpAddr(Host, Port, Addr); !St.isOk())
+    return St;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Socket().fail("socket()");
+  Socket S(Fd);
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return S.fail("bind(tcp:" + Host + ":" + std::to_string(Port) + ")");
+  if (::listen(Fd, Backlog) != 0)
+    return S.fail("listen(tcp:" + std::to_string(Port) + ")");
+  return S;
+}
+
+StatusOr<Socket> Socket::connectTcp(const std::string &Host, uint16_t Port) {
+  sockaddr_in Addr;
+  if (Status St = fillTcpAddr(Host, Port, Addr); !St.isOk())
+    return St;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Socket().fail("socket()");
+  Socket S(Fd);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return S.fail("connect(tcp:" + Host + ":" + std::to_string(Port) + ")");
+  setNodelay(Fd);
+  return S;
+}
+
+uint16_t Socket::localPort() const {
+  if (Fd < 0)
+    return 0;
+  sockaddr_storage SS;
+  socklen_t Len = sizeof(SS);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&SS), &Len) != 0)
+    return 0;
+  if (SS.ss_family != AF_INET)
+    return 0;
+  return ntohs(reinterpret_cast<sockaddr_in *>(&SS)->sin_port);
+}
+
+//===----------------------------------------------------------------------===//
+// Endpoint strings
+//===----------------------------------------------------------------------===//
+
+bool Socket::parseEndpoint(const std::string &Ep, bool &IsTcp,
+                           std::string &HostOrPath, uint16_t &Port) {
+  IsTcp = false;
+  Port = 0;
+  if (Ep.rfind("unix:", 0) == 0) {
+    HostOrPath = Ep.substr(5);
+    return !HostOrPath.empty();
+  }
+  if (Ep.rfind("tcp:", 0) != 0) {
+    HostOrPath = Ep; // bare path = unix socket
+    return !HostOrPath.empty();
+  }
+  IsTcp = true;
+  std::string Rest = Ep.substr(4);
+  size_t Colon = Rest.rfind(':');
+  std::string PortStr = Colon == std::string::npos ? Rest
+                                                   : Rest.substr(Colon + 1);
+  HostOrPath = Colon == std::string::npos ? std::string() : Rest.substr(0, Colon);
+  if (PortStr.empty())
+    return false;
+  char *End = nullptr;
+  long P = std::strtol(PortStr.c_str(), &End, 10);
+  if (*End != '\0' || P < 0 || P > 65535)
+    return false;
+  Port = uint16_t(P);
+  return true;
+}
+
+StatusOr<Socket> Socket::listenEndpoint(const std::string &Ep, int Backlog) {
+  bool IsTcp;
+  std::string HostOrPath;
+  uint16_t Port;
+  if (!parseEndpoint(Ep, IsTcp, HostOrPath, Port))
+    return Status::error("socket", "malformed endpoint: '" + Ep + "'");
+  return IsTcp ? listenTcp(HostOrPath, Port, Backlog)
+               : listenUnix(HostOrPath, Backlog);
+}
+
+StatusOr<Socket> Socket::connectEndpoint(const std::string &Ep) {
+  bool IsTcp;
+  std::string HostOrPath;
+  uint16_t Port;
+  if (!parseEndpoint(Ep, IsTcp, HostOrPath, Port))
+    return Status::error("socket", "malformed endpoint: '" + Ep + "'");
+  return IsTcp ? connectTcp(HostOrPath, Port) : connectUnix(HostOrPath);
+}
+
+//===----------------------------------------------------------------------===//
+// Connections and framing
+//===----------------------------------------------------------------------===//
+
+StatusOr<Socket> Socket::accept(int TimeoutMs) {
   if (TimeoutMs >= 0) {
     pollfd P{Fd, POLLIN, 0};
     int N = ::poll(&P, 1, TimeoutMs);
     if (N < 0 && errno != EINTR)
-      return sockError("poll()");
+      return fail("poll()");
     if (N <= 0)
-      return UnixSocket(); // timeout (or EINTR): let the caller re-check
+      return Socket(); // timeout (or EINTR): let the caller re-check
   }
   int Conn = ::accept(Fd, nullptr, nullptr);
   if (Conn < 0) {
     if (errno == EINTR || errno == ECONNABORTED || errno == EINVAL)
-      return UnixSocket(); // racing a shutdown; caller re-checks its flag
-    return sockError("accept()");
+      return Socket(); // racing a shutdown; caller re-checks its flag
+    return fail("accept()");
   }
-  return UnixSocket(Conn);
+  sockaddr_storage SS;
+  socklen_t Len = sizeof(SS);
+  if (::getsockname(Conn, reinterpret_cast<sockaddr *>(&SS), &Len) == 0 &&
+      SS.ss_family == AF_INET)
+    setNodelay(Conn);
+  return Socket(Conn);
 }
 
-/// Writes all of \p Data, riding out EINTR and partial writes.
-static Status writeAll(int Fd, const char *Data, size_t Len) {
+Status Socket::setOpTimeoutMs(unsigned Ms) {
+  timeval Tv;
+  Tv.tv_sec = Ms / 1000;
+  Tv.tv_usec = suseconds_t(Ms % 1000) * 1000;
+  if (::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) != 0)
+    return fail("setsockopt(SO_RCVTIMEO)");
+  if (::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv)) != 0)
+    return fail("setsockopt(SO_SNDTIMEO)");
+  return Status::ok();
+}
+
+/// Writes all of \p Data, riding out EINTR and partial writes. A stall
+/// past the per-operation timeout (EAGAIN from SO_SNDTIMEO) is an error:
+/// the peer has stopped draining and the frame can never complete.
+Status Socket::writeAll(const char *Data, size_t Len) {
   while (Len) {
     ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      return sockError("send()");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        LastErr = EAGAIN;
+        return Status::error("socket", "send() timed out mid-frame");
+      }
+      return fail("send()");
     }
     Data += N;
     Len -= size_t(N);
@@ -113,9 +275,11 @@ static Status writeAll(int Fd, const char *Data, size_t Len) {
   return Status::ok();
 }
 
-/// Reads exactly \p Len bytes. AtStart distinguishes a clean EOF on the
-/// first byte from a connection dropped mid-message.
-static Status readAll(int Fd, char *Data, size_t Len, bool &CleanEOF) {
+/// Reads exactly \p Len bytes, riding out EINTR and partial reads.
+/// CleanEOF distinguishes a clean end-of-stream on the first byte from a
+/// connection dropped mid-message; a stall past the per-operation timeout
+/// is an error either way (a torn header is not an idle connection).
+Status Socket::readAll(char *Data, size_t Len, bool &CleanEOF) {
   CleanEOF = false;
   bool AtStart = true;
   while (Len) {
@@ -123,13 +287,20 @@ static Status readAll(int Fd, char *Data, size_t Len, bool &CleanEOF) {
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      return sockError("recv()");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        LastErr = EAGAIN;
+        return Status::error("socket", AtStart
+                                           ? "recv() timed out"
+                                           : "recv() timed out mid-frame");
+      }
+      return fail("recv()");
     }
     if (N == 0) {
       if (AtStart) {
         CleanEOF = true;
         return Status::ok();
       }
+      LastErr = ECONNRESET;
       return Status::error("socket", "connection closed mid-frame");
     }
     AtStart = false;
@@ -139,7 +310,11 @@ static Status readAll(int Fd, char *Data, size_t Len, bool &CleanEOF) {
   return Status::ok();
 }
 
-Status UnixSocket::sendFrame(std::string_view Payload) {
+Status Socket::sendRaw(std::string_view Bytes) {
+  return writeAll(Bytes.data(), Bytes.size());
+}
+
+Status Socket::sendFrame(std::string_view Payload) {
   if (Payload.size() > 0xffffffffu)
     return Status::error("socket", "frame too large to encode");
   unsigned char Hdr[4] = {
@@ -148,21 +323,38 @@ Status UnixSocket::sendFrame(std::string_view Payload) {
       static_cast<unsigned char>(Payload.size() >> 8),
       static_cast<unsigned char>(Payload.size()),
   };
-  if (Status St = writeAll(Fd, reinterpret_cast<char *>(Hdr), 4); !St.isOk())
+  if (Status St = writeAll(reinterpret_cast<char *>(Hdr), 4); !St.isOk())
     return St;
-  return writeAll(Fd, Payload.data(), Payload.size());
+  return writeAll(Payload.data(), Payload.size());
 }
 
-Status UnixSocket::recvFrame(std::string &Out, bool &PeerClosed,
-                             size_t MaxBytes) {
+Status Socket::recvFrame(std::string &Out, FrameEvent &Ev, size_t MaxBytes,
+                         int FirstByteTimeoutMs) {
   Out.clear();
-  PeerClosed = false;
+  Ev = FrameEvent::Frame;
+
+  if (FirstByteTimeoutMs >= 0) {
+    // Idle wait, distinct from the per-operation deadline: no frame has
+    // started, so running out of patience here is reaping, not an error.
+    pollfd P{Fd, POLLIN, 0};
+    int N;
+    do {
+      N = ::poll(&P, 1, FirstByteTimeoutMs);
+    } while (N < 0 && errno == EINTR);
+    if (N < 0)
+      return fail("poll()");
+    if (N == 0) {
+      Ev = FrameEvent::IdleTimeout;
+      return Status::ok();
+    }
+  }
+
   char Hdr[4];
   bool CleanEOF = false;
-  if (Status St = readAll(Fd, Hdr, 4, CleanEOF); !St.isOk())
+  if (Status St = readAll(Hdr, 4, CleanEOF); !St.isOk())
     return St;
   if (CleanEOF) {
-    PeerClosed = true;
+    Ev = FrameEvent::PeerClosed;
     return Status::ok();
   }
   size_t Len = (size_t(static_cast<unsigned char>(Hdr[0])) << 24) |
@@ -174,9 +366,19 @@ Status UnixSocket::recvFrame(std::string &Out, bool &PeerClosed,
                                        " bytes exceeds the limit (" +
                                        std::to_string(MaxBytes) + ")");
   Out.resize(Len);
-  if (Status St = readAll(Fd, Out.data(), Len, CleanEOF); !St.isOk())
+  if (Status St = readAll(Out.data(), Len, CleanEOF); !St.isOk())
     return St;
-  if (CleanEOF) // closed right after the header: still mid-frame
+  if (CleanEOF) { // closed right after the header: still mid-frame
+    LastErr = ECONNRESET;
     return Status::error("socket", "connection closed mid-frame");
+  }
   return Status::ok();
+}
+
+Status Socket::recvFrame(std::string &Out, bool &PeerClosed,
+                         size_t MaxBytes) {
+  FrameEvent Ev;
+  Status St = recvFrame(Out, Ev, MaxBytes, /*FirstByteTimeoutMs=*/-1);
+  PeerClosed = Ev == FrameEvent::PeerClosed;
+  return St;
 }

@@ -1,0 +1,548 @@
+//===- ursa/CacheImage.cpp - Crash-safe measurement-cache images ----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ursa/CacheImage.h"
+
+#include "graph/DAG.h"
+#include "obs/Stats.h"
+#include "ursa/PipelineVerifier.h"
+
+#include <array>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace ursa;
+
+URSA_STAT(StatImageAppends, "ursa.cache_image.journal_appends",
+          "cache entries appended to the persistence journal");
+URSA_STAT(StatImageSnapshots, "ursa.cache_image.snapshots",
+          "cache-image snapshots written (periodic + drain)");
+URSA_STAT(StatImageLoaded, "ursa.cache_image.loaded_entries",
+          "cache entries rebuilt warm from a persisted image");
+URSA_STAT(StatImageSkipped, "ursa.cache_image.skipped_entries",
+          "persisted cache entries skipped as corrupt or stale");
+URSA_STAT(StatImageRejectedFiles, "ursa.cache_image.rejected_files",
+          "image files rejected whole (bad magic or foreign header)");
+
+static constexpr char Magic[8] = {'U', 'R', 'S', 'A', 'C', 'I', 'M', '1'};
+static constexpr uint32_t FormatVersion = 1;
+/// One serialized DAG should be tiny; anything near this limit means the
+/// stream is out of sync and the rest of the file cannot be trusted.
+static constexpr size_t MaxRecordBytes = 32u << 20;
+
+//===----------------------------------------------------------------------===//
+// CRC-32
+//===----------------------------------------------------------------------===//
+
+uint32_t ursa::crc32(const void *Data, size_t Len) {
+  static const auto Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = 0xFFFFFFFFu;
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Len; ++I)
+    C = Table[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+//===----------------------------------------------------------------------===//
+// Payload encoding (big-endian, append-only)
+//===----------------------------------------------------------------------===//
+
+static void putU8(std::string &B, uint8_t V) { B.push_back(char(V)); }
+
+static void putU32(std::string &B, uint32_t V) {
+  B.push_back(char(V >> 24));
+  B.push_back(char(V >> 16));
+  B.push_back(char(V >> 8));
+  B.push_back(char(V));
+}
+
+static void putU64(std::string &B, uint64_t V) {
+  putU32(B, uint32_t(V >> 32));
+  putU32(B, uint32_t(V));
+}
+
+static void putI32(std::string &B, int32_t V) { putU32(B, uint32_t(V)); }
+static void putI64(std::string &B, int64_t V) { putU64(B, uint64_t(V)); }
+
+static void putStr(std::string &B, const std::string &S) {
+  putU32(B, uint32_t(S.size()));
+  B += S;
+}
+
+/// Bounds-checked cursor over a payload; any overrun latches Bad.
+namespace {
+struct Reader {
+  const std::string &B;
+  size_t Pos = 0;
+  bool Bad = false;
+
+  explicit Reader(const std::string &Buf) : B(Buf) {}
+
+  bool take(size_t N) {
+    if (Bad || B.size() - Pos < N) {
+      Bad = true;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() {
+    if (!take(1))
+      return 0;
+    return uint8_t(B[Pos++]);
+  }
+  uint32_t u32() {
+    if (!take(4))
+      return 0;
+    uint32_t V = (uint32_t(uint8_t(B[Pos])) << 24) |
+                 (uint32_t(uint8_t(B[Pos + 1])) << 16) |
+                 (uint32_t(uint8_t(B[Pos + 2])) << 8) |
+                 uint32_t(uint8_t(B[Pos + 3]));
+    Pos += 4;
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t Hi = u32();
+    return (Hi << 32) | u32();
+  }
+  int32_t i32() { return int32_t(u32()); }
+  int64_t i64() { return int64_t(u64()); }
+  std::string str() {
+    uint32_t N = u32();
+    if (N > MaxRecordBytes || !take(N))
+      return std::string();
+    std::string S = B.substr(Pos, N);
+    Pos += N;
+    return S;
+  }
+  bool done() const { return !Bad && Pos == B.size(); }
+};
+} // namespace
+
+std::string ursa::encodeCacheEntry(uint64_t Fp, const DependenceDAG &D) {
+  const Trace &T = D.trace();
+  std::string B;
+  putU64(B, Fp);
+  putStr(B, T.name());
+
+  putU32(B, T.numVRegs());
+  for (unsigned V = 0; V != T.numVRegs(); ++V)
+    putU8(B, uint8_t(T.vregDomain(int(V))));
+
+  putU32(B, T.numSymbols());
+  for (unsigned S = 0; S != T.numSymbols(); ++S)
+    putStr(B, T.symbolName(int(S)));
+
+  putU32(B, T.numSpillSlots());
+
+  putU32(B, T.size());
+  for (unsigned I = 0; I != T.size(); ++I) {
+    const Instruction &In = T.instr(I);
+    putU8(B, uint8_t(In.opcode()));
+    putU8(B, uint8_t(In.domain()));
+    putI32(B, In.dest());
+    for (unsigned S = 0; S != 3; ++S)
+      putI32(B, S < In.numOperands() ? In.operand(S) : -1);
+    putI32(B, In.symbol());
+    putI32(B, In.spillSlot());
+    putI64(B, In.intImm());
+    double F = In.fltImm();
+    uint64_t FBits;
+    std::memcpy(&FBits, &F, sizeof(FBits));
+    putU64(B, FBits);
+  }
+
+  putU32(B, D.numEdges());
+  for (unsigned N = 0; N != D.size(); ++N)
+    for (const auto &[To, Kind] : D.succs(N)) {
+      putU32(B, N);
+      putU32(B, To);
+      putU8(B, uint8_t(Kind));
+    }
+  return B;
+}
+
+StatusOr<std::unique_ptr<DependenceDAG>>
+ursa::decodeCacheEntry(const std::string &Payload, uint64_t &Fp) {
+  auto Err = [](const std::string &M) {
+    return Status::error("cache_image", M);
+  };
+  Reader R(Payload);
+  Fp = R.u64();
+  std::string Name = R.str();
+
+  Trace T(Name);
+
+  uint32_t NumVRegs = R.u32();
+  if (NumVRegs > MaxRecordBytes)
+    return Err("implausible vreg count");
+  for (uint32_t V = 0; V != NumVRegs && !R.Bad; ++V) {
+    uint8_t Dom = R.u8();
+    if (Dom > uint8_t(Domain::Float))
+      return Err("bad vreg domain");
+    T.newVReg(Domain(Dom));
+  }
+
+  uint32_t NumSyms = R.u32();
+  if (NumSyms > MaxRecordBytes)
+    return Err("implausible symbol count");
+  for (uint32_t S = 0; S != NumSyms && !R.Bad; ++S)
+    if (T.internSymbol(R.str()) != int(S))
+      return Err("duplicate symbol name in entry");
+
+  uint32_t NumSlots = R.u32();
+  if (NumSlots > MaxRecordBytes)
+    return Err("implausible spill-slot count");
+  for (uint32_t S = 0; S != NumSlots; ++S)
+    T.newSpillSlot();
+
+  uint32_t NumInstrs = R.u32();
+  if (NumInstrs > MaxRecordBytes)
+    return Err("implausible instruction count");
+  for (uint32_t I = 0; I != NumInstrs && !R.Bad; ++I) {
+    uint8_t Op = R.u8();
+    uint8_t Dom = R.u8();
+    int32_t Dest = R.i32();
+    int32_t Srcs[3] = {R.i32(), R.i32(), R.i32()};
+    int32_t Sym = R.i32();
+    int32_t Slot = R.i32();
+    int64_t IntImm = R.i64();
+    uint64_t FBits = R.u64();
+    if (R.Bad)
+      break;
+    if (Op >= numOpcodes())
+      return Err("unknown opcode " + std::to_string(Op));
+    if (Dom > uint8_t(Domain::Float))
+      return Err("bad instruction domain");
+    Instruction In{Opcode(Op)};
+    In.setDomain(Domain(Dom));
+    if (Dest >= 0) {
+      if (!definesValue(In.opcode()) || uint32_t(Dest) >= NumVRegs)
+        return Err("bad destination vreg");
+      In.setDest(Dest);
+    }
+    for (unsigned S = 0; S != In.numOperands(); ++S) {
+      if (Srcs[S] < -1 || (Srcs[S] >= 0 && uint32_t(Srcs[S]) >= NumVRegs))
+        return Err("operand vreg out of range");
+      if (Srcs[S] >= 0)
+        In.setOperand(S, Srcs[S]);
+    }
+    if (Sym >= 0) {
+      if (uint32_t(Sym) >= NumSyms)
+        return Err("symbol index out of range");
+      In.setSymbol(Sym);
+    }
+    if (Slot >= 0) {
+      if (uint32_t(Slot) >= NumSlots)
+        return Err("spill slot out of range");
+      In.setSpillSlot(Slot);
+    }
+    In.setIntImm(IntImm);
+    double F;
+    std::memcpy(&F, &FBits, sizeof(F));
+    In.setFltImm(F);
+    T.append(In);
+  }
+
+  auto D = std::make_unique<DependenceDAG>(std::move(T));
+
+  uint32_t NumEdges = R.u32();
+  if (NumEdges > MaxRecordBytes)
+    return Err("implausible edge count");
+  for (uint32_t E = 0; E != NumEdges && !R.Bad; ++E) {
+    uint32_t From = R.u32();
+    uint32_t To = R.u32();
+    uint8_t Kind = R.u8();
+    if (R.Bad)
+      break;
+    if (From >= D->size() || To >= D->size() || From == To)
+      return Err("edge endpoint out of range");
+    if (Kind > uint8_t(EdgeKind::Sequence))
+      return Err("bad edge kind");
+    D->addEdge(From, To, EdgeKind(Kind));
+  }
+
+  if (!R.done())
+    return Err("truncated or oversized entry payload");
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// File records
+//===----------------------------------------------------------------------===//
+
+static bool writeRecord(std::FILE *F, const std::string &Payload) {
+  std::string Rec;
+  Rec.reserve(Payload.size() + 8);
+  putU32(Rec, uint32_t(Payload.size()));
+  Rec += Payload;
+  putU32(Rec, crc32(Payload.data(), Payload.size()));
+  return std::fwrite(Rec.data(), 1, Rec.size(), F) == Rec.size();
+}
+
+/// Reads one record. Returns false at end of usable data; \p Torn is set
+/// when the file ends mid-record or the CRC fails (the scan must stop —
+/// nothing after a torn record can be trusted).
+static bool readRecord(std::FILE *F, std::string &Payload, bool &Torn) {
+  Torn = false;
+  unsigned char Hdr[4];
+  size_t N = std::fread(Hdr, 1, 4, F);
+  if (N == 0)
+    return false; // clean EOF
+  if (N != 4) {
+    Torn = true;
+    return false;
+  }
+  size_t Len = (size_t(Hdr[0]) << 24) | (size_t(Hdr[1]) << 16) |
+               (size_t(Hdr[2]) << 8) | size_t(Hdr[3]);
+  if (Len > MaxRecordBytes) {
+    Torn = true;
+    return false;
+  }
+  Payload.resize(Len);
+  if (Len && std::fread(Payload.data(), 1, Len, F) != Len) {
+    Torn = true;
+    return false;
+  }
+  unsigned char CrcB[4];
+  if (std::fread(CrcB, 1, 4, F) != 4) {
+    Torn = true;
+    return false;
+  }
+  uint32_t Want = (uint32_t(CrcB[0]) << 24) | (uint32_t(CrcB[1]) << 16) |
+                  (uint32_t(CrcB[2]) << 8) | uint32_t(CrcB[3]);
+  if (crc32(Payload.data(), Payload.size()) != Want) {
+    Torn = true;
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// CachePersister
+//===----------------------------------------------------------------------===//
+
+static std::string sanitizeKey(const std::string &Key) {
+  std::string Out = Key;
+  for (char &C : Out)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '.' && C != '-' &&
+        C != '_')
+      C = '_';
+  return Out.empty() ? std::string("default") : Out;
+}
+
+CachePersister::CachePersister(std::string DirIn, std::string MachineKey,
+                               MeasureOptions MOIn)
+    : Dir(std::move(DirIn)), Key(std::move(MachineKey)), MO(MOIn) {
+  ::mkdir(Dir.c_str(), 0755); // EEXIST is the common case
+  std::string Base = Dir + "/" + sanitizeKey(Key);
+  SnapPath = Base + ".ursacache";
+  JourPath = Base + ".journal";
+}
+
+CachePersister::~CachePersister() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Journal)
+    std::fclose(Journal);
+}
+
+StatusOr<std::string> CachePersister::readImageKey(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Status::error("cache_image", Path + ": cannot open");
+  char M[8];
+  if (std::fread(M, 1, 8, F) != 8 || std::memcmp(M, Magic, 8) != 0) {
+    std::fclose(F);
+    return Status::error("cache_image", Path + ": not a cache image");
+  }
+  std::string Payload;
+  bool Torn = false;
+  bool GotHeader = readRecord(F, Payload, Torn);
+  std::fclose(F);
+  if (!GotHeader)
+    return Status::error("cache_image", Path + ": unreadable header record");
+  Reader R(Payload);
+  if (R.u32() != FormatVersion)
+    return Status::error("cache_image", Path + ": foreign format version");
+  (void)R.u8();  // MeasureOptions::PrioritizedMatching
+  (void)R.i32(); // MeasureOptions::KillSolver
+  std::string Key = R.str();
+  if (R.Bad || Key.empty())
+    return Status::error("cache_image", Path + ": malformed header");
+  return Key;
+}
+
+std::string CachePersister::headerPayload() const {
+  std::string B;
+  putU32(B, FormatVersion);
+  putU8(B, MO.PrioritizedMatching ? 1 : 0);
+  putI32(B, MO.KillSolver);
+  putStr(B, Key);
+  return B;
+}
+
+void CachePersister::readImageFile(const std::string &Path,
+                                   std::map<uint64_t, std::string> &Out,
+                                   Status &Warnings) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return; // no image yet: cold start
+  auto Warn = [&](const std::string &M) {
+    Warnings.add({Severity::Warning, "cache_image", Path + ": " + M});
+  };
+  char M[8];
+  if (std::fread(M, 1, 8, F) != 8 || std::memcmp(M, Magic, 8) != 0) {
+    Warn("bad magic; ignoring file");
+    StatImageRejectedFiles.add();
+    std::fclose(F);
+    return;
+  }
+  std::string Payload;
+  bool Torn = false;
+  if (!readRecord(F, Payload, Torn) || Payload != headerPayload()) {
+    Warn(Torn ? "torn header record; ignoring file"
+              : "header from another machine key, measure options, or "
+                "format version; ignoring file");
+    StatImageRejectedFiles.add();
+    std::fclose(F);
+    return;
+  }
+  while (readRecord(F, Payload, Torn)) {
+    if (Payload.size() < 8) {
+      Warn("runt entry record; stopping scan");
+      StatImageSkipped.add();
+      break;
+    }
+    Reader R(Payload);
+    uint64_t Fp = R.u64();
+    Out.emplace(Fp, Payload); // keep-first: snapshot wins over journal dup
+  }
+  if (Torn)
+    Warn("torn tail record (interrupted write); later entries dropped");
+  std::fclose(F);
+}
+
+Status CachePersister::load(MeasurementCache &Cache, const MachineModel &M) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Status Report;
+  std::map<uint64_t, std::string> OnDisk;
+  readImageFile(SnapPath, OnDisk, Report);
+  readImageFile(JourPath, OnDisk, Report);
+
+  Loaded = 0;
+  for (auto &[Fp, Payload] : OnDisk) {
+    uint64_t DecodedFp = 0;
+    auto DOr = decodeCacheEntry(Payload, DecodedFp);
+    if (!DOr) {
+      Report.add({Severity::Warning, "cache_image",
+                  "entry " + std::to_string(Fp) +
+                      " skipped: " + DOr.status().message()});
+      StatImageSkipped.add();
+      continue;
+    }
+    DependenceDAG &D = **DOr;
+    Status StructSt = verifyDAGStructure(D);
+    if (!StructSt.isOk() || dagFingerprint(D) != DecodedFp) {
+      Report.add({Severity::Warning, "cache_image",
+                  "entry " + std::to_string(Fp) + " skipped: " +
+                      (StructSt.isOk() ? "fingerprint mismatch (stale entry)"
+                                       : StructSt.message())});
+      StatImageSkipped.add();
+      continue;
+    }
+    Cache.insert(DecodedFp, std::make_shared<const MeasuredState>(D, M, MO));
+    Payloads[DecodedFp] = Payload;
+    ++Loaded;
+    StatImageLoaded.add();
+  }
+
+  // Recovery checkpoint: compact everything usable into a fresh snapshot
+  // and clear the journal, so a stale/torn journal never accumulates and
+  // the next crash replays from a single good image.
+  if (Loaded) {
+    Status SnapSt = snapshotLocked();
+    Report.merge(SnapSt);
+  }
+  return Report;
+}
+
+void CachePersister::append(uint64_t Fp, const DependenceDAG &D) {
+  std::string Payload = encodeCacheEntry(Fp, D);
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Payloads.emplace(Fp, std::move(Payload)).second)
+    return;
+  if (!Journal) {
+    Journal = std::fopen(JourPath.c_str(), "ab");
+    if (!Journal)
+      return; // disk trouble degrades persistence, never compilation
+    if (std::ftell(Journal) == 0) {
+      std::fwrite(Magic, 1, 8, Journal);
+      writeRecord(Journal, headerPayload());
+    }
+  }
+  if (writeRecord(Journal, Payloads[Fp])) {
+    std::fflush(Journal); // into the page cache: survives kill -9
+    ++Dirty;
+    StatImageAppends.add();
+  }
+}
+
+Status CachePersister::snapshotLocked() {
+  std::string Tmp = SnapPath + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return Status::error("cache_image",
+                         "cannot write " + Tmp + ": " + std::strerror(errno));
+  bool Ok = std::fwrite(Magic, 1, 8, F) == 8 && writeRecord(F, headerPayload());
+  for (const auto &[Fp, Payload] : Payloads)
+    Ok = Ok && writeRecord(F, Payload);
+  Ok = Ok && std::fflush(F) == 0 && ::fsync(::fileno(F)) == 0;
+  std::fclose(F);
+  if (!Ok || std::rename(Tmp.c_str(), SnapPath.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return Status::error("cache_image", "snapshot to " + SnapPath + " failed");
+  }
+
+  // The snapshot now holds every recorded entry; restart the journal.
+  if (Journal)
+    std::fclose(Journal);
+  Journal = std::fopen(JourPath.c_str(), "wb");
+  if (Journal) {
+    std::fwrite(Magic, 1, 8, Journal);
+    writeRecord(Journal, headerPayload());
+    std::fflush(Journal);
+  }
+  Dirty = 0;
+  StatImageSnapshots.add();
+  return Status::ok();
+}
+
+Status CachePersister::snapshot() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return snapshotLocked();
+}
+
+unsigned CachePersister::entries() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return unsigned(Payloads.size());
+}
+
+unsigned CachePersister::dirtyEntries() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Dirty;
+}

@@ -150,3 +150,94 @@ void FaultInjector::corruptAssignment(const DependenceDAG &D,
     }
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Wire-level faults
+//===----------------------------------------------------------------------===//
+
+const char *ursa::wireFaultName(WireFault F) {
+  switch (F) {
+  case WireFault::None:
+    return "none";
+  case WireFault::TruncatedFrame:
+    return "truncated_frame";
+  case WireFault::TornHeader:
+    return "torn_header";
+  case WireFault::StalledWrite:
+    return "stalled_write";
+  case WireFault::MidStreamDisconnect:
+    return "mid_stream_disconnect";
+  case WireFault::GarbageLength:
+    return "garbage_length";
+  }
+  return "unknown";
+}
+
+/// Big-endian 4-byte frame header for \p Len.
+static std::string frameHeader(uint32_t Len) {
+  std::string H(4, '\0');
+  H[0] = char(Len >> 24);
+  H[1] = char(Len >> 16);
+  H[2] = char(Len >> 8);
+  H[3] = char(Len);
+  return H;
+}
+
+Status ursa::injectWireFault(Socket &S, WireFault F, std::string_view Payload,
+                             unsigned StallMs) {
+  const std::string Hdr = frameHeader(uint32_t(Payload.size()));
+  const std::string_view Half = Payload.substr(0, Payload.size() / 2);
+  switch (F) {
+  case WireFault::None:
+    return S.sendFrame(Payload);
+
+  case WireFault::TruncatedFrame: {
+    // Honest header, half the payload, then a clean FIN: the peer must
+    // report a mid-frame close, never block waiting for the rest.
+    if (Status St = S.sendRaw(Hdr); !St.isOk())
+      return St;
+    if (Status St = S.sendRaw(Half); !St.isOk())
+      return St;
+    S.shutdown();
+    return Status::ok();
+  }
+
+  case WireFault::TornHeader: {
+    // The connection dies two bytes into the length prefix.
+    if (Status St = S.sendRaw(std::string_view(Hdr).substr(0, 2)); !St.isOk())
+      return St;
+    S.shutdown();
+    return Status::ok();
+  }
+
+  case WireFault::StalledWrite: {
+    // A frame that simply stops making progress. The connection stays
+    // open: healing is the peer's per-operation deadline, not our close.
+    if (Status St = S.sendRaw(Hdr); !St.isOk())
+      return St;
+    if (Status St = S.sendRaw(Half); !St.isOk())
+      return St;
+    std::this_thread::sleep_for(std::chrono::milliseconds(StallMs));
+    return Status::ok();
+  }
+
+  case WireFault::MidStreamDisconnect: {
+    // Abrupt close halfway through the payload (no orderly shutdown).
+    if (Status St = S.sendRaw(Hdr); !St.isOk())
+      return St;
+    if (Status St = S.sendRaw(Half); !St.isOk())
+      return St;
+    S.close();
+    return Status::ok();
+  }
+
+  case WireFault::GarbageLength: {
+    // A length prefix no peer should trust (4 GiB frame), followed by a
+    // little junk so lazy readers that trust it start consuming.
+    if (Status St = S.sendRaw(frameHeader(0xFFFFFFFFu)); !St.isOk())
+      return St;
+    return S.sendRaw("garbage-after-bogus-length");
+  }
+  }
+  return Status::error("fault", "unknown wire fault");
+}

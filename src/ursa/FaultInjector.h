@@ -26,6 +26,13 @@
 /// mutate states directly for unit tests (schedules into over-capacity
 /// cycles, assignments into live-range conflicts).
 ///
+/// The harness also extends to the service transport: WireFault names the
+/// ways a peer can mangle a length-prefixed frame on the wire (truncated
+/// frame, torn header, stalled write, mid-stream disconnect, garbage
+/// length prefix), and injectWireFault() performs one from the client
+/// side of a connection so the transport fault-matrix test can prove the
+/// server catches or heals every class.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef URSA_URSA_FAULTINJECTOR_H
@@ -35,6 +42,9 @@
 #include "sched/ListScheduler.h"
 #include "sched/RegAssign.h"
 #include "support/RNG.h"
+#include "support/Socket.h"
+
+#include <string_view>
 
 namespace ursa {
 
@@ -103,6 +113,29 @@ private:
   bool Fired = false;
   RNG Rng;
 };
+
+/// The ways a peer can mangle a frame on the wire.
+enum class WireFault {
+  None,
+  TruncatedFrame,      ///< honest header, half the payload, then clean FIN
+  TornHeader,          ///< connection dies inside the 4-byte length prefix
+  StalledWrite,        ///< frame stops making progress mid-payload
+  MidStreamDisconnect, ///< abrupt close halfway through the payload
+  GarbageLength        ///< length prefix far beyond any sane frame
+};
+
+/// Stable lower_snake name for reports and test matrices.
+const char *wireFaultName(WireFault F);
+
+/// Performs fault \p F on connection \p S as if sending \p Payload.
+/// TruncatedFrame, TornHeader and MidStreamDisconnect leave \p S closed or
+/// shut down; StalledWrite sends a partial frame, sleeps \p StallMs, and
+/// leaves the connection open (the peer's per-operation deadline is what
+/// is under test); GarbageLength sends a complete-looking frame whose
+/// length prefix no peer should ever trust. WireFault::None degenerates to
+/// a correct sendFrame.
+Status injectWireFault(Socket &S, WireFault F, std::string_view Payload,
+                       unsigned StallMs = 50);
 
 } // namespace ursa
 

@@ -68,6 +68,8 @@ MeasurementCache::get(const DependenceDAG &D, const MachineModel &M,
     return Hit;
   auto S = std::make_shared<const MeasuredState>(D, M, MO);
   insert(Fp, S);
+  if (OnBuild)
+    OnBuild(Fp, D);
   return S;
 }
 

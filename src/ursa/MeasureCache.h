@@ -22,6 +22,7 @@
 #include "machine/MachineModel.h"
 #include "ursa/Measure.h"
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -80,6 +81,15 @@ public:
   /// Entries currently held (for reports; racy by nature under load).
   unsigned size() const;
 
+  /// Called (outside the cache lock) whenever get() builds a state from
+  /// scratch, with the fingerprint and the DAG it was built from. The
+  /// cache persister hooks this to journal rebuildable inputs; promotion
+  /// inserts bypass it (no DAG in hand there), which only narrows what a
+  /// restart can warm, never corrupts it. Set once during setup, before
+  /// the cache is shared across threads.
+  using BuildObserver = std::function<void(uint64_t, const DependenceDAG &)>;
+  void setBuildObserver(BuildObserver O) { OnBuild = std::move(O); }
+
 private:
   std::shared_ptr<const MeasuredState> lookup(uint64_t Fp);
 
@@ -88,6 +98,7 @@ private:
   bool Enabled;
   std::vector<std::pair<uint64_t, std::shared_ptr<const MeasuredState>>>
       Entries;
+  BuildObserver OnBuild;
 };
 
 } // namespace ursa
