@@ -23,6 +23,14 @@
 //   --retries N           transport-failure budget: how many times the
 //                         batch may reconnect and resume (default 0)
 //   --report              fetch and print the server report instead
+//   --stats               fetch and print the live ursa.service_stats.v1
+//                         document (after compiling any files given)
+//   --prometheus          print the stats as Prometheus text exposition
+//   --flight              include the flight-recorder ring in the stats
+//   --health              fetch and print ursa.service_health.v1
+//   --client-stats        on exit, print the client-side counters
+//                         (ursa.client.*) and the client-observed latency
+//                         histogram percentiles to stderr
 //   --shutdown            ask the server to shut down (drains first)
 //
 // Requests are pipelined up to the window and responses matched back by
@@ -41,6 +49,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Stats.h"
 #include "service/Client.h"
 
 #include <chrono>
@@ -82,6 +91,8 @@ int main(int Argc, char **Argv) {
   unsigned Window = 16;
   unsigned Retries = 0;
   bool DoReport = false, DoShutdown = false;
+  bool DoStats = false, DoHealth = false, DoClientStats = false;
+  bool StatsProm = false, StatsFlight = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -128,6 +139,16 @@ int main(int Argc, char **Argv) {
       Retries = unsigned(std::atoi(S));
     } else if (A == "--report") {
       DoReport = true;
+    } else if (A == "--stats") {
+      DoStats = true;
+    } else if (A == "--prometheus") {
+      DoStats = StatsProm = true;
+    } else if (A == "--flight") {
+      DoStats = StatsFlight = true;
+    } else if (A == "--health") {
+      DoHealth = true;
+    } else if (A == "--client-stats") {
+      DoClientStats = true;
     } else if (A == "--shutdown") {
       DoShutdown = true;
     } else if (A.rfind("--", 0) == 0) {
@@ -137,7 +158,8 @@ int main(int Argc, char **Argv) {
       Files.push_back(A);
     }
   }
-  if (Endpoint.empty() || (Files.empty() && !DoReport && !DoShutdown)) {
+  if (Endpoint.empty() ||
+      (Files.empty() && !DoReport && !DoShutdown && !DoStats && !DoHealth)) {
     std::fprintf(stderr,
                  "usage: ursa_batch --connect ENDPOINT [files...] [options]\n"
                  "       (see the header of examples/ursa_batch.cpp)\n");
@@ -204,11 +226,16 @@ int main(int Argc, char **Argv) {
     Client.reset();
   };
 
+  // Per-file client-observed latency (send to matched response) feeds
+  // the ursa.client.e2e_us histogram printed by --client-stats.
+  std::vector<std::chrono::steady_clock::time_point> SentAt(Files.size());
+
   auto SendOne = [&](size_t I) -> bool {
     ServiceRequest R = Proto;
     R.Op = ServiceRequest::OpKind::Compile;
     R.Id = std::to_string(I);
     R.Source = Sources[I];
+    SentAt[I] = std::chrono::steady_clock::now();
     Status St = Client->send(R);
     if (St.isOk()) {
       State[I] = FileState::InFlight;
@@ -305,6 +332,10 @@ int main(int Argc, char **Argv) {
     }
     Results[I] = Resp;
     State[I] = FileState::Done;
+    clientLatencyHistogram().record(
+        uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - SentAt[I])
+                     .count()));
     --Remaining;
   }
 
@@ -345,7 +376,7 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if ((DoReport || DoShutdown) && !Client) {
+  if ((DoReport || DoShutdown || DoStats || DoHealth) && !Client) {
     StatusOr<ServiceClient> R = ServiceClient::connect(Endpoint);
     if (R.isOk())
       Client.emplace(std::move(*R));
@@ -360,6 +391,49 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     std::printf("%s\n", Resp.Text.c_str());
+  }
+  if (DoStats && Client) {
+    ServiceRequest R;
+    R.Op = ServiceRequest::OpKind::Stats;
+    R.Id = "stats";
+    if (StatsProm)
+      R.StatsFormat = "prometheus";
+    R.IncludeFlight = StatsFlight;
+    ServiceResponse Resp;
+    if (Status St = Client->call(R, Resp); !St.isOk()) {
+      std::fprintf(stderr, "error: %s\n", St.str().c_str());
+      return 1;
+    }
+    std::printf("%s\n", Resp.Text.c_str());
+  }
+  if (DoHealth && Client) {
+    ServiceRequest R;
+    R.Op = ServiceRequest::OpKind::Health;
+    R.Id = "health";
+    ServiceResponse Resp;
+    if (Status St = Client->call(R, Resp); !St.isOk()) {
+      std::fprintf(stderr, "error: %s\n", St.str().c_str());
+      return 1;
+    }
+    std::printf("%s\n", Resp.Text.c_str());
+  }
+  if (DoClientStats) {
+    std::fprintf(stderr, "ursa_batch client stats:\n");
+    for (const obs::StatValue &SV : obs::snapshotStats(/*NonZeroOnly=*/true))
+      if (SV.Name.rfind("ursa.client", 0) == 0)
+        std::fprintf(stderr, "  %-28s %llu\n", SV.Name.c_str(),
+                     (unsigned long long)SV.Value);
+    obs::HistogramSnapshot H = clientLatencyHistogram().snapshot();
+    if (H.Count) {
+      std::fprintf(stderr,
+                   "  %-28s count %llu  p50 %lluus  p90 %lluus  p99 %lluus  "
+                   "max %lluus\n",
+                   H.Name.c_str(), (unsigned long long)H.Count,
+                   (unsigned long long)H.percentile(0.50),
+                   (unsigned long long)H.percentile(0.90),
+                   (unsigned long long)H.percentile(0.99),
+                   (unsigned long long)H.Max);
+    }
   }
   if (DoShutdown && Client) {
     ServiceRequest R;

@@ -40,6 +40,18 @@
 //                       (URSA_SERVICE_TEST_HOOKS)
 //   --report-out FILE   write the final ursa.service_report.v1 document
 //                       to FILE on shutdown
+//   --flight-size N     flight-recorder ring size
+//                       (URSA_SERVICE_FLIGHT_SIZE, default 256)
+//   --flight-slow N     successful requests keeping full span timelines
+//                       (URSA_SERVICE_FLIGHT_SLOW, default 8)
+//   --flight-dump FILE  dump the flight recorder to FILE on shutdown
+//                       (URSA_FLIGHT_DUMP)
+//
+// Live observability: the `stats` verb returns ursa.service_stats.v1
+// (or Prometheus text) with latency histograms and optionally the
+// flight-recorder ring; `health` is a cheap pressure probe. `ursa_top`
+// renders stats as a refreshing table; `ursa_batch --stats` fetches one
+// document.
 //
 // The server drains on a `shutdown` request: queued compiles finish and
 // their responses flush before the process exits. Protocol and report
@@ -101,6 +113,12 @@ int main(int Argc, char **Argv) {
       Cfg.EnableTestHooks = true;
     else if (A == "--report-out" && (S = Next()))
       ReportOut = S;
+    else if (A == "--flight-size" && (S = Next()))
+      Cfg.FlightSize = unsigned(std::atoi(S));
+    else if (A == "--flight-slow" && (S = Next()))
+      Cfg.FlightSlowN = unsigned(std::atoi(S));
+    else if (A == "--flight-dump" && (S = Next()))
+      Cfg.FlightDumpPath = S;
     else {
       std::fprintf(stderr, "unknown or incomplete option '%s'\n", A.c_str());
       return 1;

@@ -333,6 +333,7 @@ private:
 
   bool parseObject(JsonValue &Out) {
     Out.K = JsonValue::Kind::Object;
+    Out.Obj.clear(); // a reused JsonValue must not accumulate keys
     consume('{');
     skipWs();
     if (consume('}'))
@@ -361,6 +362,7 @@ private:
 
   bool parseArray(JsonValue &Out) {
     Out.K = JsonValue::Kind::Array;
+    Out.Arr.clear(); // a reused JsonValue must not accumulate elements
     consume('[');
     skipWs();
     if (consume(']'))

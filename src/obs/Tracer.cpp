@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <thread>
@@ -19,10 +20,19 @@ using namespace ursa;
 using namespace ursa::obs;
 
 std::atomic<bool> obs::detail::TraceActive{false};
+thread_local SpanCollector *obs::detail::TlsCollector = nullptr;
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// The process-wide span epoch: every monotonicNowUs value counts from
+/// here, so tracer events, collector stages, and request records share
+/// one time axis.
+Clock::time_point processEpoch() {
+  static const Clock::time_point Epoch = Clock::now();
+  return Epoch;
+}
 
 struct Event {
   const char *Name;
@@ -31,6 +41,7 @@ struct Event {
   uint64_t TsUs;
   uint64_t DurUs;
   uint32_t Tid;
+  std::string TraceId; ///< request attribution; empty = none
 };
 
 uint32_t currentTid() {
@@ -46,7 +57,7 @@ uint32_t currentTid() {
 struct Tracer {
   std::mutex Mu;
   std::vector<Event> Events;
-  Clock::time_point Start;
+  uint64_t StartUs = 0; ///< monotonicNowUs when the trace began
   std::string Path;
 
   ~Tracer() { finishLocked(); }
@@ -57,7 +68,7 @@ struct Tracer {
     Path = P;
     Events.clear();
     Events.reserve(4096);
-    Start = Clock::now();
+    StartUs = monotonicNowUs();
     detail::TraceActive.store(true, std::memory_order_relaxed);
   }
 
@@ -92,6 +103,11 @@ struct Tracer {
       if (E.Ph == 'i')
         W.kv("s", "t"); // instant scope: thread
       W.kv("pid", uint64_t(1)).kv("tid", uint64_t(E.Tid));
+      if (!E.TraceId.empty()) {
+        W.key("args").beginObject();
+        W.kv("trace_id", E.TraceId);
+        W.endObject();
+      }
       W.endObject();
     }
     W.endArray();
@@ -100,10 +116,9 @@ struct Tracer {
     return W.str();
   }
 
-  uint64_t nowUs() const {
-    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
-                        Clock::now() - Start)
-                        .count());
+  /// Rebases a monotonic timestamp onto the trace's own origin.
+  uint64_t rebase(uint64_t MonoUs) const {
+    return MonoUs >= StartUs ? MonoUs - StartUs : 0;
   }
 };
 
@@ -123,6 +138,20 @@ Tracer &tracer() {
 
 } // namespace
 
+uint64_t obs::monotonicNowUs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - processEpoch())
+                      .count());
+}
+
+uint64_t SpanCollector::totalUs(const char *Name) const {
+  uint64_t Total = 0;
+  for (const Stage &S : Stages)
+    if (!std::strcmp(S.Name, Name))
+      Total += S.DurUs;
+  return Total;
+}
+
 void obs::startTrace(const std::string &Path) { tracer().start(Path); }
 
 bool obs::endTrace() { return tracer().finish(); }
@@ -133,15 +162,21 @@ std::string obs::traceJson() {
   return T.jsonLocked();
 }
 
-uint64_t obs::traceNowUs() { return tracer().nowUs(); }
+uint64_t obs::traceNowUs() {
+  if (!traceEnabled())
+    return 0;
+  return tracer().rebase(monotonicNowUs());
+}
 
 void obs::recordCompleteEvent(const char *Name, const char *Cat,
-                              uint64_t TsUs, uint64_t DurUs) {
+                              uint64_t TsUs, uint64_t DurUs,
+                              const char *TraceId) {
   Tracer &T = tracer();
   std::lock_guard<std::mutex> Lock(T.Mu);
   if (!traceEnabled())
     return;
-  T.Events.push_back({Name, Cat, 'X', TsUs, DurUs, currentTid()});
+  T.Events.push_back({Name, Cat, 'X', T.rebase(TsUs), DurUs, currentTid(),
+                      TraceId ? std::string(TraceId) : std::string()});
 }
 
 void obs::recordInstantEvent(const char *Name, const char *Cat) {
@@ -149,5 +184,6 @@ void obs::recordInstantEvent(const char *Name, const char *Cat) {
   std::lock_guard<std::mutex> Lock(T.Mu);
   if (!traceEnabled())
     return;
-  T.Events.push_back({Name, Cat, 'i', T.nowUs(), 0, currentTid()});
+  T.Events.push_back({Name, Cat, 'i', T.rebase(monotonicNowUs()), 0,
+                      currentTid(), std::string()});
 }

@@ -14,8 +14,18 @@
 /// Enabling: set the URSA_TRACE environment variable to an output path
 /// (picked up at process start), pass `--trace-out FILE` to ursa_cc, or
 /// call startTrace()/endTrace() programmatically. When disabled a span
-/// construction is one relaxed atomic load — cheap enough to leave spans
-/// on every hot path (bench_obs_overhead keeps this honest).
+/// construction is one relaxed atomic load plus one thread-local read —
+/// cheap enough to leave spans on every hot path (bench_obs_overhead
+/// keeps this honest).
+///
+/// Request-scoped collection: a thread may install a SpanCollector
+/// (CollectorScope), after which every span that closes on that thread is
+/// also appended to the collector — name, start, duration — tagged with
+/// the collector's trace id. The compile service wraps each request's
+/// compile in one collector, which is how a request's stage timeline
+/// reaches the flight recorder and the per-stage latency histograms, and
+/// how trace-file events gain a "trace_id" arg attributing them to the
+/// request that caused them.
 ///
 /// Events buffer in memory and flush as `{"traceEvents":[...]}` on
 /// endTrace() or at process exit. Timestamps are microseconds since
@@ -30,17 +40,26 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ursa::obs {
 
+class SpanCollector;
+
 namespace detail {
 extern std::atomic<bool> TraceActive;
+extern thread_local SpanCollector *TlsCollector;
 } // namespace detail
 
 /// Whether spans currently record (a trace file is open).
 inline bool traceEnabled() {
   return detail::TraceActive.load(std::memory_order_relaxed);
 }
+
+/// Monotonic microseconds since the process-wide span epoch (first use).
+/// Shared by the tracer, span collectors, and the service's request
+/// records so their timestamps line up on one axis.
+uint64_t monotonicNowUs();
 
 /// Starts buffering trace events, to be written to \p Path. Replaces any
 /// trace already in progress (flushing it first).
@@ -56,26 +75,91 @@ bool endTrace();
 std::string traceJson();
 
 /// Low-level event append (spans use this; instants for point events).
+/// Timestamps are monotonicNowUs values; the tracer rebases them onto
+/// the trace's own start. \p TraceId, when non-null and non-empty, is
+/// emitted as an `args.trace_id` on the event.
 void recordCompleteEvent(const char *Name, const char *Cat, uint64_t TsUs,
-                         uint64_t DurUs);
+                         uint64_t DurUs, const char *TraceId = nullptr);
 void recordInstantEvent(const char *Name, const char *Cat);
 
 /// Microseconds since the active trace began (0 when disabled).
 uint64_t traceNowUs();
 
+/// Accumulates the spans that close on one thread while installed
+/// (CollectorScope): the request-scoped stage timeline. Bounded — beyond
+/// MaxSpans further spans are counted in dropped() instead of stored, so
+/// a proposal-heavy compile cannot balloon a request record.
+class SpanCollector {
+public:
+  struct Stage {
+    const char *Name;
+    const char *Cat;
+    uint64_t StartUs; ///< monotonicNowUs at open
+    uint64_t DurUs;
+  };
+
+  explicit SpanCollector(std::string TraceId, size_t MaxSpans = 4096)
+      : Id(std::move(TraceId)), Cap(MaxSpans) {
+    Stages.reserve(64);
+  }
+
+  void add(const Stage &S) {
+    if (Stages.size() < Cap)
+      Stages.push_back(S);
+    else
+      ++Dropped;
+  }
+
+  /// Total duration of every collected span named \p Name, in us.
+  uint64_t totalUs(const char *Name) const;
+
+  const std::vector<Stage> &stages() const { return Stages; }
+  size_t dropped() const { return Dropped; }
+  const std::string &traceId() const { return Id; }
+
+private:
+  std::string Id;
+  std::vector<Stage> Stages;
+  size_t Cap;
+  size_t Dropped = 0;
+};
+
+/// Installs \p C as the current thread's span collector for the scope
+/// (restoring the previous one on exit, so scopes nest).
+class CollectorScope {
+public:
+  explicit CollectorScope(SpanCollector *C) : Prev(detail::TlsCollector) {
+    detail::TlsCollector = C;
+  }
+  ~CollectorScope() { detail::TlsCollector = Prev; }
+  CollectorScope(const CollectorScope &) = delete;
+  CollectorScope &operator=(const CollectorScope &) = delete;
+
+private:
+  SpanCollector *Prev;
+};
+
 /// RAII span: construction records the start time, destruction emits one
-/// complete event. Cheap (one atomic load, no clock read) when tracing is
+/// complete event into the trace buffer and/or the thread's collector.
+/// Cheap (one atomic load, one TLS read, no clock read) when both are
 /// off.
 class Span {
 public:
   explicit Span(const char *SpanName, const char *SpanCat = "ursa")
-      : Name(SpanName), Cat(SpanCat), Active(traceEnabled()) {
-    if (Active)
-      StartUs = traceNowUs();
+      : Name(SpanName), Cat(SpanCat), Coll(detail::TlsCollector),
+        Tracing(traceEnabled()) {
+    if (Tracing || Coll)
+      StartUs = monotonicNowUs();
   }
   ~Span() {
-    if (Active)
-      recordCompleteEvent(Name, Cat, StartUs, traceNowUs() - StartUs);
+    if (!Tracing && !Coll)
+      return;
+    uint64_t Dur = monotonicNowUs() - StartUs;
+    if (Coll)
+      Coll->add({Name, Cat, StartUs, Dur});
+    if (Tracing)
+      recordCompleteEvent(Name, Cat, StartUs, Dur,
+                          Coll ? Coll->traceId().c_str() : nullptr);
   }
   Span(const Span &) = delete;
   Span &operator=(const Span &) = delete;
@@ -83,8 +167,9 @@ public:
 private:
   const char *Name;
   const char *Cat;
+  SpanCollector *Coll;
   uint64_t StartUs = 0;
-  bool Active;
+  bool Tracing;
 };
 
 } // namespace ursa::obs

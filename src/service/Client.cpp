@@ -8,9 +8,13 @@
 
 #include "obs/Stats.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <thread>
+
+#include <unistd.h>
 
 using namespace ursa;
 using namespace ursa::service;
@@ -25,6 +29,31 @@ URSA_STAT(StatClientShedRetries, "ursa.client.shed_retries",
           "retries caused by a shed (load-refused) response");
 URSA_STAT(StatClientGiveUps, "ursa.client.give_ups",
           "supervised requests that exhausted retries or their deadline");
+
+URSA_HISTO(HistClientE2EUs, "ursa.client.e2e_us",
+           "client-observed end-to-end request latency");
+
+obs::Histogram &ursa::service::clientLatencyHistogram() {
+  return HistClientE2EUs;
+}
+
+std::string ursa::service::makeTraceId() {
+  // Tag: process-unique without consulting the wall clock; the steady
+  // clock at first use plus the pid is unique enough for correlating
+  // concurrent clients against one server's records.
+  static const uint64_t Tag = [] {
+    uint64_t T =
+        uint64_t(std::chrono::steady_clock::now().time_since_epoch().count());
+    return (T ^ (T >> 32) ^ (uint64_t(::getpid()) << 16)) & 0xffffffffu;
+  }();
+  static std::atomic<uint64_t> Counter{0};
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "t-%08llx-%06llu",
+                (unsigned long long)Tag,
+                (unsigned long long)Counter.fetch_add(
+                    1, std::memory_order_relaxed));
+  return Buf;
+}
 
 StatusOr<ServiceClient> ServiceClient::connect(const std::string &Endpoint) {
   ignoreSigpipe();
@@ -77,6 +106,8 @@ Status ServiceClient::reconnect() {
 }
 
 Status ServiceClient::send(const ServiceRequest &R) {
+  if (R.TraceId.empty())
+    return Sock.sendFrame(writeRequest(R, makeTraceId()));
   return Sock.sendFrame(writeRequest(R));
 }
 
@@ -102,6 +133,7 @@ Status ServiceClient::call(const ServiceRequest &R, ServiceResponse &Out) {
 }
 
 ServiceClient::Attempt ServiceClient::tryOnce(const ServiceRequest &R,
+                                              std::string_view Tid,
                                               ServiceResponse &Out,
                                               Status &Err) {
   if (!Sock.valid()) {
@@ -110,7 +142,7 @@ ServiceClient::Attempt ServiceClient::tryOnce(const ServiceRequest &R,
       return Attempt::RetryConnect; // nothing reached the server
   }
 
-  if (Status St = send(R); !St.isOk()) {
+  if (Status St = Sock.sendFrame(writeRequest(R, Tid)); !St.isOk()) {
     Err = St;
     int E = Sock.lastErrno();
     Sock.close();
@@ -148,6 +180,15 @@ Status ServiceClient::callSupervised(const ServiceRequest &R,
                                      ServiceResponse &Out) {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point Start = Clock::now();
+  // One trace id for the whole supervised call, retries included, so
+  // every server-side record of this request correlates.
+  const std::string Tid = R.TraceId.empty() ? makeTraceId() : R.TraceId;
+  auto RecordLatency = [&] {
+    HistClientE2EUs.record(uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              Start)
+            .count()));
+  };
   auto DeadlineLeft = [&]() -> bool {
     if (!R.DeadlineMs)
       return true;
@@ -169,11 +210,13 @@ Status ServiceClient::callSupervised(const ServiceRequest &R,
         break;
       StatClientRetries.add();
     }
-    Attempt A = tryOnce(R, Out, Err);
+    Attempt A = tryOnce(R, Tid, Out, Err);
     switch (A) {
     case Attempt::Done:
+      RecordLatency();
       return Status::ok();
     case Attempt::Fatal:
+      RecordLatency();
       return Err; // at-most-once: never replay an indeterminate request
     case Attempt::RetryShed:
       StatClientShedRetries.add();

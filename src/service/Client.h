@@ -33,11 +33,23 @@
 #ifndef URSA_SERVICE_CLIENT_H
 #define URSA_SERVICE_CLIENT_H
 
+#include "obs/Histogram.h"
 #include "service/Protocol.h"
 #include "support/RNG.h"
 #include "support/Socket.h"
 
 namespace ursa::service {
+
+/// Client-observed end-to-end latency in microseconds
+/// ("ursa.client.e2e_us"): recorded by callSupervised around the whole
+/// supervised call (backoff included) and by ursa_batch's pipelined
+/// loop. `ursa_batch --client-stats` prints its percentiles.
+obs::Histogram &clientLatencyHistogram();
+
+/// A process-unique trace id ("t-XXXXXXXX-NNNNNN"). ServiceClient stamps
+/// one into every request whose caller left TraceId empty, so each wire
+/// request is traceable end to end without the caller doing anything.
+std::string makeTraceId();
 
 /// Reconnect/retry tuning for callSupervised.
 struct RetryPolicy {
@@ -99,8 +111,12 @@ private:
   Status reconnect();
 
   /// True when the failed attempt provably never started server-side.
+  /// \p Tid is the trace id stamped on the wire — the same one across
+  /// every retry of a supervised call, so the server-side records of all
+  /// attempts correlate.
   enum class Attempt { Done, RetryConnect, RetrySend, RetryShed, Fatal };
-  Attempt tryOnce(const ServiceRequest &R, ServiceResponse &Out, Status &Err);
+  Attempt tryOnce(const ServiceRequest &R, std::string_view Tid,
+                  ServiceResponse &Out, Status &Err);
 
   Socket Sock;
   std::string Endpoint;

@@ -53,6 +53,7 @@
 #ifndef URSA_SERVICE_COMPILESERVICE_H
 #define URSA_SERVICE_COMPILESERVICE_H
 
+#include "service/FlightRecorder.h"
 #include "service/Protocol.h"
 #include "support/ThreadPool.h"
 #include "ursa/CacheImage.h"
@@ -118,7 +119,56 @@ struct ServiceConfig {
   /// default 250).
   unsigned DegradedTimeBudgetMs = 250;
 
+  /// Flight-recorder ring size (URSA_SERVICE_FLIGHT_SIZE, default 256;
+  /// 0 keeps only the summary-free minimum of 1).
+  unsigned FlightSize = 256;
+  /// Successful requests retaining full span timelines — the slowest N
+  /// (URSA_SERVICE_FLIGHT_SLOW, default 8).
+  unsigned FlightSlowN = 8;
+  /// Dump the flight recorder to this path on shutdown (URSA_FLIGHT_DUMP,
+  /// default "" = no dump).
+  std::string FlightDumpPath;
+
   static ServiceConfig fromEnv();
+};
+
+/// Decides the graceful-degradation tier from queue pressure: an
+/// exponentially-weighted moving average of queue occupancy, with
+/// hysteresis so a bursty queue does not flap the tier, plus the
+/// accounting that makes flapping *visible* — per-tier entry counters
+/// and the timestamp of the last transition. Not thread-safe on its own;
+/// the service drives it under its queue mutex (and the unit tests drive
+/// it directly).
+class DegradeGovernor {
+public:
+  /// EWMA crosses these going up to enter tiers 1..3...
+  static constexpr double UpThreshold[3] = {0.5, 0.7, 0.85};
+  /// ...and must fall this far below one to leave it again.
+  static constexpr double Hysteresis = 0.15;
+
+  explicit DegradeGovernor(bool EnabledIn) : Enabled(EnabledIn) {}
+
+  /// Folds one queue-occupancy observation (in [0,1]) into the EWMA and
+  /// moves the tier; returns the tier now in force. \p NowUs stamps a
+  /// transition when one happens (obs::monotonicNowUs in production).
+  unsigned update(double Occupancy, uint64_t NowUs);
+
+  unsigned tier() const { return Tier; }
+  double loadEwma() const { return Ewma; }
+  /// Tier changes since construction, in either direction.
+  uint64_t transitions() const { return Transitions; }
+  /// Times tier \p T (0..3) became the active tier.
+  uint64_t entries(unsigned T) const { return T < 4 ? TierEntries[T] : 0; }
+  /// NowUs of the most recent transition; 0 = the tier never moved.
+  uint64_t lastChangeUs() const { return LastChangeUs; }
+
+private:
+  bool Enabled;
+  double Ewma = 0;
+  unsigned Tier = 0;
+  uint64_t Transitions = 0;
+  uint64_t TierEntries[4] = {0, 0, 0, 0};
+  uint64_t LastChangeUs = 0;
 };
 
 /// A monotonic snapshot of the service counters, also serialized into the
@@ -138,6 +188,8 @@ struct ServiceCounters {
   uint64_t DegradeTier = 0;        ///< active degradation tier (0..3)
   uint64_t DegradeTransitions = 0; ///< tier changes since start
   double LoadEwma = 0;             ///< smoothed queue occupancy [0,1]
+  uint64_t TierEntries[4] = {0, 0, 0, 0}; ///< times each tier went active
+  uint64_t LastTierChangeUs = 0; ///< obs::monotonicNowUs; 0 = never moved
 };
 
 class CompileService {
@@ -168,8 +220,21 @@ public:
   /// The ursa.service_report.v1 document (see docs/SERVICE.md).
   std::string reportJSON() const;
 
+  /// The ursa.service_stats.v1 document: uptime, queue, degradation
+  /// state, every non-zero counter, latency histograms, and (with
+  /// \p IncludeFlight) the flight-recorder ring.
+  std::string statsJSON(bool IncludeFlight = false) const;
+
+  /// The same data in Prometheus text exposition format (counters as
+  /// untyped samples, histograms as cumulative `le` buckets).
+  std::string statsPrometheus() const;
+
+  /// The ursa.service_health.v1 document — cheap enough for a probe loop.
+  std::string healthJSON() const;
+
   ServiceCounters counters() const;
   const ServiceConfig &config() const { return Config; }
+  const FlightRecorder &flight() const { return Flight; }
 
   /// Parse limits matching the configured request size cap.
   obs::JsonParseLimits parseLimits() const {
@@ -183,10 +248,13 @@ private:
     ServiceRequest R;
     ResponseFn Done;
     std::chrono::steady_clock::time_point Enqueued;
+    uint64_t EnqueuedUs = 0; ///< obs::monotonicNowUs at admission
   };
 
   void workerLoop();
-  ServiceResponse compileOne(const ServiceRequest &R, double QueueMs);
+  ServiceResponse compileOne(const ServiceRequest &R, double QueueMs,
+                             RequestRecord &Rec);
+  void recordShed(const ServiceRequest &R, const std::string &Why);
   MeasurementCache *cacheFor(const MachineSpec &Spec);
   const MachineModel &modelFor(const MachineSpec &Spec);
   const MachineModel &modelForLocked(const MachineSpec &Spec);
@@ -208,8 +276,12 @@ private:
   bool Stopping = false; ///< no new admissions
   bool Quit = false;     ///< workers exit once the queue is empty
   ServiceCounters C;
-  double LoadEwma = 0;                 ///< smoothed occupancy, under Mu
+  DegradeGovernor Governor;             ///< under Mu
   std::atomic<unsigned> DegradeTier{0}; ///< written under Mu, read lock-free
+
+  FlightRecorder Flight;
+  uint64_t StartUs;                  ///< obs::monotonicNowUs at construction
+  std::atomic<bool> FlightDumped{false}; ///< URSA_FLIGHT_DUMP written once
 
   /// Server-scope allocator state, all keyed by MachineSpec::key().
   mutable std::mutex TablesMu;

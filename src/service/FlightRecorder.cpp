@@ -1,0 +1,128 @@
+//===- service/FlightRecorder.cpp - Slow-request flight recorder ----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/FlightRecorder.h"
+
+#include <algorithm>
+
+using namespace ursa;
+using namespace ursa::service;
+
+void FlightRecorder::record(RequestRecord R) {
+  std::lock_guard<std::mutex> L(Mu);
+  R.Seq = NextSeq++;
+
+  // Retention: failures always keep their timeline; successes compete
+  // for the SlowN slots — if this one displaces a faster retained
+  // success, the displaced record keeps its summary but loses its spans.
+  if (R.Status == "ok" && !R.Spans.empty()) {
+    RequestRecord *Fastest = nullptr;
+    size_t Held = 0;
+    for (RequestRecord &Old : Ring) {
+      if (Old.Status != "ok" || Old.SpansTrimmed || Old.Spans.empty())
+        continue;
+      ++Held;
+      if (!Fastest || Old.TotalMs < Fastest->TotalMs)
+        Fastest = &Old;
+    }
+    if (Held >= SlowN) {
+      if (Fastest && Fastest->TotalMs < R.TotalMs) {
+        Fastest->Spans.clear();
+        Fastest->Spans.shrink_to_fit();
+        Fastest->SpansTrimmed = true;
+      } else {
+        R.Spans.clear();
+        R.SpansTrimmed = true;
+      }
+    }
+  }
+
+  Ring.push_back(std::move(R));
+  while (Ring.size() > Capacity)
+    Ring.pop_front();
+}
+
+std::vector<RequestRecord> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return {Ring.begin(), Ring.end()};
+}
+
+RequestRecord FlightRecorder::slowest() const {
+  std::lock_guard<std::mutex> L(Mu);
+  const RequestRecord *Best = nullptr;
+  for (const RequestRecord &R : Ring) {
+    if (R.SpansTrimmed || R.Spans.empty())
+      continue;
+    if (!Best || R.TotalMs > Best->TotalMs)
+      Best = &R;
+  }
+  return Best ? *Best : RequestRecord{};
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Ring.size();
+}
+
+void FlightRecorder::writeRecordLocked(obs::JsonWriter &W,
+                                       const RequestRecord &R) const {
+  W.beginObject();
+  W.kv("seq", R.Seq);
+  W.kv("id", R.Id);
+  W.kv("trace_id", R.TraceId);
+  W.kv("machine", R.Machine);
+  W.kv("status", R.Status);
+  if (!R.Error.empty())
+    W.kv("error", R.Error);
+  W.kv("enqueued_us", R.EnqueuedUs);
+  W.kv("queue_ms", R.QueueMs);
+  W.kv("parse_ms", R.ParseMs);
+  W.kv("compile_ms", R.CompileMs);
+  W.kv("total_ms", R.TotalMs);
+  W.kv("degrade_tier", uint64_t(R.DegradeTier));
+  W.kv("rounds", uint64_t(R.Rounds));
+  W.kv("cache_hits", R.CacheHits);
+  W.kv("cache_misses", R.CacheMisses);
+  W.kv("budget_exhausted", R.BudgetExhausted);
+  W.kv("spans_trimmed", R.SpansTrimmed);
+  if (R.SpansDropped)
+    W.kv("spans_dropped", R.SpansDropped);
+  if (!R.Spans.empty()) {
+    W.key("spans").beginArray();
+    for (const RequestRecord::StageSpan &S : R.Spans) {
+      W.beginObject();
+      W.kv("name", S.Name);
+      W.kv("cat", S.Cat);
+      W.kv("start_us", S.StartUs);
+      W.kv("dur_us", S.DurUs);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  W.endObject();
+}
+
+void FlightRecorder::writeJson(obs::JsonWriter &W, bool TimelinesOnly) const {
+  std::lock_guard<std::mutex> L(Mu);
+  W.beginObject();
+  W.kv("schema", "ursa.flight_record.v1");
+  W.kv("capacity", uint64_t(Capacity));
+  W.kv("slow_n", uint64_t(SlowN));
+  W.key("records").beginArray();
+  for (const RequestRecord &R : Ring) {
+    if (TimelinesOnly && (R.SpansTrimmed || R.Spans.empty()))
+      continue;
+    writeRecordLocked(W, R);
+  }
+  W.endArray();
+  W.endObject();
+}
+
+std::string FlightRecorder::dumpJson(bool TimelinesOnly) const {
+  obs::JsonWriter W;
+  writeJson(W, TimelinesOnly);
+  return W.str();
+}

@@ -1,0 +1,118 @@
+//===- service/FlightRecorder.h - Slow-request flight recorder --*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size ring of the most recent RequestRecords — what the server
+/// was doing, request by request — plus a retention policy for full span
+/// timelines: every failed/shed/deadline request keeps its timeline, and
+/// among successful ones only the slowest SlowN do (the ones worth
+/// reconstructing after the fact). Everything else keeps its summary row
+/// (ids, stage milliseconds, status) but drops the span vector, so the
+/// recorder's memory is bounded by Capacity summaries + a handful of
+/// timelines no matter how long the server runs.
+///
+/// The ring is dumpable as a `ursa.flight_record.v1` JSON document
+/// through the `stats` verb (docs/SERVICE.md) or, on shutdown, to the
+/// path named by URSA_FLIGHT_DUMP — so one slow compile can be
+/// reconstructed stage by stage after the process is gone.
+///
+/// Appends happen once per finished request (not on any hot path) and
+/// take one mutex; the compile itself never touches the recorder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SERVICE_FLIGHTRECORDER_H
+#define URSA_SERVICE_FLIGHTRECORDER_H
+
+#include "obs/Json.h"
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ursa::service {
+
+/// Everything the service learned about one request: identity, outcome,
+/// and the per-stage timing breakdown. TraceId is the client-stamped id
+/// every span and trace event of this request carries.
+struct RequestRecord {
+  uint64_t Seq = 0; ///< recorder-assigned, monotonically increasing
+  std::string Id;
+  std::string TraceId;
+  std::string Machine; ///< MachineSpec::key()
+  std::string Status;  ///< ok | error | shed | deadline
+  std::string Error;
+
+  uint64_t EnqueuedUs = 0; ///< obs::monotonicNowUs at admission
+  double QueueMs = 0;
+  double ParseMs = 0;
+  double CompileMs = 0; ///< parse + measure + rounds + assignment + emit
+  double TotalMs = 0;   ///< queue + compile
+
+  unsigned DegradeTier = 0; ///< tier in force when the compile dispatched
+  unsigned Rounds = 0;
+  uint64_t CacheHits = 0;   ///< measurement-cache hits during this request
+  uint64_t CacheMisses = 0; ///< full-state builds during this request
+  bool BudgetExhausted = false;
+
+  /// The span timeline collected on the request's worker thread
+  /// (obs::SpanCollector), start/duration in monotonic microseconds.
+  struct StageSpan {
+    std::string Name;
+    std::string Cat;
+    uint64_t StartUs = 0;
+    uint64_t DurUs = 0;
+  };
+  std::vector<StageSpan> Spans;
+  /// Spans beyond the collector's cap were counted, not stored.
+  uint64_t SpansDropped = 0;
+  /// True when the retention policy dropped this record's span vector
+  /// (it was neither failed nor among the slowest SlowN).
+  bool SpansTrimmed = false;
+};
+
+class FlightRecorder {
+public:
+  FlightRecorder(size_t CapacityIn, size_t SlowNIn)
+      : Capacity(CapacityIn ? CapacityIn : 1), SlowN(SlowNIn) {}
+
+  /// Appends one finished request, assigning its Seq and applying the
+  /// span-retention policy.
+  void record(RequestRecord R);
+
+  /// The ring, oldest first.
+  std::vector<RequestRecord> snapshot() const;
+
+  /// The slowest successful request currently retained with its full
+  /// timeline; Seq == 0 when none.
+  RequestRecord slowest() const;
+
+  size_t size() const;
+  size_t capacity() const { return Capacity; }
+
+  /// Serializes the ring as a `ursa.flight_record.v1` document.
+  /// \p TimelinesOnly keeps the dump small by skipping summary-only rows.
+  std::string dumpJson(bool TimelinesOnly = false) const;
+
+  /// Writes the ring (one record per "records" element) into \p W at
+  /// value position — the `stats` verb embeds it this way.
+  void writeJson(obs::JsonWriter &W, bool TimelinesOnly = false) const;
+
+private:
+  void writeRecordLocked(obs::JsonWriter &W, const RequestRecord &R) const;
+
+  mutable std::mutex Mu;
+  std::deque<RequestRecord> Ring;
+  size_t Capacity;
+  size_t SlowN;
+  uint64_t NextSeq = 1;
+};
+
+} // namespace ursa::service
+
+#endif // URSA_SERVICE_FLIGHTRECORDER_H

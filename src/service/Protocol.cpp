@@ -74,6 +74,8 @@ const char *service::statusName(ServiceResponse::StatusKind K) {
     return "report";
   case ServiceResponse::StatusKind::Bye:
     return "bye";
+  case ServiceResponse::StatusKind::Stats:
+    return "stats";
   }
   return "error";
 }
@@ -88,16 +90,31 @@ static const char *opName(ServiceRequest::OpKind Op) {
     return "shutdown";
   case ServiceRequest::OpKind::Ping:
     return "ping";
+  case ServiceRequest::OpKind::Stats:
+    return "stats";
+  case ServiceRequest::OpKind::Health:
+    return "health";
   }
   return "compile";
 }
 
-std::string service::writeRequest(const ServiceRequest &R) {
+std::string service::writeRequest(const ServiceRequest &R,
+                                  std::string_view TraceId) {
   JsonWriter W;
   W.beginObject();
   W.kv("schema", "ursa.service_request.v1");
   W.kv("op", opName(R.Op));
   W.kv("id", R.Id);
+  if (!TraceId.empty())
+    W.kv("trace_id", TraceId);
+  else if (!R.TraceId.empty())
+    W.kv("trace_id", R.TraceId);
+  if (R.Op == ServiceRequest::OpKind::Stats) {
+    if (R.StatsFormat != "json")
+      W.kv("format", R.StatsFormat);
+    if (R.IncludeFlight)
+      W.kv("flight", true);
+  }
   if (R.Op == ServiceRequest::OpKind::Compile) {
     W.kv("source", R.Source);
     W.key("machine").beginObject();
@@ -207,11 +224,28 @@ Status service::parseRequest(std::string_view Doc, ServiceRequest &Out,
     Out.Op = ServiceRequest::OpKind::Shutdown;
   else if (Op == "ping")
     Out.Op = ServiceRequest::OpKind::Ping;
+  else if (Op == "stats")
+    Out.Op = ServiceRequest::OpKind::Stats;
+  else if (Op == "health")
+    Out.Op = ServiceRequest::OpKind::Health;
   else
     return Status::error("service", "unknown op '" + Op + "'");
 
   if (Status St = readString(Root, "id", Out.Id); !St.isOk())
     return St;
+  if (Status St = readString(Root, "trace_id", Out.TraceId); !St.isOk())
+    return St;
+  if (Out.Op == ServiceRequest::OpKind::Stats) {
+    Status St;
+    St.merge(readString(Root, "format", Out.StatsFormat));
+    St.merge(readBool(Root, "flight", Out.IncludeFlight));
+    if (!St.isOk())
+      return St;
+    if (Out.StatsFormat != "json" && Out.StatsFormat != "prometheus")
+      return Status::error("service",
+                           "unknown stats format '" + Out.StatsFormat + "'");
+    return Status::ok();
+  }
   if (Out.Op != ServiceRequest::OpKind::Compile)
     return Status::ok();
 
@@ -292,6 +326,8 @@ std::string service::writeResponse(const ServiceResponse &R) {
   W.beginObject();
   W.kv("schema", "ursa.service_response.v1");
   W.kv("id", R.Id);
+  if (!R.TraceId.empty())
+    W.kv("trace_id", R.TraceId);
   W.kv("status", statusName(R.Status));
   if (!R.Error.empty())
     W.kv("error", R.Error);
@@ -303,6 +339,10 @@ std::string service::writeResponse(const ServiceResponse &R) {
     W.kv("budget_exhausted", R.BudgetExhausted);
   } else if (R.Status == ServiceResponse::StatusKind::Report) {
     W.key("report").raw(R.Text); // a complete JSON document
+  } else if (R.Status == ServiceResponse::StatusKind::Stats) {
+    // Stats documents may be Prometheus text, so they travel as a JSON
+    // string either way.
+    W.kv("text", R.Text);
   }
   W.kv("queue_ms", R.QueueMs);
   W.kv("compile_ms", R.CompileMs);
@@ -320,6 +360,7 @@ Status service::parseResponse(std::string_view Doc, ServiceResponse &Out) {
   std::string StatusStr;
   Status St;
   St.merge(readString(Root, "id", Out.Id));
+  St.merge(readString(Root, "trace_id", Out.TraceId));
   St.merge(readString(Root, "status", StatusStr));
   St.merge(readString(Root, "error", Out.Error));
   St.merge(readString(Root, "text", Out.Text));
@@ -335,6 +376,8 @@ Status service::parseResponse(std::string_view Doc, ServiceResponse &Out) {
     Out.Status = ServiceResponse::StatusKind::Report;
   else if (StatusStr == "bye")
     Out.Status = ServiceResponse::StatusKind::Bye;
+  else if (StatusStr == "stats")
+    Out.Status = ServiceResponse::StatusKind::Stats;
   else
     Out.Status = ServiceResponse::StatusKind::Error;
   unsigned U = 0;

@@ -53,13 +53,29 @@ struct MachineSpec {
 
 /// One service request.
 struct ServiceRequest {
-  enum class OpKind { Compile, Report, Shutdown, Ping } Op = OpKind::Compile;
+  enum class OpKind {
+    Compile,
+    Report,
+    Shutdown,
+    Ping,
+    Stats, ///< live ursa.service_stats.v1 (or Prometheus exposition)
+    Health ///< cheap liveness/pressure probe (ursa.service_health.v1)
+  } Op = OpKind::Compile;
   /// Client-chosen id echoed in the response (responses may arrive out of
   /// order when requests are pipelined).
   std::string Id;
+  /// Request-scoped trace id, stamped by ServiceClient when the caller
+  /// left it empty and echoed in the response. The server propagates it
+  /// through queueing and the worker pool so every span and flight-
+  /// recorder record of this request carries it.
+  std::string TraceId;
   /// Trace source text (the `ursa_cc` straight-line dialect).
   std::string Source;
   MachineSpec Machine;
+
+  // Stats-op options.
+  std::string StatsFormat = "json"; ///< json | prometheus
+  bool IncludeFlight = false;       ///< embed the flight-recorder ring
 
   // Options, mapped onto URSAOptions by the service. 0 = service default.
   std::string Order = "regs"; ///< regs | fus | integrated
@@ -86,9 +102,12 @@ struct ServiceResponse {
     Shed,     ///< load-shed: queue full or server shutting down
     Deadline, ///< the request's deadline expired before compilation
     Report,   ///< Text holds a ursa.service_report.v1 document
-    Bye       ///< shutdown acknowledged
+    Bye,      ///< shutdown acknowledged
+    Stats     ///< Text holds a stats document (JSON or Prometheus text)
   } Status = StatusKind::Error;
   std::string Id;
+  /// Echo of the request's trace id (possibly client-stamped).
+  std::string TraceId;
   std::string Error;
   /// For Ok: exactly what `ursa_cc <file> --machine ...` would print
   /// (stats comment + VLIW assembly). For Report: the report JSON.
@@ -102,8 +121,11 @@ struct ServiceResponse {
   double CompileMs = 0; ///< time inside the compiler
 };
 
-/// Serializes \p R as a ursa.service_request.v1 document.
-std::string writeRequest(const ServiceRequest &R);
+/// Serializes \p R as a ursa.service_request.v1 document. A non-empty
+/// \p TraceId overrides R.TraceId on the wire (how the client stamps an
+/// id without copying the request).
+std::string writeRequest(const ServiceRequest &R,
+                         std::string_view TraceId = {});
 
 /// Parses an untrusted request document under \p Limits.
 Status parseRequest(std::string_view Doc, ServiceRequest &Out,

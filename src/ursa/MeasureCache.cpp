@@ -21,6 +21,17 @@ URSA_STAT(StatMeasureCacheMisses, "ursa.driver.measure_cache.misses",
 URSA_STAT(StatMeasureCacheEvictions, "ursa.driver.measure_cache.evictions",
           "measured states dropped from the fingerprint cache (LRU)");
 
+namespace {
+thread_local uint64_t TlsCacheHits = 0;
+thread_local uint64_t TlsCacheMisses = 0;
+} // namespace
+
+void MeasurementCache::takeThreadTally(uint64_t &Hits, uint64_t &Misses) {
+  Hits = TlsCacheHits;
+  Misses = TlsCacheMisses;
+  TlsCacheHits = TlsCacheMisses = 0;
+}
+
 MeasuredState::MeasuredState(const DependenceDAG &D, const MachineModel &M,
                              const MeasureOptions &MO)
     : MeasuredState(D, M, MO, std::make_unique<DAGAnalysis>(D)) {}
@@ -48,6 +59,7 @@ MeasurementCache::lookup(uint64_t Fp) {
   for (unsigned I = 0; I != Entries.size(); ++I) {
     if (Entries[I].first == Fp) {
       StatMeasureCacheHits.add();
+      ++TlsCacheHits;
       auto E = Entries[I];
       Entries.erase(Entries.begin() + I);
       Entries.insert(Entries.begin(), E);
@@ -55,14 +67,17 @@ MeasurementCache::lookup(uint64_t Fp) {
     }
   }
   StatMeasureCacheMisses.add();
+  ++TlsCacheMisses;
   return nullptr;
 }
 
 std::shared_ptr<const MeasuredState>
 MeasurementCache::get(const DependenceDAG &D, const MachineModel &M,
                       const MeasureOptions &MO) {
-  if (!Enabled)
+  if (!Enabled) {
+    ++TlsCacheMisses; // every disabled get is a full build
     return std::make_shared<MeasuredState>(D, M, MO);
+  }
   uint64_t Fp = dagFingerprint(D);
   if (std::shared_ptr<const MeasuredState> Hit = lookup(Fp))
     return Hit;

@@ -90,6 +90,14 @@ public:
   using BuildObserver = std::function<void(uint64_t, const DependenceDAG &)>;
   void setBuildObserver(BuildObserver O) { OnBuild = std::move(O); }
 
+  /// Drains the calling thread's hit/miss tally (counted across every
+  /// cache instance the thread probed since the last take). The compile
+  /// service drains this around each request to attribute cache traffic
+  /// to it — exact when the request compiles single-threaded, which is
+  /// the service default; parallel proposal evaluation probes from pool
+  /// threads and lands in their tallies instead.
+  static void takeThreadTally(uint64_t &Hits, uint64_t &Misses);
+
 private:
   std::shared_ptr<const MeasuredState> lookup(uint64_t Fp);
 

@@ -1,0 +1,177 @@
+//===- tests/flightrecorder_test.cpp - FlightRecorder unit tests ----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/FlightRecorder.h"
+
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace ursa;
+using namespace ursa::service;
+
+namespace {
+
+RequestRecord makeRecord(const std::string &Id, const std::string &Status,
+                         double TotalMs, bool WithSpans = true) {
+  RequestRecord R;
+  R.Id = Id;
+  R.TraceId = "t-" + Id;
+  R.Machine = "4x8";
+  R.Status = Status;
+  R.QueueMs = 0.1;
+  R.CompileMs = TotalMs - 0.1;
+  R.TotalMs = TotalMs;
+  if (WithSpans) {
+    R.Spans.push_back({"service.parse", "service", 10, 100});
+    R.Spans.push_back({"ursa.measure", "ursa", 120, 400});
+  }
+  return R;
+}
+
+size_t timelineCount(const FlightRecorder &F) {
+  size_t N = 0;
+  for (const RequestRecord &R : F.snapshot())
+    if (!R.SpansTrimmed && !R.Spans.empty())
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(FlightRecorderTest, RingIsBoundedAndSeqMonotonic) {
+  FlightRecorder F(4, 2);
+  for (int I = 0; I != 10; ++I) {
+    std::string Id = "r";
+    Id += std::to_string(I);
+    F.record(makeRecord(Id, "ok", 1.0 + I));
+  }
+  EXPECT_EQ(F.size(), 4u);
+  EXPECT_EQ(F.capacity(), 4u);
+  std::vector<RequestRecord> Snap = F.snapshot();
+  ASSERT_EQ(Snap.size(), 4u);
+  // Oldest first, and Seq keeps counting across evictions.
+  EXPECT_EQ(Snap.front().Id, "r6");
+  EXPECT_EQ(Snap.back().Id, "r9");
+  for (size_t I = 1; I != Snap.size(); ++I)
+    EXPECT_EQ(Snap[I].Seq, Snap[I - 1].Seq + 1);
+  EXPECT_EQ(Snap.back().Seq, 10u);
+}
+
+TEST(FlightRecorderTest, SlowNRetentionTrimsTheFastest) {
+  FlightRecorder F(32, 2);
+  F.record(makeRecord("fast", "ok", 1.0));
+  F.record(makeRecord("medium", "ok", 5.0));
+  // Both slots taken; a slower request displaces the fastest holder.
+  F.record(makeRecord("slow", "ok", 9.0));
+  std::vector<RequestRecord> Snap = F.snapshot();
+  ASSERT_EQ(Snap.size(), 3u);
+  EXPECT_TRUE(Snap[0].SpansTrimmed);
+  EXPECT_TRUE(Snap[0].Spans.empty());
+  EXPECT_FALSE(Snap[1].SpansTrimmed);
+  EXPECT_FALSE(Snap[2].SpansTrimmed);
+  // The summary row survives the trim.
+  EXPECT_EQ(Snap[0].Id, "fast");
+  EXPECT_DOUBLE_EQ(Snap[0].TotalMs, 1.0);
+
+  // A request faster than every holder loses its own spans instead.
+  F.record(makeRecord("faster", "ok", 0.5));
+  Snap = F.snapshot();
+  ASSERT_EQ(Snap.size(), 4u);
+  EXPECT_TRUE(Snap[3].SpansTrimmed);
+  EXPECT_EQ(timelineCount(F), 2u);
+}
+
+TEST(FlightRecorderTest, FailuresAlwaysKeepTimelines) {
+  FlightRecorder F(32, 1);
+  F.record(makeRecord("ok1", "ok", 50.0));
+  for (const char *Status : {"error", "deadline", "shed"})
+    F.record(makeRecord(Status, Status, 0.1));
+  // One ok holder plus all three failures keep their spans, regardless
+  // of SlowN and of how fast the failures were.
+  EXPECT_EQ(timelineCount(F), 4u);
+  for (const RequestRecord &R : F.snapshot())
+    EXPECT_FALSE(R.SpansTrimmed) << R.Id;
+}
+
+TEST(FlightRecorderTest, SlowestReturnsTheSlowestRetained) {
+  FlightRecorder F(32, 4);
+  EXPECT_EQ(F.slowest().Seq, 0u); // empty: sentinel record
+  F.record(makeRecord("a", "ok", 2.0));
+  F.record(makeRecord("b", "ok", 7.0));
+  F.record(makeRecord("c", "ok", 4.0));
+  RequestRecord S = F.slowest();
+  EXPECT_EQ(S.Id, "b");
+  EXPECT_DOUBLE_EQ(S.TotalMs, 7.0);
+  ASSERT_EQ(S.Spans.size(), 2u);
+  EXPECT_EQ(S.Spans[0].Name, "service.parse");
+}
+
+TEST(FlightRecorderTest, DumpJsonRoundTrips) {
+  FlightRecorder F(8, 1);
+  RequestRecord R = makeRecord("req-1", "ok", 3.5);
+  R.Rounds = 4;
+  R.CacheHits = 10;
+  R.CacheMisses = 2;
+  F.record(std::move(R));
+  F.record(makeRecord("req-2", "error", 0.2));
+
+  obs::JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(F.dumpJson(), Doc, Err)) << Err;
+  const obs::JsonValue *Schema = Doc.find("schema");
+  ASSERT_TRUE(Schema && Schema->isString());
+  EXPECT_EQ(Schema->Str, "ursa.flight_record.v1");
+  const obs::JsonValue *Recs = Doc.find("records");
+  ASSERT_TRUE(Recs && Recs->isArray());
+  ASSERT_EQ(Recs->Arr.size(), 2u);
+
+  const obs::JsonValue &First = Recs->Arr[0];
+  EXPECT_EQ(First.find("id")->Str, "req-1");
+  EXPECT_EQ(First.find("trace_id")->Str, "t-req-1");
+  EXPECT_EQ(First.find("status")->Str, "ok");
+  EXPECT_DOUBLE_EQ(First.find("total_ms")->Num, 3.5);
+  EXPECT_EQ(uint64_t(First.find("rounds")->Num), 4u);
+  EXPECT_EQ(uint64_t(First.find("cache_hits")->Num), 10u);
+  const obs::JsonValue *Spans = First.find("spans");
+  ASSERT_TRUE(Spans && Spans->isArray());
+  ASSERT_EQ(Spans->Arr.size(), 2u);
+  EXPECT_EQ(Spans->Arr[1].find("name")->Str, "ursa.measure");
+  EXPECT_EQ(uint64_t(Spans->Arr[1].find("dur_us")->Num), 400u);
+
+  const obs::JsonValue &Second = Recs->Arr[1];
+  EXPECT_EQ(Second.find("status")->Str, "error");
+  ASSERT_TRUE(Second.find("spans"));
+}
+
+TEST(FlightRecorderTest, TimelinesOnlySkipsSummaryRows) {
+  FlightRecorder F(8, 1);
+  F.record(makeRecord("keep", "ok", 9.0));
+  F.record(makeRecord("trimmed", "ok", 1.0)); // loses its spans to SlowN=1
+  F.record(makeRecord("no-spans", "ok", 2.0, /*WithSpans=*/false));
+
+  obs::JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(F.dumpJson(/*TimelinesOnly=*/true), Doc, Err))
+      << Err;
+  const obs::JsonValue *Recs = Doc.find("records");
+  ASSERT_TRUE(Recs && Recs->isArray());
+  ASSERT_EQ(Recs->Arr.size(), 1u);
+  EXPECT_EQ(Recs->Arr[0].find("id")->Str, "keep");
+
+  // The full dump still carries every summary row.
+  ASSERT_TRUE(obs::parseJson(F.dumpJson(), Doc, Err)) << Err;
+  EXPECT_EQ(Doc.find("records")->Arr.size(), 3u);
+}
+
+TEST(FlightRecorderTest, ZeroCapacityClampsToOne) {
+  FlightRecorder F(0, 0);
+  EXPECT_EQ(F.capacity(), 1u);
+  F.record(makeRecord("a", "ok", 1.0));
+  F.record(makeRecord("b", "ok", 2.0));
+  EXPECT_EQ(F.size(), 1u);
+  EXPECT_EQ(F.snapshot().front().Id, "b");
+}

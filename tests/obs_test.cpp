@@ -133,6 +133,48 @@ TEST(Json, WriterEscapingRoundTrips) {
   EXPECT_EQ(A->Arr[3].K, obs::JsonValue::Kind::Null);
 }
 
+TEST(Json, EveryControlCharRoundTrips) {
+  // Request ids and trace ids are caller-chosen strings that go over the
+  // wire inside JSON; every control byte must survive write -> parse.
+  std::string All;
+  for (char C = 1; C != 0x20; ++C)
+    All += C;
+  obs::JsonWriter W;
+  W.beginObject().kv("id", All).endObject();
+  // Control chars must be escaped on the wire, never emitted raw.
+  for (char C : W.str())
+    EXPECT_GE(static_cast<unsigned char>(C), 0x20u);
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(W.str(), V, Err)) << Err;
+  EXPECT_EQ(V.find("id")->Str, All);
+}
+
+TEST(Json, NonAsciiPassesThroughUnharmed) {
+  // UTF-8 multi-byte sequences are not escaped and not mangled.
+  const std::string Utf8 = "tracé-идент-標識-🛰";
+  obs::JsonWriter W;
+  W.beginObject().kv("trace_id", Utf8).endObject();
+  EXPECT_NE(W.str().find(Utf8), std::string::npos);
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(W.str(), V, Err)) << Err;
+  EXPECT_EQ(V.find("trace_id")->Str, Utf8);
+}
+
+TEST(Json, ReusedValueDoesNotAccumulate) {
+  // Parsing into a JsonValue that already holds a document must replace
+  // it, not append to it (objects keep first-match find semantics).
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson("{\"a\": [1, 2, 3], \"b\": 1}", V, Err));
+  ASSERT_TRUE(obs::parseJson("{\"a\": [7]}", V, Err));
+  ASSERT_EQ(V.Obj.size(), 1u);
+  ASSERT_EQ(V.find("a")->Arr.size(), 1u);
+  EXPECT_EQ(V.find("a")->Arr[0].Num, 7);
+  EXPECT_EQ(V.find("b"), nullptr);
+}
+
 TEST(Json, RawEmbedsVerbatim) {
   obs::JsonWriter Inner;
   Inner.beginObject().kv("x", 1).endObject();

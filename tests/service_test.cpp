@@ -15,7 +15,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
+#include "obs/Histogram.h"
 #include "obs/Json.h"
+#include "obs/Stats.h"
 #include "service/Client.h"
 #include "service/CompileService.h"
 #include "service/Server.h"
@@ -26,6 +28,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -238,6 +241,40 @@ TEST(ServiceProtocol, MalformedRequestsAreCleanErrors) {
 //===----------------------------------------------------------------------===//
 // In-process service lifecycle
 //===----------------------------------------------------------------------===//
+
+TEST(ServiceProtocol, NastyIdsRoundTripTheWireFormat) {
+  // Caller-chosen ids and trace ids with control characters and
+  // non-ASCII UTF-8 must survive writeRequest -> parseRequest and
+  // writeResponse -> parseResponse unchanged.
+  std::string Nasty = "id \"q\"\\\n\t";
+  Nasty += '\x01';
+  Nasty += '\x02';
+  Nasty += "üñí-標識";
+
+  ServiceRequest R = compileRequest(Nasty, "trace t\n");
+  R.TraceId = Nasty + "-trace";
+  ServiceRequest R2;
+  ASSERT_TRUE(parseRequest(writeRequest(R), R2).isOk());
+  EXPECT_EQ(R2.Id, Nasty);
+  EXPECT_EQ(R2.TraceId, Nasty + "-trace");
+
+  // The client-stamp override writes the given id without touching R.
+  ServiceRequest R3;
+  ASSERT_TRUE(parseRequest(writeRequest(R, Nasty + "-stamped"), R3).isOk());
+  EXPECT_EQ(R3.TraceId, Nasty + "-stamped");
+  EXPECT_EQ(R.TraceId, Nasty + "-trace");
+
+  ServiceResponse Resp;
+  Resp.Status = ServiceResponse::StatusKind::Ok;
+  Resp.Id = Nasty;
+  Resp.TraceId = Nasty;
+  Resp.Text = "text\x1f with control";
+  ServiceResponse Resp2;
+  ASSERT_TRUE(parseResponse(writeResponse(Resp), Resp2).isOk());
+  EXPECT_EQ(Resp2.Id, Nasty);
+  EXPECT_EQ(Resp2.TraceId, Nasty);
+  EXPECT_EQ(Resp2.Text, Resp.Text);
+}
 
 TEST(CompileServiceTest, CompilesAndMatchesDirectPath) {
   ServiceConfig Cfg;
@@ -497,6 +534,205 @@ TEST(CompileServiceTest, ReportCountsAndCaches) {
 }
 
 //===----------------------------------------------------------------------===//
+// Degradation governor
+//===----------------------------------------------------------------------===//
+
+TEST(DegradeGovernorTest, TiersEnterOnThresholdsWithHysteresis) {
+  DegradeGovernor G(/*Enabled=*/true);
+  EXPECT_EQ(G.tier(), 0u);
+  EXPECT_EQ(G.lastChangeUs(), 0u);
+
+  // Saturate the EWMA at full occupancy: walks up through every tier.
+  uint64_t Now = 1000;
+  for (unsigned I = 0; I != 50; ++I)
+    G.update(1.0, Now += 1000);
+  EXPECT_EQ(G.tier(), 3u);
+  EXPECT_GE(G.loadEwma(), DegradeGovernor::UpThreshold[2]);
+  EXPECT_EQ(G.entries(1), 1u);
+  EXPECT_EQ(G.entries(2), 1u);
+  EXPECT_EQ(G.entries(3), 1u);
+  EXPECT_EQ(G.transitions(), 3u);
+  uint64_t ChangedAt = G.lastChangeUs();
+  EXPECT_GT(ChangedAt, 0u);
+
+  // Hovering just below the tier-3 threshold must NOT leave tier 3:
+  // the EWMA has to fall a full Hysteresis below it first.
+  double JustBelow = DegradeGovernor::UpThreshold[2] - 0.01;
+  for (unsigned I = 0; I != 50; ++I)
+    G.update(JustBelow, Now += 1000);
+  EXPECT_EQ(G.tier(), 3u) << "flapped without hysteresis";
+  EXPECT_EQ(G.transitions(), 3u);
+  EXPECT_EQ(G.lastChangeUs(), ChangedAt);
+
+  // Draining the queue walks back down and re-stamps the transition.
+  for (unsigned I = 0; I != 200; ++I)
+    G.update(0.0, Now += 1000);
+  EXPECT_EQ(G.tier(), 0u);
+  EXPECT_EQ(G.entries(0), 1u);
+  EXPECT_GT(G.transitions(), 3u);
+  EXPECT_GT(G.lastChangeUs(), ChangedAt);
+
+  // Re-entering tier 1 counts another entry (the walk back down above
+  // already passed through it once, so this is the third).
+  for (unsigned I = 0; I != 50; ++I)
+    G.update(0.6, Now += 1000);
+  EXPECT_EQ(G.tier(), 1u);
+  EXPECT_EQ(G.entries(1), 3u);
+}
+
+TEST(DegradeGovernorTest, DisabledGovernorNeverMoves) {
+  DegradeGovernor G(/*Enabled=*/false);
+  for (unsigned I = 0; I != 100; ++I)
+    G.update(1.0, 1000 * (I + 1));
+  EXPECT_EQ(G.tier(), 0u);
+  EXPECT_EQ(G.transitions(), 0u);
+  EXPECT_EQ(G.lastChangeUs(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats, health, tracing, flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST(CompileServiceTest, StatsDocumentCountsEveryRequest) {
+  obs::resetHistograms(); // e2e count below must equal this test's compiles
+  ServiceConfig Cfg;
+  Cfg.Workers = 2;
+  CompileService Svc(Cfg);
+  Collector Col;
+  const unsigned N = 5;
+  for (unsigned I = 0; I != N; ++I)
+    Svc.handle(compileRequest(std::to_string(I), genSource(1 + (I % 2))),
+               Col.sink());
+  Col.waitFor(N);
+
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(Svc.statsJSON(), V, Err)) << Err;
+  EXPECT_EQ(V.find("schema")->Str, "ursa.service_stats.v1");
+  EXPECT_GT(V.find("now_us")->Num, 0);
+  EXPECT_EQ(V.find("workers")->Num, 2);
+  const obs::JsonValue *Req = V.find("requests");
+  ASSERT_NE(Req, nullptr);
+  EXPECT_EQ(Req->find("received")->Num, N);
+  EXPECT_EQ(Req->find("completed")->Num, N);
+  const obs::JsonValue *Queue = V.find("queue");
+  ASSERT_NE(Queue, nullptr);
+  EXPECT_EQ(Queue->find("depth")->Num, 0);
+  const obs::JsonValue *Deg = V.find("degradation");
+  ASSERT_NE(Deg, nullptr);
+  EXPECT_EQ(Deg->find("tier")->Num, 0);
+  ASSERT_TRUE(Deg->find("tier_entries")->isArray());
+  EXPECT_EQ(Deg->find("tier_entries")->Arr.size(), 4u);
+
+  // The e2e latency histogram saw exactly this test's compiles.
+  const obs::JsonValue *Hs = V.find("histograms");
+  ASSERT_TRUE(Hs && Hs->isArray());
+  bool FoundE2E = false;
+  for (const obs::JsonValue &H : Hs->Arr)
+    if (H.find("name")->Str == "ursa.service.e2e_us") {
+      FoundE2E = true;
+      EXPECT_EQ(uint64_t(H.find("count")->Num), N);
+      EXPECT_GT(H.find("p50_us")->Num, 0);
+      EXPECT_GE(H.find("p99_us")->Num, H.find("p50_us")->Num);
+    }
+  EXPECT_TRUE(FoundE2E);
+
+  // No flight ring unless asked for; with it, every record has a trace
+  // id and the slowest-retained ones carry reconstructable timelines.
+  EXPECT_EQ(V.find("flight"), nullptr);
+  ASSERT_TRUE(obs::parseJson(Svc.statsJSON(/*IncludeFlight=*/true), V, Err))
+      << Err;
+  const obs::JsonValue *Flight = V.find("flight");
+  ASSERT_NE(Flight, nullptr);
+  const obs::JsonValue *Recs = Flight->find("records");
+  ASSERT_TRUE(Recs && Recs->isArray());
+  ASSERT_EQ(Recs->Arr.size(), N);
+  unsigned Timelines = 0;
+  for (const obs::JsonValue &R : Recs->Arr) {
+    EXPECT_FALSE(R.find("trace_id")->Str.empty());
+    EXPECT_EQ(R.find("status")->Str, "ok");
+    if (const obs::JsonValue *Sp = R.find("spans"); Sp && !Sp->Arr.empty())
+      ++Timelines;
+  }
+  EXPECT_GT(Timelines, 0u) << "no request kept a span timeline";
+}
+
+TEST(CompileServiceTest, FlightRecordSharesTheRequestTraceId) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  CompileService Svc(Cfg);
+  Collector Col;
+  ServiceRequest R = compileRequest("traced", genSource(3));
+  R.TraceId = "t-unit-00000001";
+  Svc.handle(R, Col.sink());
+  auto Got = Col.waitFor(1);
+  ASSERT_EQ(Got.size(), 1u);
+  EXPECT_EQ(Got[0].TraceId, "t-unit-00000001") << "trace id not echoed";
+
+  RequestRecord Slowest = Svc.flight().slowest();
+  ASSERT_NE(Slowest.Seq, 0u);
+  EXPECT_EQ(Slowest.TraceId, "t-unit-00000001");
+  EXPECT_EQ(Slowest.Id, "traced");
+  // The timeline reconstructs the pipeline stages under that trace id.
+  ASSERT_FALSE(Slowest.Spans.empty());
+  bool SawParse = false, SawMeasure = false;
+  for (const RequestRecord::StageSpan &S : Slowest.Spans) {
+    SawParse |= S.Name == "service.parse";
+    SawMeasure |= S.Name.rfind("ursa.measure", 0) == 0;
+  }
+  EXPECT_TRUE(SawParse);
+  EXPECT_TRUE(SawMeasure);
+  EXPECT_GT(Slowest.TotalMs, 0.0);
+}
+
+TEST(CompileServiceTest, HealthReflectsPressure) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  CompileService Svc(Cfg);
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(Svc.healthJSON(), V, Err)) << Err;
+  EXPECT_EQ(V.find("schema")->Str, "ursa.service_health.v1");
+  EXPECT_EQ(V.find("status")->Str, "ok");
+  ASSERT_NE(V.find("queue_depth"), nullptr);
+  ASSERT_NE(V.find("uptime_s"), nullptr);
+}
+
+TEST(CompileServiceTest, PrometheusExpositionIsWellFormed) {
+  obs::resetHistograms(); // exact bucket counts asserted below
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  CompileService Svc(Cfg);
+  Collector Col;
+  Svc.handle(compileRequest("p", genSource(4)), Col.sink());
+  Col.waitFor(1);
+
+  std::string Text = Svc.statsPrometheus();
+  // Untyped counters and gauges with sanitized names...
+  EXPECT_NE(Text.find("ursa_service_requests_received"), std::string::npos);
+  EXPECT_NE(Text.find("ursa_service_queue_depth"), std::string::npos);
+  // ...and histograms in cumulative-bucket form ending at +Inf.
+  EXPECT_NE(Text.find("ursa_service_e2e_us_bucket{le=\""), std::string::npos);
+  EXPECT_NE(Text.find("ursa_service_e2e_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("ursa_service_e2e_us_sum"), std::string::npos);
+  EXPECT_NE(Text.find("ursa_service_e2e_us_count 1"), std::string::npos);
+  // Exposition format: every line is "name[{labels}] value" or a comment.
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    ASSERT_NE(Eol, std::string::npos) << "unterminated final line";
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(Line[0]))) << Line;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Socket server, end to end
 //===----------------------------------------------------------------------===//
 
@@ -640,6 +876,102 @@ TEST(ServiceServer, MalformedFrameGetsErrorResponse) {
     ASSERT_FALSE(Closed);
     ASSERT_TRUE(parseResponse(Frame, R).isOk());
     EXPECT_EQ(R.Status, ServiceResponse::StatusKind::Ok);
+  }
+
+  Srv.requestStop();
+  Runner.join();
+}
+
+TEST(ServiceServer, StatsAndHealthVerbsOverTheWire) {
+  obs::resetHistograms();
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  std::string Path = testSocketPath("statsverb");
+  Server Srv(Path, Cfg);
+  ASSERT_TRUE(Srv.start().isOk());
+  std::thread Runner([&] { Srv.run(); });
+
+  {
+    StatusOr<ServiceClient> COr = ServiceClient::connect(Path);
+    ASSERT_TRUE(COr.isOk()) << COr.status().str();
+    ServiceClient &Client = *COr;
+
+    // A compile whose trace id the client stamps for us.
+    ServiceResponse CompResp;
+    ASSERT_TRUE(Client.call(compileRequest("c1", genSource(5)), CompResp)
+                    .isOk());
+    ASSERT_EQ(CompResp.Status, ServiceResponse::StatusKind::Ok)
+        << CompResp.Error;
+    EXPECT_FALSE(CompResp.TraceId.empty())
+        << "client did not stamp a trace id";
+    EXPECT_EQ(CompResp.TraceId.rfind("t-", 0), 0u) << CompResp.TraceId;
+
+    // stats (json) with the flight ring: the compile's record is there,
+    // under the client-stamped trace id, with its stage timeline.
+    ServiceRequest SReq;
+    SReq.Op = ServiceRequest::OpKind::Stats;
+    SReq.Id = "s1";
+    SReq.IncludeFlight = true;
+    ServiceResponse SResp;
+    ASSERT_TRUE(Client.call(SReq, SResp).isOk());
+    ASSERT_EQ(SResp.Status, ServiceResponse::StatusKind::Stats);
+    obs::JsonValue V;
+    std::string Err;
+    ASSERT_TRUE(obs::parseJson(SResp.Text, V, Err)) << Err;
+    EXPECT_EQ(V.find("schema")->Str, "ursa.service_stats.v1");
+    EXPECT_EQ(V.find("requests")->find("completed")->Num, 1);
+    const obs::JsonValue *Recs = V.find("flight")->find("records");
+    ASSERT_TRUE(Recs && Recs->isArray());
+    ASSERT_EQ(Recs->Arr.size(), 1u);
+    EXPECT_EQ(Recs->Arr[0].find("trace_id")->Str, CompResp.TraceId);
+    const obs::JsonValue *Spans = Recs->Arr[0].find("spans");
+    ASSERT_TRUE(Spans && Spans->isArray() && !Spans->Arr.empty())
+        << "slowest request lost its timeline";
+
+    // stats (prometheus).
+    SReq.Id = "s2";
+    SReq.StatsFormat = "prometheus";
+    SReq.IncludeFlight = false;
+    ASSERT_TRUE(Client.call(SReq, SResp).isOk());
+    ASSERT_EQ(SResp.Status, ServiceResponse::StatusKind::Stats);
+    EXPECT_NE(SResp.Text.find("ursa_service_e2e_us_count 1"),
+              std::string::npos);
+
+    // health.
+    ServiceRequest HReq;
+    HReq.Op = ServiceRequest::OpKind::Health;
+    HReq.Id = "h1";
+    ServiceResponse HResp;
+    ASSERT_TRUE(Client.call(HReq, HResp).isOk());
+    ASSERT_EQ(HResp.Status, ServiceResponse::StatusKind::Stats);
+    ASSERT_TRUE(obs::parseJson(HResp.Text, V, Err)) << Err;
+    EXPECT_EQ(V.find("schema")->Str, "ursa.service_health.v1");
+    EXPECT_EQ(V.find("status")->Str, "ok");
+  }
+
+  Srv.requestStop();
+  Runner.join();
+}
+
+TEST(ServiceServer, ExplicitTraceIdSurvivesTheRoundTrip) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  std::string Path = testSocketPath("traceid");
+  Server Srv(Path, Cfg);
+  ASSERT_TRUE(Srv.start().isOk());
+  std::thread Runner([&] { Srv.run(); });
+
+  {
+    StatusOr<ServiceClient> COr = ServiceClient::connect(Path);
+    ASSERT_TRUE(COr.isOk());
+    // A caller-chosen id (with characters that need JSON escaping) is
+    // preserved verbatim, not replaced by a client-stamped one.
+    ServiceRequest R = compileRequest("c-esc", genSource(6));
+    R.TraceId = "trace \"quoted\"\n\tüñí";
+    ServiceResponse Resp;
+    ASSERT_TRUE(COr->call(R, Resp).isOk());
+    ASSERT_EQ(Resp.Status, ServiceResponse::StatusKind::Ok) << Resp.Error;
+    EXPECT_EQ(Resp.TraceId, R.TraceId);
   }
 
   Srv.requestStop();
