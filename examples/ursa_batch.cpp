@@ -18,6 +18,8 @@
 //   --verify LEVEL        off | basic | full
 //   --guaranteed-fit      force residual excess to fit
 //   --time-budget MS      per-compile wall-clock budget
+//   --beam K              driver beam width (1 = greedy; see ursa_cc)
+//   --portfolio           race phase orderings, keep the best allocation
 //   --deadline MS         per-request deadline (queue + compile)
 //   --window N            max requests in flight (default 16)
 //   --retries N           transport-failure budget: how many times the
@@ -131,6 +133,10 @@ int main(int Argc, char **Argv) {
       Proto.GuaranteedFit = true;
     } else if (A == "--time-budget" && (S = Next())) {
       Proto.TimeBudgetMs = unsigned(std::atoi(S));
+    } else if (A == "--beam" && (S = Next()) && std::atoi(S) > 0) {
+      Proto.Beam = unsigned(std::atoi(S));
+    } else if (A == "--portfolio") {
+      Proto.Portfolio = true;
     } else if (A == "--deadline" && (S = Next())) {
       Proto.DeadlineMs = unsigned(std::atoi(S));
     } else if (A == "--window" && (S = Next()) && std::atoi(S) > 0) {

@@ -31,6 +31,12 @@
 //   --threads N           worker threads for proposal evaluation in the
 //                         URSA driver (default: URSA_THREADS, else 1);
 //                         results are identical across thread counts
+//   --beam K              beam width for the driver's transformation
+//                         search (default: URSA_BEAM, else 1 = the greedy
+//                         keep-one loop, bit-for-bit); see
+//                         docs/PERFORMANCE.md
+//   --portfolio           race phase orderings + seeded tie-breaks and
+//                         keep the best allocation (URSA only)
 //   --incremental         score edge-only proposals through the delta
 //   --no-incremental      measurement engine / always rebuild in full
 //                         (default: URSA_INCREMENTAL, else on); results
@@ -115,6 +121,8 @@ struct Options {
   bool GuaranteedFit = false;
   unsigned TimeBudgetMs = 0;
   unsigned Threads = 0;   ///< 0 = URSA_THREADS default
+  unsigned Beam = 0;      ///< 0 = URSA_BEAM default (1 = greedy)
+  bool Portfolio = false;
   int Incremental = -1;   ///< -1 = URSA_INCREMENTAL default
   unsigned CacheSize = 0; ///< 0 = URSA_CACHE_SIZE default
   MemoryState Inputs;
@@ -231,6 +239,13 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       if (!S || std::atoi(S) < 1)
         return false;
       O.Threads = unsigned(std::atoi(S));
+    } else if (A == "--beam") {
+      const char *S = Next();
+      if (!S || std::atoi(S) < 1)
+        return false;
+      O.Beam = unsigned(std::atoi(S));
+    } else if (A == "--portfolio") {
+      O.Portfolio = true;
     } else if (A == "--incremental") {
       O.Incremental = 1;
     } else if (A == "--no-incremental") {
@@ -330,6 +345,8 @@ int main(int Argc, char **Argv) {
   UO.GuaranteedFit = O.GuaranteedFit;
   UO.TimeBudgetMs = O.TimeBudgetMs;
   UO.Threads = O.Threads;
+  UO.BeamWidth = O.Beam;
+  UO.Portfolio = O.Portfolio;
   if (O.Incremental >= 0)
     UO.IncrementalMeasure = O.Incremental != 0;
   if (O.CacheSize)

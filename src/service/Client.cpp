@@ -55,6 +55,39 @@ std::string ursa::service::makeTraceId() {
   return Buf;
 }
 
+/// Process-unique instance tags. Every connected client draws one, so
+/// clients built from identical policies (the common case — one RetryPolicy
+/// literal shared across a worker pool) still jitter independently.
+static uint64_t nextInstanceTag() {
+  static std::atomic<uint64_t> Counter{0};
+  return Counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t ursa::service::clientJitterKey(uint64_t InstanceTag,
+                                        std::string_view TraceId) {
+  // FNV-1a over the trace id, then mix in the instance tag. Either axis
+  // alone de-collides: two clients share no tag, two supervised calls on
+  // one client share no trace id.
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (char C : TraceId) {
+    H ^= uint64_t(static_cast<unsigned char>(C));
+    H *= 0x100000001b3ULL;
+  }
+  return H ^ (InstanceTag * 0x9e3779b97f4a7c15ULL);
+}
+
+unsigned ursa::service::supervisedBackoffMs(const RetryPolicy &Policy,
+                                            uint64_t JitterKey, unsigned Try) {
+  if (!Try)
+    return 0; // the initial attempt never sleeps
+  unsigned Cap = std::min(Policy.BackoffMaxMs,
+                          Policy.BackoffBaseMs << std::min(Try - 1, 31u));
+  if (!Cap)
+    return 0;
+  RNG G(Policy.Seed ^ JitterKey ^ (0x9e3779b97f4a7c15ULL * Try));
+  return Cap / 2 + unsigned(G.below(Cap / 2 + 1));
+}
+
 StatusOr<ServiceClient> ServiceClient::connect(const std::string &Endpoint) {
   ignoreSigpipe();
   StatusOr<Socket> S = Socket::connectEndpoint(Endpoint);
@@ -62,19 +95,20 @@ StatusOr<ServiceClient> ServiceClient::connect(const std::string &Endpoint) {
     return S.status();
   ServiceClient C(std::move(*S));
   C.Endpoint = Endpoint;
+  C.Tag = nextInstanceTag();
   return C;
 }
 
 StatusOr<ServiceClient> ServiceClient::connectWithRetry(
     const std::string &Endpoint, const RetryPolicy &Policy) {
   ignoreSigpipe();
-  RNG Rng(Policy.Seed);
+  // The client doesn't exist yet, so draw a tag up front just for the
+  // connect loop's jitter; connect() assigns the client its own.
+  const uint64_t JKey = clientJitterKey(nextInstanceTag(), Endpoint);
   Status Last = Status::ok();
   for (unsigned Attempt = 0; Attempt <= Policy.MaxRetries; ++Attempt) {
     if (Attempt) {
-      unsigned Cap = std::min(Policy.BackoffMaxMs,
-                              Policy.BackoffBaseMs << (Attempt - 1));
-      unsigned Delay = Cap ? Cap / 2 + unsigned(Rng.below(Cap / 2 + 1)) : 0;
+      unsigned Delay = supervisedBackoffMs(Policy, JKey, Attempt);
       StatClientBackoffMs.add(Delay);
       std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
       StatClientReconnects.add();
@@ -82,7 +116,6 @@ StatusOr<ServiceClient> ServiceClient::connectWithRetry(
     StatusOr<ServiceClient> C = connect(Endpoint);
     if (C.isOk()) {
       C->Policy = Policy;
-      C->Rng = RNG(Policy.Seed);
       if (Policy.OpTimeoutMs)
         (void)C->Sock.setOpTimeoutMs(Policy.OpTimeoutMs);
       return C;
@@ -198,12 +231,14 @@ Status ServiceClient::callSupervised(const ServiceRequest &R,
     return Spent < long(R.DeadlineMs);
   };
 
+  // One jitter key per supervised call: instance tag separates clients in
+  // this process, the trace id separates calls on this client.
+  const uint64_t JKey = clientJitterKey(Tag, Tid);
+
   Status Err = Status::ok();
   for (unsigned Try = 0; Try <= Policy.MaxRetries; ++Try) {
     if (Try) {
-      unsigned Cap = std::min(Policy.BackoffMaxMs,
-                              Policy.BackoffBaseMs << (Try - 1));
-      unsigned Delay = Cap ? Cap / 2 + unsigned(Rng.below(Cap / 2 + 1)) : 0;
+      unsigned Delay = supervisedBackoffMs(Policy, JKey, Try);
       StatClientBackoffMs.add(Delay);
       std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
       if (!DeadlineLeft())

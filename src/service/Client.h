@@ -24,9 +24,13 @@
 ///                  have started (or finished) the compile, so replaying
 ///                  could run it twice. These surface as a Status.
 ///
-/// Backoff is exponential with deterministic jitter (support/RNG.h), and
-/// every attempt honors the request's DeadlineMs across the whole
-/// supervised call, not per try.
+/// Backoff is exponential with deterministic jitter (support/RNG.h). The
+/// jitter is keyed on the policy seed, a process-unique per-client
+/// instance tag, and the supervised call's trace id — so two clients in
+/// one process (or two calls on one client) never share a backoff
+/// schedule, which would synchronize their reconnect storms against a
+/// restarting server. Every attempt honors the request's DeadlineMs
+/// across the whole supervised call, not per try.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,12 +63,28 @@ struct RetryPolicy {
   /// First backoff delay; doubles per retry up to BackoffMaxMs.
   unsigned BackoffBaseMs = 10;
   unsigned BackoffMaxMs = 1000;
-  /// Jitter seed (deterministic per client; vary per process if desired).
+  /// Jitter seed, mixed with the client's process-unique instance tag and
+  /// the supervised call's trace id (clientJitterKey) — equal seeds on
+  /// different clients still draw different backoff schedules.
   uint64_t Seed = 1;
   /// Per-operation socket deadline applied to every connection
   /// (Socket::setOpTimeoutMs); 0 = unbounded.
   unsigned OpTimeoutMs = 0;
 };
+
+/// Mixes a client's process-unique instance tag with a request's trace id
+/// into the jitter key supervisedBackoffMs draws from. Distinct tags (two
+/// clients in one process) or distinct trace ids (two supervised calls)
+/// yield distinct keys, so backoff schedules never collide.
+uint64_t clientJitterKey(uint64_t InstanceTag, std::string_view TraceId);
+
+/// The deterministic backoff delay before attempt \p Try (1-based; Try 0
+/// is the initial attempt and never sleeps): exponential cap
+/// min(BackoffMaxMs, BackoffBaseMs << (Try-1)), jittered uniformly into
+/// [Cap/2, Cap] by Policy.Seed ^ JitterKey ^ Try. Stateless and pure, so
+/// tests can pin exact schedules.
+unsigned supervisedBackoffMs(const RetryPolicy &Policy, uint64_t JitterKey,
+                             unsigned Try);
 
 class ServiceClient {
 public:
@@ -104,6 +124,10 @@ public:
   /// for callers doing their own pipelined retries, e.g. ursa_batch).
   int lastErrno() const { return Sock.lastErrno(); }
 
+  /// Process-unique tag assigned at connect(); feeds clientJitterKey so
+  /// this client's backoff schedule is its own.
+  uint64_t instanceTag() const { return Tag; }
+
 private:
   explicit ServiceClient(Socket S) : Sock(std::move(S)) {}
 
@@ -121,7 +145,7 @@ private:
   Socket Sock;
   std::string Endpoint;
   RetryPolicy Policy;
-  RNG Rng{1};
+  uint64_t Tag = 0; ///< process-unique instance tag (jitter de-collision)
 };
 
 } // namespace ursa::service

@@ -533,6 +533,9 @@ ServiceResponse CompileService::compileOne(const ServiceRequest &R,
     UO.IncrementalMeasure = R.Incremental != 0;
   if (R.MaxTotalRounds)
     UO.MaxTotalRounds = R.MaxTotalRounds;
+  if (R.Beam)
+    UO.BeamWidth = R.Beam;
+  UO.Portfolio = R.Portfolio;
   UO.SharedCache = cacheFor(R.Machine);
 
   // Budget: the request's own budget, the server default, and whatever is
@@ -554,6 +557,11 @@ ServiceResponse CompileService::compileOne(const ServiceRequest &R,
     }
     if (Tier >= 2) {
       UO.IncrementalMeasure = false;
+      // A pressured server also stops paying for wider-than-greedy
+      // searches: beam/portfolio multiply per-request compile cost, which
+      // is exactly the wrong trade under load.
+      UO.BeamWidth = 1;
+      UO.Portfolio = false;
       StatDegradedIncrementalOff.add();
     }
     if (Tier >= 3) {

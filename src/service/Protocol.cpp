@@ -152,6 +152,10 @@ std::string service::writeRequest(const ServiceRequest &R,
       W.kv("threads", R.Threads);
     if (R.Incremental >= 0)
       W.kv("incremental", R.Incremental != 0);
+    if (R.Beam)
+      W.kv("beam", R.Beam);
+    if (R.Portfolio)
+      W.kv("portfolio", true);
     if (R.DeadlineMs)
       W.kv("deadline_ms", R.DeadlineMs);
     if (R.StallMs)
@@ -302,10 +306,14 @@ Status service::parseRequest(std::string_view Doc, ServiceRequest &Out,
     St.merge(readUnsigned(*O, "time_budget_ms", Out.TimeBudgetMs));
     St.merge(readUnsigned(*O, "max_total_rounds", Out.MaxTotalRounds));
     St.merge(readUnsigned(*O, "threads", Out.Threads));
+    St.merge(readUnsigned(*O, "beam", Out.Beam));
+    St.merge(readBool(*O, "portfolio", Out.Portfolio));
     St.merge(readUnsigned(*O, "deadline_ms", Out.DeadlineMs));
     St.merge(readUnsigned(*O, "stall_ms", Out.StallMs));
     if (!St.isOk())
       return St;
+    if (Out.Beam > 64)
+      return Status::error("service", "beam width out of range (max 64)");
     bool Inc = false;
     if (O->find("incremental")) {
       if (Status S2 = readBool(*O, "incremental", Inc); !S2.isOk())

@@ -85,6 +85,14 @@ struct ServiceRequest {
   unsigned MaxTotalRounds = 0;
   unsigned Threads = 0;
   int Incremental = -1; ///< -1 = environment default
+  /// Beam width for the driver's transformation search; 0 (and an absent
+  /// wire field) keeps the server default (greedy / URSA_BEAM), so old
+  /// clients are unaffected. Capped at 64 by the parser — wider beams are
+  /// a resource-exhaustion vector, not a quality win.
+  unsigned Beam = 0;
+  /// Race phase orderings and tie-break perturbations, keeping the best
+  /// allocation (URSAOptions::Portfolio). Absent on the wire = false.
+  bool Portfolio = false;
   /// Admission deadline: total milliseconds the request may spend queued
   /// plus compiling before the server gives up on it. 0 = none. The
   /// remaining deadline at dispatch is folded into TimeBudgetMs.

@@ -15,6 +15,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -516,6 +517,15 @@ Status CachePersister::snapshotLocked() {
   if (!Ok || std::rename(Tmp.c_str(), SnapPath.c_str()) != 0) {
     ::unlink(Tmp.c_str());
     return Status::error("cache_image", "snapshot to " + SnapPath + " failed");
+  }
+  // Durability of the *name*, not just the bytes: rename() updates the
+  // directory entry, and that update lives in the parent directory's
+  // metadata. Without fsyncing the directory a crash right here can
+  // come back with the pre-rename state — the fsync'd tmp file gone and
+  // the snapshot name still pointing at the old image (or nothing).
+  if (int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY); DirFd >= 0) {
+    ::fsync(DirFd);
+    ::close(DirFd);
   }
 
   // The snapshot now holds every recorded entry; restart the journal.

@@ -10,6 +10,7 @@
 #include "obs/Stats.h"
 #include "obs/Tracer.h"
 #include "sched/RegAssign.h"
+#include "support/RNG.h"
 #include "support/ThreadPool.h"
 #include "ursa/FaultInjector.h"
 #include "ursa/IncrementalMeasure.h"
@@ -21,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <unordered_set>
 
 using namespace ursa;
 
@@ -54,6 +56,23 @@ URSA_STAT(StatIncrementalEvals, "ursa.driver.incremental.delta_evals",
 URSA_STAT(StatIncrementalFallbacks, "ursa.driver.incremental.fallbacks",
           "proposal evaluations that fell back to a full rebuild while "
           "incremental measurement was enabled");
+URSA_STAT(StatBeamRounds, "ursa.driver.beam.rounds",
+          "beam expansion rounds (every live state scored)");
+URSA_STAT(StatBeamCandidates, "ursa.driver.beam.candidates",
+          "beam (state x proposal) candidates evaluated");
+URSA_STAT(StatBeamDedup, "ursa.driver.beam.dedup_hits",
+          "beam candidates dropped as duplicate dagFingerprints");
+URSA_STAT(StatBeamAdmitted, "ursa.driver.beam.admitted",
+          "beam successors admitted into the live set");
+URSA_STAT(StatBeamRetired, "ursa.driver.beam.retired",
+          "beam states retired with no admissible successor");
+URSA_STAT(StatNoopSkipped, "ursa.driver.noop_proposals_skipped",
+          "candidates excluded from the reduction because the transform "
+          "left the DAG fingerprint unchanged (no-op proposals)");
+URSA_STAT(StatPortfolioRuns, "ursa.driver.portfolio.runs",
+          "portfolio racer instances completed");
+URSA_STAT(StatPortfolioImproved, "ursa.driver.portfolio.improved",
+          "portfolio racers that beat the incumbent best allocation");
 
 bool ursa::defaultIncrementalMeasure() {
   const char *E = std::getenv("URSA_INCREMENTAL");
@@ -70,6 +89,15 @@ unsigned ursa::defaultMeasurementCacheSize() {
       return unsigned(V);
   }
   return 4;
+}
+
+unsigned ursa::defaultBeamWidth() {
+  if (const char *E = std::getenv("URSA_BEAM")) {
+    int V = std::atoi(E);
+    if (V > 0)
+      return unsigned(V);
+  }
+  return 1;
 }
 
 namespace {
@@ -177,6 +205,20 @@ collectProposals(const DependenceDAG &D, const State &S, bool DoRegs,
   return Props;
 }
 
+/// Deterministic tie-break perturbation (URSAOptions::TieBreakSeed):
+/// Fisher-Yates shuffle of the proposal list, keyed on the seed mixed with
+/// a per-round ordinal so every round draws a distinct permutation.
+/// Scoring is order-independent — the serial reduction compares scores,
+/// not positions — so only exact-score ties can change winners.
+static void shuffleProposals(std::vector<TransformProposal> &Props,
+                             uint64_t Seed, uint64_t Ordinal) {
+  if (Props.size() < 2)
+    return;
+  RNG G(Seed ^ (0x9e3779b97f4a7c15ULL * (Ordinal + 1)));
+  for (size_t I = Props.size() - 1; I > 0; --I)
+    std::swap(Props[I], Props[G.below(I + 1)]);
+}
+
 /// Chains every real node into one total order (consecutive in the
 /// current topological order), collapsing all parallelism. Afterwards
 /// every CanReuse relation is a total order too, so each FU class needs
@@ -251,8 +293,12 @@ static void guaranteedFitFallback(URSAResult &R, const MachineModel &M,
   }
 }
 
-URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
-                         const URSAOptions &Opts) {
+/// The paper's greedy keep-one-winner loop (Section 5) — the historical
+/// driver, and the BeamWidth == 1 case of the beam search. Kept as its
+/// own function so the K == 1 contract ("bit-for-bit identical to
+/// greedy") is true by construction.
+static URSAResult runGreedy(DependenceDAG D, const MachineModel &M,
+                            const URSAOptions &Opts) {
   URSA_SPAN(AllocSpan, "ursa.allocate", "driver");
   URSAResult R(std::move(D));
   const bool VerifyOn = Opts.Verify != VerifyLevel::None;
@@ -402,7 +448,12 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
         HitRoundCap = false;
         break;
       }
+      if (Opts.TieBreakSeed)
+        shuffleProposals(Props, Opts.TieBreakSeed, R.Rounds);
       StatProposalsTried.add(Props.size());
+      // Round-start fingerprint: the no-op filter below and the livelock
+      // cross-check after the apply both compare against it.
+      const uint64_t RoundFp = dagFingerprint(R.DAG);
 
       // Tentatively apply each proposal to its own scratch copy and
       // remeasure — the hot loop. Evaluations are independent (pure
@@ -470,8 +521,7 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
                   NewCrit,
                   IsSpill ? 1u : 0u,
                   unsigned(Props[I].SeqEdges.size())};
-        if (Opts.MeasurementReuse && SS)
-          Evals[I].Fp = dagFingerprint(Scratch);
+        Evals[I].Fp = dagFingerprint(Scratch);
         Evals[I].SS = std::move(SS);
       };
       if (Pool && Props.size() > 1) {
@@ -503,6 +553,17 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
       int Best = -1;
       Score BestScore{~0u, 0, ~0u, ~0u, ~0u, ~0u};
       for (unsigned I = 0; I != Props.size(); ++I) {
+        // A proposal whose edges were all already present applies nothing:
+        // adopting it would burn a round (or Patience) without changing
+        // the DAG, then re-propose itself next round — the fingerprint
+        // livelock detector never fired because the apply reports zero
+        // claimed progress. Filter such no-ops out of the reduction
+        // entirely; the fingerprint of the transformed scratch equals the
+        // round-start fingerprint exactly when nothing changed.
+        if (Evals[I].Fp == RoundFp) {
+          StatNoopSkipped.add();
+          continue;
+        }
         const Score &Sc = Evals[I].Sc;
         if (Sc.TotalExcess <= S.TotalExcess && Sc < BestScore) {
           BestScore = Sc;
@@ -532,7 +593,6 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
       // Apply, cross-checking claimed progress against the actual DAG
       // delta: a transform that says it changed something but didn't
       // would re-propose itself forever (livelock by lying).
-      uint64_t FpBefore = VerifyOn ? dagFingerprint(R.DAG) : 0;
       ApplyStats ASt;
       bool FakedApply =
           Opts.Faults && Opts.Faults->shouldFakeProgress(R.Rounds);
@@ -547,10 +607,12 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
       // from the cache instead of an O(n^2) rebuild. The fingerprint
       // guard keeps a faked apply (FalseProgress injection) or a
       // non-reproducing transform from planting a wrong entry.
+      const uint64_t FpAfter = dagFingerprint(R.DAG);
       if (Opts.MeasurementReuse && Evals[Best].SS &&
-          dagFingerprint(R.DAG) == Evals[Best].Fp) {
+          FpAfter == Evals[Best].Fp) {
         Cache.insert(Evals[Best].Fp, Evals[Best].SS);
-      } else if (Opts.MeasurementReuse && !Evals[Best].SS && !FakedApply) {
+      } else if (Opts.MeasurementReuse && !Evals[Best].SS && !FakedApply &&
+                 FpAfter == Evals[Best].Fp) {
         // Delta-scored winner: no full state was built for it, so promote
         // it through its delta closure instead of letting the next round
         // rebuild the O(n^2) reachability from scratch. buildIncremental
@@ -563,7 +625,7 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
         if (std::unique_ptr<DAGAnalysis> NA = DAGAnalysis::buildIncremental(
                 R.DAG, *S.A, Props[Best].SeqEdges)) {
           StatIncrementalPromotions.add();
-          Cache.insert(dagFingerprint(R.DAG),
+          Cache.insert(FpAfter,
                        std::make_shared<const State>(R.DAG, M, Opts.Measure,
                                                      std::move(NA)));
         }
@@ -601,7 +663,7 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
         R.RoundLog.push_back(std::move(RR));
       }
       if (VerifyOn && (ASt.EdgesAdded || ASt.SpillsInserted) &&
-          dagFingerprint(R.DAG) == FpBefore) {
+          FpAfter == RoundFp) {
         AddDiag(Severity::Error,
                 "transform '" + Props[Best].describe() +
                     "' reported progress but left the DAG unchanged");
@@ -682,4 +744,673 @@ URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
   for (const Measurement &Ms : Final->Meas)
     R.FinalRequired.push_back(Ms.MaxRequired);
   return R;
+}
+
+namespace {
+
+/// One live state of the beam: a DAG with its measured state plus the
+/// path-local accounting that becomes the URSAResult if this state wins.
+struct BeamEntry {
+  DependenceDAG DAG;
+  std::shared_ptr<const State> S;
+  uint64_t Fp = 0;
+  unsigned Rounds = 0;
+  unsigned SeqEdgesAdded = 0;
+  unsigned SpillsInserted = 0;
+  unsigned Patience = 6;
+  std::vector<RoundRecord> RoundLog;
+
+  explicit BeamEntry(DependenceDAG DG) : DAG(std::move(DG)) {}
+};
+
+/// Sum of the per-resource requirements — the beam's secondary quality
+/// criterion, and exactly the registers+FUs metric the benches gate on.
+/// Proposals only exist while some excess remains, so two states with
+/// equal excess still differ in how much slack they leave behind.
+unsigned sumRequired(const State &S) {
+  unsigned T = 0;
+  for (const Measurement &Ms : S.Meas)
+    T += Ms.MaxRequired;
+  return T;
+}
+
+/// Strict-weak "is A a better live state than B" for beam ranking and
+/// final winner selection. Exact ties fall through to false so stable
+/// sorts keep insertion (state, proposal) order — part of the
+/// thread-count determinism contract.
+bool entryBetter(const BeamEntry &A, const BeamEntry &B) {
+  if (A.S->TotalExcess != B.S->TotalExcess)
+    return A.S->TotalExcess < B.S->TotalExcess;
+  unsigned RA = sumRequired(*A.S), RB = sumRequired(*B.S);
+  if (RA != RB)
+    return RA < RB;
+  if (A.S->CritPath != B.S->CritPath)
+    return A.S->CritPath < B.S->CritPath;
+  if (A.SpillsInserted != B.SpillsInserted)
+    return A.SpillsInserted < B.SpillsInserted;
+  return false;
+}
+
+} // namespace
+
+/// The beam-search driver (BeamWidth == K >= 2): the greedy loop's exact
+/// evaluation machinery — same proposals, same Score, same delta engine,
+/// same never-worsening rule — but keeping the top-K live states per
+/// round instead of one. States are deduplicated by dagFingerprint within
+/// each phase, every (state, proposal) candidate is scored across the
+/// thread pool, and the admission reduction runs serially in candidate
+/// order, so results are bit-identical at any thread count. The budget
+/// unit is the beam expansion round (all live states scored once), so
+/// MaxTotalRounds bounds wall-clock the same way it does for greedy.
+static URSAResult runBeamSearch(DependenceDAG D, const MachineModel &M,
+                                const URSAOptions &Opts, unsigned K) {
+  URSA_SPAN(AllocSpan, "ursa.allocate", "driver");
+  URSAResult R(std::move(D));
+  const bool VerifyOn = Opts.Verify != VerifyLevel::None;
+  const bool VerifyFull = Opts.Verify == VerifyLevel::Full;
+  auto AddDiag = [&R](Severity Sev, std::string Msg) {
+    R.Diags.push_back({Sev, "allocate", std::move(Msg)});
+  };
+  auto FailVerify = [&R](const Status &St) {
+    for (const Diag &Dg : St.diags())
+      R.Diags.push_back(Dg);
+    R.VerifyFailed = true;
+    if (std::find(R.StopReasons.begin(), R.StopReasons.end(),
+                  "verify_failed") == R.StopReasons.end())
+      R.StopReasons.push_back("verify_failed");
+  };
+  auto AddStop = [&R](const char *Reason, obs::Statistic &Counter) {
+    Counter.add();
+    if (std::find(R.StopReasons.begin(), R.StopReasons.end(), Reason) ==
+        R.StopReasons.end())
+      R.StopReasons.push_back(Reason);
+  };
+
+  if (VerifyOn) {
+    Status St = verifyDAGStructure(R.DAG);
+    if (!St.isOk()) {
+      FailVerify(St);
+      return R;
+    }
+  }
+
+  unsigned NumThreads =
+      Opts.Threads ? Opts.Threads : ThreadPool::defaultThreads();
+  std::unique_ptr<ThreadPool> Pool;
+  if (NumThreads > 1)
+    Pool = std::make_unique<ThreadPool>(NumThreads);
+  // K live start states plus their winning remeasures are all hot at
+  // once; make sure a private cache can hold them.
+  unsigned CacheSize = Opts.MeasurementCacheSize
+                           ? Opts.MeasurementCacheSize
+                           : defaultMeasurementCacheSize();
+  MeasurementCache LocalCache(Opts.MeasurementReuse,
+                              std::max(CacheSize, 2 * K + 2));
+  MeasurementCache &Cache =
+      Opts.SharedCache ? *Opts.SharedCache : LocalCache;
+
+  auto StartTime = std::chrono::steady_clock::now();
+  unsigned BeamSteps = 0; // expansion rounds — the MaxTotalRounds unit
+  enum class BudgetTrip { None, TotalRounds, Time };
+  auto BudgetExceeded = [&]() {
+    if (BeamSteps >= Opts.MaxTotalRounds)
+      return BudgetTrip::TotalRounds;
+    if (Opts.TimeBudgetMs == 0)
+      return BudgetTrip::None;
+    auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - StartTime)
+                  .count();
+    return Ms >= long(Opts.TimeBudgetMs) ? BudgetTrip::Time
+                                         : BudgetTrip::None;
+  };
+
+  std::vector<std::pair<bool, bool>> Phases; // (regs?, fus?)
+  switch (Opts.Order) {
+  case PhaseOrdering::RegistersFirst:
+    Phases = {{true, false}, {false, true}};
+    break;
+  case PhaseOrdering::FUsFirst:
+    Phases = {{false, true}, {true, false}};
+    break;
+  case PhaseOrdering::Integrated:
+    Phases = {{true, true}};
+    break;
+  }
+  Phases.push_back({true, true});
+
+  std::vector<BeamEntry> Beam;
+  {
+    BeamEntry E0(R.DAG);
+    E0.S = Cache.get(E0.DAG, M, Opts.Measure);
+    E0.Fp = dagFingerprint(E0.DAG);
+    R.CritPathBefore = E0.S->CritPath;
+    Beam.push_back(std::move(E0));
+  }
+  unsigned PrevSweepExcess = Beam.front().S->TotalExcess;
+
+  bool Bail = false;
+  unsigned StaleSweeps = 0;
+  for (unsigned Sweep = 0; Sweep != 4 && !Bail; ++Sweep) {
+    StatSweeps.add();
+    unsigned StepsAtSweepStart = BeamSteps;
+    for (auto [DoRegs, DoFUs] : Phases) {
+      if (Bail)
+        break;
+      URSA_SPAN(PhaseSpan,
+                DoRegs && DoFUs ? "ursa.phase.integrated"
+                : DoRegs        ? "ursa.phase.regs"
+                                : "ursa.phase.fus",
+                "driver");
+      // Per-phase fingerprint dedup: every state that was ever live in
+      // this phase blocks re-admission, so the beam cannot cycle.
+      std::unordered_set<uint64_t> SeenFps;
+      for (BeamEntry &E : Beam) {
+        SeenFps.insert(E.Fp);
+        E.Patience = 6;
+      }
+      // States with no admissible successor retire from expansion but
+      // stay candidates for the phase-end ranking (a stuck state can
+      // still be the best allocation found).
+      std::vector<BeamEntry> Retired;
+      bool HitRoundCap = true;
+      for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+        if (BudgetTrip Trip = BudgetExceeded(); Trip != BudgetTrip::None) {
+          R.BudgetExhausted = true;
+          if (Trip == BudgetTrip::TotalRounds) {
+            AddStop("max_total_rounds", StatStopMaxTotal);
+            AddDiag(Severity::Warning, "MaxTotalRounds budget exhausted; "
+                                       "leaving residual excess");
+          } else {
+            AddStop("time_budget", StatStopTimeBudget);
+            AddDiag(Severity::Warning, "TimeBudgetMs budget exhausted; "
+                                       "leaving residual excess");
+          }
+          Bail = true;
+          HitRoundCap = false;
+          break;
+        }
+        URSA_SPAN(RoundSpan, "ursa.beam.round", "driver");
+        auto RoundStart = std::chrono::steady_clock::now();
+
+        // Flatten every live state's proposals into one candidate list;
+        // (state, proposal) order is the determinism anchor everywhere
+        // below.
+        struct Cand {
+          unsigned Parent;
+          unsigned PropIdx;
+        };
+        std::vector<std::vector<TransformProposal>> Props(Beam.size());
+        std::vector<Cand> Cands;
+        for (unsigned P = 0; P != Beam.size(); ++P) {
+          if (Beam[P].S->TotalExcess == 0)
+            continue; // converged; rides along to the phase-end ranking
+          Props[P] =
+              collectProposals(Beam[P].DAG, *Beam[P].S, DoRegs, DoFUs, Opts);
+          if (Opts.TieBreakSeed)
+            shuffleProposals(Props[P], Opts.TieBreakSeed,
+                             (uint64_t(BeamSteps) << 8) | P);
+          for (unsigned I = 0; I != Props[P].size(); ++I)
+            Cands.push_back({P, I});
+        }
+        if (Cands.empty()) {
+          HitRoundCap = false;
+          break;
+        }
+        ++BeamSteps;
+        StatBeamRounds.add();
+        StatBeamCandidates.add(Cands.size());
+        StatProposalsTried.add(Cands.size());
+
+        // One delta engine per parent (shared across pool threads, the
+        // same way the greedy loop shares its single engine).
+        std::vector<std::unique_ptr<IncrementalMeasurer>> Inc(Beam.size());
+        if (Opts.IncrementalMeasure)
+          for (unsigned P = 0; P != Beam.size(); ++P)
+            if (!Props[P].empty())
+              Inc[P] = std::make_unique<IncrementalMeasurer>(
+                  Beam[P].DAG, *Beam[P].S->A, Beam[P].S->Meas,
+                  Beam[P].S->Limits, Opts.Measure);
+
+        struct CandEval {
+          Score Sc{~0u, 0, ~0u, ~0u, ~0u, ~0u};
+          uint64_t Fp = 0;
+          unsigned SumReq = ~0u;
+          std::shared_ptr<const State> SS;
+          bool Diverged = false;
+        };
+        std::vector<CandEval> Evals(Cands.size());
+        auto EvalOne = [&](size_t CI) {
+          const BeamEntry &Par = Beam[Cands[CI].Parent];
+          const TransformProposal &Prop =
+              Props[Cands[CI].Parent][Cands[CI].PropIdx];
+          URSA_SPAN(EvalSpan, evalSpanName(Prop.Kind), "transform");
+          DependenceDAG Scratch = Par.DAG;
+          applyTransform(Scratch, Prop);
+          bool IsSpill = Prop.Kind == TransformProposal::Spill;
+          unsigned NewExcess = 0, NewCrit = 0, NewSum = 0;
+          std::shared_ptr<const State> SS;
+          DeltaMeasurement DM;
+          IncrementalMeasurer *Eng = Inc[Cands[CI].Parent].get();
+          if (Eng && Eng->measureDelta(Scratch, Prop, DM)) {
+            StatIncrementalEvals.add();
+            NewExcess = DM.TotalExcess;
+            NewCrit = DM.CritPath;
+            for (unsigned W : DM.Required)
+              NewSum += W;
+            if (VerifyFull) {
+              State Fresh(Scratch, M, Opts.Measure);
+              bool Same = Fresh.TotalExcess == DM.TotalExcess &&
+                          Fresh.CritPath == DM.CritPath &&
+                          Fresh.Meas.size() == DM.Required.size();
+              for (unsigned Ki = 0; Same && Ki != Fresh.Meas.size(); ++Ki)
+                Same = Fresh.Meas[Ki].MaxRequired == DM.Required[Ki];
+              Evals[CI].Diverged = !Same;
+            }
+          } else {
+            if (Eng)
+              StatIncrementalFallbacks.add();
+            SS = std::make_shared<const State>(Scratch, M, Opts.Measure);
+            NewExcess = SS->TotalExcess;
+            NewCrit = SS->CritPath;
+            NewSum = sumRequired(*SS);
+          }
+          unsigned Cost =
+              (NewCrit > Par.S->CritPath ? NewCrit - Par.S->CritPath : 0) +
+              (IsSpill ? 2 : 0);
+          Evals[CI].Sc =
+              Score{NewExcess,
+                    Par.S->TotalExcess - std::min(Par.S->TotalExcess, NewExcess),
+                    Cost,
+                    NewCrit,
+                    IsSpill ? 1u : 0u,
+                    unsigned(Prop.SeqEdges.size())};
+          Evals[CI].SumReq = NewSum;
+          Evals[CI].Fp = dagFingerprint(Scratch);
+          Evals[CI].SS = std::move(SS);
+        };
+        if (Pool && Cands.size() > 1) {
+          StatParallelEvalBatches.add();
+          Pool->parallelFor(Cands.size(), EvalOne);
+        } else {
+          for (size_t CI = 0; CI != Cands.size(); ++CI)
+            EvalOne(CI);
+        }
+
+        if (VerifyFull && Opts.IncrementalMeasure) {
+          bool AnyDiverged = false;
+          for (unsigned CI = 0; CI != Evals.size(); ++CI)
+            if (Evals[CI].Diverged) {
+              FailVerify(Status::error(
+                  "allocate", "incremental measurement diverged from the "
+                              "full rebuild for proposal '" +
+                                  Props[Cands[CI].Parent][Cands[CI].PropIdx]
+                                      .describe() +
+                                  "'"));
+              AnyDiverged = true;
+            }
+          if (AnyDiverged) {
+            Bail = true;
+            HitRoundCap = false;
+            break;
+          }
+        }
+
+        // Serial reduction, part 1: admissibility. The same rules as
+        // greedy, per parent — never worsen, skip no-ops, respect the
+        // plateau patience of the path — plus the phase-wide fingerprint
+        // dedup.
+        std::vector<unsigned> Order;
+        for (unsigned CI = 0; CI != unsigned(Cands.size()); ++CI) {
+          const BeamEntry &Par = Beam[Cands[CI].Parent];
+          if (Evals[CI].Fp == Par.Fp) {
+            StatNoopSkipped.add();
+            continue;
+          }
+          const Score &Sc = Evals[CI].Sc;
+          if (Sc.TotalExcess > Par.S->TotalExcess)
+            continue; // never worsen (paper Section 5)
+          const TransformProposal &Prop =
+              Props[Cands[CI].Parent][Cands[CI].PropIdx];
+          if (Sc.TotalExcess == Par.S->TotalExcess &&
+              Prop.Kind != TransformProposal::FUSequence && Par.Patience == 0)
+            continue; // this path's plateau patience is spent
+          if (SeenFps.count(Evals[CI].Fp)) {
+            StatBeamDedup.add();
+            continue;
+          }
+          Order.push_back(CI);
+        }
+        // Part 2: global ranking. Primary keys are the state-quality
+        // criteria (excess, then total required — the bench metric), then
+        // the greedy Score as the tie-break; stable order falls back to
+        // (state, proposal) position.
+        std::stable_sort(Order.begin(), Order.end(),
+                         [&](unsigned X, unsigned Y) {
+                           const CandEval &A = Evals[X], &B = Evals[Y];
+                           if (A.Sc.TotalExcess != B.Sc.TotalExcess)
+                             return A.Sc.TotalExcess < B.Sc.TotalExcess;
+                           if (A.SumReq != B.SumReq)
+                             return A.SumReq < B.SumReq;
+                           if (A.Sc < B.Sc)
+                             return true;
+                           if (B.Sc < A.Sc)
+                             return false;
+                           return false;
+                         });
+
+        // Part 3: admit the top K distinct successors. Each one is
+        // reproduced by applying its proposal to the parent's DAG; the
+        // fingerprint must match the scratch evaluation bit for bit.
+        std::vector<BeamEntry> NewBeam;
+        std::vector<bool> ParentExpanded(Beam.size(), false);
+        for (unsigned CI : Order) {
+          if (NewBeam.size() >= K)
+            break;
+          if (SeenFps.count(Evals[CI].Fp))
+            continue; // an equal-fingerprint sibling won earlier this round
+          const unsigned P = Cands[CI].Parent;
+          BeamEntry &Par = Beam[P];
+          const TransformProposal &Prop = Props[P][Cands[CI].PropIdx];
+          URSA_SPAN(StateSpan, "ursa.beam.state", "driver");
+          BeamEntry Next(Par.DAG);
+          ApplyStats ASt = applyTransform(Next.DAG, Prop);
+          Next.Fp = dagFingerprint(Next.DAG);
+          if (Next.Fp != Evals[CI].Fp) {
+            // The transform did not reproduce its evaluated state — a
+            // non-deterministic apply. Drop the candidate; corrupt under
+            // verification.
+            if (VerifyOn) {
+              FailVerify(Status::error(
+                  "allocate", "transform '" + Prop.describe() +
+                                  "' did not reproduce its evaluated state"));
+              Bail = true;
+              break;
+            }
+            continue;
+          }
+          if (VerifyOn) {
+            Status St = verifyDAGStructure(Next.DAG);
+            if (!St.isOk()) {
+              FailVerify(St);
+              Bail = true;
+              break;
+            }
+          }
+          if (Evals[CI].SS) {
+            if (Opts.MeasurementReuse)
+              Cache.insert(Next.Fp, Evals[CI].SS);
+            Next.S = Evals[CI].SS;
+          } else if (std::unique_ptr<DAGAnalysis> NA =
+                         DAGAnalysis::buildIncremental(Next.DAG, *Par.S->A,
+                                                       Prop.SeqEdges)) {
+            // Delta-scored winner: promote through its delta closure
+            // (PR 5's winner-promotion path), once per admitted state.
+            StatIncrementalPromotions.add();
+            auto NS = std::make_shared<const State>(Next.DAG, M, Opts.Measure,
+                                                    std::move(NA));
+            if (Opts.MeasurementReuse)
+              Cache.insert(Next.Fp, NS);
+            Next.S = std::move(NS);
+          } else {
+            Next.S = Cache.get(Next.DAG, M, Opts.Measure);
+          }
+          Next.Rounds = Par.Rounds + 1;
+          Next.SeqEdgesAdded = Par.SeqEdgesAdded + ASt.EdgesAdded;
+          Next.SpillsInserted = Par.SpillsInserted + ASt.SpillsInserted;
+          bool Plateau = Next.S->TotalExcess == Par.S->TotalExcess;
+          Next.Patience = !Plateau ? 6
+                          : Prop.Kind == TransformProposal::FUSequence
+                              ? Par.Patience
+                              : Par.Patience - 1;
+          Next.RoundLog = Par.RoundLog;
+          {
+            RoundRecord RR;
+            RR.Round = Next.Rounds;
+            RR.Kind = Prop.Kind;
+            RR.Resource = Prop.Res.describe();
+            RR.Detail = Prop.describe();
+            RR.ExcessBefore = Par.S->TotalExcess;
+            RR.ExcessAfter = Next.S->TotalExcess;
+            RR.CritPath = Next.S->CritPath;
+            RR.EdgesAdded = ASt.EdgesAdded;
+            RR.SpillsInserted = ASt.SpillsInserted;
+            RR.ProposalsTried = unsigned(Cands.size());
+            RR.DurationMs = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - RoundStart)
+                                .count();
+            Next.RoundLog.push_back(std::move(RR));
+          }
+          SeenFps.insert(Next.Fp);
+          ParentExpanded[P] = true;
+          StatBeamAdmitted.add();
+          StatRounds.add();
+          switch (Prop.Kind) {
+          case TransformProposal::FUSequence:
+            StatKeptFUSeq.add();
+            break;
+          case TransformProposal::RegSequence:
+            StatKeptRegSeq.add();
+            break;
+          case TransformProposal::Spill:
+            StatKeptSpill.add();
+            break;
+          }
+          NewBeam.push_back(std::move(Next));
+        }
+        if (Bail) {
+          HitRoundCap = false;
+          break;
+        }
+        for (unsigned P = 0; P != Beam.size(); ++P)
+          if (!ParentExpanded[P]) {
+            StatBeamRetired.add();
+            Retired.push_back(std::move(Beam[P]));
+          }
+        if (NewBeam.empty()) {
+          Beam.clear();
+          HitRoundCap = false;
+          break;
+        }
+        Beam = std::move(NewBeam);
+      } // rounds
+      if (HitRoundCap) {
+        AddStop("max_rounds", StatStopMaxRounds);
+        AddDiag(Severity::Warning,
+                "MaxRounds safety valve tripped for a phase; leaving "
+                "residual excess");
+      }
+      // Phase end: the next phase starts from the best K of everything
+      // that was live when this phase finished.
+      for (BeamEntry &E : Retired)
+        Beam.push_back(std::move(E));
+      std::stable_sort(Beam.begin(), Beam.end(), entryBetter);
+      if (Beam.size() > K)
+        Beam.erase(Beam.begin() + K, Beam.end());
+      // Phase boundary: prove the hand-off on the front-runner (the state
+      // the next phase — or the assignment — inherits).
+      if (!Bail && VerifyOn && !Beam.empty()) {
+        Status St = verifyDAGStructure(Beam.front().DAG);
+        if (St.isOk() && VerifyFull)
+          St.merge(verifyMeasurements(Beam.front().S->Meas));
+        if (!St.isOk()) {
+          FailVerify(St);
+          Bail = true;
+        }
+      }
+    } // phases
+    if (Bail)
+      break;
+
+    {
+      unsigned BestExcess =
+          Beam.empty() ? 0u : Beam.front().S->TotalExcess;
+      if (BestExcess == 0 || BeamSteps == StepsAtSweepStart)
+        break;
+      if (BestExcess >= PrevSweepExcess) {
+        if (++StaleSweeps >= 2) {
+          R.LivelockDetected = true;
+          AddStop("livelock", StatStopLivelock);
+          AddDiag(Severity::Warning,
+                  "livelock: consecutive sweeps applied transforms without "
+                  "reducing total excess");
+          break;
+        }
+      } else {
+        StaleSweeps = 0;
+      }
+      PrevSweepExcess = BestExcess;
+    }
+  } // sweeps
+
+  if (!Beam.empty()) {
+    std::stable_sort(Beam.begin(), Beam.end(), entryBetter);
+    BeamEntry &W = Beam.front();
+    R.DAG = std::move(W.DAG);
+    R.Rounds = W.Rounds;
+    R.SeqEdgesAdded = W.SeqEdgesAdded;
+    R.SpillsInserted = W.SpillsInserted;
+    R.RoundLog = std::move(W.RoundLog);
+  }
+
+  if (R.VerifyFailed)
+    return R;
+
+  if (Opts.GuaranteedFit) {
+    std::shared_ptr<const State> Pre = Cache.get(R.DAG, M, Opts.Measure);
+    if (Pre->TotalExcess > 0) {
+      AddDiag(Severity::Note, "guaranteed-fit fallback: sequentializing "
+                              "and spilling the residual excess");
+      guaranteedFitFallback(R, M, Opts.Measure, Cache);
+    }
+  }
+
+  std::shared_ptr<const State> Final = Cache.get(R.DAG, M, Opts.Measure);
+  R.CritPathAfter = Final->CritPath;
+  R.WithinLimits = Final->TotalExcess == 0;
+  for (const Measurement &Ms : Final->Meas)
+    R.FinalRequired.push_back(Ms.MaxRequired);
+  return R;
+}
+
+/// Portfolio mode: race independent driver instances over phase
+/// orderings — register-first (the paper's recommendation), FU-first,
+/// integrated — plus two seeded tie-break perturbations of the configured
+/// order, all sharing one measurement cache, and keep the best final
+/// allocation. Racers run sequentially in config order, so the whole
+/// portfolio is deterministic and each racer warms the next one's cache;
+/// TimeBudgetMs bounds the portfolio as a whole (a drained budget keeps
+/// the incumbent instead of starting another racer).
+static URSAResult runPortfolio(DependenceDAG D, const MachineModel &M,
+                               const URSAOptions &Opts, unsigned K) {
+  URSA_SPAN(PortSpan, "ursa.portfolio", "driver");
+  unsigned CacheSize = Opts.MeasurementCacheSize
+                           ? Opts.MeasurementCacheSize
+                           : defaultMeasurementCacheSize();
+  MeasurementCache LocalCache(Opts.MeasurementReuse,
+                              std::max(CacheSize, 4 * K + 8));
+  MeasurementCache &Cache =
+      Opts.SharedCache ? *Opts.SharedCache : LocalCache;
+
+  struct Racer {
+    PhaseOrdering Order;
+    uint64_t Seed;
+  };
+  const uint64_t S1 =
+      Opts.TieBreakSeed ? Opts.TieBreakSeed : 0x9e3779b97f4a7c15ULL;
+  const uint64_t S2 = S1 * 0xbf58476d1ce4e5b9ULL + 1;
+  const Racer Racers[] = {
+      {PhaseOrdering::RegistersFirst, 0},
+      {PhaseOrdering::FUsFirst, 0},
+      {PhaseOrdering::Integrated, 0},
+      {Opts.Order, S1},
+      {Opts.Order, S2},
+  };
+
+  auto StartTime = std::chrono::steady_clock::now();
+  auto RemainingMs = [&]() -> long {
+    if (Opts.TimeBudgetMs == 0)
+      return -1; // unlimited
+    auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - StartTime)
+                  .count();
+    return long(Opts.TimeBudgetMs) - long(Ms);
+  };
+
+  const std::vector<std::pair<ResourceId, unsigned>> Limits =
+      machineResources(M);
+  auto ResultExcess = [&Limits](const URSAResult &Res) {
+    unsigned E = 0;
+    for (size_t I = 0; I != Res.FinalRequired.size() && I != Limits.size();
+         ++I)
+      E += Res.FinalRequired[I] > Limits[I].second
+               ? Res.FinalRequired[I] - Limits[I].second
+               : 0;
+    return E;
+  };
+  auto ResultSumReq = [](const URSAResult &Res) {
+    unsigned T = 0;
+    for (unsigned V : Res.FinalRequired)
+      T += V;
+    return T;
+  };
+  // Lexicographic quality: a verified-sound result always beats a corrupt
+  // one, then fewest excess, fewest total required resources (the bench
+  // metric), shortest critical path, fewest spills; exact ties keep the
+  // earlier racer (deterministic config order).
+  auto ResultBetter = [&](const URSAResult &A, const URSAResult &B) {
+    if (A.VerifyFailed != B.VerifyFailed)
+      return !A.VerifyFailed;
+    unsigned EA = ResultExcess(A), EB = ResultExcess(B);
+    if (EA != EB)
+      return EA < EB;
+    unsigned RA = ResultSumReq(A), RB = ResultSumReq(B);
+    if (RA != RB)
+      return RA < RB;
+    if (A.CritPathAfter != B.CritPathAfter)
+      return A.CritPathAfter < B.CritPathAfter;
+    if (A.SpillsInserted != B.SpillsInserted)
+      return A.SpillsInserted < B.SpillsInserted;
+    return false;
+  };
+
+  std::unique_ptr<URSAResult> BestR;
+  for (const Racer &Rc : Racers) {
+    long Left = RemainingMs();
+    if (BestR && Opts.TimeBudgetMs && Left <= 0)
+      break; // budget drained; keep the incumbent
+    URSAOptions RO = Opts;
+    RO.Portfolio = false;
+    RO.Order = Rc.Order;
+    RO.TieBreakSeed = Rc.Seed;
+    RO.SharedCache = &Cache;
+    if (Opts.TimeBudgetMs)
+      RO.TimeBudgetMs = unsigned(std::max<long>(1, Left));
+    DependenceDAG DC = D; // every racer starts from the pristine input
+    URSAResult Ri = K > 1 ? runBeamSearch(std::move(DC), M, RO, K)
+                          : runGreedy(std::move(DC), M, RO);
+    StatPortfolioRuns.add();
+    if (!BestR) {
+      BestR = std::make_unique<URSAResult>(std::move(Ri));
+    } else if (ResultBetter(Ri, *BestR)) {
+      StatPortfolioImproved.add();
+      *BestR = std::move(Ri);
+    }
+  }
+  return std::move(*BestR);
+}
+
+URSAResult ursa::runURSA(DependenceDAG D, const MachineModel &M,
+                         const URSAOptions &Opts) {
+  unsigned K = Opts.BeamWidth ? Opts.BeamWidth : defaultBeamWidth();
+  if (!K)
+    K = 1;
+  // Fault-injection contracts (ursa/FaultInjector.h) are defined on the
+  // serial-recoverable keep-one loop; armed injectors force it.
+  if (Opts.Faults)
+    return runGreedy(std::move(D), M, Opts);
+  if (Opts.Portfolio)
+    return runPortfolio(std::move(D), M, Opts, K);
+  if (K > 1)
+    return runBeamSearch(std::move(D), M, Opts, K);
+  return runGreedy(std::move(D), M, Opts);
 }

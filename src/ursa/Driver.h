@@ -44,6 +44,11 @@ bool defaultIncrementalMeasure();
 /// variable when set to a positive integer, else 4 (read per call).
 unsigned defaultMeasurementCacheSize();
 
+/// Default for URSAOptions::BeamWidth: the URSA_BEAM environment variable
+/// when set to a positive integer, else 1 (the greedy driver; read per
+/// call, so tests can flip it).
+unsigned defaultBeamWidth();
+
 /// Which resource's transformations run first.
 enum class PhaseOrdering {
   RegistersFirst, ///< the paper's recommendation (Section 5)
@@ -87,6 +92,31 @@ struct URSAOptions {
   /// ursa.driver.measure_cache.evictions tells when 4 is too small.
   /// Ignored when SharedCache is set (the owner sized it).
   unsigned MeasurementCacheSize = 0;
+  /// Beam width K for the transformation search. 1 = the paper's greedy
+  /// keep-one-winner loop (the historical driver, bit-for-bit). K > 1
+  /// keeps the top-K live states per round, deduplicated by
+  /// dagFingerprint: every round scores all beam x proposals candidates
+  /// across the thread pool, reduces them serially in (state, proposal)
+  /// order — so results stay bit-identical at any thread count — and
+  /// admits the K best never-worsening successors; the best final state
+  /// wins. 0 resolves through URSA_BEAM (default 1). Fault-injection
+  /// hooks (Faults) force the greedy path: their contracts are defined on
+  /// the serial-recoverable keep-one loop.
+  unsigned BeamWidth = 0;
+  /// Race independent driver instances over phase orderings
+  /// (register-first, FU-first, integrated) plus seeded tie-break
+  /// perturbations of the configured order, all sharing one measurement
+  /// cache, and keep the best final allocation (fewest total required
+  /// resources, then critical path). Each instance runs the configured
+  /// BeamWidth. TimeBudgetMs bounds the whole portfolio, not each racer.
+  bool Portfolio = false;
+  /// Deterministic tie-break perturbation: when non-zero, each round's
+  /// proposal list is shuffled by this seed (mixed with the round
+  /// ordinal) before evaluation. Scoring is order-independent; only
+  /// exact-tie winners change. 0 = keep collection order (the historical
+  /// behavior, bit-for-bit). Portfolio mode sets this on its perturbed
+  /// racers.
+  uint64_t TieBreakSeed = 0;
   /// Externally-owned measurement cache (ursa/MeasureCache.h), shared
   /// across runs: the compile service injects one server-scope instance
   /// so identical DAG states in different requests reuse each other's

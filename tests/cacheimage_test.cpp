@@ -173,6 +173,53 @@ TEST(CachePersisterTest, SnapshotRoundTripsAcrossGenerations) {
   EXPECT_EQ(Rebuilds, 0u) << "persisted entry missed on reload";
 }
 
+TEST(CachePersisterTest, SnapshotRenameThenReopenServesTheNewImage) {
+  // The durability regression this pins: snapshot() publishes the new
+  // image by renaming the temp file over the live name, but without an
+  // fsync of the parent directory the *name* itself could be lost on
+  // power failure even though the bytes were fsynced. Observable contract:
+  // after snapshot() returns, the image exists under its final name (no
+  // temp file lingers), and a fresh persister opened immediately serves
+  // every entry from it — across repeated rename generations.
+  std::string Dir = testDir("rename");
+  MachineModel M = testModel();
+
+  std::string SnapPath;
+  std::vector<uint64_t> Fps;
+  for (unsigned Gen = 1; Gen <= 3; ++Gen) {
+    {
+      CachePersister P(Dir, "h2x8", MeasureOptions{});
+      MeasurementCache Warm(true, 1024);
+      ASSERT_TRUE(P.load(Warm, M).isOk());
+      DependenceDAG D = genDAG(Gen * 11);
+      Fps.push_back(dagFingerprint(D));
+      P.append(Fps.back(), D);
+      ASSERT_TRUE(P.snapshot().isOk()) << "generation " << Gen;
+      SnapPath = P.snapshotPath();
+    }
+    // The renamed image is in place under its final name...
+    EXPECT_EQ(::access(SnapPath.c_str(), F_OK), 0) << "generation " << Gen;
+    EXPECT_NE(::access((SnapPath + ".tmp").c_str(), F_OK), 0)
+        << "temp file survived the rename, generation " << Gen;
+    // ...and a reopened persister serves every generation's entries.
+    CachePersister P2(Dir, "h2x8", MeasureOptions{});
+    MeasurementCache Cache(true, 1024);
+    Status St = P2.load(Cache, M);
+    ASSERT_TRUE(St.isOk()) << St.str();
+    EXPECT_EQ(warningCount(St), 0u) << St.str();
+    EXPECT_EQ(Cache.size(), Gen);
+    for (unsigned I = 0; I != Fps.size(); ++I) {
+      DependenceDAG D = genDAG((I + 1) * 11);
+      unsigned Rebuilds = 0;
+      Cache.setBuildObserver(
+          [&](uint64_t, const DependenceDAG &) { ++Rebuilds; });
+      (void)Cache.get(D, M, MeasureOptions{});
+      EXPECT_EQ(Rebuilds, 0u)
+          << "generation " << Gen << " lost entry " << I << " on reopen";
+    }
+  }
+}
+
 TEST(CachePersisterTest, JournalAloneRecoversAfterSimulatedKill) {
   // No snapshot() ever runs: only the flushed journal survives, exactly
   // the kill -9 situation. Everything appended must still come back.

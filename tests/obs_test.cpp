@@ -16,7 +16,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 using namespace ursa;
 
@@ -131,6 +133,43 @@ TEST(Json, WriterEscapingRoundTrips) {
   EXPECT_EQ(A->Arr[1].Num, 2.5);
   EXPECT_TRUE(A->Arr[2].B);
   EXPECT_EQ(A->Arr[3].K, obs::JsonValue::Kind::Null);
+}
+
+TEST(Json, NonFiniteDoublesClampToNull) {
+  // Stats and report documents route every double through value(double);
+  // a nan/inf reaching the wire would make the whole document unparsable
+  // (JSON has no non-finite literals). The writer is the chokepoint:
+  // non-finite values emit null, and the result stays parseable.
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("nan", std::nan(""));
+  W.kv("pinf", std::numeric_limits<double>::infinity());
+  W.kv("ninf", -std::numeric_limits<double>::infinity());
+  W.kv("fine", 1.5);
+  W.key("arr").beginArray();
+  W.value(std::nan("")).value(2.0).endArray();
+  W.endObject();
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(W.str(), V, Err)) << Err << ": " << W.str();
+  EXPECT_EQ(V.find("nan")->K, obs::JsonValue::Kind::Null);
+  EXPECT_EQ(V.find("pinf")->K, obs::JsonValue::Kind::Null);
+  EXPECT_EQ(V.find("ninf")->K, obs::JsonValue::Kind::Null);
+  EXPECT_EQ(V.find("fine")->Num, 1.5);
+  ASSERT_EQ(V.find("arr")->Arr.size(), 2u);
+  EXPECT_EQ(V.find("arr")->Arr[0].K, obs::JsonValue::Kind::Null);
+  EXPECT_EQ(V.find("arr")->Arr[1].Num, 2.0);
+}
+
+TEST(Json, ParserRejectsNonFiniteLiterals) {
+  // The parser side of the same contract: inputs carrying non-finite
+  // literals (which some writers emit) are clean errors, not doubles.
+  obs::JsonValue V;
+  std::string Err;
+  EXPECT_FALSE(obs::parseJson("{\"a\": NaN}", V, Err));
+  EXPECT_FALSE(obs::parseJson("{\"a\": Infinity}", V, Err));
+  EXPECT_FALSE(obs::parseJson("{\"a\": -Infinity}", V, Err));
+  EXPECT_FALSE(obs::parseJson("{\"a\": inf}", V, Err));
 }
 
 TEST(Json, EveryControlCharRoundTrips) {

@@ -131,6 +131,8 @@ TEST(ServiceProtocol, RequestRoundTrips) {
   R.TimeBudgetMs = 1234;
   R.Threads = 2;
   R.Incremental = 0;
+  R.Beam = 4;
+  R.Portfolio = true;
   R.DeadlineMs = 500;
   R.StallMs = 9;
 
@@ -152,8 +154,50 @@ TEST(ServiceProtocol, RequestRoundTrips) {
   EXPECT_EQ(P.TimeBudgetMs, 1234u);
   EXPECT_EQ(P.Threads, 2u);
   EXPECT_EQ(P.Incremental, 0);
+  EXPECT_EQ(P.Beam, 4u);
+  EXPECT_TRUE(P.Portfolio);
   EXPECT_EQ(P.DeadlineMs, 500u);
   EXPECT_EQ(P.StallMs, 9u);
+}
+
+TEST(ServiceProtocol, BeamFieldsDefaultWhenAbsentAndAreBounded) {
+  // A v1 request with no beam/portfolio fields keeps the server defaults
+  // (0 = server-resolved width, portfolio off) — old clients stay valid.
+  ServiceRequest P;
+  Status St = parseRequest(
+      "{\"schema\":\"ursa.service_request.v1\",\"op\":\"compile\","
+      "\"source\":\"a = load x\"}",
+      P);
+  ASSERT_TRUE(St.isOk()) << St.str();
+  EXPECT_EQ(P.Beam, 0u);
+  EXPECT_FALSE(P.Portfolio);
+
+  // The wire format omits defaulted fields, so an old server never sees
+  // them from a client that didn't set them.
+  ServiceRequest R;
+  R.Op = ServiceRequest::OpKind::Compile;
+  R.Source = "a = load x\n";
+  std::string Doc = writeRequest(R);
+  EXPECT_EQ(Doc.find("\"beam\""), std::string::npos);
+  EXPECT_EQ(Doc.find("\"portfolio\""), std::string::npos);
+
+  // Oversized widths are a resource-exhaustion vector and parse as a
+  // clean error, not a clamp.
+  Status Bad = parseRequest(
+      "{\"schema\":\"ursa.service_request.v1\",\"op\":\"compile\","
+      "\"source\":\"a = load x\",\"options\":{\"beam\":100}}",
+      P);
+  EXPECT_FALSE(Bad.isOk());
+  EXPECT_NE(Bad.str().find("beam"), std::string::npos) << Bad.str();
+
+  Status Edge = parseRequest(
+      "{\"schema\":\"ursa.service_request.v1\",\"op\":\"compile\","
+      "\"source\":\"a = load x\",\"options\":{\"beam\":64,"
+      "\"portfolio\":true}}",
+      P);
+  ASSERT_TRUE(Edge.isOk()) << Edge.str();
+  EXPECT_EQ(P.Beam, 64u);
+  EXPECT_TRUE(P.Portfolio);
 }
 
 TEST(ServiceProtocol, ResponseRoundTrips) {
@@ -344,6 +388,35 @@ TEST(CompileServiceTest, FiftyFunctionCorpusBitIdenticalWarmAndCold) {
     EXPECT_EQ(Cold[I], Warm[I]) << "warm pass diverged on function " << I;
     EXPECT_EQ(Cold[I], directText(Sources[I], Spec)) << "function " << I;
   }
+}
+
+TEST(CompileServiceTest, BeamAndPortfolioRequestsCompile) {
+  // The optional request fields reach the driver: beam and portfolio
+  // requests compile cleanly and deterministically (two identical beam
+  // requests produce identical text).
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  CompileService Svc(Cfg);
+  Collector Col;
+
+  ServiceRequest B1 = compileRequest("beam1", genSource(5));
+  B1.Beam = 2;
+  ServiceRequest B2 = compileRequest("beam2", genSource(5));
+  B2.Beam = 2;
+  ServiceRequest Port = compileRequest("port", genSource(5));
+  Port.Portfolio = true;
+  Svc.handle(std::move(B1), Col.sink());
+  Svc.handle(std::move(B2), Col.sink());
+  Svc.handle(std::move(Port), Col.sink());
+  auto Got = Col.waitFor(3);
+  ASSERT_EQ(Got.size(), 3u);
+  for (const char *Id : {"beam1", "beam2", "port"}) {
+    const ServiceResponse *P = Col.byId(Id);
+    ASSERT_NE(P, nullptr) << Id;
+    EXPECT_EQ(P->Status, ServiceResponse::StatusKind::Ok) << P->Error;
+    EXPECT_FALSE(P->Text.empty()) << Id;
+  }
+  EXPECT_EQ(Col.byId("beam1")->Text, Col.byId("beam2")->Text);
 }
 
 TEST(CompileServiceTest, QueueFullSheds) {
@@ -972,6 +1045,89 @@ TEST(ServiceServer, ExplicitTraceIdSurvivesTheRoundTrip) {
     ASSERT_TRUE(COr->call(R, Resp).isOk());
     ASSERT_EQ(Resp.Status, ServiceResponse::StatusKind::Ok) << Resp.Error;
     EXPECT_EQ(Resp.TraceId, R.TraceId);
+  }
+
+  Srv.requestStop();
+  Runner.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Supervised-retry jitter seeding
+//===----------------------------------------------------------------------===//
+
+TEST(RetryJitter, BackoffStaysInsideTheJitterWindow) {
+  RetryPolicy P;
+  P.BackoffBaseMs = 10;
+  P.BackoffMaxMs = 1000;
+  EXPECT_EQ(supervisedBackoffMs(P, 0x1234, 0), 0u) << "try 0 never sleeps";
+  for (unsigned Try = 1; Try <= 10; ++Try) {
+    unsigned Cap = std::min(P.BackoffMaxMs, P.BackoffBaseMs << (Try - 1));
+    unsigned D = supervisedBackoffMs(P, 0x1234, Try);
+    EXPECT_GE(D, Cap / 2) << "try " << Try;
+    EXPECT_LE(D, Cap) << "try " << Try;
+  }
+  // A zero-cap policy (BackoffBaseMs = 0) never sleeps at all.
+  RetryPolicy Z;
+  Z.BackoffBaseMs = 0;
+  EXPECT_EQ(supervisedBackoffMs(Z, 0x1234, 3), 0u);
+}
+
+TEST(RetryJitter, DeterministicPerKeyAndTry) {
+  RetryPolicy P;
+  for (unsigned Try = 1; Try <= 6; ++Try)
+    EXPECT_EQ(supervisedBackoffMs(P, 0xabcdef, Try),
+              supervisedBackoffMs(P, 0xabcdef, Try))
+        << "try " << Try;
+}
+
+TEST(RetryJitter, DistinctClientsDrawDistinctSchedules) {
+  // The regression this pins: two clients built from the same RetryPolicy
+  // used to draw identical backoff schedules (RNG seeded from Policy.Seed
+  // alone), synchronizing their reconnect storms against a restarting
+  // server. With instance-tag keying, equal policies and equal trace ids
+  // still diverge.
+  RetryPolicy P;
+  P.BackoffBaseMs = 100;
+  P.BackoffMaxMs = 100000;
+  const uint64_t KeyA = clientJitterKey(/*InstanceTag=*/1, "t-same-trace");
+  const uint64_t KeyB = clientJitterKey(/*InstanceTag=*/2, "t-same-trace");
+  EXPECT_NE(KeyA, KeyB);
+  bool Diverged = false;
+  for (unsigned Try = 1; Try <= 8 && !Diverged; ++Try)
+    Diverged = supervisedBackoffMs(P, KeyA, Try) !=
+               supervisedBackoffMs(P, KeyB, Try);
+  EXPECT_TRUE(Diverged) << "identical schedules across clients";
+}
+
+TEST(RetryJitter, TraceIdSeparatesCallsOnOneClient) {
+  RetryPolicy P;
+  P.BackoffBaseMs = 100;
+  P.BackoffMaxMs = 100000;
+  const uint64_t KeyA = clientJitterKey(7, "t-00000001-000001");
+  const uint64_t KeyB = clientJitterKey(7, "t-00000001-000002");
+  EXPECT_NE(KeyA, KeyB);
+  bool Diverged = false;
+  for (unsigned Try = 1; Try <= 8 && !Diverged; ++Try)
+    Diverged = supervisedBackoffMs(P, KeyA, Try) !=
+               supervisedBackoffMs(P, KeyB, Try);
+  EXPECT_TRUE(Diverged) << "identical schedules across trace ids";
+}
+
+TEST(RetryJitter, ConnectedClientsGetUniqueInstanceTags) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  std::string Path = testSocketPath("jitter");
+  Server Srv(Path, Cfg);
+  ASSERT_TRUE(Srv.start().isOk());
+  std::thread Runner([&] { Srv.run(); });
+
+  {
+    StatusOr<ServiceClient> A = ServiceClient::connect(Path);
+    StatusOr<ServiceClient> B = ServiceClient::connect(Path);
+    ASSERT_TRUE(A.isOk() && B.isOk());
+    EXPECT_NE(A->instanceTag(), B->instanceTag());
+    EXPECT_NE(A->instanceTag(), 0u);
+    EXPECT_NE(B->instanceTag(), 0u);
   }
 
   Srv.requestStop();

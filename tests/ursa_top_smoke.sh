@@ -1,0 +1,57 @@
+#!/bin/sh
+# Smoke test: ursa_top renders a fresh, zero-request server cleanly.
+#
+# A just-started ursa_served has zero completed requests, empty latency
+# histograms, and no flight records — every derived quantity (rates,
+# averages, percentiles) must render as a number, never "nan"/"inf",
+# and the one-shot poll must exit 0. Pins the satellite-3 contract that
+# non-finite values are clamped at the JSON-writer chokepoint and every
+# rate in the stats document is guarded against zero denominators.
+#
+# Usage: ursa_top_smoke.sh <ursa_served> <ursa_top>
+set -eu
+
+SERVED="$1"
+TOP="$2"
+SOCK="/tmp/ursa_top_smoke_$$.sock"
+OUT="/tmp/ursa_top_smoke_$$.out"
+
+cleanup() {
+  [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
+  [ -n "${SRV_PID:-}" ] && wait "$SRV_PID" 2>/dev/null || true
+  rm -f "$SOCK" "$OUT"
+}
+trap cleanup EXIT INT TERM
+
+"$SERVED" --socket "$SOCK" --workers 1 &
+SRV_PID=$!
+
+# Wait for the socket to appear (the server creates it before accepting).
+I=0
+while [ ! -S "$SOCK" ]; do
+  I=$((I + 1))
+  if [ "$I" -gt 100 ]; then
+    echo "FAIL: server socket never appeared" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+
+# One poll against the zero-request server, --flight included so the
+# empty flight recorder renders too.
+"$TOP" --connect "$SOCK" --once --flight >"$OUT" 2>&1 || {
+  echo "FAIL: ursa_top --once exited non-zero" >&2
+  cat "$OUT" >&2
+  exit 1
+}
+
+# The render must carry the section headers...
+grep -q "uptime" "$OUT" || { echo "FAIL: no uptime line" >&2; cat "$OUT" >&2; exit 1; }
+# ...and no unclamped non-finite value anywhere.
+if grep -iE '(^|[^a-z])(nan|inf)([^a-z]|$)' "$OUT"; then
+  echo "FAIL: non-finite value rendered" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+
+echo "PASS"
