@@ -1,0 +1,268 @@
+//===- bench/bench_closure_scaling.cpp - Closure memory-wall gates --------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The closure memory wall: a dense N x N reachability pair costs
+// 2 * N^2 / 8 bytes — 625 MB at 50k nodes, 2.5 GB at 100k — which made
+// the dense-era measurement pipeline top out around 10k-node traces. The
+// blocked/tiled representation plus the separator-segmented build should
+// collapse that to roughly the tile-summary grid (N^2 / 1024 bytes) plus
+// the mixed tiles along each segment's boundary diagonal.
+//
+// Three exit-code-enforced gates:
+//  1. correctness: --closure dense, blocked, and auto produce identical
+//     driver results on the standard corpus (widths, rounds, round log);
+//  2. memory: after measuring + one driver round on the 50k-node block
+//     trace under the blocked representation, process peak RSS stays
+//     below 25% of the *dense closure extrapolation alone* (625 MB / 4
+//     = 156 MB) — the whole process must be leaner than a quarter of
+//     what just the dense matrices would have cost;
+//  3. scale: the 100k-node trace completes measurement plus one driver
+//     round (the dense-era OOM case) within a generous wall-clock bound.
+//
+// The synthetic generator builds block-structured traces (B blocks of W
+// parallel chains of length L, chain-major emission, a join comb per
+// block) whose block boundaries are separators — the structure the
+// segmented build exploits, and the shape real scheduling traces have.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "graph/Closure.h"
+#include "graph/DAGBuilder.h"
+#include "ursa/Driver.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sys/resource.h>
+
+using namespace ursa;
+using namespace ursa::bench;
+
+namespace {
+
+/// B blocks x W parallel chains x length L, chain-major emission. Every
+/// chain of a block starts from the previous block's join value and the
+/// block ends in a join comb over the chain tails, so each block boundary
+/// is a separator (no dependence jumps across it).
+Trace blockTrace(unsigned Blocks, unsigned Width, unsigned Len) {
+  Trace T("block_trace");
+  int Join = T.emitLoadImm(1);
+  for (unsigned B = 0; B != Blocks; ++B) {
+    std::vector<int> Tails;
+    Tails.reserve(Width);
+    for (unsigned W = 0; W != Width; ++W) {
+      int V = Join;
+      for (unsigned I = 0; I != Len; ++I)
+        V = T.emitOp(Opcode::Add, V, V);
+      Tails.push_back(V);
+    }
+    int J = Tails[0];
+    for (unsigned W = 1; W != Width; ++W)
+      J = T.emitOp(Opcode::Xor, J, Tails[W]);
+    Join = J;
+  }
+  T.emitStore("out", Join);
+  return T;
+}
+
+/// Current process peak RSS in bytes (Linux: ru_maxrss is in KB).
+size_t peakRSSBytes() {
+  struct rusage RU;
+  getrusage(RUSAGE_SELF, &RU);
+  return size_t(RU.ru_maxrss) * 1024;
+}
+
+struct TierResult {
+  std::string Name;
+  unsigned Nodes = 0;
+  double MeasureMs = 0;
+  double RoundMs = 0;
+  unsigned Rounds = 0;
+  std::string Rep;
+  size_t ClosureBytes = 0;
+  double BytesPerNode = 0;
+  size_t PeakRSS = 0;
+};
+
+/// Measures + runs one driver round on \p T under the current closure
+/// policy. MaxRounds=1 keeps it to the round the gate asks for.
+TierResult runTier(const std::string &Name, const Trace &T,
+                   const MachineModel &M) {
+  TierResult R;
+  R.Name = Name;
+  DependenceDAG D = buildDAG(T);
+  R.Nodes = D.size();
+  std::fprintf(stderr, "[tier %s] %u nodes: building closure...\n",
+               Name.c_str(), D.size());
+
+  auto T0 = std::chrono::steady_clock::now();
+  DAGAnalysis A(D); // the measurement-phase closure build
+  auto T1 = std::chrono::steady_clock::now();
+  R.MeasureMs = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  R.Rep = closureRepName(A.closureRep());
+  R.ClosureBytes = A.closureMemoryBytes();
+  R.BytesPerNode = double(R.ClosureBytes) / double(D.size());
+
+  std::fprintf(stderr, "[tier %s] closure %s, %.1f MB, %.0f ms; driver round...\n",
+               Name.c_str(), R.Rep.c_str(),
+               double(R.ClosureBytes) / (1024.0 * 1024.0), R.MeasureMs);
+  URSAOptions O;
+  O.Threads = 1;
+  O.MaxRounds = 1;
+  O.MaxTotalRounds = 1;
+  auto T2 = std::chrono::steady_clock::now();
+  URSAResult UR = runURSA(D, M, O);
+  auto T3 = std::chrono::steady_clock::now();
+  R.RoundMs = std::chrono::duration<double, std::milli>(T3 - T2).count();
+  R.Rounds = UR.Rounds;
+  R.PeakRSS = peakRSSBytes();
+  std::fprintf(stderr, "[tier %s] round done: %.0f ms, %u rounds\n",
+               Name.c_str(), R.RoundMs, R.Rounds);
+  return R;
+}
+
+bool sameOutcome(const URSAResult &A, const URSAResult &B) {
+  if (A.FinalRequired != B.FinalRequired ||
+      A.WithinLimits != B.WithinLimits || A.Rounds != B.Rounds ||
+      A.SeqEdgesAdded != B.SeqEdgesAdded ||
+      A.SpillsInserted != B.SpillsInserted ||
+      A.RoundLog.size() != B.RoundLog.size())
+    return false;
+  for (unsigned I = 0; I != A.RoundLog.size(); ++I) {
+    const RoundRecord &X = A.RoundLog[I], &Y = B.RoundLog[I];
+    if (X.Kind != Y.Kind || X.Resource != Y.Resource ||
+        X.Detail != Y.Detail || X.ExcessBefore != Y.ExcessBefore ||
+        X.ExcessAfter != Y.ExcessAfter || X.EdgesAdded != Y.EdgesAdded ||
+        X.SpillsInserted != Y.SpillsInserted)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main() {
+  std::printf("closure memory-wall scaling: blocked vs dense\n\n");
+
+  // Gate 1: representation is invisible on the standard corpus.
+  bool CorpusIdentical = true;
+  std::fprintf(stderr, "[corpus] dense/auto/blocked differential...\n");
+  {
+    MachineModel M = MachineModel::homogeneous(2, 4);
+    for (const auto &[Name, T] : corpus()) {
+      DependenceDAG D = buildDAG(T);
+      URSAOptions O;
+      O.Threads = 1;
+      setClosureMode(ClosureMode::Dense);
+      URSAResult Dense = runURSA(D, M, O);
+      setClosureMode(ClosureMode::Auto);
+      URSAResult Auto = runURSA(D, M, O);
+      setClosureMode(ClosureMode::Blocked);
+      URSAResult Blocked = runURSA(D, M, O);
+      setClosureMode(ClosureMode::Auto);
+      if (!sameOutcome(Dense, Auto) || !sameOutcome(Dense, Blocked)) {
+        CorpusIdentical = false;
+        std::fprintf(stderr, "DIVERGENCE: closure reps differ on %s\n",
+                     Name.c_str());
+      }
+    }
+  }
+
+  // Scaling tiers under the default auto policy: 1k stays dense (below
+  // the threshold), the rest go blocked. Ordering matters for the RSS
+  // gate — the 50k tier runs before 100k so its peak-RSS reading is not
+  // polluted by the larger tier.
+  struct TierSpec {
+    const char *Name;
+    unsigned Blocks, Width, Len;
+  };
+  const TierSpec Specs[] = {
+      {"1k", 4, 16, 15},
+      {"10k", 10, 32, 31},
+      {"50k", 48, 32, 32},
+      {"100k", 97, 32, 32},
+  };
+  MachineModel M = MachineModel::homogeneous(16, 64);
+
+  std::vector<TierResult> Tiers;
+  size_t RSSAfter50k = 0;
+  double Ms100k = 0;
+  for (const TierSpec &S : Specs) {
+    Trace T = blockTrace(S.Blocks, S.Width, S.Len);
+    TierResult R = runTier(S.Name, T, M);
+    if (R.Name == "50k")
+      RSSAfter50k = R.PeakRSS;
+    if (R.Name == "100k")
+      Ms100k = R.MeasureMs + R.RoundMs;
+    Tiers.push_back(std::move(R));
+  }
+
+  Table Tbl({"tier", "nodes", "rep", "closure MB", "bytes/node",
+             "measure ms", "round ms", "peak RSS MB"});
+  for (const TierResult &R : Tiers)
+    Tbl.addRow({R.Name, Table::fmt(uint64_t(R.Nodes)), R.Rep,
+                Table::fmt(double(R.ClosureBytes) / (1024.0 * 1024.0), 1),
+                Table::fmt(R.BytesPerNode, 1), Table::fmt(R.MeasureMs, 1),
+                Table::fmt(R.RoundMs, 1),
+                Table::fmt(double(R.PeakRSS) / (1024.0 * 1024.0), 1)});
+  Tbl.print(std::cout);
+
+  // Gate 2: 25% of what the dense closures ALONE would cost at 50k.
+  const unsigned N50k = Tiers[2].Nodes;
+  const double DenseBytes50k = 2.0 * double(N50k) * double(N50k) / 8.0;
+  const double RSSGate = DenseBytes50k * 0.25;
+  bool RSSOk = double(RSSAfter50k) <= RSSGate;
+
+  // Gate 3: the 100k tier completed (we got here without OOM) within a
+  // generous wall bound — it catches accidental O(N^2) work, not noise.
+  bool Completed100k = Tiers[3].Nodes > 100000 && Tiers[3].Rounds >= 1;
+  bool WallOk = Ms100k <= 300000.0;
+
+  std::printf("\ncorpus dense/blocked/auto: %s\n",
+              CorpusIdentical ? "identical" : "DIVERGED (bug!)");
+  std::printf("50k peak RSS %.1f MB vs gate %.1f MB (25%% of %.0f MB dense "
+              "extrapolation): %s\n",
+              double(RSSAfter50k) / (1024.0 * 1024.0),
+              RSSGate / (1024.0 * 1024.0),
+              DenseBytes50k / (1024.0 * 1024.0), RSSOk ? "ok" : "FAIL");
+  std::printf("100k tier: %u nodes, %u round(s), %.1f s total: %s\n",
+              Tiers[3].Nodes, Tiers[3].Rounds, Ms100k / 1000.0,
+              Completed100k && WallOk ? "ok" : "FAIL");
+
+  std::string Artifact =
+      writeBenchArtifact("closure_scaling", [&](obs::JsonWriter &W) {
+        W.beginObject();
+        W.kv("corpus_identical", CorpusIdentical);
+        W.kv("rss_after_50k_bytes", uint64_t(RSSAfter50k));
+        W.kv("rss_gate_bytes", uint64_t(RSSGate));
+        W.kv("rss_ok", RSSOk);
+        W.kv("completed_100k", Completed100k);
+        W.kv("wall_100k_ms", Ms100k);
+        W.kv("wall_ok", WallOk);
+        W.key("tiers").beginArray();
+        for (const TierResult &R : Tiers) {
+          W.beginObject();
+          W.kv("tier", R.Name);
+          W.kv("nodes", uint64_t(R.Nodes));
+          W.kv("representation", R.Rep);
+          W.kv("closure_bytes", uint64_t(R.ClosureBytes));
+          W.kv("bytes_per_node", R.BytesPerNode);
+          W.kv("measure_ms", R.MeasureMs);
+          W.kv("round_ms", R.RoundMs);
+          W.kv("rounds", uint64_t(R.Rounds));
+          W.kv("peak_rss_bytes", uint64_t(R.PeakRSS));
+          W.endObject();
+        }
+        W.endArray();
+        W.endObject();
+      });
+  if (!Artifact.empty())
+    std::printf("artifact: %s\n", Artifact.c_str());
+
+  return CorpusIdentical && RSSOk && Completed100k && WallOk ? 0 : 1;
+}

@@ -42,6 +42,8 @@
 //                         (default: URSA_INCREMENTAL, else on); results
 //                         are identical either way
 //   --cache-size N        measurement-cache entries in the URSA driver
+//   --closure MODE        dense | blocked | auto closure representation
+//                         (overrides URSA_CLOSURE; auto switches on size)
 //                         (default: URSA_CACHE_SIZE, else 4)
 //   --report              print the human-readable allocation report
 //   --report-json         print the machine-readable allocation report
@@ -55,6 +57,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cfg/CFGCompiler.h"
+#include "graph/Closure.h"
 #include "graph/DAGBuilder.h"
 #include "cfg/CFGParser.h"
 #include "cfg/SoftwarePipeline.h"
@@ -125,6 +128,7 @@ struct Options {
   bool Portfolio = false;
   int Incremental = -1;   ///< -1 = URSA_INCREMENTAL default
   unsigned CacheSize = 0; ///< 0 = URSA_CACHE_SIZE default
+  std::string ClosureModeArg; ///< empty = keep the URSA_CLOSURE default
   MemoryState Inputs;
 };
 
@@ -255,6 +259,17 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       if (!S || std::atoi(S) < 1)
         return false;
       O.CacheSize = unsigned(std::atoi(S));
+    } else if (A == "--closure") {
+      const char *S = Next();
+      if (!S)
+        return false;
+      if (std::string(S) != "dense" && std::string(S) != "blocked" &&
+          std::string(S) != "auto") {
+        std::fprintf(stderr,
+                     "unknown --closure mode '%s' (dense|blocked|auto)\n", S);
+        return false;
+      }
+      O.ClosureModeArg = S;
     } else if (A.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
       return false;
@@ -351,6 +366,10 @@ int main(int Argc, char **Argv) {
     UO.IncrementalMeasure = O.Incremental != 0;
   if (O.CacheSize)
     UO.MeasurementCacheSize = O.CacheSize;
+  if (!O.ClosureModeArg.empty())
+    setClosureMode(O.ClosureModeArg == "dense"    ? ClosureMode::Dense
+                   : O.ClosureModeArg == "blocked" ? ClosureMode::Blocked
+                                                   : ClosureMode::Auto);
 
   bool IsCFG = Source.find("func ") != std::string::npos;
 

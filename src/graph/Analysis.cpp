@@ -10,12 +10,13 @@
 
 using namespace ursa;
 
-void DAGAnalysis::computeOrderAndPaths(const DependenceDAG &D) {
+bool DAGAnalysis::computeOrderAndPaths(const DependenceDAG &D) {
   unsigned N = D.size();
   TopoPos.assign(N, 0);
   Depth.assign(N, 0);
   Height.assign(N, 0);
   Topo.clear();
+  SepPos.clear();
 
   // Kahn's algorithm, visiting ready nodes in ascending id for
   // determinism.
@@ -44,7 +45,8 @@ void DAGAnalysis::computeOrderAndPaths(const DependenceDAG &D) {
         Ready.push_back(V);
     }
   }
-  assert(Topo.size() == N && "dependence graph has a cycle");
+  if (Topo.size() != N)
+    return false; // cycle
 
   // Longest paths: heights in reverse topological order, depths forward.
   for (unsigned I = N; I-- > 0;) {
@@ -63,20 +65,32 @@ void DAGAnalysis::computeOrderAndPaths(const DependenceDAG &D) {
         Depth[U] = Depth[V] + 1;
     }
   }
+
+  // Separators: position p is one iff no edge (a,b) has pos(a) < p <
+  // pos(b). Tracked with a running maximum of target positions of edges
+  // leaving positions < p; an O(E) sweep. Paths are position-monotone, so
+  // no path jumps a separator either.
+  unsigned MaxEnd = 0;
+  for (unsigned P = 0; P != N; ++P) {
+    if (MaxEnd <= P)
+      SepPos.push_back(P);
+    for (const auto &[V, Kind] : D.succs(Topo[P])) {
+      (void)Kind;
+      MaxEnd = std::max(MaxEnd, TopoPos[V]);
+    }
+  }
+  return true;
 }
 
-DAGAnalysis::DAGAnalysis(const DependenceDAG &D)
-    : Desc(D.size()), Anc(D.size()) {
-  computeOrderAndPaths(D);
+void DAGAnalysis::buildFold(const DependenceDAG &D) {
   unsigned N = D.size();
-
   // Descendant closure in reverse topological order; ancestors forward.
   for (unsigned I = N; I-- > 0;) {
     unsigned U = Topo[I];
     for (const auto &[V, Kind] : D.succs(U)) {
       (void)Kind;
       Desc.set(U, V);
-      Desc.unionRows(U, V);
+      Desc.orRow(U, V);
     }
   }
   for (unsigned I = 0; I != N; ++I) {
@@ -84,9 +98,135 @@ DAGAnalysis::DAGAnalysis(const DependenceDAG &D)
     for (const auto &[V, Kind] : D.preds(U)) {
       (void)Kind;
       Anc.set(U, V);
-      Anc.unionRows(U, V);
+      Anc.orRow(U, V);
     }
   }
+}
+
+void DAGAnalysis::buildTiledSegmented(const DependenceDAG &D) {
+  unsigned N = D.size();
+
+  // The separator shortcut (a node reaching its segment's end separator
+  // reaches *everything* past it) needs every non-exit node to have a
+  // successor and every non-entry node a predecessor — the normalized-DAG
+  // invariant. Verify cheaply; fall back to the direct fold otherwise.
+  bool Normalized = true;
+  for (unsigned U = 0; U != N && Normalized; ++U) {
+    if (U != DependenceDAG::ExitNode && D.succs(U).empty())
+      Normalized = false;
+    if (U != DependenceDAG::EntryNode && D.preds(U).empty())
+      Normalized = false;
+  }
+  if (!Normalized || SepPos.size() < 2) {
+    buildFold(D);
+    return;
+  }
+
+  // Segments larger than this fall back to tile-level folding rather than
+  // allocating a big dense local closure.
+  constexpr unsigned LocalCap = 8192;
+
+  // Descendants: segments in reverse topological order, so by the time a
+  // segment is processed every row past its end separator — including the
+  // separator node itself, emitted by the previous iteration — is final.
+  Bitset Tail(N); // nodes strictly past the current segment's end
+  Bitset Buf(N);
+  for (unsigned SI = SepPos.size() - 1; SI-- > 0;) {
+    unsigned P0 = SepPos[SI], P1 = SepPos[SI + 1];
+    unsigned H = P1 - P0 + 1; // members: positions [P0, P1]
+    if (H > LocalCap) {
+      for (unsigned I = P1; I-- > P0;) {
+        unsigned U = Topo[I];
+        for (const auto &[V, Kind] : D.succs(U)) {
+          (void)Kind;
+          Desc.set(U, V);
+          Desc.orRow(U, V);
+        }
+      }
+    } else {
+      // Dense local closure over the segment. Successors of every member
+      // except the end separator stay inside the segment (edges cannot
+      // jump a separator), so local indices cover them all.
+      BitMatrix Local(H);
+      for (unsigned LI = H - 1; LI-- > 0;) {
+        unsigned U = Topo[P0 + LI];
+        for (const auto &[V, Kind] : D.succs(U)) {
+          (void)Kind;
+          unsigned LV = TopoPos[V] - P0;
+          Local.set(LI, LV);
+          Local.unionRows(LI, LV);
+        }
+      }
+      for (unsigned LI = 0; LI != H - 1; ++LI) {
+        unsigned U = Topo[P0 + LI];
+        // Reaching the end separator means reaching every node past it:
+        // all of them sit behind that separator on position-monotone
+        // paths, and the separator reaches them all (normalized DAG).
+        if (Local.test(LI, H - 1))
+          Buf = Tail;
+        else
+          Buf.clear();
+        Local.row(LI).forEach([&](unsigned LB) { Buf.set(Topo[P0 + LB]); });
+        Desc.orRowBitset(U, Buf);
+      }
+    }
+    for (unsigned I = P0 + 1; I <= P1; ++I)
+      Tail.set(Topo[I]);
+  }
+
+  // Ancestors: the mirror image, segments forward with a prefix set.
+  Bitset Prefix(N); // nodes strictly before the current segment's start
+  for (unsigned SI = 0; SI + 1 != SepPos.size(); ++SI) {
+    unsigned P0 = SepPos[SI], P1 = SepPos[SI + 1];
+    unsigned H = P1 - P0 + 1;
+    if (H > LocalCap) {
+      for (unsigned I = P0 + 1; I <= P1; ++I) {
+        unsigned U = Topo[I];
+        for (const auto &[V, Kind] : D.preds(U)) {
+          (void)Kind;
+          Anc.set(U, V);
+          Anc.orRow(U, V);
+        }
+      }
+    } else {
+      BitMatrix Local(H);
+      for (unsigned LI = 1; LI != H; ++LI) {
+        unsigned U = Topo[P0 + LI];
+        for (const auto &[V, Kind] : D.preds(U)) {
+          (void)Kind;
+          unsigned LV = TopoPos[V] - P0;
+          Local.set(LI, LV);
+          Local.unionRows(LI, LV);
+        }
+      }
+      for (unsigned LI = 1; LI != H; ++LI) {
+        unsigned U = Topo[P0 + LI];
+        if (Local.test(LI, 0))
+          Buf = Prefix;
+        else
+          Buf.clear();
+        Local.row(LI).forEach([&](unsigned LB) { Buf.set(Topo[P0 + LB]); });
+        Anc.orRowBitset(U, Buf);
+      }
+    }
+    for (unsigned I = P0; I != P1; ++I)
+      Prefix.set(Topo[I]);
+  }
+}
+
+DAGAnalysis::DAGAnalysis(const DependenceDAG &D) {
+  bool Acyclic = computeOrderAndPaths(D);
+  assert(Acyclic && "dependence graph has a cycle");
+  (void)Acyclic;
+
+  unsigned N = D.size();
+  ClosureRep Rep = useTiledClosure(N) ? ClosureRep::Tiled : ClosureRep::Dense;
+  Desc = Closure(N, Rep);
+  Anc = Closure(N, Rep);
+  if (Rep == ClosureRep::Dense)
+    buildFold(D);
+  else
+    buildTiledSegmented(D);
 }
 
 std::unique_ptr<DAGAnalysis> DAGAnalysis::buildIncremental(
@@ -96,12 +236,22 @@ std::unique_ptr<DAGAnalysis> DAGAnalysis::buildIncremental(
   if (N != Base.Desc.size())
     return nullptr; // nodes were inserted or removed: not an edge delta
 
+  // Validate and deduplicate before touching any closure state: reject
+  // self-edges and out-of-range endpoints, fold each pair once (first
+  // occurrence wins). Proposals are tiny, so the quadratic scan is fine.
+  std::vector<std::pair<unsigned, unsigned>> Edges;
+  Edges.reserve(AddedEdges.size());
+  for (auto E : AddedEdges) {
+    if (E.first >= N || E.second >= N || E.first == E.second)
+      return nullptr;
+    if (std::find(Edges.begin(), Edges.end(), E) == Edges.end())
+      Edges.push_back(E);
+  }
+
   std::unique_ptr<DAGAnalysis> A(new DAGAnalysis());
   A->Desc = Base.Desc;
   A->Anc = Base.Anc;
-  for (auto [U, V] : AddedEdges) {
-    if (U >= N || V >= N || U == V)
-      return nullptr;
+  for (auto [U, V] : Edges) {
     if (A->Desc.test(U, V))
       continue; // already ordered: the closure absorbs the edge
     if (A->Desc.test(V, U))
@@ -109,14 +259,142 @@ std::unique_ptr<DAGAnalysis> DAGAnalysis::buildIncremental(
     // New pairs are exactly (ancestors-of-u + u) x (v + descendants-of-v),
     // taken against the closure updated by the preceding edges. Snapshot
     // both sides before writing: u's own rows are among the targets.
-    Bitset NewDesc = A->Desc.row(V);
+    Bitset NewDesc = A->Desc.rowBitset(V);
     NewDesc.set(V);
-    Bitset NewAnc = A->Anc.row(U);
+    Bitset NewAnc = A->Anc.rowBitset(U);
     NewAnc.set(U);
-    NewAnc.forEach([&](unsigned W) { A->Desc.row(W) |= NewDesc; });
-    NewDesc.forEach([&](unsigned W) { A->Anc.row(W) |= NewAnc; });
+    NewAnc.forEach([&](unsigned W) { A->Desc.orRowBitset(W, NewDesc); });
+    NewDesc.forEach([&](unsigned W) { A->Anc.orRowBitset(W, NewAnc); });
   }
-  A->computeOrderAndPaths(D);
+  if (!A->computeOrderAndPaths(D))
+    return nullptr; // D is not Base + AddedEdges after all
+  return A;
+}
+
+std::unique_ptr<DAGAnalysis>
+DAGAnalysis::buildIncrementalDelta(const DependenceDAG &D,
+                                   const DAGAnalysis &Base,
+                                   const EdgeDelta &Delta) {
+  if (!Delta.Complete)
+    return nullptr; // mutations happened while no journal was attached
+  unsigned NB = Base.Desc.size();
+  unsigned N = D.size();
+  if (Delta.NodesBefore != NB || N < NB)
+    return nullptr; // appends never renumber, so D may only be larger
+
+  // Pure edge additions at unchanged size: the exact per-edge fold is
+  // cheaper than an affected-set sweep.
+  if (Delta.Removed.empty() && N == NB)
+    return buildIncremental(D, Base, Delta.Added);
+
+  for (const auto &[U, V] : Delta.Added)
+    if (U >= N || V >= N || U == V)
+      return nullptr;
+  for (const auto &[U, V] : Delta.Removed)
+    if (U >= N || V >= N || U == V)
+      return nullptr;
+
+  std::unique_ptr<DAGAnalysis> A(new DAGAnalysis());
+  if (!A->computeOrderAndPaths(D))
+    return nullptr; // the mutated graph is cyclic
+  A->Desc = Closure::growFrom(Base.Desc, N);
+  A->Anc = Closure::growFrom(Base.Anc, N);
+
+  // Affected rows, found on the *union* graph (current edges plus the
+  // removed ones): a node's descendant row can only change if it reaches
+  // — in the union graph — the source of some added or removed edge, so
+  // a reverse sweep from those sources covers every stale row. New nodes
+  // with edges are sources/targets of added edges and thus included;
+  // isolated new nodes correctly keep their empty grown rows.
+  std::vector<std::vector<unsigned>> ExtraPreds(N), ExtraSuccs(N);
+  for (const auto &[U, V] : Delta.Removed) {
+    ExtraPreds[V].push_back(U);
+    ExtraSuccs[U].push_back(V);
+  }
+
+  std::vector<uint8_t> DescAff(N, 0), AncAff(N, 0);
+  std::vector<unsigned> Work;
+  auto Sweep = [&](std::vector<uint8_t> &Aff, bool Reverse) {
+    while (!Work.empty()) {
+      unsigned X = Work.back();
+      Work.pop_back();
+      if (Reverse) {
+        for (const auto &[P, Kind] : D.preds(X)) {
+          (void)Kind;
+          if (!Aff[P]) {
+            Aff[P] = 1;
+            Work.push_back(P);
+          }
+        }
+        for (unsigned P : ExtraPreds[X])
+          if (!Aff[P]) {
+            Aff[P] = 1;
+            Work.push_back(P);
+          }
+      } else {
+        for (const auto &[S, Kind] : D.succs(X)) {
+          (void)Kind;
+          if (!Aff[S]) {
+            Aff[S] = 1;
+            Work.push_back(S);
+          }
+        }
+        for (unsigned S : ExtraSuccs[X])
+          if (!Aff[S]) {
+            Aff[S] = 1;
+            Work.push_back(S);
+          }
+      }
+    }
+  };
+
+  auto SeedAll = [&](std::vector<uint8_t> &Aff, bool Sources) {
+    for (const auto &[U, V] : Delta.Added) {
+      unsigned X = Sources ? U : V;
+      if (!Aff[X]) {
+        Aff[X] = 1;
+        Work.push_back(X);
+      }
+    }
+    for (const auto &[U, V] : Delta.Removed) {
+      unsigned X = Sources ? U : V;
+      if (!Aff[X]) {
+        Aff[X] = 1;
+        Work.push_back(X);
+      }
+    }
+  };
+
+  SeedAll(DescAff, /*Sources=*/true);
+  Sweep(DescAff, /*Reverse=*/true);
+  SeedAll(AncAff, /*Sources=*/false);
+  Sweep(AncAff, /*Reverse=*/false);
+
+  // Recompute affected descendant rows in reverse final topological
+  // order: every successor row read is either unaffected (hence already
+  // correct) or was recomputed in an earlier iteration.
+  for (unsigned I = N; I-- > 0;) {
+    unsigned U = A->Topo[I];
+    if (!DescAff[U])
+      continue;
+    A->Desc.clearRow(U);
+    for (const auto &[V, Kind] : D.succs(U)) {
+      (void)Kind;
+      A->Desc.set(U, V);
+      A->Desc.orRow(U, V);
+    }
+  }
+  for (unsigned I = 0; I != N; ++I) {
+    unsigned U = A->Topo[I];
+    if (!AncAff[U])
+      continue;
+    A->Anc.clearRow(U);
+    for (const auto &[V, Kind] : D.preds(U)) {
+      (void)Kind;
+      A->Anc.set(U, V);
+      A->Anc.orRow(U, V);
+    }
+  }
   return A;
 }
 
@@ -142,15 +420,15 @@ std::vector<std::vector<unsigned>> ursa::computeUses(const DependenceDAG &D) {
   return Uses;
 }
 
-BitMatrix ursa::transitiveReduction(const BitMatrix &Closure) {
-  unsigned N = Closure.size();
+BitMatrix ursa::transitiveReduction(const BitMatrix &Reach) {
+  unsigned N = Reach.size();
   BitMatrix Out(N);
   // (u,v) is reduced away iff some w with (u,w) also has (w,v). Compute
-  // Redundant[u] = union over w in Closure[u] of Closure[w].
+  // Redundant[u] = union over w in Reach[u] of Reach[w].
   for (unsigned U = 0; U != N; ++U) {
     Bitset Redundant(N);
-    Closure.row(U).forEach([&](unsigned W) { Redundant |= Closure.row(W); });
-    Bitset Keep = Closure.row(U);
+    Reach.row(U).forEach([&](unsigned W) { Redundant |= Reach.row(W); });
+    Bitset Keep = Reach.row(U);
     Keep.subtract(Redundant);
     Out.row(U) = Keep;
   }

@@ -11,11 +11,20 @@
 /// artifact; it also powers O(1) independence tests and cycle checks when
 /// transformations propose new sequence edges.
 ///
+/// The closure is stored in a tiered representation (graph/Closure.h):
+/// dense BitMatrix rows below the closure threshold, blocked/tiled above
+/// it. Large closures are built segment by segment: a *separator* is a
+/// topological position no edge jumps across, so the trace decomposes into
+/// hammock-shaped segments whose local closures compose through the
+/// boundary nodes — peak memory tracks the sum of squared segment sizes,
+/// not N^2.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef URSA_GRAPH_ANALYSIS_H
 #define URSA_GRAPH_ANALYSIS_H
 
+#include "graph/Closure.h"
 #include "graph/DAG.h"
 #include "support/Bitset.h"
 
@@ -42,6 +51,11 @@ public:
   /// Topological order and depths/heights are recomputed from \p D
   /// directly (O(V+E), negligible next to the closure).
   ///
+  /// Self-edges and out-of-range endpoints are rejected up front, and
+  /// repeated pairs in \p AddedEdges are deduplicated (first occurrence
+  /// wins) before any folding, so malformed proposals cannot half-update
+  /// the closure.
+  ///
   /// Returns nullptr when the delta cannot be proven safe: size mismatch
   /// (nodes were inserted), an out-of-range endpoint, or an edge that
   /// would close a cycle against the partially-updated closure. Callers
@@ -49,6 +63,25 @@ public:
   static std::unique_ptr<DAGAnalysis> buildIncremental(
       const DependenceDAG &D, const DAGAnalysis &Base,
       const std::vector<std::pair<unsigned, unsigned>> &AddedEdges);
+
+  /// Derives the analysis of \p D from \p Base plus a journaled mutation
+  /// delta (edge additions, edge *removals*, and appended nodes), the
+  /// general form behind spill transformations and backtracking undo.
+  /// Strategy: affected rows are found by a reverse reachability sweep
+  /// over the *union* graph (current edges plus removed ones) from the
+  /// changed-edge endpoints — any row whose closure could differ reaches
+  /// such an endpoint there — and only those rows are recomputed, in
+  /// topological order, from already-final neighbor rows. Bit-identical
+  /// to a fresh build (the closure is canonical).
+  ///
+  /// The same strict fallback contract as buildIncremental: returns
+  /// nullptr when the delta is incomplete (mutations happened without a
+  /// journal), node counts disagree (appends never renumber, so \p D may
+  /// only be larger), an endpoint is out of range, or \p D turns out
+  /// cyclic.
+  static std::unique_ptr<DAGAnalysis>
+  buildIncrementalDelta(const DependenceDAG &D, const DAGAnalysis &Base,
+                        const EdgeDelta &Delta);
 
   /// Nodes in a deterministic topological order (entry first, exit last).
   const std::vector<unsigned> &topoOrder() const { return Topo; }
@@ -71,12 +104,30 @@ public:
   /// Exposed so relation consumers that are defined *as* reachability
   /// restricted to a node subset (the FU reuse relation) can read it in
   /// place instead of copying rows into their own matrix.
-  const BitMatrix &reachabilityClosure() const { return Desc; }
+  const Closure &reachabilityClosure() const { return Desc; }
 
-  /// Strict descendants of \p N as a bitset over node ids.
-  const Bitset &descendants(unsigned N) const { return Desc.row(N); }
-  /// Strict ancestors of \p N as a bitset over node ids.
-  const Bitset &ancestors(unsigned N) const { return Anc.row(N); }
+  /// The ancestor-direction closure (row N = ancestors(N)).
+  const Closure &ancestorClosure() const { return Anc; }
+
+  /// Strict descendants of \p N as a row view (implicitly materializable
+  /// to a Bitset).
+  ClosureRow descendants(unsigned N) const { return Desc.row(N); }
+  /// Strict ancestors of \p N as a row view.
+  ClosureRow ancestors(unsigned N) const { return Anc.row(N); }
+
+  /// Physical representation the closures landed on.
+  ClosureRep closureRep() const { return Desc.rep(); }
+
+  /// Current heap bytes held by both closure matrices.
+  size_t closureMemoryBytes() const {
+    return Desc.memoryBytes() + Anc.memoryBytes();
+  }
+
+  /// Topological positions no edge jumps across (always includes entry's
+  /// position 0 and exit's position N-1). Consecutive separators bound
+  /// the hammock-shaped segments the tiled closure is composed from; the
+  /// hammock forest reuses them at scale.
+  const std::vector<unsigned> &separatorPositions() const { return SepPos; }
 
   /// Longest path (edge count) from entry to \p N.
   unsigned depth(unsigned N) const { return Depth[N]; }
@@ -94,18 +145,27 @@ public:
   }
 
 private:
-  DAGAnalysis() = default; ///< for buildIncremental
+  DAGAnalysis() = default; ///< for buildIncremental[Delta]
 
-  /// Fills Topo/TopoPos/Depth/Height from \p D (Kahn's algorithm plus
-  /// longest paths); the closure matrices are handled by the caller.
-  void computeOrderAndPaths(const DependenceDAG &D);
+  /// Fills Topo/TopoPos/Depth/Height/SepPos from \p D (Kahn's algorithm
+  /// plus longest paths); the closure matrices are handled by the caller.
+  /// Returns false if \p D has a cycle (Topo stays truncated).
+  bool computeOrderAndPaths(const DependenceDAG &D);
+
+  /// Direct reverse/forward-topological closure fold, any representation.
+  void buildFold(const DependenceDAG &D);
+
+  /// Separator-segmented build for the tiled representation: a dense
+  /// local closure per segment, composed through the boundary nodes.
+  void buildTiledSegmented(const DependenceDAG &D);
 
   std::vector<unsigned> Topo;
   std::vector<unsigned> TopoPos;
-  BitMatrix Desc;
-  BitMatrix Anc;
+  Closure Desc;
+  Closure Anc;
   std::vector<unsigned> Depth;
   std::vector<unsigned> Height;
+  std::vector<unsigned> SepPos;
 };
 
 /// Use sites of every defining node: result[n] lists the nodes reading
@@ -113,11 +173,11 @@ private:
 /// not edges, so it stays correct across spill rewiring.
 std::vector<std::vector<unsigned>> computeUses(const DependenceDAG &D);
 
-/// Computes the transitive reduction of the relation encoded in \p Closure
+/// Computes the transitive reduction of the relation encoded in \p Reach
 /// (Desc-style strict reachability): Out[u][v] = 1 iff (u,v) is in the
 /// relation and no w has (u,w) and (w,v). Used to build Reuse DAG edges
 /// (paper Definition 4, condition 2).
-BitMatrix transitiveReduction(const BitMatrix &Closure);
+BitMatrix transitiveReduction(const BitMatrix &Reach);
 
 } // namespace ursa
 

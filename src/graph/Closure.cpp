@@ -1,0 +1,94 @@
+//===- graph/Closure.cpp - Tiered reachability-closure storage ------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Closure.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ursa;
+
+namespace {
+
+ClosureMode modeFromEnv() {
+  const char *E = std::getenv("URSA_CLOSURE");
+  if (!E)
+    return ClosureMode::Auto;
+  if (!std::strcmp(E, "dense"))
+    return ClosureMode::Dense;
+  if (!std::strcmp(E, "blocked"))
+    return ClosureMode::Blocked;
+  return ClosureMode::Auto;
+}
+
+unsigned thresholdFromEnv() {
+  const char *E = std::getenv("URSA_CLOSURE_THRESHOLD");
+  if (!E)
+    return 4096;
+  long V = std::atol(E);
+  return V > 0 ? unsigned(V) : 4096;
+}
+
+std::atomic<int> &modeSlot() {
+  static std::atomic<int> Slot{int(modeFromEnv())};
+  return Slot;
+}
+
+std::atomic<unsigned> &thresholdSlot() {
+  static std::atomic<unsigned> Slot{thresholdFromEnv()};
+  return Slot;
+}
+
+} // namespace
+
+ClosureMode ursa::closureMode() {
+  return ClosureMode(modeSlot().load(std::memory_order_relaxed));
+}
+
+void ursa::setClosureMode(ClosureMode M) {
+  modeSlot().store(int(M), std::memory_order_relaxed);
+}
+
+unsigned ursa::closureThreshold() {
+  return thresholdSlot().load(std::memory_order_relaxed);
+}
+
+void ursa::setClosureThreshold(unsigned N) {
+  thresholdSlot().store(N, std::memory_order_relaxed);
+}
+
+bool ursa::useTiledClosure(unsigned NumNodes) {
+  switch (closureMode()) {
+  case ClosureMode::Dense:
+    return false;
+  case ClosureMode::Blocked:
+    return true;
+  case ClosureMode::Auto:
+    return NumNodes > closureThreshold();
+  }
+  return false;
+}
+
+Closure Closure::growFrom(const Closure &Old, unsigned NewSize) {
+  assert(NewSize >= Old.size() && "closures can only grow");
+  if (Old.isDense()) {
+    Closure Out(NewSize, ClosureRep::Dense);
+    for (unsigned R = 0, E = Old.size(); R != E; ++R) {
+      const Bitset &Row = Old.DenseM.row(R);
+      Bitset &Dst = Out.DenseM.row(R);
+      for (unsigned WI = 0, WE = Row.numWords(); WI != WE; ++WI)
+        if (uint64_t W = Row.word(WI))
+          Dst.orWord(WI, W);
+    }
+    return Out;
+  }
+  Closure Out;
+  Out.Rep = ClosureRep::Tiled;
+  Out.TiledM = Old.TiledM;
+  Out.TiledM.growTo(NewSize);
+  return Out;
+}

@@ -1,0 +1,353 @@
+//===- graph/Closure.h - Tiered reachability-closure storage ----*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage tiers for the reachability closure plus the read-side views the
+/// rest of the pipeline consumes:
+///
+///  * Closure — one closure matrix, either a dense BitMatrix (small DAGs:
+///    fastest word-parallel row ops) or a TiledBitMatrix (large DAGs:
+///    64x64-bit tiles with all-zero/all-one summaries, a small fraction of
+///    the dense bytes). Both answer the same row/bit queries with
+///    bit-identical semantics; the closure set is canonical, so the stored
+///    bits are representation-independent.
+///
+///  * ClosureRow — a lightweight row view with the Bitset query surface
+///    (test/count/findNext/forEach) plus an implicit conversion to a
+///    materialized Bitset, so call sites written against `const Bitset &`
+///    rows keep compiling unchanged.
+///
+///  * RelationView — a non-owning relation handle the matching engines
+///    read rows through. It abstracts over a dense BitMatrix, a raw
+///    Closure, and a *lazy* relation (closure rows remapped and masked on
+///    the fly), which is how reuse relations avoid materializing a second
+///    O(N^2) matrix at scale.
+///
+/// The representation policy (dense / blocked / auto by node count) is
+/// process-wide: URSA_CLOSURE / URSA_CLOSURE_THRESHOLD environment knobs
+/// with programmatic overrides for --closure flags and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_GRAPH_CLOSURE_H
+#define URSA_GRAPH_CLOSURE_H
+
+#include "support/Bitset.h"
+#include "support/TiledBitMatrix.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ursa {
+
+/// Physical representation of one Closure instance.
+enum class ClosureRep { Dense, Tiled };
+
+/// User-facing representation policy.
+enum class ClosureMode {
+  Dense,   ///< always dense (the historical representation)
+  Blocked, ///< always tiled, any size (differential tests force this)
+  Auto     ///< dense below the threshold, tiled above
+};
+
+/// The active policy: URSA_CLOSURE env (dense|blocked|auto, default auto)
+/// unless overridden by setClosureMode().
+ClosureMode closureMode();
+void setClosureMode(ClosureMode M);
+
+/// Node count above which Auto switches to the tiled representation and
+/// reuse relations go lazy: URSA_CLOSURE_THRESHOLD env (default 4096)
+/// unless overridden by setClosureThreshold().
+unsigned closureThreshold();
+void setClosureThreshold(unsigned N);
+
+/// Policy decision for one DAG of \p NumNodes nodes.
+bool useTiledClosure(unsigned NumNodes);
+
+/// Stable report/CLI name of a representation.
+inline const char *closureRepName(ClosureRep R) {
+  return R == ClosureRep::Dense ? "dense" : "blocked";
+}
+
+class Closure;
+
+/// A read-only view of one closure row. Query-compatible with Bitset and
+/// implicitly convertible to one (materializing), so consumers written
+/// against dense rows keep working on both representations.
+class ClosureRow {
+public:
+  ClosureRow(const Closure &Cl, unsigned Row) : C(&Cl), R(Row) {}
+
+  unsigned size() const;
+  bool test(unsigned I) const;
+  unsigned count() const;
+  unsigned findNext(unsigned From) const;
+  template <typename Fn> void forEach(Fn F) const;
+  operator Bitset() const;
+  bool operator==(const ClosureRow &O) const;
+  bool operator==(const Bitset &B) const;
+
+private:
+  const Closure *C;
+  unsigned R;
+};
+
+/// One reachability closure, dense or tiled. Held by value inside
+/// DAGAnalysis; rows handed out as ClosureRow views share its lifetime.
+class Closure {
+public:
+  Closure() = default;
+  Closure(unsigned Size, ClosureRep R) : Rep(R) {
+    if (Rep == ClosureRep::Dense)
+      DenseM = BitMatrix(Size);
+    else
+      TiledM = TiledBitMatrix(Size);
+  }
+
+  ClosureRep rep() const { return Rep; }
+  bool isDense() const { return Rep == ClosureRep::Dense; }
+
+  unsigned size() const {
+    return isDense() ? DenseM.size() : TiledM.size();
+  }
+
+  bool test(unsigned R, unsigned C) const {
+    return isDense() ? DenseM.test(R, C) : TiledM.test(R, C);
+  }
+
+  void set(unsigned R, unsigned C) {
+    if (isDense())
+      DenseM.set(R, C);
+    else
+      TiledM.set(R, C);
+  }
+
+  uint64_t rowWord(unsigned R, unsigned WI) const {
+    return isDense() ? DenseM.row(R).word(WI) : TiledM.rowWord(R, WI);
+  }
+
+  unsigned numRowWords() const {
+    return isDense() ? (size() + 63) / 64 : TiledM.numRowWords();
+  }
+
+  /// Row[Dst] |= Row[Src] — the closure-propagation workhorse.
+  void orRow(unsigned Dst, unsigned Src) {
+    if (isDense())
+      DenseM.unionRows(Dst, Src);
+    else
+      TiledM.orRow(Dst, Src);
+  }
+
+  void orRowBitset(unsigned R, const Bitset &B) {
+    if (isDense())
+      DenseM.row(R) |= B;
+    else
+      TiledM.orRowBitset(R, B);
+  }
+
+  void clearRow(unsigned R) {
+    if (isDense())
+      DenseM.row(R).clear();
+    else
+      TiledM.clearRow(R);
+  }
+
+  Bitset rowBitset(unsigned R) const {
+    return isDense() ? DenseM.row(R) : TiledM.rowBitset(R);
+  }
+
+  unsigned rowCount(unsigned R) const {
+    return isDense() ? DenseM.popcountRow(R) : TiledM.rowCount(R);
+  }
+
+  unsigned rowFindNext(unsigned R, unsigned From) const {
+    return isDense() ? DenseM.row(R).findNext(From)
+                     : TiledM.rowFindNext(R, From);
+  }
+
+  template <typename Fn> void rowForEach(unsigned R, Fn F) const {
+    if (isDense())
+      DenseM.row(R).forEach(F);
+    else
+      TiledM.rowForEach(R, F);
+  }
+
+  ClosureRow row(unsigned R) const { return ClosureRow(*this, R); }
+
+  const Bitset &denseRow(unsigned R) const {
+    assert(isDense() && "dense row requested from a tiled closure");
+    return DenseM.row(R);
+  }
+
+  const BitMatrix &denseMatrix() const {
+    assert(isDense() && "dense matrix requested from a tiled closure");
+    return DenseM;
+  }
+
+  size_t memoryBytes() const {
+    return isDense() ? DenseM.memoryBytes() : TiledM.memoryBytes();
+  }
+
+  /// A copy of \p Old grown to \p NewSize (>= Old.size()); existing bits
+  /// keep their indices, new rows/columns start empty.
+  static Closure growFrom(const Closure &Old, unsigned NewSize);
+
+private:
+  ClosureRep Rep = ClosureRep::Dense;
+  BitMatrix DenseM;
+  TiledBitMatrix TiledM;
+};
+
+inline unsigned ClosureRow::size() const { return C->size(); }
+inline bool ClosureRow::test(unsigned I) const { return C->test(R, I); }
+inline unsigned ClosureRow::count() const { return C->rowCount(R); }
+inline unsigned ClosureRow::findNext(unsigned From) const {
+  return C->rowFindNext(R, From);
+}
+template <typename Fn> void ClosureRow::forEach(Fn F) const {
+  C->rowForEach(R, F);
+}
+inline ClosureRow::operator Bitset() const { return C->rowBitset(R); }
+inline bool ClosureRow::operator==(const ClosureRow &O) const {
+  if (C->size() != O.C->size())
+    return false;
+  for (unsigned WI = 0, WE = C->numRowWords(); WI != WE; ++WI)
+    if (C->rowWord(R, WI) != O.C->rowWord(O.R, WI))
+      return false;
+  return true;
+}
+inline bool ClosureRow::operator==(const Bitset &B) const {
+  if (C->size() != B.size())
+    return false;
+  for (unsigned WI = 0, WE = C->numRowWords(); WI != WE; ++WI)
+    if (C->rowWord(R, WI) != B.word(WI))
+      return false;
+  return true;
+}
+
+/// Non-owning relation handle: what the matching/antichain engines read
+/// instead of `const BitMatrix &`. Three shapes:
+///
+///  * a dense BitMatrix (the historical reuse relation storage);
+///  * a raw Closure (the FU relation *is* the closure; rows may carry
+///    extra bits on inactive columns, which the engines mask themselves);
+///  * a lazy relation: row r of the relation is closure row RowOf[r]
+///    (or empty when RowOf[r] < 0) plus an optional ExtraBit[r], all
+///    masked by an active-set bitmask — exactly how the dense register
+///    relation is built, evaluated word by word on demand instead.
+class RelationView {
+public:
+  RelationView(const BitMatrix &M) : BM(&M), N(M.size()) {}
+  RelationView(const Closure &Cl) : C(&Cl), N(Cl.size()) {}
+
+  static RelationView lazy(const Closure &Cl, const std::vector<int32_t> &Row,
+                           const std::vector<int32_t> &Extra,
+                           const Bitset &MaskBits) {
+    RelationView V(Cl);
+    V.RowOf = Row.data();
+    V.ExtraBit = Extra.empty() ? nullptr : Extra.data();
+    V.Mask = &MaskBits;
+    return V;
+  }
+
+  unsigned size() const { return N; }
+
+  uint64_t rowWord(unsigned R, unsigned WI) const {
+    if (BM)
+      return BM->row(R).word(WI);
+    if (!RowOf)
+      return C->rowWord(R, WI);
+    uint64_t W = RowOf[R] < 0 ? 0 : C->rowWord(unsigned(RowOf[R]), WI);
+    if (ExtraBit && ExtraBit[R] >= 0 && unsigned(ExtraBit[R]) / 64 == WI)
+      W |= uint64_t(1) << (unsigned(ExtraBit[R]) % 64);
+    return W & Mask->word(WI);
+  }
+
+  bool test(unsigned R, unsigned Col) const {
+    if (BM)
+      return BM->test(R, Col);
+    if (!RowOf)
+      return C->test(R, Col);
+    if (!Mask->test(Col))
+      return false;
+    if (ExtraBit && ExtraBit[R] >= 0 && unsigned(ExtraBit[R]) == Col)
+      return true;
+    return RowOf[R] >= 0 && C->test(unsigned(RowOf[R]), Col);
+  }
+
+  unsigned rowCount(unsigned R) const {
+    if (BM)
+      return BM->popcountRow(R);
+    if (!RowOf)
+      return C->rowCount(R);
+    unsigned Count = 0;
+    for (unsigned WI = 0, WE = numWords(); WI != WE; ++WI)
+      Count += __builtin_popcountll(rowWord(R, WI));
+    return Count;
+  }
+
+  unsigned rowFindNext(unsigned R, unsigned From) const {
+    if (BM)
+      return BM->row(R).findNext(From);
+    if (!RowOf)
+      return C->rowFindNext(R, From);
+    if (From >= N)
+      return N;
+    unsigned WI = From / 64;
+    uint64_t W = rowWord(R, WI) & (~uint64_t(0) << (From % 64));
+    while (!W) {
+      if (++WI == numWords())
+        return N;
+      W = rowWord(R, WI);
+    }
+    return WI * 64 + __builtin_ctzll(W);
+  }
+
+  template <typename Fn> void forEachInRow(unsigned R, Fn F) const {
+    if (BM)
+      return BM->row(R).forEach(F);
+    if (!RowOf)
+      return C->rowForEach(R, F);
+    for (unsigned WI = 0, WE = numWords(); WI != WE; ++WI) {
+      uint64_t W = rowWord(R, WI);
+      while (W) {
+        unsigned Bit = __builtin_ctzll(W);
+        F(WI * 64 + Bit);
+        W &= W - 1;
+      }
+    }
+  }
+
+  Bitset rowBitset(unsigned R) const {
+    if (BM)
+      return BM->row(R);
+    if (!RowOf)
+      return C->rowBitset(R);
+    Bitset B(N);
+    for (unsigned WI = 0, WE = numWords(); WI != WE; ++WI) {
+      uint64_t W = rowWord(R, WI);
+      if (W)
+        B.orWord(WI, W);
+    }
+    return B;
+  }
+
+private:
+  unsigned numWords() const { return (N + 63) / 64; }
+
+  const BitMatrix *BM = nullptr;
+  const Closure *C = nullptr;
+  const int32_t *RowOf = nullptr;
+  const int32_t *ExtraBit = nullptr;
+  const Bitset *Mask = nullptr;
+  unsigned N = 0;
+};
+
+} // namespace ursa
+
+#endif // URSA_GRAPH_CLOSURE_H

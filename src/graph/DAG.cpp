@@ -19,6 +19,8 @@ bool DependenceDAG::addEdge(unsigned From, unsigned To, EdgeKind K) {
     return false;
   Succs[From].emplace_back(To, K);
   Preds[To].emplace_back(From, K);
+  if (Journal)
+    Journal->Added.emplace_back(From, To);
   return true;
 }
 
@@ -44,6 +46,8 @@ bool DependenceDAG::removeEdge(unsigned From, unsigned To) {
   P.erase(std::remove_if(P.begin(), P.end(),
                          [From](const auto &E) { return E.first == From; }),
           P.end());
+  if (Journal)
+    Journal->Removed.emplace_back(From, To);
   return true;
 }
 
@@ -74,6 +78,8 @@ void DependenceDAG::normalizeVirtualEdges() {
     P.erase(std::remove_if(P.begin(), P.end(),
                            [From](const auto &E) { return E.first == From; }),
             P.end());
+    if (Journal)
+      Journal->Removed.emplace_back(From, To);
   };
 
   for (unsigned N = 2, E = size(); N != E; ++N) {

@@ -37,6 +37,21 @@ enum class EdgeKind : uint8_t {
   Sequence ///< ordering only: branch fences and URSA-added sequencing
 };
 
+/// A journal of effective DAG mutations between two analysis snapshots:
+/// the edges actually added and removed (no-op addEdge/removeEdge calls are
+/// not recorded) plus the node count before the mutations. Incremental
+/// analysis (DAGAnalysis::buildIncrementalDelta) replays it instead of
+/// rebuilding O(N^2) closures; Complete is false when mutations happened
+/// while no journal was attached, which voids the delta.
+struct EdgeDelta {
+  std::vector<std::pair<unsigned, unsigned>> Added;
+  std::vector<std::pair<unsigned, unsigned>> Removed;
+  unsigned NodesBefore = 0;
+  bool Complete = true;
+
+  bool empty() const { return Added.empty() && Removed.empty(); }
+};
+
 /// The dependence DAG. Node ids: 0 = virtual entry, 1 = virtual exit,
 /// and instruction `i` of the trace is node `i + 2` forever (appends never
 /// renumber).
@@ -113,10 +128,41 @@ public:
   /// Emits the DAG as Graphviz (data edges solid, sequence edges dashed).
   void toDot(DotWriter &W) const;
 
+  /// Attaches \p J as the mutation journal: every effective addEdge /
+  /// removeEdge (including normalizeVirtualEdges' internal rewiring) is
+  /// recorded into it until stopJournal(). The journal is a raw observer
+  /// owned by the caller; copies/moves of the DAG never inherit it.
+  void startJournal(EdgeDelta &J) {
+    J.NodesBefore = size();
+    Journal = &J;
+  }
+  void stopJournal() { Journal = nullptr; }
+
+  DependenceDAG(const DependenceDAG &O)
+      : T(O.T), Succs(O.Succs), Preds(O.Preds) {}
+  DependenceDAG(DependenceDAG &&O) noexcept
+      : T(std::move(O.T)), Succs(std::move(O.Succs)),
+        Preds(std::move(O.Preds)) {}
+  DependenceDAG &operator=(const DependenceDAG &O) {
+    T = O.T;
+    Succs = O.Succs;
+    Preds = O.Preds;
+    Journal = nullptr;
+    return *this;
+  }
+  DependenceDAG &operator=(DependenceDAG &&O) noexcept {
+    T = std::move(O.T);
+    Succs = std::move(O.Succs);
+    Preds = std::move(O.Preds);
+    Journal = nullptr;
+    return *this;
+  }
+
 private:
   Trace T;
   std::vector<std::vector<std::pair<unsigned, EdgeKind>>> Succs;
   std::vector<std::vector<std::pair<unsigned, EdgeKind>>> Preds;
+  EdgeDelta *Journal = nullptr; ///< never copied; see startJournal()
 
   /// The fault-injection harness (ursa/FaultInjector.h) plants
   /// deliberately malformed states — e.g. one-sided edges — that the

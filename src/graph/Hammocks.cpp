@@ -6,14 +6,62 @@
 
 #include "graph/Hammocks.h"
 
+#include "graph/Closure.h"
 #include "graph/Dominators.h"
 
 #include <algorithm>
 
 using namespace ursa;
 
+void HammockForest::buildFromSeparators(const DependenceDAG &D,
+                                        const DAGAnalysis &A) {
+  unsigned N = D.size();
+  const std::vector<unsigned> &Topo = A.topoOrder();
+  const std::vector<unsigned> &Sep = A.separatorPositions();
+
+  Bitset All(N);
+  for (unsigned W = 0; W != N; ++W)
+    All.set(W);
+  Hammocks.push_back({DependenceDAG::EntryNode, DependenceDAG::ExitNode,
+                      std::move(All), 0, 0});
+
+  Innermost.assign(N, 0);
+  // Each separator pair (p_i, p_{i+1}) bounds a hammock: no dependence
+  // jumps across a separator position, so Topo[p_i] dominates and
+  // Topo[p_{i+1}] postdominates every node between them. These are the
+  // only hammocks we enumerate at this scale — the full canonical family
+  // needs dominator trees and per-hammock member scans we cannot afford.
+  for (unsigned I = 0; I + 1 < Sep.size(); ++I) {
+    unsigned P0 = Sep[I], P1 = Sep[I + 1];
+    if (P1 - P0 < 2)
+      continue; // just the boundary pair: no structure
+    Bitset M(N);
+    for (unsigned P = P0; P <= P1; ++P)
+      M.set(Topo[P]);
+    unsigned Idx = Hammocks.size();
+    Hammocks.push_back({Topo[P0], Topo[P1], std::move(M), 0, 1});
+    for (unsigned P = P0; P <= P1; ++P)
+      if (Innermost[Topo[P]] == 0)
+        Innermost[Topo[P]] = Idx; // shared separator: first segment wins
+  }
+
+  ByDepth.resize(Hammocks.size());
+  for (unsigned I = 0; I != ByDepth.size(); ++I)
+    ByDepth[I] = I;
+  std::sort(ByDepth.begin(), ByDepth.end(), [&](unsigned X, unsigned Y) {
+    if (Hammocks[X].Level != Hammocks[Y].Level)
+      return Hammocks[X].Level > Hammocks[Y].Level;
+    return X < Y;
+  });
+}
+
 HammockForest::HammockForest(const DependenceDAG &D, const DAGAnalysis &A) {
   unsigned N = D.size();
+  if (N > closureThreshold()) {
+    buildFromSeparators(D, A);
+    return;
+  }
+
   DominatorTree Dom(D, A, /*PostDom=*/false);
   DominatorTree PDom(D, A, /*PostDom=*/true);
 
@@ -45,22 +93,23 @@ HammockForest::HammockForest(const DependenceDAG &D, const DAGAnalysis &A) {
     Hammocks.push_back({U, V, std::move(M), 0, 0});
   }
 
-  // Parent = smallest strict superset. Laminarity follows from the
-  // canonical choice; guard with size comparisons only.
+  // Parent = smallest strict superset. Containment of canonical hammocks
+  // reduces to boundary dominance: I ⊆ J iff J's entry dominates I's
+  // entry and J's exit postdominates I's exit — every member of I is
+  // then inside J's boundary pair as well. O(1) per candidate instead of
+  // a member-set subset scan.
   for (unsigned I = 1; I != Hammocks.size(); ++I) {
     unsigned Best = 0;
     unsigned BestSize = Hammocks[0].Members.count();
+    unsigned SI = Hammocks[I].Members.count();
     for (unsigned J = 0; J != Hammocks.size(); ++J) {
       if (J == I)
         continue;
       unsigned SJ = Hammocks[J].Members.count();
-      unsigned SI = Hammocks[I].Members.count();
       if (SJ <= SI || SJ >= BestSize)
         continue;
-      // Superset test: I \ J empty.
-      Bitset Diff = Hammocks[I].Members;
-      Diff.subtract(Hammocks[J].Members);
-      if (Diff.none()) {
+      if (Dom.dominates(Hammocks[J].EntryN, Hammocks[I].EntryN) &&
+          PDom.dominates(Hammocks[J].ExitN, Hammocks[I].ExitN)) {
         Best = J;
         BestSize = SJ;
       }

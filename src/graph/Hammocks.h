@@ -70,6 +70,16 @@ public:
   const std::vector<unsigned> &innermostFirst() const { return ByDepth; }
 
 private:
+  /// Large-trace construction (size above closureThreshold()): dominator
+  /// trees and per-hammock member scans are O(N^2)-ish, so instead the
+  /// forest is derived from the analysis' separator positions — topo
+  /// positions no dependence jumps across. Each separator pair bounds a
+  /// single-entry/single-exit region by construction, giving a two-level
+  /// forest: the whole-DAG hammock plus one hammock per separator
+  /// segment. A subset of the canonical family, but enough to localize
+  /// transforms and drive the nesting-distance matching priority.
+  void buildFromSeparators(const DependenceDAG &D, const DAGAnalysis &A);
+
   std::vector<Hammock> Hammocks;
   std::vector<unsigned> Innermost;
   std::vector<unsigned> ByDepth;

@@ -55,21 +55,246 @@ chainsFromMatching(const MatchingResult &M, unsigned NumNodes,
 }
 
 static std::vector<std::pair<unsigned, unsigned>>
-relationPairs(const BitMatrix &Rel, const std::vector<unsigned> &Active) {
+relationPairs(RelationView Rel, const std::vector<unsigned> &Active) {
   std::vector<uint8_t> IsActive(Rel.size(), 0);
   for (unsigned A : Active)
     IsActive[A] = 1;
   std::vector<std::pair<unsigned, unsigned>> Pairs;
   for (unsigned A : Active)
-    Rel.row(A).forEach([&](unsigned B) {
+    Rel.forEachInRow(A, [&](unsigned B) {
       if (IsActive[B])
         Pairs.emplace_back(A, B);
     });
   return Pairs;
 }
 
+/// The shared row-direct engine: Hopcroft-Karp-style phased augmentation
+/// reading the relation rows in place — no adjacency lists, no pair
+/// vector; the row bits filtered by the active mask are the edges. \p
+/// Seed installs a valid warm-start matching first, a greedy pass tops
+/// it up, and then each phase runs one layered BFS from the free lefts
+/// followed by layer-disciplined DFS augmentation. An explicit stack
+/// keeps the DFS iterative.
+static MatchingResult phasedKuhnRows(
+    RelationView Rel, const std::vector<unsigned> &Active,
+    const std::vector<std::pair<unsigned, unsigned>> &Seed) {
+  unsigned N = Rel.size();
+  MatchingResult M;
+  M.MatchOfLeft.assign(N, -1);
+  M.MatchOfRight.assign(N, -1);
+  std::vector<int> &MatchL = M.MatchOfLeft, &MatchR = M.MatchOfRight;
+  for (auto [A, B] : Seed) {
+    assert(MatchL[A] < 0 && MatchR[B] < 0 && "seed pairs cannot conflict");
+    MatchL[A] = int(B);
+    MatchR[B] = int(A);
+    ++M.Size;
+  }
+
+  // Word-parallel candidate scan: the next right to try from a left's row
+  // is the lowest bit of row & Active & ~Visited, found 64 columns at a
+  // time. Closure-backed rows at scale are nearly full, so stepping
+  // per-set-bit and rejecting inactive/visited rights one by one (the
+  // old scan) touches O(N) bits per frame where one word op covers 64 —
+  // this is what makes row-direct decomposition usable at 100k nodes.
+  // Candidates are still produced in ascending column order, so the
+  // matching is bit-identical to the per-bit scan's.
+  const unsigned NumW = (N + 63) / 64;
+  std::vector<uint64_t> ActiveW(NumW, 0);
+  for (unsigned A : Active)
+    ActiveW[A / 64] |= uint64_t(1) << (A % 64);
+
+  // Greedy pre-matching: give every still-free left the first free active
+  // right in its row before any augmentation runs. On reuse relations —
+  // wide, reachability-shaped — this lands within a few percent of
+  // maximum, so the phased search below only repairs the remainder
+  // instead of growing the whole matching one alternating path at a
+  // time. Any valid initial matching yields the same maximum size, so
+  // the width stays canonical; only which chains realize it can shift.
+  {
+    std::vector<uint64_t> FreeRightW = ActiveW;
+    for (auto [A, B] : Seed) {
+      (void)A;
+      FreeRightW[B / 64] &= ~(uint64_t(1) << (B % 64));
+    }
+    for (unsigned L : Active) {
+      if (MatchL[L] >= 0)
+        continue;
+      for (unsigned WI = 0; WI != NumW; ++WI) {
+        if (!FreeRightW[WI])
+          continue; // no free rights here — skip without reading the row
+        uint64_t W = Rel.rowWord(L, WI) & FreeRightW[WI];
+        if (!W)
+          continue;
+        unsigned R = WI * 64 + __builtin_ctzll(W);
+        MatchL[L] = int(R);
+        MatchR[R] = int(L);
+        FreeRightW[WI] &= ~(W & -W);
+        ++M.Size;
+        break;
+      }
+    }
+  }
+
+  // Layered BFS from the free lefts: DistL[L] is the alternating-path
+  // depth (left steps only) at which L becomes reachable; the search
+  // stops at the first layer that touches a free right. The DFS below
+  // only descends along DistL[Owner] == DistL[L] + 1 edges, so a failed
+  // left (reset to INF) is provably exhausted for the whole phase — the
+  // pruning that lets each phase clear a maximal set of vertex-disjoint
+  // shortest augmenting paths instead of one path per full rescan.
+  // RightSeen keeps the BFS word-parallel: each row is filtered against
+  // the not-yet-reached rights 64 columns at a time.
+  const unsigned INF = ~0u;
+  std::vector<unsigned> DistL(N, INF);
+  std::vector<unsigned> Frontier, NextFrontier;
+  std::vector<uint64_t> RightSeen(NumW);
+  unsigned MaxLayer = 0;
+  auto BFS = [&]() {
+    Frontier.clear();
+    for (unsigned L : Active) {
+      DistL[L] = INF;
+      if (MatchL[L] < 0) {
+        DistL[L] = 0;
+        Frontier.push_back(L);
+      }
+    }
+    std::fill(RightSeen.begin(), RightSeen.end(), 0);
+    bool FoundFree = false;
+    for (unsigned D = 0; !Frontier.empty() && !FoundFree; ++D) {
+      NextFrontier.clear();
+      for (unsigned L : Frontier) {
+        for (unsigned WI = 0; WI != NumW; ++WI) {
+          // Candidate mask first: closure rows saturate RightSeen within
+          // the first layers, after which whole words skip on one load
+          // instead of paying the (lazy, remapped) row-word read.
+          uint64_t Cand = ActiveW[WI] & ~RightSeen[WI];
+          if (!Cand)
+            continue;
+          uint64_t W = Rel.rowWord(L, WI) & Cand;
+          if (!W)
+            continue;
+          RightSeen[WI] |= W;
+          while (W) {
+            unsigned R = WI * 64 + unsigned(__builtin_ctzll(W));
+            W &= W - 1;
+            int Owner = MatchR[R];
+            if (Owner < 0)
+              FoundFree = true;
+            else if (DistL[unsigned(Owner)] == INF) {
+              DistL[unsigned(Owner)] = D + 1;
+              NextFrontier.push_back(unsigned(Owner));
+            }
+          }
+        }
+      }
+      std::swap(Frontier, NextFrontier);
+      MaxLayer = D + 1;
+    }
+    return FoundFree;
+  };
+
+  // Per-layer right masks, rebuilt after each BFS: LayerW[d] holds the
+  // matched rights whose owner sits at BFS depth d, FreeW the unmatched
+  // active rights. A frame at depth d then scans
+  // row & (LayerW[d+1] | FreeW) word-parallel — the layer discipline is
+  // baked into the mask, so wrong-layer bits cost nothing. Rights are
+  // removed from their mask the moment the DFS commits to them
+  // (descends through or matches them): either their owner's subtree
+  // fails — no path through them exists this phase — or they end up on
+  // an augmenting path, and paths must stay vertex-disjoint.
+  std::vector<std::vector<uint64_t>> LayerW;
+  std::vector<uint64_t> FreeW(NumW);
+  auto BuildLayerMasks = [&]() {
+    if (LayerW.size() < size_t(MaxLayer) + 2)
+      LayerW.resize(MaxLayer + 2);
+    for (auto &LW : LayerW)
+      LW.assign(NumW, 0);
+    std::fill(FreeW.begin(), FreeW.end(), 0);
+    for (unsigned R : Active) {
+      int Owner = MatchR[R];
+      if (Owner < 0)
+        FreeW[R / 64] |= uint64_t(1) << (R % 64);
+      else if (DistL[unsigned(Owner)] != INF &&
+               DistL[unsigned(Owner)] < LayerW.size())
+        LayerW[DistL[unsigned(Owner)]][R / 64] |= uint64_t(1) << (R % 64);
+    }
+  };
+
+  auto NextCandidate = [&](unsigned L, unsigned From) -> unsigned {
+    unsigned Depth = DistL[L] + 1;
+    const uint64_t *DW =
+        Depth < LayerW.size() ? LayerW[Depth].data() : nullptr;
+    if (From >= N)
+      return N;
+    unsigned WI = From / 64;
+    uint64_t Cand =
+        ((DW ? DW[WI] : 0) | FreeW[WI]) & (~uint64_t(0) << (From % 64));
+    uint64_t W = Cand ? Rel.rowWord(L, WI) & Cand : 0;
+    while (!W) {
+      if (++WI == NumW)
+        return N;
+      Cand = (DW ? DW[WI] : 0) | FreeW[WI];
+      W = Cand ? Rel.rowWord(L, WI) & Cand : 0;
+    }
+    return WI * 64 + __builtin_ctzll(W);
+  };
+
+  struct Frame {
+    unsigned Left;
+    unsigned NextBit;    ///< resume position in the row scan
+    unsigned TakenRight; ///< the matched right we descended through
+  };
+  std::vector<Frame> Stack;
+  auto TryAugment = [&](unsigned Root) {
+    Stack.clear();
+    Stack.push_back({Root, 0, 0});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      unsigned R = NextCandidate(F.Left, F.NextBit);
+      if (R >= N) {
+        // No layered path through this left for the rest of the phase.
+        DistL[F.Left] = INF;
+        Stack.pop_back();
+        continue;
+      }
+      F.NextBit = R + 1;
+      int Owner = MatchR[R];
+      if (Owner >= 0) {
+        LayerW[DistL[F.Left] + 1][R / 64] &= ~(uint64_t(1) << (R % 64));
+        F.TakenRight = R;
+        Stack.push_back({unsigned(Owner), 0, 0});
+        continue;
+      }
+      // Free right: flip the alternating path recorded on the stack.
+      FreeW[R / 64] &= ~(uint64_t(1) << (R % 64));
+      MatchL[F.Left] = int(R);
+      MatchR[R] = int(F.Left);
+      for (unsigned D = unsigned(Stack.size()) - 1; D-- > 0;) {
+        MatchL[Stack[D].Left] = int(Stack[D].TakenRight);
+        MatchR[Stack[D].TakenRight] = int(Stack[D].Left);
+      }
+      return true;
+    }
+    return false;
+  };
+
+  // Phases repeat while the BFS still reaches a free right; a BFS that
+  // reaches nothing certifies the matching is maximum (no augmenting
+  // path exists at any length).
+  unsigned Phases = 0;
+  while (BFS()) {
+    ++Phases;
+    BuildLayerMasks();
+    for (unsigned L : Active)
+      if (MatchL[L] < 0 && TryAugment(L))
+        ++M.Size;
+  }
+  StatWarmAugments.add(Phases);
+  return M;
+}
+
 ChainDecomposition
-ursa::decomposeChains(const BitMatrix &Rel,
+ursa::decomposeChains(RelationView Rel,
                       const std::vector<unsigned> &Active) {
   IncrementalMatcher M(Rel.size());
   M.addBatchAndAugment(relationPairs(Rel, Active));
@@ -77,7 +302,20 @@ ursa::decomposeChains(const BitMatrix &Rel,
 }
 
 ChainDecomposition
-ursa::decomposeChainsPrioritized(const BitMatrix &Rel,
+ursa::decomposeChainsRows(RelationView Rel,
+                          const std::vector<unsigned> &Active,
+                          const ChainDecomposition *Warm) {
+  std::vector<std::pair<unsigned, unsigned>> Seed;
+  if (Warm) {
+    Seed = survivingMatchedPairs(*Warm, Rel);
+    StatWarmSeededPairs.add(Seed.size());
+  }
+  return chainsFromMatching(phasedKuhnRows(Rel, Active, Seed), Rel.size(),
+                            Active);
+}
+
+ChainDecomposition
+ursa::decomposeChainsPrioritized(RelationView Rel,
                                  const std::vector<unsigned> &Active,
                                  const HammockForest &HF) {
   std::map<unsigned, std::vector<std::pair<unsigned, unsigned>>> Batches;
@@ -94,7 +332,7 @@ ursa::decomposeChainsPrioritized(const BitMatrix &Rel,
 
 std::vector<std::pair<unsigned, unsigned>>
 ursa::survivingMatchedPairs(const ChainDecomposition &Prev,
-                            const BitMatrix &Rel) {
+                            RelationView Rel) {
   std::vector<std::pair<unsigned, unsigned>> Pairs;
   for (const auto &Chain : Prev.Chains)
     for (unsigned I = 0; I + 1 < Chain.size(); ++I) {
@@ -105,94 +343,20 @@ ursa::survivingMatchedPairs(const ChainDecomposition &Prev,
   return Pairs;
 }
 
-unsigned ursa::chainWidthWarmStart(const BitMatrix &Rel,
+unsigned ursa::chainWidthWarmStart(RelationView Rel,
                                    const std::vector<unsigned> &Active,
                                    const ChainDecomposition &Prev) {
-  unsigned N = Rel.size();
-  std::vector<int> MatchL(N, -1), MatchR(N, -1);
-  unsigned Size = 0;
-  for (auto [A, B] : survivingMatchedPairs(Prev, Rel)) {
-    assert(MatchL[A] < 0 && MatchR[B] < 0 && "chain pairs cannot conflict");
-    MatchL[A] = int(B);
-    MatchR[B] = int(A);
-    ++Size;
-  }
-
-  std::vector<uint8_t> IsActive(N, 0);
-  for (unsigned A : Active)
-    IsActive[A] = 1;
-
-  // Kuhn augmentation reading the relation rows in place: no adjacency
-  // lists, no pair vector — the row bits filtered by IsActive are the
-  // edges. An explicit stack keeps the DFS iterative; VisitedEpoch spares
-  // a clear per phase. The warm start leaves only a handful of free lefts
-  // to augment, so most rows are never even scanned.
-  std::vector<unsigned> VisitedEpoch(N, 0);
-  unsigned Epoch = 0;
-  struct Frame {
-    unsigned Left;
-    unsigned NextBit;    ///< resume position in the row scan
-    unsigned TakenRight; ///< the matched right we descended through
-  };
-  std::vector<Frame> Stack;
-  auto TryAugment = [&](unsigned Root) {
-    Stack.clear();
-    Stack.push_back({Root, 0, 0});
-    while (!Stack.empty()) {
-      Frame &F = Stack.back();
-      unsigned R = Rel.row(F.Left).findNext(F.NextBit);
-      if (R >= N) {
-        Stack.pop_back();
-        continue;
-      }
-      F.NextBit = R + 1;
-      if (!IsActive[R] || VisitedEpoch[R] == Epoch)
-        continue;
-      VisitedEpoch[R] = Epoch;
-      int Owner = MatchR[R];
-      if (Owner >= 0) {
-        F.TakenRight = R;
-        Stack.push_back({unsigned(Owner), 0, 0});
-        continue;
-      }
-      // Free right: flip the alternating path recorded on the stack.
-      MatchL[F.Left] = int(R);
-      MatchR[R] = int(F.Left);
-      for (unsigned D = unsigned(Stack.size()) - 1; D-- > 0;) {
-        MatchL[Stack[D].Left] = int(Stack[D].TakenRight);
-        MatchR[Stack[D].TakenRight] = int(Stack[D].Left);
-      }
-      return true;
-    }
-    return false;
-  };
-
-  // Phased multi-root augmentation: every free left in a phase shares one
-  // visited epoch. A failed DFS leaves the matching untouched, so its
-  // visited rights provably admit no augmenting path for the *next* root
-  // either (the Hopcroft–Karp pruning lemma) — without the sharing, each
-  // free chain tail would rescan the whole alternating structure. A
-  // success may invalidate marks made before it, so phases repeat until
-  // one finds nothing; that clean last phase certifies maximality.
-  StatWarmSeededPairs.add(Size);
-  unsigned Phases = 0;
-  for (bool Progress = true; Progress;) {
-    Progress = false;
-    ++Phases;
-    ++Epoch;
-    for (unsigned L : Active)
-      if (MatchL[L] < 0 && TryAugment(L)) {
-        ++Size;
-        Progress = true;
-      }
-  }
-  StatWarmAugments.add(Phases);
-
-  assert(Size <= Active.size() && "matching larger than domain");
-  return unsigned(Active.size()) - Size;
+  // The warm start leaves only a handful of free lefts to augment, so
+  // most rows are never even scanned by the row-direct engine.
+  std::vector<std::pair<unsigned, unsigned>> Seed =
+      survivingMatchedPairs(Prev, Rel);
+  StatWarmSeededPairs.add(Seed.size());
+  MatchingResult M = phasedKuhnRows(Rel, Active, Seed);
+  assert(M.Size <= Active.size() && "matching larger than domain");
+  return unsigned(Active.size()) - M.Size;
 }
 
-std::vector<unsigned> ursa::maxAntichain(const BitMatrix &Rel,
+std::vector<unsigned> ursa::maxAntichain(RelationView Rel,
                                          const std::vector<unsigned> &Active) {
   unsigned N = Rel.size();
   std::vector<std::vector<unsigned>> Adj(N);
@@ -238,7 +402,7 @@ std::vector<unsigned> ursa::maxAntichain(const BitMatrix &Rel,
   return A;
 }
 
-static unsigned bruteRecurse(const BitMatrix &Rel,
+static unsigned bruteRecurse(RelationView Rel,
                              const std::vector<unsigned> &Active, unsigned I,
                              std::vector<unsigned> &Picked) {
   if (I == Active.size())
@@ -258,7 +422,7 @@ static unsigned bruteRecurse(const BitMatrix &Rel,
   return Best;
 }
 
-unsigned ursa::bruteForceWidth(const BitMatrix &Rel,
+unsigned ursa::bruteForceWidth(RelationView Rel,
                                const std::vector<unsigned> &Active) {
   assert(Active.size() <= 24 && "brute force is for small inputs only");
   std::vector<unsigned> Picked;

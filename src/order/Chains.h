@@ -17,6 +17,7 @@
 #ifndef URSA_ORDER_CHAINS_H
 #define URSA_ORDER_CHAINS_H
 
+#include "graph/Closure.h"
 #include "graph/Hammocks.h"
 #include "support/Bitset.h"
 
@@ -40,15 +41,31 @@ struct ChainDecomposition {
 
 /// Minimum chain decomposition using plain (non-prioritized) matching.
 /// \p Rel must be a strict order on node ids; only \p Active nodes
-/// participate.
-ChainDecomposition decomposeChains(const BitMatrix &Rel,
+/// participate. Accepts any RelationView source (dense matrix, raw
+/// closure, or a lazy masked relation) via implicit conversion.
+ChainDecomposition decomposeChains(RelationView Rel,
                                    const std::vector<unsigned> &Active);
+
+/// Row-direct minimum chain decomposition: the phased-Kuhn engine reads
+/// the relation rows in place, never materializing the pair list — the
+/// large-trace path where enumerating all O(N^2) related pairs would
+/// dwarf the closure itself. The *width* is canonical (identical to
+/// decomposeChains); the particular chains may differ.
+///
+/// \p Warm optionally seeds the matcher with a prior decomposition's
+/// surviving pairs (see survivingMatchedPairs): after a transform the
+/// new relation differs from the old by a handful of pairs, so the
+/// seeded matcher augments only the difference instead of rebuilding
+/// the matching from scratch. The width is canonical for any seed.
+ChainDecomposition
+decomposeChainsRows(RelationView Rel, const std::vector<unsigned> &Active,
+                    const ChainDecomposition *Warm = nullptr);
 
 /// The paper's hammock-aware variant: bipartite edges are added in
 /// batches of increasing hammock-crossing priority so the decomposition
 /// projects minimally onto every nested hammock.
 ChainDecomposition
-decomposeChainsPrioritized(const BitMatrix &Rel,
+decomposeChainsPrioritized(RelationView Rel,
                            const std::vector<unsigned> &Active,
                            const HammockForest &HF);
 
@@ -60,7 +77,7 @@ decomposeChainsPrioritized(const BitMatrix &Rel,
 /// reuse relation monotonically (every pair survives); register relations
 /// re-select kills and may drop some, hence the filter.
 std::vector<std::pair<unsigned, unsigned>>
-survivingMatchedPairs(const ChainDecomposition &Prev, const BitMatrix &Rel);
+survivingMatchedPairs(const ChainDecomposition &Prev, RelationView Rel);
 
 /// Width of \p Rel over \p Active — |Active| minus a maximum matching
 /// (Dilworth via Fulkerson's reduction) — warm-started from \p Prev's
@@ -76,17 +93,17 @@ survivingMatchedPairs(const ChainDecomposition &Prev, const BitMatrix &Rel);
 /// bits define the relation. In particular a raw reachability closure
 /// works as-is — the FU reuse relation *is* the closure restricted to
 /// the active nodes.
-unsigned chainWidthWarmStart(const BitMatrix &Rel,
+unsigned chainWidthWarmStart(RelationView Rel,
                              const std::vector<unsigned> &Active,
                              const ChainDecomposition &Prev);
 
 /// A maximum antichain of the relation over \p Active (size == width).
-std::vector<unsigned> maxAntichain(const BitMatrix &Rel,
+std::vector<unsigned> maxAntichain(RelationView Rel,
                                    const std::vector<unsigned> &Active);
 
 /// Brute-force width (maximum antichain size) by exhaustive search; for
 /// property tests on small inputs only.
-unsigned bruteForceWidth(const BitMatrix &Rel,
+unsigned bruteForceWidth(RelationView Rel,
                          const std::vector<unsigned> &Active);
 
 } // namespace ursa

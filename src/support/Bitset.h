@@ -15,6 +15,7 @@
 #ifndef URSA_SUPPORT_BITSET_H
 #define URSA_SUPPORT_BITSET_H
 
+#include <cstddef>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -96,6 +97,33 @@ public:
     return N;
   }
 
+  /// Population count of the intersection with \p O, without materializing
+  /// a temporary bitset.
+  unsigned countCommon(const Bitset &O) const {
+    assert(NumBits == O.NumBits && "size mismatch");
+    unsigned N = 0;
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      N += __builtin_popcountll(Words[I] & O.Words[I]);
+    return N;
+  }
+
+  /// Number of backing 64-bit words.
+  unsigned numWords() const { return unsigned(Words.size()); }
+
+  /// The word covering bits [WI*64, WI*64+64).
+  uint64_t word(unsigned WI) const {
+    assert(WI < Words.size() && "word index out of range");
+    return Words[WI];
+  }
+
+  /// ORs \p W into word \p WI; bits beyond size() are trimmed.
+  void orWord(unsigned WI, uint64_t W) {
+    assert(WI < Words.size() && "word index out of range");
+    Words[WI] |= W;
+    if (WI + 1 == Words.size())
+      trimTail();
+  }
+
   bool none() const {
     for (uint64_t W : Words)
       if (W)
@@ -161,6 +189,16 @@ public:
 
   /// Unions row \p Src into row \p Dst (used for closure propagation).
   void unionRows(unsigned Dst, unsigned Src) { Rows[Dst] |= Rows[Src]; }
+
+  /// Word-parallel population count of row \p R — the allocation-free way
+  /// to tally relation pairs (no row copy, no per-bit iteration).
+  unsigned popcountRow(unsigned R) const { return Rows[R].count(); }
+
+  /// Heap bytes behind the rows.
+  size_t memoryBytes() const {
+    return Rows.capacity() * sizeof(Bitset) +
+           size_t(N) * (((size_t(N) + 63) / 64) * 8);
+  }
 
 private:
   unsigned N = 0;

@@ -1,0 +1,161 @@
+//===- support/TiledBitMatrix.cpp - Blocked sparse bit matrix -------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TiledBitMatrix.h"
+
+#include <algorithm>
+
+using namespace ursa;
+
+uint32_t TiledBitMatrix::materialize(size_t TI) {
+  uint32_t T;
+  if (!FreeList.empty()) {
+    T = FreeList.back();
+    FreeList.pop_back();
+    std::fill_n(Pool.begin() + size_t(T) * WordsPerChunk, WordsPerChunk,
+                uint64_t(0));
+  } else {
+    T = uint32_t(Pool.size() / WordsPerChunk);
+    Pool.resize(Pool.size() + WordsPerChunk, 0);
+    Sat.push_back(0);
+  }
+  Sat[T] = 0;
+  Grid[TI] = T;
+  return T;
+}
+
+void TiledBitMatrix::orRowWord(unsigned R, unsigned WI, uint64_t W) {
+  assert(R < N && WI < TPS && "word index out of range");
+  assert((WI + 1 < TPS || N % 64 == 0 || (W >> (N % 64)) == 0) &&
+         "word carries bits beyond the matrix side");
+  if (W == 0)
+    return;
+  size_t TI = tileIndex(R, WI);
+  uint32_t T = Grid[TI];
+  if (T == AllOne)
+    return;
+  if (T == AllZero)
+    T = materialize(TI);
+  uint64_t &Dst = Pool[size_t(T) * WordsPerChunk + (R & 63)];
+  uint64_t Old = Dst;
+  Dst |= W;
+  if (Dst != Old && Dst == ~uint64_t(0) && ++Sat[T] == WordsPerChunk) {
+    // Every word of the chunk is saturated: collapse the tile to its
+    // summary and recycle the chunk. Ragged boundary tiles never reach
+    // this point (their tail words cannot saturate).
+    Grid[TI] = AllOne;
+    FreeList.push_back(T);
+  }
+}
+
+void TiledBitMatrix::orRow(unsigned Dst, unsigned Src) {
+  assert(Dst < N && Src < N && "row index out of range");
+  size_t SrcBase = size_t(Src / 64) * TPS;
+  for (unsigned TC = 0; TC != TPS; ++TC) {
+    uint32_t ST = Grid[SrcBase + TC];
+    if (ST == AllZero)
+      continue;
+    // Read by value before orRowWord: materialization may reallocate Pool,
+    // and Dst may share the tile row with Src.
+    uint64_t W = ST == AllOne ? ~uint64_t(0)
+                              : Pool[size_t(ST) * WordsPerChunk + (Src & 63)];
+    orRowWord(Dst, TC, W);
+  }
+}
+
+void TiledBitMatrix::orRowBitset(unsigned R, const Bitset &B) {
+  assert(B.size() == N && "bitset/matrix size mismatch");
+  for (unsigned WI = 0; WI != TPS; ++WI)
+    orRowWord(R, WI, B.word(WI));
+}
+
+Bitset TiledBitMatrix::rowBitset(unsigned R) const {
+  Bitset B(N);
+  for (unsigned WI = 0; WI != TPS; ++WI) {
+    uint64_t W = rowWord(R, WI);
+    if (W)
+      B.orWord(WI, W);
+  }
+  return B;
+}
+
+unsigned TiledBitMatrix::rowCount(unsigned R) const {
+  assert(R < N && "row index out of range");
+  unsigned Count = 0;
+  size_t Base = size_t(R / 64) * TPS;
+  for (unsigned TC = 0; TC != TPS; ++TC) {
+    uint32_t T = Grid[Base + TC];
+    if (T == AllZero)
+      continue;
+    Count += T == AllOne
+                 ? 64
+                 : __builtin_popcountll(
+                       Pool[size_t(T) * WordsPerChunk + (R & 63)]);
+  }
+  return Count;
+}
+
+unsigned TiledBitMatrix::rowFindNext(unsigned R, unsigned From) const {
+  if (From >= N)
+    return N;
+  unsigned WI = From / 64;
+  uint64_t W = rowWord(R, WI) & (~uint64_t(0) << (From % 64));
+  while (!W) {
+    if (++WI == TPS)
+      return N;
+    uint32_t T = Grid[tileIndex(R, WI)];
+    if (T == AllZero)
+      continue;
+    W = T == AllOne ? ~uint64_t(0)
+                    : Pool[size_t(T) * WordsPerChunk + (R & 63)];
+  }
+  unsigned Bit = WI * 64 + __builtin_ctzll(W);
+  assert(Bit < N && "set bit beyond the matrix side");
+  return Bit;
+}
+
+void TiledBitMatrix::clearRow(unsigned R) {
+  assert(R < N && "row index out of range");
+  size_t Base = size_t(R / 64) * TPS;
+  for (unsigned TC = 0; TC != TPS; ++TC) {
+    uint32_t T = Grid[Base + TC];
+    if (T == AllZero)
+      continue;
+    if (T == AllOne) {
+      // Demote: the other 63 rows of the tile stay saturated.
+      T = materialize(Base + TC);
+      std::fill_n(Pool.begin() + size_t(T) * WordsPerChunk, WordsPerChunk,
+                  ~uint64_t(0));
+      Pool[size_t(T) * WordsPerChunk + (R & 63)] = 0;
+      Sat[T] = WordsPerChunk - 1;
+      continue;
+    }
+    uint64_t &W = Pool[size_t(T) * WordsPerChunk + (R & 63)];
+    if (W == ~uint64_t(0))
+      --Sat[T];
+    W = 0;
+    auto ChunkBegin = Pool.begin() + size_t(T) * WordsPerChunk;
+    if (std::all_of(ChunkBegin, ChunkBegin + WordsPerChunk,
+                    [](uint64_t X) { return X == 0; })) {
+      Grid[Base + TC] = AllZero;
+      FreeList.push_back(T);
+    }
+  }
+}
+
+void TiledBitMatrix::growTo(unsigned NewSize) {
+  assert(NewSize >= N && "matrix can only grow");
+  unsigned NewTPS = (NewSize + 63) / 64;
+  if (NewTPS != TPS) {
+    std::vector<uint32_t> NewGrid(size_t(NewTPS) * NewTPS, AllZero);
+    for (unsigned TR = 0; TR != TPS; ++TR)
+      std::copy_n(Grid.begin() + size_t(TR) * TPS, TPS,
+                  NewGrid.begin() + size_t(TR) * NewTPS);
+    Grid = std::move(NewGrid);
+    TPS = NewTPS;
+  }
+  N = NewSize;
+}

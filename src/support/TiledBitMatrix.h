@@ -1,0 +1,148 @@
+//===- support/TiledBitMatrix.h - Blocked sparse bit matrix -----*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A square bit matrix stored as 64x64-bit tiles behind a tile-summary
+/// grid. Reachability closures of straight-line traces are block
+/// structured: row r is empty left of r's topological position and solid
+/// past the next hammock boundary, so most tiles are all-zero or all-one.
+/// The grid keeps one 4-byte summary per tile (AllZero / AllOne / index of
+/// a materialized 512-byte chunk), which collapses the dense O(N^2)-bit
+/// footprint to roughly the number of "mixed" tiles along the boundary
+/// diagonal.
+///
+/// Collapse to AllOne happens inline while rows are built (per-chunk
+/// saturated-word counters), so *peak* memory tracks the collapsed size,
+/// not the dense size. Ragged boundary tiles can never saturate (their
+/// tail bits beyond N are never set), so an AllOne summary is always
+/// exactly 64x64 ones — no raggedness checks on the query path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SUPPORT_TILEDBITMATRIX_H
+#define URSA_SUPPORT_TILEDBITMATRIX_H
+
+#include "support/Bitset.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ursa {
+
+class TiledBitMatrix {
+public:
+  static constexpr uint32_t AllZero = 0xFFFFFFFFu;
+  static constexpr uint32_t AllOne = 0xFFFFFFFEu;
+  static constexpr unsigned WordsPerChunk = 64;
+
+  TiledBitMatrix() = default;
+  explicit TiledBitMatrix(unsigned Size)
+      : N(Size), TPS((Size + 63) / 64), Grid(size_t(TPS) * TPS, AllZero) {}
+
+  unsigned size() const { return N; }
+
+  /// Number of 64-bit words per row (= tiles per side).
+  unsigned numRowWords() const { return TPS; }
+
+  bool test(unsigned R, unsigned C) const {
+    assert(R < N && C < N && "bit index out of range");
+    uint32_t T = Grid[tileIndex(R, C / 64)];
+    if (T == AllZero)
+      return false;
+    if (T == AllOne)
+      return true;
+    return (Pool[size_t(T) * WordsPerChunk + (R & 63)] >> (C % 64)) & 1;
+  }
+
+  void set(unsigned R, unsigned C) {
+    assert(R < N && C < N && "bit index out of range");
+    orRowWord(R, C / 64, uint64_t(1) << (C % 64));
+  }
+
+  /// The 64-bit word covering columns [WI*64, WI*64+64) of row \p R.
+  uint64_t rowWord(unsigned R, unsigned WI) const {
+    assert(R < N && WI < TPS && "word index out of range");
+    uint32_t T = Grid[tileIndex(R, WI)];
+    if (T == AllZero)
+      return 0;
+    if (T == AllOne)
+      return ~uint64_t(0);
+    return Pool[size_t(T) * WordsPerChunk + (R & 63)];
+  }
+
+  /// ORs \p W into the word covering columns [WI*64, ...) of row \p R.
+  /// \p W must not carry bits beyond column N.
+  void orRowWord(unsigned R, unsigned WI, uint64_t W);
+
+  /// Row[Dst] |= Row[Src], tile-parallel (AllZero source tiles skipped,
+  /// AllOne ones become a single full-word OR).
+  void orRow(unsigned Dst, unsigned Src);
+
+  /// Row[R] |= B; \p B must be sized like the matrix side.
+  void orRowBitset(unsigned R, const Bitset &B);
+
+  /// Materializes row \p R as a dense Bitset.
+  Bitset rowBitset(unsigned R) const;
+
+  /// Word-parallel popcount of row \p R (AllOne tiles count as 64).
+  unsigned rowCount(unsigned R) const;
+
+  /// First set column >= \p From in row \p R, or size() when none.
+  unsigned rowFindNext(unsigned R, unsigned From) const;
+
+  /// Calls \p F with every set column of row \p R, in increasing order.
+  template <typename Fn> void rowForEach(unsigned R, Fn F) const {
+    for (unsigned WI = 0; WI != TPS; ++WI) {
+      uint32_t T = Grid[tileIndex(R, WI)];
+      if (T == AllZero)
+        continue;
+      uint64_t W = T == AllOne ? ~uint64_t(0)
+                               : Pool[size_t(T) * WordsPerChunk + (R & 63)];
+      while (W) {
+        unsigned Bit = __builtin_ctzll(W);
+        F(WI * 64 + Bit);
+        W &= W - 1;
+      }
+    }
+  }
+
+  /// Zeroes row \p R (AllOne tiles demote to materialized chunks; chunks
+  /// that become all-zero are recycled).
+  void clearRow(unsigned R);
+
+  /// Heap bytes currently held (grid + chunk pool + bookkeeping).
+  size_t memoryBytes() const {
+    return Grid.capacity() * sizeof(uint32_t) +
+           Pool.capacity() * sizeof(uint64_t) + Sat.capacity() +
+           FreeList.capacity() * sizeof(uint32_t);
+  }
+
+  /// Grows the matrix side to \p NewSize. Existing bits keep their
+  /// indices; new rows and columns start empty. Chunk indices stay valid
+  /// (only the grid is reindexed), so this is cheap relative to a copy.
+  void growTo(unsigned NewSize);
+
+private:
+  size_t tileIndex(unsigned R, unsigned TC) const {
+    return size_t(R / 64) * TPS + TC;
+  }
+
+  /// Materializes the all-zero tile at \p TI; returns its chunk index.
+  uint32_t materialize(size_t TI);
+
+  unsigned N = 0;
+  unsigned TPS = 0;               ///< tiles (= 64-bit words) per side
+  std::vector<uint32_t> Grid;     ///< per tile: AllZero, AllOne, or chunk
+  std::vector<uint64_t> Pool;     ///< materialized chunks, 64 words each
+  std::vector<uint8_t> Sat;       ///< per chunk: count of all-ones words
+  std::vector<uint32_t> FreeList; ///< recycled chunk indices
+};
+
+} // namespace ursa
+
+#endif // URSA_SUPPORT_TILEDBITMATRIX_H

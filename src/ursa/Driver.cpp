@@ -180,10 +180,14 @@ collectProposals(const DependenceDAG &D, const State &S, bool DoRegs,
     bool IsReg = M.Res.Kind == ResourceId::Reg;
     if ((IsReg && !DoRegs) || (!IsReg && !DoFUs))
       continue;
-    std::vector<ExcessiveChainSet> Sets =
-        findExcessiveSets(M, *S.A, *S.HF, Limit);
     // Innermost hammocks first; a couple of sets per resource per round
-    // keeps the tentative-application cost bounded.
+    // keeps the tentative-application cost bounded. Above the closure
+    // threshold the cap is pushed into the search itself (the loop below
+    // never consumes more than two sets, so the output is identical —
+    // the search just stops scanning hammocks it would have discarded).
+    unsigned MaxSets = D.size() > closureThreshold() ? 2 : 0;
+    std::vector<ExcessiveChainSet> Sets =
+        findExcessiveSets(M, *S.A, *S.HF, Limit, MaxSets);
     unsigned Taken = 0;
     for (const ExcessiveChainSet &E : Sets) {
       if (Taken++ == 2)
@@ -484,12 +488,12 @@ static URSAResult runGreedy(DependenceDAG D, const MachineModel &M,
       auto EvalOne = [&](size_t I) {
         URSA_SPAN(EvalSpan, evalSpanName(Props[I].Kind), "transform");
         DependenceDAG Scratch = R.DAG;
-        applyTransform(Scratch, Props[I]);
+        ApplyStats ScratchSt = applyTransform(Scratch, Props[I]);
         bool IsSpill = Props[I].Kind == TransformProposal::Spill;
         unsigned NewExcess = 0, NewCrit = 0;
         std::shared_ptr<const State> SS;
         DeltaMeasurement DM;
-        if (Inc && Inc->measureDelta(Scratch, Props[I], DM)) {
+        if (Inc && Inc->measureDelta(Scratch, Props[I], ScratchSt.Delta, DM)) {
           StatIncrementalEvals.add();
           NewExcess = DM.TotalExcess;
           NewCrit = DM.CritPath;
@@ -621,13 +625,26 @@ static URSAResult runGreedy(DependenceDAG D, const MachineModel &M,
         // from it exactly as a from-scratch build would; the differential
         // test in tests/incremental_test.cpp pins this. A nullptr (edge
         // list not provably a pure delta against the applied DAG) just
-        // falls back to the old full rebuild on the next get().
-        if (std::unique_ptr<DAGAnalysis> NA = DAGAnalysis::buildIncremental(
-                R.DAG, *S.A, Props[Best].SeqEdges)) {
+        // falls back to the old full rebuild on the next get(). Spill
+        // winners replay the journal the real apply just recorded —
+        // additions, removals, and appended nodes — through
+        // buildIncrementalDelta.
+        std::unique_ptr<DAGAnalysis> NA =
+            Props[Best].Kind == TransformProposal::Spill
+                ? DAGAnalysis::buildIncrementalDelta(R.DAG, *S.A, ASt.Delta)
+                : DAGAnalysis::buildIncremental(R.DAG, *S.A,
+                                                Props[Best].SeqEdges);
+        if (NA) {
           StatIncrementalPromotions.add();
-          Cache.insert(FpAfter,
-                       std::make_shared<const State>(R.DAG, M, Opts.Measure,
-                                                     std::move(NA)));
+          // Warm the remeasure from the round-start decomposition: the
+          // applied transform perturbs the reuse relations by a handful
+          // of pairs, so the row-direct matcher only repairs those
+          // instead of re-matching ~N pairs from scratch. Width stays
+          // canonical for any seed (Measure.h, WarmFrom).
+          MeasureOptions WarmMO = Opts.Measure;
+          WarmMO.WarmFrom = &S.Meas;
+          Cache.insert(FpAfter, std::make_shared<const State>(
+                                    R.DAG, M, WarmMO, std::move(NA)));
         }
       }
       R.SeqEdgesAdded += ASt.EdgesAdded;
@@ -704,6 +721,8 @@ static URSAResult runGreedy(DependenceDAG D, const MachineModel &M,
 
   {
     std::shared_ptr<const State> Check = Cache.get(R.DAG, M, Opts.Measure);
+    R.ClosureBytesPeak =
+        std::max(R.ClosureBytesPeak, Check->A->closureMemoryBytes());
     if (Check->TotalExcess == 0 || R.Rounds == RoundsAtSweepStart)
       break;
     // Livelock detection: sweeps that keep applying transforms without
@@ -741,6 +760,9 @@ static URSAResult runGreedy(DependenceDAG D, const MachineModel &M,
   std::shared_ptr<const State> Final = Cache.get(R.DAG, M, Opts.Measure);
   R.CritPathAfter = Final->CritPath;
   R.WithinLimits = Final->TotalExcess == 0;
+  R.ClosureRepUsed = closureRepName(Final->A->closureRep());
+  R.ClosureBytesPeak =
+      std::max(R.ClosureBytesPeak, Final->A->closureMemoryBytes());
   for (const Measurement &Ms : Final->Meas)
     R.FinalRequired.push_back(Ms.MaxRequired);
   return R;
@@ -985,13 +1007,13 @@ static URSAResult runBeamSearch(DependenceDAG D, const MachineModel &M,
               Props[Cands[CI].Parent][Cands[CI].PropIdx];
           URSA_SPAN(EvalSpan, evalSpanName(Prop.Kind), "transform");
           DependenceDAG Scratch = Par.DAG;
-          applyTransform(Scratch, Prop);
+          ApplyStats ScratchSt = applyTransform(Scratch, Prop);
           bool IsSpill = Prop.Kind == TransformProposal::Spill;
           unsigned NewExcess = 0, NewCrit = 0, NewSum = 0;
           std::shared_ptr<const State> SS;
           DeltaMeasurement DM;
           IncrementalMeasurer *Eng = Inc[Cands[CI].Parent].get();
-          if (Eng && Eng->measureDelta(Scratch, Prop, DM)) {
+          if (Eng && Eng->measureDelta(Scratch, Prop, ScratchSt.Delta, DM)) {
             StatIncrementalEvals.add();
             NewExcess = DM.TotalExcess;
             NewCrit = DM.CritPath;
@@ -1140,19 +1162,28 @@ static URSAResult runBeamSearch(DependenceDAG D, const MachineModel &M,
             if (Opts.MeasurementReuse)
               Cache.insert(Next.Fp, Evals[CI].SS);
             Next.S = Evals[CI].SS;
-          } else if (std::unique_ptr<DAGAnalysis> NA =
-                         DAGAnalysis::buildIncremental(Next.DAG, *Par.S->A,
-                                                       Prop.SeqEdges)) {
+          } else {
             // Delta-scored winner: promote through its delta closure
             // (PR 5's winner-promotion path), once per admitted state.
-            StatIncrementalPromotions.add();
-            auto NS = std::make_shared<const State>(Next.DAG, M, Opts.Measure,
-                                                    std::move(NA));
-            if (Opts.MeasurementReuse)
-              Cache.insert(Next.Fp, NS);
-            Next.S = std::move(NS);
-          } else {
-            Next.S = Cache.get(Next.DAG, M, Opts.Measure);
+            // Spill winners replay the journal the apply above recorded.
+            std::unique_ptr<DAGAnalysis> NA =
+                Prop.Kind == TransformProposal::Spill
+                    ? DAGAnalysis::buildIncrementalDelta(Next.DAG, *Par.S->A,
+                                                         ASt.Delta)
+                    : DAGAnalysis::buildIncremental(Next.DAG, *Par.S->A,
+                                                    Prop.SeqEdges);
+            if (NA) {
+              StatIncrementalPromotions.add();
+              MeasureOptions WarmMO = Opts.Measure;
+              WarmMO.WarmFrom = &Par.S->Meas; // seed from the parent state
+              auto NS = std::make_shared<const State>(Next.DAG, M, WarmMO,
+                                                      std::move(NA));
+              if (Opts.MeasurementReuse)
+                Cache.insert(Next.Fp, NS);
+              Next.S = std::move(NS);
+            } else {
+              Next.S = Cache.get(Next.DAG, M, Opts.Measure);
+            }
           }
           Next.Rounds = Par.Rounds + 1;
           Next.SeqEdgesAdded = Par.SeqEdgesAdded + ASt.EdgesAdded;
@@ -1287,6 +1318,9 @@ static URSAResult runBeamSearch(DependenceDAG D, const MachineModel &M,
   std::shared_ptr<const State> Final = Cache.get(R.DAG, M, Opts.Measure);
   R.CritPathAfter = Final->CritPath;
   R.WithinLimits = Final->TotalExcess == 0;
+  R.ClosureRepUsed = closureRepName(Final->A->closureRep());
+  R.ClosureBytesPeak =
+      std::max(R.ClosureBytesPeak, Final->A->closureMemoryBytes());
   for (const Measurement &Ms : Final->Meas)
     R.FinalRequired.push_back(Ms.MaxRequired);
   return R;

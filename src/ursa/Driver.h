@@ -205,6 +205,13 @@ struct URSAResult {
   /// counters trend them across runs.
   std::vector<std::string> StopReasons;
 
+  /// Closure representation the final analysis used ("dense" or
+  /// "blocked") and the largest closure footprint (bytes, both closures
+  /// of one analysis) observed across the run's measured states — the
+  /// number the 100k-node memory-wall gates watch.
+  std::string ClosureRepUsed;
+  size_t ClosureBytesPeak = 0;
+
   /// The old string log, rendered from RoundLog (compatibility shim).
   std::vector<std::string> formatLog() const;
 

@@ -19,6 +19,8 @@ URSA_STAT(StatDeltaMeasures, "ursa.incremental.delta_measures",
           "proposal states measured by delta instead of a full rebuild");
 URSA_STAT(StatDeltaEdges, "ursa.incremental.edges_propagated",
           "edges folded into reachability closures by delta propagation");
+URSA_STAT(StatDeltaSpills, "ursa.incremental.spill_deltas",
+          "spill proposal states measured by journal delta replay");
 
 IncrementalMeasurer::IncrementalMeasurer(
     const DependenceDAG &BaseDIn, const DAGAnalysis &BaseAIn,
@@ -31,29 +33,13 @@ IncrementalMeasurer::IncrementalMeasurer(
          "measurements and limits must align (machineResources order)");
 }
 
-bool IncrementalMeasurer::measureDelta(const DependenceDAG &Scratch,
-                                       const TransformProposal &P,
-                                       DeltaMeasurement &Out) const {
-  // Spills insert store/reload nodes and rewire use edges — not an edge
-  // delta. Everything else only adds P.SeqEdges (plus reachability-neutral
-  // virtual-edge cleanup).
-  if (P.Kind == TransformProposal::Spill)
-    return false;
-  if (Scratch.size() != BaseD.size())
-    return false;
-
-  URSA_SPAN(DeltaSpan, "ursa.measure.delta", "measure");
-  std::unique_ptr<DAGAnalysis> A;
-  {
-    URSA_SPAN(ClosureSpan, "ursa.measure.delta.closure", "measure");
-    A = DAGAnalysis::buildIncremental(Scratch, BaseA, P.SeqEdges);
-  }
-  if (!A)
-    return false;
-
+bool IncrementalMeasurer::measureWidths(const DependenceDAG &Scratch,
+                                        const DAGAnalysis &A,
+                                        bool AllowActiveChange,
+                                        DeltaMeasurement &Out) const {
   Out.Required.clear();
   Out.Required.reserve(BaseMeas.size());
-  Out.CritPath = A->criticalPathLength();
+  Out.CritPath = A.criticalPathLength();
   Out.TotalExcess = 0;
 
   KillMap Kills;
@@ -72,26 +58,27 @@ bool IncrementalMeasurer::measureDelta(const DependenceDAG &Scratch,
         if (BM.Res.AllClasses ||
             Scratch.instrAt(N).fuKind() == BM.Res.FUClass)
           FUActive.push_back(N);
-      // The warm start assumes the relation's domain is unchanged; an
-      // edge delta never changes it (active sets are trace-determined),
-      // so a mismatch means the delta premise is broken — fall back.
-      if (FUActive != BM.Reuse.Active)
+      // The pure-edge warm start assumes the relation's domain is
+      // unchanged; an edge delta never changes it (active sets are
+      // trace-determined), so a mismatch means the delta premise is
+      // broken — fall back. Spill deltas legitimately grow the set.
+      if (!AllowActiveChange && FUActive != BM.Reuse.Active)
         return false;
       URSA_SPAN(WidthSpan, "ursa.measure.delta.fu_width", "measure");
-      W = chainWidthWarmStart(A->reachabilityClosure(), FUActive, BM.Chains);
+      W = chainWidthWarmStart(A.reachabilityClosure(), FUActive, BM.Chains);
     } else {
       if (!KillsBuilt) {
         URSA_SPAN(KillSpan, "ursa.measure.delta.kills", "measure");
-        Kills = MO.KillSolver == 1 ? selectKillsMinCoverExact(Scratch, *A)
-                                   : selectKillsGreedy(Scratch, *A);
+        Kills = MO.KillSolver == 1 ? selectKillsMinCoverExact(Scratch, A)
+                                   : selectKillsGreedy(Scratch, A);
         KillsBuilt = true;
       }
       URSA_SPAN(RegSpan, "ursa.measure.delta.reg_width", "measure");
       ReuseRelation R = BM.Res.AllClasses
-                            ? buildRegReuse(Scratch, *A, Kills)
-                            : buildRegReuseForClass(Scratch, *A, Kills,
+                            ? buildRegReuse(Scratch, A, Kills)
+                            : buildRegReuseForClass(Scratch, A, Kills,
                                                     BM.Res.RC);
-      if (R.Active != BM.Reuse.Active)
+      if (!AllowActiveChange && R.Active != BM.Reuse.Active)
         return false;
       W = chainWidthWarmStart(R.Rel, R.Active, BM.Chains);
     }
@@ -99,8 +86,58 @@ bool IncrementalMeasurer::measureDelta(const DependenceDAG &Scratch,
     if (W > Limits[I].second)
       Out.TotalExcess += W - Limits[I].second;
   }
+  return true;
+}
+
+bool IncrementalMeasurer::measureDelta(const DependenceDAG &Scratch,
+                                       const TransformProposal &P,
+                                       DeltaMeasurement &Out) const {
+  // Spills insert store/reload nodes and rewire use edges — not an edge
+  // delta; the EdgeDelta overload handles them. Everything else only adds
+  // P.SeqEdges (plus reachability-neutral virtual-edge cleanup).
+  if (P.Kind == TransformProposal::Spill)
+    return false;
+  if (Scratch.size() != BaseD.size())
+    return false;
+
+  URSA_SPAN(DeltaSpan, "ursa.measure.delta", "measure");
+  std::unique_ptr<DAGAnalysis> A;
+  {
+    URSA_SPAN(ClosureSpan, "ursa.measure.delta.closure", "measure");
+    A = DAGAnalysis::buildIncremental(Scratch, BaseA, P.SeqEdges);
+  }
+  if (!A)
+    return false;
+
+  if (!measureWidths(Scratch, *A, /*AllowActiveChange=*/false, Out))
+    return false;
 
   StatDeltaMeasures.add();
   StatDeltaEdges.add(P.SeqEdges.size());
+  return true;
+}
+
+bool IncrementalMeasurer::measureDelta(const DependenceDAG &Scratch,
+                                       const TransformProposal &P,
+                                       const EdgeDelta &Delta,
+                                       DeltaMeasurement &Out) const {
+  if (P.Kind != TransformProposal::Spill)
+    return measureDelta(Scratch, P, Out); // pure edge path, strict checks
+
+  URSA_SPAN(DeltaSpan, "ursa.measure.delta", "measure");
+  std::unique_ptr<DAGAnalysis> A;
+  {
+    URSA_SPAN(ClosureSpan, "ursa.measure.delta.closure", "measure");
+    A = DAGAnalysis::buildIncrementalDelta(Scratch, BaseA, Delta);
+  }
+  if (!A)
+    return false;
+
+  if (!measureWidths(Scratch, *A, /*AllowActiveChange=*/true, Out))
+    return false;
+
+  StatDeltaMeasures.add();
+  StatDeltaSpills.add();
+  StatDeltaEdges.add(Delta.Added.size() + Delta.Removed.size());
   return true;
 }

@@ -73,7 +73,21 @@ public:
   bool measureDelta(const DependenceDAG &Scratch, const TransformProposal &P,
                     DeltaMeasurement &Out) const;
 
+  /// The journal-aware form: \p Delta is the EdgeDelta applyTransform
+  /// recorded while producing \p Scratch. Handles *spill* proposals too —
+  /// the closure is advanced by DAGAnalysis::buildIncrementalDelta (edge
+  /// additions, removals, and the appended store/reload nodes), active
+  /// sets are recomputed fresh (spills legitimately change them, so the
+  /// pure-edge path's set-equality fallbacks do not apply), kills are
+  /// re-selected, and widths warm-start from the base decomposition —
+  /// the matching still runs to maximality, so widths stay canonical.
+  /// Same strict contract: false means fall back to a full build.
+  bool measureDelta(const DependenceDAG &Scratch, const TransformProposal &P,
+                    const EdgeDelta &Delta, DeltaMeasurement &Out) const;
+
 private:
+  bool measureWidths(const DependenceDAG &Scratch, const DAGAnalysis &A,
+                     bool AllowActiveChange, DeltaMeasurement &Out) const;
   const DependenceDAG &BaseD;
   const DAGAnalysis &BaseA;
   const std::vector<Measurement> &BaseMeas;

@@ -10,7 +10,10 @@
 #include "ursa/ReuseDAG.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
+#include <queue>
+#include <utility>
 
 using namespace ursa;
 
@@ -63,29 +66,55 @@ KillMap ursa::selectKillsGreedy(const DependenceDAG &D, const DAGAnalysis &A) {
   KillMap Result;
   CoverProblem P(D, A, Result);
 
+  // Greedy max-cover with incremental counts and a lazy-deletion heap.
+  // The straightforward version rescans every killer's def list per
+  // selection — quadratic in the cover size, which dominates the whole
+  // measurement at 100k-node traces. Counts only ever decrease, so each
+  // decrement pushes a fresh heap entry and stale (higher-count) entries
+  // are skipped on pop. Selection order is identical to the rescan
+  // version: maximum uncovered count, smallest killer id on ties.
+  std::vector<int> IdxOfDef(D.size(), -1);
+  for (unsigned I = 0; I != P.Defs.size(); ++I)
+    IdxOfDef[P.Defs[I]] = int(I);
+
+  std::vector<unsigned> Count(D.size(), 0);
+  // Max-heap on (count, killer): higher count first, smaller id on ties.
+  auto Less = [](const std::pair<unsigned, unsigned> &X,
+                 const std::pair<unsigned, unsigned> &Y) {
+    if (X.first != Y.first)
+      return X.first < Y.first;
+    return X.second > Y.second;
+  };
+  std::priority_queue<std::pair<unsigned, unsigned>,
+                      std::vector<std::pair<unsigned, unsigned>>,
+                      decltype(Less)>
+      Heap(Less);
+  for (const auto &[Killer, Defs] : P.KillerToDefs) {
+    Count[Killer] = Defs.size();
+    Heap.push({Count[Killer], Killer});
+  }
+
   std::vector<uint8_t> Covered(D.size(), 0);
   unsigned Remaining = P.Defs.size();
   while (Remaining != 0) {
-    // Pick the killer covering the most still-uncovered defs; smallest
-    // node id breaks ties deterministically.
-    unsigned BestKiller = 0, BestCount = 0;
-    for (const auto &[Killer, Defs] : P.KillerToDefs) {
-      unsigned C = 0;
-      for (unsigned Def : Defs)
-        if (!Covered[Def])
-          ++C;
-      if (C > BestCount) {
-        BestCount = C;
-        BestKiller = Killer;
-      }
-    }
-    assert(BestCount > 0 && "uncovered def with no candidate killer");
-    for (unsigned Def : P.KillerToDefs[BestKiller]) {
+    assert(!Heap.empty() && "uncovered def with no candidate killer");
+    auto [C, Killer] = Heap.top();
+    Heap.pop();
+    if (C != Count[Killer] || C == 0)
+      continue; // stale entry; the current count was pushed on decrement
+    for (unsigned Def : P.KillerToDefs[Killer]) {
       if (Covered[Def])
         continue;
       Covered[Def] = 1;
-      Result.KillNode[Def] = int(BestKiller);
+      Result.KillNode[Def] = int(Killer);
       --Remaining;
+      // The newly covered def no longer counts for any of its candidate
+      // killers (including this one).
+      for (unsigned K : P.Candidates[IdxOfDef[Def]]) {
+        --Count[K];
+        if (K != Killer && Count[K] != 0)
+          Heap.push({Count[K], K});
+      }
     }
   }
   return Result;

@@ -24,6 +24,8 @@ URSA_STAT(StatChains, "ursa.measure.chains",
           "allocation chains found across all decompositions");
 URSA_STAT(StatExcessiveSets, "ursa.measure.excessive_sets",
           "excessive chain sets surfaced to the transform generators");
+URSA_STAT(StatClosureBytes, "ursa.measure.closure_bytes",
+          "heap bytes held by the reachability closures being measured");
 
 std::string ResourceId::describe() const {
   if (Kind == Reg)
@@ -69,25 +71,44 @@ Measurement ursa::measureResource(const DependenceDAG &D, const DAGAnalysis &A,
   Measurement M;
   M.Res = Res;
   if (Res.Kind == ResourceId::FU) {
+    URSA_SPAN(ReuseSpan, "ursa.measure.fu_reuse", "measure");
     M.Reuse = Res.AllClasses ? buildFUReuse(D, A)
                              : buildFUReuseForClass(D, A, Res.FUClass);
   } else {
+    URSA_SPAN(ReuseSpan, "ursa.measure.reg_reuse", "measure");
     KillMap Kills = Opts.KillSolver == 1 ? selectKillsMinCoverExact(D, A)
                                          : selectKillsGreedy(D, A);
     M.Reuse = Res.AllClasses ? buildRegReuse(D, A, Kills)
                              : buildRegReuseForClass(D, A, Kills, Res.RC);
   }
-  M.Chains = Opts.PrioritizedMatching
-                 ? decomposeChainsPrioritized(M.Reuse.Rel, M.Reuse.Active, HF)
-                 : decomposeChains(M.Reuse.Rel, M.Reuse.Active);
+  URSA_SPAN(ChainSpan, "ursa.measure.decompose", "measure");
+  // Lazy relations mark the large-trace regime: the row-direct engine
+  // decomposes without materializing the pair list that both the plain
+  // and the prioritized matcher enumerate. Widths are canonical either
+  // way; only the particular chains may differ from the prioritized
+  // matcher's (docs/PERFORMANCE.md section 5).
+  if (M.Reuse.Rel.isLazy()) {
+    const ChainDecomposition *Warm = nullptr;
+    if (Opts.WarmFrom)
+      for (const Measurement &PM : *Opts.WarmFrom)
+        if (PM.Res == Res) {
+          Warm = &PM.Chains;
+          break;
+        }
+    M.Chains = decomposeChainsRows(M.Reuse.Rel, M.Reuse.Active, Warm);
+  } else
+    M.Chains = Opts.PrioritizedMatching
+                   ? decomposeChainsPrioritized(M.Reuse.Rel, M.Reuse.Active, HF)
+                   : decomposeChains(M.Reuse.Rel, M.Reuse.Active);
   M.MaxRequired = M.Chains.width();
   StatResourcesMeasured.add();
   StatReuseActiveNodes.add(M.Reuse.Active.size());
   StatChains.add(M.Chains.width());
+  StatClosureBytes.set(A.closureMemoryBytes());
   if (obs::statsEnabled()) {
     uint64_t Pairs = 0;
     for (unsigned Node : M.Reuse.Active)
-      Pairs += M.Reuse.Rel.row(Node).count(); // word-parallel popcount
+      Pairs += M.Reuse.Rel.rowCount(Node); // word-parallel popcount
     StatReuseRelPairs.add(Pairs);
   }
   return M;
@@ -123,12 +144,18 @@ unsigned ursa::chainsCovering(const ChainDecomposition &Chains,
 
 std::vector<ExcessiveChainSet>
 ursa::findExcessiveSets(const Measurement &Meas, const DAGAnalysis &A,
-                        const HammockForest &HF, unsigned Limit) {
+                        const HammockForest &HF, unsigned Limit,
+                        unsigned MaxSets) {
   std::vector<ExcessiveChainSet> Out;
   if (Meas.MaxRequired <= Limit)
     return Out;
 
   for (unsigned HIdx : HF.innermostFirst()) {
+    // Hammocks are visited innermost first — the same order the driver
+    // consumes sets in — so capping here only skips work it would have
+    // discarded anyway.
+    if (MaxSets && Out.size() == MaxSets)
+      break;
     const Hammock &H = HF.hammock(HIdx);
 
     // The hammock is interesting only if its own width exceeds the
@@ -175,7 +202,7 @@ ursa::findExcessiveSets(const Measurement &Meas, const DAGAnalysis &A,
     // can change applicability — everything else is repaired locally.
     // The trim sequence (and thus the output) is identical to the naive
     // scan's.
-    const BitMatrix &Rel = Meas.Reuse.Rel;
+    RelationView Rel = Meas.Reuse.Rel;
     (void)A;
     unsigned NumC = Sub.size();
     std::vector<unsigned> Lo(NumC, 0), Hi(NumC);

@@ -83,6 +83,16 @@ struct MeasureOptions {
   bool PrioritizedMatching = true;
   /// Kill-site selection: 0 greedy (production), 1 exact min cover.
   int KillSolver = 0;
+  /// Optional warm-start source: a prior state's measurements for the
+  /// same machine (typically the round-start state the winning proposal
+  /// was applied on top of). Only the lazy-relation path consults it —
+  /// consecutive chain pairs that still hold in the new relation seed
+  /// the row-direct matcher, which then only repairs the difference.
+  /// Widths are canonical for any seed (every maximum matching has the
+  /// same size), and below the closure threshold the prioritized
+  /// matcher ignores this entirely, so small-trace chains are
+  /// unchanged. Borrowed pointer; must outlive the measureAll call.
+  const std::vector<Measurement> *WarmFrom = nullptr;
 };
 
 /// Measures resource \p Res on DAG \p D.
@@ -101,7 +111,8 @@ std::vector<Measurement> measureAll(const DependenceDAG &D,
 /// innermost hammocks first (paper Section 3.1's second step).
 std::vector<ExcessiveChainSet>
 findExcessiveSets(const Measurement &Meas, const DAGAnalysis &A,
-                  const HammockForest &HF, unsigned Limit);
+                  const HammockForest &HF, unsigned Limit,
+                  unsigned MaxSets = 0);
 
 /// Number of distinct chains of \p Chains intersecting \p Nodes — the
 /// paper's Chains(Set) of Definition 8.

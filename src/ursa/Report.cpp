@@ -148,6 +148,11 @@ std::string ursa::formatAllocationReportJSON(const DependenceDAG &Original,
   W.kv("fallback_used", Result.FallbackUsed);
   W.endObject();
 
+  W.key("closure").beginObject();
+  W.kv("representation", Result.ClosureRepUsed);
+  W.kv("peak_bytes", uint64_t(Result.ClosureBytesPeak));
+  W.endObject();
+
   W.key("stop_reasons").beginArray();
   for (const std::string &Reason : Result.StopReasons)
     W.value(Reason);

@@ -10,12 +10,19 @@
 
 using namespace ursa;
 
+/// Above this node count relations stay lazy over the analysis closure
+/// instead of materializing their own matrix. Same knob as the closure
+/// representation so a forced-dense run exercises the historical path
+/// end to end.
+static bool useLazyRelation(unsigned NumNodes) {
+  return NumNodes > closureThreshold();
+}
+
 /// Shared FU construction over a node filter.
 template <typename FilterFn>
 static ReuseRelation buildFUReuseImpl(const DependenceDAG &D,
                                       const DAGAnalysis &A, FilterFn Filter) {
   ReuseRelation R;
-  R.Rel = BitMatrix(D.size());
   Bitset ActiveBits(D.size());
   for (unsigned N = 2, E = D.size(); N != E; ++N) {
     if (!Filter(N))
@@ -23,6 +30,17 @@ static ReuseRelation buildFUReuseImpl(const DependenceDAG &D,
     R.Active.push_back(N);
     ActiveBits.set(N);
   }
+  if (useLazyRelation(D.size())) {
+    // Row n of CanReuse_FU is descendants(n) & active — exactly closure
+    // row n masked, no copy needed.
+    std::vector<int32_t> RowOf(D.size(), -1);
+    for (unsigned N : R.Active)
+      RowOf[N] = int32_t(N);
+    R.Rel = RelationMatrix::lazy(A.reachabilityClosure(), std::move(RowOf),
+                                 {}, std::move(ActiveBits));
+    return R;
+  }
+  R.Rel = BitMatrix(D.size());
   for (unsigned N : R.Active) {
     Bitset Row = A.descendants(N);
     Row &= ActiveBits;
@@ -49,7 +67,6 @@ static ReuseRelation buildRegReuseImpl(const DependenceDAG &D,
                                        const KillMap &Kills,
                                        FilterFn Filter) {
   ReuseRelation R;
-  R.Rel = BitMatrix(D.size());
   Bitset ActiveBits(D.size());
   for (unsigned N = 2, E = D.size(); N != E; ++N) {
     if (D.instrAt(N).dest() < 0 || !Filter(N))
@@ -57,6 +74,23 @@ static ReuseRelation buildRegReuseImpl(const DependenceDAG &D,
     R.Active.push_back(N);
     ActiveBits.set(N);
   }
+  if (useLazyRelation(D.size())) {
+    // Row n of CanReuse_Reg is descendants(Kill(n)) plus the killer
+    // itself, masked by the active set — a closure row remap with one
+    // extra bit.
+    std::vector<int32_t> RowOf(D.size(), -1), Extra(D.size(), -1);
+    for (unsigned N : R.Active) {
+      int Kill = Kills.KillNode[N];
+      assert(Kill >= 0 && "defining node without a kill site");
+      RowOf[N] = Kill;
+      if (unsigned(Kill) != N)
+        Extra[N] = Kill; // the killer itself may reuse the register
+    }
+    R.Rel = RelationMatrix::lazy(A.reachabilityClosure(), std::move(RowOf),
+                                 std::move(Extra), std::move(ActiveBits));
+    return R;
+  }
+  R.Rel = BitMatrix(D.size());
   for (unsigned N : R.Active) {
     int Kill = Kills.KillNode[N];
     assert(Kill >= 0 && "defining node without a kill site");
@@ -144,5 +178,5 @@ ReuseRelation ursa::buildSafeRegReuseForClass(const DependenceDAG &D,
 }
 
 BitMatrix ursa::reuseDAGEdges(const ReuseRelation &R) {
-  return transitiveReduction(R.Rel);
+  return transitiveReduction(R.Rel.denseMatrix());
 }

@@ -29,19 +29,101 @@
 #define URSA_URSA_REUSEDAG_H
 
 #include "graph/Analysis.h"
+#include "graph/Closure.h"
 #include "graph/DAG.h"
 #include "machine/MachineModel.h"
 #include "support/Bitset.h"
 #include "ursa/KillSelection.h"
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace ursa {
 
+/// Storage behind a reuse relation. Two modes:
+///
+///  * dense — an owned BitMatrix with the historical row surface (the
+///    representation below the closure threshold and for relations that
+///    are genuine row intersections, like safe register reuse);
+///
+///  * lazy — a remapping over the analysis closure: row n of the relation
+///    is closure row RowOf[n] (or empty when RowOf[n] < 0) plus an
+///    optional ExtraBit[n], masked by the active-set bitmask. Both reuse
+///    relations are exactly such remappings (FU: own descendant row;
+///    register: the kill site's row plus the kill itself), so above the
+///    threshold no second O(N^2) matrix is ever materialized. The closure
+///    is borrowed from the DAGAnalysis the relation was built from and
+///    must outlive it.
+///
+/// Matching engines consume either mode through the implicit RelationView
+/// conversion.
+class RelationMatrix {
+public:
+  RelationMatrix() = default;
+  RelationMatrix(BitMatrix M) : Dense(std::move(M)) {}
+  RelationMatrix &operator=(BitMatrix M) {
+    Dense = std::move(M);
+    C = nullptr;
+    return *this;
+  }
+
+  static RelationMatrix lazy(const Closure &Cl, std::vector<int32_t> Row,
+                             std::vector<int32_t> Extra, Bitset MaskBits) {
+    RelationMatrix M;
+    M.C = &Cl;
+    M.RowOf = std::move(Row);
+    M.ExtraBit = std::move(Extra);
+    M.Mask = std::move(MaskBits);
+    return M;
+  }
+
+  bool isLazy() const { return C != nullptr; }
+  unsigned size() const { return isLazy() ? C->size() : Dense.size(); }
+
+  operator RelationView() const {
+    return isLazy() ? RelationView::lazy(*C, RowOf, ExtraBit, Mask)
+                    : RelationView(Dense);
+  }
+  RelationView view() const { return *this; }
+
+  bool test(unsigned R, unsigned Col) const { return view().test(R, Col); }
+  unsigned rowCount(unsigned R) const { return view().rowCount(R); }
+
+  void set(unsigned R, unsigned Col) {
+    assert(!isLazy() && "lazy relations are read-only");
+    Dense.set(R, Col);
+  }
+
+  /// Mutable dense row access (construction-time only; dense mode).
+  Bitset &row(unsigned R) {
+    assert(!isLazy() && "lazy relations have no mutable rows");
+    return Dense.row(R);
+  }
+  const Bitset &denseRow(unsigned R) const {
+    assert(!isLazy() && "dense row requested from a lazy relation");
+    return Dense.row(R);
+  }
+
+  /// The dense matrix itself (transitive reduction wants whole-matrix
+  /// row algebra; only display/debug paths need it).
+  const BitMatrix &denseMatrix() const {
+    assert(!isLazy() && "dense matrix requested from a lazy relation");
+    return Dense;
+  }
+
+private:
+  BitMatrix Dense;
+  const Closure *C = nullptr;
+  std::vector<int32_t> RowOf;
+  std::vector<int32_t> ExtraBit;
+  Bitset Mask;
+};
+
 /// A CanReuse relation: strict partial order over node ids, restricted to
 /// the active nodes that consume the resource.
 struct ReuseRelation {
-  BitMatrix Rel;
+  RelationMatrix Rel;
   std::vector<unsigned> Active;
 };
 

@@ -219,7 +219,12 @@ ursa::proposeFUSequencing(const TransformContext &Ctx,
   // one proposal whose critical-path cost is as small as the relation
   // allows. This is what keeps late FU rounds from reaching for a long
   // wrap-around edge when several short ones do the same job.
-  if (E.Witness.size() > E.Limit && E.Res.Kind == ResourceId::FU) {
+  // Gated off above the closure threshold: each round rebuilds a full
+  // analysis and materializes an adjacency list over the witness
+  // relation, which is exactly the O(N^2) work the tiered closure exists
+  // to avoid. The wave fallback below covers those traces.
+  if (E.Witness.size() > E.Limit && E.Res.Kind == ResourceId::FU &&
+      Ctx.D.size() <= closureThreshold()) {
     DependenceDAG Scratch = Ctx.D;
     const Bitset &Members = Ctx.HF.hammock(E.HammockIdx).Members;
     std::vector<std::pair<unsigned, unsigned>> Edges;
@@ -638,8 +643,22 @@ std::vector<TransformProposal> ursa::proposeSpills(const TransformContext &Ctx,
 // Application.
 //===----------------------------------------------------------------------===//
 
+namespace {
+/// Attaches the mutation journal for the duration of applyTransform —
+/// every code path (including the reload re-gating early return) detaches
+/// it on scope exit, so the DAG never leaves with a dangling observer.
+struct JournalGuard {
+  DependenceDAG &D;
+  JournalGuard(DependenceDAG &DIn, EdgeDelta &J) : D(DIn) {
+    D.startJournal(J);
+  }
+  ~JournalGuard() { D.stopJournal(); }
+};
+} // namespace
+
 ApplyStats ursa::applyTransform(DependenceDAG &D, const TransformProposal &P) {
   ApplyStats Stats;
+  JournalGuard Guard(D, Stats.Delta);
   for (auto [From, To] : P.SeqEdges)
     if (D.addEdge(From, To, EdgeKind::Sequence))
       ++Stats.EdgesAdded;

@@ -68,10 +68,13 @@ struct TransformProposal {
   std::string describe() const;
 };
 
-/// Outcome counters of applying one proposal.
+/// Outcome counters of applying one proposal, plus the journaled edge
+/// delta the application produced — what buildIncrementalDelta replays so
+/// spill winners are promoted without an O(N^2) closure rebuild.
 struct ApplyStats {
   unsigned EdgesAdded = 0;
   unsigned SpillsInserted = 0; ///< store/reload pairs
+  EdgeDelta Delta;
 };
 
 /// Generators; each returns zero or more candidates for \p E.

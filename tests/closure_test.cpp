@@ -1,0 +1,443 @@
+//===- tests/closure_test.cpp - Tiered closure differential tests ---------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The blocked/tiled closure representation is only acceptable if it is
+// invisible: every reaches / independent / descendants answer must be
+// bit-identical to the dense representation, on every DAG, including
+// after incremental edge additions, removals, and spill-style node
+// appends. These tests check the tile container against a dense
+// reference, then the whole analysis differentially across a few hundred
+// random DAGs plus the generator seed corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Analysis.h"
+#include "graph/Closure.h"
+#include "graph/DAGBuilder.h"
+#include "support/RNG.h"
+#include "support/TiledBitMatrix.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+using namespace ursa;
+
+namespace {
+
+/// RAII override of the closure policy; restores the previous mode and
+/// threshold on scope exit so tests cannot leak policy into each other.
+struct ScopedClosurePolicy {
+  ClosureMode OldMode;
+  unsigned OldThreshold;
+  explicit ScopedClosurePolicy(ClosureMode M) : ScopedClosurePolicy(M, 0) {}
+  ScopedClosurePolicy(ClosureMode M, unsigned Threshold)
+      : OldMode(closureMode()), OldThreshold(closureThreshold()) {
+    setClosureMode(M);
+    if (Threshold)
+      setClosureThreshold(Threshold);
+  }
+  ~ScopedClosurePolicy() {
+    setClosureMode(OldMode);
+    setClosureThreshold(OldThreshold);
+  }
+};
+
+DependenceDAG genDAG(GenOptions::ShapeKind Shape, unsigned NumInstrs,
+                     unsigned Window, uint64_t Seed) {
+  GenOptions G;
+  G.Shape = Shape;
+  G.NumInstrs = NumInstrs;
+  G.Window = Window;
+  G.Seed = Seed;
+  return buildDAG(generateTrace(G));
+}
+
+/// Every closure-visible quantity of \p Got must equal \p Want's.
+void expectSameClosure(const DAGAnalysis &Got, const DAGAnalysis &Want,
+                       unsigned N, const char *What) {
+  ASSERT_EQ(Got.topoOrder(), Want.topoOrder()) << What;
+  EXPECT_EQ(Got.criticalPathLength(), Want.criticalPathLength()) << What;
+  for (unsigned U = 0; U != N; ++U) {
+    ASSERT_TRUE(Got.descendants(U) == Want.descendants(U))
+        << What << ": descendants of " << U;
+    ASSERT_TRUE(Got.ancestors(U) == Want.ancestors(U))
+        << What << ": ancestors of " << U;
+    EXPECT_EQ(Got.descendants(U).count(), Want.descendants(U).count())
+        << What << ": row count of " << U;
+  }
+  for (unsigned U = 0; U != N; ++U)
+    for (unsigned V = 0; V != N; ++V) {
+      ASSERT_EQ(Got.reaches(U, V), Want.reaches(U, V))
+          << What << ": reaches(" << U << "," << V << ")";
+      ASSERT_EQ(Got.independent(U, V), Want.independent(U, V))
+          << What << ": independent(" << U << "," << V << ")";
+    }
+}
+
+/// Safe new edges: independent pairs of real nodes.
+std::vector<std::pair<unsigned, unsigned>>
+independentPairs(const DependenceDAG &D, const DAGAnalysis &A) {
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  for (unsigned U = 2; U != D.size(); ++U)
+    for (unsigned V = 2; V != D.size(); ++V)
+      if (A.independent(U, V))
+        Pairs.emplace_back(U, V);
+  return Pairs;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Layer 0: the tile container against a dense reference
+//===----------------------------------------------------------------------===//
+
+TEST(TiledBitMatrix, RandomBitsMatchDenseReference) {
+  for (unsigned Size : {1u, 63u, 64u, 65u, 150u, 200u}) {
+    RNG Rng(Size * 31 + 7);
+    TiledBitMatrix T(Size);
+    BitMatrix Ref(Size);
+    unsigned Bits = Size * 8;
+    for (unsigned I = 0; I != Bits; ++I) {
+      unsigned R = unsigned(Rng.below(Size)), C = unsigned(Rng.below(Size));
+      T.set(R, C);
+      Ref.set(R, C);
+    }
+    for (unsigned R = 0; R != Size; ++R) {
+      EXPECT_EQ(T.rowCount(R), Ref.popcountRow(R)) << Size << " row " << R;
+      EXPECT_TRUE(T.rowBitset(R) == Ref.row(R)) << Size << " row " << R;
+      unsigned Walk = T.rowFindNext(R, 0);
+      unsigned RefWalk = Ref.row(R).findNext(0);
+      while (Walk != Size || RefWalk != Size) {
+        ASSERT_EQ(Walk, RefWalk) << Size << " row " << R;
+        Walk = T.rowFindNext(R, Walk + 1);
+        RefWalk = Ref.row(R).findNext(RefWalk + 1);
+      }
+      std::vector<unsigned> Cols;
+      T.rowForEach(R, [&](unsigned C) { Cols.push_back(C); });
+      unsigned K = 0;
+      for (unsigned C = 0; C != Size; ++C)
+        if (Ref.test(R, C)) {
+          ASSERT_LT(K, Cols.size());
+          ASSERT_EQ(Cols[K++], C);
+        }
+      EXPECT_EQ(K, Cols.size());
+    }
+  }
+}
+
+TEST(TiledBitMatrix, CollapseToAllOneStaysExact) {
+  // Fill the top-left 64x64 tile completely: it must collapse to AllOne
+  // (memory returns to the pool) and still answer every query exactly.
+  TiledBitMatrix T(130);
+  for (unsigned R = 0; R != 64; ++R)
+    for (unsigned WI = 0; WI != 1; ++WI)
+      T.orRowWord(R, WI, ~uint64_t(0));
+  for (unsigned R = 0; R != 64; ++R) {
+    EXPECT_EQ(T.rowWord(R, 0), ~uint64_t(0));
+    EXPECT_EQ(T.rowCount(R), 64u);
+  }
+  // A ragged boundary tile (columns 128..129) must never report columns
+  // beyond the matrix side even when every legal bit is set.
+  for (unsigned R = 64; R != 130; ++R)
+    for (unsigned C = 128; C != 130; ++C)
+      T.set(R, C);
+  for (unsigned R = 64; R != 130; ++R) {
+    EXPECT_EQ(T.rowCount(R), 2u);
+    EXPECT_EQ(T.rowFindNext(R, 0), 128u);
+    EXPECT_EQ(T.rowFindNext(R, 129), 129u);
+    EXPECT_EQ(T.rowFindNext(R, 130), 130u); // == size(): none
+  }
+}
+
+TEST(TiledBitMatrix, OrRowAndClearRow) {
+  TiledBitMatrix T(100);
+  // Source and destination rows share tiles (both in tile-row 0).
+  T.set(3, 10);
+  T.set(3, 70);
+  T.orRow(5, 3);
+  EXPECT_TRUE(T.test(5, 10));
+  EXPECT_TRUE(T.test(5, 70));
+  // OR from an AllOne tile: fill rows 0..63 of the first tile.
+  for (unsigned R = 0; R != 64; ++R)
+    T.orRowWord(R, 0, ~uint64_t(0));
+  T.orRow(70, 0);
+  for (unsigned C = 0; C != 64; ++C)
+    EXPECT_TRUE(T.test(70, C)) << C;
+  // clearRow demotes the AllOne tile for the cleared row only.
+  T.clearRow(7);
+  EXPECT_EQ(T.rowCount(7), 0u);
+  for (unsigned C = 0; C != 64; ++C)
+    EXPECT_TRUE(T.test(8, C)) << "neighbor row lost bits";
+  // growTo preserves bits and keeps new space empty.
+  T.growTo(200);
+  EXPECT_TRUE(T.test(5, 70));
+  EXPECT_TRUE(T.test(70, 63));
+  EXPECT_FALSE(T.test(5, 150));
+  T.set(150, 199);
+  EXPECT_TRUE(T.test(150, 199));
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 1: dense vs blocked analyses over random DAGs
+//===----------------------------------------------------------------------===//
+
+TEST(ClosureDifferential, TwoHundredRandomDAGs) {
+  // 200 random DAGs across the generator's shapes, sizes, and seeds: the
+  // blocked representation must answer every closure query identically
+  // to the dense one, including the separator-segmented build path.
+  const GenOptions::ShapeKind Shapes[] = {GenOptions::ShapeKind::Layered,
+                                          GenOptions::ShapeKind::Expression,
+                                          GenOptions::ShapeKind::Chains};
+  unsigned Count = 0;
+  for (uint64_t Seed = 1; Seed <= 34 && Count < 200; ++Seed)
+    for (GenOptions::ShapeKind Shape : Shapes) {
+      unsigned NumInstrs = 10 + unsigned(Seed * 7 % 50);
+      unsigned Window = 2 + unsigned(Seed % 12);
+      DependenceDAG D = genDAG(Shape, NumInstrs, Window, Seed);
+      std::unique_ptr<DAGAnalysis> Dense, Blocked;
+      {
+        ScopedClosurePolicy P(ClosureMode::Dense);
+        Dense = std::make_unique<DAGAnalysis>(D);
+        EXPECT_EQ(Dense->closureRep(), ClosureRep::Dense);
+      }
+      {
+        ScopedClosurePolicy P(ClosureMode::Blocked);
+        Blocked = std::make_unique<DAGAnalysis>(D);
+        EXPECT_EQ(Blocked->closureRep(), ClosureRep::Tiled);
+      }
+      expectSameClosure(*Blocked, *Dense, D.size(), "dense vs blocked");
+      EXPECT_GT(Blocked->closureMemoryBytes(), 0u);
+      ++Count;
+    }
+  EXPECT_GE(Count, 100u) << "corpus shrank unexpectedly";
+}
+
+TEST(ClosureDifferential, SeedCorpusWithMemAndBranches) {
+  // Heavier traces: memory ops and branches create long ordering combs
+  // with few separators — the worst case for segment composition.
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    GenOptions G;
+    G.NumInstrs = 60;
+    G.Window = 10;
+    G.MemOpProb = 0.3;
+    G.BranchProb = 0.1;
+    G.Seed = Seed;
+    DependenceDAG D = buildDAG(generateTrace(G));
+    std::unique_ptr<DAGAnalysis> Dense, Blocked;
+    {
+      ScopedClosurePolicy P(ClosureMode::Dense);
+      Dense = std::make_unique<DAGAnalysis>(D);
+    }
+    {
+      ScopedClosurePolicy P(ClosureMode::Blocked);
+      Blocked = std::make_unique<DAGAnalysis>(D);
+    }
+    expectSameClosure(*Blocked, *Dense, D.size(), "seed corpus");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 2: incremental adds and removes, both representations
+//===----------------------------------------------------------------------===//
+
+TEST(ClosureIncremental, AddSequencesMatchFreshBuild) {
+  for (ClosureMode Mode : {ClosureMode::Dense, ClosureMode::Blocked}) {
+    ScopedClosurePolicy P(Mode);
+    for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+      DependenceDAG D = genDAG(GenOptions::ShapeKind::Layered, 30, 10, Seed);
+      DAGAnalysis Base(D);
+      RNG Rng(Seed * 91 + 3);
+      auto Pairs = independentPairs(D, Base);
+      if (Pairs.empty())
+        continue;
+      std::vector<std::pair<unsigned, unsigned>> Added;
+      for (unsigned K = 0; K != 2 && !Pairs.empty(); ++K) {
+        auto [U, V] = Pairs[Rng.below(Pairs.size())];
+        // Check against the *current* DAG: the first added edge may have
+        // ordered this pair, and a cycle-closing edge corrupts the DAG.
+        DAGAnalysis Cur(D);
+        if (!Cur.independent(U, V) || !D.addEdge(U, V, EdgeKind::Sequence))
+          continue;
+        Added.emplace_back(U, V);
+      }
+      if (Added.empty())
+        continue;
+      std::unique_ptr<DAGAnalysis> Inc =
+          DAGAnalysis::buildIncremental(D, Base, Added);
+      ASSERT_TRUE(Inc) << "safe edges must take the incremental path";
+      DAGAnalysis Fresh(D);
+      expectSameClosure(*Inc, Fresh, D.size(), "incremental add");
+    }
+  }
+}
+
+TEST(ClosureIncremental, JournaledRemovalsMatchFreshBuild) {
+  for (ClosureMode Mode : {ClosureMode::Dense, ClosureMode::Blocked}) {
+    ScopedClosurePolicy P(Mode);
+    for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+      DependenceDAG D = genDAG(GenOptions::ShapeKind::Layered, 30, 10, Seed);
+      // Seed a few extra sequence edges we are then allowed to remove
+      // (data edges are semantic and never removed).
+      {
+        DAGAnalysis A0(D);
+        auto Pairs = independentPairs(D, A0);
+        RNG Rng(Seed * 17 + 5);
+        for (unsigned K = 0; K != 3 && !Pairs.empty(); ++K) {
+          auto [U, V] = Pairs[Rng.below(Pairs.size())];
+          DAGAnalysis Cur(D);
+          if (Cur.independent(U, V))
+            D.addEdge(U, V, EdgeKind::Sequence);
+        }
+      }
+      DAGAnalysis Base(D);
+
+      // Remove one sequence edge under a journal, then add one new edge.
+      EdgeDelta Delta;
+      D.startJournal(Delta);
+      bool Removed = false;
+      for (unsigned U = 2; U != D.size() && !Removed; ++U)
+        for (const auto &[V, K] : D.succs(U))
+          if (K == EdgeKind::Sequence && !DependenceDAG::isVirtual(V)) {
+            Removed = D.removeEdge(U, V);
+            break;
+          }
+      D.normalizeVirtualEdges();
+      D.stopJournal();
+      if (!Removed)
+        continue;
+
+      std::unique_ptr<DAGAnalysis> Inc =
+          DAGAnalysis::buildIncrementalDelta(D, Base, Delta);
+      ASSERT_TRUE(Inc) << "journaled removal must take the delta path";
+      DAGAnalysis Fresh(D);
+      expectSameClosure(*Inc, Fresh, D.size(), "incremental remove");
+    }
+  }
+}
+
+TEST(ClosureIncremental, SpillStyleNodeAppendsMatchFreshBuild) {
+  for (ClosureMode Mode : {ClosureMode::Dense, ClosureMode::Blocked}) {
+    ScopedClosurePolicy P(Mode);
+    for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+      DependenceDAG D = genDAG(GenOptions::ShapeKind::Layered, 25, 8, Seed);
+      DAGAnalysis Base(D);
+
+      // Mimic a spill: append two nodes, wire them between an existing
+      // def and one of its dependence successors, remove the direct edge.
+      unsigned Def = 0, Use = 0;
+      for (unsigned U = 2; U != D.size() && !Def; ++U)
+        for (const auto &[V, K] : D.succs(U))
+          if (!DependenceDAG::isVirtual(V)) {
+            Def = U;
+            Use = V;
+            break;
+          }
+      ASSERT_NE(Def, 0u);
+
+      EdgeDelta Delta;
+      D.startJournal(Delta);
+      unsigned Store = D.addInstrNode(D.instrAt(Def));
+      unsigned Reload = D.addInstrNode(D.instrAt(Def));
+      D.removeEdge(Def, Use);
+      D.addEdge(Def, Store, EdgeKind::Data);
+      D.addEdge(Store, Reload, EdgeKind::Data);
+      D.addEdge(Reload, Use, EdgeKind::Data);
+      D.normalizeVirtualEdges();
+      D.stopJournal();
+
+      std::unique_ptr<DAGAnalysis> Inc =
+          DAGAnalysis::buildIncrementalDelta(D, Base, Delta);
+      ASSERT_TRUE(Inc) << "spill-style delta must take the delta path";
+      DAGAnalysis Fresh(D);
+      expectSameClosure(*Inc, Fresh, D.size(), "spill-style delta");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Contracts: malformed inputs must be rejected, not half-applied
+//===----------------------------------------------------------------------===//
+
+TEST(ClosureIncremental, RejectsSelfEdges) {
+  DependenceDAG D = genDAG(GenOptions::ShapeKind::Layered, 20, 6, 1);
+  DAGAnalysis Base(D);
+  // A self-edge can never be part of a legal proposal; it must be
+  // rejected before any row of the closure is touched.
+  EXPECT_EQ(DAGAnalysis::buildIncremental(D, Base, {{5, 5}}), nullptr);
+  EXPECT_EQ(DAGAnalysis::buildIncremental(D, Base, {{2, 3}, {7, 7}}),
+            nullptr);
+  // Out-of-range endpoints too.
+  EXPECT_EQ(DAGAnalysis::buildIncremental(D, Base, {{2, D.size()}}), nullptr);
+}
+
+TEST(ClosureIncremental, DeduplicatesRepeatedEdges) {
+  DependenceDAG D = genDAG(GenOptions::ShapeKind::Layered, 25, 8, 2);
+  DAGAnalysis Base(D);
+  auto Pairs = independentPairs(D, Base);
+  ASSERT_FALSE(Pairs.empty());
+  auto [U, V] = Pairs.front();
+  ASSERT_TRUE(D.addEdge(U, V, EdgeKind::Sequence));
+
+  std::unique_ptr<DAGAnalysis> Once =
+      DAGAnalysis::buildIncremental(D, Base, {{U, V}});
+  std::unique_ptr<DAGAnalysis> Thrice =
+      DAGAnalysis::buildIncremental(D, Base, {{U, V}, {U, V}, {U, V}});
+  ASSERT_TRUE(Once);
+  ASSERT_TRUE(Thrice);
+  expectSameClosure(*Thrice, *Once, D.size(), "deduped edges");
+}
+
+TEST(ClosureIncremental, DeltaContractRejectsBadJournals) {
+  DependenceDAG D = genDAG(GenOptions::ShapeKind::Layered, 20, 6, 3);
+  DAGAnalysis Base(D);
+
+  EdgeDelta Incomplete;
+  Incomplete.NodesBefore = D.size();
+  Incomplete.Complete = false;
+  EXPECT_EQ(DAGAnalysis::buildIncrementalDelta(D, Base, Incomplete), nullptr)
+      << "mutations without a journal void the delta";
+
+  EdgeDelta WrongBase;
+  WrongBase.NodesBefore = D.size() + 1;
+  EXPECT_EQ(DAGAnalysis::buildIncrementalDelta(D, Base, WrongBase), nullptr)
+      << "node-count mismatch voids the delta";
+
+  // An empty, complete delta on an unchanged DAG is just a rebuild.
+  EdgeDelta Empty;
+  Empty.NodesBefore = D.size();
+  std::unique_ptr<DAGAnalysis> Same =
+      DAGAnalysis::buildIncrementalDelta(D, Base, Empty);
+  ASSERT_TRUE(Same);
+  expectSameClosure(*Same, Base, D.size(), "empty delta");
+}
+
+//===----------------------------------------------------------------------===//
+// Policy plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(ClosurePolicy, ModeAndThresholdControlRepresentation) {
+  DependenceDAG D = genDAG(GenOptions::ShapeKind::Layered, 30, 8, 4);
+  {
+    ScopedClosurePolicy P(ClosureMode::Auto, /*Threshold=*/8);
+    DAGAnalysis A(D); // N > 8: Auto goes tiled
+    EXPECT_EQ(A.closureRep(), ClosureRep::Tiled);
+    EXPECT_STREQ(closureRepName(A.closureRep()), "blocked");
+  }
+  {
+    ScopedClosurePolicy P(ClosureMode::Auto, /*Threshold=*/100000);
+    DAGAnalysis A(D);
+    EXPECT_EQ(A.closureRep(), ClosureRep::Dense);
+    EXPECT_STREQ(closureRepName(A.closureRep()), "dense");
+  }
+  {
+    ScopedClosurePolicy P(ClosureMode::Dense, /*Threshold=*/8);
+    DAGAnalysis A(D); // explicit mode beats the threshold
+    EXPECT_EQ(A.closureRep(), ClosureRep::Dense);
+  }
+}

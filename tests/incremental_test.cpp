@@ -502,26 +502,28 @@ TEST(DriverIncremental, StatsCountDeltasAndFallbacks) {
   G.Window = 14;
   G.Seed = 1;
   DependenceDAG D = buildDAG(generateTrace(G));
-  // Two registers force spill proposals into the mix: spills always fall
-  // back, sequencing proposals always take the delta path.
+  // Two registers force spill proposals into the mix: spills now ride the
+  // journaled EdgeDelta path (ursa.incremental.spill_deltas), sequencing
+  // proposals take the classic pure-edge delta path. Nothing in this run
+  // needs a fallback rebuild.
   MachineModel M = MachineModel::homogeneous(2, 2);
 
   uint64_t Deltas0 = statValue("ursa.driver.incremental.delta_evals");
-  uint64_t Falls0 = statValue("ursa.driver.incremental.fallbacks");
+  uint64_t Spills0 = statValue("ursa.incremental.spill_deltas");
   URSAOptions O;
   O.IncrementalMeasure = true;
   URSAResult R = runURSA(D, M, O);
   ASSERT_FALSE(R.RoundLog.empty());
   EXPECT_GT(statValue("ursa.driver.incremental.delta_evals"), Deltas0);
-  EXPECT_GT(statValue("ursa.driver.incremental.fallbacks"), Falls0);
+  EXPECT_GT(statValue("ursa.incremental.spill_deltas"), Spills0);
 
   // With the engine off, neither counter moves.
   uint64_t Deltas1 = statValue("ursa.driver.incremental.delta_evals");
-  uint64_t Falls1 = statValue("ursa.driver.incremental.fallbacks");
+  uint64_t Spills1 = statValue("ursa.incremental.spill_deltas");
   O.IncrementalMeasure = false;
   runURSA(D, M, O);
   EXPECT_EQ(statValue("ursa.driver.incremental.delta_evals"), Deltas1);
-  EXPECT_EQ(statValue("ursa.driver.incremental.fallbacks"), Falls1);
+  EXPECT_EQ(statValue("ursa.incremental.spill_deltas"), Spills1);
 }
 
 //===----------------------------------------------------------------------===//

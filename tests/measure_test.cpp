@@ -428,7 +428,7 @@ referenceExcessiveSets(const Measurement &Meas, const HammockForest &HF,
     }
     std::vector<std::vector<unsigned>> Untrimmed = Sub;
 
-    const BitMatrix &Rel = Meas.Reuse.Rel;
+    RelationView Rel = Meas.Reuse.Rel;
     bool Changed = true;
     while (Changed && Sub.size() > Limit) {
       Changed = false;
