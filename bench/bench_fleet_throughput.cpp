@@ -1,0 +1,404 @@
+//===- bench/bench_fleet_throughput.cpp - Router + N backends -------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The fleet acceptance harness: real sockets, a real RouterService, and
+// N in-process ursa_served-equivalent backends, exercised by a threaded
+// batch client over a measurement-bound corpus (wide traces on an ample
+// machine — the tier where the per-shard MeasurementCache dominates).
+//
+// Three gates, each reflected in the exit code and the JSON artifact:
+//
+//  1. scaling    — batch throughput through a router over 3 backends vs
+//                  one directly-attached backend (1 compile worker each).
+//                  Gate: >= 2.0x with >= 4 hardware threads, >= 1.3x
+//                  with 2-3, reported-but-waived on a single core (the
+//                  backends are in-process; one core cannot scale).
+//  2. affinity   — warm-hit rate after a 2 -> 3 backend resize. The
+//                  consistent-hash ring remaps ~1/3 of keys, so one
+//                  re-warm pass later the fleet's hit rate must be back
+//                  within 10 points of the single-server warm rate
+//                  (naive modulo sharding would re-cold the world).
+//  3. kill       — a backend dies mid-batch; with clients resubmitting
+//                  on busy_retry_later every function still completes
+//                  byte-identical to the reference outputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "fleet/RouterService.h"
+#include "service/Client.h"
+#include "service/CompileService.h"
+#include "service/Server.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace ursa;
+using namespace ursa::bench;
+using namespace ursa::fleet;
+using namespace ursa::service;
+
+namespace {
+
+/// A backend server on an ephemeral TCP port.
+struct BackendServer {
+  Server Srv;
+  std::thread Runner;
+  std::string Endpoint;
+
+  explicit BackendServer(const ServiceConfig &Cfg) : Srv("tcp:0", Cfg) {
+    if (Status St = Srv.start(); !St.isOk()) {
+      std::fprintf(stderr, "backend start failed: %s\n", St.str().c_str());
+      std::exit(2);
+    }
+    Endpoint = "tcp:" + std::to_string(Srv.port());
+    Runner = std::thread([this] { Srv.run(); });
+  }
+  ~BackendServer() {
+    Srv.requestStop();
+    Runner.join();
+  }
+};
+
+/// A started router fronted by its own TCP server.
+struct RouterFront {
+  RouterService Router;
+  Server Srv;
+  std::thread Runner;
+  std::string Endpoint;
+
+  explicit RouterFront(const RouterConfig &Cfg)
+      : Router(Cfg), Srv("tcp:0", Router, TransportOpts{}) {
+    if (Status St = Router.start(); !St.isOk()) {
+      std::fprintf(stderr, "router start failed: %s\n", St.str().c_str());
+      std::exit(2);
+    }
+    if (Status St = Srv.start(); !St.isOk()) {
+      std::fprintf(stderr, "router server start failed: %s\n",
+                   St.str().c_str());
+      std::exit(2);
+    }
+    Endpoint = "tcp:" + std::to_string(Srv.port());
+    Runner = std::thread([this] { Srv.run(); });
+  }
+  ~RouterFront() {
+    Srv.requestStop();
+    Runner.join();
+    Router.stop(false);
+  }
+};
+
+ServiceConfig backendConfig() {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1; // one compile lane per backend: scaling = fleet width
+  Cfg.CacheSize = 4096;
+  return Cfg;
+}
+
+std::vector<std::string> makeCorpus(unsigned N, uint64_t SeedBase) {
+  std::vector<std::string> Out;
+  for (unsigned I = 0; I != N; ++I) {
+    GenOptions G;
+    G.NumInstrs = 120;
+    G.Window = 32;
+    G.Seed = SeedBase + I;
+    Out.push_back(generateTrace(G).str());
+  }
+  return Out;
+}
+
+MachineSpec ampleMachine() {
+  MachineSpec M;
+  M.Fus = 4;
+  M.Regs = 64;
+  return M;
+}
+
+struct BatchResult {
+  double WallMs = 0;
+  std::vector<std::string> Texts;
+  unsigned Failures = 0;
+  unsigned BusyRetries = 0;
+  unsigned Reconnects = 0;
+};
+
+/// Drives the whole corpus through \p Endpoint with \p Threads client
+/// connections. A busy_retry_later answer resubmits after a short pause
+/// (the fleet contract: Busy is a momentary condition, not client
+/// fault); a transport error reconnects and resubmits — the client-side
+/// resubmission is exactly what the at-most-once rules permit.
+BatchResult runBatch(const std::string &Endpoint,
+                     const std::vector<std::string> &Corpus, unsigned Threads,
+                     const char *Tag,
+                     std::atomic<unsigned> *Progress = nullptr,
+                     unsigned StallMs = 0,
+                     const MachineSpec *MachineOverride = nullptr) {
+  BatchResult R;
+  R.Texts.resize(Corpus.size());
+  std::atomic<size_t> NextIdx{0};
+  std::atomic<unsigned> Failures{0}, Busy{0}, Reconnects{0};
+  MachineSpec Machine = MachineOverride ? *MachineOverride : ampleMachine();
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T) {
+    Pool.emplace_back([&, T] {
+      std::unique_ptr<ServiceClient> Conn;
+      for (;;) {
+        size_t I = NextIdx.fetch_add(1);
+        if (I >= Corpus.size())
+          return;
+        ServiceRequest Req;
+        Req.Op = ServiceRequest::OpKind::Compile;
+        Req.Id = std::string(Tag) + "-" + std::to_string(I);
+        Req.Source = Corpus[I];
+        Req.Machine = Machine;
+        Req.Client = "bench-" + std::to_string(T);
+        Req.StallMs = StallMs;
+
+        bool Done = false;
+        for (unsigned Attempt = 0; Attempt != 200 && !Done; ++Attempt) {
+          if (!Conn) {
+            StatusOr<ServiceClient> COr = ServiceClient::connect(Endpoint);
+            if (!COr.isOk()) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(5));
+              continue;
+            }
+            Conn = std::make_unique<ServiceClient>(std::move(*COr));
+          }
+          ServiceResponse Resp;
+          if (Status St = Conn->call(Req, Resp); !St.isOk()) {
+            Conn.reset();
+            ++Reconnects;
+            continue;
+          }
+          if (Resp.Status == ServiceResponse::StatusKind::Busy) {
+            ++Busy;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            continue;
+          }
+          if (Resp.Status == ServiceResponse::StatusKind::Ok)
+            R.Texts[I] = Resp.Text;
+          else
+            ++Failures;
+          Done = true;
+        }
+        if (!Done)
+          ++Failures;
+        if (Progress)
+          Progress->fetch_add(1);
+      }
+    });
+  }
+  for (std::thread &T : Pool)
+    T.join();
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
+  R.Failures = Failures;
+  R.BusyRetries = Busy;
+  R.Reconnects = Reconnects;
+  return R;
+}
+
+uint64_t statValue(const char *Name) {
+  for (const obs::StatValue &SV : obs::snapshotStats(/*NonZeroOnly=*/false))
+    if (SV.Name == Name)
+      return SV.Value;
+  return 0;
+}
+
+/// Measurement-cache hit rate over the stats-counter delta of \p Run.
+/// Backends are in-process, so the process-global counters sum the whole
+/// fleet — which is exactly the fleet-wide rate we want.
+template <typename Fn> double hitRateOver(Fn Run) {
+  uint64_t H0 = statValue("ursa.driver.measure_cache.hits");
+  uint64_t M0 = statValue("ursa.driver.measure_cache.misses");
+  Run();
+  uint64_t H = statValue("ursa.driver.measure_cache.hits") - H0;
+  uint64_t M = statValue("ursa.driver.measure_cache.misses") - M0;
+  return H + M ? double(H) / double(H + M) : 0.0;
+}
+
+RouterConfig routerOver(const std::vector<BackendServer *> &Backends) {
+  RouterConfig RC;
+  for (size_t I = 0; I != Backends.size(); ++I)
+    RC.Backends.push_back({Backends[I]->Endpoint, "b" + std::to_string(I)});
+  RC.Workers = 4;
+  RC.ProbeIntervalMs = 100;
+  RC.FailThreshold = 2;
+  return RC;
+}
+
+} // namespace
+
+int main() {
+  obs::setStatsEnabled(true);
+  const unsigned N = 24;
+  const unsigned Threads = 8;
+  const unsigned Hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::string> Corpus = makeCorpus(N, 4000);
+
+  std::printf("fleet throughput: router + backends over TCP, %u functions, "
+              "%u client threads, %u hardware threads\n\n",
+              N, Threads, Hw);
+
+  //===--------------------------------------------------------------------===//
+  // Gate 1: scaling. One backend direct, then three behind a router.
+  //===--------------------------------------------------------------------===//
+
+  BatchResult Single, Fleet3;
+  double SingleWarmRate = 0;
+  {
+    BackendServer B(backendConfig());
+    Single = runBatch(B.Endpoint, Corpus, Threads, "single");
+    // The warm pass doubles as the affinity gate's baseline hit rate.
+    SingleWarmRate = hitRateOver(
+        [&] { runBatch(B.Endpoint, Corpus, Threads, "single-warm"); });
+  }
+  {
+    std::vector<std::unique_ptr<BackendServer>> Bs;
+    for (int I = 0; I != 3; ++I)
+      Bs.push_back(std::make_unique<BackendServer>(backendConfig()));
+    RouterFront Front(routerOver({Bs[0].get(), Bs[1].get(), Bs[2].get()}));
+    Fleet3 = runBatch(Front.Endpoint, Corpus, Threads, "fleet3");
+  }
+  double Speedup = Single.WallMs / std::max(1.0, Fleet3.WallMs);
+  double SpeedupBar = Hw >= 4 ? 2.0 : 1.3;
+  bool ScalingWaived = Hw < 2;
+  bool ScalingOk = ScalingWaived || Speedup >= SpeedupBar;
+  if (ScalingWaived)
+    std::fprintf(stderr, "note: single hardware thread — scaling gate "
+                         "reported but waived (in-process backends cannot "
+                         "scale without cores)\n");
+
+  //===--------------------------------------------------------------------===//
+  // Gate 2: shard affinity across a 2 -> 3 resize.
+  //===--------------------------------------------------------------------===//
+
+  double PostResizeRate = 0, RewarmedRate = 0;
+  {
+    std::vector<std::unique_ptr<BackendServer>> Bs;
+    for (int I = 0; I != 3; ++I)
+      Bs.push_back(std::make_unique<BackendServer>(backendConfig()));
+    {
+      RouterFront Two(routerOver({Bs[0].get(), Bs[1].get()}));
+      runBatch(Two.Endpoint, Corpus, Threads, "resize-warmup");
+    }
+    // Same backends, same shard names, one more ring member: only the
+    // arcs b2's points claim move.
+    RouterFront Three(routerOver({Bs[0].get(), Bs[1].get(), Bs[2].get()}));
+    PostResizeRate = hitRateOver(
+        [&] { runBatch(Three.Endpoint, Corpus, Threads, "resize-first"); });
+    RewarmedRate = hitRateOver(
+        [&] { runBatch(Three.Endpoint, Corpus, Threads, "resize-second"); });
+  }
+  bool AffinityOk = std::fabs(RewarmedRate - SingleWarmRate) <= 0.10;
+
+  //===--------------------------------------------------------------------===//
+  // Gate 3: byte-identical completion across a mid-batch backend kill.
+  //===--------------------------------------------------------------------===//
+
+  // A register-tight machine forces real allocation rounds, which the
+  // StallMs test hook stretches (without changing output) so the kill
+  // reliably lands while requests are in flight.
+  MachineSpec Tight;
+  Tight.Fus = 2;
+  Tight.Regs = 16;
+  BatchResult KillRef, KillRun;
+  {
+    BackendServer Ref(backendConfig());
+    KillRef = runBatch(Ref.Endpoint, Corpus, Threads, "kill-ref", nullptr, 0,
+                       &Tight);
+  }
+  {
+    ServiceConfig Cfg = backendConfig();
+    Cfg.EnableTestHooks = true;
+    std::vector<std::unique_ptr<BackendServer>> Bs;
+    for (int I = 0; I != 3; ++I)
+      Bs.push_back(std::make_unique<BackendServer>(Cfg));
+    RouterFront Front(routerOver({Bs[0].get(), Bs[1].get(), Bs[2].get()}));
+
+    std::atomic<unsigned> Completed{0};
+    std::thread Killer([&] {
+      while (Completed.load() < N / 3)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      Bs[1].reset(); // take a backend down mid-batch
+    });
+    KillRun = runBatch(Front.Endpoint, Corpus, Threads, "kill", &Completed,
+                       /*StallMs=*/5, &Tight);
+    Killer.join();
+  }
+  unsigned KillMismatches = 0;
+  for (unsigned I = 0; I != N; ++I)
+    if (KillRun.Texts[I] != KillRef.Texts[I])
+      ++KillMismatches;
+  bool KillOk = KillMismatches == 0 && KillRun.Failures == 0 &&
+                KillRef.Failures == 0;
+
+  //===--------------------------------------------------------------------===//
+  // Report
+  //===--------------------------------------------------------------------===//
+
+  Table Tbl({"phase", "wall ms", "funcs/s", "busy", "reconnects", "failures"});
+  auto Row = [&](const char *Phase, const BatchResult &B) {
+    Tbl.addRow({Phase, Table::fmt(B.WallMs, 1),
+                Table::fmt(1000.0 * N / std::max(1.0, B.WallMs), 1),
+                Table::fmt(uint64_t(B.BusyRetries)),
+                Table::fmt(uint64_t(B.Reconnects)),
+                Table::fmt(uint64_t(B.Failures))});
+  };
+  Row("single backend", Single);
+  Row("router + 3 backends", Fleet3);
+  Row("kill mid-batch", KillRun);
+  Tbl.print(std::cout);
+
+  std::printf("\nscaling:  %.2fx vs single (gate >= %.1fx%s)\n", Speedup,
+              SpeedupBar, ScalingWaived ? ", waived: 1 hw thread" : "");
+  std::printf("affinity: warm hit rate %.1f%% single, %.1f%% right after "
+              "2->3 resize, %.1f%% re-warmed (gate: within 10 points of "
+              "single)\n",
+              100 * SingleWarmRate, 100 * PostResizeRate, 100 * RewarmedRate);
+  std::printf("kill:     %u/%u byte-identical, %u failures "
+              "(gate: all identical, none failed)\n",
+              N - KillMismatches, N, KillRun.Failures);
+
+  std::string Artifact =
+      writeBenchArtifact("fleet_throughput", [&](obs::JsonWriter &W) {
+        W.beginObject();
+        W.kv("functions", uint64_t(N));
+        W.kv("client_threads", uint64_t(Threads));
+        W.kv("hardware_threads", uint64_t(Hw));
+        W.kv("single_wall_ms", Single.WallMs);
+        W.kv("fleet3_wall_ms", Fleet3.WallMs);
+        W.kv("speedup", Speedup);
+        W.kv("speedup_gate", SpeedupBar);
+        W.kv("scaling_waived", ScalingWaived);
+        W.kv("scaling_ok", ScalingOk);
+        W.kv("single_warm_hit_rate", SingleWarmRate);
+        W.kv("post_resize_hit_rate", PostResizeRate);
+        W.kv("rewarmed_hit_rate", RewarmedRate);
+        W.kv("affinity_ok", AffinityOk);
+        W.kv("kill_wall_ms", KillRun.WallMs);
+        W.kv("kill_busy_retries", uint64_t(KillRun.BusyRetries));
+        W.kv("kill_reconnects", uint64_t(KillRun.Reconnects));
+        W.kv("kill_mismatches", uint64_t(KillMismatches));
+        W.kv("kill_failures", uint64_t(KillRun.Failures));
+        W.kv("kill_ok", KillOk);
+        W.endObject();
+      });
+  if (!Artifact.empty())
+    std::printf("artifact: %s\n", Artifact.c_str());
+
+  return ScalingOk && AffinityOk && KillOk ? 0 : 1;
+}

@@ -1,0 +1,173 @@
+//===- examples/ursa_router.cpp - The compile-fleet front end -------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// A sharding router in front of N `ursa_served` backends. Clients speak
+// the ordinary service protocol to the router; the router forwards each
+// compile to its shard's backend by consistent hashing on (machine,
+// function), fails over under at-most-once rules when a backend dies,
+// and aggregates the fleet's stats/health into single documents:
+//
+//   ursa_router --socket PATH | --tcp [HOST:]PORT
+//               --backend ENDPOINT [--backend ENDPOINT ...] [options]
+//
+//   --socket PATH        Unix socket file to listen on ("unix:PATH" and
+//                        "tcp:..." endpoint strings are accepted too)
+//   --tcp [HOST:]PORT    listen on TCP (loopback by default; port 0 =
+//                        kernel-assigned, printed at startup)
+//   --backend EP         one backend endpoint; repeatable. NAME=EP names
+//                        the backend (default: the endpoint itself)
+//   --workers N          forwarding threads (default 4; these block on
+//                        backend I/O, not CPU)
+//   --queue-depth N      fair-queue capacity across all clients
+//                        (default 256)
+//   --vnodes N           ring points per backend (default 64)
+//   --client NAME=W[:Q]  fair-queue weight (and optional quota) for
+//                        client NAME; repeatable
+//   --default-weight W   weight for unregistered clients (default 1)
+//   --default-quota Q    quota for unregistered clients (default none)
+//   --probe-interval MS  health-probe cadence per backend (default 200)
+//   --probe-timeout MS   per-probe socket deadline (default 500)
+//   --fail-threshold N   consecutive probe failures to eject (default 2)
+//   --io-timeout MS      per-operation deadline on backend connections
+//   --idle-timeout MS    reap idle client connections
+//
+// The router is protocol-invisible: `ursa_batch --connect` pointed at a
+// router fronting one backend prints byte-identical output to a direct
+// connection. docs/SERVICE.md §11 documents the topology.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/RouterService.h"
+#include "service/Server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ursa;
+using namespace ursa::fleet;
+
+/// Parses "NAME=W" or "NAME=W:Q" into a client policy entry.
+static bool parseClientFlag(const std::string &Arg, std::string &Name,
+                            ClientPolicy &P) {
+  size_t Eq = Arg.find('=');
+  if (Eq == std::string::npos || Eq == 0)
+    return false;
+  Name = Arg.substr(0, Eq);
+  std::string Rest = Arg.substr(Eq + 1);
+  size_t Colon = Rest.find(':');
+  std::string W = Colon == std::string::npos ? Rest : Rest.substr(0, Colon);
+  if (W.empty() || std::atoi(W.c_str()) <= 0)
+    return false;
+  P.Weight = unsigned(std::atoi(W.c_str()));
+  P.Quota = 0;
+  if (Colon != std::string::npos) {
+    std::string Q = Rest.substr(Colon + 1);
+    if (Q.empty() || std::atoi(Q.c_str()) <= 0)
+      return false;
+    P.Quota = unsigned(std::atoi(Q.c_str()));
+  }
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  RouterConfig Cfg;
+  service::TransportOpts Transport;
+  std::string Endpoint;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    const char *S = nullptr;
+    if (A == "--socket" && (S = Next()))
+      Endpoint = S;
+    else if (A == "--tcp" && (S = Next()))
+      Endpoint = std::string("tcp:") + S;
+    else if (A == "--backend" && (S = Next())) {
+      BackendConfig B;
+      // NAME=ENDPOINT names the backend; a bare endpoint names itself.
+      // The '=' test must not trip on "tcp:host:port" (no '=' there).
+      std::string Arg = S;
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos && Eq > 0) {
+        B.Name = Arg.substr(0, Eq);
+        B.Endpoint = Arg.substr(Eq + 1);
+      } else {
+        B.Endpoint = Arg;
+      }
+      if (B.Endpoint.empty()) {
+        std::fprintf(stderr, "empty backend endpoint in '%s'\n", S);
+        return 1;
+      }
+      Cfg.Backends.push_back(std::move(B));
+    } else if (A == "--workers" && (S = Next()) && std::atoi(S) > 0)
+      Cfg.Workers = unsigned(std::atoi(S));
+    else if (A == "--queue-depth" && (S = Next()) && std::atoi(S) > 0)
+      Cfg.QueueDepth = unsigned(std::atoi(S));
+    else if (A == "--vnodes" && (S = Next()) && std::atoi(S) > 0)
+      Cfg.VirtualNodes = unsigned(std::atoi(S));
+    else if (A == "--client" && (S = Next())) {
+      std::string Name;
+      ClientPolicy P;
+      if (!parseClientFlag(S, Name, P)) {
+        std::fprintf(stderr,
+                     "bad --client '%s' (expected NAME=WEIGHT[:QUOTA])\n", S);
+        return 1;
+      }
+      Cfg.Clients[Name] = P;
+    } else if (A == "--default-weight" && (S = Next()) && std::atoi(S) > 0)
+      Cfg.DefaultClient.Weight = unsigned(std::atoi(S));
+    else if (A == "--default-quota" && (S = Next()) && std::atoi(S) > 0)
+      Cfg.DefaultClient.Quota = unsigned(std::atoi(S));
+    else if (A == "--probe-interval" && (S = Next()) && std::atoi(S) > 0)
+      Cfg.ProbeIntervalMs = unsigned(std::atoi(S));
+    else if (A == "--probe-timeout" && (S = Next()) && std::atoi(S) > 0)
+      Cfg.ProbeTimeoutMs = unsigned(std::atoi(S));
+    else if (A == "--fail-threshold" && (S = Next()) && std::atoi(S) > 0)
+      Cfg.FailThreshold = unsigned(std::atoi(S));
+    else if (A == "--io-timeout" && (S = Next()))
+      Cfg.IoTimeoutMs = unsigned(std::atoi(S));
+    else if (A == "--idle-timeout" && (S = Next()))
+      Transport.IdleTimeoutMs = unsigned(std::atoi(S));
+    else {
+      std::fprintf(stderr, "unknown or incomplete option '%s'\n", A.c_str());
+      return 1;
+    }
+  }
+  Transport.IoTimeoutMs = Cfg.IoTimeoutMs;
+  if (Endpoint.empty() || Cfg.Backends.empty()) {
+    std::fprintf(stderr,
+                 "usage: ursa_router --socket PATH | --tcp [HOST:]PORT\n"
+                 "                   --backend ENDPOINT [--backend ...] "
+                 "[options]\n"
+                 "       (see the header of examples/ursa_router.cpp)\n");
+    return 1;
+  }
+
+  RouterService Router(Cfg);
+  if (Status St = Router.start(); !St.isOk()) {
+    std::fprintf(stderr, "error: %s\n", St.str().c_str());
+    return 1;
+  }
+
+  service::Server Srv(Endpoint, Router, Transport);
+  if (Status St = Srv.start(); !St.isOk()) {
+    std::fprintf(stderr, "error: %s\n", St.str().c_str());
+    return 1;
+  }
+  if (Srv.port())
+    std::fprintf(stderr, "ursa_router: listening on tcp port %u", Srv.port());
+  else
+    std::fprintf(stderr, "ursa_router: listening on %s", Endpoint.c_str());
+  std::fprintf(stderr, " (%zu backends, %u workers, queue %u, %u vnodes)\n",
+               Cfg.Backends.size(), Cfg.Workers, Cfg.QueueDepth,
+               Cfg.VirtualNodes);
+  Srv.run();
+  std::fprintf(stderr, "ursa_router: shut down\n");
+  return 0;
+}

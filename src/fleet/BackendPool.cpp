@@ -1,0 +1,170 @@
+//===- fleet/BackendPool.cpp - Backend liveness + health probing ----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/BackendPool.h"
+
+#include "obs/Json.h"
+#include "obs/Stats.h"
+#include "service/Client.h"
+
+#include <chrono>
+
+using namespace ursa;
+using namespace ursa::fleet;
+
+URSA_STAT(StatFleetProbes, "ursa.fleet.probes",
+          "backend health probes sent by the router");
+URSA_STAT(StatFleetEjections, "ursa.fleet.ejections",
+          "backends ejected from the ring (probe or demand)");
+URSA_STAT(StatFleetReadmissions, "ursa.fleet.readmissions",
+          "ejected backends readmitted after a healthy probe");
+
+BackendPool::BackendPool(std::vector<BackendConfig> Configs, ProbeOpts O)
+    : Opts(O) {
+  Backends.reserve(Configs.size());
+  for (BackendConfig &C : Configs) {
+    auto B = std::make_unique<Backend>();
+    B->Endpoint = std::move(C.Endpoint);
+    B->Name = C.Name.empty() ? B->Endpoint : std::move(C.Name);
+    Backends.push_back(std::move(B));
+  }
+}
+
+BackendPool::~BackendPool() { stopProbing(); }
+
+size_t BackendPool::upCount() const {
+  size_t N = 0;
+  for (const auto &B : Backends)
+    N += B->Up.load() ? 1 : 0;
+  return N;
+}
+
+void BackendPool::markDown(size_t I) {
+  Backend &B = *Backends[I];
+  if (B.Up.exchange(false)) {
+    B.Ejections.fetch_add(1);
+    StatFleetEjections.add();
+  }
+}
+
+void BackendPool::noteForwarded(size_t I) {
+  Backends[I]->Forwarded.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BackendPool::probeOne(Backend &B) {
+  StatFleetProbes.add();
+  service::ServiceRequest Req;
+  Req.Op = service::ServiceRequest::OpKind::Health;
+  Req.Id = "probe";
+  service::ServiceResponse Resp;
+
+  bool Ok = false;
+  std::string HealthStatus;
+  // connectWithRetry with zero retries: one dial, but with the probe's op
+  // deadline applied to the socket so a hung backend cannot pin the
+  // probe thread mid-frame.
+  service::RetryPolicy P;
+  P.MaxRetries = 0;
+  P.OpTimeoutMs = Opts.TimeoutMs;
+  StatusOr<service::ServiceClient> C =
+      service::ServiceClient::connectWithRetry(B.Endpoint, P);
+  if (C.isOk()) {
+    if (Status St = C->call(Req, Resp); St.isOk()) {
+      // Any well-formed health answer counts as alive; "draining" means
+      // the backend is shutting down and should drain off the ring.
+      if (Resp.Status == service::ServiceResponse::StatusKind::Stats &&
+          !Resp.Text.empty()) {
+        obs::JsonValue Doc;
+        std::string Err;
+        if (obs::parseJson(Resp.Text, Doc, Err) && Doc.isObject())
+          if (const obs::JsonValue *S = Doc.find("status"); S && S->isString())
+            HealthStatus = S->Str;
+        Ok = HealthStatus == "ok" || HealthStatus == "degraded";
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> L(B.HealthMu);
+    B.LastHealth = HealthStatus;
+  }
+  if (Ok) {
+    B.ProbesOk.fetch_add(1);
+    B.ConsecFails.store(0);
+    if (!B.Up.exchange(true)) {
+      B.Readmissions.fetch_add(1);
+      StatFleetReadmissions.add();
+    }
+    return;
+  }
+  B.ProbesFailed.fetch_add(1);
+  unsigned Fails = B.ConsecFails.fetch_add(1) + 1;
+  if (Fails >= Opts.FailThreshold && B.Up.exchange(false)) {
+    B.Ejections.fetch_add(1);
+    StatFleetEjections.add();
+  }
+}
+
+void BackendPool::probeAllOnce() {
+  for (auto &B : Backends)
+    probeOne(*B);
+}
+
+void BackendPool::probeLoop() {
+  std::unique_lock<std::mutex> L(StopMu);
+  while (!Stopping) {
+    L.unlock();
+    probeAllOnce();
+    L.lock();
+    StopCv.wait_for(L, std::chrono::milliseconds(Opts.IntervalMs),
+                    [this] { return Stopping; });
+  }
+}
+
+void BackendPool::startProbing() {
+  std::lock_guard<std::mutex> L(StopMu);
+  if (Probing)
+    return;
+  Stopping = false;
+  Probing = true;
+  Prober = std::thread([this] { probeLoop(); });
+}
+
+void BackendPool::stopProbing() {
+  {
+    std::lock_guard<std::mutex> L(StopMu);
+    if (!Probing)
+      return;
+    Stopping = true;
+    Probing = false;
+  }
+  StopCv.notify_all();
+  if (Prober.joinable())
+    Prober.join();
+}
+
+std::vector<BackendPool::Info> BackendPool::snapshot() const {
+  std::vector<Info> Out;
+  Out.reserve(Backends.size());
+  for (const auto &B : Backends) {
+    Info I;
+    I.Name = B->Name;
+    I.Endpoint = B->Endpoint;
+    I.Up = B->Up.load();
+    I.ConsecFails = B->ConsecFails.load();
+    I.ProbesOk = B->ProbesOk.load();
+    I.ProbesFailed = B->ProbesFailed.load();
+    I.Ejections = B->Ejections.load();
+    I.Readmissions = B->Readmissions.load();
+    I.Forwarded = B->Forwarded.load();
+    {
+      std::lock_guard<std::mutex> L(B->HealthMu);
+      I.LastHealth = B->LastHealth;
+    }
+    Out.push_back(std::move(I));
+  }
+  return Out;
+}

@@ -1,0 +1,127 @@
+//===- fleet/BackendPool.h - Backend liveness + health probing --*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The router's view of its backends: a fixed table (index-stable — the
+/// Ring addresses backends by index) of endpoints with an Up/Down state
+/// driven from two directions:
+///
+///  * a probe thread hits each backend's `health` verb every
+///    ProbeIntervalMs; FailThreshold consecutive failures eject the
+///    backend from routing, one successful probe readmits it;
+///  * router workers eject on demand when a dial fails or a connection
+///    dies mid-request (the probe loop would notice within an interval,
+///    but in-flight failover should not wait for it).
+///
+/// Ejection never rebuilds the Ring — the router just skips Down entries
+/// in the key's successor order, which *is* the consistent-hashing
+/// failover rule: the ejected backend's arcs drain to their clockwise
+/// successors and snap back on readmission.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_FLEET_BACKENDPOOL_H
+#define URSA_FLEET_BACKENDPOOL_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ursa::fleet {
+
+/// One backend as configured (the endpoint doubles as the ring name).
+struct BackendConfig {
+  std::string Endpoint;
+  std::string Name; ///< defaults to the endpoint when empty
+};
+
+struct ProbeOpts {
+  unsigned IntervalMs = 200;  ///< probe cadence per backend
+  unsigned TimeoutMs = 500;   ///< per-probe socket op deadline
+  unsigned FailThreshold = 2; ///< consecutive failures before ejection
+};
+
+class BackendPool {
+public:
+  struct Info {
+    std::string Name;
+    std::string Endpoint;
+    bool Up = true;
+    unsigned ConsecFails = 0;
+    uint64_t ProbesOk = 0;
+    uint64_t ProbesFailed = 0;
+    uint64_t Ejections = 0;
+    uint64_t Readmissions = 0;
+    uint64_t Forwarded = 0;    ///< requests answered by this backend
+    std::string LastHealth;    ///< "ok"/"degraded"/"draining" ("" = never)
+  };
+
+  BackendPool(std::vector<BackendConfig> Backends, ProbeOpts Opts);
+  ~BackendPool();
+
+  BackendPool(const BackendPool &) = delete;
+  BackendPool &operator=(const BackendPool &) = delete;
+
+  void startProbing();
+  void stopProbing();
+
+  size_t count() const { return Backends.size(); }
+  size_t upCount() const;
+  bool isUp(size_t I) const { return Backends[I]->Up.load(); }
+  const std::string &endpoint(size_t I) const { return Backends[I]->Endpoint; }
+  const std::string &name(size_t I) const { return Backends[I]->Name; }
+
+  /// Demand ejection (dial failure / connection death mid-request).
+  void markDown(size_t I);
+  /// Counts one answered request against backend \p I (stats).
+  void noteForwarded(size_t I);
+
+  /// Probes every backend once, synchronously (startup convergence and
+  /// tests; the probe thread does the same thing on its cadence).
+  void probeAllOnce();
+
+  std::vector<Info> snapshot() const;
+
+  const ProbeOpts &opts() const { return Opts; }
+
+private:
+  struct Backend {
+    std::string Name;
+    std::string Endpoint;
+    std::atomic<bool> Up{true}; ///< optimistic: routable until proven dead
+    std::atomic<unsigned> ConsecFails{0};
+    std::atomic<uint64_t> ProbesOk{0};
+    std::atomic<uint64_t> ProbesFailed{0};
+    std::atomic<uint64_t> Ejections{0};
+    std::atomic<uint64_t> Readmissions{0};
+    std::atomic<uint64_t> Forwarded{0};
+    mutable std::mutex HealthMu;
+    std::string LastHealth;
+  };
+
+  void probeOne(Backend &B);
+  void probeLoop();
+
+  std::vector<std::unique_ptr<Backend>> Backends;
+  ProbeOpts Opts;
+
+  std::thread Prober;
+  std::mutex StopMu;
+  std::condition_variable StopCv;
+  bool Stopping = false;
+  bool Probing = false;
+};
+
+} // namespace ursa::fleet
+
+#endif // URSA_FLEET_BACKENDPOOL_H

@@ -1,0 +1,156 @@
+//===- fleet/FairQueue.cpp - Per-client deficit-weighted queue ------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FairQueue.h"
+
+#include <cassert>
+
+using namespace ursa;
+using namespace ursa::fleet;
+
+void FairQueue::setPolicy(const std::string &Client, ClientPolicy P) {
+  if (!P.Weight)
+    P.Weight = 1;
+  clientFor(Client).Policy = P;
+}
+
+FairQueue::ClientQ &FairQueue::clientFor(const std::string &Name) {
+  auto It = Index.find(Name);
+  if (It != Index.end())
+    return Clients[It->second];
+  Index.emplace(Name, Clients.size());
+  ClientQ C;
+  C.Name = Name;
+  C.Policy = Default;
+  if (!C.Policy.Weight)
+    C.Policy.Weight = 1;
+  Clients.push_back(std::move(C));
+  return Clients.back();
+}
+
+int FairQueue::mostOverShare() const {
+  int Best = -1;
+  double BestShare = -1;
+  for (size_t I = 0; I != Clients.size(); ++I) {
+    const ClientQ &C = Clients[I];
+    if (C.Q.empty())
+      continue;
+    double Share = double(C.Q.size()) / double(C.Policy.Weight);
+    if (Share > BestShare ||
+        (Share == BestShare && Best >= 0 &&
+         C.Q.size() > Clients[size_t(Best)].Q.size())) {
+      Best = int(I);
+      BestShare = Share;
+    }
+  }
+  return Best;
+}
+
+void FairQueue::activate(size_t Idx) {
+  ClientQ &C = Clients[Idx];
+  if (!C.InRound) {
+    C.InRound = true;
+    // A client entering the round starts with a full quantum so a lone
+    // arrival is served immediately regardless of weight.
+    C.Deficit = C.Policy.Weight;
+    Active.push_back(Idx);
+  }
+}
+
+FairQueue::Admit FairQueue::push(Item &&I, Item *Victim) {
+  ClientQ &C = clientFor(I.R.Client);
+  size_t CIdx = size_t(&C - Clients.data());
+  if (C.Policy.Quota && C.Q.size() >= C.Policy.Quota) {
+    ++C.Refused;
+    return Admit::OverQuota;
+  }
+  if (Total >= Capacity) {
+    // Full: someone has to give. Charge the client most over its fair
+    // share — counting the arrival, so an arriving hog refuses itself
+    // rather than displacing a client under its share.
+    int V = mostOverShare();
+    double ArrivalShare =
+        double(C.Q.size() + 1) / double(C.Policy.Weight);
+    if (V < 0 || ArrivalShare >=
+                     double(Clients[size_t(V)].Q.size()) /
+                         double(Clients[size_t(V)].Policy.Weight)) {
+      ++C.Refused;
+      return Admit::OverShare;
+    }
+    ClientQ &VC = Clients[size_t(V)];
+    assert(Victim && !VC.Q.empty());
+    // Displace the victim's *newest* request: its oldest are closest to
+    // service and dropping them would maximize wasted queue time.
+    // One out, one in: Total is unchanged by a displacement.
+    *Victim = std::move(VC.Q.back());
+    VC.Q.pop_back();
+    ++VC.Refused;
+    ++C.Admitted;
+    C.Q.push_back(std::move(I));
+    activate(CIdx);
+    return Admit::DisplacedOther;
+  }
+  ++C.Admitted;
+  C.Q.push_back(std::move(I));
+  ++Total;
+  Peak = std::max(Peak, Total);
+  activate(CIdx);
+  return Admit::Ok;
+}
+
+bool FairQueue::popOne(Item &Out) {
+  while (!Active.empty()) {
+    size_t Idx = Active.front();
+    ClientQ &C = Clients[Idx];
+    if (C.Q.empty()) {
+      C.InRound = false;
+      C.Deficit = 0;
+      Active.pop_front();
+      continue;
+    }
+    if (!C.Deficit) {
+      // Quantum spent: recharge and rotate to the back of the round.
+      C.Deficit = C.Policy.Weight;
+      Active.pop_front();
+      Active.push_back(Idx);
+      continue;
+    }
+    --C.Deficit;
+    Out = std::move(C.Q.front());
+    C.Q.pop_front();
+    --Total;
+    if (C.Q.empty()) {
+      C.InRound = false;
+      C.Deficit = 0;
+      Active.pop_front();
+    }
+    return true;
+  }
+  return false;
+}
+
+std::vector<FairQueue::Item> FairQueue::drain() {
+  std::vector<Item> Out;
+  Out.reserve(Total);
+  Item I;
+  while (popOne(I))
+    Out.push_back(std::move(I));
+  return Out;
+}
+
+size_t FairQueue::queuedFor(const std::string &Client) const {
+  auto It = Index.find(Client);
+  return It == Index.end() ? 0 : Clients[It->second].Q.size();
+}
+
+std::vector<FairQueue::ClientView> FairQueue::clients() const {
+  std::vector<ClientView> Out;
+  Out.reserve(Clients.size());
+  for (const ClientQ &C : Clients)
+    Out.push_back({C.Name, C.Policy.Weight, C.Policy.Quota, C.Q.size(),
+                   C.Admitted, C.Refused});
+  return Out;
+}

@@ -1,0 +1,129 @@
+//===- fleet/FairQueue.h - Per-client deficit-weighted queue ----*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The router's admission queue: one FIFO per client, drained by deficit
+/// round-robin so service is proportional to client weight (weight 3 gets
+/// three dequeues for every one a weight-1 client gets, to the precision
+/// a unit-cost DRR provides), with two protections that make overload
+/// shed the *offending* client instead of the fleet:
+///
+///  * a per-client quota (max queued requests) refuses that client's
+///    arrivals once it alone fills its allowance;
+///  * when the queue is full, the arrival displaces the newest request of
+///    the most-over-share client (largest queued/weight). If the arriving
+///    client *is* the most over share, the arrival itself is refused.
+///
+/// Both refusals surface as `shed` to exactly one client; a well-behaved
+/// client under its share is never the victim. The class is not
+/// thread-safe — the RouterService serializes access under its own lock
+/// (contention is parsing and compiling, never this queue).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_FLEET_FAIRQUEUE_H
+#define URSA_FLEET_FAIRQUEUE_H
+
+#include "service/Handler.h"
+#include "service/Protocol.h"
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ursa::fleet {
+
+/// Per-client scheduling policy (the router's config maps client names to
+/// these; unnamed clients share the default).
+struct ClientPolicy {
+  unsigned Weight = 1; ///< DRR quantum; clamped to >= 1
+  unsigned Quota = 0;  ///< max queued requests for this client; 0 = none
+};
+
+class FairQueue {
+public:
+  struct Item {
+    service::ServiceRequest R;
+    service::ResponseFn Done;
+    std::chrono::steady_clock::time_point Enqueued;
+    uint64_t EnqueuedUs = 0;
+  };
+
+  enum class Admit {
+    Ok,           ///< admitted
+    OverQuota,    ///< refused: the client is over its own quota
+    OverShare,    ///< refused: queue full and the client is most over share
+    DisplacedOther ///< admitted; *Victim holds the displaced request
+  };
+
+  FairQueue(unsigned Cap, ClientPolicy Def)
+      : Capacity(Cap ? Cap : 1), Default(Def) {}
+
+  /// Registers a named client's policy (before or after its first
+  /// request; an existing queue keeps its backlog).
+  void setPolicy(const std::string &Client, ClientPolicy P);
+
+  /// Admits or refuses \p I per the header rules. \p I is consumed only
+  /// on admission (Ok/DisplacedOther) — a refused item is left intact so
+  /// the caller can still answer its Done callback. On DisplacedOther the
+  /// caller must answer *\p Victim with `shed`.
+  Admit push(Item &&I, Item *Victim);
+
+  /// Dequeues the next request by deficit round-robin. False when empty.
+  bool popOne(Item &Out);
+
+  /// Drains everything (router shutdown: the caller answers each).
+  std::vector<Item> drain();
+
+  size_t size() const { return Total; }
+  size_t queuedFor(const std::string &Client) const;
+  size_t depthPeak() const { return Peak; }
+
+  /// Clients with a backlog or an explicit policy, with current depth —
+  /// the fleet stats verb reports these.
+  struct ClientView {
+    std::string Name;
+    unsigned Weight;
+    unsigned Quota;
+    size_t Queued;
+    uint64_t Admitted;
+    uint64_t Refused; ///< OverQuota + OverShare + displaced victims
+  };
+  std::vector<ClientView> clients() const;
+
+private:
+  struct ClientQ {
+    std::string Name;
+    ClientPolicy Policy;
+    std::deque<Item> Q;
+    unsigned Deficit = 0;
+    bool InRound = false; ///< present in Active
+    uint64_t Admitted = 0;
+    uint64_t Refused = 0;
+  };
+
+  ClientQ &clientFor(const std::string &Name);
+  /// Index of the client with the largest queued/weight, -1 when all
+  /// queues are empty. Ties break toward the longer queue, then the
+  /// earlier-registered client (deterministic).
+  int mostOverShare() const;
+  void activate(size_t Idx);
+
+  unsigned Capacity;
+  ClientPolicy Default;
+  std::vector<ClientQ> Clients;
+  std::map<std::string, size_t> Index;
+  std::deque<size_t> Active; ///< DRR round order (client indices)
+  size_t Total = 0;
+  size_t Peak = 0;
+};
+
+} // namespace ursa::fleet
+
+#endif // URSA_FLEET_FAIRQUEUE_H

@@ -1,0 +1,96 @@
+//===- fleet/Ring.cpp - Consistent-hash shard ring ------------------------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ursa;
+using namespace ursa::fleet;
+
+uint64_t fleet::fnv1a64(std::string_view S, uint64_t H) {
+  for (char C : S) {
+    H ^= uint64_t(static_cast<unsigned char>(C));
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Splitmix64 finalizer. FNV-1a avalanches poorly into the high bits on
+/// short inputs, and ring placement orders points by the *full* 64-bit
+/// value — unfinalized, the vnode points of "b0".."b3"-style names
+/// cluster and one backend can own half the key space.
+static uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xBF58476D1CE4E5B9ULL;
+  X ^= X >> 27;
+  X *= 0x94D049BB133111EBULL;
+  X ^= X >> 31;
+  return X;
+}
+
+void Ring::build(const std::vector<std::string> &BackendNames,
+                 unsigned VNodes) {
+  assert(!BackendNames.empty() && "ring needs at least one backend");
+  assert(VNodes && "ring needs at least one point per backend");
+  N = uint32_t(BackendNames.size());
+  VN = VNodes;
+  Pts.clear();
+  Pts.reserve(size_t(N) * VNodes);
+  for (uint32_t B = 0; B != N; ++B) {
+    for (unsigned I = 0; I != VNodes; ++I) {
+      uint64_t H = mix64(fnv1a64("#" + std::to_string(I),
+                                 fnv1a64(BackendNames[B])));
+      Pts.push_back({H, B});
+    }
+  }
+  // Sort by hash; ties (vanishingly rare) break by backend index so the
+  // ring is deterministic regardless of the input order of equal points.
+  std::sort(Pts.begin(), Pts.end(), [](const Pt &A, const Pt &B) {
+    return A.H != B.H ? A.H < B.H : A.Backend < B.Backend;
+  });
+}
+
+int Ring::lookup(uint64_t H) const {
+  if (Pts.empty())
+    return -1;
+  auto It = std::lower_bound(
+      Pts.begin(), Pts.end(), H,
+      [](const Pt &P, uint64_t Key) { return P.H < Key; });
+  if (It == Pts.end())
+    It = Pts.begin(); // wrap: the ring is circular
+  return int(It->Backend);
+}
+
+std::vector<uint32_t> Ring::successorOrder(uint64_t H) const {
+  std::vector<uint32_t> Order;
+  if (Pts.empty())
+    return Order;
+  Order.reserve(N);
+  std::vector<bool> Seen(N, false);
+  auto It = std::lower_bound(
+      Pts.begin(), Pts.end(), H,
+      [](const Pt &P, uint64_t Key) { return P.H < Key; });
+  for (size_t Walked = 0; Walked != Pts.size() && Order.size() != N;
+       ++Walked) {
+    if (It == Pts.end())
+      It = Pts.begin();
+    if (!Seen[It->Backend]) {
+      Seen[It->Backend] = true;
+      Order.push_back(It->Backend);
+    }
+    ++It;
+  }
+  return Order;
+}
+
+uint64_t Ring::routeKey(std::string_view MachineKey, std::string_view Source) {
+  // The NUL keeps ("ab","c") and ("a","bc") from colliding; the
+  // finalizer puts keys in the same well-mixed space as the ring points.
+  return mix64(fnv1a64(Source, fnv1a64(std::string_view("\0", 1),
+                                       fnv1a64(MachineKey))));
+}

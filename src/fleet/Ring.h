@@ -1,0 +1,83 @@
+//===- fleet/Ring.h - Consistent-hash shard ring ----------------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shard map of the compile fleet: a consistent-hash ring with a
+/// fixed number of virtual nodes per backend. Each backend contributes
+/// points hashed from its *name*, so adding or removing one backend
+/// leaves every other backend's points exactly where they were — a fleet
+/// resize from N to N+1 remaps only the arcs the new points claim,
+/// ~1/(N+1) of the key space, and every unmoved key keeps hitting the
+/// backend whose MeasurementCache is already warm for it.
+///
+/// Routing keys hash (machine-key, function source): the same function
+/// for the same machine always lands on the same shard, which is what
+/// makes the per-shard cache locality survive (the same reasoning as
+/// prefix-affinity routing in a sharded inference gateway).
+///
+/// The ring itself is immutable after build(); liveness is the
+/// BackendPool's business. successorOrder() returns *all* backends in
+/// ring order from a key, so the router can walk past ejected backends
+/// to the first live successor — failover and ejection need no ring
+/// rebuild.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_FLEET_RING_H
+#define URSA_FLEET_RING_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ursa::fleet {
+
+/// FNV-1a over \p S, continuing from \p H (chain calls to hash tuples).
+uint64_t fnv1a64(std::string_view S, uint64_t H = 0xcbf29ce484222325ULL);
+
+class Ring {
+public:
+  Ring() = default;
+
+  /// Builds the ring from \p BackendNames (must be non-empty and unique;
+  /// the endpoint string is the conventional name). Each backend gets
+  /// \p VNodes points at fnv1a64(name + "#" + i).
+  void build(const std::vector<std::string> &BackendNames,
+             unsigned VNodes = 64);
+
+  bool empty() const { return Pts.empty(); }
+  uint32_t numBackends() const { return N; }
+  unsigned virtualNodes() const { return VN; }
+
+  /// The backend owning \p H (the first point clockwise), or -1 on an
+  /// empty ring. Liveness-blind; prefer successorOrder in the router.
+  int lookup(uint64_t H) const;
+
+  /// Every backend exactly once, in the order their points appear
+  /// clockwise from \p H: [0] is the home shard, the rest the failover
+  /// succession. Empty on an empty ring.
+  std::vector<uint32_t> successorOrder(uint64_t H) const;
+
+  /// The routing key of a compile request: hash of the machine key and
+  /// the function's source text (its pre-parse identity — equal sources
+  /// build equal DAGs, so this is the cheap proxy for dagFingerprint).
+  static uint64_t routeKey(std::string_view MachineKey,
+                           std::string_view Source);
+
+private:
+  struct Pt {
+    uint64_t H;
+    uint32_t Backend;
+  };
+  std::vector<Pt> Pts; ///< sorted by H
+  uint32_t N = 0;
+  unsigned VN = 0;
+};
+
+} // namespace ursa::fleet
+
+#endif // URSA_FLEET_RING_H

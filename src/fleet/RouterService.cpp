@@ -1,0 +1,797 @@
+//===- fleet/RouterService.cpp - Sharded compile-fleet front end ----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/RouterService.h"
+
+#include "obs/Json.h"
+#include "obs/Stats.h"
+#include "obs/Tracer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+
+using namespace ursa;
+using namespace ursa::fleet;
+using service::ServiceRequest;
+using service::ServiceResponse;
+
+URSA_STAT(StatRouterForwards, "ursa.fleet.forwards",
+          "requests forwarded to a backend by the router");
+URSA_STAT(StatRouterFailovers, "ursa.fleet.failovers",
+          "requests replayed to a successor backend");
+URSA_STAT(StatRouterBusy, "ursa.fleet.busy_answers",
+          "busy_retry_later answers sent to clients");
+URSA_STAT(StatRouterShed, "ursa.fleet.shed",
+          "requests refused by fair-queue arbitration");
+URSA_HISTO(HistRouterQueueUs, "ursa.fleet.queue_us",
+           "time requests spend in the router's fair queue");
+
+RouterService::RouterService(const RouterConfig &C)
+    : Config(C),
+      Pool(C.Backends,
+           ProbeOpts{C.ProbeIntervalMs, C.ProbeTimeoutMs, C.FailThreshold}),
+      Queue(C.QueueDepth, C.DefaultClient) {
+  for (const auto &[Name, Policy] : Config.Clients)
+    Queue.setPolicy(Name, Policy);
+}
+
+RouterService::~RouterService() { stop(/*Drain=*/false); }
+
+Status RouterService::start() {
+  if (Config.Backends.empty())
+    return Status::error("fleet", "router needs at least one backend");
+  std::vector<std::string> Names;
+  Names.reserve(Pool.count());
+  for (size_t I = 0; I != Pool.count(); ++I)
+    Names.push_back(Pool.name(I));
+  ShardRing.build(Names, Config.VirtualNodes ? Config.VirtualNodes : 64);
+  StartUs = obs::monotonicNowUs();
+  // One synchronous probe round before serving: a backend that is down at
+  // startup gets ejected now instead of costing the first requests a
+  // failed dial each.
+  Pool.probeAllOnce();
+  Pool.startProbing();
+  unsigned N = Config.Workers ? Config.Workers : 1;
+  Workers.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  Started = true;
+  return Status::ok();
+}
+
+obs::JsonParseLimits RouterService::parseLimits() const {
+  obs::JsonParseLimits L;
+  L.MaxBytes = Config.MaxRequestBytes;
+  return L;
+}
+
+bool RouterService::handle(const ServiceRequest &R, service::ResponseFn Done) {
+  auto Inline = [&](ServiceResponse::StatusKind K, std::string Text) {
+    ServiceResponse Resp;
+    Resp.Status = K;
+    Resp.Id = R.Id;
+    Resp.TraceId = R.TraceId;
+    Resp.Text = std::move(Text);
+    Done(Resp);
+  };
+  switch (R.Op) {
+  case ServiceRequest::OpKind::Ping:
+    Inline(ServiceResponse::StatusKind::Ok, "");
+    return true;
+  case ServiceRequest::OpKind::Shutdown:
+    Inline(ServiceResponse::StatusKind::Bye, "");
+    return false;
+  case ServiceRequest::OpKind::Report:
+    Inline(ServiceResponse::StatusKind::Report, reportJSON());
+    return true;
+  case ServiceRequest::OpKind::Stats:
+    Inline(ServiceResponse::StatusKind::Stats,
+           R.StatsFormat == "prometheus" ? statsPrometheus() : statsJSON());
+    return true;
+  case ServiceRequest::OpKind::Health:
+    Inline(ServiceResponse::StatusKind::Stats, healthJSON());
+    return true;
+  case ServiceRequest::OpKind::Compile:
+    break;
+  }
+
+  Received.fetch_add(1);
+  FairQueue::Item Item;
+  Item.R = R;
+  // Stamp the trace id at admission: the same id rides to the backend
+  // (and across failover replays), so each hop's flight records line up.
+  if (Item.R.TraceId.empty())
+    Item.R.TraceId = service::makeTraceId();
+  Item.Done = std::move(Done);
+  Item.Enqueued = std::chrono::steady_clock::now();
+  Item.EnqueuedUs = obs::monotonicNowUs();
+
+  ServiceResponse Shed;
+  Shed.Status = ServiceResponse::StatusKind::Shed;
+  Shed.Id = Item.R.Id;
+  Shed.TraceId = Item.R.TraceId;
+
+  FairQueue::Item Victim;
+  FairQueue::Admit A;
+  bool WasStopping;
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    WasStopping = Stopping;
+    // push consumes Item only on admission; a refused Item keeps its
+    // Done callback for the shed answer below.
+    A = Stopping ? FairQueue::Admit::OverShare
+                 : Queue.push(std::move(Item), &Victim);
+  }
+  if (WasStopping) {
+    Shed.Error = "router shutting down";
+    StatRouterShed.add();
+    Item.Done(Shed);
+    return true;
+  }
+  switch (A) {
+  case FairQueue::Admit::Ok:
+    QueueCv.notify_one();
+    return true;
+  case FairQueue::Admit::DisplacedOther:
+    // The arrival is in; the most-over-share client's newest request got
+    // bumped to make room — answer *that* one shed.
+    ShedDisplaced.fetch_add(1);
+    StatRouterShed.add();
+    Shed.Id = Victim.R.Id;
+    Shed.TraceId = Victim.R.TraceId;
+    Shed.Error = "displaced by fair-share arbitration (client '" +
+                 Victim.R.Client + "' over share)";
+    Victim.Done(Shed);
+    QueueCv.notify_one();
+    return true;
+  case FairQueue::Admit::OverQuota:
+    ShedQuota.fetch_add(1);
+    StatRouterShed.add();
+    Shed.Error = "client '" + Item.R.Client + "' over quota";
+    Item.Done(Shed);
+    return true;
+  case FairQueue::Admit::OverShare:
+    ShedShare.fetch_add(1);
+    StatRouterShed.add();
+    Shed.Error = "queue full; client '" + Item.R.Client + "' over fair share";
+    Item.Done(Shed);
+    return true;
+  }
+  return true;
+}
+
+void RouterService::workerLoop() {
+  std::vector<std::unique_ptr<service::ServiceClient>> Conns(Pool.count());
+  for (;;) {
+    FairQueue::Item Item;
+    {
+      std::unique_lock<std::mutex> L(QueueMu);
+      QueueCv.wait(L, [this] { return Stopping || Queue.size(); });
+      if (!Queue.popOne(Item)) {
+        if (Stopping)
+          return; // drained
+        continue;
+      }
+    }
+    InFlight.fetch_add(1);
+    routeOne(std::move(Item), Conns);
+    InFlight.fetch_sub(1);
+  }
+}
+
+void RouterService::routeOne(
+    FairQueue::Item Item,
+    std::vector<std::unique_ptr<service::ServiceClient>> &Conns) {
+  const ServiceRequest &R = Item.R;
+  uint64_t WaitUs = obs::monotonicNowUs() - Item.EnqueuedUs;
+  HistRouterQueueUs.record(WaitUs);
+  double WaitMs = double(WaitUs) / 1000.0;
+
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  Resp.TraceId = R.TraceId;
+  Resp.QueueMs = WaitMs;
+
+  if (R.DeadlineMs && WaitMs >= double(R.DeadlineMs)) {
+    DeadlineExpired.fetch_add(1);
+    Resp.Status = ServiceResponse::StatusKind::Deadline;
+    Resp.Error = "deadline expired in the router queue";
+    Item.Done(Resp);
+    return;
+  }
+
+  // What the backend sees: the same request, minus the router queue time
+  // already spent from its deadline.
+  ServiceRequest Fw = R;
+  if (Fw.DeadlineMs)
+    Fw.DeadlineMs = unsigned(std::max(1.0, double(Fw.DeadlineMs) - WaitMs));
+
+  uint64_t Key = Ring::routeKey(R.Machine.key(), R.Source);
+  std::vector<uint32_t> Order = ShardRing.successorOrder(Key);
+
+  bool First = true;
+  std::string LastWhy = "no live backend";
+  for (uint32_t B : Order) {
+    if (!Pool.isUp(B))
+      continue;
+    if (!First) {
+      Failovers.fetch_add(1);
+      StatRouterFailovers.add();
+    }
+    First = false;
+    std::string Why;
+    ServiceResponse BResp;
+    switch (forwardTo(B, Fw, R.TraceId, BResp, Conns, Why)) {
+    case Fwd::Done:
+      Pool.noteForwarded(B);
+      StatRouterForwards.add();
+      Completed.fetch_add(1);
+      BResp.Backend = Pool.name(B);
+      BResp.Id = R.Id;
+      BResp.TraceId = R.TraceId;
+      BResp.QueueMs += WaitMs; // the client's queue time spans both hops
+      Item.Done(BResp);
+      return;
+    case Fwd::NotStartedAlive:
+      // The backend refused (its queue is full or it is draining) but is
+      // alive; its shard neighbors may have room.
+      LastWhy = Why.empty() ? "backend refused" : Why;
+      continue;
+    case Fwd::ConnectFail:
+    case Fwd::NotStartedDead:
+      // Provably unstarted and the backend looks gone: eject it now
+      // rather than waiting a probe interval, and replay clockwise.
+      Pool.markDown(B);
+      LastWhy = Why.empty() ? "backend unreachable" : Why;
+      continue;
+    case Fwd::Indeterminate:
+      // The connection died after the request may have been read: the
+      // at-most-once rule forbids the router from replaying it. Tell the
+      // client to resubmit — its fresh request is a new decision and can
+      // route anywhere (compiles are deterministic, so a duplicated
+      // execution is wasted work, not a wrong answer; the rule still
+      // holds because the *router* never multiplies one submission).
+      Pool.markDown(B);
+      BusyAnswers.fetch_add(1);
+      StatRouterBusy.add();
+      Resp.Status = ServiceResponse::StatusKind::Busy;
+      Resp.Error = "backend '" + Pool.name(B) +
+                   "' lost mid-request; resubmit (" + Why + ")";
+      Item.Done(Resp);
+      return;
+    }
+  }
+
+  BusyAnswers.fetch_add(1);
+  StatRouterBusy.add();
+  Resp.Status = ServiceResponse::StatusKind::Busy;
+  Resp.Error = "no backend accepted the request: " + LastWhy;
+  Item.Done(Resp);
+}
+
+RouterService::Fwd RouterService::forwardTo(
+    size_t Backend, const ServiceRequest &R, std::string_view Tid,
+    ServiceResponse &Out,
+    std::vector<std::unique_ptr<service::ServiceClient>> &Conns,
+    std::string &Why) {
+  std::unique_ptr<service::ServiceClient> &Conn = Conns[Backend];
+  if (!Conn || !Conn->connected()) {
+    service::RetryPolicy P;
+    P.MaxRetries = 0;
+    P.OpTimeoutMs = Config.IoTimeoutMs;
+    StatusOr<service::ServiceClient> C =
+        service::ServiceClient::connectWithRetry(Pool.endpoint(Backend), P);
+    if (!C.isOk()) {
+      Why = C.status().message();
+      Conn.reset();
+      return Fwd::ConnectFail;
+    }
+    Conn = std::make_unique<service::ServiceClient>(std::move(*C));
+  }
+
+  ServiceRequest Fw = R;
+  Fw.TraceId = std::string(Tid);
+  if (Status St = Conn->send(Fw); !St.isOk()) {
+    Why = St.message();
+    int E = Conn->lastErrno();
+    Conn.reset();
+    // Same send classification as the supervised client: EPIPE means the
+    // peer closed before reading our frame (responses flush first), so
+    // the request was never seen; anything else may have landed.
+    return E == EPIPE ? Fwd::NotStartedDead : Fwd::Indeterminate;
+  }
+
+  bool Closed = false;
+  if (Status St = Conn->recv(Out, Closed); !St.isOk()) {
+    Why = St.message();
+    Conn.reset();
+    return Fwd::Indeterminate;
+  }
+  if (Closed) {
+    Why = "backend closed before responding";
+    Conn.reset();
+    return Fwd::NotStartedDead;
+  }
+  if (Out.Status == ServiceResponse::StatusKind::Shed ||
+      Out.Status == ServiceResponse::StatusKind::Busy) {
+    Why = Out.Error;
+    return Fwd::NotStartedAlive;
+  }
+  return Fwd::Done;
+}
+
+void RouterService::stop(bool Drain) {
+  std::vector<FairQueue::Item> Leftover;
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    if (Stopping && Workers.empty())
+      return; // already stopped
+    Stopping = true;
+    if (!Drain)
+      Leftover = Queue.drain();
+  }
+  for (FairQueue::Item &I : Leftover) {
+    ServiceResponse Resp;
+    Resp.Status = ServiceResponse::StatusKind::Shed;
+    Resp.Id = I.R.Id;
+    Resp.TraceId = I.R.TraceId;
+    Resp.Error = "router shutting down";
+    I.Done(Resp);
+  }
+  QueueCv.notify_all();
+  for (std::thread &T : Workers)
+    if (T.joinable())
+      T.join();
+  Workers.clear();
+  Pool.stopProbing();
+}
+
+RouterService::Counters RouterService::counters() const {
+  Counters C;
+  C.Received = Received.load();
+  C.Completed = Completed.load();
+  C.Failovers = Failovers.load();
+  C.Busy = BusyAnswers.load();
+  C.ShedQuota = ShedQuota.load();
+  C.ShedShare = ShedShare.load();
+  C.ShedDisplaced = ShedDisplaced.load();
+  C.DeadlineExpired = DeadlineExpired.load();
+  C.InFlight = InFlight.load();
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    C.QueueDepth = Queue.size();
+    C.QueueDepthPeak = Queue.depthPeak();
+  }
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet-wide aggregation
+//===----------------------------------------------------------------------===//
+
+bool fleet::parseHistogramJson(const obs::JsonValue &V,
+                               obs::HistogramSnapshot &Out) {
+  if (!V.isObject())
+    return false;
+  const obs::JsonValue *Name = V.find("name");
+  const obs::JsonValue *Count = V.find("count");
+  const obs::JsonValue *Buckets = V.find("buckets");
+  if (!Name || !Name->isString() || !Count || !Count->isNumber() ||
+      !Buckets || !Buckets->isArray())
+    return false;
+  Out = obs::HistogramSnapshot();
+  Out.Name = Name->Str;
+  if (const obs::JsonValue *D = V.find("desc"); D && D->isString())
+    Out.Desc = D->Str;
+  Out.Count = uint64_t(Count->Num);
+  if (const obs::JsonValue *S = V.find("sum_us"); S && S->isNumber())
+    Out.Sum = uint64_t(S->Num);
+  if (const obs::JsonValue *M = V.find("max_us"); M && M->isNumber())
+    Out.Max = uint64_t(M->Num);
+  Out.Buckets.assign(obs::Histogram::NumBuckets, 0);
+  for (const obs::JsonValue &B : Buckets->Arr) {
+    if (!B.isObject())
+      return false;
+    const obs::JsonValue *Le = B.find("le_us");
+    const obs::JsonValue *C = B.find("count");
+    if (!Le || !Le->isNumber() || !C || !C->isNumber())
+      return false;
+    // Map the upper edge back to its bucket. Finite edges are < 2^39 so
+    // they survive the double round trip exactly; anything at or beyond
+    // the last finite edge is the overflow bucket.
+    unsigned Idx = obs::Histogram::NumBuckets; // sentinel: not found
+    double Edge = Le->Num;
+    if (Edge >=
+        double(obs::Histogram::bucketHi(obs::Histogram::NumBuckets - 2))) {
+      if (Edge > double(obs::Histogram::bucketHi(obs::Histogram::NumBuckets -
+                                                 2)))
+        Idx = obs::Histogram::NumBuckets - 1; // overflow (le_us ~ 2^64)
+      else
+        Idx = obs::Histogram::NumBuckets - 2;
+    } else {
+      uint64_t E = uint64_t(Edge);
+      // bucketHi is exclusive, so the edge E belongs to the bucket whose
+      // hi is E — i.e. the bucket containing E-1.
+      if (E == 0)
+        return false;
+      unsigned Cand = obs::Histogram::bucketIndex(E - 1);
+      if (obs::Histogram::bucketHi(Cand) == E)
+        Idx = Cand;
+    }
+    if (Idx >= obs::Histogram::NumBuckets)
+      return false;
+    Out.Buckets[Idx] += uint64_t(C->Num);
+  }
+  return true;
+}
+
+namespace {
+
+/// Sums of the per-backend `requests`/`queue` sections.
+struct FleetAggregate {
+  uint64_t Received = 0, Completed = 0, Errors = 0, Shed = 0,
+           DeadlineExpired = 0, InFlight = 0;
+  uint64_t QueueDepth = 0, QueueCapacity = 0;
+  unsigned BackendWorkers = 0;
+  unsigned Reachable = 0;
+  std::vector<obs::HistogramSnapshot> Histograms; ///< merged by name
+  /// Per-backend health strings parsed from each stats doc ("" = fetch
+  /// failed).
+  std::vector<std::string> DocStatus;
+
+  void fold(const obs::JsonValue &Doc);
+};
+
+uint64_t numField(const obs::JsonValue &Obj, const char *Key) {
+  if (const obs::JsonValue *V = Obj.find(Key); V && V->isNumber() &&
+                                               V->Num >= 0)
+    return uint64_t(V->Num);
+  return 0;
+}
+
+void FleetAggregate::fold(const obs::JsonValue &Doc) {
+  ++Reachable;
+  if (const obs::JsonValue *R = Doc.find("requests"); R && R->isObject()) {
+    Received += numField(*R, "received");
+    Completed += numField(*R, "completed");
+    Errors += numField(*R, "errors");
+    Shed += numField(*R, "shed");
+    DeadlineExpired += numField(*R, "deadline_expired");
+    InFlight += numField(*R, "in_flight");
+  }
+  if (const obs::JsonValue *Q = Doc.find("queue"); Q && Q->isObject()) {
+    QueueDepth += numField(*Q, "depth");
+    QueueCapacity += numField(*Q, "capacity");
+  }
+  BackendWorkers += unsigned(numField(Doc, "workers"));
+  if (const obs::JsonValue *Hs = Doc.find("histograms"); Hs && Hs->isArray()) {
+    for (const obs::JsonValue &H : Hs->Arr) {
+      obs::HistogramSnapshot S;
+      if (!parseHistogramJson(H, S))
+        continue;
+      auto It = std::find_if(
+          Histograms.begin(), Histograms.end(),
+          [&](const obs::HistogramSnapshot &E) { return E.Name == S.Name; });
+      if (It == Histograms.end())
+        Histograms.push_back(std::move(S));
+      else
+        It->merge(S);
+    }
+  }
+}
+
+void writeMergedHistogram(obs::JsonWriter &W,
+                          const obs::HistogramSnapshot &H) {
+  W.beginObject();
+  W.kv("name", H.Name);
+  W.kv("desc", H.Desc);
+  W.kv("count", H.Count);
+  W.kv("sum_us", H.Sum);
+  W.kv("max_us", H.Max);
+  W.kv("p50_us", H.percentile(0.50));
+  W.kv("p90_us", H.percentile(0.90));
+  W.kv("p99_us", H.percentile(0.99));
+  W.key("buckets").beginArray();
+  for (unsigned I = 0; I != obs::Histogram::NumBuckets; ++I) {
+    if (!H.Buckets[I])
+      continue;
+    W.beginObject();
+    W.kv("le_us", obs::Histogram::bucketHi(I));
+    W.kv("count", H.Buckets[I]);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+} // namespace
+
+std::string RouterService::fetchBackendDoc(
+    size_t I, service::ServiceRequest::OpKind Op) const {
+  service::RetryPolicy P;
+  P.MaxRetries = 0;
+  P.OpTimeoutMs = Config.ProbeTimeoutMs;
+  StatusOr<service::ServiceClient> C =
+      service::ServiceClient::connectWithRetry(Pool.endpoint(I), P);
+  if (!C.isOk())
+    return std::string();
+  ServiceRequest Req;
+  Req.Op = Op;
+  Req.Id = "fleet-agg";
+  ServiceResponse Resp;
+  if (Status St = C->call(Req, Resp); !St.isOk())
+    return std::string();
+  if (Resp.Status != ServiceResponse::StatusKind::Stats)
+    return std::string();
+  return Resp.Text;
+}
+
+/// Fetches and folds every live backend's stats document; DocStatus gets
+/// one slot per backend ("" = unreachable or unparsable).
+static FleetAggregate
+aggregateStats(const BackendPool &Pool,
+               const std::function<std::string(size_t)> &Fetch) {
+  FleetAggregate Agg;
+  Agg.DocStatus.resize(Pool.count());
+  for (size_t I = 0; I != Pool.count(); ++I) {
+    if (!Pool.isUp(I))
+      continue;
+    std::string Doc = Fetch(I);
+    if (Doc.empty())
+      continue;
+    obs::JsonValue Root;
+    std::string Err;
+    if (!obs::parseJson(Doc, Root, Err) || !Root.isObject())
+      continue;
+    Agg.DocStatus[I] = "ok";
+    Agg.fold(Root);
+  }
+  return Agg;
+}
+
+std::string RouterService::statsJSON() const {
+  FleetAggregate Agg = aggregateStats(Pool, [this](size_t I) {
+    return fetchBackendDoc(I, ServiceRequest::OpKind::Stats);
+  });
+  Counters C = counters();
+  std::vector<BackendPool::Info> Backs = Pool.snapshot();
+  std::vector<FairQueue::ClientView> Cls;
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    Cls = Queue.clients();
+  }
+  uint64_t NowUs = obs::monotonicNowUs();
+
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "ursa.service_stats.v1");
+  W.kv("now_us", NowUs);
+  W.kv("uptime_s", double(NowUs - StartUs) / 1e6);
+  // Aggregate worker count: what the fleet can compile in parallel.
+  W.kv("workers", Agg.BackendWorkers);
+  W.key("requests").beginObject();
+  W.kv("received", Agg.Received);
+  W.kv("completed", Agg.Completed);
+  W.kv("errors", Agg.Errors);
+  W.kv("shed", Agg.Shed + C.ShedQuota + C.ShedShare + C.ShedDisplaced);
+  W.kv("deadline_expired", Agg.DeadlineExpired + C.DeadlineExpired);
+  W.kv("in_flight", Agg.InFlight + C.InFlight);
+  W.endObject();
+  W.key("queue").beginObject();
+  W.kv("depth", uint64_t(C.QueueDepth) + Agg.QueueDepth);
+  W.kv("depth_peak", uint64_t(C.QueueDepthPeak));
+  W.kv("capacity", uint64_t(Config.QueueDepth) + Agg.QueueCapacity);
+  W.endObject();
+  W.key("histograms").beginArray();
+  for (const obs::HistogramSnapshot &H : Agg.Histograms)
+    writeMergedHistogram(W, H);
+  W.endArray();
+  W.key("fleet").beginObject();
+  W.kv("backends_total", uint64_t(Pool.count()));
+  W.kv("backends_up", uint64_t(Pool.upCount()));
+  W.kv("backends_reachable", uint64_t(Agg.Reachable));
+  W.key("router").beginObject();
+  W.kv("received", C.Received);
+  W.kv("completed", C.Completed);
+  W.kv("failovers", C.Failovers);
+  W.kv("busy_answers", C.Busy);
+  W.kv("shed_quota", C.ShedQuota);
+  W.kv("shed_share", C.ShedShare);
+  W.kv("shed_displaced", C.ShedDisplaced);
+  W.kv("deadline_expired", C.DeadlineExpired);
+  W.kv("queue_depth", uint64_t(C.QueueDepth));
+  W.kv("queue_depth_peak", uint64_t(C.QueueDepthPeak));
+  W.kv("in_flight", C.InFlight);
+  W.endObject();
+  W.key("backends").beginArray();
+  for (size_t I = 0; I != Backs.size(); ++I) {
+    const BackendPool::Info &B = Backs[I];
+    W.beginObject();
+    W.kv("name", B.Name);
+    W.kv("endpoint", B.Endpoint);
+    W.kv("up", B.Up);
+    W.kv("consec_fails", uint64_t(B.ConsecFails));
+    W.kv("probes_ok", B.ProbesOk);
+    W.kv("probes_failed", B.ProbesFailed);
+    W.kv("ejections", B.Ejections);
+    W.kv("readmissions", B.Readmissions);
+    W.kv("forwarded", B.Forwarded);
+    W.kv("last_health", B.LastHealth);
+    W.kv("stats_reachable", I < Agg.DocStatus.size() &&
+                                !Agg.DocStatus[I].empty());
+    W.endObject();
+  }
+  W.endArray();
+  W.key("clients").beginArray();
+  for (const FairQueue::ClientView &CV : Cls) {
+    W.beginObject();
+    W.kv("name", CV.Name);
+    W.kv("weight", uint64_t(CV.Weight));
+    W.kv("quota", uint64_t(CV.Quota));
+    W.kv("queued", uint64_t(CV.Queued));
+    W.kv("admitted", CV.Admitted);
+    W.kv("refused", CV.Refused);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  W.endObject();
+  return W.str();
+}
+
+std::string RouterService::statsPrometheus() const {
+  FleetAggregate Agg = aggregateStats(Pool, [this](size_t I) {
+    return fetchBackendDoc(I, ServiceRequest::OpKind::Stats);
+  });
+  Counters C = counters();
+  std::vector<BackendPool::Info> Backs = Pool.snapshot();
+  uint64_t NowUs = obs::monotonicNowUs();
+
+  std::string Out;
+  Out.reserve(8192);
+  char Buf[512];
+  auto Line = [&](const char *Fmt, auto... Args) {
+    int N = std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    Out.append(Buf, size_t(std::max(0, N)));
+    Out.push_back('\n');
+  };
+
+  Line("# HELP ursa_fleet_uptime_seconds seconds since router start");
+  Line("# TYPE ursa_fleet_uptime_seconds gauge");
+  Line("ursa_fleet_uptime_seconds %.3f", double(NowUs - StartUs) / 1e6);
+  Line("# TYPE ursa_fleet_backends_up gauge");
+  Line("ursa_fleet_backends_up %llu", (unsigned long long)Pool.upCount());
+  Line("# TYPE ursa_fleet_backend_up gauge");
+  for (const BackendPool::Info &B : Backs)
+    Line("ursa_fleet_backend_up{backend=\"%s\"} %d", B.Name.c_str(),
+         B.Up ? 1 : 0);
+  Line("# TYPE ursa_fleet_backend_forwarded counter");
+  for (const BackendPool::Info &B : Backs)
+    Line("ursa_fleet_backend_forwarded{backend=\"%s\"} %llu", B.Name.c_str(),
+         (unsigned long long)B.Forwarded);
+
+  const std::pair<const char *, uint64_t> RouterCounters[] = {
+      {"ursa_fleet_router_received", C.Received},
+      {"ursa_fleet_router_completed", C.Completed},
+      {"ursa_fleet_router_failovers", C.Failovers},
+      {"ursa_fleet_router_busy_answers", C.Busy},
+      {"ursa_fleet_router_shed_quota", C.ShedQuota},
+      {"ursa_fleet_router_shed_share", C.ShedShare},
+      {"ursa_fleet_router_shed_displaced", C.ShedDisplaced},
+      {"ursa_fleet_requests_received", Agg.Received},
+      {"ursa_fleet_requests_completed", Agg.Completed},
+      {"ursa_fleet_requests_errors", Agg.Errors},
+  };
+  for (const auto &[N, Value] : RouterCounters) {
+    Line("# TYPE %s counter", N);
+    Line("%s %llu", N, (unsigned long long)Value);
+  }
+  Line("# TYPE ursa_fleet_queue_depth gauge");
+  Line("ursa_fleet_queue_depth %llu", (unsigned long long)C.QueueDepth);
+
+  // Merged fleet histograms, in the same cumulative-`le` exposition the
+  // single server emits — one scrape shows fleet-wide latency.
+  for (const obs::HistogramSnapshot &H : Agg.Histograms) {
+    std::string N;
+    N.reserve(H.Name.size());
+    for (char Ch : H.Name)
+      N.push_back((Ch >= 'a' && Ch <= 'z') || (Ch >= 'A' && Ch <= 'Z') ||
+                          (Ch >= '0' && Ch <= '9') || Ch == '_' || Ch == ':'
+                      ? Ch
+                      : '_');
+    Line("# HELP %s %s (fleet-merged)", N.c_str(), H.Desc.c_str());
+    Line("# TYPE %s histogram", N.c_str());
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I + 1 != obs::Histogram::NumBuckets; ++I) {
+      if (!H.Buckets[I])
+        continue;
+      Cum += H.Buckets[I];
+      Line("%s_bucket{le=\"%llu\"} %llu", N.c_str(),
+           (unsigned long long)obs::Histogram::bucketHi(I),
+           (unsigned long long)Cum);
+    }
+    Line("%s_bucket{le=\"+Inf\"} %llu", N.c_str(),
+         (unsigned long long)H.Count);
+    Line("%s_sum %llu", N.c_str(), (unsigned long long)H.Sum);
+    Line("%s_count %llu", N.c_str(), (unsigned long long)H.Count);
+  }
+  return Out;
+}
+
+std::string RouterService::healthJSON() const {
+  std::vector<BackendPool::Info> Backs = Pool.snapshot();
+  size_t Up = Pool.upCount();
+  bool Draining;
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    Draining = Stopping;
+  }
+  Counters C = counters();
+  uint64_t NowUs = obs::monotonicNowUs();
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "ursa.service_health.v1");
+  W.kv("status", Draining ? "draining"
+                          : Up == Backs.size() ? "ok" : "degraded");
+  W.kv("uptime_s", double(NowUs - StartUs) / 1e6);
+  W.kv("queue_depth", uint64_t(C.QueueDepth));
+  W.kv("queue_capacity", uint64_t(Config.QueueDepth));
+  W.kv("in_flight", C.InFlight);
+  W.kv("backends_total", uint64_t(Backs.size()));
+  W.kv("backends_up", uint64_t(Up));
+  W.key("backends").beginArray();
+  for (const BackendPool::Info &B : Backs) {
+    W.beginObject();
+    W.kv("name", B.Name);
+    W.kv("up", B.Up);
+    W.kv("last_health", B.LastHealth);
+    W.kv("consec_fails", uint64_t(B.ConsecFails));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+std::string RouterService::reportJSON() const {
+  Counters C = counters();
+  std::vector<BackendPool::Info> Backs = Pool.snapshot();
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "ursa.fleet_report.v1");
+  W.key("config").beginObject();
+  W.kv("workers", uint64_t(Config.Workers));
+  W.kv("queue_depth", uint64_t(Config.QueueDepth));
+  W.kv("virtual_nodes", uint64_t(Config.VirtualNodes));
+  W.kv("probe_interval_ms", uint64_t(Config.ProbeIntervalMs));
+  W.kv("fail_threshold", uint64_t(Config.FailThreshold));
+  W.endObject();
+  W.key("router").beginObject();
+  W.kv("received", C.Received);
+  W.kv("completed", C.Completed);
+  W.kv("failovers", C.Failovers);
+  W.kv("busy_answers", C.Busy);
+  W.kv("shed_quota", C.ShedQuota);
+  W.kv("shed_share", C.ShedShare);
+  W.kv("shed_displaced", C.ShedDisplaced);
+  W.endObject();
+  W.key("backends").beginArray();
+  for (const BackendPool::Info &B : Backs) {
+    W.beginObject();
+    W.kv("name", B.Name);
+    W.kv("endpoint", B.Endpoint);
+    W.kv("up", B.Up);
+    W.kv("forwarded", B.Forwarded);
+    W.kv("ejections", B.Ejections);
+    W.kv("readmissions", B.Readmissions);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}

@@ -1,0 +1,172 @@
+//===- fleet/RouterService.h - Sharded compile-fleet front end --*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet router: a ServiceHandler that forwards compile requests to N
+/// backend `ursa_served` instances instead of compiling anything itself.
+/// Plugged into the same socket Server clients already speak to, it is
+/// protocol-invisible — `ursa_batch --connect` against a router fronting
+/// one backend produces byte-identical output to a direct connection.
+///
+/// The moving parts, each its own file:
+///
+///  * Ring (fleet/Ring.h): consistent hashing on (machine-key, source)
+///    picks the home shard; fleet resize remaps ~1/N of keys, so each
+///    backend's MeasurementCache stays warm for its shard.
+///  * FairQueue (fleet/FairQueue.h): per-client deficit-weighted fair
+///    queueing with quotas — overload sheds the over-quota client.
+///  * BackendPool (fleet/BackendPool.h): `health`-verb probing with
+///    automatic ring ejection/readmission plus demand ejection.
+///
+/// Failover is governed by the client-side at-most-once rules
+/// (service/Client.h): a dial failure, send EPIPE, clean pre-response
+/// FIN, or an explicit shed/busy from the backend prove the compile
+/// never started, so the request replays to the key's next live
+/// successor. Anything else (reset or timeout mid-exchange) is
+/// indeterminate: the router answers `busy_retry_later` — the *client's*
+/// resubmission is a fresh request and may run anywhere, but the router
+/// itself never replays work that may already be running.
+///
+/// The stats/health verbs aggregate: each live backend's stats document
+/// is fetched, histograms are merged snapshot-wise (they add), request
+/// counters are summed, and the result is one ursa.service_stats.v1
+/// document (or Prometheus exposition) with a `fleet` section of
+/// per-backend detail. docs/SERVICE.md §11 covers the whole topology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_FLEET_ROUTERSERVICE_H
+#define URSA_FLEET_ROUTERSERVICE_H
+
+#include "fleet/BackendPool.h"
+#include "fleet/FairQueue.h"
+#include "fleet/Ring.h"
+#include "obs/Histogram.h"
+#include "service/Client.h"
+#include "service/Handler.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ursa::fleet {
+
+struct RouterConfig {
+  std::vector<BackendConfig> Backends;
+  unsigned Workers = 4;        ///< forwarding threads (I/O bound, not CPU)
+  unsigned QueueDepth = 256;   ///< fair-queue capacity across all clients
+  unsigned VirtualNodes = 64;  ///< ring points per backend
+  unsigned ProbeIntervalMs = 200;
+  unsigned ProbeTimeoutMs = 500;
+  unsigned FailThreshold = 2;  ///< consecutive probe failures to eject
+  unsigned IoTimeoutMs = 0;    ///< backend-connection op deadline (0 = none)
+  size_t MaxRequestBytes = 8u << 20;
+  ClientPolicy DefaultClient;  ///< weight/quota for unregistered clients
+  std::map<std::string, ClientPolicy> Clients; ///< per-name overrides
+};
+
+class RouterService : public service::ServiceHandler {
+public:
+  explicit RouterService(const RouterConfig &C);
+  ~RouterService() override;
+
+  RouterService(const RouterService &) = delete;
+  RouterService &operator=(const RouterService &) = delete;
+
+  /// Builds the ring, probes every backend once (so a dead seed is
+  /// ejected before the first request), and starts the prober and the
+  /// forwarding workers. Fails on an empty backend list.
+  Status start();
+
+  bool handle(const service::ServiceRequest &R,
+              service::ResponseFn Done) override;
+  obs::JsonParseLimits parseLimits() const override;
+  void stop(bool Drain) override;
+
+  /// Fleet-wide aggregates (also reachable through the stats/health
+  /// verbs). The JSON documents keep the single-server schemas with an
+  /// added `fleet` section.
+  std::string statsJSON() const;
+  std::string statsPrometheus() const;
+  std::string healthJSON() const;
+  std::string reportJSON() const;
+
+  BackendPool &pool() { return Pool; }
+  const Ring &ring() const { return ShardRing; }
+  const RouterConfig &config() const { return Config; }
+
+  struct Counters {
+    uint64_t Received = 0;
+    uint64_t Completed = 0;
+    uint64_t Failovers = 0;   ///< replays to a successor backend
+    uint64_t Busy = 0;        ///< busy_retry_later answers
+    uint64_t ShedQuota = 0;   ///< refusals: client over quota
+    uint64_t ShedShare = 0;   ///< refusals: arrival most over share
+    uint64_t ShedDisplaced = 0; ///< queued requests displaced by arbitration
+    uint64_t DeadlineExpired = 0;
+    size_t QueueDepth = 0;
+    size_t QueueDepthPeak = 0;
+    uint64_t InFlight = 0;
+  };
+  Counters counters() const;
+
+private:
+  /// How one forward attempt ended, per the at-most-once matrix.
+  enum class Fwd {
+    Done,            ///< response in hand
+    NotStartedAlive, ///< backend answered shed/busy: replay, keep it routable
+    NotStartedDead,  ///< EPIPE or clean pre-response FIN: eject + replay
+    Indeterminate,   ///< may be running: never replay
+    ConnectFail      ///< could not dial: eject + replay
+  };
+
+  void workerLoop();
+  void routeOne(FairQueue::Item Item,
+                std::vector<std::unique_ptr<service::ServiceClient>> &Conns);
+  Fwd forwardTo(size_t Backend, const service::ServiceRequest &R,
+                std::string_view Tid, service::ServiceResponse &Out,
+                std::vector<std::unique_ptr<service::ServiceClient>> &Conns,
+                std::string &Why);
+
+  /// Fetches one backend's stats/health document ("" on failure).
+  std::string fetchBackendDoc(size_t I,
+                              service::ServiceRequest::OpKind Op) const;
+
+  RouterConfig Config;
+  Ring ShardRing;
+  BackendPool Pool;
+  uint64_t StartUs = 0;
+
+  mutable std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  FairQueue Queue;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+  bool Started = false;
+
+  std::atomic<uint64_t> Received{0};
+  std::atomic<uint64_t> Completed{0};
+  std::atomic<uint64_t> Failovers{0};
+  std::atomic<uint64_t> BusyAnswers{0};
+  std::atomic<uint64_t> ShedQuota{0};
+  std::atomic<uint64_t> ShedShare{0};
+  std::atomic<uint64_t> ShedDisplaced{0};
+  std::atomic<uint64_t> DeadlineExpired{0};
+  std::atomic<uint64_t> InFlight{0};
+};
+
+/// Parses one histogram object of a stats document (the shape
+/// writeHistogramJson emits: name/count/sum_us/max_us + sparse buckets
+/// with `le_us` upper edges) back into a dense snapshot. Returns false on
+/// anything that does not look like one of ours. Exposed for tests.
+bool parseHistogramJson(const obs::JsonValue &V, obs::HistogramSnapshot &Out);
+
+} // namespace ursa::fleet
+
+#endif // URSA_FLEET_ROUTERSERVICE_H

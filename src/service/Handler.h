@@ -1,0 +1,60 @@
+//===- service/Handler.h - Request handler abstraction ----------*- C++ -*-===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seam between the socket front end (service/Server.h) and whatever
+/// answers requests behind it. CompileService implements this directly;
+/// the fleet router (fleet/RouterService.h) implements it by forwarding
+/// to backend servers. The Server neither knows nor cares which it is
+/// fronting — it parses frames, hands ServiceRequests to the handler, and
+/// writes whatever responses the handler emits (possibly out of order,
+/// possibly from other threads).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URSA_SERVICE_HANDLER_H
+#define URSA_SERVICE_HANDLER_H
+
+#include "obs/Json.h"
+#include "service/Protocol.h"
+
+#include <functional>
+
+namespace ursa::service {
+
+/// Delivers one response. May be invoked from any thread, before or after
+/// handle() returns, and must be invoked exactly once per request (the
+/// transport serializes concurrent sends per connection).
+using ResponseFn = std::function<void(const ServiceResponse &)>;
+
+/// What answers requests behind the socket front end.
+class ServiceHandler {
+public:
+  virtual ~ServiceHandler() = default;
+
+  /// Handles one parsed request. Returns false when the server should
+  /// stop accepting (a shutdown request was acknowledged).
+  virtual bool handle(const ServiceRequest &R, ResponseFn Done) = 0;
+
+  /// Parse limits for untrusted request documents (frame size cap flows
+  /// from MaxBytes).
+  virtual obs::JsonParseLimits parseLimits() const = 0;
+
+  /// Stops the handler; with \p Drain, queued work finishes and its
+  /// responses flush first. The Server calls this once on shutdown.
+  virtual void stop(bool Drain) = 0;
+};
+
+/// Transport knobs for servers fronting a bare ServiceHandler (servers
+/// constructed from a ServiceConfig take these from the config instead).
+struct TransportOpts {
+  unsigned IdleTimeoutMs = 0; ///< reap idle connections (0 = never)
+  unsigned IoTimeoutMs = 0;   ///< per-operation socket deadline (0 = none)
+};
+
+} // namespace ursa::service
+
+#endif // URSA_SERVICE_HANDLER_H

@@ -100,6 +100,10 @@ struct ServiceRequest {
   /// Test hook (honored only when the server enables test hooks): stall
   /// every allocation round by this many milliseconds.
   unsigned StallMs = 0;
+  /// Client identity for the router's fair queueing and quotas ("" = the
+  /// anonymous client). Backends ignore it; old servers never see the
+  /// field (it is omitted when empty and unknown fields are skipped).
+  std::string Client;
 };
 
 /// One service response.
@@ -111,11 +115,21 @@ struct ServiceResponse {
     Deadline, ///< the request's deadline expired before compilation
     Report,   ///< Text holds a ursa.service_report.v1 document
     Bye,      ///< shutdown acknowledged
-    Stats     ///< Text holds a stats document (JSON or Prometheus text)
+    Stats,    ///< Text holds a stats document (JSON or Prometheus text)
+    /// A momentary fleet-side condition (router found no backend, or a
+    /// backend was lost mid-request): resubmit freely — unlike Shed this
+    /// does not mean the *client* is over quota, so retrying it must not
+    /// burn the supervised-retry backoff budget. Old clients parse the
+    /// wire name "busy_retry_later" as Error (documented legacy mapping).
+    Busy
   } Status = StatusKind::Error;
   std::string Id;
   /// Echo of the request's trace id (possibly client-stamped).
   std::string TraceId;
+  /// Which backend served a routed request (router-stamped, "" when the
+  /// response came straight from a backend). Lets clients and tests see
+  /// shard placement without scraping router stats.
+  std::string Backend;
   std::string Error;
   /// For Ok: exactly what `ursa_cc <file> --machine ...` would print
   /// (stats comment + VLIW assembly). For Report: the report JSON.

@@ -45,9 +45,15 @@ class Server {
 public:
   /// \p Endpoint is "unix:PATH", a bare socket path, or "tcp:HOST:PORT"
   /// (see support/Socket.h). TCP port 0 is allowed; port() reports the
-  /// kernel's pick after start().
-  Server(std::string Endpoint, const ServiceConfig &C)
-      : Path(std::move(Endpoint)), Service(C) {}
+  /// kernel's pick after start(). This form owns a CompileService built
+  /// from \p C — the historical `ursa_served` shape.
+  Server(std::string Endpoint, const ServiceConfig &C);
+
+  /// Fronts an externally owned handler (the fleet router). \p H must
+  /// outlive the server; transport knobs come from \p T since there is no
+  /// ServiceConfig to read them from.
+  Server(std::string Endpoint, ServiceHandler &H, const TransportOpts &T);
+
   ~Server();
 
   /// Binds and listens on the endpoint. Call before run().
@@ -61,7 +67,11 @@ public:
   /// context (it only sets a flag — run() polls it between accepts).
   void requestStop() { StopFlag.store(true); }
 
-  CompileService &service() { return Service; }
+  /// The owned CompileService. Only valid for servers constructed from a
+  /// ServiceConfig (asserts otherwise — a handler-fronting server has no
+  /// compile service of its own).
+  CompileService &service();
+
   const std::string &path() const { return Path; }
 
   /// The bound TCP port (0 for Unix endpoints or before start()).
@@ -86,7 +96,9 @@ private:
 
   std::string Path;
   bool IsUnix = true; ///< endpoint kind, for the socket-file unlink
-  CompileService Service;
+  std::unique_ptr<CompileService> Owned; ///< null when fronting a handler
+  ServiceHandler *Handler = nullptr;     ///< Owned.get() or the external one
+  TransportOpts Transport;
   Socket Listener;
   std::atomic<bool> StopFlag{false};
 

@@ -105,14 +105,29 @@ StatusOr<Socket> Socket::connectUnix(const std::string &Path) {
 // TCP
 //===----------------------------------------------------------------------===//
 
+/// Fills a v4 or v6 socket address for \p Host (bracket-free; a host
+/// containing ':' is parsed as IPv6). Empty host = IPv4 loopback.
 static Status fillTcpAddr(const std::string &Host, uint16_t Port,
-                          sockaddr_in &Addr) {
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sin_family = AF_INET;
-  Addr.sin_port = htons(Port);
+                          sockaddr_storage &SS, socklen_t &Len, int &Family) {
+  std::memset(&SS, 0, sizeof(SS));
   const std::string &H = Host.empty() ? std::string("127.0.0.1") : Host;
-  if (::inet_pton(AF_INET, H.c_str(), &Addr.sin_addr) != 1)
+  if (H.find(':') != std::string::npos) {
+    auto *A6 = reinterpret_cast<sockaddr_in6 *>(&SS);
+    A6->sin6_family = AF_INET6;
+    A6->sin6_port = htons(Port);
+    if (::inet_pton(AF_INET6, H.c_str(), &A6->sin6_addr) != 1)
+      return Status::error("socket", "bad IPv6 address: '" + H + "'");
+    Len = sizeof(sockaddr_in6);
+    Family = AF_INET6;
+    return Status::ok();
+  }
+  auto *A4 = reinterpret_cast<sockaddr_in *>(&SS);
+  A4->sin_family = AF_INET;
+  A4->sin_port = htons(Port);
+  if (::inet_pton(AF_INET, H.c_str(), &A4->sin_addr) != 1)
     return Status::error("socket", "bad IPv4 address: '" + H + "'");
+  Len = sizeof(sockaddr_in);
+  Family = AF_INET;
   return Status::ok();
 }
 
@@ -121,34 +136,47 @@ static void setNodelay(int Fd) {
   ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
 }
 
+/// Renders a host for error messages, re-bracketing IPv6.
+static std::string displayHost(const std::string &Host) {
+  if (Host.find(':') != std::string::npos)
+    return "[" + Host + "]";
+  return Host;
+}
+
 StatusOr<Socket> Socket::listenTcp(const std::string &Host, uint16_t Port,
                                    int Backlog) {
-  sockaddr_in Addr;
-  if (Status St = fillTcpAddr(Host, Port, Addr); !St.isOk())
+  sockaddr_storage SS;
+  socklen_t Len;
+  int Family;
+  if (Status St = fillTcpAddr(Host, Port, SS, Len, Family); !St.isOk())
     return St;
-  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int Fd = ::socket(Family, SOCK_STREAM, 0);
   if (Fd < 0)
     return Socket().fail("socket()");
   Socket S(Fd);
   int One = 1;
   ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
-  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
-    return S.fail("bind(tcp:" + Host + ":" + std::to_string(Port) + ")");
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&SS), Len) != 0)
+    return S.fail("bind(tcp:" + displayHost(Host) + ":" +
+                  std::to_string(Port) + ")");
   if (::listen(Fd, Backlog) != 0)
     return S.fail("listen(tcp:" + std::to_string(Port) + ")");
   return S;
 }
 
 StatusOr<Socket> Socket::connectTcp(const std::string &Host, uint16_t Port) {
-  sockaddr_in Addr;
-  if (Status St = fillTcpAddr(Host, Port, Addr); !St.isOk())
+  sockaddr_storage SS;
+  socklen_t Len;
+  int Family;
+  if (Status St = fillTcpAddr(Host, Port, SS, Len, Family); !St.isOk())
     return St;
-  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int Fd = ::socket(Family, SOCK_STREAM, 0);
   if (Fd < 0)
     return Socket().fail("socket()");
   Socket S(Fd);
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
-    return S.fail("connect(tcp:" + Host + ":" + std::to_string(Port) + ")");
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&SS), Len) != 0)
+    return S.fail("connect(tcp:" + displayHost(Host) + ":" +
+                  std::to_string(Port) + ")");
   setNodelay(Fd);
   return S;
 }
@@ -160,49 +188,107 @@ uint16_t Socket::localPort() const {
   socklen_t Len = sizeof(SS);
   if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&SS), &Len) != 0)
     return 0;
-  if (SS.ss_family != AF_INET)
-    return 0;
-  return ntohs(reinterpret_cast<sockaddr_in *>(&SS)->sin_port);
+  if (SS.ss_family == AF_INET)
+    return ntohs(reinterpret_cast<sockaddr_in *>(&SS)->sin_port);
+  if (SS.ss_family == AF_INET6)
+    return ntohs(reinterpret_cast<sockaddr_in6 *>(&SS)->sin6_port);
+  return 0;
 }
 
 //===----------------------------------------------------------------------===//
 // Endpoint strings
 //===----------------------------------------------------------------------===//
 
+static bool parseFail(std::string *Err, const std::string &Why) {
+  if (Err)
+    *Err = Why;
+  return false;
+}
+
+static bool parsePort(const std::string &PortStr, uint16_t &Port,
+                      std::string *Err) {
+  if (PortStr.empty())
+    return parseFail(Err, "missing port");
+  char *End = nullptr;
+  long P = std::strtol(PortStr.c_str(), &End, 10);
+  if (*End != '\0' || P < 0 || P > 65535)
+    return parseFail(Err, "bad port: '" + PortStr + "'");
+  Port = uint16_t(P);
+  return true;
+}
+
 bool Socket::parseEndpoint(const std::string &Ep, bool &IsTcp,
-                           std::string &HostOrPath, uint16_t &Port) {
+                           std::string &HostOrPath, uint16_t &Port,
+                           std::string *Err) {
   IsTcp = false;
   Port = 0;
+  if (Err)
+    Err->clear();
   if (Ep.rfind("unix:", 0) == 0) {
     HostOrPath = Ep.substr(5);
-    return !HostOrPath.empty();
+    if (HostOrPath.empty())
+      return parseFail(Err, "empty unix socket path");
+    return true;
   }
   if (Ep.rfind("tcp:", 0) != 0) {
     HostOrPath = Ep; // bare path = unix socket
-    return !HostOrPath.empty();
+    if (HostOrPath.empty())
+      return parseFail(Err, "empty endpoint");
+    return true;
   }
   IsTcp = true;
   std::string Rest = Ep.substr(4);
+  if (!Rest.empty() && Rest[0] == '[') {
+    // Bracketed IPv6: tcp:[::1]:PORT. The brackets keep the address's own
+    // colons from being mistaken for the host:port separator.
+    size_t Close = Rest.find(']');
+    if (Close == std::string::npos)
+      return parseFail(Err, "unterminated '[' in '" + Ep + "'");
+    HostOrPath = Rest.substr(1, Close - 1);
+    if (HostOrPath.empty())
+      return parseFail(Err, "empty IPv6 address in '" + Ep + "'");
+    if (Close + 1 >= Rest.size() || Rest[Close + 1] != ':')
+      return parseFail(Err, "expected ':PORT' after ']' in '" + Ep + "'");
+    return parsePort(Rest.substr(Close + 2), Port, Err);
+  }
   size_t Colon = Rest.rfind(':');
   std::string PortStr = Colon == std::string::npos ? Rest
                                                    : Rest.substr(Colon + 1);
   HostOrPath = Colon == std::string::npos ? std::string() : Rest.substr(0, Colon);
-  if (PortStr.empty())
-    return false;
-  char *End = nullptr;
-  long P = std::strtol(PortStr.c_str(), &End, 10);
-  if (*End != '\0' || P < 0 || P > 65535)
-    return false;
-  Port = uint16_t(P);
-  return true;
+  if (HostOrPath.find(':') != std::string::npos)
+    return parseFail(Err, "IPv6 addresses must be bracketed: tcp:[" +
+                              HostOrPath + "]:" + PortStr);
+  return parsePort(PortStr, Port, Err);
+}
+
+std::vector<std::string> Socket::splitEndpointList(const std::string &List) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= List.size()) {
+    size_t Comma = List.find(',', Start);
+    size_t End = Comma == std::string::npos ? List.size() : Comma;
+    if (End > Start)
+      Out.push_back(List.substr(Start, End - Start));
+    if (Comma == std::string::npos)
+      break;
+    Start = Comma + 1;
+  }
+  return Out;
+}
+
+static Status malformedEndpoint(const std::string &Ep,
+                                const std::string &Why) {
+  return Status::error("socket", "malformed endpoint '" + Ep + "': " +
+                                     (Why.empty() ? "unparseable" : Why));
 }
 
 StatusOr<Socket> Socket::listenEndpoint(const std::string &Ep, int Backlog) {
   bool IsTcp;
   std::string HostOrPath;
   uint16_t Port;
-  if (!parseEndpoint(Ep, IsTcp, HostOrPath, Port))
-    return Status::error("socket", "malformed endpoint: '" + Ep + "'");
+  std::string Why;
+  if (!parseEndpoint(Ep, IsTcp, HostOrPath, Port, &Why))
+    return malformedEndpoint(Ep, Why);
   return IsTcp ? listenTcp(HostOrPath, Port, Backlog)
                : listenUnix(HostOrPath, Backlog);
 }
@@ -211,9 +297,27 @@ StatusOr<Socket> Socket::connectEndpoint(const std::string &Ep) {
   bool IsTcp;
   std::string HostOrPath;
   uint16_t Port;
-  if (!parseEndpoint(Ep, IsTcp, HostOrPath, Port))
-    return Status::error("socket", "malformed endpoint: '" + Ep + "'");
+  std::string Why;
+  if (!parseEndpoint(Ep, IsTcp, HostOrPath, Port, &Why))
+    return malformedEndpoint(Ep, Why);
   return IsTcp ? connectTcp(HostOrPath, Port) : connectUnix(HostOrPath);
+}
+
+StatusOr<Socket> Socket::connectAnyEndpoint(const std::vector<std::string> &Eps,
+                                            size_t *WhichOut) {
+  if (Eps.empty())
+    return Status::error("socket", "no endpoints to dial");
+  Status Last = Status::ok();
+  for (size_t I = 0; I < Eps.size(); ++I) {
+    StatusOr<Socket> S = connectEndpoint(Eps[I]);
+    if (S.isOk()) {
+      if (WhichOut)
+        *WhichOut = I;
+      return S;
+    }
+    Last = S.status();
+  }
+  return Last;
 }
 
 //===----------------------------------------------------------------------===//

@@ -25,8 +25,13 @@
 /// Endpoints are spelled as strings shared by server and client flags:
 ///   "unix:PATH" or a bare path   Unix-domain socket at PATH
 ///   "tcp:HOST:PORT"              TCP (HOST may be empty = 127.0.0.1)
+///   "tcp:[V6]:PORT"              TCP over IPv6 (brackets required, so the
+///                                address colons don't split the port)
 ///   "tcp:PORT"                   TCP on loopback
 /// TCP listeners may bind port 0; localPort() reports the kernel's pick.
+/// A comma-separated list of endpoints names alternates to dial in order
+/// (splitEndpointList / connectAnyEndpoint) — the router front-end and its
+/// clients use this for fallback targets.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +44,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace ursa {
 
@@ -89,13 +95,28 @@ public:
 
   /// Splits an endpoint string (see file header) into its parts. Returns
   /// false when \p Ep is not a well-formed endpoint (e.g. "tcp:" with a
-  /// non-numeric port).
+  /// non-numeric port, or an unbracketed IPv6 address); \p Err, when
+  /// non-null, receives a one-line explanation. IPv6 hosts come back with
+  /// their brackets stripped ("tcp:[::1]:80" yields host "::1").
   static bool parseEndpoint(const std::string &Ep, bool &IsTcp,
-                            std::string &HostOrPath, uint16_t &Port);
+                            std::string &HostOrPath, uint16_t &Port,
+                            std::string *Err = nullptr);
+
+  /// Splits a comma-separated endpoint list ("tcp:9001,tcp:host:9002")
+  /// into individual endpoints, dropping empty entries. Unix socket paths
+  /// containing commas cannot ride in a list; dial them singly.
+  static std::vector<std::string> splitEndpointList(const std::string &List);
 
   static StatusOr<Socket> listenEndpoint(const std::string &Ep,
                                          int Backlog = 16);
   static StatusOr<Socket> connectEndpoint(const std::string &Ep);
+
+  /// Dials each endpoint in order and returns the first that answers
+  /// (multi-endpoint dialing: routers with fallbacks, fleet seeds). On
+  /// success \p WhichOut (when non-null) gets the index that connected; on
+  /// failure the Status carries the last endpoint's error.
+  static StatusOr<Socket> connectAnyEndpoint(const std::vector<std::string> &Eps,
+                                             size_t *WhichOut = nullptr);
 
   //===--- Connections -----------------------------------------------------===//
 

@@ -1,0 +1,610 @@
+//===- tests/fleet_test.cpp - Router, ring, and fair-queue tests ----------===//
+//
+// Part of the URSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The fleet subsystem under test, bottom up:
+//
+//  * Ring — consistent-hashing invariants: balanced key spread, ~1/N
+//    remap on resize (moved keys all land on the new backend), and
+//    successorOrder as a permutation rooted at the home shard.
+//  * FairQueue — DRR proportionality (weights 3:1 serve exactly 3:1 over
+//    whole rounds), quota refusal, and full-queue displacement of the
+//    most-over-share client.
+//  * parseHistogramJson — the stats document's sparse bucket encoding
+//    round-trips back to the dense snapshot it came from.
+//  * Protocol — the Busy status and the router-stamped fields survive a
+//    wire round-trip; unknown statuses degrade to Error (the documented
+//    legacy mapping for old clients).
+//  * RouterService end to end — byte-identical forwarding through one
+//    backend, failover across a dead backend, probe-driven readmission,
+//    and fleet stats aggregation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FairQueue.h"
+#include "fleet/Ring.h"
+#include "fleet/RouterService.h"
+#include "obs/Histogram.h"
+#include "obs/Json.h"
+#include "obs/Stats.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "workload/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ursa;
+using namespace ursa::fleet;
+using namespace ursa::service;
+
+namespace {
+
+std::string genSource(uint64_t Seed) {
+  GenOptions G;
+  G.NumInstrs = 24;
+  G.Window = 8;
+  G.Seed = Seed;
+  return generateTrace(G).str();
+}
+
+ServiceRequest compileRequest(std::string Id, uint64_t Seed) {
+  ServiceRequest R;
+  R.Op = ServiceRequest::OpKind::Compile;
+  R.Id = std::move(Id);
+  R.Source = genSource(Seed);
+  R.Machine.Fus = 2;
+  R.Machine.Regs = 4;
+  return R;
+}
+
+/// A running backend server plus the endpoint string to reach it.
+struct TcpServer {
+  Server Srv;
+  std::thread Runner;
+  std::string Endpoint;
+
+  explicit TcpServer(ServiceConfig Cfg) : Srv("tcp:0", Cfg) {
+    Status St = Srv.start();
+    EXPECT_TRUE(St.isOk()) << St.str();
+    Endpoint = "tcp:" + std::to_string(Srv.port());
+    Runner = std::thread([this] { Srv.run(); });
+  }
+  ~TcpServer() {
+    Srv.requestStop();
+    Runner.join();
+  }
+};
+
+/// A started RouterService fronted by its own TCP server.
+struct RouterFront {
+  RouterService Router;
+  Server Srv;
+  std::thread Runner;
+  std::string Endpoint;
+
+  explicit RouterFront(const RouterConfig &Cfg)
+      : Router(Cfg), Srv("tcp:0", Router, TransportOpts{}) {
+    Status St = Router.start();
+    EXPECT_TRUE(St.isOk()) << St.str();
+    St = Srv.start();
+    EXPECT_TRUE(St.isOk()) << St.str();
+    Endpoint = "tcp:" + std::to_string(Srv.port());
+    Runner = std::thread([this] { Srv.run(); });
+  }
+  ~RouterFront() {
+    Srv.requestStop();
+    Runner.join();
+    Router.stop(false);
+  }
+};
+
+ServiceResponse callOne(const std::string &Endpoint, const ServiceRequest &R) {
+  StatusOr<ServiceClient> COr = ServiceClient::connect(Endpoint);
+  EXPECT_TRUE(COr.isOk()) << COr.status().str();
+  ServiceResponse Resp;
+  Status St = COr->call(R, Resp);
+  EXPECT_TRUE(St.isOk()) << St.str();
+  return Resp;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Ring
+//===----------------------------------------------------------------------===//
+
+TEST(FleetRing, SpreadsKeysAcrossBackends) {
+  Ring R;
+  R.build({"b0", "b1", "b2", "b3"}, 64);
+  std::array<unsigned, 4> Hits{};
+  for (uint64_t K = 0; K != 10000; ++K)
+    ++Hits[size_t(R.lookup(Ring::routeKey("2x4", std::to_string(K))))];
+  for (unsigned H : Hits) {
+    // 64 vnodes keeps every backend within a loose band of its 25% fair
+    // share — this guards against degenerate clustering, not variance.
+    EXPECT_GT(H, 1000u);
+    EXPECT_LT(H, 4500u);
+  }
+}
+
+TEST(FleetRing, ResizeRemapsAboutOneOverN) {
+  Ring Before, After;
+  Before.build({"b0", "b1", "b2"}, 64);
+  After.build({"b0", "b1", "b2", "b3"}, 64);
+  unsigned Moved = 0;
+  for (uint64_t K = 0; K != 10000; ++K) {
+    uint64_t H = Ring::routeKey("2x4", std::to_string(K));
+    int A = Before.lookup(H), B = After.lookup(H);
+    if (A != B) {
+      ++Moved;
+      // Every moved key moves *to* the new backend: the old backends'
+      // points never moved, so no key can migrate between them.
+      EXPECT_EQ(B, 3);
+    }
+  }
+  // Ideal is 1/4 of the key space; accept a generous band around it.
+  EXPECT_GT(Moved, 1000u);
+  EXPECT_LT(Moved, 4500u);
+}
+
+TEST(FleetRing, SuccessorOrderIsAPermutationFromHome) {
+  Ring R;
+  R.build({"b0", "b1", "b2", "b3", "b4"}, 32);
+  for (uint64_t K = 0; K != 200; ++K) {
+    uint64_t H = Ring::routeKey("2x4", std::to_string(K));
+    std::vector<uint32_t> Order = R.successorOrder(H);
+    ASSERT_EQ(Order.size(), 5u);
+    EXPECT_EQ(int(Order[0]), R.lookup(H)) << "home shard first";
+    std::vector<bool> Seen(5, false);
+    for (uint32_t B : Order) {
+      ASSERT_LT(B, 5u);
+      EXPECT_FALSE(Seen[B]) << "backend repeated in successor order";
+      Seen[B] = true;
+    }
+  }
+}
+
+TEST(FleetRing, RouteKeyIsStableAndInputSensitive) {
+  uint64_t K = Ring::routeKey("2x4", "add r1, r2, r3\n");
+  EXPECT_EQ(K, Ring::routeKey("2x4", "add r1, r2, r3\n"));
+  EXPECT_NE(K, Ring::routeKey("4x8", "add r1, r2, r3\n"));
+  EXPECT_NE(K, Ring::routeKey("2x4", "add r1, r2, r4\n"));
+}
+
+//===----------------------------------------------------------------------===//
+// FairQueue
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+FairQueue::Item queueItem(const std::string &Client, std::string Id) {
+  FairQueue::Item I;
+  I.R.Client = Client;
+  I.R.Id = std::move(Id);
+  I.Done = [](const ServiceResponse &) {};
+  return I;
+}
+
+} // namespace
+
+TEST(FleetFairQueue, DrrServesProportionallyToWeight) {
+  FairQueue Q(100, ClientPolicy{});
+  Q.setPolicy("heavy", {3, 0});
+  Q.setPolicy("light", {1, 0});
+  for (unsigned I = 0; I != 30; ++I)
+    ASSERT_EQ(Q.push(queueItem("heavy", "h" + std::to_string(I)), nullptr),
+              FairQueue::Admit::Ok);
+  for (unsigned I = 0; I != 10; ++I)
+    ASSERT_EQ(Q.push(queueItem("light", "l" + std::to_string(I)), nullptr),
+              FairQueue::Admit::Ok);
+
+  // Over whole DRR rounds (quantum = weight, unit cost) service is
+  // *exactly* proportional: each round drains 3 heavy + 1 light.
+  std::map<std::string, unsigned> Served;
+  FairQueue::Item Out;
+  for (unsigned I = 0; I != 16; ++I) {
+    ASSERT_TRUE(Q.popOne(Out));
+    ++Served[Out.R.Client];
+  }
+  EXPECT_EQ(Served["heavy"], 12u);
+  EXPECT_EQ(Served["light"], 4u);
+
+  // Drain the rest: nothing lost, FIFO within a client.
+  unsigned Rest = 0;
+  for (; Q.popOne(Out); ++Rest)
+    ;
+  EXPECT_EQ(Rest, 24u);
+  EXPECT_EQ(Q.size(), 0u);
+}
+
+TEST(FleetFairQueue, QuotaRefusesOnlyTheOffender) {
+  FairQueue Q(100, ClientPolicy{});
+  Q.setPolicy("greedy", {1, 2});
+  EXPECT_EQ(Q.push(queueItem("greedy", "g0"), nullptr), FairQueue::Admit::Ok);
+  EXPECT_EQ(Q.push(queueItem("greedy", "g1"), nullptr), FairQueue::Admit::Ok);
+
+  FairQueue::Item Third = queueItem("greedy", "g2");
+  EXPECT_EQ(Q.push(std::move(Third), nullptr), FairQueue::Admit::OverQuota);
+  // A refused item is NOT consumed: the caller still answers its Done.
+  EXPECT_EQ(Third.R.Id, "g2");
+  EXPECT_TRUE(bool(Third.Done));
+
+  // The other client is untouched by greedy's quota.
+  EXPECT_EQ(Q.push(queueItem("polite", "p0"), nullptr), FairQueue::Admit::Ok);
+  EXPECT_EQ(Q.queuedFor("greedy"), 2u);
+  EXPECT_EQ(Q.queuedFor("polite"), 1u);
+
+  // Draining one greedy request frees quota for the next arrival.
+  FairQueue::Item Out;
+  ASSERT_TRUE(Q.popOne(Out));
+  while (Out.R.Client != "greedy")
+    ASSERT_TRUE(Q.popOne(Out));
+  EXPECT_EQ(Q.push(queueItem("greedy", "g3"), nullptr), FairQueue::Admit::Ok);
+}
+
+TEST(FleetFairQueue, FullQueueDisplacesTheMostOverShareClient) {
+  FairQueue Q(4, ClientPolicy{});
+  for (unsigned I = 0; I != 4; ++I)
+    ASSERT_EQ(Q.push(queueItem("hog", "hog" + std::to_string(I)), nullptr),
+              FairQueue::Admit::Ok);
+  ASSERT_EQ(Q.size(), 4u);
+
+  // A well-behaved newcomer displaces the hog's NEWEST request — the
+  // oldest kept its place in line; the latest marginal arrival pays.
+  FairQueue::Item Victim;
+  EXPECT_EQ(Q.push(queueItem("polite", "p0"), &Victim),
+            FairQueue::Admit::DisplacedOther);
+  EXPECT_EQ(Victim.R.Client, "hog");
+  EXPECT_EQ(Victim.R.Id, "hog3");
+  EXPECT_EQ(Q.size(), 4u) << "one out, one in";
+  EXPECT_EQ(Q.queuedFor("hog"), 3u);
+  EXPECT_EQ(Q.queuedFor("polite"), 1u);
+
+  // When the arrival itself is the most over share, IT is refused — the
+  // hog cannot displace anyone (including itself) to grow further.
+  FairQueue::Item More = queueItem("hog", "hog4");
+  EXPECT_EQ(Q.push(std::move(More), &Victim), FairQueue::Admit::OverShare);
+  EXPECT_EQ(More.R.Id, "hog4") << "refused item left intact";
+  EXPECT_EQ(Q.size(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram JSON round-trip (the fleet roll-up's parser)
+//===----------------------------------------------------------------------===//
+
+URSA_HISTO(RoundTripHisto, "test.fleet.roundtrip_us",
+           "fleet_test round-trip fixture");
+
+namespace {
+
+/// The exact shape CompileService's writeHistogramJson emits.
+std::string histogramToJson(const obs::HistogramSnapshot &H) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("name", H.Name);
+  W.kv("desc", H.Desc);
+  W.kv("count", H.Count);
+  W.kv("sum_us", H.Sum);
+  W.kv("max_us", H.Max);
+  W.kv("p50_us", H.percentile(0.50));
+  W.kv("p90_us", H.percentile(0.90));
+  W.kv("p99_us", H.percentile(0.99));
+  W.key("buckets").beginArray();
+  for (unsigned I = 0; I != obs::Histogram::NumBuckets; ++I) {
+    if (!H.Buckets[I])
+      continue;
+    W.beginObject();
+    W.kv("le_us", obs::Histogram::bucketHi(I));
+    W.kv("count", H.Buckets[I]);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+} // namespace
+
+TEST(FleetHistogramJson, SparseBucketsRoundTripToTheDenseSnapshot) {
+  obs::setStatsEnabled(true);
+  obs::resetHistograms();
+  // Exact buckets, octave buckets, and the overflow bucket all at once.
+  for (uint64_t V : {0ull, 1ull, 15ull, 16ull, 17ull, 1000ull, 123456ull,
+                     (1ull << 30), (1ull << 39)})
+    RoundTripHisto.record(V);
+  obs::HistogramSnapshot Orig = RoundTripHisto.snapshot();
+
+  obs::JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(histogramToJson(Orig), Doc, Err)) << Err;
+  obs::HistogramSnapshot Back;
+  ASSERT_TRUE(parseHistogramJson(Doc, Back));
+
+  EXPECT_EQ(Back.Name, Orig.Name);
+  EXPECT_EQ(Back.Count, Orig.Count);
+  EXPECT_EQ(Back.Sum, Orig.Sum);
+  EXPECT_EQ(Back.Max, Orig.Max);
+  ASSERT_EQ(Back.Buckets.size(), Orig.Buckets.size());
+  for (unsigned I = 0; I != obs::Histogram::NumBuckets; ++I)
+    EXPECT_EQ(Back.Buckets[I], Orig.Buckets[I]) << "bucket " << I;
+  obs::resetHistograms();
+}
+
+TEST(FleetHistogramJson, RejectsDocumentsThatAreNotHistograms) {
+  for (const char *Bad : {
+           "{}",                                   // nothing
+           "{\"name\":\"x\"}",                     // no buckets
+           "{\"name\":\"x\",\"buckets\":7}",       // buckets not an array
+           "[1,2,3]",                              // not an object
+       }) {
+    obs::JsonValue Doc;
+    std::string Err;
+    ASSERT_TRUE(obs::parseJson(Bad, Doc, Err)) << Bad << ": " << Err;
+    obs::HistogramSnapshot Out;
+    EXPECT_FALSE(parseHistogramJson(Doc, Out)) << Bad;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol: Busy + router-stamped fields on the wire
+//===----------------------------------------------------------------------===//
+
+TEST(FleetProtocol, BusyResponseRoundTripsWithRouterFields) {
+  ServiceResponse R;
+  R.Status = ServiceResponse::StatusKind::Busy;
+  R.Id = "req-7";
+  R.TraceId = "t-abc";
+  R.Backend = "tcp:127.0.0.1:9001";
+  R.Error = "backend lost mid-request; resubmit";
+  R.QueueMs = 3.5;
+
+  ServiceResponse Back;
+  ASSERT_TRUE(parseResponse(writeResponse(R), Back).isOk());
+  EXPECT_EQ(Back.Status, ServiceResponse::StatusKind::Busy);
+  EXPECT_EQ(Back.Id, "req-7");
+  EXPECT_EQ(Back.TraceId, "t-abc");
+  EXPECT_EQ(Back.Backend, "tcp:127.0.0.1:9001");
+  EXPECT_EQ(Back.Error, "backend lost mid-request; resubmit");
+  EXPECT_DOUBLE_EQ(Back.QueueMs, 3.5);
+  EXPECT_STREQ(statusName(ServiceResponse::StatusKind::Busy),
+               "busy_retry_later");
+}
+
+TEST(FleetProtocol, ClientIdentityRoundTripsInRequests) {
+  ServiceRequest R = compileRequest("id-1", 42);
+  R.Client = "ci-shard-3";
+  ServiceRequest Back;
+  ASSERT_TRUE(parseRequest(writeRequest(R), Back).isOk());
+  EXPECT_EQ(Back.Client, "ci-shard-3");
+  EXPECT_EQ(Back.Source, R.Source);
+
+  // An empty client is omitted from the wire entirely (old servers never
+  // see the field).
+  R.Client.clear();
+  EXPECT_EQ(writeRequest(R).find("\"client\""), std::string::npos);
+}
+
+TEST(FleetProtocol, UnknownStatusesDegradeToError) {
+  // The legacy mapping: a pre-fleet client parsing "busy_retry_later" (or
+  // any future status) must land on Error, never crash — mirrored here by
+  // feeding the current parser a status it does not know.
+  ServiceResponse R;
+  R.Status = ServiceResponse::StatusKind::Ok;
+  R.Id = "x";
+  std::string Doc = writeResponse(R);
+  size_t At = Doc.find("\"ok\"");
+  ASSERT_NE(At, std::string::npos);
+  Doc.replace(At, 4, "\"status_from_the_future\"");
+  ServiceResponse Back;
+  ASSERT_TRUE(parseResponse(Doc, Back).isOk());
+  EXPECT_EQ(Back.Status, ServiceResponse::StatusKind::Error);
+}
+
+//===----------------------------------------------------------------------===//
+// RouterService end to end
+//===----------------------------------------------------------------------===//
+
+TEST(FleetRouter, ByteIdenticalThroughOneBackend) {
+  ServiceConfig Cfg;
+  TcpServer Backend(Cfg);
+
+  RouterConfig RC;
+  RC.Backends.push_back({Backend.Endpoint, "b0"});
+  RC.Workers = 2;
+  RC.ProbeIntervalMs = 100;
+  RouterFront Front(RC);
+
+  // The tentpole invariant: a router fronting one backend is invisible —
+  // every compile's Text (the ursa_cc-identical output) matches a direct
+  // connection byte for byte, over a 50-function corpus.
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    ServiceRequest R = compileRequest("s" + std::to_string(Seed), Seed);
+    ServiceResponse Direct = callOne(Backend.Endpoint, R);
+    ServiceResponse Routed = callOne(Front.Endpoint, R);
+    ASSERT_EQ(Direct.Status, ServiceResponse::StatusKind::Ok) << Direct.Error;
+    ASSERT_EQ(Routed.Status, ServiceResponse::StatusKind::Ok) << Routed.Error;
+    EXPECT_EQ(Routed.Text, Direct.Text) << "seed " << Seed;
+    EXPECT_EQ(Routed.Cycles, Direct.Cycles);
+    EXPECT_EQ(Routed.SpillOps, Direct.SpillOps);
+    EXPECT_EQ(Routed.Backend, "b0") << "router stamps shard placement";
+    EXPECT_TRUE(Direct.Backend.empty());
+  }
+
+  RouterService::Counters C = Front.Router.counters();
+  EXPECT_EQ(C.Received, 50u);
+  EXPECT_EQ(C.Completed, 50u);
+  EXPECT_EQ(C.Failovers, 0u);
+}
+
+TEST(FleetRouter, FailsOverWhenABackendDies) {
+  ServiceConfig Cfg;
+  TcpServer Alive(Cfg);
+  auto Dead = std::make_optional<TcpServer>(Cfg);
+
+  RouterConfig RC;
+  RC.Backends.push_back({Alive.Endpoint, "alive"});
+  RC.Backends.push_back({Dead->Endpoint, "dead"});
+  RC.Workers = 2;
+  RC.ProbeIntervalMs = 50;
+  RC.FailThreshold = 2;
+  RouterFront Front(RC);
+
+  Dead.reset(); // kill one backend under the router
+
+  // Every request still succeeds: keys homed on the dead backend fail
+  // over to its ring successor (a dial failure proves not-started).
+  for (uint64_t Seed = 100; Seed != 130; ++Seed) {
+    ServiceResponse Resp =
+        callOne(Front.Endpoint, compileRequest("f" + std::to_string(Seed),
+                                               Seed));
+    ASSERT_EQ(Resp.Status, ServiceResponse::StatusKind::Ok) << Resp.Error;
+    EXPECT_EQ(Resp.Backend, "alive");
+  }
+
+  // The dead backend was ejected (by demand or by the prober).
+  std::vector<BackendPool::Info> Infos = Front.Router.pool().snapshot();
+  ASSERT_EQ(Infos.size(), 2u);
+  EXPECT_TRUE(Infos[0].Up);
+  EXPECT_FALSE(Infos[1].Up);
+  EXPECT_GE(Infos[1].Ejections, 1u);
+}
+
+TEST(FleetRouter, OneGoodProbeReadmitsAnEjectedBackend) {
+  ServiceConfig Cfg;
+  TcpServer Backend(Cfg);
+
+  RouterConfig RC;
+  RC.Backends.push_back({Backend.Endpoint, "b0"});
+  RC.ProbeIntervalMs = 10000; // keep the prober out of the way
+  RouterFront Front(RC);
+
+  Front.Router.pool().markDown(0);
+  ASSERT_FALSE(Front.Router.pool().isUp(0));
+
+  // The backend is alive; a single successful health probe readmits it.
+  Front.Router.pool().probeAllOnce();
+  EXPECT_TRUE(Front.Router.pool().isUp(0));
+  std::vector<BackendPool::Info> Infos = Front.Router.pool().snapshot();
+  EXPECT_GE(Infos[0].Ejections, 1u);
+  EXPECT_GE(Infos[0].Readmissions, 1u);
+  EXPECT_EQ(Infos[0].LastHealth, "ok");
+}
+
+TEST(FleetRouter, StatsVerbAggregatesTheFleet) {
+  ServiceConfig Cfg;
+  TcpServer B0(Cfg), B1(Cfg);
+
+  RouterConfig RC;
+  RC.Backends.push_back({B0.Endpoint, "b0"});
+  RC.Backends.push_back({B1.Endpoint, "b1"});
+  RC.Workers = 2;
+  RC.Clients["ci"] = {3, 16};
+  RouterFront Front(RC);
+
+  for (uint64_t Seed = 200; Seed != 210; ++Seed) {
+    ServiceRequest R = compileRequest("a" + std::to_string(Seed), Seed);
+    R.Client = "ci";
+    ASSERT_EQ(callOne(Front.Endpoint, R).Status,
+              ServiceResponse::StatusKind::Ok);
+  }
+
+  ServiceRequest SR;
+  SR.Op = ServiceRequest::OpKind::Stats;
+  SR.Id = "stats";
+  ServiceResponse Resp = callOne(Front.Endpoint, SR);
+  ASSERT_EQ(Resp.Status, ServiceResponse::StatusKind::Stats);
+
+  obs::JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(obs::parseJson(Resp.Text, Doc, Err)) << Err;
+  const obs::JsonValue *Schema = Doc.find("schema");
+  ASSERT_TRUE(Schema && Schema->isString());
+  EXPECT_EQ(Schema->Str, "ursa.service_stats.v1")
+      << "the fleet document keeps the single-server schema";
+
+  const obs::JsonValue *Reqs = Doc.find("requests");
+  ASSERT_TRUE(Reqs && Reqs->isObject());
+  const obs::JsonValue *Completed = Reqs->find("completed");
+  ASSERT_TRUE(Completed && Completed->isNumber());
+  EXPECT_GE(Completed->Num, 10.0) << "backend counters are summed";
+
+  const obs::JsonValue *Fleet = Doc.find("fleet");
+  ASSERT_TRUE(Fleet && Fleet->isObject()) << "fleet section present";
+  const obs::JsonValue *Total = Fleet->find("backends_total");
+  ASSERT_TRUE(Total && Total->isNumber());
+  EXPECT_EQ(Total->Num, 2.0);
+  const obs::JsonValue *Up = Fleet->find("backends_up");
+  ASSERT_TRUE(Up && Up->isNumber());
+  EXPECT_EQ(Up->Num, 2.0);
+  const obs::JsonValue *Backends = Fleet->find("backends");
+  ASSERT_TRUE(Backends && Backends->isArray());
+  EXPECT_EQ(Backends->Arr.size(), 2u);
+  uint64_t Forwarded = 0;
+  for (const obs::JsonValue &B : Backends->Arr)
+    if (const obs::JsonValue *F = B.find("forwarded"); F && F->isNumber())
+      Forwarded += uint64_t(F->Num);
+  EXPECT_EQ(Forwarded, 10u);
+  const obs::JsonValue *Clients = Fleet->find("clients");
+  ASSERT_TRUE(Clients && Clients->isArray());
+  bool SawCi = false;
+  for (const obs::JsonValue &C : Clients->Arr)
+    if (const obs::JsonValue *N = C.find("name"); N && N->Str == "ci")
+      SawCi = true;
+  EXPECT_TRUE(SawCi) << "configured client policies are reported";
+
+  // The health verb rolls up too.
+  ServiceRequest HR;
+  HR.Op = ServiceRequest::OpKind::Health;
+  HR.Id = "health";
+  ServiceResponse HResp = callOne(Front.Endpoint, HR);
+  ASSERT_EQ(HResp.Status, ServiceResponse::StatusKind::Stats);
+  obs::JsonValue HDoc;
+  ASSERT_TRUE(obs::parseJson(HResp.Text, HDoc, Err)) << Err;
+  const obs::JsonValue *HS = HDoc.find("status");
+  ASSERT_TRUE(HS && HS->isString());
+  EXPECT_EQ(HS->Str, "ok");
+}
+
+TEST(FleetRouter, ShardPlacementIsDeterministic) {
+  ServiceConfig Cfg;
+  TcpServer B0(Cfg), B1(Cfg), B2(Cfg);
+
+  RouterConfig RC;
+  RC.Backends.push_back({B0.Endpoint, "b0"});
+  RC.Backends.push_back({B1.Endpoint, "b1"});
+  RC.Backends.push_back({B2.Endpoint, "b2"});
+  RC.Workers = 2;
+  RouterFront Front(RC);
+
+  // The same (machine, source) lands on the same shard every time —
+  // the property that keeps per-shard measurement caches warm.
+  std::map<uint64_t, std::string> Placement;
+  for (int Round = 0; Round != 2; ++Round)
+    for (uint64_t Seed = 300; Seed != 315; ++Seed) {
+      ServiceResponse Resp = callOne(
+          Front.Endpoint, compileRequest("p" + std::to_string(Seed), Seed));
+      ASSERT_EQ(Resp.Status, ServiceResponse::StatusKind::Ok) << Resp.Error;
+      ASSERT_FALSE(Resp.Backend.empty());
+      auto [It, New] = Placement.emplace(Seed, Resp.Backend);
+      if (!New) {
+        EXPECT_EQ(It->second, Resp.Backend) << "seed " << Seed;
+      }
+    }
+
+  // With 15 distinct functions and 3 backends, placement should actually
+  // shard (no single backend owns everything).
+  std::map<std::string, unsigned> PerBackend;
+  for (auto &[Seed, B] : Placement)
+    ++PerBackend[B];
+  EXPECT_GE(PerBackend.size(), 2u);
+}

@@ -117,6 +117,123 @@ TEST(SocketEndpoints, ParseCoversAllSpellings) {
   EXPECT_FALSE(Socket::parseEndpoint("", IsTcp, Host, Port));
 }
 
+TEST(SocketEndpoints, ParsesBracketedIpv6) {
+  bool IsTcp;
+  std::string Host;
+  uint16_t Port;
+
+  ASSERT_TRUE(Socket::parseEndpoint("tcp:[::1]:8080", IsTcp, Host, Port));
+  EXPECT_TRUE(IsTcp);
+  EXPECT_EQ(Host, "::1");
+  EXPECT_EQ(Port, 8080);
+
+  ASSERT_TRUE(
+      Socket::parseEndpoint("tcp:[fe80::1234:5]:9", IsTcp, Host, Port));
+  EXPECT_EQ(Host, "fe80::1234:5");
+  EXPECT_EQ(Port, 9);
+
+  // The brackets are endpoint syntax, not address syntax: the parsed host
+  // is the bare address the resolver wants.
+  ASSERT_TRUE(Socket::parseEndpoint("tcp:[2001:db8::1]:65535", IsTcp, Host,
+                                    Port));
+  EXPECT_EQ(Host, "2001:db8::1");
+  EXPECT_EQ(Port, 65535);
+}
+
+TEST(SocketEndpoints, Ipv6ErrorsNameTheProblem) {
+  bool IsTcp;
+  std::string Host;
+  uint16_t Port;
+  std::string Err;
+
+  // Unterminated bracket.
+  EXPECT_FALSE(Socket::parseEndpoint("tcp:[::1:80", IsTcp, Host, Port, &Err));
+  EXPECT_NE(Err.find("unterminated"), std::string::npos) << Err;
+
+  // Bracketed but no port.
+  Err.clear();
+  EXPECT_FALSE(Socket::parseEndpoint("tcp:[::1]", IsTcp, Host, Port, &Err));
+  EXPECT_NE(Err.find("PORT"), std::string::npos) << Err;
+
+  // Empty address inside the brackets.
+  Err.clear();
+  EXPECT_FALSE(Socket::parseEndpoint("tcp:[]:80", IsTcp, Host, Port, &Err));
+  EXPECT_NE(Err.find("empty"), std::string::npos) << Err;
+
+  // A raw multi-colon host is ambiguous (is ":80" part of the address?);
+  // the error teaches the bracket spelling — with the caller's own
+  // endpoint rewritten into it, copy-pasteable.
+  Err.clear();
+  EXPECT_FALSE(
+      Socket::parseEndpoint("tcp:2001:db8::1:80", IsTcp, Host, Port, &Err));
+  EXPECT_NE(Err.find("bracketed"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("[2001:db8::1]:80"), std::string::npos) << Err;
+}
+
+TEST(SocketEndpoints, ConnectErrorRebracketsIpv6Hosts) {
+  // Nothing listens on this port; the refusal's message must show the
+  // endpoint in its bracketed spelling, copy-pasteable back into --connect.
+  StatusOr<Socket> SOr = Socket::connectEndpoint("tcp:[::1]:1");
+  ASSERT_FALSE(SOr.isOk());
+  EXPECT_NE(SOr.status().message().find("[::1]:1"), std::string::npos)
+      << SOr.status().str();
+}
+
+TEST(SocketEndpoints, SplitsEndpointLists) {
+  std::vector<std::string> L =
+      Socket::splitEndpointList("tcp:[::1]:80,unix:/tmp/a.sock,,tcp:9");
+  ASSERT_EQ(L.size(), 3u);
+  EXPECT_EQ(L[0], "tcp:[::1]:80"); // the comma split must not cut inside
+  EXPECT_EQ(L[1], "unix:/tmp/a.sock");
+  EXPECT_EQ(L[2], "tcp:9");
+  EXPECT_TRUE(Socket::splitEndpointList("").empty());
+}
+
+TEST(SocketEndpoints, ConnectAnyFallsThroughDeadEndpoints) {
+  ServiceConfig Cfg;
+  TcpServer T(Cfg);
+
+  // First endpoint refuses, second is the live server.
+  size_t Which = 99;
+  StatusOr<Socket> SOr = Socket::connectAnyEndpoint(
+      {"tcp:127.0.0.1:1", T.Endpoint}, &Which);
+  ASSERT_TRUE(SOr.isOk()) << SOr.status().str();
+  EXPECT_EQ(Which, 1u);
+
+  // All dead: the last error surfaces, nothing hangs.
+  StatusOr<Socket> Dead =
+      Socket::connectAnyEndpoint({"tcp:127.0.0.1:1", "tcp:127.0.0.1:2"});
+  EXPECT_FALSE(Dead.isOk());
+  StatusOr<Socket> None = Socket::connectAnyEndpoint({});
+  EXPECT_FALSE(None.isOk());
+}
+
+TEST(SocketEndpoints, Ipv6LoopbackRoundTripsWhenAvailable) {
+  StatusOr<Socket> LOr = Socket::listenTcp("::1", 0);
+  if (!LOr.isOk())
+    GTEST_SKIP() << "no IPv6 loopback here: " << LOr.status().str();
+  uint16_t Port = LOr->localPort();
+  ASSERT_NE(Port, 0);
+
+  std::thread Peer([&] {
+    StatusOr<Socket> A = LOr->accept(2000);
+    ASSERT_TRUE(A.isOk() && A->valid());
+    std::string In;
+    bool Closed = false;
+    ASSERT_TRUE(A->recvFrame(In, Closed).isOk());
+    ASSERT_TRUE(A->sendFrame("v6:" + In).isOk());
+  });
+  StatusOr<Socket> COr =
+      Socket::connectEndpoint("tcp:[::1]:" + std::to_string(Port));
+  ASSERT_TRUE(COr.isOk()) << COr.status().str();
+  ASSERT_TRUE(COr->sendFrame("ping").isOk());
+  std::string Back;
+  bool Closed = false;
+  ASSERT_TRUE(COr->recvFrame(Back, Closed).isOk());
+  EXPECT_EQ(Back, "v6:ping");
+  Peer.join();
+}
+
 TEST(SocketTcp, FramesRoundTripBothWays) {
   StatusOr<Socket> LOr = Socket::listenTcp("", 0);
   ASSERT_TRUE(LOr.isOk()) << LOr.status().str();
@@ -411,6 +528,7 @@ struct ScriptedPeer {
   enum class Script {
     CloseBeforeResponse, ///< read the request, clean FIN, no response
     ResetMidResponse,    ///< read the request, start a response, die dirty
+    AnswerBusy,          ///< answer busy_retry_later, keep the connection
     AnswerOk             ///< read the request, answer it properly
   };
 
@@ -433,28 +551,47 @@ struct ScriptedPeer {
   }
 
   void serve() {
+    // A Busy answer keeps its connection; the next script serves the
+    // retry arriving on it instead of a fresh accept.
+    Socket Live;
     for (Script S : Scripts) {
-      StatusOr<Socket> AOr = Listener.accept(5000);
-      if (!AOr.isOk() || !AOr->valid())
-        return;
+      if (!Live.valid()) {
+        StatusOr<Socket> AOr = Listener.accept(5000);
+        if (!AOr.isOk() || !AOr->valid())
+          return;
+        Live = std::move(*AOr);
+      }
       std::string Frame;
       bool Closed = false;
-      if (!AOr->recvFrame(Frame, Closed).isOk() || Closed)
+      if (!Live.recvFrame(Frame, Closed).isOk() || Closed) {
+        Live.close();
         continue;
+      }
       ++RequestsSeen;
       ServiceRequest R;
-      if (!parseRequest(Frame, R).isOk())
+      if (!parseRequest(Frame, R).isOk()) {
+        Live.close();
         continue;
+      }
       switch (S) {
       case Script::CloseBeforeResponse:
-        AOr->close(); // clean FIN before any response byte
+        Live.close(); // clean FIN before any response byte
         break;
+      case Script::AnswerBusy: {
+        ServiceResponse Resp;
+        Resp.Status = ServiceResponse::StatusKind::Busy;
+        Resp.Id = R.Id;
+        Resp.Error = "no live backend";
+        (void)Live.sendFrame(writeResponse(Resp));
+        break; // keep the connection: the retry rides it
+      }
       case Script::ResetMidResponse: {
         ServiceResponse Resp;
         Resp.Status = ServiceResponse::StatusKind::Ok;
         Resp.Id = R.Id;
-        (void)injectWireFault(*AOr, WireFault::MidStreamDisconnect,
+        (void)injectWireFault(Live, WireFault::MidStreamDisconnect,
                               writeResponse(Resp));
+        Live.close();
         break;
       }
       case Script::AnswerOk: {
@@ -462,11 +599,12 @@ struct ScriptedPeer {
         Resp.Status = ServiceResponse::StatusKind::Ok;
         Resp.Id = R.Id;
         Resp.Text = "scripted-ok";
-        (void)AOr->sendFrame(writeResponse(Resp));
+        (void)Live.sendFrame(writeResponse(Resp));
         // Let the client read before the socket drops.
         std::string Dummy;
         bool C2 = false;
-        (void)AOr->recvFrame(Dummy, C2);
+        (void)Live.recvFrame(Dummy, C2);
+        Live.close();
         break;
       }
       }
@@ -562,6 +700,59 @@ TEST(SupervisedRetry, ReconnectsAfterServerRestartOnTheSameEndpoint) {
 
   Srv->requestStop();
   Run2.join();
+}
+
+TEST(SupervisedRetry, BusyRetriesWithoutBurningTheBackoffBudget) {
+  // Two busy_retry_later answers, then success — with MaxRetries = 0.
+  // If Busy consumed the backoff budget the call would fail after the
+  // first answer; the separate BusyRetryCap is what lets it through.
+  ScriptedPeer Peer({ScriptedPeer::Script::AnswerBusy,
+                     ScriptedPeer::Script::AnswerBusy,
+                     ScriptedPeer::Script::AnswerOk});
+
+  RetryPolicy P;
+  P.MaxRetries = 0; // no transport-failure budget at all
+  P.BusyDelayMs = 1;
+  StatusOr<ServiceClient> COr =
+      ServiceClient::connectWithRetry(Peer.Endpoint, P);
+  ASSERT_TRUE(COr.isOk()) << COr.status().str();
+
+  ServiceRequest R;
+  R.Op = ServiceRequest::OpKind::Ping;
+  R.Id = "busy-free";
+  ServiceResponse Out;
+  Status St = COr->callSupervised(R, Out);
+  ASSERT_TRUE(St.isOk()) << St.str();
+  EXPECT_EQ(Out.Text, "scripted-ok");
+  EXPECT_EQ(Peer.RequestsSeen.load(), 3u);
+}
+
+TEST(SupervisedRetry, BusyCapBoundsTheLoop) {
+  // Nothing but busy answers: the BusyRetryCap (not a hang) ends it. The
+  // cap overflow falls through to the shed path, which with MaxRetries=0
+  // fails immediately.
+  ScriptedPeer Peer({ScriptedPeer::Script::AnswerBusy,
+                     ScriptedPeer::Script::AnswerBusy,
+                     ScriptedPeer::Script::AnswerBusy,
+                     ScriptedPeer::Script::AnswerBusy});
+
+  RetryPolicy P;
+  P.MaxRetries = 0;
+  P.BusyRetryCap = 2;
+  P.BusyDelayMs = 1;
+  StatusOr<ServiceClient> COr =
+      ServiceClient::connectWithRetry(Peer.Endpoint, P);
+  ASSERT_TRUE(COr.isOk()) << COr.status().str();
+
+  ServiceRequest R;
+  R.Op = ServiceRequest::OpKind::Ping;
+  R.Id = "busy-capped";
+  ServiceResponse Out;
+  Status St = COr->callSupervised(R, Out);
+  EXPECT_FALSE(St.isOk());
+  EXPECT_NE(St.message().find("busy"), std::string::npos) << St.str();
+  // Initial try + BusyRetryCap retries, nothing more.
+  EXPECT_EQ(Peer.RequestsSeen.load(), 3u);
 }
 
 TEST(SupervisedRetry, ConnectRefusedExhaustsTheBudgetThenFails) {
